@@ -1,0 +1,156 @@
+//! AppArmor-style path globbing.
+//!
+//! Supports the subset of AppArmor's glob language the shipped profiles
+//! use: `*` matches within a path component (not `/`), `**` matches across
+//! components, `?` matches one non-`/` character, and `{a,b}` alternation.
+
+/// Returns whether `path` matches the AppArmor-style `pattern`.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    // Fast path: a pattern without metacharacters is a literal — this is
+    // the common case on every `capable()`/`file_open` hook evaluation,
+    // and must not allocate.
+    if !pattern.bytes().any(|b| matches!(b, b'*' | b'?' | b'{')) {
+        return pattern == path;
+    }
+    // Expand top-level alternations first.
+    if let Some(expansions) = expand_alternation(pattern) {
+        return expansions.iter().any(|p| glob_match(p, path));
+    }
+    match_bytes(pattern.as_bytes(), path.as_bytes())
+}
+
+/// Expands a single `{a,b,...}` group, returning `None` if there is none.
+fn expand_alternation(pattern: &str) -> Option<Vec<String>> {
+    let open = pattern.find('{')?;
+    let close = pattern[open..].find('}')? + open;
+    let prefix = &pattern[..open];
+    let suffix = &pattern[close + 1..];
+    let body = &pattern[open + 1..close];
+    Some(
+        body.split(',')
+            .map(|alt| format!("{}{}{}", prefix, alt, suffix))
+            .collect(),
+    )
+}
+
+/// Tokenized pattern element.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    /// `*` — any run not crossing '/'.
+    Star,
+    /// `**` — any run, '/' included.
+    DoubleStar,
+    /// `?` — one non-'/' byte.
+    One,
+    /// A literal byte.
+    Byte(u8),
+}
+
+fn tokenize(pat: &[u8]) -> Vec<Tok> {
+    let mut toks = Vec::with_capacity(pat.len());
+    let mut i = 0;
+    while i < pat.len() {
+        match pat[i] {
+            b'*' => {
+                // Collapse any run of stars: >= 2 behaves as `**`.
+                let mut run = 0;
+                while i < pat.len() && pat[i] == b'*' {
+                    run += 1;
+                    i += 1;
+                }
+                toks.push(if run >= 2 { Tok::DoubleStar } else { Tok::Star });
+            }
+            b'?' => {
+                toks.push(Tok::One);
+                i += 1;
+            }
+            c => {
+                toks.push(Tok::Byte(c));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Dynamic-programming matcher: O(|pattern| * |path|), immune to the
+/// exponential blow-up of naive backtracking on adversarial patterns.
+fn match_bytes(pat: &[u8], s: &[u8]) -> bool {
+    let toks = tokenize(pat);
+    let (np, ns) = (toks.len(), s.len());
+    // dp[j] = does toks[i..] match s[j..]? Iterate i from the end.
+    let mut next = vec![false; ns + 1];
+    let mut cur = vec![false; ns + 1];
+    next[ns] = true;
+    for i in (0..np).rev() {
+        // Compute cur from next.
+        cur[ns] = matches!(toks[i], Tok::Star | Tok::DoubleStar) && next[ns];
+        for j in (0..ns).rev() {
+            cur[j] = match toks[i] {
+                Tok::Byte(c) => s[j] == c && next[j + 1],
+                Tok::One => s[j] != b'/' && next[j + 1],
+                // `*`: consume nothing (move to next token) or one
+                // non-'/' byte (stay on this token).
+                Tok::Star => next[j] || (s[j] != b'/' && cur[j + 1]),
+                // `**`: consume nothing or any one byte.
+                Tok::DoubleStar => next[j] || cur[j + 1],
+            };
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    next[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(glob_match("/etc/fstab", "/etc/fstab"));
+        assert!(!glob_match("/etc/fstab", "/etc/fstab2"));
+        assert!(!glob_match("/etc/fstab", "/etc/fsta"));
+    }
+
+    #[test]
+    fn single_star_stays_in_component() {
+        assert!(glob_match("/etc/*.conf", "/etc/host.conf"));
+        assert!(!glob_match("/etc/*.conf", "/etc/apt/apt.conf"));
+        assert!(glob_match("/dev/tty*", "/dev/ttyS0"));
+        assert!(!glob_match("/dev/*", "/dev/pts/0"));
+    }
+
+    #[test]
+    fn double_star_crosses_components() {
+        assert!(glob_match("/dev/**", "/dev/pts/0"));
+        assert!(glob_match("/home/**", "/home/alice/.forward"));
+        assert!(!glob_match("/dev/**", "/etc/passwd"));
+    }
+
+    #[test]
+    fn question_mark() {
+        assert!(glob_match("/dev/tty?", "/dev/tty1"));
+        assert!(!glob_match("/dev/tty?", "/dev/tty10"));
+        assert!(!glob_match("/dev/tty?", "/dev/tty/"));
+    }
+
+    #[test]
+    fn alternation() {
+        assert!(glob_match("/{bin,sbin}/mount", "/bin/mount"));
+        assert!(glob_match("/{bin,sbin}/mount", "/sbin/mount"));
+        assert!(!glob_match("/{bin,sbin}/mount", "/usr/bin/mount"));
+    }
+
+    #[test]
+    fn empty_and_root() {
+        assert!(glob_match("/**", "/anything/at/all"));
+        assert!(glob_match("/*", "/x"));
+        assert!(!glob_match("", "/x"));
+    }
+
+    #[test]
+    fn star_can_match_empty() {
+        assert!(glob_match("/etc/*", "/etc/"));
+        assert!(glob_match("/etc/passwd*", "/etc/passwd"));
+    }
+}

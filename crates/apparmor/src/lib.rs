@@ -1,0 +1,281 @@
+//! # apparmor-lsm
+//!
+//! The paper's baseline: an AppArmor-like security module for the
+//! simulated kernel. It *confines* named binaries (path ACLs + capability
+//! masks) but never grants privilege a capability check would refuse —
+//! every hook either vetoes or falls through to stock Linux policy.
+//!
+//! This is exactly the property the paper critiques (§1): with AppArmor,
+//! least privilege is enforced from the administrator's perspective. A
+//! confined-but-compromised `mount` still holds `CAP_SYS_ADMIN` and can
+//! re-shape the filesystem tree arbitrarily; the confinement only limits
+//! *which files* it touches directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod glob;
+mod profile;
+
+pub use glob::glob_match;
+pub use profile::{parse_cap_name, parse_profiles, render_profiles, PathAccess, PathRule, Profile};
+
+use sim_kernel::caps::Cap;
+use sim_kernel::cred::Credentials;
+use sim_kernel::error::{Errno, KResult};
+use sim_kernel::lsm::{Decision, FileDecision, FileOpenCtx, SecurityModule};
+use sim_kernel::vfs::Access;
+
+/// The AppArmor-like module: a set of profiles in enforce mode.
+#[derive(Debug, Default)]
+pub struct AppArmorLsm {
+    profiles: Vec<Profile>,
+}
+
+impl AppArmorLsm {
+    /// A module with no profiles loaded — behaviourally identical to stock
+    /// Linux (the measurement baseline).
+    pub fn new() -> AppArmorLsm {
+        AppArmorLsm::default()
+    }
+
+    /// Loads profiles from text, replacing the current set.
+    pub fn load_text(&mut self, text: &str) -> Result<(), String> {
+        self.profiles = parse_profiles(text)?;
+        Ok(())
+    }
+
+    /// A module preloaded with profiles resembling Ubuntu 12.04's default
+    /// confinement of the studied setuid binaries.
+    pub fn with_ubuntu_defaults() -> AppArmorLsm {
+        let mut a = AppArmorLsm::new();
+        a.load_text(UBUNTU_DEFAULT_PROFILES)
+            .expect("builtin profiles parse");
+        a
+    }
+
+    fn profile_for(&self, binary: &str) -> Option<&Profile> {
+        self.profiles.iter().find(|p| p.matches_binary(binary))
+    }
+
+    /// Number of loaded profiles.
+    pub fn profile_count(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+/// Profiles approximating the Ubuntu baseline: confinement of mount and
+/// the ping family. Note every profile must still grant the coarse
+/// capability the kernel's hard-coded check demands.
+pub const UBUNTU_DEFAULT_PROFILES: &str = r#"
+profile /{bin,sbin}/mount {
+  capability sys_admin,
+  capability dac_override,
+  /etc/fstab r,
+  /etc/mtab rw,
+  /proc/mounts r,
+  /dev/** rw,
+  /mnt/** rw,
+  /media/** rw,
+  /bin/mount r,
+}
+profile /{bin,sbin}/umount {
+  capability sys_admin,
+  /etc/fstab r,
+  /etc/mtab rw,
+  /proc/mounts r,
+  /mnt/** rw,
+  /media/** rw,
+  /bin/umount r,
+}
+profile /{bin,usr/bin}/ping {
+  capability net_raw,
+  /etc/hosts r,
+  /bin/ping r,
+}
+"#;
+
+impl SecurityModule for AppArmorLsm {
+    fn name(&self) -> &'static str {
+        "apparmor"
+    }
+
+    fn capable(&self, _cred: &Credentials, binary: &str, cap: Cap) -> Decision {
+        match self.profile_for(binary) {
+            Some(p) if !p.check_cap(cap) => Decision::Deny(Errno::EPERM),
+            _ => Decision::UseDefault,
+        }
+    }
+
+    fn file_open(&self, ctx: &FileOpenCtx) -> FileDecision {
+        match self.profile_for(&ctx.binary) {
+            Some(p) => {
+                if p.check_path(&ctx.path, ctx.access) {
+                    FileDecision::UseDefault
+                } else {
+                    FileDecision::Deny(Errno::EACCES)
+                }
+            }
+            None => FileDecision::UseDefault,
+        }
+    }
+
+    fn config_nodes(&self) -> Vec<&'static str> {
+        vec!["profiles"]
+    }
+
+    fn config_write(&mut self, node: &str, content: &str) -> KResult<()> {
+        match node {
+            "profiles" => self.load_text(content).map_err(|_| Errno::EINVAL),
+            _ => Err(Errno::ENOENT),
+        }
+    }
+
+    fn config_read(&self, node: &str) -> KResult<String> {
+        match node {
+            "profiles" => Ok(render_profiles(&self.profiles)),
+            _ => Err(Errno::ENOENT),
+        }
+    }
+}
+
+/// Convenience: evaluates whether a profile set would admit `(binary,
+/// path, access)` — used by audit tooling and tests.
+pub fn would_allow(profiles: &[Profile], binary: &str, path: &str, access: Access) -> bool {
+    match profiles.iter().find(|p| p.matches_binary(binary)) {
+        Some(p) => p.check_path(path, access),
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::cred::{Gid, Uid};
+    use sim_kernel::kernel::Kernel;
+    use sim_kernel::net::SimNet;
+    use sim_kernel::vfs::Mode;
+
+    fn boot_with_apparmor() -> (Kernel, sim_kernel::Pid) {
+        let mut k = Kernel::new(SimNet::new());
+        k.install_standard_devices().unwrap();
+        k.register_lsm(Box::new(AppArmorLsm::with_ubuntu_defaults()))
+            .unwrap();
+        let root = k.spawn_init();
+        k.vfs
+            .install_file("/etc/fstab", b"", Mode(0o644), Uid::ROOT, Gid::ROOT)
+            .unwrap();
+        k.vfs
+            .install_file("/etc/shadow", b"secret", Mode(0o600), Uid::ROOT, Gid::ROOT)
+            .unwrap();
+        k.vfs
+            .install_file("/bin/mount", b"#!sim", Mode(0o4755), Uid::ROOT, Gid::ROOT)
+            .unwrap();
+        (k, root)
+    }
+
+    #[test]
+    fn unconfined_binary_unaffected() {
+        let (mut k, root) = boot_with_apparmor();
+        assert!(k.read_file(root, "/etc/shadow").is_ok());
+    }
+
+    #[test]
+    fn confined_mount_cannot_read_shadow_even_as_root() {
+        let (mut k, root) = boot_with_apparmor();
+        // Simulate the exploited /bin/mount: task runs that binary as root.
+        k.task_mut(root).unwrap().binary = "/bin/mount".into();
+        assert_eq!(k.read_file(root, "/etc/shadow").unwrap_err(), Errno::EACCES);
+        // But fstab is within the profile.
+        assert!(k.read_file(root, "/etc/fstab").is_ok());
+    }
+
+    #[test]
+    fn confined_mount_retains_sys_admin() {
+        let (mut k, root) = boot_with_apparmor();
+        k.task_mut(root).unwrap().binary = "/bin/mount".into();
+        k.vfs.mkdir_p("/mnt/cdrom").unwrap();
+        // The paper's critique: the confined binary can still re-arrange
+        // the filesystem tree.
+        k.sys_mount(root, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro")
+            .unwrap();
+    }
+
+    #[test]
+    fn confined_ping_loses_sys_admin() {
+        let (mut k, root) = boot_with_apparmor();
+        k.task_mut(root).unwrap().binary = "/bin/ping".into();
+        k.vfs.mkdir_p("/mnt/cdrom").unwrap();
+        assert_eq!(
+            k.sys_mount(root, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro")
+                .unwrap_err(),
+            Errno::EPERM
+        );
+    }
+
+    #[test]
+    fn proc_interface_roundtrip() {
+        let (mut k, root) = boot_with_apparmor();
+        let text = k.read_to_string(root, "/proc/apparmor/profiles").unwrap();
+        assert!(text.contains("profile /{bin,sbin}/mount"));
+        // Replace profiles through the /proc interface.
+        let fd = k
+            .sys_open(
+                root,
+                "/proc/apparmor/profiles",
+                sim_kernel::syscall::OpenFlags::write_only(),
+            )
+            .unwrap();
+        k.sys_write(root, fd, b"profile /bin/x {\n  /etc/hosts r,\n}\n")
+            .unwrap();
+        k.sys_close(root, fd).unwrap();
+        let text = k.read_to_string(root, "/proc/apparmor/profiles").unwrap();
+        assert!(text.contains("/bin/x"));
+        assert!(!text.contains("mount"));
+    }
+
+    #[test]
+    fn malformed_profile_write_is_einval() {
+        let (mut k, root) = boot_with_apparmor();
+        let fd = k
+            .sys_open(
+                root,
+                "/proc/apparmor/profiles",
+                sim_kernel::syscall::OpenFlags::write_only(),
+            )
+            .unwrap();
+        assert_eq!(
+            k.sys_write(root, fd, b"profile broken {").unwrap_err(),
+            Errno::EINVAL
+        );
+    }
+
+    #[test]
+    fn config_write_requires_root() {
+        let (mut k, _) = boot_with_apparmor();
+        let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
+        // 0600 root:root — the open itself is refused by DAC.
+        assert_eq!(
+            k.sys_open(
+                user,
+                "/proc/apparmor/profiles",
+                sim_kernel::syscall::OpenFlags::write_only(),
+            )
+            .unwrap_err(),
+            Errno::EACCES
+        );
+    }
+
+    #[test]
+    fn would_allow_helper() {
+        let ps = parse_profiles(UBUNTU_DEFAULT_PROFILES).unwrap();
+        assert!(would_allow(&ps, "/bin/mount", "/etc/fstab", Access::READ));
+        assert!(!would_allow(&ps, "/bin/mount", "/etc/shadow", Access::READ));
+        assert!(would_allow(
+            &ps,
+            "/bin/unconfined",
+            "/etc/shadow",
+            Access::READ
+        ));
+    }
+}

@@ -1,0 +1,305 @@
+//! AppArmor profiles and their text grammar.
+//!
+//! A profile confines one binary: which paths it may read/write/execute
+//! and which capabilities it may use. The paper's baseline is Ubuntu's
+//! AppArmor; its key property (§1) is that confinement is expressed from
+//! the *administrator's* perspective — a confined-but-compromised `mount`
+//! may still corrupt the whole filesystem tree, because the profile must
+//! allow everything the legitimate binary could ever legitimately do.
+
+use crate::glob::glob_match;
+use sim_kernel::caps::{Cap, CapSet};
+use sim_kernel::vfs::Access;
+
+/// Access letters on a path rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathAccess {
+    /// Read allowed.
+    pub read: bool,
+    /// Write allowed.
+    pub write: bool,
+    /// Execute allowed.
+    pub exec: bool,
+}
+
+impl PathAccess {
+    /// Parses an access string such as `rw`, `r`, `rix`.
+    pub fn parse(s: &str) -> Option<PathAccess> {
+        let mut a = PathAccess::default();
+        for c in s.chars() {
+            match c {
+                'r' => a.read = true,
+                'w' | 'a' => a.write = true,
+                'x' | 'i' | 'p' | 'u' | 'm' => a.exec = true,
+                _ => return None,
+            }
+        }
+        Some(a)
+    }
+
+    /// Whether this grants everything in `want`.
+    pub fn covers(&self, want: Access) -> bool {
+        (!want.wants_read() || self.read)
+            && (!want.wants_write() || self.write)
+            && (!want.wants_exec() || self.exec)
+    }
+}
+
+/// One path rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathRule {
+    /// Glob pattern.
+    pub pattern: String,
+    /// Granted (or denied) access.
+    pub access: PathAccess,
+    /// `deny` rules override allow rules.
+    pub deny: bool,
+}
+
+/// A profile confining one binary.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Absolute path (or glob) of the confined binary.
+    pub binary: String,
+    /// Path rules, evaluated deny-first.
+    pub paths: Vec<PathRule>,
+    /// Capabilities the confined binary may use.
+    pub caps: CapSet,
+}
+
+impl Profile {
+    /// Whether the profile applies to `binary`.
+    pub fn matches_binary(&self, binary: &str) -> bool {
+        glob_match(&self.binary, binary)
+    }
+
+    /// Evaluates a path access: `Some(true)` allowed, `Some(false)`
+    /// explicitly denied or unmatched (AppArmor enforce mode denies by
+    /// default).
+    pub fn check_path(&self, path: &str, want: Access) -> bool {
+        for r in self.paths.iter().filter(|r| r.deny) {
+            if glob_match(&r.pattern, path) && r.access.covers(want) {
+                return false;
+            }
+        }
+        self.paths
+            .iter()
+            .filter(|r| !r.deny)
+            .any(|r| glob_match(&r.pattern, path) && r.access.covers(want))
+    }
+
+    /// Whether the profile grants `cap`.
+    pub fn check_cap(&self, cap: Cap) -> bool {
+        self.caps.has(cap)
+    }
+}
+
+/// Parses a capability name as written in profiles (`sys_admin`).
+pub fn parse_cap_name(name: &str) -> Option<Cap> {
+    let upper = format!("CAP_{}", name.to_ascii_uppercase());
+    Cap::ALL.into_iter().find(|c| c.name() == upper)
+}
+
+/// Parses profile text. Grammar (a practical subset of AppArmor's):
+///
+/// ```text
+/// profile /bin/mount {
+///   capability sys_admin,
+///   /etc/fstab r,
+///   /dev/** rw,
+///   deny /etc/shadow rw,
+/// }
+/// ```
+pub fn parse_profiles(text: &str) -> Result<Vec<Profile>, String> {
+    let mut out = Vec::new();
+    let mut cur: Option<Profile> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: &str| format!("line {}: {}", lineno + 1, m);
+        if let Some(rest) = line.strip_prefix("profile ") {
+            if cur.is_some() {
+                return Err(err("nested profile"));
+            }
+            let rest = rest.trim();
+            let binary = rest
+                .strip_suffix('{')
+                .map(str::trim)
+                .ok_or_else(|| err("expected '{' after profile name"))?;
+            cur = Some(Profile {
+                binary: binary.to_string(),
+                ..Profile::default()
+            });
+            continue;
+        }
+        if line == "}" {
+            let p = cur.take().ok_or_else(|| err("unmatched '}'"))?;
+            out.push(p);
+            continue;
+        }
+        let p = cur.as_mut().ok_or_else(|| err("rule outside profile"))?;
+        let body = line
+            .strip_suffix(',')
+            .ok_or_else(|| err("rule must end with ','"))?
+            .trim();
+        if let Some(capname) = body.strip_prefix("capability ") {
+            let cap = parse_cap_name(capname.trim()).ok_or_else(|| err("unknown capability"))?;
+            p.caps.add(cap);
+            continue;
+        }
+        let (deny, body) = match body.strip_prefix("deny ") {
+            Some(b) => (true, b.trim()),
+            None => (false, body),
+        };
+        let mut parts = body.rsplitn(2, ' ');
+        let access_s = parts.next().ok_or_else(|| err("missing access"))?;
+        let pattern = parts.next().ok_or_else(|| err("missing path"))?.trim();
+        if !pattern.starts_with('/') {
+            return Err(err("path rules must be absolute"));
+        }
+        let access = PathAccess::parse(access_s).ok_or_else(|| err("bad access letters"))?;
+        p.paths.push(PathRule {
+            pattern: pattern.to_string(),
+            access,
+            deny,
+        });
+    }
+    if cur.is_some() {
+        return Err("unterminated profile".into());
+    }
+    Ok(out)
+}
+
+/// Renders profiles back to the text grammar (round-trip support for the
+/// `/proc` interface).
+pub fn render_profiles(profiles: &[Profile]) -> String {
+    let mut s = String::new();
+    for p in profiles {
+        s.push_str(&format!("profile {} {{\n", p.binary));
+        for c in p.caps.iter() {
+            s.push_str(&format!(
+                "  capability {},\n",
+                c.name().trim_start_matches("CAP_").to_ascii_lowercase()
+            ));
+        }
+        for r in &p.paths {
+            let mut acc = String::new();
+            if r.access.read {
+                acc.push('r');
+            }
+            if r.access.write {
+                acc.push('w');
+            }
+            if r.access.exec {
+                acc.push('x');
+            }
+            s.push_str(&format!(
+                "  {}{} {},\n",
+                if r.deny { "deny " } else { "" },
+                r.pattern,
+                acc
+            ));
+        }
+        s.push_str("}\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# mount confinement
+profile /bin/mount {
+  capability sys_admin,
+  /etc/fstab r,
+  /dev/** rw,
+  /proc/mounts r,
+  deny /etc/shadow rw,
+}
+
+profile /usr/bin/ping {
+  capability net_raw,
+  /etc/hosts r,
+}
+"#;
+
+    #[test]
+    fn parse_sample() {
+        let ps = parse_profiles(SAMPLE).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].binary, "/bin/mount");
+        assert!(ps[0].check_cap(Cap::SysAdmin));
+        assert!(!ps[0].check_cap(Cap::NetRaw));
+        assert!(ps[1].check_cap(Cap::NetRaw));
+    }
+
+    #[test]
+    fn path_rules_enforced() {
+        let ps = parse_profiles(SAMPLE).unwrap();
+        let mount = &ps[0];
+        assert!(mount.check_path("/etc/fstab", Access::READ));
+        assert!(!mount.check_path("/etc/fstab", Access::WRITE));
+        assert!(mount.check_path("/dev/cdrom", Access::WRITE));
+        assert!(mount.check_path("/dev/pts/0", Access::READ));
+        // Default deny for unmatched paths.
+        assert!(!mount.check_path("/etc/passwd", Access::READ));
+    }
+
+    #[test]
+    fn deny_overrides_allow() {
+        let ps =
+            parse_profiles("profile /x {\n  /etc/** rw,\n  deny /etc/shadow rw,\n}\n").unwrap();
+        assert!(ps[0].check_path("/etc/passwd", Access::WRITE));
+        assert!(!ps[0].check_path("/etc/shadow", Access::READ.and(Access::WRITE)));
+        // Deny rule lists rw; a pure read request is covered by it too.
+        assert!(!ps[0].check_path("/etc/shadow", Access::WRITE));
+    }
+
+    #[test]
+    fn binary_glob() {
+        let p = Profile {
+            binary: "/{bin,usr/bin}/ping".into(),
+            ..Profile::default()
+        };
+        assert!(p.matches_binary("/bin/ping"));
+        assert!(p.matches_binary("/usr/bin/ping"));
+        assert!(!p.matches_binary("/sbin/ping"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_profiles("junk line").is_err());
+        assert!(parse_profiles("profile /x {\n  /etc/passwd r\n}").is_err()); // missing comma
+        assert!(parse_profiles("profile /x {\n  capability bogus_cap,\n}").is_err());
+        assert!(parse_profiles("profile /x {").is_err()); // unterminated
+        assert!(parse_profiles("profile /x {\n  relative r,\n}").is_err());
+    }
+
+    #[test]
+    fn render_roundtrip() {
+        let ps = parse_profiles(SAMPLE).unwrap();
+        let text = render_profiles(&ps);
+        let ps2 = parse_profiles(&text).unwrap();
+        assert_eq!(ps2.len(), ps.len());
+        assert_eq!(ps2[0].paths, ps[0].paths);
+        assert_eq!(ps2[0].caps, ps[0].caps);
+    }
+
+    #[test]
+    fn access_parse() {
+        assert_eq!(
+            PathAccess::parse("rw"),
+            Some(PathAccess {
+                read: true,
+                write: true,
+                exec: false
+            })
+        );
+        assert!(PathAccess::parse("rz").is_none());
+        assert!(PathAccess::parse("rix").unwrap().exec);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the AppArmor-style glob matcher.
+
+use apparmor_lsm::glob_match;
+use proptest::prelude::*;
+
+proptest! {
+    /// Total on arbitrary inputs — including adversarial star runs that
+    /// would blow up a backtracking matcher.
+    #[test]
+    fn never_panics(pattern in "[a-z/*?{},]{0,24}", path in "[a-z/.]{0,32}") {
+        let _ = glob_match(&pattern, &path);
+    }
+
+    /// Worst-case star-heavy patterns complete (DP, not backtracking).
+    #[test]
+    fn adversarial_stars_terminate(stars in 1usize..12, path in "[ab/]{0,40}") {
+        let pattern: String = "*a".repeat(stars);
+        let _ = glob_match(&pattern, &path);
+    }
+
+    /// A literal pattern matches exactly itself.
+    #[test]
+    fn literal_identity(path in "[a-z/.]{1,24}") {
+        prop_assert!(glob_match(&path, &path), "literal must match itself");
+    }
+
+    /// `*` never crosses a path separator.
+    #[test]
+    fn single_star_respects_separators(a in "[a-z]{1,8}", b in "[a-z]{1,8}", c in "[a-z]{1,8}") {
+        let pattern = format!("/{}/*", a);
+        let one = format!("/{}/{}", a, b);
+        let two = format!("/{}/{}/{}", a, b, c);
+        prop_assert!(glob_match(&pattern, &one), "one-level should match");
+        prop_assert!(!glob_match(&pattern, &two), "two-level should not match");
+    }
+
+    /// `**` is a superset of `*`.
+    #[test]
+    fn doublestar_superset(prefix in "[a-z]{1,8}", tail in "[a-z/]{0,16}") {
+        let single = format!("/{}/*", prefix);
+        let double = format!("/{}/**", prefix);
+        let path = format!("/{}/{}", prefix, tail);
+        if glob_match(&single, &path) {
+            prop_assert!(glob_match(&double, &path), "** must cover *");
+        }
+    }
+
+    /// `?` matches exactly one non-separator byte.
+    #[test]
+    fn question_is_one_byte(a in "[a-z]{1,8}", ch in "[a-z]") {
+        let pattern = format!("/{}?", a);
+        let exact = format!("/{}{}", a, ch);
+        let short = format!("/{}", a);
+        let long = format!("/{}{}x", a, ch);
+        prop_assert!(glob_match(&pattern, &exact), "one byte should match");
+        prop_assert!(!glob_match(&pattern, &short), "zero bytes should not");
+        prop_assert!(!glob_match(&pattern, &long), "two bytes should not");
+    }
+
+    /// Alternation distributes: `{x,y}` matches iff one branch does.
+    #[test]
+    fn alternation_is_union(a in "[a-z]{1,6}", b in "[a-z]{1,6}", probe in "[a-z]{1,6}") {
+        let pattern = format!("/{{{},{}}}/bin", a, b);
+        let hit = glob_match(&pattern, &format!("/{}/bin", probe));
+        prop_assert_eq!(hit, probe == a || probe == b);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion ablation benches: netfilter rule cost on the packet path,
+//! raw-socket whitelist traversal, and mount-whitelist scaling.
+
+use bench::{ablations, fixture};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use userland::SystemMode;
+
+fn netfilter_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netfilter");
+    group.sample_size(20);
+    {
+        let mut f = fixture(SystemMode::Protego);
+        group.bench_function("udp_with_protego_rules", |b| {
+            b.iter(|| ablations::udp_burst(&mut f, 10))
+        });
+    }
+    {
+        let mut f = fixture(SystemMode::Protego);
+        ablations::flush_netfilter(&mut f);
+        group.bench_function("udp_rules_flushed", |b| {
+            b.iter(|| ablations::udp_burst(&mut f, 10))
+        });
+    }
+    {
+        let mut f = fixture(SystemMode::Protego);
+        let user = f.user;
+        group.bench_function("raw_icmp_whitelisted", |b| {
+            b.iter(|| ablations::raw_send_burst(&mut f, user, 10))
+        });
+    }
+    group.finish();
+}
+
+fn mount_whitelist_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mount_whitelist");
+    group.sample_size(10);
+    for rules in [10usize, 100, 1000] {
+        group.bench_function(BenchmarkId::from_parameter(rules), |b| {
+            b.iter(|| ablations::mount_lookup_cost(rules, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, netfilter_cost, mount_whitelist_scaling);
+criterion_main!(benches);

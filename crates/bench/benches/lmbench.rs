@@ -1,0 +1,28 @@
+//! Criterion microbenchmarks: every Table 5 micro row, measured on both
+//! systems (groups named `<row>/linux` and `<row>/protego`).
+
+use bench::fixture;
+use bench::micro::all_micro_ops;
+use criterion::{criterion_group, criterion_main, Criterion};
+use userland::SystemMode;
+
+fn lmbench(c: &mut Criterion) {
+    for op in all_micro_ops() {
+        let mut group = c.benchmark_group(op.name);
+        group.sample_size(20);
+        {
+            let mut f = fixture(SystemMode::Legacy);
+            let p = (op.prepare)(&mut f);
+            group.bench_function("linux", |b| b.iter(|| (op.run)(&mut f, &p)));
+        }
+        {
+            let mut f = fixture(SystemMode::Protego);
+            let p = (op.prepare)(&mut f);
+            group.bench_function("protego", |b| b.iter(|| (op.run)(&mut f, &p)));
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, lmbench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion macro benchmarks: Postal, kernel compile, and ApacheBench
+//! (Table 5's application rows).
+
+use bench::{fixture, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use userland::SystemMode;
+
+fn postal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postal");
+    group.sample_size(10);
+    for mode in [SystemMode::Legacy, SystemMode::Protego] {
+        let mut f = fixture(mode);
+        let (mta, fd) = workloads::start_mta(&mut f);
+        let name = if mode == SystemMode::Legacy {
+            "linux"
+        } else {
+            "protego"
+        };
+        group.bench_function(BenchmarkId::new(name, 20), |b| {
+            b.iter(|| workloads::postal(&mut f, mta, fd, 20))
+        });
+    }
+    group.finish();
+}
+
+fn kernel_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_compile");
+    group.sample_size(10);
+    for mode in [SystemMode::Legacy, SystemMode::Protego] {
+        let mut f = fixture(mode);
+        let name = if mode == SystemMode::Legacy {
+            "linux"
+        } else {
+            "protego"
+        };
+        group.bench_function(BenchmarkId::new(name, 20), |b| {
+            b.iter(|| workloads::compile(&mut f, 20))
+        });
+    }
+    group.finish();
+}
+
+fn apache_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apachebench");
+    group.sample_size(10);
+    for conc in [25u64, 50, 100, 200] {
+        for mode in [SystemMode::Legacy, SystemMode::Protego] {
+            let mut f = fixture(mode);
+            let (web, fd) = workloads::start_httpd(&mut f);
+            let name = if mode == SystemMode::Legacy {
+                "linux"
+            } else {
+                "protego"
+            };
+            group.bench_function(BenchmarkId::new(name, conc), |b| {
+                b.iter(|| workloads::apache_bench(&mut f, web, fd, 100, conc))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, postal, kernel_compile, apache_bench);
+criterion_main!(benches);

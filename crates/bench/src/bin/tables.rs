@@ -1,0 +1,195 @@
+//! Regenerates every table of the paper from the reproduction:
+//!
+//! ```text
+//! tables [table1|table2|table3|table4|table5|table6|table7|table8|ablations|all] [--quick]
+//! ```
+
+use bench::table5;
+use setuid_study::render;
+use setuid_study::summary::{table1, MeasuredInputs};
+use userland::suite::{run_divergence_suite, run_functional_suite, run_service_suite};
+use userland::{boot, SystemMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let all = which == "all";
+    if all || which == "table5" {
+        print_table5(quick);
+    }
+    if all || which == "table6" {
+        print_table6();
+    }
+    if all || which == "table7" {
+        print_table7();
+    }
+    if all || which == "table1" {
+        print_table1(quick);
+    }
+    if all || which == "table2" {
+        println!("{}", render::render_table2(setuid_study::loc::TABLE2));
+    }
+    if all || which == "table3" {
+        println!(
+            "{}",
+            render::render_table3(setuid_study::popularity::TABLE3)
+        );
+        println!(
+            "  Systems able to adopt Protego with no loss of functionality: {:.1}% (paper: 89.5%)\n",
+            setuid_study::popularity::adoption_coverage_pct()
+        );
+    }
+    if all || which == "table4" {
+        println!("{}", render::render_table4());
+    }
+    if all || which == "table8" {
+        println!(
+            "{}",
+            render::render_table8(setuid_study::interfaces::TABLE8)
+        );
+    }
+    if all || which == "ablations" {
+        print_ablations(quick);
+    }
+}
+
+fn bench_sizes(quick: bool) -> (u32, u32, u64, u64, u64) {
+    if quick {
+        (10, 200, 50, 20, 100)
+    } else {
+        (100, 5_000, 500, 200, 1_000)
+    }
+}
+
+fn print_table5(quick: bool) {
+    let (warm, iters, postal, compile, ab) = bench_sizes(quick);
+    println!("== Table 5: Protego overheads vs Linux(+AppArmor) ==");
+    println!("(simulated-kernel operation costs; the comparable quantity is %OH)\n");
+    let mut rows = table5::measure_micro(warm, iters);
+    rows.extend(table5::measure_macro(postal, compile, ab));
+    println!("{}", table5::render(&rows));
+    println!(
+        "  max measured overhead: {:.2}%  (paper: <= 7.4%)\n",
+        table5::max_overhead(&rows)
+    );
+}
+
+fn print_table6() {
+    println!("== Table 6: historical privilege-escalation CVEs ==");
+    let s = exploits::replay_corpus();
+    println!(
+        "  {:<24} {:>6} {:>10} {:>16} {:>16}",
+        "Utilities", "Total", "Priv.Esc.", "escalate(Linux)", "escalate(Protego)"
+    );
+    for row in exploits::TABLE6_ROWS {
+        let ids: Vec<&str> = exploits::CVES
+            .iter()
+            .filter(|c| c.utility == row.utilities)
+            .map(|c| c.id)
+            .collect();
+        let legacy = s
+            .per_cve
+            .iter()
+            .filter(|(id, l, _)| ids.contains(id) && *l)
+            .count();
+        let protego = s
+            .per_cve
+            .iter()
+            .filter(|(id, _, p)| ids.contains(id) && *p)
+            .count();
+        println!(
+            "  {:<24} {:>6} {:>10} {:>16} {:>16}",
+            row.utilities,
+            row.total_cves
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+            row.priv_esc,
+            legacy,
+            protego
+        );
+    }
+    println!(
+        "\n  corpus: {} CVEs; escalate on Linux: {}; escalate on Protego: {}  (paper: 40/40 deprivileged)\n",
+        s.per_cve.len(),
+        s.escalated_legacy,
+        s.escalated_protego
+    );
+}
+
+fn print_table7() {
+    println!("== Table 7: functional-test coverage of the setuid binaries ==");
+    let mut merged = userland::coverage::Coverage::new();
+    for mode in [SystemMode::Legacy, SystemMode::Protego] {
+        let mut sys = boot(mode);
+        run_functional_suite(&mut sys);
+        run_service_suite(&mut sys);
+        run_divergence_suite(&mut sys);
+        merged.merge_from(&sys.coverage);
+    }
+    println!("  {:<36} {:>10}", "Binary", "Coverage %");
+    for row in merged.report() {
+        if row.declared >= 4 {
+            println!("  {:<36} {:>10.1}", row.binary, row.percent);
+        }
+    }
+    println!();
+}
+
+fn print_table1(quick: bool) {
+    println!("== Table 1: summary ==");
+    let s = exploits::replay_corpus();
+    let (warm, iters, ..) = bench_sizes(quick);
+    let rows = table5::measure_micro(warm, iters);
+    let t = table1(MeasuredInputs {
+        exploits_escalated_legacy: s.escalated_legacy,
+        exploits_escalated_protego: s.escalated_protego,
+        exploits_total: s.per_cve.len() as u32,
+        max_overhead_pct: table5::max_overhead(&rows),
+    });
+    println!("{}", render::render_table1(&t));
+}
+
+fn print_ablations(quick: bool) {
+    use bench::ablations;
+    let n = if quick { 200 } else { 2_000 };
+    println!("== Ablations ==");
+
+    // 1. Netfilter rules on the packet path.
+    let mut f = bench::fixture(SystemMode::Protego);
+    let with_rules = ablations::udp_burst(&mut f, n);
+    ablations::flush_netfilter(&mut f);
+    let without = ablations::udp_burst(&mut f, n);
+    println!(
+        "  netfilter: {} rules -> {:.0} ns/pkt; flushed -> {:.0} ns/pkt  ({:+.2}%)",
+        5,
+        with_rules as f64 / n as f64,
+        without as f64 / n as f64,
+        bench::overhead_pct(without as f64, with_rules as f64)
+    );
+
+    // 2. Authentication recency window.
+    for spacing in [10u64, 100, 299, 301, 400] {
+        let prompts = ablations::prompts_for_window(spacing);
+        println!(
+            "  auth window 300s, sudo every {:>3}s: {} prompts in 6 invocations",
+            spacing, prompts
+        );
+    }
+
+    // 3. Mount whitelist scaling.
+    for rules in [10usize, 100, 1000] {
+        let t = ablations::mount_lookup_cost(rules, if quick { 20 } else { 200 });
+        println!(
+            "  mount whitelist {} rules: {:.0} ns/mount-umount",
+            rules,
+            t as f64 / if quick { 20.0 } else { 200.0 }
+        );
+    }
+    println!();
+}

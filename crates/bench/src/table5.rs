@@ -1,0 +1,198 @@
+//! The Table 5 generator: measures every micro and macro row on both
+//! systems and renders the paper-style table with % overhead.
+
+use crate::micro::all_micro_ops;
+use crate::workloads;
+use crate::{both, overhead_pct, quick_time_ns};
+
+/// One measured Table 5 row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row name.
+    pub name: String,
+    /// Measured mean on the legacy system (ns/op).
+    pub linux_ns: f64,
+    /// Measured mean on Protego (ns/op).
+    pub protego_ns: f64,
+    /// Measured overhead percent.
+    pub overhead_pct: f64,
+    /// The paper's overhead percent for the same row, when comparable.
+    pub paper_overhead_pct: Option<f64>,
+}
+
+/// Measures all micro rows with the given iteration budget.
+pub fn measure_micro(warmup: u32, iters: u32) -> Vec<Row> {
+    let (mut legacy, mut protego) = both();
+    let mut rows = Vec::new();
+    for op in all_micro_ops() {
+        // Interleave the two systems and keep the best of two rounds per
+        // system, suppressing cold-cache/allocator artifacts.
+        let pl = (op.prepare)(&mut legacy);
+        let pp = (op.prepare)(&mut protego);
+        let l1 = quick_time_ns(warmup, iters, || (op.run)(&mut legacy, &pl));
+        let p1 = quick_time_ns(warmup, iters, || (op.run)(&mut protego, &pp));
+        let l2 = quick_time_ns(warmup, iters, || (op.run)(&mut legacy, &pl));
+        let p2 = quick_time_ns(warmup, iters, || (op.run)(&mut protego, &pp));
+        let linux_ns = l1.min(l2);
+        let protego_ns = p1.min(p2);
+        let paper = match (op.paper_linux_us, op.paper_protego_us) {
+            (Some(a), Some(b)) => Some(overhead_pct(a, b)),
+            _ => None,
+        };
+        rows.push(Row {
+            name: op.name.to_string(),
+            linux_ns,
+            protego_ns,
+            overhead_pct: overhead_pct(linux_ns, protego_ns),
+            paper_overhead_pct: paper,
+        });
+    }
+    rows
+}
+
+/// Measures the macro rows (Postal, kernel compile, ApacheBench sweeps).
+pub fn measure_macro(postal_msgs: u64, compile_units: u64, ab_requests: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // Postal.
+    {
+        let (mut l, mut p) = both();
+        let (ml, fdl) = workloads::start_mta(&mut l);
+        let (mp, fdp) = workloads::start_mta(&mut p);
+        // Warmup batch, then best-of-two measured rounds per system.
+        let _ = workloads::postal(&mut l, ml, fdl, postal_msgs / 4);
+        let _ = workloads::postal(&mut p, mp, fdp, postal_msgs / 4);
+        let tl1 = workloads::postal(&mut l, ml, fdl, postal_msgs);
+        let tp1 = workloads::postal(&mut p, mp, fdp, postal_msgs);
+        let tl2 = workloads::postal(&mut l, ml, fdl, postal_msgs);
+        let tp2 = workloads::postal(&mut p, mp, fdp, postal_msgs);
+        let tl = if tl1.elapsed_ns < tl2.elapsed_ns {
+            tl1
+        } else {
+            tl2
+        };
+        let tp = if tp1.elapsed_ns < tp2.elapsed_ns {
+            tp1
+        } else {
+            tp2
+        };
+        rows.push(Row {
+            name: "Postal (msg)".into(),
+            linux_ns: tl.ns_per_op(),
+            protego_ns: tp.ns_per_op(),
+            overhead_pct: overhead_pct(tl.ns_per_op(), tp.ns_per_op()),
+            paper_overhead_pct: Some(-0.04), // 258.64 -> 258.75 msgs/min
+        });
+    }
+
+    // Kernel compile.
+    {
+        let (mut l, mut p) = both();
+        let _ = workloads::compile(&mut l, compile_units / 4);
+        let _ = workloads::compile(&mut p, compile_units / 4);
+        let tl1 = workloads::compile(&mut l, compile_units);
+        let tp1 = workloads::compile(&mut p, compile_units);
+        let tl2 = workloads::compile(&mut l, compile_units);
+        let tp2 = workloads::compile(&mut p, compile_units);
+        let tl = if tl1.elapsed_ns < tl2.elapsed_ns {
+            tl1
+        } else {
+            tl2
+        };
+        let tp = if tp1.elapsed_ns < tp2.elapsed_ns {
+            tp1
+        } else {
+            tp2
+        };
+        rows.push(Row {
+            name: "Kernel compile (unit)".into(),
+            linux_ns: tl.ns_per_op(),
+            protego_ns: tp.ns_per_op(),
+            overhead_pct: overhead_pct(tl.ns_per_op(), tp.ns_per_op()),
+            paper_overhead_pct: Some(1.44),
+        });
+    }
+
+    // ApacheBench at the paper's four concurrency levels.
+    for (conc, paper) in [(25u64, 3.57), (50, 3.85), (100, 4.00), (200, 2.65)] {
+        let (mut l, mut p) = both();
+        let (wl, fdl) = workloads::start_httpd(&mut l);
+        let (wp, fdp) = workloads::start_httpd(&mut p);
+        // Warmup batch, then best-of-two measured rounds per system.
+        let _ = workloads::apache_bench(&mut l, wl, fdl, ab_requests / 4, conc);
+        let _ = workloads::apache_bench(&mut p, wp, fdp, ab_requests / 4, conc);
+        let tl1 = workloads::apache_bench(&mut l, wl, fdl, ab_requests, conc);
+        let tp1 = workloads::apache_bench(&mut p, wp, fdp, ab_requests, conc);
+        let tl2 = workloads::apache_bench(&mut l, wl, fdl, ab_requests, conc);
+        let tp2 = workloads::apache_bench(&mut p, wp, fdp, ab_requests, conc);
+        let tl = if tl1.elapsed_ns < tl2.elapsed_ns {
+            tl1
+        } else {
+            tl2
+        };
+        let tp = if tp1.elapsed_ns < tp2.elapsed_ns {
+            tp1
+        } else {
+            tp2
+        };
+        rows.push(Row {
+            name: format!("ApacheBench c={}", conc),
+            linux_ns: tl.ns_per_op(),
+            protego_ns: tp.ns_per_op(),
+            overhead_pct: overhead_pct(tl.ns_per_op(), tp.ns_per_op()),
+            paper_overhead_pct: Some(paper),
+        });
+    }
+    rows
+}
+
+/// Renders rows in the paper's format.
+pub fn render(rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>8} {:>10}\n",
+        "Test", "Linux(ns)", "Protego(ns)", "%OH", "paper %OH"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<24} {:>12.0} {:>12.0} {:>8.2} {:>10}\n",
+            r.name,
+            r.linux_ns,
+            r.protego_ns,
+            r.overhead_pct,
+            r.paper_overhead_pct
+                .map(|p| format!("{:.2}", p))
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    s
+}
+
+/// The worst-case measured overhead across rows (Table 1's headline).
+pub fn max_overhead(rows: &[Row]) -> f64 {
+    rows.iter().map(|r| r.overhead_pct).fold(f64::MIN, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_micro_measurement_completes() {
+        let rows = measure_micro(2, 5);
+        assert!(rows.len() >= 20);
+        for r in &rows {
+            assert!(r.linux_ns > 0.0, "{}", r.name);
+            assert!(r.protego_ns > 0.0, "{}", r.name);
+        }
+        let text = render(&rows);
+        assert!(text.contains("mount/umnt"));
+    }
+
+    #[test]
+    fn quick_macro_measurement_completes() {
+        let rows = measure_macro(5, 3, 10);
+        assert_eq!(rows.len(), 6);
+        assert!(render(&rows).contains("ApacheBench c=200"));
+    }
+}

@@ -1,0 +1,274 @@
+//! `/etc/sudoers` parsing and translation into kernel delegation rules.
+//!
+//! Implements the practically-used subset of the sudoers grammar:
+//!
+//! ```text
+//! Defaults env_keep += "LANG PRINTER"
+//! alice   ALL=(ALL) ALL
+//! bob     ALL=(alice) /usr/bin/lpr
+//! carol   ALL=(root) NOPASSWD: /bin/ls, /usr/bin/stat
+//! %admin  ALL=(ALL) ALL
+//! ```
+//!
+//! Names are resolved to numeric ids through a caller-supplied resolver
+//! (the monitoring daemon reads the passwd/group databases); the kernel
+//! only ever sees numeric rules.
+
+use crate::policy::{AuthReq, CmdSpec, Principal, SudoRule, Target};
+
+/// Resolves user and group names to ids.
+pub trait NameResolver {
+    /// Uid for a user name.
+    fn uid(&self, name: &str) -> Option<u32>;
+    /// Gid for a group name.
+    fn gid(&self, name: &str) -> Option<u32>;
+}
+
+/// A resolver over in-memory tables (used by tests and the daemon).
+#[derive(Debug, Default, Clone)]
+pub struct MapResolver {
+    /// (name, uid) pairs.
+    pub users: Vec<(String, u32)>,
+    /// (name, gid) pairs.
+    pub groups: Vec<(String, u32)>,
+}
+
+impl NameResolver for MapResolver {
+    fn uid(&self, name: &str) -> Option<u32> {
+        self.users.iter().find(|(n, _)| n == name).map(|(_, u)| *u)
+    }
+    fn gid(&self, name: &str) -> Option<u32> {
+        self.groups.iter().find(|(n, _)| n == name).map(|(_, g)| *g)
+    }
+}
+
+/// A problem found while parsing sudoers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SudoersError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+/// Parses sudoers text into kernel rules. Returns the rules plus any
+/// per-line errors (sudo itself refuses to run on a broken sudoers; the
+/// monitoring daemon logs errors and keeps the previous kernel policy, so
+/// we report rather than fail wholesale).
+pub fn parse_sudoers(
+    text: &str,
+    resolver: &dyn NameResolver,
+) -> (Vec<SudoRule>, Vec<SudoersError>) {
+    let mut rules = Vec::new();
+    let mut errors = Vec::new();
+    let mut env_keep: Vec<String> = Vec::new();
+
+    // First pass: Defaults env_keep, which applies to every rule.
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if let Some(rest) = line.strip_prefix("Defaults") {
+            let rest = rest.trim();
+            if let Some(spec) = rest.strip_prefix("env_keep") {
+                let spec = spec.trim_start_matches(['+', '=', ' ']).trim();
+                let spec = spec.trim_matches('"');
+                env_keep.extend(spec.split_whitespace().map(String::from));
+            }
+        }
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("Defaults") || line.starts_with("@include") {
+            continue;
+        }
+        match parse_rule_line(line, resolver, &env_keep) {
+            Ok(rule) => rules.push(rule),
+            Err(message) => errors.push(SudoersError {
+                line: lineno,
+                message,
+            }),
+        }
+    }
+    (rules, errors)
+}
+
+fn parse_rule_line(
+    line: &str,
+    resolver: &dyn NameResolver,
+    env_keep: &[String],
+) -> Result<SudoRule, String> {
+    // <principal> <host>=(<runas>) [NOPASSWD:] <commands>
+    let (who, rest) = line
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| "missing host specification".to_string())?;
+    let rest = rest.trim();
+
+    let from = if let Some(group) = who.strip_prefix('%') {
+        Principal::Gid(
+            resolver
+                .gid(group)
+                .ok_or_else(|| format!("unknown group '{}'", group))?,
+        )
+    } else if who == "ALL" {
+        Principal::Any
+    } else {
+        Principal::Uid(
+            resolver
+                .uid(who)
+                .ok_or_else(|| format!("unknown user '{}'", who))?,
+        )
+    };
+
+    let (host, rest) = rest
+        .split_once('=')
+        .ok_or_else(|| "missing '=' after host".to_string())?;
+    if host.trim() != "ALL" {
+        return Err(format!("unsupported host spec '{}'", host.trim()));
+    }
+    let rest = rest.trim();
+
+    let (target, rest) = if let Some(r) = rest.strip_prefix('(') {
+        let (runas, tail) = r
+            .split_once(')')
+            .ok_or_else(|| "unterminated runas spec".to_string())?;
+        let runas = runas.trim();
+        let target = if runas == "ALL" {
+            Target::Any
+        } else {
+            Target::Uid(
+                resolver
+                    .uid(runas)
+                    .ok_or_else(|| format!("unknown runas user '{}'", runas))?,
+            )
+        };
+        (target, tail.trim())
+    } else {
+        (Target::Uid(0), rest) // implicit root
+    };
+
+    let (auth, cmds) = match rest.strip_prefix("NOPASSWD:") {
+        Some(tail) => (AuthReq::None, tail.trim()),
+        None => (AuthReq::Invoker, rest),
+    };
+
+    if cmds.is_empty() {
+        return Err("missing command list".to_string());
+    }
+    let cmd = if cmds == "ALL" {
+        CmdSpec::Any
+    } else {
+        let list: Vec<String> = cmds.split(',').map(|c| c.trim().to_string()).collect();
+        for c in &list {
+            if !c.starts_with('/') {
+                return Err(format!("command '{}' is not an absolute path", c));
+            }
+        }
+        CmdSpec::List(list)
+    };
+
+    Ok(SudoRule {
+        from,
+        target,
+        cmd,
+        auth,
+        keep_env: env_keep.to_vec(),
+    })
+}
+
+/// The sudoers content shipped in the simulated image: the admin group may
+/// do anything as anyone (Ubuntu's default), mirroring the real file.
+pub const DEFAULT_SUDOERS: &str = "\
+# /etc/sudoers
+Defaults env_keep += \"LANG\"
+root    ALL=(ALL) ALL
+%admin  ALL=(ALL) ALL
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolver() -> MapResolver {
+        MapResolver {
+            users: vec![
+                ("root".into(), 0),
+                ("alice".into(), 1000),
+                ("bob".into(), 1001),
+                ("carol".into(), 1002),
+            ],
+            groups: vec![("admin".into(), 27), ("users".into(), 100)],
+        }
+    }
+
+    #[test]
+    fn full_grammar() {
+        let text = r#"
+Defaults env_keep += "LANG PRINTER"
+alice   ALL=(ALL) ALL
+bob     ALL=(alice) /usr/bin/lpr
+carol   ALL=(root) NOPASSWD: /bin/ls, /usr/bin/stat
+%admin  ALL=(ALL) ALL
+"#;
+        let (rules, errors) = parse_sudoers(text, &resolver());
+        assert!(errors.is_empty(), "{:?}", errors);
+        assert_eq!(rules.len(), 4);
+
+        assert_eq!(rules[0].from, Principal::Uid(1000));
+        assert_eq!(rules[0].target, Target::Any);
+        assert_eq!(rules[0].cmd, CmdSpec::Any);
+        assert_eq!(rules[0].auth, AuthReq::Invoker);
+        assert_eq!(rules[0].keep_env, vec!["LANG", "PRINTER"]);
+
+        assert_eq!(rules[1].from, Principal::Uid(1001));
+        assert_eq!(rules[1].target, Target::Uid(1000));
+        assert_eq!(rules[1].cmd, CmdSpec::List(vec!["/usr/bin/lpr".into()]));
+
+        assert_eq!(rules[2].auth, AuthReq::None);
+        assert_eq!(
+            rules[2].cmd,
+            CmdSpec::List(vec!["/bin/ls".into(), "/usr/bin/stat".into()])
+        );
+
+        assert_eq!(rules[3].from, Principal::Gid(27));
+    }
+
+    #[test]
+    fn implicit_root_target() {
+        let (rules, errors) = parse_sudoers("alice ALL= /usr/bin/apt\n", &resolver());
+        assert!(errors.is_empty());
+        assert_eq!(rules[0].target, Target::Uid(0));
+    }
+
+    #[test]
+    fn unknown_names_reported_per_line() {
+        let text = "mallory ALL=(ALL) ALL\nalice ALL=(ALL) ALL\n";
+        let (rules, errors) = parse_sudoers(text, &resolver());
+        assert_eq!(rules.len(), 1);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 1);
+        assert!(errors[0].message.contains("mallory"));
+    }
+
+    #[test]
+    fn relative_command_rejected() {
+        let (rules, errors) = parse_sudoers("alice ALL=(ALL) apt-get\n", &resolver());
+        assert!(rules.is_empty());
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn default_sudoers_parses() {
+        let (rules, errors) = parse_sudoers(DEFAULT_SUDOERS, &resolver());
+        assert!(errors.is_empty());
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].keep_env, vec!["LANG"]);
+    }
+
+    #[test]
+    fn all_principal() {
+        let (rules, errors) = parse_sudoers("ALL ALL=(root) /bin/true\n", &resolver());
+        assert!(errors.is_empty());
+        assert_eq!(rules[0].from, Principal::Any);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the policy parsers: totality on arbitrary input
+//! (a hostile /proc write or config file must never panic the kernel
+//! side) and agreement between the legacy-file and kernel grammars.
+
+use proptest::prelude::*;
+use protego_core::fstab::{fstab_to_policy, parse_fstab};
+use protego_core::policy;
+use protego_core::sudoers::{parse_sudoers, MapResolver};
+
+fn resolver() -> MapResolver {
+    MapResolver {
+        users: vec![
+            ("root".into(), 0),
+            ("alice".into(), 1000),
+            ("bob".into(), 1001),
+        ],
+        groups: vec![("admin".into(), 27), ("staff".into(), 2000)],
+    }
+}
+
+proptest! {
+    #[test]
+    fn kernel_grammar_parsers_are_total(input in "\\PC{0,200}") {
+        let _ = policy::parse_mounts(&input);
+        let _ = policy::parse_binds(&input);
+        let _ = policy::parse_sudo(&input);
+        let _ = policy::parse_groups(&input);
+        let _ = policy::parse_keyfiles(&input);
+        let _ = policy::parse_ppp(&input);
+        let _ = policy::parse_creddb(&input);
+    }
+
+    #[test]
+    fn legacy_parsers_are_total(input in "\\PC{0,300}") {
+        let _ = parse_fstab(&input);
+        let _ = parse_sudoers(&input, &resolver());
+    }
+
+    /// Multiline hostile input (embedded newlines, comments, partial
+    /// records) never panics and never fabricates rules from comments.
+    #[test]
+    fn comments_never_become_rules(body in "[a-z0-9 /._-]{0,60}") {
+        let text = format!("# {}\n  # {}\n", body, body);
+        prop_assert!(policy::parse_mounts(&text).unwrap().is_empty());
+        prop_assert!(policy::parse_sudo(&text).unwrap().is_empty());
+        let (entries, bad) = parse_fstab(&text);
+        prop_assert!(entries.is_empty());
+        prop_assert!(bad.is_empty());
+    }
+
+    /// The fstab -> kernel-grammar pipeline round-trips for well-formed
+    /// user entries: what the daemon pushes is exactly what the file
+    /// said.
+    #[test]
+    fn fstab_pipeline_roundtrip(
+        dev in "[a-z][a-z0-9]{0,8}",
+        mp in "[a-z][a-z0-9]{0,8}",
+        fstype in "(iso9660|vfat|ext4|auto)",
+        users in any::<bool>(),
+        ro in any::<bool>(),
+    ) {
+        let opts = format!(
+            "{}{},noauto",
+            if ro { "ro," } else { "" },
+            if users { "users" } else { "user" }
+        );
+        let line = format!("/dev/{} /mnt/{} {} {} 0 0\n", dev, mp, fstype, opts);
+        let (entries, bad) = parse_fstab(&line);
+        prop_assert!(bad.is_empty());
+        let rules = fstab_to_policy(&entries);
+        prop_assert_eq!(rules.len(), 1);
+        // Push through the kernel grammar and back.
+        let text = policy::render_mounts(&rules);
+        let back = policy::parse_mounts(&text).unwrap();
+        prop_assert_eq!(&back, &rules);
+        prop_assert_eq!(&back[0].source, &format!("/dev/{}", dev));
+        prop_assert_eq!(back[0].read_only, ro);
+        prop_assert_eq!(
+            back[0].scope,
+            if users { policy::MountScope::Users } else { policy::MountScope::User }
+        );
+        prop_assert_eq!(back[0].fstype.is_none(), fstype == "auto");
+    }
+
+    /// Sudoers name resolution: rules referencing unknown principals are
+    /// rejected per-line, never silently granted.
+    #[test]
+    fn unknown_principals_never_grant(name in "[a-z]{1,10}") {
+        let known = ["root", "alice", "bob"].contains(&name.as_str());
+        let text = format!("{} ALL=(ALL) ALL\n", name);
+        let (rules, errors) = parse_sudoers(&text, &resolver());
+        if known {
+            prop_assert_eq!(rules.len(), 1);
+            prop_assert!(errors.is_empty());
+        } else if name == "ALL" {
+            prop_assert_eq!(rules.len(), 1);
+        } else {
+            prop_assert!(rules.is_empty());
+            prop_assert_eq!(errors.len(), 1);
+        }
+    }
+}

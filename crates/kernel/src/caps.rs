@@ -1,0 +1,370 @@
+//! Linux file-system capabilities.
+//!
+//! Linux divides root privilege into roughly 36 capabilities (the paper's
+//! §3.2). The simulated kernel reproduces the full set so that the study's
+//! observations — e.g. that over 38% of checks use `CAP_SYS_ADMIN`, or that
+//! changing a password transitively requires six capabilities — can be
+//! exercised and measured rather than merely asserted.
+
+use core::fmt;
+
+/// A Linux capability, as defined in `include/uapi/linux/capability.h`
+/// (Linux 3.6 era, the paper's baseline kernel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Cap {
+    /// Override chown restrictions.
+    Chown = 0,
+    /// Bypass discretionary access control for read/write/execute.
+    DacOverride = 1,
+    /// Bypass DAC for read and directory search only.
+    DacReadSearch = 2,
+    /// Bypass file-owner checks (chmod, utime, ...).
+    Fowner = 3,
+    /// Bypass effective-uid checks on signals and setuid bits.
+    Fsetid = 4,
+    /// Bypass permission checks for sending signals.
+    Kill = 5,
+    /// Manipulate process GIDs.
+    Setgid = 6,
+    /// Manipulate process UIDs.
+    Setuid = 7,
+    /// Transfer/remove capabilities from other processes.
+    Setpcap = 8,
+    /// Modify immutable and append-only file attributes.
+    LinuxImmutable = 9,
+    /// Bind to ports below 1024.
+    NetBindService = 10,
+    /// Broadcast and listen to multicast.
+    NetBroadcast = 11,
+    /// Network administration (routing tables, interfaces, ...).
+    NetAdmin = 12,
+    /// Use raw and packet sockets.
+    NetRaw = 13,
+    /// Lock memory.
+    IpcLock = 14,
+    /// Bypass System V IPC ownership checks.
+    IpcOwner = 15,
+    /// Load and unload kernel modules.
+    SysModule = 16,
+    /// Use ioperm/iopl and raw I/O.
+    SysRawio = 17,
+    /// Use chroot.
+    SysChroot = 18,
+    /// Trace arbitrary processes.
+    SysPtrace = 19,
+    /// Configure process accounting.
+    SysPacct = 20,
+    /// Catch-all system administration capability ("the new root").
+    SysAdmin = 21,
+    /// Reboot the system.
+    SysBoot = 22,
+    /// Raise process priority.
+    SysNice = 23,
+    /// Override resource limits.
+    SysResource = 24,
+    /// Set the system clock.
+    SysTime = 25,
+    /// Configure tty devices.
+    SysTtyConfig = 26,
+    /// Create device special files.
+    Mknod = 27,
+    /// Establish leases on files.
+    Lease = 28,
+    /// Write to the audit log.
+    AuditWrite = 29,
+    /// Configure the audit subsystem.
+    AuditControl = 30,
+    /// Set file capabilities.
+    Setfcap = 31,
+    /// Override MAC policy (Smack).
+    MacOverride = 32,
+    /// Administer MAC policy (Smack).
+    MacAdmin = 33,
+    /// Configure syslog.
+    Syslog = 34,
+    /// Trigger wake alarms.
+    WakeAlarm = 35,
+}
+
+impl Cap {
+    /// All capabilities, in numeric order.
+    pub const ALL: [Cap; 36] = [
+        Cap::Chown,
+        Cap::DacOverride,
+        Cap::DacReadSearch,
+        Cap::Fowner,
+        Cap::Fsetid,
+        Cap::Kill,
+        Cap::Setgid,
+        Cap::Setuid,
+        Cap::Setpcap,
+        Cap::LinuxImmutable,
+        Cap::NetBindService,
+        Cap::NetBroadcast,
+        Cap::NetAdmin,
+        Cap::NetRaw,
+        Cap::IpcLock,
+        Cap::IpcOwner,
+        Cap::SysModule,
+        Cap::SysRawio,
+        Cap::SysChroot,
+        Cap::SysPtrace,
+        Cap::SysPacct,
+        Cap::SysAdmin,
+        Cap::SysBoot,
+        Cap::SysNice,
+        Cap::SysResource,
+        Cap::SysTime,
+        Cap::SysTtyConfig,
+        Cap::Mknod,
+        Cap::Lease,
+        Cap::AuditWrite,
+        Cap::AuditControl,
+        Cap::Setfcap,
+        Cap::MacOverride,
+        Cap::MacAdmin,
+        Cap::Syslog,
+        Cap::WakeAlarm,
+    ];
+
+    /// The capability's bit index (its kernel numeric value).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// The conventional `CAP_*` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cap::Chown => "CAP_CHOWN",
+            Cap::DacOverride => "CAP_DAC_OVERRIDE",
+            Cap::DacReadSearch => "CAP_DAC_READ_SEARCH",
+            Cap::Fowner => "CAP_FOWNER",
+            Cap::Fsetid => "CAP_FSETID",
+            Cap::Kill => "CAP_KILL",
+            Cap::Setgid => "CAP_SETGID",
+            Cap::Setuid => "CAP_SETUID",
+            Cap::Setpcap => "CAP_SETPCAP",
+            Cap::LinuxImmutable => "CAP_LINUX_IMMUTABLE",
+            Cap::NetBindService => "CAP_NET_BIND_SERVICE",
+            Cap::NetBroadcast => "CAP_NET_BROADCAST",
+            Cap::NetAdmin => "CAP_NET_ADMIN",
+            Cap::NetRaw => "CAP_NET_RAW",
+            Cap::IpcLock => "CAP_IPC_LOCK",
+            Cap::IpcOwner => "CAP_IPC_OWNER",
+            Cap::SysModule => "CAP_SYS_MODULE",
+            Cap::SysRawio => "CAP_SYS_RAWIO",
+            Cap::SysChroot => "CAP_SYS_CHROOT",
+            Cap::SysPtrace => "CAP_SYS_PTRACE",
+            Cap::SysPacct => "CAP_SYS_PACCT",
+            Cap::SysAdmin => "CAP_SYS_ADMIN",
+            Cap::SysBoot => "CAP_SYS_BOOT",
+            Cap::SysNice => "CAP_SYS_NICE",
+            Cap::SysResource => "CAP_SYS_RESOURCE",
+            Cap::SysTime => "CAP_SYS_TIME",
+            Cap::SysTtyConfig => "CAP_SYS_TTY_CONFIG",
+            Cap::Mknod => "CAP_MKNOD",
+            Cap::Lease => "CAP_LEASE",
+            Cap::AuditWrite => "CAP_AUDIT_WRITE",
+            Cap::AuditControl => "CAP_AUDIT_CONTROL",
+            Cap::Setfcap => "CAP_SETFCAP",
+            Cap::MacOverride => "CAP_MAC_OVERRIDE",
+            Cap::MacAdmin => "CAP_MAC_ADMIN",
+            Cap::Syslog => "CAP_SYSLOG",
+            Cap::WakeAlarm => "CAP_WAKE_ALARM",
+        }
+    }
+}
+
+impl fmt::Display for Cap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of capabilities, stored as a 64-bit bitmask.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CapSet(u64);
+
+impl CapSet {
+    /// The empty capability set.
+    pub const EMPTY: CapSet = CapSet(0);
+
+    /// The full capability set (what root holds by default on Linux).
+    pub fn full() -> CapSet {
+        let mut s = CapSet::EMPTY;
+        for c in Cap::ALL {
+            s.add(c);
+        }
+        s
+    }
+
+    /// Builds a set from a slice of capabilities.
+    pub fn from_caps(caps: &[Cap]) -> CapSet {
+        let mut s = CapSet::EMPTY;
+        for &c in caps {
+            s.add(c);
+        }
+        s
+    }
+
+    /// Returns whether the set contains `cap`.
+    pub fn has(self, cap: Cap) -> bool {
+        self.0 & (1u64 << cap.index()) != 0
+    }
+
+    /// Adds `cap` to the set.
+    pub fn add(&mut self, cap: Cap) {
+        self.0 |= 1u64 << cap.index();
+    }
+
+    /// Removes `cap` from the set.
+    pub fn remove(&mut self, cap: Cap) {
+        self.0 &= !(1u64 << cap.index());
+    }
+
+    /// Returns whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of capabilities in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: CapSet) -> CapSet {
+        CapSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: CapSet) -> CapSet {
+        CapSet(self.0 | other.0)
+    }
+
+    /// Returns whether `self` is a subset of `other`.
+    pub fn is_subset_of(self, other: CapSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the capabilities contained in the set.
+    pub fn iter(self) -> impl Iterator<Item = Cap> {
+        Cap::ALL.into_iter().filter(move |c| self.has(*c))
+    }
+}
+
+impl fmt::Debug for CapSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for CapSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            f.write_str(c.name())?;
+            first = false;
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cap> for CapSet {
+    fn from_iter<T: IntoIterator<Item = Cap>>(iter: T) -> Self {
+        let mut s = CapSet::EMPTY;
+        for c in iter {
+            s.add(c);
+        }
+        s
+    }
+}
+
+/// The capability set the paper reports as required to change a password on
+/// stock Linux (§3.2) — six capabilities, illustrating how coarse the model
+/// is relative to the actual task.
+pub fn password_change_caps() -> CapSet {
+    CapSet::from_caps(&[
+        Cap::SysAdmin,
+        Cap::Chown,
+        Cap::DacOverride,
+        Cap::Setuid,
+        Cap::DacReadSearch,
+        Cap::Fowner,
+    ])
+}
+
+/// The capability set the X server requires to set the video mode on stock
+/// Linux (§3.2) — four capabilities.
+pub fn video_mode_caps() -> CapSet {
+    CapSet::from_caps(&[Cap::Chown, Cap::DacOverride, Cap::SysRawio, Cap::SysAdmin])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_36_capabilities() {
+        assert_eq!(Cap::ALL.len(), 36);
+        assert_eq!(CapSet::full().len(), 36);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, c) in Cap::ALL.iter().enumerate() {
+            assert_eq!(c.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut s = CapSet::EMPTY;
+        assert!(!s.has(Cap::SysAdmin));
+        s.add(Cap::SysAdmin);
+        assert!(s.has(Cap::SysAdmin));
+        s.remove(Cap::SysAdmin);
+        assert!(!s.has(Cap::SysAdmin));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let small = CapSet::from_caps(&[Cap::NetRaw]);
+        let big = CapSet::from_caps(&[Cap::NetRaw, Cap::NetAdmin]);
+        assert!(small.is_subset_of(big));
+        assert!(!big.is_subset_of(small));
+        assert!(small.is_subset_of(CapSet::full()));
+    }
+
+    #[test]
+    fn paper_capability_counts() {
+        assert_eq!(password_change_caps().len(), 6);
+        assert_eq!(video_mode_caps().len(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Cap::SysAdmin.name(), "CAP_SYS_ADMIN");
+        assert_eq!(Cap::NetBindService.to_string(), "CAP_NET_BIND_SERVICE");
+        assert_eq!(CapSet::EMPTY.to_string(), "(none)");
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = CapSet::from_caps(&[Cap::Chown, Cap::Kill]);
+        let b = CapSet::from_caps(&[Cap::Kill, Cap::Setuid]);
+        let u = a.union(b);
+        let i = a.intersect(b);
+        assert_eq!(u.len(), 3);
+        assert_eq!(i.len(), 1);
+        assert!(i.has(Cap::Kill));
+    }
+}

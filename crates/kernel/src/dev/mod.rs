@@ -1,0 +1,279 @@
+//! Simulated devices.
+//!
+//! The device set is driven by the paper's study (Table 4): block devices a
+//! user may want to mount (CD-ROM, USB flash), dm-crypt encrypted devices
+//! whose metadata ioctl discloses both topology and keys, PPP modems,
+//! terminals, and the video card whose mode-setting moved into the kernel
+//! (KMS).
+
+use crate::cred::Uid;
+use crate::error::{Errno, KResult};
+
+/// A device identity: index into the kernel's device registry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DevId(pub usize);
+
+/// State of a simulated modem line (for pppd).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModemState {
+    /// Whether some task currently holds the line.
+    pub in_use_by: Option<u32>,
+    /// Configured baud rate.
+    pub baud: u32,
+    /// Whether VJ header compression is enabled (a "safe" option).
+    pub compression: bool,
+    /// Whether hardware flow control is enabled (a "safe" option).
+    pub flow_control: bool,
+}
+
+/// dm-crypt device metadata.
+///
+/// The paper (§4, Table 4) observes that a *single* ioctl discloses both
+/// the public portion (which physical devices back the mapping) and the
+/// encryption key — forcing `dmcrypt-get-device` to be setuid. Protego
+/// abandons the ioctl for a `/sys` file that discloses only the topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DmCryptState {
+    /// Name of the mapping, e.g. `cryptroot`.
+    pub name: String,
+    /// Underlying physical device path, the public portion.
+    pub physical_device: String,
+    /// The symmetric key material — must never reach unprivileged callers.
+    pub key_material: Vec<u8>,
+    /// Cipher specification string.
+    pub cipher: String,
+}
+
+/// Video adapter state managed by Kernel Mode Setting (§4.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KmsState {
+    /// Current mode as (width, height, refresh).
+    pub mode: (u32, u32, u32),
+    /// Which virtual console owns the display.
+    pub active_vt: u32,
+    /// Saved per-VT state, proving the kernel (not X) context switches.
+    pub saved_states: Vec<(u32, (u32, u32, u32))>,
+    /// Whether the kernel driver supports KMS (pre-KMS cards need root X).
+    pub kms_capable: bool,
+}
+
+impl Default for KmsState {
+    fn default() -> Self {
+        KmsState {
+            mode: (1024, 768, 60),
+            active_vt: 1,
+            saved_states: Vec::new(),
+            kms_capable: true,
+        }
+    }
+}
+
+/// A block device that can back a mount.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockState {
+    /// Filesystem type the media carries, e.g. `iso9660`.
+    pub fstype: String,
+    /// Whether media is present (a CD tray may be empty).
+    pub media_present: bool,
+    /// Whether the device tray is locked/ejected.
+    pub ejected: bool,
+}
+
+/// The kind-specific state of a device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// `/dev/null`.
+    Null,
+    /// A terminal (`/dev/tty*`, `/dev/pts/*`).
+    Tty {
+        /// Pseudo-terminal number.
+        index: u32,
+    },
+    /// A mountable block device (CD-ROM, USB stick, disk partition).
+    Block(BlockState),
+    /// A dm-crypt mapping (`/dev/mapper/...`, `/dev/dm-*`).
+    DmCrypt(DmCryptState),
+    /// A PPP-capable modem line (`/dev/ttyS*`, `/dev/ppp`).
+    Modem(ModemState),
+    /// The video adapter (`/dev/dri/card0`, `/dev/fb0`).
+    Video(KmsState),
+}
+
+/// A registered device.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Registry index.
+    pub id: DevId,
+    /// Canonical path under `/dev`.
+    pub path: String,
+    /// Kind-specific state.
+    pub kind: DeviceKind,
+}
+
+/// The kernel's device registry.
+#[derive(Default, Debug)]
+pub struct DeviceRegistry {
+    devices: Vec<Device>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Registers a device and returns its id.
+    pub fn register(&mut self, path: &str, kind: DeviceKind) -> DevId {
+        let id = DevId(self.devices.len());
+        self.devices.push(Device {
+            id,
+            path: path.to_string(),
+            kind,
+        });
+        id
+    }
+
+    /// Looks up a device by id.
+    pub fn get(&self, id: DevId) -> KResult<&Device> {
+        self.devices.get(id.0).ok_or(Errno::ENODEV)
+    }
+
+    /// Mutable lookup by id.
+    pub fn get_mut(&mut self, id: DevId) -> KResult<&mut Device> {
+        self.devices.get_mut(id.0).ok_or(Errno::ENODEV)
+    }
+
+    /// Finds a device by its `/dev` path.
+    pub fn find_by_path(&self, path: &str) -> Option<&Device> {
+        self.devices.iter().find(|d| d.path == path)
+    }
+
+    /// Finds a device id by its `/dev` path.
+    pub fn id_by_path(&self, path: &str) -> Option<DevId> {
+        self.devices.iter().find(|d| d.path == path).map(|d| d.id)
+    }
+
+    /// Iterates over all devices.
+    pub fn iter(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter()
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+/// Result of a dm-crypt `DM_TABLE_STATUS`-style ioctl: everything, including
+/// key material. Stock Linux requires `CAP_SYS_ADMIN` precisely because this
+/// struct is all-or-nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DmFullStatus {
+    /// Mapping name.
+    pub name: String,
+    /// Physical backing device.
+    pub physical_device: String,
+    /// Cipher spec.
+    pub cipher: String,
+    /// Key material (hex-encoded in the real ABI).
+    pub key_material: Vec<u8>,
+}
+
+/// A PPP modem configuration request (the argument of the pppd ioctls).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModemOpt {
+    /// Set the line's baud rate. Safe for the line's user.
+    Baud(u32),
+    /// Toggle VJ compression. Safe.
+    Compression(bool),
+    /// Toggle hardware flow control. Safe.
+    FlowControl(bool),
+    /// Re-initialize the UART at the hardware level. Unsafe: affects other
+    /// users of the line; stock Linux gates it on CAP_SYS_ADMIN.
+    HardwareReset,
+}
+
+impl ModemOpt {
+    /// Whether the paper's policy study classifies this option as safe for
+    /// the unprivileged owner of an unused line (§4.1.2).
+    pub fn is_safe(self) -> bool {
+        !matches!(self, ModemOpt::HardwareReset)
+    }
+}
+
+/// Claims the modem line for `pid`, failing with `EBUSY` if another process
+/// holds it.
+pub fn claim_modem(state: &mut ModemState, pid: u32) -> KResult<()> {
+    match state.in_use_by {
+        Some(owner) if owner != pid => Err(Errno::EBUSY),
+        _ => {
+            state.in_use_by = Some(pid);
+            Ok(())
+        }
+    }
+}
+
+/// Releases the modem line if held by `pid`.
+pub fn release_modem(state: &mut ModemState, pid: u32) {
+    if state.in_use_by == Some(pid) {
+        state.in_use_by = None;
+    }
+}
+
+/// Sets the uid owning a `/dev` node — used at session setup (e.g. the
+/// console) rather than by the obsolete `pt_chown` helper, which the paper
+/// notes has been unnecessary since Linux 2.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DevOwnership {
+    /// Owning user for the node.
+    pub uid: Uid,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = DeviceRegistry::new();
+        let id = reg.register(
+            "/dev/cdrom",
+            DeviceKind::Block(BlockState {
+                fstype: "iso9660".into(),
+                media_present: true,
+                ejected: false,
+            }),
+        );
+        assert_eq!(reg.get(id).unwrap().path, "/dev/cdrom");
+        assert!(reg.find_by_path("/dev/cdrom").is_some());
+        assert!(reg.find_by_path("/dev/nope").is_none());
+    }
+
+    #[test]
+    fn missing_device_is_enodev() {
+        let reg = DeviceRegistry::new();
+        assert_eq!(reg.get(DevId(3)).unwrap_err(), Errno::ENODEV);
+    }
+
+    #[test]
+    fn modem_claim_is_exclusive() {
+        let mut m = ModemState::default();
+        claim_modem(&mut m, 10).unwrap();
+        assert_eq!(claim_modem(&mut m, 11).unwrap_err(), Errno::EBUSY);
+        claim_modem(&mut m, 10).unwrap(); // re-entrant for the owner
+        release_modem(&mut m, 10);
+        claim_modem(&mut m, 11).unwrap();
+    }
+
+    #[test]
+    fn modem_opt_safety_classification() {
+        assert!(ModemOpt::Baud(57600).is_safe());
+        assert!(ModemOpt::Compression(true).is_safe());
+        assert!(!ModemOpt::HardwareReset.is_safe());
+    }
+}

@@ -1,0 +1,267 @@
+//! Linux-style error numbers for the simulated syscall layer.
+//!
+//! Every simulated system call returns [`KResult`], mirroring the kernel
+//! convention of returning `-errno`. The distinction between variants such
+//! as [`Errno::EPERM`] (an operation requires privilege the caller lacks)
+//! and [`Errno::EACCES`] (discretionary access control denied the request)
+//! is preserved deliberately: several Protego behaviours are defined by
+//! *which* errno an unprivileged caller observes.
+
+use core::fmt;
+
+/// Result type of every simulated system call.
+pub type KResult<T> = Result<T, Errno>;
+
+/// A subset of Linux `errno` values used by the simulated kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Errno {
+    /// Operation not permitted (privilege check failed).
+    EPERM,
+    /// No such file or directory.
+    ENOENT,
+    /// No such process.
+    ESRCH,
+    /// Interrupted system call.
+    EINTR,
+    /// I/O error.
+    EIO,
+    /// No such device or address.
+    ENXIO,
+    /// Bad file descriptor.
+    EBADF,
+    /// Try again (resource temporarily unavailable).
+    EAGAIN,
+    /// Permission denied (DAC/MAC check failed).
+    EACCES,
+    /// Bad address.
+    EFAULT,
+    /// Device or resource busy.
+    EBUSY,
+    /// File exists.
+    EEXIST,
+    /// No such device.
+    ENODEV,
+    /// Not a directory.
+    ENOTDIR,
+    /// Is a directory.
+    EISDIR,
+    /// Invalid argument.
+    EINVAL,
+    /// Too many open files.
+    EMFILE,
+    /// Inappropriate ioctl for device.
+    ENOTTY,
+    /// File too large.
+    EFBIG,
+    /// No space left on device.
+    ENOSPC,
+    /// Read-only file system.
+    EROFS,
+    /// Too many links.
+    EMLINK,
+    /// Broken pipe.
+    EPIPE,
+    /// Directory not empty.
+    ENOTEMPTY,
+    /// Too many levels of symbolic links.
+    ELOOP,
+    /// File name too long.
+    ENAMETOOLONG,
+    /// Function not implemented.
+    ENOSYS,
+    /// Address already in use.
+    EADDRINUSE,
+    /// Cannot assign requested address.
+    EADDRNOTAVAIL,
+    /// Network is unreachable.
+    ENETUNREACH,
+    /// Connection refused.
+    ECONNREFUSED,
+    /// Connection reset by peer.
+    ECONNRESET,
+    /// Socket is not connected.
+    ENOTCONN,
+    /// Operation not supported.
+    EOPNOTSUPP,
+    /// Not a mount point or mount operation invalid.
+    ENOTBLK,
+    /// Authentication failure (simulated PAM); maps onto EACCES at the ABI
+    /// boundary but kept distinct for test precision.
+    EAUTH,
+}
+
+impl Errno {
+    /// Returns the conventional negative integer value returned by the
+    /// Linux syscall ABI for this error.
+    pub fn as_neg_i32(self) -> i32 {
+        -(self.as_errno_i32())
+    }
+
+    /// Returns the positive `errno` integer as defined by Linux on x86-64.
+    pub fn as_errno_i32(self) -> i32 {
+        match self {
+            Errno::EPERM => 1,
+            Errno::ENOENT => 2,
+            Errno::ESRCH => 3,
+            Errno::EINTR => 4,
+            Errno::EIO => 5,
+            Errno::ENXIO => 6,
+            Errno::EBADF => 9,
+            Errno::EAGAIN => 11,
+            Errno::EACCES => 13,
+            Errno::EFAULT => 14,
+            Errno::ENOTBLK => 15,
+            Errno::EBUSY => 16,
+            Errno::EEXIST => 17,
+            Errno::ENODEV => 19,
+            Errno::ENOTDIR => 20,
+            Errno::EISDIR => 21,
+            Errno::EINVAL => 22,
+            Errno::EMFILE => 24,
+            Errno::ENOTTY => 25,
+            Errno::EFBIG => 27,
+            Errno::ENOSPC => 28,
+            Errno::EROFS => 30,
+            Errno::EMLINK => 31,
+            Errno::EPIPE => 32,
+            Errno::ENOTEMPTY => 39,
+            Errno::ELOOP => 40,
+            Errno::ENAMETOOLONG => 36,
+            Errno::ENOSYS => 38,
+            Errno::EADDRINUSE => 98,
+            Errno::EADDRNOTAVAIL => 99,
+            Errno::ENETUNREACH => 101,
+            Errno::ECONNREFUSED => 111,
+            Errno::ECONNRESET => 104,
+            Errno::ENOTCONN => 107,
+            Errno::EOPNOTSUPP => 95,
+            Errno::EAUTH => 13,
+        }
+    }
+
+    /// Short symbolic name, e.g. `"EPERM"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::ESRCH => "ESRCH",
+            Errno::EINTR => "EINTR",
+            Errno::EIO => "EIO",
+            Errno::ENXIO => "ENXIO",
+            Errno::EBADF => "EBADF",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::EACCES => "EACCES",
+            Errno::EFAULT => "EFAULT",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::ENODEV => "ENODEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::EMFILE => "EMFILE",
+            Errno::ENOTTY => "ENOTTY",
+            Errno::EFBIG => "EFBIG",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::EROFS => "EROFS",
+            Errno::EMLINK => "EMLINK",
+            Errno::EPIPE => "EPIPE",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOSYS => "ENOSYS",
+            Errno::EADDRINUSE => "EADDRINUSE",
+            Errno::EADDRNOTAVAIL => "EADDRNOTAVAIL",
+            Errno::ENETUNREACH => "ENETUNREACH",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+            Errno::ECONNRESET => "ECONNRESET",
+            Errno::ENOTCONN => "ENOTCONN",
+            Errno::EOPNOTSUPP => "EOPNOTSUPP",
+            Errno::ENOTBLK => "ENOTBLK",
+            Errno::EAUTH => "EAUTH",
+        }
+    }
+
+    /// Human-readable message corresponding to `strerror(3)`.
+    pub fn message(self) -> &'static str {
+        match self {
+            Errno::EPERM => "Operation not permitted",
+            Errno::ENOENT => "No such file or directory",
+            Errno::ESRCH => "No such process",
+            Errno::EINTR => "Interrupted system call",
+            Errno::EIO => "Input/output error",
+            Errno::ENXIO => "No such device or address",
+            Errno::EBADF => "Bad file descriptor",
+            Errno::EAGAIN => "Resource temporarily unavailable",
+            Errno::EACCES => "Permission denied",
+            Errno::EFAULT => "Bad address",
+            Errno::EBUSY => "Device or resource busy",
+            Errno::EEXIST => "File exists",
+            Errno::ENODEV => "No such device",
+            Errno::ENOTDIR => "Not a directory",
+            Errno::EISDIR => "Is a directory",
+            Errno::EINVAL => "Invalid argument",
+            Errno::EMFILE => "Too many open files",
+            Errno::ENOTTY => "Inappropriate ioctl for device",
+            Errno::EFBIG => "File too large",
+            Errno::ENOSPC => "No space left on device",
+            Errno::EROFS => "Read-only file system",
+            Errno::EMLINK => "Too many links",
+            Errno::EPIPE => "Broken pipe",
+            Errno::ENOTEMPTY => "Directory not empty",
+            Errno::ELOOP => "Too many levels of symbolic links",
+            Errno::ENAMETOOLONG => "File name too long",
+            Errno::ENOSYS => "Function not implemented",
+            Errno::EADDRINUSE => "Address already in use",
+            Errno::EADDRNOTAVAIL => "Cannot assign requested address",
+            Errno::ENETUNREACH => "Network is unreachable",
+            Errno::ECONNREFUSED => "Connection refused",
+            Errno::ECONNRESET => "Connection reset by peer",
+            Errno::ENOTCONN => "Transport endpoint is not connected",
+            Errno::EOPNOTSUPP => "Operation not supported",
+            Errno::ENOTBLK => "Block device required",
+            Errno::EAUTH => "Authentication failure",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.message())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_values_match_linux_abi() {
+        assert_eq!(Errno::EPERM.as_errno_i32(), 1);
+        assert_eq!(Errno::ENOENT.as_errno_i32(), 2);
+        assert_eq!(Errno::EACCES.as_errno_i32(), 13);
+        assert_eq!(Errno::EINVAL.as_errno_i32(), 22);
+        assert_eq!(Errno::EADDRINUSE.as_errno_i32(), 98);
+    }
+
+    #[test]
+    fn negative_convention() {
+        assert_eq!(Errno::EPERM.as_neg_i32(), -1);
+        assert_eq!(Errno::EBUSY.as_neg_i32(), -16);
+    }
+
+    #[test]
+    fn eauth_aliases_eacces_at_abi() {
+        assert_eq!(Errno::EAUTH.as_errno_i32(), Errno::EACCES.as_errno_i32());
+        assert_ne!(Errno::EAUTH, Errno::EACCES);
+    }
+
+    #[test]
+    fn display_includes_name_and_message() {
+        let s = Errno::EPERM.to_string();
+        assert!(s.contains("EPERM"));
+        assert!(s.contains("Operation not permitted"));
+    }
+}

@@ -1,0 +1,543 @@
+//! The kernel: global state, LSM and authentication plumbing, logical
+//! clock, and audit tracing. The system-call surface is implemented in the
+//! [`crate::syscall`] modules as further `impl Kernel` blocks.
+
+use crate::caps::Cap;
+use crate::cred::{Credentials, Uid};
+use crate::dev::{
+    BlockState, DevId, DeviceKind, DeviceRegistry, DmCryptState, KmsState, ModemState,
+};
+use crate::error::{Errno, KResult};
+use crate::lsm::{AuthProvider, AuthScope, Decision, SecurityModule};
+use crate::net::{NetStack, Netfilter, RouteTable, SimNet};
+use crate::task::{Pid, Task};
+use crate::vfs::{Ino, InodeData, Mode, ProcHook, Vfs};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A pipe buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Pipe {
+    /// Buffered bytes.
+    pub buf: VecDeque<u8>,
+    /// Live read ends.
+    pub readers: u32,
+    /// Live write ends.
+    pub writers: u32,
+}
+
+/// The authentication recency window, in logical seconds (sudo's classic
+/// 5 minutes, enforced by the Protego kernel per §4.3).
+pub const AUTH_WINDOW_SECS: u64 = 300;
+
+/// The simulated kernel.
+pub struct Kernel {
+    /// The virtual filesystem.
+    pub vfs: Vfs,
+    /// Socket arena and port table.
+    pub net: NetStack,
+    /// OUTPUT-chain packet filter.
+    pub netfilter: Netfilter,
+    /// Routing table.
+    pub routes: RouteTable,
+    /// The world beyond this machine.
+    pub simnet: SimNet,
+    /// Device registry.
+    pub devices: DeviceRegistry,
+    /// Pipe arena.
+    pub pipes: Vec<Pipe>,
+    /// Logical clock in seconds.
+    pub clock: u64,
+    /// Audit trail of policy-relevant events (enabled via `trace`).
+    pub audit: Vec<String>,
+    /// Whether to record audit events.
+    pub trace: bool,
+    /// Whether unprivileged user-namespace creation is allowed — the
+    /// Linux >= 3.8 behaviour (§4.6); the paper's 3.6 baseline is false.
+    pub unprivileged_userns: bool,
+    tasks: BTreeMap<u32, Task>,
+    next_pid: u32,
+    lsm: Box<dyn SecurityModule>,
+    auth: Option<Box<dyn AuthProvider>>,
+    media_roots: BTreeMap<DevId, Ino>,
+}
+
+impl Kernel {
+    /// Boots a kernel with the null LSM and an empty filesystem.
+    pub fn new(simnet: SimNet) -> Kernel {
+        Kernel {
+            vfs: Vfs::new(),
+            net: NetStack::new(),
+            netfilter: Netfilter::new(),
+            routes: RouteTable::new(),
+            simnet,
+            devices: DeviceRegistry::new(),
+            pipes: Vec::new(),
+            clock: 1_000_000,
+            audit: Vec::new(),
+            trace: false,
+            unprivileged_userns: false,
+            tasks: BTreeMap::new(),
+            next_pid: 1,
+            lsm: Box::new(crate::lsm::NullLsm),
+            auth: None,
+            media_roots: BTreeMap::new(),
+        }
+    }
+
+    /// Registers the active security module: installs its `/proc/<name>/`
+    /// configuration nodes and boot-time netfilter rules.
+    pub fn register_lsm(&mut self, lsm: Box<dyn SecurityModule>) -> KResult<()> {
+        for rule in lsm.boot_netfilter_rules() {
+            self.netfilter.append(rule);
+        }
+        let name = lsm.name();
+        for node in lsm.config_nodes() {
+            let path = format!("/proc/{}/{}", name, node);
+            self.vfs.install_hook(
+                &path,
+                ProcHook::LsmConfig(node),
+                Mode(0o600),
+                Uid::ROOT,
+                crate::cred::Gid::ROOT,
+            )?;
+        }
+        self.lsm = lsm;
+        self.audit_event(format!("lsm: registered module '{}'", name));
+        Ok(())
+    }
+
+    /// The active security module's name.
+    pub fn lsm_name(&self) -> &'static str {
+        self.lsm.name()
+    }
+
+    /// Borrows the active security module (hooks are `&self`).
+    pub fn lsm(&self) -> &dyn SecurityModule {
+        self.lsm.as_ref()
+    }
+
+    /// Mutably borrows the security module (configuration writes only).
+    pub fn lsm_mut(&mut self) -> &mut dyn SecurityModule {
+        self.lsm.as_mut()
+    }
+
+    /// Registers the trusted authentication agent.
+    pub fn register_auth(&mut self, auth: Box<dyn AuthProvider>) {
+        self.auth = Some(auth);
+    }
+
+    /// Records a policy-relevant event if tracing is enabled.
+    pub fn audit_event(&mut self, msg: String) {
+        if self.trace {
+            self.audit.push(msg);
+        }
+    }
+
+    /// Advances the logical clock.
+    pub fn advance_clock(&mut self, secs: u64) {
+        self.clock += secs;
+    }
+
+    // ------------------------------------------------------------------
+    // Tasks
+    // ------------------------------------------------------------------
+
+    /// Creates the first task (root's init/login shell).
+    pub fn spawn_init(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let root = self.vfs.root();
+        let mut t = Task::new(pid, Pid(0), Credentials::root(), root, "/sbin/init");
+        t.setenv("PATH", "/usr/sbin:/usr/bin:/sbin:/bin");
+        self.tasks.insert(pid.0, t);
+        pid
+    }
+
+    /// Creates a task directly with the given credentials — used by image
+    /// builders to set up login sessions without simulating getty.
+    pub fn spawn_session(&mut self, cred: Credentials, binary: &str) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let root = self.vfs.root();
+        let mut t = Task::new(pid, Pid(1), cred, root, binary);
+        t.setenv("PATH", "/usr/sbin:/usr/bin:/sbin:/bin");
+        self.tasks.insert(pid.0, t);
+        pid
+    }
+
+    /// Immutable task lookup.
+    pub fn task(&self, pid: Pid) -> KResult<&Task> {
+        self.tasks.get(&pid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// Mutable task lookup.
+    pub fn task_mut(&mut self, pid: Pid) -> KResult<&mut Task> {
+        self.tasks.get_mut(&pid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// Allocates the next pid (used by fork).
+    pub(crate) fn alloc_pid(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        pid
+    }
+
+    /// Inserts a task (used by fork).
+    pub(crate) fn insert_task(&mut self, task: Task) {
+        self.tasks.insert(task.pid.0, task);
+    }
+
+    /// Removes a task's entry entirely (after wait).
+    pub fn reap(&mut self, pid: Pid) -> KResult<Task> {
+        self.tasks.remove(&pid.0).ok_or(Errno::ESRCH)
+    }
+
+    /// Number of live tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Privilege
+    // ------------------------------------------------------------------
+
+    /// The kernel-wide `capable()` check: the credential must hold the
+    /// capability *and* the LSM must not veto it. (LSMs restrict
+    /// capabilities here; they grant access through the object-specific
+    /// hooks instead, which is the paper's design point.)
+    pub fn capable(&mut self, pid: Pid, cap: Cap) -> bool {
+        let (cred, binary) = match self.task(pid) {
+            Ok(t) => (t.cred.clone(), t.binary.clone()),
+            Err(_) => return false,
+        };
+        let has = cred.has_cap(cap);
+        match self.lsm.capable(&cred, &binary, cap) {
+            Decision::UseDefault => has,
+            Decision::Allow => true,
+            Decision::Deny(_) => {
+                self.audit_event(format!(
+                    "capable: lsm denied {} for {} ({})",
+                    cap.name(),
+                    cred.euid,
+                    binary
+                ));
+                false
+            }
+        }
+    }
+
+    /// Runs the trusted authentication agent for `scope` on behalf of
+    /// `pid`. On success the kernel records the authentication time in the
+    /// task (the paper's `task_struct` recency field).
+    pub fn run_auth(&mut self, pid: Pid, scope: AuthScope) -> bool {
+        let mut agent = match self.auth.take() {
+            Some(a) => a,
+            None => return false,
+        };
+        let mut input = match self.task_mut(pid) {
+            Ok(t) => std::mem::take(&mut t.terminal_input),
+            Err(_) => {
+                self.auth = Some(agent);
+                return false;
+            }
+        };
+        let ok = agent.authenticate(scope, &mut input, &self.vfs);
+        let now = self.clock;
+        let mut parent = None;
+        if let Ok(t) = self.task_mut(pid) {
+            t.terminal_input = input;
+            if ok {
+                t.last_auth = Some(now);
+                t.last_auth_scope = Some(scope);
+                parent = Some(t.ppid);
+            }
+        }
+        // Recency is a property of the login session, not just the one
+        // process that prompted (sudo's classic per-terminal ticket): the
+        // proof propagates to the parent, so subsequent commands forked
+        // from the same shell inherit it within the window.
+        if let Some(ppid) = parent {
+            if let Ok(pt) = self.task_mut(ppid) {
+                pt.last_auth = Some(now);
+                pt.last_auth_scope = Some(scope);
+            }
+        }
+        self.auth = Some(agent);
+        self.audit_event(format!(
+            "auth: {:?} for pid {} -> {}",
+            scope,
+            pid.0,
+            if ok { "success" } else { "failure" }
+        ));
+        ok
+    }
+
+    /// Marks a task as authenticated "out of band" — used by the trusted
+    /// login path at session creation, which has just verified the user's
+    /// password itself.
+    pub fn mark_authenticated(&mut self, pid: Pid) -> KResult<()> {
+        let now = self.clock;
+        let t = self.task_mut(pid)?;
+        let who = t.cred.ruid;
+        t.last_auth = Some(now);
+        t.last_auth_scope = Some(AuthScope::User(who));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Devices and media
+    // ------------------------------------------------------------------
+
+    /// Registers the standard device complement used by the study:
+    /// CD-ROM, USB flash, a dm-crypt mapping, a modem line, the video
+    /// adapter, and `/dev/null`; creates the matching `/dev` nodes and the
+    /// base `/proc` files.
+    pub fn install_standard_devices(&mut self) -> KResult<()> {
+        use crate::cred::Gid;
+        self.vfs.mkdir_p("/dev/mapper")?;
+        self.vfs.mkdir_p("/proc")?;
+        self.vfs.mkdir_p("/sys/block")?;
+
+        let null = self.devices.register("/dev/null", DeviceKind::Null);
+        self.install_dev_node("/dev/null", null, Mode(0o666), false)?;
+
+        let cdrom = self.devices.register(
+            "/dev/cdrom",
+            DeviceKind::Block(BlockState {
+                fstype: "iso9660".into(),
+                media_present: true,
+                ejected: false,
+            }),
+        );
+        self.install_dev_node("/dev/cdrom", cdrom, Mode(0o660), true)?;
+
+        let usb = self.devices.register(
+            "/dev/sdb1",
+            DeviceKind::Block(BlockState {
+                fstype: "vfat".into(),
+                media_present: true,
+                ejected: false,
+            }),
+        );
+        self.install_dev_node("/dev/sdb1", usb, Mode(0o660), true)?;
+
+        let dm = self.devices.register(
+            "/dev/mapper/cryptohome",
+            DeviceKind::DmCrypt(DmCryptState {
+                name: "cryptohome".into(),
+                physical_device: "/dev/sda3".into(),
+                key_material: vec![0x13, 0x37, 0xc0, 0xde],
+                cipher: "aes-cbc-essiv:sha256".into(),
+            }),
+        );
+        self.install_dev_node("/dev/mapper/cryptohome", dm, Mode(0o660), true)?;
+        // The Protego /sys interface: physical-device topology without key
+        // material (4-line change to dmcrypt-get-device in the paper).
+        self.vfs.install_hook(
+            "/sys/block/dm-0/protego_device",
+            ProcHook::SysAttr("dm/cryptohome/device".into()),
+            Mode(0o444),
+            Uid::ROOT,
+            Gid::ROOT,
+        )?;
+
+        let modem = self
+            .devices
+            .register("/dev/ttyS0", DeviceKind::Modem(ModemState::default()));
+        // Paper §4.1.2: Protego relaxes /dev/ppp permissions, replacing a
+        // capability check with device-file permissions. We install the
+        // node 0666; the *baseline* ioctl path still demands CAP_NET_ADMIN.
+        self.install_dev_node("/dev/ttyS0", modem, Mode(0o666), false)?;
+        let ppp = self
+            .devices
+            .register("/dev/ppp", DeviceKind::Modem(ModemState::default()));
+        self.install_dev_node("/dev/ppp", ppp, Mode(0o666), false)?;
+
+        let video = self
+            .devices
+            .register("/dev/dri/card0", DeviceKind::Video(KmsState::default()));
+        self.install_dev_node("/dev/dri/card0", video, Mode(0o666), false)?;
+
+        self.vfs.install_hook(
+            "/proc/mounts",
+            ProcHook::Mounts,
+            Mode(0o444),
+            Uid::ROOT,
+            Gid::ROOT,
+        )?;
+        self.vfs.install_hook(
+            "/proc/uptime",
+            ProcHook::Uptime,
+            Mode(0o444),
+            Uid::ROOT,
+            Gid::ROOT,
+        )?;
+        Ok(())
+    }
+
+    fn install_dev_node(&mut self, path: &str, dev: DevId, mode: Mode, block: bool) -> KResult<()> {
+        use crate::cred::Gid;
+        let (dir_path, name) = path
+            .rfind('/')
+            .map(|i| (&path[..i.max(1)], &path[i + 1..]))
+            .ok_or(Errno::EINVAL)?;
+        let dir = self.vfs.mkdir_p(dir_path)?;
+        let data = if block {
+            InodeData::BlockDev(dev)
+        } else {
+            InodeData::CharDev(dev)
+        };
+        let ino = self.vfs.alloc(dir, mode, Uid::ROOT, Gid::ROOT, data);
+        self.vfs.dir_add(dir, name, ino)?;
+        Ok(())
+    }
+
+    /// Returns (creating on first use) the root directory of the media in
+    /// block device `dev`, with small sample contents.
+    pub fn media_root(&mut self, dev: DevId) -> KResult<Ino> {
+        use crate::cred::Gid;
+        if let Some(&ino) = self.media_roots.get(&dev) {
+            return Ok(ino);
+        }
+        let root = self.vfs.root();
+        let ino = self.vfs.alloc(
+            root,
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Directory(Default::default()),
+        );
+        let f = self
+            .vfs
+            .create_file(ino, "README", Mode(0o444), Uid::ROOT, Gid::ROOT, true)?;
+        self.vfs.write_all(f, b"simulated removable media\n")?;
+        self.media_roots.insert(dev, ino);
+        Ok(ino)
+    }
+
+    /// Renders a `/sys` attribute (device-backed read-only nodes).
+    pub fn sys_attr_read(&self, attr: &str) -> KResult<String> {
+        let mut parts = attr.split('/');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("dm"), Some(name), Some("device")) => {
+                for d in self.devices.iter() {
+                    if let DeviceKind::DmCrypt(dm) = &d.kind {
+                        if dm.name == name {
+                            // Discloses topology only — never key material.
+                            return Ok(format!("{}\n", dm.physical_device));
+                        }
+                    }
+                }
+                Err(Errno::ENOENT)
+            }
+            _ => Err(Errno::ENOENT),
+        }
+    }
+
+    /// The auth-recency window in logical seconds.
+    pub fn auth_window(&self) -> u64 {
+        AUTH_WINDOW_SECS
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("lsm", &self.lsm.name())
+            .field("tasks", &self.tasks.len())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cred::Gid;
+
+    #[test]
+    fn boot_and_spawn() {
+        let mut k = Kernel::new(SimNet::new());
+        let init = k.spawn_init();
+        assert_eq!(init, Pid(1));
+        assert!(k.task(init).unwrap().cred.is_root());
+        let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
+        assert_eq!(user, Pid(2));
+        assert_eq!(k.task_count(), 2);
+        assert_eq!(k.task(Pid(99)).unwrap_err(), Errno::ESRCH);
+    }
+
+    #[test]
+    fn capable_without_lsm_is_credential_based() {
+        let mut k = Kernel::new(SimNet::new());
+        let root = k.spawn_init();
+        let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
+        assert!(k.capable(root, Cap::SysAdmin));
+        assert!(!k.capable(user, Cap::SysAdmin));
+    }
+
+    #[test]
+    fn standard_devices_install() {
+        let mut k = Kernel::new(SimNet::new());
+        k.install_standard_devices().unwrap();
+        assert!(k.devices.find_by_path("/dev/cdrom").is_some());
+        assert!(k.vfs.resolve(k.vfs.root(), "/dev/cdrom").is_ok());
+        assert!(k.vfs.resolve(k.vfs.root(), "/proc/mounts").is_ok());
+        assert!(k
+            .vfs
+            .resolve(k.vfs.root(), "/sys/block/dm-0/protego_device")
+            .is_ok());
+    }
+
+    #[test]
+    fn sys_attr_discloses_topology_not_keys() {
+        let mut k = Kernel::new(SimNet::new());
+        k.install_standard_devices().unwrap();
+        let s = k.sys_attr_read("dm/cryptohome/device").unwrap();
+        assert_eq!(s, "/dev/sda3\n");
+        assert!(!s.contains("1337"));
+        assert_eq!(
+            k.sys_attr_read("dm/nope/device").unwrap_err(),
+            Errno::ENOENT
+        );
+        assert_eq!(k.sys_attr_read("bogus").unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn media_root_is_cached() {
+        let mut k = Kernel::new(SimNet::new());
+        k.install_standard_devices().unwrap();
+        let dev = k.devices.id_by_path("/dev/cdrom").unwrap();
+        let a = k.media_root(dev).unwrap();
+        let b = k.media_root(dev).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mark_authenticated_sets_recency() {
+        let mut k = Kernel::new(SimNet::new());
+        let pid = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
+        assert!(!k.task(pid).unwrap().recently_authenticated(k.clock, 300));
+        k.mark_authenticated(pid).unwrap();
+        assert!(k.task(pid).unwrap().recently_authenticated(k.clock, 300));
+        k.advance_clock(301);
+        assert!(!k.task(pid).unwrap().recently_authenticated(k.clock, 300));
+    }
+
+    #[test]
+    fn run_auth_without_agent_fails() {
+        let mut k = Kernel::new(SimNet::new());
+        let pid = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
+        assert!(!k.run_auth(pid, AuthScope::User(Uid(1000))));
+    }
+
+    #[test]
+    fn audit_respects_trace_flag() {
+        let mut k = Kernel::new(SimNet::new());
+        k.audit_event("ignored".into());
+        assert!(k.audit.is_empty());
+        k.trace = true;
+        k.audit_event("recorded".into());
+        assert_eq!(k.audit.len(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Simulated networking: packets, sockets, routing, netfilter, and the
+//! outside world.
+
+mod netfilter;
+mod packet;
+mod route;
+mod sim;
+mod socket;
+
+pub use netfilter::{Evaluation, Netfilter, PacketMeta, ProtoMatch, Rule, Verdict};
+pub use packet::{IcmpKind, Ipv4, Packet, L4};
+pub use route::{Route, RouteTable};
+pub use sim::{RemoteHost, SimNet};
+pub use socket::{Domain, NetStack, PortProto, SockId, SockType, Socket, StreamState};

@@ -1,0 +1,246 @@
+//! Packet model for the simulated network stack.
+//!
+//! The simulation keeps packets symbolic: instead of serialized headers, a
+//! [`Packet`] carries the fields the policy layer inspects — protocol,
+//! addresses, ports, ICMP kind, TTL — which is exactly the information
+//! netfilter matches on. Raw- and packet-socket senders construct these
+//! fields themselves (the paper's §4.1.1 threat: a raw socket can claim any
+//! TCP/UDP source port).
+
+use crate::cred::Uid;
+use core::fmt;
+
+/// An IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// 127.0.0.1
+    pub const LOOPBACK: Ipv4 = Ipv4(0x7f00_0001);
+    /// 0.0.0.0
+    pub const ANY: Ipv4 = Ipv4(0);
+
+    /// Builds an address from dotted octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4 {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Parses dotted-quad notation.
+    pub fn parse(s: &str) -> Option<Ipv4> {
+        let mut parts = s.split('.');
+        let mut octets = [0u8; 4];
+        for o in octets.iter_mut() {
+            *o = parts.next()?.parse().ok()?;
+        }
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Ipv4::new(octets[0], octets[1], octets[2], octets[3]))
+    }
+
+    /// Returns the network address under a prefix length.
+    pub fn network(self, prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            self.0 & (u32::MAX << (32 - prefix as u32))
+        }
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            (self.0 >> 24) & 0xff,
+            (self.0 >> 16) & 0xff,
+            (self.0 >> 8) & 0xff,
+            self.0 & 0xff
+        )
+    }
+}
+
+/// ICMP message kinds used by the studied utilities (ping, traceroute, mtr).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum IcmpKind {
+    /// Echo request (type 8).
+    EchoRequest {
+        /// Echo identifier (classically the sender's pid).
+        id: u16,
+        /// Sequence number.
+        seq: u16,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Echo identifier being answered.
+        id: u16,
+        /// Sequence number being answered.
+        seq: u16,
+    },
+    /// Time exceeded in transit (type 11) — traceroute's hop discovery.
+    TimeExceeded,
+    /// Destination/port unreachable (type 3) — traceroute's terminal reply.
+    DestUnreachable,
+    /// Router/timestamp/other kinds that a hostile raw sender might forge.
+    Other(u8),
+}
+
+impl IcmpKind {
+    /// The wire "type" field.
+    pub fn type_code(self) -> u8 {
+        match self {
+            IcmpKind::EchoReply { .. } => 0,
+            IcmpKind::DestUnreachable => 3,
+            IcmpKind::EchoRequest { .. } => 8,
+            IcmpKind::TimeExceeded => 11,
+            IcmpKind::Other(t) => t,
+        }
+    }
+}
+
+/// Transport-layer content of a packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum L4 {
+    /// TCP segment.
+    Tcp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Whether this is a connection-initiating segment.
+        syn: bool,
+    },
+    /// UDP datagram.
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+    },
+    /// ICMP message.
+    Icmp(IcmpKind),
+    /// ARP (carried on packet sockets; layer conflation is deliberate in
+    /// the simulation — netfilter only needs the protocol tag).
+    Arp {
+        /// ARP opcode: 1 request, 2 reply.
+        op: u8,
+        /// Address being queried/announced.
+        target: Ipv4,
+    },
+    /// Some other IP protocol, by number.
+    OtherIp(u8),
+}
+
+impl L4 {
+    /// Source port claimed by the packet, for spoof analysis.
+    pub fn src_port(&self) -> Option<u16> {
+        match self {
+            L4::Tcp { src_port, .. } | L4::Udp { src_port, .. } => Some(*src_port),
+            _ => None,
+        }
+    }
+
+    /// Destination port, if the protocol has one.
+    pub fn dst_port(&self) -> Option<u16> {
+        match self {
+            L4::Tcp { dst_port, .. } | L4::Udp { dst_port, .. } => Some(*dst_port),
+            _ => None,
+        }
+    }
+}
+
+/// A simulated packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// Claimed source address.
+    pub src: Ipv4,
+    /// Destination address.
+    pub dst: Ipv4,
+    /// Time-to-live (drives traceroute's TimeExceeded discovery).
+    pub ttl: u8,
+    /// Transport content.
+    pub l4: L4,
+    /// Application payload.
+    pub payload: Vec<u8>,
+    /// Whether the packet was constructed by a raw or packet socket (and
+    /// therefore carries caller-claimed headers).
+    pub from_raw_socket: bool,
+    /// Uid of the sending task, recorded at the LSM boundary.
+    pub sender_uid: Uid,
+}
+
+impl Packet {
+    /// Builds an ICMP echo request, as ping sends.
+    pub fn echo_request(src: Ipv4, dst: Ipv4, id: u16, seq: u16, sender_uid: Uid) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl: 64,
+            l4: L4::Icmp(IcmpKind::EchoRequest { id, seq }),
+            payload: Vec::new(),
+            from_raw_socket: true,
+            sender_uid,
+        }
+    }
+
+    /// Builds a traceroute-style UDP probe with an explicit TTL.
+    pub fn udp_probe(src: Ipv4, dst: Ipv4, ttl: u8, dst_port: u16, sender_uid: Uid) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl,
+            l4: L4::Udp {
+                src_port: 33434,
+                dst_port,
+            },
+            payload: Vec::new(),
+            from_raw_socket: true,
+            sender_uid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_parse_display_roundtrip() {
+        let a = Ipv4::parse("192.168.1.42").unwrap();
+        assert_eq!(a, Ipv4::new(192, 168, 1, 42));
+        assert_eq!(a.to_string(), "192.168.1.42");
+        assert!(Ipv4::parse("192.168.1").is_none());
+        assert!(Ipv4::parse("300.0.0.1").is_none());
+        assert!(Ipv4::parse("1.2.3.4.5").is_none());
+    }
+
+    #[test]
+    fn network_mask() {
+        let a = Ipv4::new(10, 1, 2, 3);
+        assert_eq!(a.network(8), Ipv4::new(10, 0, 0, 0).0);
+        assert_eq!(a.network(24), Ipv4::new(10, 1, 2, 0).0);
+        assert_eq!(a.network(32), a.0);
+        assert_eq!(a.network(0), 0);
+    }
+
+    #[test]
+    fn icmp_type_codes() {
+        assert_eq!(IcmpKind::EchoRequest { id: 1, seq: 1 }.type_code(), 8);
+        assert_eq!(IcmpKind::EchoReply { id: 1, seq: 1 }.type_code(), 0);
+        assert_eq!(IcmpKind::TimeExceeded.type_code(), 11);
+        assert_eq!(IcmpKind::DestUnreachable.type_code(), 3);
+    }
+
+    #[test]
+    fn l4_port_extraction() {
+        let t = L4::Tcp {
+            src_port: 5555,
+            dst_port: 80,
+            syn: true,
+        };
+        assert_eq!(t.src_port(), Some(5555));
+        assert_eq!(t.dst_port(), Some(80));
+        assert_eq!(L4::Icmp(IcmpKind::TimeExceeded).src_port(), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! The routing table and the conflict predicate Protego enforces for
+//! unprivileged route additions (§4.1.2).
+//!
+//! Stock Linux requires `CAP_NET_ADMIN` for any routing-table change. The
+//! system policy the paper identifies is narrower: an unprivileged pppd may
+//! add a route **only if the new address range was not previously
+//! reachable** — i.e. it does not overlap any existing route.
+
+use super::packet::Ipv4;
+use crate::cred::Uid;
+use crate::error::{Errno, KResult};
+
+/// A routing-table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Destination network.
+    pub dest: Ipv4,
+    /// Prefix length (0 = default route).
+    pub prefix: u8,
+    /// Next hop, if not directly connected.
+    pub gateway: Option<Ipv4>,
+    /// Outgoing interface name.
+    pub dev: String,
+    /// Who created the route (root for boot-time routes).
+    pub created_by: Uid,
+}
+
+impl Route {
+    /// Returns whether two routes' destination ranges overlap: the shorter
+    /// prefix's network contains the longer one's.
+    pub fn overlaps(&self, other: &Route) -> bool {
+        let p = self.prefix.min(other.prefix);
+        self.dest.network(p) == other.dest.network(p)
+    }
+
+    /// Returns whether `addr` falls inside this route's destination range.
+    pub fn matches(&self, addr: Ipv4) -> bool {
+        addr.network(self.prefix) == self.dest.network(self.prefix)
+    }
+}
+
+/// The kernel routing table.
+#[derive(Clone, Debug, Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    /// Creates an empty routing table.
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Adds a route without policy checks (the caller — the ioctl syscall —
+    /// has already consulted the LSM). Fails on an exact duplicate.
+    pub fn add(&mut self, route: Route) -> KResult<()> {
+        if route.prefix > 32 {
+            return Err(Errno::EINVAL);
+        }
+        let dup = self.routes.iter().any(|r| {
+            r.dest.network(r.prefix) == route.dest.network(route.prefix) && r.prefix == route.prefix
+        });
+        if dup {
+            return Err(Errno::EEXIST);
+        }
+        self.routes.push(route);
+        Ok(())
+    }
+
+    /// Removes the route exactly matching (dest, prefix); only the creator
+    /// or root may remove (enforced by the caller).
+    pub fn remove(&mut self, dest: Ipv4, prefix: u8) -> KResult<Route> {
+        let idx = self
+            .routes
+            .iter()
+            .position(|r| r.dest.network(prefix) == dest.network(prefix) && r.prefix == prefix)
+            .ok_or(Errno::ENOENT)?;
+        Ok(self.routes.remove(idx))
+    }
+
+    /// Returns the first existing route whose range overlaps `candidate`,
+    /// the Protego conflict predicate.
+    pub fn conflict_with(&self, candidate: &Route) -> Option<&Route> {
+        self.routes.iter().find(|r| r.overlaps(candidate))
+    }
+
+    /// Longest-prefix-match lookup for an outgoing packet.
+    pub fn lookup(&self, dst: Ipv4) -> Option<&Route> {
+        self.routes
+            .iter()
+            .filter(|r| r.matches(dst))
+            .max_by_key(|r| r.prefix)
+    }
+
+    /// All routes (for `/proc/net/route`-style listings).
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(dest: &str, prefix: u8, dev: &str) -> Route {
+        Route {
+            dest: Ipv4::parse(dest).unwrap(),
+            prefix,
+            gateway: None,
+            dev: dev.into(),
+            created_by: Uid::ROOT,
+        }
+    }
+
+    #[test]
+    fn overlap_contains_and_contained() {
+        let wide = r("10.0.0.0", 8, "eth0");
+        let narrow = r("10.1.0.0", 16, "ppp0");
+        assert!(wide.overlaps(&narrow));
+        assert!(narrow.overlaps(&wide));
+        let disjoint = r("192.168.0.0", 16, "ppp0");
+        assert!(!wide.overlaps(&disjoint));
+    }
+
+    #[test]
+    fn default_route_overlaps_everything() {
+        let dflt = r("0.0.0.0", 0, "eth0");
+        assert!(dflt.overlaps(&r("203.0.113.0", 24, "ppp0")));
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let mut t = RouteTable::new();
+        t.add(r("10.0.0.0", 8, "eth0")).unwrap();
+        assert!(t.conflict_with(&r("10.99.0.0", 16, "ppp0")).is_some());
+        assert!(t.conflict_with(&r("172.16.0.0", 12, "ppp0")).is_none());
+    }
+
+    #[test]
+    fn duplicate_add_is_eexist() {
+        let mut t = RouteTable::new();
+        t.add(r("10.0.0.0", 8, "eth0")).unwrap();
+        assert_eq!(t.add(r("10.0.0.0", 8, "eth1")).unwrap_err(), Errno::EEXIST);
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut t = RouteTable::new();
+        t.add(r("0.0.0.0", 0, "eth0")).unwrap();
+        t.add(r("10.0.0.0", 8, "eth1")).unwrap();
+        t.add(r("10.1.0.0", 16, "ppp0")).unwrap();
+        assert_eq!(
+            t.lookup(Ipv4::parse("10.1.2.3").unwrap()).unwrap().dev,
+            "ppp0"
+        );
+        assert_eq!(
+            t.lookup(Ipv4::parse("10.9.9.9").unwrap()).unwrap().dev,
+            "eth1"
+        );
+        assert_eq!(
+            t.lookup(Ipv4::parse("8.8.8.8").unwrap()).unwrap().dev,
+            "eth0"
+        );
+    }
+
+    #[test]
+    fn no_route_is_none() {
+        let mut t = RouteTable::new();
+        t.add(r("10.0.0.0", 8, "eth0")).unwrap();
+        assert!(t.lookup(Ipv4::parse("8.8.8.8").unwrap()).is_none());
+    }
+
+    #[test]
+    fn remove_route() {
+        let mut t = RouteTable::new();
+        t.add(r("10.0.0.0", 8, "eth0")).unwrap();
+        let removed = t.remove(Ipv4::parse("10.0.0.0").unwrap(), 8).unwrap();
+        assert_eq!(removed.dev, "eth0");
+        assert!(t.is_empty());
+        assert_eq!(
+            t.remove(Ipv4::parse("10.0.0.0").unwrap(), 8).unwrap_err(),
+            Errno::ENOENT
+        );
+    }
+
+    #[test]
+    fn invalid_prefix_rejected() {
+        let mut t = RouteTable::new();
+        assert_eq!(t.add(r("10.0.0.0", 33, "eth0")).unwrap_err(), Errno::EINVAL);
+    }
+}

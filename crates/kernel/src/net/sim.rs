@@ -1,0 +1,297 @@
+//! The simulated outside world: remote hosts, hop paths, and reply
+//! generation.
+//!
+//! This stands in for the physical network of the paper's testbed. Remote
+//! hosts answer ICMP echoes, expire TTLs along configured hop paths (so
+//! traceroute works), refuse or accept TCP connections, and echo stream
+//! payloads (so remote-latency benchmarks have a responder).
+
+use super::packet::{IcmpKind, Ipv4, Packet, L4};
+use crate::cred::Uid;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A host on the simulated network.
+#[derive(Clone, Debug, Default)]
+pub struct RemoteHost {
+    /// Intermediate router addresses between us and the host, in order.
+    pub hops: Vec<Ipv4>,
+    /// Whether the host answers ICMP echo requests.
+    pub answers_ping: bool,
+    /// Open TCP ports.
+    pub tcp_open: BTreeSet<u16>,
+    /// Whether the host sends ICMP port-unreachable for closed UDP ports
+    /// (traceroute's terminal signal).
+    pub udp_unreachable: bool,
+    /// Whether ARP queries for this host are answered (same L2 segment).
+    pub answers_arp: bool,
+}
+
+/// The simulated network beyond this machine.
+#[derive(Clone, Debug, Default)]
+pub struct SimNet {
+    /// Addresses assigned to local interfaces.
+    pub local_ips: Vec<Ipv4>,
+    hosts: BTreeMap<Ipv4, RemoteHost>,
+}
+
+impl SimNet {
+    /// An empty network with only the loopback address local.
+    pub fn new() -> SimNet {
+        SimNet {
+            local_ips: vec![Ipv4::LOOPBACK],
+            hosts: BTreeMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) a remote host.
+    pub fn add_host(&mut self, addr: Ipv4, host: RemoteHost) {
+        self.hosts.insert(addr, host);
+    }
+
+    /// Looks up a remote host.
+    pub fn host(&self, addr: Ipv4) -> Option<&RemoteHost> {
+        self.hosts.get(&addr)
+    }
+
+    /// Returns whether `addr` belongs to this machine.
+    pub fn is_local(&self, addr: Ipv4) -> bool {
+        self.local_ips.contains(&addr)
+    }
+
+    /// Whether a remote TCP endpoint would accept a connection.
+    pub fn tcp_accepts(&self, addr: Ipv4, port: u16) -> bool {
+        self.hosts
+            .get(&addr)
+            .map(|h| h.tcp_open.contains(&port))
+            .unwrap_or(false)
+    }
+
+    /// Delivers an outgoing packet to the world and returns any replies
+    /// addressed back to us. The replies' `sender_uid` is root: they come
+    /// from the network, not a local task.
+    pub fn deliver(&self, pkt: &Packet) -> Vec<Packet> {
+        let host = match self.hosts.get(&pkt.dst) {
+            Some(h) => h,
+            None => return Vec::new(),
+        };
+        let hop_count = host.hops.len();
+        // TTL expiry along the path: hop i (0-based) decrements TTL at
+        // distance i+1.
+        if (pkt.ttl as usize) <= hop_count && !matches!(pkt.l4, L4::Arp { .. }) {
+            let router = host.hops[pkt.ttl as usize - 1];
+            return vec![Packet {
+                src: router,
+                dst: pkt.src,
+                ttl: 64,
+                l4: L4::Icmp(IcmpKind::TimeExceeded),
+                payload: Vec::new(),
+                from_raw_socket: false,
+                sender_uid: Uid::ROOT,
+            }];
+        }
+        match &pkt.l4 {
+            L4::Icmp(IcmpKind::EchoRequest { id, seq }) if host.answers_ping => {
+                vec![Packet {
+                    src: pkt.dst,
+                    dst: pkt.src,
+                    ttl: 64,
+                    l4: L4::Icmp(IcmpKind::EchoReply { id: *id, seq: *seq }),
+                    payload: pkt.payload.clone(),
+                    from_raw_socket: false,
+                    sender_uid: Uid::ROOT,
+                }]
+            }
+            L4::Udp { src_port, dst_port } => {
+                if host.udp_unreachable && !host.tcp_open.contains(dst_port) {
+                    vec![Packet {
+                        src: pkt.dst,
+                        dst: pkt.src,
+                        ttl: 64,
+                        l4: L4::Icmp(IcmpKind::DestUnreachable),
+                        payload: Vec::new(),
+                        from_raw_socket: false,
+                        sender_uid: Uid::ROOT,
+                    }]
+                } else if host.tcp_open.contains(dst_port) {
+                    // A UDP service echoes (for remote UDP latency tests).
+                    vec![Packet {
+                        src: pkt.dst,
+                        dst: pkt.src,
+                        ttl: 64,
+                        l4: L4::Udp {
+                            src_port: *dst_port,
+                            dst_port: *src_port,
+                        },
+                        payload: pkt.payload.clone(),
+                        from_raw_socket: false,
+                        sender_uid: Uid::ROOT,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            L4::Arp { op: 1, target } if host.answers_arp && *target == pkt.dst => {
+                vec![Packet {
+                    src: pkt.dst,
+                    dst: pkt.src,
+                    ttl: 64,
+                    l4: L4::Arp {
+                        op: 2,
+                        target: *target,
+                    },
+                    payload: Vec::new(),
+                    from_raw_socket: false,
+                    sender_uid: Uid::ROOT,
+                }]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// A convenient topology used by tests, examples, and benches:
+    /// a gateway at 10.0.0.1, a pingable host 8.8.8.8 three hops away with
+    /// TCP 80 open, and an ARP-answering neighbour 10.0.0.2.
+    pub fn standard_topology() -> SimNet {
+        let mut net = SimNet::new();
+        net.local_ips.push(Ipv4::new(10, 0, 0, 100));
+        net.add_host(
+            Ipv4::new(10, 0, 0, 1),
+            RemoteHost {
+                hops: vec![],
+                answers_ping: true,
+                tcp_open: BTreeSet::new(),
+                udp_unreachable: true,
+                answers_arp: true,
+            },
+        );
+        net.add_host(
+            Ipv4::new(10, 0, 0, 2),
+            RemoteHost {
+                hops: vec![],
+                answers_ping: true,
+                tcp_open: BTreeSet::new(),
+                udp_unreachable: false,
+                answers_arp: true,
+            },
+        );
+        let mut open = BTreeSet::new();
+        open.insert(80);
+        open.insert(7); // echo service for latency tests
+        net.add_host(
+            Ipv4::new(8, 8, 8, 8),
+            RemoteHost {
+                hops: vec![
+                    Ipv4::new(10, 0, 0, 1),
+                    Ipv4::new(100, 64, 0, 1),
+                    Ipv4::new(100, 64, 1, 1),
+                ],
+                answers_ping: true,
+                tcp_open: open,
+                udp_unreachable: true,
+                answers_arp: false,
+            },
+        );
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_gets_reply() {
+        let net = SimNet::standard_topology();
+        let req = Packet::echo_request(
+            Ipv4::new(10, 0, 0, 100),
+            Ipv4::new(8, 8, 8, 8),
+            42,
+            1,
+            Uid(1000),
+        );
+        let replies = net.deliver(&req);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(
+            replies[0].l4,
+            L4::Icmp(IcmpKind::EchoReply { id: 42, seq: 1 })
+        );
+        assert_eq!(replies[0].src, Ipv4::new(8, 8, 8, 8));
+    }
+
+    #[test]
+    fn ttl_expiry_names_each_hop() {
+        let net = SimNet::standard_topology();
+        for ttl in 1..=3u8 {
+            let probe = Packet::udp_probe(
+                Ipv4::new(10, 0, 0, 100),
+                Ipv4::new(8, 8, 8, 8),
+                ttl,
+                33434,
+                Uid(1000),
+            );
+            let replies = net.deliver(&probe);
+            assert_eq!(replies.len(), 1, "ttl {}", ttl);
+            assert_eq!(replies[0].l4, L4::Icmp(IcmpKind::TimeExceeded));
+        }
+        // TTL past the path reaches the host: closed UDP port ->
+        // port unreachable (traceroute's terminal).
+        let probe = Packet::udp_probe(
+            Ipv4::new(10, 0, 0, 100),
+            Ipv4::new(8, 8, 8, 8),
+            8,
+            33434,
+            Uid(1000),
+        );
+        let replies = net.deliver(&probe);
+        assert_eq!(replies[0].l4, L4::Icmp(IcmpKind::DestUnreachable));
+    }
+
+    #[test]
+    fn unknown_host_is_silent() {
+        let net = SimNet::standard_topology();
+        let req = Packet::echo_request(
+            Ipv4::new(10, 0, 0, 100),
+            Ipv4::new(203, 0, 113, 7),
+            1,
+            1,
+            Uid(1000),
+        );
+        assert!(net.deliver(&req).is_empty());
+    }
+
+    #[test]
+    fn arp_request_reply() {
+        let net = SimNet::standard_topology();
+        let req = Packet {
+            src: Ipv4::new(10, 0, 0, 100),
+            dst: Ipv4::new(10, 0, 0, 2),
+            ttl: 1,
+            l4: L4::Arp {
+                op: 1,
+                target: Ipv4::new(10, 0, 0, 2),
+            },
+            payload: Vec::new(),
+            from_raw_socket: true,
+            sender_uid: Uid(1000),
+        };
+        let replies = net.deliver(&req);
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(replies[0].l4, L4::Arp { op: 2, .. }));
+    }
+
+    #[test]
+    fn tcp_accept_check() {
+        let net = SimNet::standard_topology();
+        assert!(net.tcp_accepts(Ipv4::new(8, 8, 8, 8), 80));
+        assert!(!net.tcp_accepts(Ipv4::new(8, 8, 8, 8), 25));
+        assert!(!net.tcp_accepts(Ipv4::new(10, 0, 0, 1), 80));
+    }
+
+    #[test]
+    fn locality() {
+        let net = SimNet::standard_topology();
+        assert!(net.is_local(Ipv4::LOOPBACK));
+        assert!(net.is_local(Ipv4::new(10, 0, 0, 100)));
+        assert!(!net.is_local(Ipv4::new(8, 8, 8, 8)));
+    }
+}

@@ -1,0 +1,290 @@
+//! Identity system calls: the `setuid`/`setgid` family (§4.3).
+//!
+//! Stock Linux allows an arbitrary transition iff the caller holds
+//! CAP_SETUID (CAP_SETGID), else only transitions among {ruid, euid, suid}.
+//! Protego's hook enforces the delegation rules mined from
+//! `/etc/sudoers`: transitions may be granted outright, denied, gated on
+//! recent authentication, or — when restricted to particular commands —
+//! turned into a *pending* transition that resolves at `exec`.
+
+use crate::caps::{Cap, CapSet};
+use crate::cred::{Gid, Uid};
+use crate::error::{Errno, KResult};
+use crate::kernel::Kernel;
+use crate::lsm::{SetidCtx, SetuidDecision};
+use crate::task::Pid;
+
+impl Kernel {
+    fn setid_ctx(&self, pid: Pid) -> KResult<SetidCtx> {
+        let t = self.task(pid)?;
+        Ok(SetidCtx {
+            cred: t.cred.clone(),
+            binary: t.binary.clone(),
+            last_auth: t.last_auth,
+            last_auth_scope: t.last_auth_scope,
+            now: self.clock,
+        })
+    }
+
+    /// `setuid(2)`.
+    pub fn sys_setuid(&mut self, pid: Pid, target: Uid) -> KResult<()> {
+        let mut attempts = 0;
+        loop {
+            let ctx = self.setid_ctx(pid)?;
+            match self.lsm().task_setuid(&ctx, target) {
+                SetuidDecision::UseDefault => return self.setuid_stock(pid, target),
+                SetuidDecision::Allow => {
+                    self.audit_event(format!(
+                        "setuid: lsm granted {} -> {}",
+                        ctx.cred.ruid, target
+                    ));
+                    let t = self.task_mut(pid)?;
+                    t.cred.ruid = target;
+                    t.cred.euid = target;
+                    t.cred.suid = target;
+                    t.cred.fsuid = target;
+                    // Privilege is granted only *after* all checks pass
+                    // (the paper's point about sudo-to-root).
+                    t.cred.caps = if target.is_root() {
+                        CapSet::full()
+                    } else {
+                        CapSet::EMPTY
+                    };
+                    return Ok(());
+                }
+                SetuidDecision::Deny(e) => {
+                    self.audit_event(format!(
+                        "setuid: lsm denied {} -> {} ({})",
+                        ctx.cred.ruid,
+                        target,
+                        e.name()
+                    ));
+                    return Err(e);
+                }
+                SetuidDecision::Pending(p) => {
+                    self.audit_event(format!(
+                        "setuid: pending transition {} -> {} restricted to {:?}",
+                        ctx.cred.ruid, target, p.allowed_binaries
+                    ));
+                    self.task_mut(pid)?.pending_setuid = Some(p);
+                    // The call *reports* success; the credential change is
+                    // deferred to exec (§4.3's change in error behaviour).
+                    return Ok(());
+                }
+                SetuidDecision::NeedAuth(scope) => {
+                    attempts += 1;
+                    if attempts > 1 || !self.run_auth(pid, scope) {
+                        return Err(Errno::EPERM);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stock `setuid(2)` semantics.
+    fn setuid_stock(&mut self, pid: Pid, target: Uid) -> KResult<()> {
+        if self.capable(pid, Cap::Setuid) {
+            let t = self.task_mut(pid)?;
+            t.cred.ruid = target;
+            t.cred.euid = target;
+            t.cred.suid = target;
+            t.cred.fsuid = target;
+            if !target.is_root() {
+                // Dropping root drops the capability set.
+                t.cred.caps = CapSet::EMPTY;
+            }
+            return Ok(());
+        }
+        let t = self.task_mut(pid)?;
+        if target == t.cred.ruid || target == t.cred.suid {
+            t.cred.euid = target;
+            t.cred.fsuid = target;
+            Ok(())
+        } else {
+            Err(Errno::EPERM)
+        }
+    }
+
+    /// `seteuid(2)` — stock semantics only (no LSM hook needed: it cannot
+    /// reach an identity the task does not already hold without
+    /// CAP_SETUID).
+    pub fn sys_seteuid(&mut self, pid: Pid, target: Uid) -> KResult<()> {
+        if self.capable(pid, Cap::Setuid) {
+            let t = self.task_mut(pid)?;
+            t.cred.euid = target;
+            t.cred.fsuid = target;
+            return Ok(());
+        }
+        let t = self.task_mut(pid)?;
+        if target == t.cred.ruid || target == t.cred.suid || target == t.cred.euid {
+            t.cred.euid = target;
+            t.cred.fsuid = target;
+            Ok(())
+        } else {
+            Err(Errno::EPERM)
+        }
+    }
+
+    /// `setgid(2)`.
+    pub fn sys_setgid(&mut self, pid: Pid, target: Gid) -> KResult<()> {
+        let mut attempts = 0;
+        loop {
+            let ctx = self.setid_ctx(pid)?;
+            match self.lsm().task_setgid(&ctx, target) {
+                SetuidDecision::UseDefault => return self.setgid_stock(pid, target),
+                SetuidDecision::Allow => {
+                    self.audit_event(format!(
+                        "setgid: lsm granted {} -> {}",
+                        ctx.cred.rgid.0, target.0
+                    ));
+                    let t = self.task_mut(pid)?;
+                    t.cred.rgid = target;
+                    t.cred.egid = target;
+                    t.cred.sgid = target;
+                    if !t.cred.groups.contains(&target) {
+                        t.cred.groups.push(target);
+                    }
+                    return Ok(());
+                }
+                SetuidDecision::Deny(e) => return Err(e),
+                SetuidDecision::Pending(_) => return Err(Errno::EINVAL),
+                SetuidDecision::NeedAuth(scope) => {
+                    attempts += 1;
+                    if attempts > 1 || !self.run_auth(pid, scope) {
+                        return Err(Errno::EPERM);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stock `setgid(2)` semantics.
+    fn setgid_stock(&mut self, pid: Pid, target: Gid) -> KResult<()> {
+        if self.capable(pid, Cap::Setgid) {
+            let t = self.task_mut(pid)?;
+            t.cred.rgid = target;
+            t.cred.egid = target;
+            t.cred.sgid = target;
+            return Ok(());
+        }
+        let t = self.task_mut(pid)?;
+        if target == t.cred.rgid || target == t.cred.sgid {
+            t.cred.egid = target;
+            Ok(())
+        } else {
+            Err(Errno::EPERM)
+        }
+    }
+
+    /// `setgroups(2)` — requires CAP_SETGID.
+    pub fn sys_setgroups(&mut self, pid: Pid, groups: Vec<Gid>) -> KResult<()> {
+        if !self.capable(pid, Cap::Setgid) {
+            return Err(Errno::EPERM);
+        }
+        self.task_mut(pid)?.cred.groups = groups;
+        Ok(())
+    }
+
+    /// `getuid(2)`.
+    pub fn sys_getuid(&self, pid: Pid) -> KResult<Uid> {
+        Ok(self.task(pid)?.cred.ruid)
+    }
+
+    /// `geteuid(2)`.
+    pub fn sys_geteuid(&self, pid: Pid) -> KResult<Uid> {
+        Ok(self.task(pid)?.cred.euid)
+    }
+
+    /// `getgid(2)`.
+    pub fn sys_getgid(&self, pid: Pid) -> KResult<Gid> {
+        Ok(self.task(pid)?.cred.rgid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cred::Credentials;
+    use crate::net::SimNet;
+
+    fn boot() -> (Kernel, Pid, Pid) {
+        let mut k = Kernel::new(SimNet::new());
+        let root = k.spawn_init();
+        let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
+        (k, root, user)
+    }
+
+    #[test]
+    fn root_can_setuid_anywhere_and_drops_caps() {
+        let (mut k, root, _) = boot();
+        k.sys_setuid(root, Uid(1000)).unwrap();
+        let c = &k.task(root).unwrap().cred;
+        assert_eq!(c.ruid, Uid(1000));
+        assert_eq!(c.euid, Uid(1000));
+        assert_eq!(c.suid, Uid(1000));
+        assert!(c.caps.is_empty());
+        // Once dropped, cannot regain.
+        assert_eq!(k.sys_setuid(root, Uid::ROOT).unwrap_err(), Errno::EPERM);
+    }
+
+    #[test]
+    fn user_setuid_to_stranger_is_eperm() {
+        let (mut k, _, user) = boot();
+        assert_eq!(k.sys_setuid(user, Uid(1001)).unwrap_err(), Errno::EPERM);
+        assert_eq!(k.sys_setuid(user, Uid::ROOT).unwrap_err(), Errno::EPERM);
+    }
+
+    #[test]
+    fn user_setuid_to_self_ok() {
+        let (mut k, _, user) = boot();
+        k.sys_setuid(user, Uid(1000)).unwrap();
+        assert_eq!(k.sys_geteuid(user).unwrap(), Uid(1000));
+    }
+
+    #[test]
+    fn seteuid_among_held_ids() {
+        let (mut k, _, user) = boot();
+        // Simulate a setuid-nonroot binary: euid 38, ruid 1000, suid 38.
+        {
+            let t = k.task_mut(user).unwrap();
+            t.cred.euid = Uid(38);
+            t.cred.suid = Uid(38);
+            t.cred.fsuid = Uid(38);
+        }
+        // Temporarily drop to the real uid...
+        k.sys_seteuid(user, Uid(1000)).unwrap();
+        assert_eq!(k.sys_geteuid(user).unwrap(), Uid(1000));
+        // ...and regain the saved uid.
+        k.sys_seteuid(user, Uid(38)).unwrap();
+        assert_eq!(k.sys_geteuid(user).unwrap(), Uid(38));
+        // But never an unrelated uid.
+        assert_eq!(k.sys_seteuid(user, Uid(7)).unwrap_err(), Errno::EPERM);
+    }
+
+    #[test]
+    fn setgid_stock_semantics() {
+        let (mut k, root, user) = boot();
+        k.sys_setgid(root, Gid(1000)).unwrap();
+        assert_eq!(k.task(root).unwrap().cred.egid, Gid(1000));
+        assert_eq!(k.sys_setgid(user, Gid(24)).unwrap_err(), Errno::EPERM);
+        k.sys_setgid(user, Gid(1000)).unwrap();
+    }
+
+    #[test]
+    fn setgroups_requires_cap() {
+        let (mut k, root, user) = boot();
+        k.sys_setgroups(root, vec![Gid(0), Gid(24)]).unwrap();
+        assert_eq!(
+            k.sys_setgroups(user, vec![Gid(24)]).unwrap_err(),
+            Errno::EPERM
+        );
+    }
+
+    #[test]
+    fn getters() {
+        let (k, root, user) = boot();
+        assert_eq!(k.sys_getuid(root).unwrap(), Uid::ROOT);
+        assert_eq!(k.sys_getuid(user).unwrap(), Uid(1000));
+        assert_eq!(k.sys_getgid(user).unwrap(), Gid(1000));
+    }
+}

@@ -1,0 +1,17 @@
+//! The system-call surface, implemented as `impl Kernel` blocks.
+//!
+//! Eight system calls carry the privilege requirements the paper studies
+//! (Table 4): `socket`, `ioctl`, `bind`, `mount`, `umount`, `setuid`,
+//! `setgid`, and (credential-database) `open`. Each consults the active
+//! LSM at the same decision point Protego hooks in Linux.
+
+mod fs;
+mod id;
+mod ioctl;
+mod mount;
+mod net;
+mod process;
+
+pub use fs::{OpenFlags, Stat};
+pub use ioctl::{IoctlCmd, IoctlOut};
+pub use net::{NetfilterOp, RouteOp};

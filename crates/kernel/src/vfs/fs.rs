@@ -1,0 +1,1208 @@
+//! The virtual filesystem: inode arena, path resolution, and mount table.
+//!
+//! This module is pure *mechanism*. Permission checks (DAC, capabilities,
+//! LSM hooks) are applied by the syscall layer in [`crate::kernel`]; the
+//! functions here resolve paths, manage directory trees, and maintain the
+//! mount table, mirroring the split between `fs/namei.c` and the
+//! `security_*` hook callers in Linux.
+
+use super::inode::{Access, Ino, Inode, InodeData, Mode, ProcHook};
+use crate::cred::{Gid, Uid};
+use crate::error::{Errno, KResult};
+use std::collections::BTreeMap;
+
+/// Maximum symlink expansions during one path walk (Linux uses 40).
+const MAX_SYMLINK_DEPTH: usize = 16;
+
+/// Parsed mount options.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MountOptions {
+    /// Mount read-only.
+    pub read_only: bool,
+    /// Ignore setuid/setgid bits on this mount.
+    pub nosuid: bool,
+    /// Disallow device nodes.
+    pub nodev: bool,
+    /// Disallow executing binaries.
+    pub noexec: bool,
+    /// Unrecognized option strings, preserved verbatim.
+    pub extra: Vec<String>,
+}
+
+impl MountOptions {
+    /// Parses a comma-separated option string (`"ro,nosuid,nodev"`).
+    pub fn parse(s: &str) -> MountOptions {
+        let mut o = MountOptions::default();
+        for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tok {
+                "ro" => o.read_only = true,
+                "rw" => o.read_only = false,
+                "nosuid" => o.nosuid = true,
+                "suid" => o.nosuid = false,
+                "nodev" => o.nodev = true,
+                "dev" => o.nodev = false,
+                "noexec" => o.noexec = true,
+                "exec" => o.noexec = false,
+                "defaults" => {}
+                other => o.extra.push(other.to_string()),
+            }
+        }
+        o
+    }
+
+    /// Renders the options back to a canonical comma-separated string.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        parts.push(if self.read_only { "ro" } else { "rw" }.to_string());
+        if self.nosuid {
+            parts.push("nosuid".into());
+        }
+        if self.nodev {
+            parts.push("nodev".into());
+        }
+        if self.noexec {
+            parts.push("noexec".into());
+        }
+        parts.extend(self.extra.iter().cloned());
+        parts.join(",")
+    }
+}
+
+/// A mounted filesystem instance.
+#[derive(Clone, Debug)]
+pub struct Mount {
+    /// Unique id, monotonically assigned.
+    pub id: u64,
+    /// Source device or pseudo-fs name (`/dev/cdrom`, `proc`).
+    pub source: String,
+    /// Normalized absolute mountpoint path.
+    pub mountpoint: String,
+    /// Filesystem type (`iso9660`, `vfat`, `proc`, ...).
+    pub fstype: String,
+    /// Active options.
+    pub options: MountOptions,
+    /// Root inode of the mounted tree.
+    pub root: Ino,
+    /// The directory inode this mount covers.
+    pub covered: Ino,
+    /// Real uid of the mounting user (recorded for user-umount policy).
+    pub mounted_by: Uid,
+}
+
+/// Outcome of a full path resolution.
+#[derive(Clone, Debug)]
+pub struct Resolved {
+    /// The final inode.
+    pub ino: Ino,
+    /// Every directory inode traversed (for search-permission checks),
+    /// excluding the final inode.
+    pub dirs: Vec<Ino>,
+}
+
+/// The virtual filesystem state.
+#[derive(Debug)]
+pub struct Vfs {
+    inodes: Vec<Inode>,
+    free_inos: Vec<Ino>,
+    root: Ino,
+    mounts: Vec<Mount>,
+    next_mount_id: u64,
+    /// Global change sequence, bumped on every mutation; cheap poll target
+    /// for the monitoring daemon.
+    pub change_seq: u64,
+}
+
+impl Vfs {
+    /// Creates a VFS with an empty root directory owned by root.
+    pub fn new() -> Vfs {
+        let root_inode = Inode {
+            ino: Ino(0),
+            parent: Ino(0),
+            mode: Mode(0o755),
+            uid: Uid::ROOT,
+            gid: Gid::ROOT,
+            data: InodeData::Directory(BTreeMap::new()),
+            version: 0,
+            nlink: 2,
+            opens: 0,
+        };
+        Vfs {
+            inodes: vec![root_inode],
+            free_inos: Vec::new(),
+            root: Ino(0),
+            mounts: Vec::new(),
+            next_mount_id: 1,
+            change_seq: 0,
+        }
+    }
+
+    /// The root directory inode.
+    pub fn root(&self) -> Ino {
+        self.root
+    }
+
+    /// Immutable inode access.
+    pub fn inode(&self, ino: Ino) -> &Inode {
+        &self.inodes[ino.0]
+    }
+
+    /// Mutable inode access. Callers that change content or metadata must
+    /// call [`Vfs::touch`] so watchers observe the change.
+    pub fn inode_mut(&mut self, ino: Ino) -> &mut Inode {
+        &mut self.inodes[ino.0]
+    }
+
+    /// Records a modification of `ino` for change watchers.
+    pub fn touch(&mut self, ino: Ino) {
+        self.change_seq += 1;
+        let seq = self.change_seq;
+        self.inodes[ino.0].version = seq;
+    }
+
+    /// Allocates an inode, reusing a reclaimed slot when one is free.
+    pub fn alloc(&mut self, parent: Ino, mode: Mode, uid: Uid, gid: Gid, data: InodeData) -> Ino {
+        let nlink = if data.is_dir() { 2 } else { 1 };
+        if let Some(ino) = self.free_inos.pop() {
+            self.inodes[ino.0] = Inode {
+                ino,
+                parent,
+                mode,
+                uid,
+                gid,
+                data,
+                version: 0,
+                nlink,
+                opens: 0,
+            };
+            return ino;
+        }
+        let ino = Ino(self.inodes.len());
+        self.inodes.push(Inode {
+            ino,
+            parent,
+            mode,
+            uid,
+            gid,
+            data,
+            version: 0,
+            nlink,
+            opens: 0,
+        });
+        ino
+    }
+
+    /// Records that a file description opened `ino`.
+    pub fn inc_open(&mut self, ino: Ino) {
+        self.inodes[ino.0].opens += 1;
+    }
+
+    /// Records a close; reclaims the inode if it is also unlinked.
+    pub fn dec_open(&mut self, ino: Ino) {
+        let i = &mut self.inodes[ino.0];
+        i.opens = i.opens.saturating_sub(1);
+        self.maybe_reclaim(ino);
+    }
+
+    /// Reclaims an inode with no links and no opens. The root, mount
+    /// roots, and hook nodes always keep a link, so only orphaned
+    /// regular files/symlinks are recycled.
+    fn maybe_reclaim(&mut self, ino: Ino) {
+        let i = &self.inodes[ino.0];
+        if ino != self.root
+            && i.nlink == 0
+            && i.opens == 0
+            && !matches!(i.data, InodeData::Directory(_))
+        {
+            // Drop contents eagerly and remember the slot.
+            self.inodes[ino.0].data = InodeData::Regular(Vec::new());
+            self.free_inos.push(ino);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Path handling
+    // ------------------------------------------------------------------
+
+    /// Splits a path into normalized components, resolving `.` lexically.
+    /// `..` is preserved (it must be resolved against the directory tree,
+    /// not lexically, to honour symlinks and mounts).
+    pub fn components(path: &str) -> Vec<&str> {
+        path.split('/')
+            .filter(|c| !c.is_empty() && *c != ".")
+            .collect()
+    }
+
+    /// Returns the topmost mount covering directory `ino`, if any.
+    pub fn mount_covering(&self, ino: Ino) -> Option<&Mount> {
+        self.mounts.iter().rev().find(|m| m.covered == ino)
+    }
+
+    /// Returns the mount whose root is `ino`, if any.
+    pub fn mount_rooted_at(&self, ino: Ino) -> Option<&Mount> {
+        self.mounts.iter().rev().find(|m| m.root == ino)
+    }
+
+    /// Follows mounts stacked on a directory.
+    fn follow_mounts(&self, mut ino: Ino) -> Ino {
+        // The guard bounds pathological self-covering stacks, which
+        // `add_mount` rejects but which defensive code should not spin on.
+        for _ in 0..self.mounts.len() + 1 {
+            match self.mount_covering(ino) {
+                Some(m) if m.root != ino => ino = m.root,
+                _ => break,
+            }
+        }
+        ino
+    }
+
+    /// Resolves `path` (absolute, or relative to `cwd`) to an inode,
+    /// following symlinks in every component including the last.
+    pub fn resolve(&self, cwd: Ino, path: &str) -> KResult<Resolved> {
+        self.resolve_inner(cwd, path, true, 0)
+    }
+
+    /// Resolves `path` without following a symlink in the final component.
+    pub fn resolve_nofollow(&self, cwd: Ino, path: &str) -> KResult<Resolved> {
+        self.resolve_inner(cwd, path, false, 0)
+    }
+
+    fn resolve_inner(
+        &self,
+        cwd: Ino,
+        path: &str,
+        follow_last: bool,
+        depth: usize,
+    ) -> KResult<Resolved> {
+        if depth > MAX_SYMLINK_DEPTH {
+            return Err(Errno::ELOOP);
+        }
+        if path.len() > 4096 {
+            return Err(Errno::ENAMETOOLONG);
+        }
+        let mut cur = if path.starts_with('/') {
+            self.follow_mounts(self.root)
+        } else {
+            cwd
+        };
+        let mut dirs: Vec<Ino> = Vec::new();
+        let comps = Vfs::components(path);
+        let n = comps.len();
+        if n == 0 {
+            return Ok(Resolved { ino: cur, dirs });
+        }
+        for (i, comp) in comps.iter().enumerate() {
+            let is_last = i == n - 1;
+            let node = self.inode(cur);
+            let entries = match node.dir_entries() {
+                Some(e) => e,
+                None => return Err(Errno::ENOTDIR),
+            };
+            dirs.push(cur);
+            let next = if *comp == ".." {
+                // At a mount root, `..` escapes to the covered directory's
+                // parent.
+                if let Some(m) = self.mount_rooted_at(cur) {
+                    self.inode(m.covered).parent
+                } else {
+                    node.parent
+                }
+            } else {
+                match entries.get(*comp) {
+                    Some(&ino) => ino,
+                    None => return Err(Errno::ENOENT),
+                }
+            };
+            // Symlink expansion.
+            if let InodeData::Symlink(target) = &self.inode(next).data {
+                if is_last && !follow_last {
+                    return Ok(Resolved { ino: next, dirs });
+                }
+                let target = target.clone();
+                let sub = self.resolve_inner(cur, &target, true, depth + 1)?;
+                dirs.extend(sub.dirs.iter().copied());
+                let mut landed = sub.ino;
+                if !is_last {
+                    landed = self.follow_mounts(landed);
+                    cur = landed;
+                    continue;
+                }
+                let landed = if self.inode(landed).data.is_dir() {
+                    self.follow_mounts(landed)
+                } else {
+                    landed
+                };
+                return Ok(Resolved { ino: landed, dirs });
+            }
+            // Mount traversal.
+            let next = if self.inode(next).data.is_dir() {
+                self.follow_mounts(next)
+            } else {
+                next
+            };
+            if is_last {
+                return Ok(Resolved { ino: next, dirs });
+            }
+            cur = next;
+        }
+        unreachable!("loop returns on last component");
+    }
+
+    /// Resolves the parent directory of `path` and returns it with the
+    /// final component name. Used by create/unlink-style operations.
+    pub fn resolve_parent(&self, cwd: Ino, path: &str) -> KResult<(Resolved, String)> {
+        let comps = Vfs::components(path);
+        let (last, parents) = match comps.split_last() {
+            Some(x) => x,
+            None => return Err(Errno::EINVAL),
+        };
+        if *last == ".." {
+            return Err(Errno::EINVAL);
+        }
+        let parent_path = if path.starts_with('/') {
+            format!("/{}", parents.join("/"))
+        } else if parents.is_empty() {
+            ".".to_string()
+        } else {
+            parents.join("/")
+        };
+        let r = self.resolve(cwd, &parent_path)?;
+        if !self.inode(r.ino).data.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok((r, last.to_string()))
+    }
+
+    /// Computes the absolute path of an inode by walking parents. Mount
+    /// roots are translated through their covered directory. Primarily for
+    /// diagnostics, `/proc/mounts`, and binary identity in LSM policies.
+    pub fn path_of(&self, ino: Ino) -> String {
+        let mut cur = ino;
+        let mut parts: Vec<String> = Vec::new();
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 4096 {
+                return "<cycle>".into();
+            }
+            if let Some(m) = self.mount_rooted_at(cur) {
+                cur = m.covered;
+                continue;
+            }
+            if cur == self.root {
+                break;
+            }
+            let parent = self.inode(cur).parent;
+            let name = self
+                .inode(parent)
+                .dir_entries()
+                .and_then(|e| e.iter().find(|(_, &i)| i == cur).map(|(n, _)| n.clone()))
+                .unwrap_or_else(|| format!("<ino{}>", cur.0));
+            parts.push(name);
+            cur = parent;
+        }
+        if parts.is_empty() {
+            "/".into()
+        } else {
+            parts.reverse();
+            format!("/{}", parts.join("/"))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Directory operations (mechanism; callers check permissions)
+    // ------------------------------------------------------------------
+
+    /// Adds a directory entry, failing if the name exists.
+    pub fn dir_add(&mut self, dir: Ino, name: &str, child: Ino) -> KResult<()> {
+        if name.is_empty() || name.contains('/') {
+            return Err(Errno::EINVAL);
+        }
+        let entries = match &mut self.inodes[dir.0].data {
+            InodeData::Directory(e) => e,
+            _ => return Err(Errno::ENOTDIR),
+        };
+        if entries.contains_key(name) {
+            return Err(Errno::EEXIST);
+        }
+        entries.insert(name.to_string(), child);
+        if self.inodes[child.0].data.is_dir() {
+            self.inodes[dir.0].nlink += 1;
+        }
+        self.touch(dir);
+        Ok(())
+    }
+
+    /// Removes a directory entry, returning the unlinked inode number.
+    pub fn dir_remove(&mut self, dir: Ino, name: &str) -> KResult<Ino> {
+        let entries = match &mut self.inodes[dir.0].data {
+            InodeData::Directory(e) => e,
+            _ => return Err(Errno::ENOTDIR),
+        };
+        let child = entries.remove(name).ok_or(Errno::ENOENT)?;
+        if self.inodes[child.0].data.is_dir() {
+            self.inodes[dir.0].nlink -= 1;
+            // A removed directory is gone entirely (rmdir checked it was
+            // empty).
+            self.inodes[child.0].nlink = 0;
+        } else {
+            self.inodes[child.0].nlink = self.inodes[child.0].nlink.saturating_sub(1);
+        }
+        self.touch(dir);
+        self.maybe_reclaim(child);
+        Ok(child)
+    }
+
+    /// Creates a regular file; `exclusive` makes an existing name an error.
+    pub fn create_file(
+        &mut self,
+        dir: Ino,
+        name: &str,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+        exclusive: bool,
+    ) -> KResult<Ino> {
+        if let Some(entries) = self.inodes[dir.0].dir_entries() {
+            if let Some(&existing) = entries.get(name) {
+                if exclusive {
+                    return Err(Errno::EEXIST);
+                }
+                return Ok(existing);
+            }
+        } else {
+            return Err(Errno::ENOTDIR);
+        }
+        let ino = self.alloc(dir, mode, uid, gid, InodeData::Regular(Vec::new()));
+        self.dir_add(dir, name, ino)?;
+        Ok(ino)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, dir: Ino, name: &str, mode: Mode, uid: Uid, gid: Gid) -> KResult<Ino> {
+        let ino = self.alloc(dir, mode, uid, gid, InodeData::Directory(BTreeMap::new()));
+        self.dir_add(dir, name, ino)?;
+        Ok(ino)
+    }
+
+    /// Creates a symlink.
+    pub fn symlink(
+        &mut self,
+        dir: Ino,
+        name: &str,
+        target: &str,
+        uid: Uid,
+        gid: Gid,
+    ) -> KResult<Ino> {
+        let ino = self.alloc(
+            dir,
+            Mode(0o777),
+            uid,
+            gid,
+            InodeData::Symlink(target.to_string()),
+        );
+        self.dir_add(dir, name, ino)?;
+        Ok(ino)
+    }
+
+    /// Removes a non-directory entry.
+    pub fn unlink(&mut self, dir: Ino, name: &str) -> KResult<()> {
+        let entries = self.inodes[dir.0].dir_entries().ok_or(Errno::ENOTDIR)?;
+        let &child = entries.get(name).ok_or(Errno::ENOENT)?;
+        if self.inodes[child.0].data.is_dir() {
+            return Err(Errno::EISDIR);
+        }
+        self.dir_remove(dir, name)?;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, dir: Ino, name: &str) -> KResult<()> {
+        let entries = self.inodes[dir.0].dir_entries().ok_or(Errno::ENOTDIR)?;
+        let &child = entries.get(name).ok_or(Errno::ENOENT)?;
+        match self.inodes[child.0].dir_entries() {
+            Some(e) if !e.is_empty() => return Err(Errno::ENOTEMPTY),
+            Some(_) => {}
+            None => return Err(Errno::ENOTDIR),
+        }
+        if self.mount_covering(child).is_some() {
+            return Err(Errno::EBUSY);
+        }
+        self.dir_remove(dir, name)?;
+        Ok(())
+    }
+
+    /// Renames an entry, overwriting a non-directory target if present —
+    /// the atomic-replace primitive database rewriters rely on.
+    pub fn rename(
+        &mut self,
+        from_dir: Ino,
+        from_name: &str,
+        to_dir: Ino,
+        to_name: &str,
+    ) -> KResult<()> {
+        let src = *self.inodes[from_dir.0]
+            .dir_entries()
+            .ok_or(Errno::ENOTDIR)?
+            .get(from_name)
+            .ok_or(Errno::ENOENT)?;
+        if let Some(entries) = self.inodes[to_dir.0].dir_entries() {
+            if let Some(&existing) = entries.get(to_name) {
+                if existing == src {
+                    return Ok(());
+                }
+                if self.inodes[existing.0].data.is_dir() {
+                    return Err(Errno::EISDIR);
+                }
+                self.dir_remove(to_dir, to_name)?;
+            }
+        } else {
+            return Err(Errno::ENOTDIR);
+        }
+        // Move the entry without touching the inode's link count.
+        let entries = match &mut self.inodes[from_dir.0].data {
+            InodeData::Directory(e) => e,
+            _ => return Err(Errno::ENOTDIR),
+        };
+        entries.remove(from_name);
+        if self.inodes[src.0].data.is_dir() {
+            self.inodes[from_dir.0].nlink -= 1;
+        }
+        self.touch(from_dir);
+        match &mut self.inodes[to_dir.0].data {
+            InodeData::Directory(e) => {
+                e.insert(to_name.to_string(), src);
+            }
+            _ => return Err(Errno::ENOTDIR),
+        }
+        if self.inodes[src.0].data.is_dir() {
+            self.inodes[to_dir.0].nlink += 1;
+        }
+        self.inodes[src.0].parent = to_dir;
+        self.touch(to_dir);
+        self.touch(src);
+        Ok(())
+    }
+
+    /// Creates a hard link to an existing inode.
+    pub fn link(&mut self, dir: Ino, name: &str, target: Ino) -> KResult<()> {
+        if self.inodes[target.0].data.is_dir() {
+            return Err(Errno::EPERM);
+        }
+        self.dir_add(dir, name, target)?;
+        self.inodes[target.0].nlink += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // File content
+    // ------------------------------------------------------------------
+
+    /// Reads the full contents of a regular file.
+    pub fn read_all(&self, ino: Ino) -> KResult<&[u8]> {
+        match &self.inode(ino).data {
+            InodeData::Regular(d) => Ok(d),
+            InodeData::Directory(_) => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Replaces the contents of a regular file.
+    pub fn write_all(&mut self, ino: Ino, data: &[u8]) -> KResult<()> {
+        match &mut self.inodes[ino.0].data {
+            InodeData::Regular(d) => {
+                d.clear();
+                d.extend_from_slice(data);
+            }
+            InodeData::Directory(_) => return Err(Errno::EISDIR),
+            _ => return Err(Errno::EINVAL),
+        }
+        self.touch(ino);
+        Ok(())
+    }
+
+    /// Appends to a regular file.
+    pub fn append(&mut self, ino: Ino, data: &[u8]) -> KResult<()> {
+        match &mut self.inodes[ino.0].data {
+            InodeData::Regular(d) => d.extend_from_slice(data),
+            InodeData::Directory(_) => return Err(Errno::EISDIR),
+            _ => return Err(Errno::EINVAL),
+        }
+        self.touch(ino);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Mount table
+    // ------------------------------------------------------------------
+
+    /// Installs a mount over directory `covered`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mount(
+        &mut self,
+        source: &str,
+        mountpoint: &str,
+        fstype: &str,
+        options: MountOptions,
+        root: Ino,
+        covered: Ino,
+        mounted_by: Uid,
+    ) -> KResult<u64> {
+        if !self.inode(covered).data.is_dir() || !self.inode(root).data.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        if root == covered {
+            return Err(Errno::EBUSY);
+        }
+        let id = self.next_mount_id;
+        self.next_mount_id += 1;
+        self.mounts.push(Mount {
+            id,
+            source: source.to_string(),
+            mountpoint: mountpoint.to_string(),
+            fstype: fstype.to_string(),
+            options,
+            root,
+            covered,
+            mounted_by,
+        });
+        self.change_seq += 1;
+        Ok(id)
+    }
+
+    /// Removes the topmost mount at `mountpoint`, returning it.
+    pub fn remove_mount(&mut self, mountpoint: &str) -> KResult<Mount> {
+        let idx = self
+            .mounts
+            .iter()
+            .rposition(|m| m.mountpoint == mountpoint)
+            .ok_or(Errno::EINVAL)?;
+        // A mount with a child mount underneath it is busy.
+        let prefix = if mountpoint == "/" {
+            "/".to_string()
+        } else {
+            format!("{}/", mountpoint)
+        };
+        let has_children = self
+            .mounts
+            .iter()
+            .any(|m| m.mountpoint != mountpoint && m.mountpoint.starts_with(&prefix));
+        if has_children {
+            return Err(Errno::EBUSY);
+        }
+        self.change_seq += 1;
+        Ok(self.mounts.remove(idx))
+    }
+
+    /// The current mount table.
+    pub fn mounts(&self) -> &[Mount] {
+        &self.mounts
+    }
+
+    /// Finds a mount by its mountpoint path.
+    pub fn find_mount(&self, mountpoint: &str) -> Option<&Mount> {
+        self.mounts
+            .iter()
+            .rev()
+            .find(|m| m.mountpoint == mountpoint)
+    }
+
+    /// Renders the mount table in `/proc/mounts` format.
+    pub fn render_proc_mounts(&self) -> String {
+        let mut out = String::new();
+        for m in &self.mounts {
+            out.push_str(&format!(
+                "{} {} {} {} 0 0\n",
+                m.source,
+                m.mountpoint,
+                m.fstype,
+                m.options.render()
+            ));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience used by image builders and tests
+    // ------------------------------------------------------------------
+
+    /// Creates every missing directory along `path` (root-owned, 0755) and
+    /// returns the final directory inode.
+    pub fn mkdir_p(&mut self, path: &str) -> KResult<Ino> {
+        let mut cur = self.root;
+        for comp in Vfs::components(path) {
+            if comp == ".." {
+                cur = self.inode(cur).parent;
+                continue;
+            }
+            let existing = self
+                .inode(cur)
+                .dir_entries()
+                .ok_or(Errno::ENOTDIR)?
+                .get(comp)
+                .copied();
+            cur = match existing {
+                Some(i) => self.follow_mounts(i),
+                None => self.mkdir(cur, comp, Mode(0o755), Uid::ROOT, Gid::ROOT)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Creates (or truncates) a file at an absolute path with explicit
+    /// ownership and mode, creating parent directories as needed.
+    pub fn install_file(
+        &mut self,
+        path: &str,
+        contents: &[u8],
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+    ) -> KResult<Ino> {
+        let (dir_path, name) = match path.rfind('/') {
+            Some(0) => ("/", &path[1..]),
+            Some(i) => (&path[..i], &path[i + 1..]),
+            None => return Err(Errno::EINVAL),
+        };
+        if name.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        let dir = self.mkdir_p(dir_path)?;
+        let ino = self.create_file(dir, name, mode, uid, gid, false)?;
+        self.inodes[ino.0].mode = mode;
+        self.inodes[ino.0].uid = uid;
+        self.inodes[ino.0].gid = gid;
+        self.write_all(ino, contents)?;
+        Ok(ino)
+    }
+
+    /// Installs a dynamic kernel-backed node at an absolute path.
+    pub fn install_hook(
+        &mut self,
+        path: &str,
+        hook: ProcHook,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+    ) -> KResult<Ino> {
+        let (dir_path, name) = match path.rfind('/') {
+            Some(0) => ("/", &path[1..]),
+            Some(i) => (&path[..i], &path[i + 1..]),
+            None => return Err(Errno::EINVAL),
+        };
+        let dir = self.mkdir_p(dir_path)?;
+        let ino = self.alloc(dir, mode, uid, gid, InodeData::Hook(hook));
+        self.dir_add(dir, name, ino)?;
+        Ok(ino)
+    }
+
+    /// DAC permission check: does `cred`-like identity (uid, groups) get
+    /// `want` on `inode`? Pure owner/group/other logic; capability
+    /// overrides are applied by the caller.
+    pub fn dac_allows(
+        inode: &Inode,
+        uid: Uid,
+        in_group: impl Fn(Gid) -> bool,
+        want: Access,
+    ) -> bool {
+        let bits = if inode.uid == uid {
+            inode.mode.owner_bits()
+        } else if in_group(inode.gid) {
+            inode.mode.group_bits()
+        } else {
+            inode.mode.other_bits()
+        };
+        bits & want.0 == want.0
+    }
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Vfs {
+        let mut v = Vfs::new();
+        v.mkdir_p("/etc").unwrap();
+        v.install_file(
+            "/etc/fstab",
+            b"# fstab\n",
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::ROOT,
+        )
+        .unwrap();
+        v.mkdir_p("/home/alice").unwrap();
+        v
+    }
+
+    #[test]
+    fn resolve_absolute_path() {
+        let v = fixture();
+        let r = v.resolve(v.root(), "/etc/fstab").unwrap();
+        assert_eq!(v.read_all(r.ino).unwrap(), b"# fstab\n");
+        assert_eq!(r.dirs.len(), 2); // "/" and "/etc"
+    }
+
+    #[test]
+    fn resolve_missing_is_enoent() {
+        let v = fixture();
+        assert_eq!(v.resolve(v.root(), "/etc/nope").unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn resolve_through_file_is_enotdir() {
+        let v = fixture();
+        assert_eq!(
+            v.resolve(v.root(), "/etc/fstab/x").unwrap_err(),
+            Errno::ENOTDIR
+        );
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        let r = v.resolve(v.root(), "/etc/./../etc/fstab").unwrap();
+        assert_eq!(v.inode(r.ino).parent, etc);
+        let root = v.resolve(v.root(), "/..").unwrap();
+        assert_eq!(root.ino, v.root());
+    }
+
+    #[test]
+    fn relative_resolution() {
+        let v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        let r = v.resolve(etc, "fstab").unwrap();
+        assert_eq!(v.read_all(r.ino).unwrap(), b"# fstab\n");
+    }
+
+    #[test]
+    fn symlink_follow_and_nofollow() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        v.symlink(etc, "fstab.link", "/etc/fstab", Uid::ROOT, Gid::ROOT)
+            .unwrap();
+        let followed = v.resolve(v.root(), "/etc/fstab.link").unwrap();
+        assert_eq!(v.read_all(followed.ino).unwrap(), b"# fstab\n");
+        let raw = v.resolve_nofollow(v.root(), "/etc/fstab.link").unwrap();
+        assert!(matches!(v.inode(raw.ino).data, InodeData::Symlink(_)));
+    }
+
+    #[test]
+    fn symlink_loop_is_eloop() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        v.symlink(etc, "a", "/etc/b", Uid::ROOT, Gid::ROOT).unwrap();
+        v.symlink(etc, "b", "/etc/a", Uid::ROOT, Gid::ROOT).unwrap();
+        assert_eq!(v.resolve(v.root(), "/etc/a").unwrap_err(), Errno::ELOOP);
+    }
+
+    #[test]
+    fn relative_symlink() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        v.symlink(etc, "rel", "fstab", Uid::ROOT, Gid::ROOT)
+            .unwrap();
+        let r = v.resolve(v.root(), "/etc/rel").unwrap();
+        assert_eq!(v.read_all(r.ino).unwrap(), b"# fstab\n");
+    }
+
+    #[test]
+    fn mount_and_traverse() {
+        let mut v = fixture();
+        let mnt = v.mkdir_p("/mnt/cdrom").unwrap();
+        let media_root = v.alloc(
+            Ino(0),
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Directory(BTreeMap::new()),
+        );
+        v.create_file(
+            media_root,
+            "readme.txt",
+            Mode(0o444),
+            Uid::ROOT,
+            Gid::ROOT,
+            true,
+        )
+        .unwrap();
+        v.add_mount(
+            "/dev/cdrom",
+            "/mnt/cdrom",
+            "iso9660",
+            MountOptions::parse("ro"),
+            media_root,
+            mnt,
+            Uid(1000),
+        )
+        .unwrap();
+        let r = v.resolve(v.root(), "/mnt/cdrom/readme.txt").unwrap();
+        assert_eq!(v.inode(r.ino).mode, Mode(0o444));
+        // `..` from inside the mount escapes to /mnt.
+        let up = v.resolve(v.root(), "/mnt/cdrom/..").unwrap();
+        assert_eq!(v.path_of(up.ino), "/mnt");
+    }
+
+    #[test]
+    fn umount_restores_view() {
+        let mut v = fixture();
+        let mnt = v.mkdir_p("/mnt/usb").unwrap();
+        v.create_file(mnt, "under.txt", Mode(0o644), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        let media = v.alloc(
+            Ino(0),
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Directory(BTreeMap::new()),
+        );
+        v.add_mount(
+            "/dev/sdb1",
+            "/mnt/usb",
+            "vfat",
+            MountOptions::default(),
+            media,
+            mnt,
+            Uid(1000),
+        )
+        .unwrap();
+        assert_eq!(
+            v.resolve(v.root(), "/mnt/usb/under.txt").unwrap_err(),
+            Errno::ENOENT
+        );
+        v.remove_mount("/mnt/usb").unwrap();
+        assert!(v.resolve(v.root(), "/mnt/usb/under.txt").is_ok());
+    }
+
+    #[test]
+    fn umount_with_child_mount_is_busy() {
+        let mut v = fixture();
+        let a = v.mkdir_p("/a").unwrap();
+        let media = v.alloc(
+            Ino(0),
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Directory(BTreeMap::new()),
+        );
+        v.add_mount("x", "/a", "t", MountOptions::default(), media, a, Uid::ROOT)
+            .unwrap();
+        let b = v.mkdir_p("/a/b").unwrap();
+        let media2 = v.alloc(
+            Ino(0),
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Directory(BTreeMap::new()),
+        );
+        v.add_mount(
+            "y",
+            "/a/b",
+            "t",
+            MountOptions::default(),
+            media2,
+            b,
+            Uid::ROOT,
+        )
+        .unwrap();
+        assert_eq!(v.remove_mount("/a").unwrap_err(), Errno::EBUSY);
+        v.remove_mount("/a/b").unwrap();
+        v.remove_mount("/a").unwrap();
+    }
+
+    #[test]
+    fn stacked_mounts_lifo() {
+        let mut v = fixture();
+        let mnt = v.mkdir_p("/mnt/x").unwrap();
+        let m1 = v.alloc(
+            Ino(0),
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Directory(BTreeMap::new()),
+        );
+        let m2 = v.alloc(
+            Ino(0),
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Directory(BTreeMap::new()),
+        );
+        v.add_mount(
+            "one",
+            "/mnt/x",
+            "t",
+            MountOptions::default(),
+            m1,
+            mnt,
+            Uid::ROOT,
+        )
+        .unwrap();
+        v.create_file(m1, "one.txt", Mode(0o644), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        v.add_mount(
+            "two",
+            "/mnt/x",
+            "t",
+            MountOptions::default(),
+            m2,
+            mnt,
+            Uid::ROOT,
+        )
+        .unwrap();
+        v.create_file(m2, "two.txt", Mode(0o644), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        assert!(v.resolve(v.root(), "/mnt/x/two.txt").is_ok());
+        assert!(v.resolve(v.root(), "/mnt/x/one.txt").is_err());
+        v.remove_mount("/mnt/x").unwrap();
+        assert!(v.resolve(v.root(), "/mnt/x/one.txt").is_ok());
+    }
+
+    #[test]
+    fn path_of_roundtrip() {
+        let v = fixture();
+        let r = v.resolve(v.root(), "/home/alice").unwrap();
+        assert_eq!(v.path_of(r.ino), "/home/alice");
+        assert_eq!(v.path_of(v.root()), "/");
+    }
+
+    #[test]
+    fn unlink_and_rmdir() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        v.unlink(etc, "fstab").unwrap();
+        assert_eq!(
+            v.resolve(v.root(), "/etc/fstab").unwrap_err(),
+            Errno::ENOENT
+        );
+        let home = v.resolve(v.root(), "/home").unwrap().ino;
+        assert_eq!(v.rmdir(v.root(), "home").unwrap_err(), Errno::ENOTEMPTY);
+        v.rmdir(home, "alice").unwrap();
+        v.rmdir(v.root(), "home").unwrap();
+    }
+
+    #[test]
+    fn unlink_directory_is_eisdir() {
+        let mut v = fixture();
+        assert_eq!(v.unlink(v.root(), "etc").unwrap_err(), Errno::EISDIR);
+    }
+
+    #[test]
+    fn hard_link_shares_inode() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        v.link(etc, "fstab2", f).unwrap();
+        assert_eq!(v.inode(f).nlink, 2);
+        let r = v.resolve(v.root(), "/etc/fstab2").unwrap();
+        assert_eq!(r.ino, f);
+        v.unlink(etc, "fstab").unwrap();
+        assert_eq!(v.inode(f).nlink, 1);
+    }
+
+    #[test]
+    fn rename_moves_and_overwrites() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        let tmp = v.mkdir_p("/tmp").unwrap();
+        let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        // Move across directories.
+        v.rename(etc, "fstab", tmp, "fstab.new").unwrap();
+        assert_eq!(
+            v.resolve(v.root(), "/etc/fstab").unwrap_err(),
+            Errno::ENOENT
+        );
+        assert_eq!(v.resolve(v.root(), "/tmp/fstab.new").unwrap().ino, f);
+        assert_eq!(v.path_of(f), "/tmp/fstab.new");
+        // Overwrite an existing target (atomic replace).
+        v.create_file(tmp, "target", Mode(0o600), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        v.rename(tmp, "fstab.new", tmp, "target").unwrap();
+        let t = v.resolve(v.root(), "/tmp/target").unwrap();
+        assert_eq!(t.ino, f);
+        assert_eq!(v.read_all(f).unwrap(), b"# fstab\n");
+        // Missing source.
+        assert_eq!(v.rename(tmp, "nope", tmp, "x").unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn rename_directory_updates_nlink() {
+        let mut v = fixture();
+        let home = v.resolve(v.root(), "/home").unwrap().ino;
+        let tmp = v.mkdir_p("/tmp").unwrap();
+        let home_links = v.inode(home).nlink;
+        let tmp_links = v.inode(tmp).nlink;
+        v.rename(home, "alice", tmp, "alice").unwrap();
+        assert_eq!(v.inode(home).nlink, home_links - 1);
+        assert_eq!(v.inode(tmp).nlink, tmp_links + 1);
+        assert!(v.resolve(v.root(), "/tmp/alice").is_ok());
+    }
+
+    #[test]
+    fn touch_bumps_version_and_seq() {
+        let mut v = fixture();
+        let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        let v0 = v.inode(f).version;
+        let s0 = v.change_seq;
+        v.append(f, b"more\n").unwrap();
+        assert!(v.inode(f).version > v0);
+        assert!(v.change_seq > s0);
+    }
+
+    #[test]
+    fn dac_semantics() {
+        let v = fixture();
+        let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        let inode = v.inode(f); // 0644 root:root
+        assert!(Vfs::dac_allows(inode, Uid::ROOT, |_| false, Access::WRITE));
+        assert!(Vfs::dac_allows(inode, Uid(1000), |_| false, Access::READ));
+        assert!(!Vfs::dac_allows(inode, Uid(1000), |_| false, Access::WRITE));
+        // Group bits picked when the caller is in the owning group.
+        assert!(!Vfs::dac_allows(
+            inode,
+            Uid(1000),
+            |g| g == Gid::ROOT,
+            Access::WRITE
+        ));
+    }
+
+    #[test]
+    fn mount_options_parse_render() {
+        let o = MountOptions::parse("ro,nosuid,nodev,uid=1000");
+        assert!(o.read_only && o.nosuid && o.nodev && !o.noexec);
+        assert_eq!(o.extra, vec!["uid=1000".to_string()]);
+        assert_eq!(o.render(), "ro,nosuid,nodev,uid=1000");
+        assert_eq!(MountOptions::parse("defaults").render(), "rw");
+    }
+
+    #[test]
+    fn proc_mounts_rendering() {
+        let mut v = fixture();
+        let mnt = v.mkdir_p("/mnt/c").unwrap();
+        let m = v.alloc(
+            Ino(0),
+            Mode(0o755),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Directory(BTreeMap::new()),
+        );
+        v.add_mount(
+            "/dev/cdrom",
+            "/mnt/c",
+            "iso9660",
+            MountOptions::parse("ro,nosuid"),
+            m,
+            mnt,
+            Uid(1000),
+        )
+        .unwrap();
+        let s = v.render_proc_mounts();
+        assert_eq!(s, "/dev/cdrom /mnt/c iso9660 ro,nosuid 0 0\n");
+    }
+}

@@ -1,0 +1,7 @@
+//! Virtual filesystem: inodes, path resolution, mounts, and dynamic nodes.
+
+mod fs;
+mod inode;
+
+pub use fs::{Mount, MountOptions, Resolved, Vfs};
+pub use inode::{Access, Ino, Inode, InodeData, Mode, ProcHook};

@@ -1,0 +1,21 @@
+//! # setuid-study
+//!
+//! The data artifacts of the paper's setuid-to-root study, as typed Rust:
+//!
+//! * [`popularity`] — Table 3's installation survey and the 89.5%
+//!   adoption-coverage computation;
+//! * [`loc`] — Tables 1/2's lines-of-code accounting (including the
+//!   paper's own small internal inconsistencies, preserved and tested);
+//! * [`interfaces`] — Table 4's interface/policy study, cross-referenced
+//!   to the reproduction's LSM hooks, and Table 8's remaining binaries;
+//! * [`summary`] — Table 1 recomputed from measured experiment outputs;
+//! * [`render`] — paper-style plain-text table renderers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interfaces;
+pub mod loc;
+pub mod popularity;
+pub mod render;
+pub mod summary;

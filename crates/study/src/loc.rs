@@ -1,0 +1,177 @@
+//! Tables 1 and 2: lines-of-code accounting for the Protego prototype.
+
+/// Where a changed component lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ComponentKind {
+    /// Kernel code (trusted).
+    Kernel,
+    /// Trusted userspace service.
+    TrustedService,
+    /// Command-line utility (untrusted under Protego).
+    Utility,
+}
+
+/// One Table 2 row.
+#[derive(Clone, Copy, Debug)]
+pub struct LocRow {
+    /// Component name.
+    pub component: &'static str,
+    /// What it is.
+    pub kind: ComponentKind,
+    /// Description as printed.
+    pub description: &'static str,
+    /// Lines written or changed (negative = removed).
+    pub lines: i64,
+}
+
+/// Table 2 as published.
+pub const TABLE2: &[LocRow] = &[
+    LocRow {
+        component: "Linux",
+        kind: ComponentKind::Kernel,
+        description: "Additional LSM hooks, /proc filesystem interface.",
+        lines: 415,
+    },
+    LocRow {
+        component: "Protego LSM module",
+        kind: ComponentKind::Kernel,
+        description: "Implement security policies, called by additional LSM hooks in Linux.",
+        lines: 200,
+    },
+    LocRow {
+        component: "Netfilter",
+        kind: ComponentKind::Kernel,
+        description: "Extensions for raw sockets.",
+        lines: 100,
+    },
+    LocRow {
+        component: "Monitoring daemon",
+        kind: ComponentKind::TrustedService,
+        description:
+            "Trusted process that monitors changes in policy-relevant configuration files.",
+        lines: 400,
+    },
+    LocRow {
+        component: "Authentication utility",
+        kind: ComponentKind::TrustedService,
+        description: "Trusted binary launched by the kernel to authenticate user sessions.",
+        lines: 1200,
+    },
+    LocRow {
+        component: "iptables",
+        kind: ComponentKind::Utility,
+        description: "Extension for raw sockets.",
+        lines: 175,
+    },
+    LocRow {
+        component: "vipw",
+        kind: ComponentKind::Utility,
+        description: "Modified to edit per-user files instead of a shared database file.",
+        lines: 40,
+    },
+    LocRow {
+        component: "dmcrypt-get-device",
+        kind: ComponentKind::Utility,
+        description: "Switch to /sys to read underlying device information.",
+        lines: 4,
+    },
+    LocRow {
+        component: "mount/umount, sudo, pppd",
+        kind: ComponentKind::Utility,
+        description: "Disable hard-coded root uid checks.",
+        lines: -25,
+    },
+];
+
+/// The grand total Table 2 prints. (Summing the printed rows gives 2,509;
+/// the 89-line difference is unexplained in the paper — we preserve both
+/// numbers.)
+pub const TABLE2_PRINTED_TOTAL: i64 = 2_598;
+
+/// Sum of the printed rows.
+pub fn table2_row_sum() -> i64 {
+    TABLE2.iter().map(|r| r.lines).sum()
+}
+
+/// Lines of kernel code Protego adds (Table 1/§5.2's "715 lines of Linux
+/// kernel code": LSM-hook plumbing, the module, and the netfilter
+/// extension).
+pub fn kernel_lines_added() -> i64 {
+    TABLE2
+        .iter()
+        .filter(|r| r.kind == ComponentKind::Kernel)
+        .map(|r| r.lines)
+        .sum()
+}
+
+/// Lines of previously-privileged binary code that no longer execute with
+/// privilege (§5.2's conservative count).
+pub const DEPRIVILEGED_LINES: i64 = 15_047;
+
+/// Trusted lines added (kernel + trusted services), per §5.2's arithmetic:
+/// 715 (kernel) + 400 (monitoring) + 1200 (authentication).
+pub fn trusted_lines_added() -> i64 {
+    kernel_lines_added() + 400 + 1200
+}
+
+/// Net reduction in trusted lines. §5.2 states "at least 12,732"; Table 1
+/// prints 12,717 — the two published numbers differ by 15, and the direct
+/// subtraction gives 12,732. We compute, and keep the printed Table 1
+/// value alongside.
+pub fn net_trusted_reduction() -> i64 {
+    DEPRIVILEGED_LINES - trusted_lines_added()
+}
+
+/// The value Table 1 prints.
+pub const TABLE1_PRINTED_NET_REDUCTION: i64 = 12_717;
+
+/// LoC comparisons the paper cites against point solutions.
+pub mod comparisons {
+    /// Protego's trusted-code cost of user mounts (Table 4 discussion).
+    pub const PROTEGO_MOUNT_LOC: i64 = 258;
+    /// The Linux automounter's TCB growth, including its kernel patch.
+    pub const AUTOMOUNTER_LOC: i64 = 21_674;
+    /// The automounter's kernel patch alone.
+    pub const AUTOMOUNTER_KERNEL_PATCH_LOC: i64 = 79;
+    /// Protego's credential-database change.
+    pub const PROTEGO_CREDDB_LOC: i64 = 240;
+    /// OpenLDAP 2.8, the record-granularity alternative.
+    pub const OPENLDAP_LOC: i64 = 175_368;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_lines_are_715() {
+        assert_eq!(kernel_lines_added(), 715);
+    }
+
+    #[test]
+    fn net_reduction_matches_section_5_2() {
+        assert_eq!(trusted_lines_added(), 2_315);
+        // 15,047 - (715 + 400 + 1200) = 12,732 per §5.2.
+        assert_eq!(net_trusted_reduction(), 12_732);
+        // Table 1 prints 12,717; the delta between the paper's own
+        // numbers is 15 lines.
+        assert_eq!(net_trusted_reduction() - TABLE1_PRINTED_NET_REDUCTION, 15);
+    }
+
+    #[test]
+    fn table2_sum_vs_printed_total() {
+        assert_eq!(table2_row_sum(), 2_509);
+        assert_eq!(TABLE2_PRINTED_TOTAL - table2_row_sum(), 89);
+    }
+
+    #[test]
+    fn point_solution_comparisons() {
+        use comparisons::*;
+        // Bind through locals so the comparisons are evaluated, not
+        // constant-folded assertions.
+        let (m, a) = (PROTEGO_MOUNT_LOC, AUTOMOUNTER_LOC);
+        assert!(m * 80 < a);
+        let (c, l) = (PROTEGO_CREDDB_LOC, OPENLDAP_LOC);
+        assert!(c * 700 < l);
+    }
+}

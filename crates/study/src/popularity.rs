@@ -1,0 +1,244 @@
+//! Table 3: installation frequency of packages containing setuid-to-root
+//! binaries, from the Debian and Ubuntu popularity-contest surveys.
+
+/// Survey population: Ubuntu systems reporting.
+pub const UBUNTU_SYSTEMS: u64 = 2_502_647;
+/// Survey population: Debian systems reporting.
+pub const DEBIAN_SYSTEMS: u64 = 134_020;
+
+/// One Table 3 row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PopularityRow {
+    /// Package name.
+    pub package: &'static str,
+    /// Percent of Ubuntu systems installing it.
+    pub ubuntu_pct: f64,
+    /// Percent of Debian systems installing it.
+    pub debian_pct: f64,
+    /// Whether the paper's study fully investigated the package (the
+    /// packages through ecryptfs-utils).
+    pub investigated: bool,
+}
+
+/// The 20 most frequently installed packages (Table 3).
+pub const TABLE3: &[PopularityRow] = &[
+    PopularityRow {
+        package: "mount",
+        ubuntu_pct: 100.00,
+        debian_pct: 99.75,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "login",
+        ubuntu_pct: 99.99,
+        debian_pct: 99.82,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "passwd",
+        ubuntu_pct: 99.97,
+        debian_pct: 99.84,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "iputils-ping",
+        ubuntu_pct: 99.87,
+        debian_pct: 99.60,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "openssh-client",
+        ubuntu_pct: 99.54,
+        debian_pct: 99.48,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "eject",
+        ubuntu_pct: 99.68,
+        debian_pct: 90.95,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "sudo",
+        ubuntu_pct: 99.48,
+        debian_pct: 74.34,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "ppp",
+        ubuntu_pct: 99.54,
+        debian_pct: 45.65,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "iputils-tracepath",
+        ubuntu_pct: 99.78,
+        debian_pct: 13.06,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "mtr-tiny",
+        ubuntu_pct: 99.54,
+        debian_pct: 11.79,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "iputils-arping",
+        ubuntu_pct: 99.60,
+        debian_pct: 3.55,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "libc-bin",
+        ubuntu_pct: 50.14,
+        debian_pct: 86.15,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "fping",
+        ubuntu_pct: 27.70,
+        debian_pct: 12.42,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "nfs-common",
+        ubuntu_pct: 9.76,
+        debian_pct: 82.89,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "ecryptfs-utils",
+        ubuntu_pct: 11.64,
+        debian_pct: 0.72,
+        investigated: true,
+    },
+    PopularityRow {
+        package: "virtualbox",
+        ubuntu_pct: 10.56,
+        debian_pct: 7.78,
+        investigated: false,
+    },
+    PopularityRow {
+        package: "kppp",
+        ubuntu_pct: 10.11,
+        debian_pct: 4.97,
+        investigated: false,
+    },
+    PopularityRow {
+        package: "cifs-utils",
+        ubuntu_pct: 2.59,
+        debian_pct: 19.23,
+        investigated: false,
+    },
+    PopularityRow {
+        package: "tcptraceroute",
+        ubuntu_pct: 0.33,
+        debian_pct: 23.38,
+        investigated: false,
+    },
+    PopularityRow {
+        package: "chromium-browser",
+        ubuntu_pct: 0.48,
+        debian_pct: 8.49,
+        investigated: false,
+    },
+];
+
+/// Total packages containing setuid-to-root binaries in the archives.
+pub const TOTAL_SETUID_PACKAGES: u32 = 82;
+/// Packages not in Table 3 (each installed by fewer than 0.89% of
+/// systems).
+pub const LONG_TAIL_PACKAGES: u32 = 62;
+/// Binaries studied in §4.
+pub const STUDIED_BINARIES: u32 = 28;
+
+/// The survey-weighted average the paper's last column reports.
+pub fn weighted_average(ubuntu_pct: f64, debian_pct: f64) -> f64 {
+    let u = UBUNTU_SYSTEMS as f64;
+    let d = DEBIAN_SYSTEMS as f64;
+    (ubuntu_pct * u + debian_pct * d) / (u + d)
+}
+
+/// Fraction of systems for which *every installed setuid package* is
+/// investigated — the paper's "roughly 89.5% of sample systems could
+/// adopt Protego with no loss of functionality".
+///
+/// The bound is driven by the most-popular uninvestigated package: a
+/// system is not fully covered if it installs any of them; the paper
+/// approximates this with the top uninvestigated package's install rate.
+pub fn adoption_coverage_pct() -> f64 {
+    let max_uninvestigated = TABLE3
+        .iter()
+        .filter(|r| !r.investigated)
+        .map(|r| weighted_average(r.ubuntu_pct, r.debian_pct))
+        .fold(0.0, f64::max);
+    100.0 - max_uninvestigated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_average_matches_published_column() {
+        // Spot-check rows against the printed Wt.Avg numbers (±0.01).
+        let cases = [
+            ("mount", 99.99),
+            ("eject", 99.24),
+            ("sudo", 98.21),
+            ("ppp", 96.81),
+            ("iputils-tracepath", 95.39),
+            ("mtr-tiny", 95.10),
+            ("iputils-arping", 94.74),
+            ("libc-bin", 51.96),
+            ("fping", 26.92),
+            ("nfs-common", 13.46),
+            ("ecryptfs-utils", 11.08),
+            ("virtualbox", 10.41),
+            ("cifs-utils", 3.43),
+            ("tcptraceroute", 1.50),
+            ("chromium-browser", 0.89),
+        ];
+        for (pkg, expected) in cases {
+            let row = TABLE3.iter().find(|r| r.package == pkg).unwrap();
+            let got = weighted_average(row.ubuntu_pct, row.debian_pct);
+            // The survey percentages are themselves rounded to two
+            // decimals, so recomputation can differ by a few hundredths.
+            assert!(
+                (got - expected).abs() < 0.03,
+                "{}: computed {:.2}, paper prints {:.2}",
+                pkg,
+                got,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_is_roughly_89_5_percent() {
+        let c = adoption_coverage_pct();
+        assert!(
+            (c - 89.5).abs() < 0.2,
+            "computed coverage {:.2}% vs paper's 89.5%",
+            c
+        );
+    }
+
+    #[test]
+    fn package_accounting() {
+        assert_eq!(TABLE3.len(), 20);
+        assert_eq!(TOTAL_SETUID_PACKAGES - LONG_TAIL_PACKAGES, 20);
+        assert_eq!(TABLE3.iter().filter(|r| r.investigated).count(), 15);
+    }
+
+    #[test]
+    fn rows_sorted_by_weighted_average() {
+        let w: Vec<f64> = TABLE3
+            .iter()
+            .map(|r| weighted_average(r.ubuntu_pct, r.debian_pct))
+            .collect();
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9);
+        }
+    }
+}

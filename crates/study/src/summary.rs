@@ -1,0 +1,85 @@
+//! Table 1: the headline summary, recomputed from the other experiments'
+//! measured outputs rather than restated.
+
+use crate::interfaces::CHANGED_SYSCALLS;
+use crate::loc;
+use crate::popularity;
+
+/// Measured inputs from the reproduction's own experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredInputs {
+    /// Exploits that escalated on the legacy system (expect 40).
+    pub exploits_escalated_legacy: u32,
+    /// Exploits that escalated on Protego (expect 0).
+    pub exploits_escalated_protego: u32,
+    /// Corpus size (expect 40).
+    pub exploits_total: u32,
+    /// Worst-case measured overhead, percent.
+    pub max_overhead_pct: f64,
+}
+
+/// The Table 1 summary.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1 {
+    /// Net lines of code de-privileged.
+    pub net_loc_deprivileged: i64,
+    /// Percentage of deployed systems that can eliminate the setuid bit.
+    pub systems_covered_pct: f64,
+    /// Historical exploits unprivileged on Protego, over the corpus size.
+    pub exploits_defeated: (u32, u32),
+    /// Maximum performance overhead, percent.
+    pub max_overhead_pct: f64,
+    /// System calls changed.
+    pub syscalls_changed: usize,
+}
+
+/// Builds Table 1 from study data plus measured experiment outputs.
+pub fn table1(m: MeasuredInputs) -> Table1 {
+    Table1 {
+        net_loc_deprivileged: loc::net_trusted_reduction(),
+        systems_covered_pct: popularity::adoption_coverage_pct(),
+        exploits_defeated: (
+            m.exploits_total - m.exploits_escalated_protego,
+            m.exploits_total,
+        ),
+        max_overhead_pct: m.max_overhead_pct,
+        syscalls_changed: CHANGED_SYSCALLS.len(),
+    }
+}
+
+/// The values the paper's Table 1 prints, for comparison.
+pub struct PaperTable1;
+
+impl PaperTable1 {
+    /// Net lines of code de-privileged.
+    pub const NET_LOC: i64 = 12_717;
+    /// Percent of systems covered.
+    pub const COVERAGE_PCT: f64 = 89.5;
+    /// Exploits defeated.
+    pub const EXPLOITS: (u32, u32) = (40, 40);
+    /// Max overhead percent.
+    pub const MAX_OVERHEAD_PCT: f64 = 7.4;
+    /// Syscalls changed.
+    pub const SYSCALLS: usize = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_paper_shape() {
+        let t = table1(MeasuredInputs {
+            exploits_escalated_legacy: 40,
+            exploits_escalated_protego: 0,
+            exploits_total: 40,
+            max_overhead_pct: 6.1,
+        });
+        // LoC: the paper's own two figures differ by 15; we land on the
+        // §5.2 arithmetic.
+        assert!((t.net_loc_deprivileged - PaperTable1::NET_LOC).abs() <= 15);
+        assert!((t.systems_covered_pct - PaperTable1::COVERAGE_PCT).abs() < 0.2);
+        assert_eq!(t.exploits_defeated, PaperTable1::EXPLOITS);
+        assert_eq!(t.syscalls_changed, PaperTable1::SYSCALLS);
+    }
+}

@@ -1,0 +1,343 @@
+//! Interface-design casualties and leftovers (§4.5, §4.6, Table 4):
+//! `dmcrypt-get-device`, `ssh-keysign`, `Xorg`, `pt_chown`, and the
+//! `iptables` administration utility.
+
+use super::{fail, CatalogItem};
+use crate::system::{BinEntry, Proc, SystemMode};
+use sim_kernel::error::Errno;
+use sim_kernel::lsm::{sim_crypt, KmsOp};
+use sim_kernel::net::{ProtoMatch, Rule, Verdict};
+use sim_kernel::syscall::{IoctlCmd, IoctlOut, NetfilterOp, OpenFlags};
+
+/// Catalog entries for this module.
+pub fn catalog() -> Vec<CatalogItem> {
+    vec![
+        CatalogItem {
+            path: "/usr/bin/dmcrypt-get-device",
+            entry: BinEntry {
+                func: dmcrypt_main,
+                points: &["start", "ioctl_path", "sys_path", "denied"],
+            },
+            setuid: true,
+        },
+        CatalogItem {
+            path: "/usr/lib/ssh-keysign",
+            entry: BinEntry {
+                func: keysign_main,
+                points: &["start", "key_read", "key_denied", "signed"],
+            },
+            setuid: true,
+        },
+        CatalogItem {
+            path: "/usr/bin/Xorg",
+            entry: BinEntry {
+                func: xorg_main,
+                points: &[
+                    "start",
+                    "parse_args",
+                    "mode_set",
+                    "mode_denied",
+                    "vt_switch",
+                ],
+            },
+            setuid: true,
+        },
+        CatalogItem {
+            path: "/usr/lib/pt_chown",
+            entry: BinEntry {
+                func: pt_chown_main,
+                points: &["start"],
+            },
+            setuid: true,
+        },
+        CatalogItem {
+            path: "/usr/lib/chromium-sandbox",
+            entry: BinEntry {
+                func: chromium_sandbox_main,
+                points: &["start", "userns_ok", "userns_denied", "inner_ns"],
+            },
+            setuid: true,
+        },
+        CatalogItem {
+            path: "/sbin/iptables",
+            entry: BinEntry {
+                func: iptables_main,
+                points: &["start", "append", "delete", "flush", "list", "denied"],
+            },
+            setuid: false,
+        },
+    ]
+}
+
+/// `dmcrypt-get-device <mapping>` — report the physical device backing an
+/// encrypted mapping. The legacy path uses the all-or-nothing ioctl (and
+/// therefore must be setuid root, holding the key material in memory);
+/// Protego reads the `/sys` attribute that discloses topology only — the
+/// paper's 4-line change (Table 2).
+pub fn dmcrypt_main(p: &mut Proc<'_>) -> i32 {
+    p.cov("start");
+    let mapping = p
+        .args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "cryptohome".to_string());
+
+    if p.sys.mode == SystemMode::Legacy {
+        p.cov("ioctl_path");
+        if !p.euid().is_root() {
+            return fail(p, "dmcrypt-get-device", "must be setuid root", Errno::EPERM);
+        }
+        let fd = match p.open(&format!("/dev/mapper/{}", mapping), OpenFlags::read_only()) {
+            Ok(fd) => fd,
+            Err(e) => return fail(p, "dmcrypt-get-device", &mapping, e),
+        };
+        match p.sys.kernel.sys_ioctl(p.pid, fd, IoctlCmd::DmStatus) {
+            Ok(IoctlOut::Dm(status)) => {
+                // The key material is now sitting in this process's
+                // memory — the exposure Protego eliminates.
+                p.vuln("ioctl_path");
+                p.println(&status.physical_device);
+                0
+            }
+            Ok(_) => 1,
+            Err(e) => {
+                p.cov("denied");
+                fail(p, "dmcrypt-get-device", "DM_TABLE_STATUS", e)
+            }
+        }
+    } else {
+        p.cov("sys_path");
+        match p.read_to_string("/sys/block/dm-0/protego_device") {
+            Ok(dev) => {
+                p.println(dev.trim());
+                0
+            }
+            Err(e) => {
+                p.cov("denied");
+                fail(p, "dmcrypt-get-device", "sysfs", e)
+            }
+        }
+    }
+}
+
+/// `ssh-keysign <data>` — signs `data` with the host private key. Legacy:
+/// setuid root to read the 0600 key, then drops privilege. Protego: the
+/// kernel's binary-identity rule admits exactly this binary (§4.6).
+pub fn keysign_main(p: &mut Proc<'_>) -> i32 {
+    p.cov("start");
+    let data = p.args.join(" ");
+    if p.sys.mode == SystemMode::Legacy && !p.euid().is_root() {
+        return fail(p, "ssh-keysign", "must be setuid root", Errno::EPERM);
+    }
+    let key = match p.read_to_string("/etc/ssh/ssh_host_key") {
+        Ok(k) => k,
+        Err(e) => {
+            p.cov("key_denied");
+            return fail(p, "ssh-keysign", "host key", e);
+        }
+    };
+    p.cov("key_read");
+    if p.sys.mode == SystemMode::Legacy && p.euid().is_root() && !p.ruid().is_root() {
+        let ruid = p.ruid();
+        let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+    }
+    let signature = sim_crypt(&key.trim().chars().take(2).collect::<String>(), &data);
+    p.cov("signed");
+    p.println(&format!("signature: {}", signature));
+    0
+}
+
+/// `Xorg -mode <w> <h> [-vt <n>]` — sets the video mode and optionally
+/// switches VTs. With a KMS driver the kernel does the privileged work
+/// and no root is needed (§4.5); on a pre-KMS card the legacy setuid-root
+/// binary pokes registers itself.
+pub fn xorg_main(p: &mut Proc<'_>) -> i32 {
+    p.cov("start");
+    // Historical exploit site (CVE-2002-0517, CVE-2006-4447 class).
+    p.vuln("parse_args");
+    let mut width = 1280u32;
+    let mut height = 1024u32;
+    let mut vt: Option<u32> = None;
+    let mut i = 0;
+    let args = p.args.clone();
+    while i < args.len() {
+        match args[i].as_str() {
+            "-mode" if i + 2 < args.len() => {
+                width = args[i + 1].parse().unwrap_or(width);
+                height = args[i + 2].parse().unwrap_or(height);
+                i += 3;
+            }
+            "-vt" if i + 1 < args.len() => {
+                vt = args[i + 1].parse().ok();
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    let fd = match p.open("/dev/dri/card0", OpenFlags::read_write()) {
+        Ok(fd) => fd,
+        Err(e) => return fail(p, "Xorg", "/dev/dri/card0", e),
+    };
+    match p.sys.kernel.sys_ioctl(
+        p.pid,
+        fd,
+        IoctlCmd::Kms(KmsOp::SetMode {
+            width,
+            height,
+            refresh: 60,
+        }),
+    ) {
+        Ok(_) => p.cov("mode_set"),
+        Err(e) => {
+            p.cov("mode_denied");
+            return fail(p, "Xorg", "mode set", e);
+        }
+    }
+    if let Some(vt) = vt {
+        if let Err(e) = p
+            .sys
+            .kernel
+            .sys_ioctl(p.pid, fd, IoctlCmd::Kms(KmsOp::VtSwitch { vt }))
+        {
+            return fail(p, "Xorg", "VT switch", e);
+        }
+        p.cov("vt_switch");
+    }
+    p.println(&format!("Xorg: {}x{} active", width, height));
+    0
+}
+
+/// `chromium-sandbox` — sets up the browser's isolation namespaces
+/// (§4.6). On pre-3.8 kernels this must be setuid root (the legacy
+/// image); on kernels with unprivileged user namespaces it needs no
+/// privilege at all — the policy became safe to expose, so the trusted
+/// binary evaporated, exactly the paper's point about new interfaces.
+pub fn chromium_sandbox_main(p: &mut Proc<'_>) -> i32 {
+    use sim_kernel::task::NsKind;
+    p.cov("start");
+    if let Err(e) = p.sys.kernel.sys_unshare(p.pid, NsKind::User) {
+        p.cov("userns_denied");
+        return fail(p, "chromium-sandbox", "user namespace", e);
+    }
+    p.cov("userns_ok");
+    // Inside the user namespace, the sandbox builds its inner world.
+    for kind in [NsKind::Mount, NsKind::Net, NsKind::Pid] {
+        if let Err(e) = p.sys.kernel.sys_unshare(p.pid, kind) {
+            return fail(p, "chromium-sandbox", "inner namespace", e);
+        }
+    }
+    p.cov("inner_ns");
+    // The legacy helper drops privilege once the namespaces exist.
+    if p.sys.mode == SystemMode::Legacy && p.euid().is_root() && !p.ruid().is_root() {
+        let ruid = p.ruid();
+        let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+    }
+    p.println("chromium-sandbox: renderer isolated (user+mount+net+pid namespaces)");
+    0
+}
+
+/// `pt_chown` — obsolete for 17 years but still shipped (Table 4): modern
+/// kernels allocate pty slaves themselves, so this is a no-op.
+pub fn pt_chown_main(p: &mut Proc<'_>) -> i32 {
+    p.cov("start");
+    p.println("pt_chown: nothing to do (pts allocated by the kernel)");
+    0
+}
+
+/// `iptables` — administers the OUTPUT chain:
+///
+/// * `iptables -L`
+/// * `iptables -F`
+/// * `iptables -A <name> <icmp|tcp|udp|arp|any> <accept|drop>`
+/// * `iptables -D <name>`
+pub fn iptables_main(p: &mut Proc<'_>) -> i32 {
+    p.cov("start");
+    let args = p.args.clone();
+    match args.first().map(String::as_str) {
+        Some("-L") => {
+            p.cov("list");
+            let rules = match p.sys.kernel.sys_netfilter_list(p.pid) {
+                Ok(r) => r,
+                Err(e) => return fail(p, "iptables", "list", e),
+            };
+            for r in rules {
+                p.println(&r.to_string());
+            }
+            0
+        }
+        Some("-F") => match p.sys.kernel.sys_netfilter(p.pid, NetfilterOp::Flush) {
+            Ok(()) => {
+                p.cov("flush");
+                0
+            }
+            Err(e) => {
+                p.cov("denied");
+                fail(p, "iptables", "flush", e)
+            }
+        },
+        Some("-A") if args.len() == 4 => {
+            let proto = match args[2].as_str() {
+                "icmp" => Some(ProtoMatch::Icmp),
+                "tcp" => Some(ProtoMatch::Tcp),
+                "udp" => Some(ProtoMatch::Udp),
+                "arp" => Some(ProtoMatch::Arp),
+                "any" => None,
+                _ => {
+                    p.println("iptables: unknown protocol");
+                    return 2;
+                }
+            };
+            let verdict = match args[3].as_str() {
+                "accept" => Verdict::Accept,
+                "drop" => Verdict::Drop,
+                _ => {
+                    p.println("iptables: unknown verdict");
+                    return 2;
+                }
+            };
+            let rule = Rule {
+                name: args[1].clone(),
+                raw_socket_only: true,
+                proto,
+                icmp_types: None,
+                dst_ports: None,
+                spoofed: None,
+                verdict,
+            };
+            match p
+                .sys
+                .kernel
+                .sys_netfilter(p.pid, NetfilterOp::InsertFront(rule))
+            {
+                Ok(()) => {
+                    p.cov("append");
+                    0
+                }
+                Err(e) => {
+                    p.cov("denied");
+                    fail(p, "iptables", "append", e)
+                }
+            }
+        }
+        Some("-D") if args.len() == 2 => {
+            match p
+                .sys
+                .kernel
+                .sys_netfilter(p.pid, NetfilterOp::DeleteByName(args[1].clone()))
+            {
+                Ok(()) => {
+                    p.cov("delete");
+                    0
+                }
+                Err(e) => {
+                    p.cov("denied");
+                    fail(p, "iptables", "delete", e)
+                }
+            }
+        }
+        _ => {
+            p.println("usage: iptables -L | -F | -A <name> <proto> <verdict> | -D <name>");
+            2
+        }
+    }
+}

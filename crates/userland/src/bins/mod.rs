@@ -1,0 +1,113 @@
+//! The command-line binaries of the simulated distribution.
+//!
+//! Each studied setuid-to-root utility is implemented once, with the
+//! legacy (setuid, self-enforcing) and Protego (unprivileged,
+//! kernel-enforced) variants sharing the code and branching where the
+//! paper's prototype changed the source — e.g. the removed "must be root"
+//! checks (Table 2's `-25` lines for mount/umount/sudo/pppd).
+
+pub mod longtail;
+pub mod mail;
+pub mod misc;
+pub mod mount;
+pub mod netutils;
+pub mod newgrp;
+pub mod passwd;
+pub mod polkit;
+pub mod pppd;
+pub mod sudo;
+
+use crate::system::{BinEntry, Proc, System};
+use sim_kernel::error::Errno;
+
+/// A cataloged program: path, entry, and whether the legacy image marks
+/// it setuid-root.
+pub struct CatalogItem {
+    /// Absolute install path.
+    pub path: &'static str,
+    /// Program body and coverage points.
+    pub entry: BinEntry,
+    /// Setuid-to-root in the legacy image.
+    pub setuid: bool,
+}
+
+/// Prints an errno-style failure and returns its exit code.
+pub(crate) fn fail(p: &mut Proc<'_>, prog: &str, msg: &str, e: Errno) -> i32 {
+    p.println(&format!("{}: {}: {}", prog, msg, e));
+    e.as_errno_i32()
+}
+
+/// The full program catalog. The image builder installs each item and the
+/// registry maps its path to its body.
+pub fn catalog() -> Vec<CatalogItem> {
+    let mut v = Vec::new();
+    v.extend(mount::catalog());
+    v.extend(netutils::catalog());
+    v.extend(sudo::catalog());
+    v.extend(newgrp::catalog());
+    v.extend(passwd::catalog());
+    v.extend(polkit::catalog());
+    v.extend(pppd::catalog());
+    v.extend(misc::catalog());
+    v.extend(longtail::catalog());
+    v.extend(mail::catalog());
+    v
+}
+
+/// Registers every cataloged program on a system (files must already be
+/// installed by the image builder).
+pub fn register_all(sys: &mut System) {
+    for item in catalog() {
+        sys.register(item.path, item.entry);
+    }
+}
+
+/// The number of setuid-to-root binaries in the legacy image — the attack
+/// surface Protego removes.
+pub fn setuid_binary_count() -> usize {
+    catalog().iter().filter(|c| c.setuid).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_paths_are_unique_and_absolute() {
+        let items = catalog();
+        let mut paths: Vec<_> = items.iter().map(|i| i.path).collect();
+        assert!(paths.iter().all(|p| p.starts_with('/')));
+        paths.sort();
+        paths.dedup();
+        assert_eq!(paths.len(), items.len(), "duplicate catalog path");
+    }
+
+    #[test]
+    fn catalog_has_the_studied_binaries() {
+        let items = catalog();
+        let has = |p: &str| items.iter().any(|i| i.path == p);
+        for p in [
+            "/bin/mount",
+            "/bin/umount",
+            "/bin/ping",
+            "/usr/bin/sudo",
+            "/bin/su",
+            "/usr/bin/passwd",
+            "/usr/bin/chsh",
+            "/usr/bin/newgrp",
+            "/usr/sbin/pppd",
+            "/usr/bin/dmcrypt-get-device",
+            "/usr/lib/ssh-keysign",
+            "/usr/bin/Xorg",
+            "/usr/sbin/exim4",
+        ] {
+            assert!(has(p), "missing {}", p);
+        }
+    }
+
+    #[test]
+    fn setuid_surface_is_substantial() {
+        // The legacy image ships a realistic setuid complement.
+        assert!(setuid_binary_count() >= 20);
+    }
+}

@@ -1,0 +1,233 @@
+//! Credential database file formats: passwd, shadow, group, gshadow — both
+//! the legacy shared files and Protego's per-account fragments (§4.4).
+
+use sim_kernel::lsm::sim_crypt;
+
+/// One `/etc/passwd` record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PasswdEntry {
+    /// Login name.
+    pub name: String,
+    /// Uid.
+    pub uid: u32,
+    /// Primary gid.
+    pub gid: u32,
+    /// GECOS (full name / office).
+    pub gecos: String,
+    /// Home directory.
+    pub home: String,
+    /// Login shell.
+    pub shell: String,
+}
+
+impl PasswdEntry {
+    /// Renders the classic colon format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:x:{}:{}:{}:{}:{}",
+            self.name, self.uid, self.gid, self.gecos, self.home, self.shell
+        )
+    }
+
+    /// Parses a passwd line.
+    pub fn parse(line: &str) -> Option<PasswdEntry> {
+        let f: Vec<&str> = line.split(':').collect();
+        if f.len() != 7 {
+            return None;
+        }
+        Some(PasswdEntry {
+            name: f[0].to_string(),
+            uid: f[2].parse().ok()?,
+            gid: f[3].parse().ok()?,
+            gecos: f[4].to_string(),
+            home: f[5].to_string(),
+            shell: f[6].to_string(),
+        })
+    }
+}
+
+/// One `/etc/shadow` record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShadowEntry {
+    /// Login name.
+    pub name: String,
+    /// Password hash (`sim_crypt` format) or `!` for locked.
+    pub hash: String,
+}
+
+impl ShadowEntry {
+    /// Renders the shadow format (aging fields fixed).
+    pub fn render(&self) -> String {
+        format!("{}:{}:19000:0:99999:7:::", self.name, self.hash)
+    }
+
+    /// Parses a shadow line.
+    pub fn parse(line: &str) -> Option<ShadowEntry> {
+        let f: Vec<&str> = line.split(':').collect();
+        if f.len() < 2 {
+            return None;
+        }
+        Some(ShadowEntry {
+            name: f[0].to_string(),
+            hash: f[1].to_string(),
+        })
+    }
+
+    /// Builds an entry hashing `password` with a name-derived salt.
+    pub fn with_password(name: &str, password: &str) -> ShadowEntry {
+        let salt: String = name.chars().take(2).collect();
+        ShadowEntry {
+            name: name.to_string(),
+            hash: sim_crypt(&salt, password),
+        }
+    }
+
+    /// Verifies a password attempt.
+    pub fn verify(&self, password: &str) -> bool {
+        sim_kernel::lsm::sim_crypt_verify(&self.hash, password)
+    }
+}
+
+/// One `/etc/group` record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupEntry {
+    /// Group name.
+    pub name: String,
+    /// Gid.
+    pub gid: u32,
+    /// Member login names.
+    pub members: Vec<String>,
+}
+
+impl GroupEntry {
+    /// Renders the group format.
+    pub fn render(&self) -> String {
+        format!("{}:x:{}:{}", self.name, self.gid, self.members.join(","))
+    }
+
+    /// Parses a group line.
+    pub fn parse(line: &str) -> Option<GroupEntry> {
+        let f: Vec<&str> = line.split(':').collect();
+        if f.len() != 4 {
+            return None;
+        }
+        Some(GroupEntry {
+            name: f[0].to_string(),
+            gid: f[2].parse().ok()?,
+            members: f[3]
+                .split(',')
+                .filter(|m| !m.is_empty())
+                .map(String::from)
+                .collect(),
+        })
+    }
+}
+
+/// One `/etc/gshadow` record (group password).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GshadowEntry {
+    /// Group name.
+    pub name: String,
+    /// Group password hash, or `!` for none.
+    pub hash: String,
+}
+
+impl GshadowEntry {
+    /// Renders the gshadow format.
+    pub fn render(&self) -> String {
+        format!("{}:{}::", self.name, self.hash)
+    }
+
+    /// Parses a gshadow line.
+    pub fn parse(line: &str) -> Option<GshadowEntry> {
+        let f: Vec<&str> = line.split(':').collect();
+        if f.len() < 2 {
+            return None;
+        }
+        Some(GshadowEntry {
+            name: f[0].to_string(),
+            hash: f[1].to_string(),
+        })
+    }
+
+    /// Whether the group is password-protected.
+    pub fn password_protected(&self) -> bool {
+        self.hash != "!" && !self.hash.is_empty()
+    }
+
+    /// Verifies a group password attempt.
+    pub fn verify(&self, password: &str) -> bool {
+        sim_kernel::lsm::sim_crypt_verify(&self.hash, password)
+    }
+}
+
+/// Parses a whole database file into entries, skipping malformed lines.
+pub fn parse_db<T>(text: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .filter_map(parse)
+        .collect()
+}
+
+/// Renders entries back to a database file.
+pub fn render_db<T>(entries: &[T], render: impl Fn(&T) -> String) -> String {
+    entries.iter().map(|e| format!("{}\n", render(e))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passwd_roundtrip() {
+        let line = "alice:x:1000:1000:Alice A.:/home/alice:/bin/sh";
+        let e = PasswdEntry::parse(line).unwrap();
+        assert_eq!(e.name, "alice");
+        assert_eq!(e.uid, 1000);
+        assert_eq!(e.render(), line);
+        assert!(PasswdEntry::parse("broken:line").is_none());
+    }
+
+    #[test]
+    fn shadow_verify() {
+        let e = ShadowEntry::with_password("alice", "hunter2");
+        assert!(e.verify("hunter2"));
+        assert!(!e.verify("wrong"));
+        let parsed = ShadowEntry::parse(&e.render()).unwrap();
+        assert_eq!(parsed.hash, e.hash);
+        assert!(parsed.verify("hunter2"));
+    }
+
+    #[test]
+    fn group_roundtrip() {
+        let line = "cdrom:x:24:alice,bob";
+        let g = GroupEntry::parse(line).unwrap();
+        assert_eq!(g.gid, 24);
+        assert_eq!(g.members, vec!["alice", "bob"]);
+        assert_eq!(g.render(), line);
+        let empty = GroupEntry::parse("staff:x:101:").unwrap();
+        assert!(empty.members.is_empty());
+    }
+
+    #[test]
+    fn gshadow_protection_flag() {
+        let locked = GshadowEntry::parse("cdrom:!::").unwrap();
+        assert!(!locked.password_protected());
+        let e = GshadowEntry {
+            name: "staff".into(),
+            hash: sim_crypt("st", "staffpw"),
+        };
+        assert!(e.password_protected());
+        assert!(e.verify("staffpw"));
+        assert!(!e.verify("nope"));
+    }
+
+    #[test]
+    fn db_parse_skips_comments_and_garbage() {
+        let text = "# comment\nalice:x:1000:1000:A:/h:/bin/sh\nbroken\n";
+        let entries = parse_db(text, PasswdEntry::parse);
+        assert_eq!(entries.len(), 1);
+        let back = render_db(&entries, PasswdEntry::render);
+        assert_eq!(back, "alice:x:1000:1000:A:/h:/bin/sh\n");
+    }
+}

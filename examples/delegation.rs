@@ -1,0 +1,94 @@
+//! Delegation on Protego (§4.3): sudo, su, newgrp, and the
+//! setuid-on-exec mechanism for command-restricted rules.
+//!
+//! Run with `cargo run --example delegation`.
+
+use protego::userland::{boot, SystemMode};
+
+fn main() {
+    let mut sys = boot(SystemMode::Protego);
+    let init = sys.init_pid();
+
+    println!("=== Kernel-enforced delegation (§4.3) ===\n");
+    println!("kernel delegation rules (from /etc/sudoers via the daemon):");
+    let rules = sys
+        .kernel
+        .read_to_string(init, "/proc/protego/sudoers")
+        .unwrap();
+    for line in rules.lines() {
+        println!("  {}", line);
+    }
+
+    // ------------------------------------------------------------------
+    // carol is in the admin group: full sudo after authenticating.
+    // ------------------------------------------------------------------
+    let carol = sys.login("carol", "carolpw").unwrap();
+    println!("\n--- carol (admin group): sudo id ---");
+    let r = sys
+        .run(carol, "/usr/bin/sudo", &["/bin/id"], &["carolpw"])
+        .unwrap();
+    print!("{}", r.stdout);
+    println!("--- carol again within 5 minutes: no password (kernel recency) ---");
+    let r = sys.run(carol, "/usr/bin/sudo", &["/bin/id"], &[]).unwrap();
+    print!("{}", r.stdout);
+    println!("--- 6 minutes later: the kernel re-prompts ---");
+    sys.kernel.advance_clock(360);
+    let r = sys.run(carol, "/usr/bin/sudo", &["/bin/id"], &[]).unwrap();
+    print!("{}", r.stdout);
+
+    // ------------------------------------------------------------------
+    // bob may run exactly one command as alice.
+    // ------------------------------------------------------------------
+    let bob = sys.login("bob", "bobpw").unwrap();
+    println!("\n--- bob: sudo -u alice lpr (allowed command) ---");
+    let r = sys
+        .run(
+            bob,
+            "/usr/bin/sudo",
+            &["-u", "alice", "/usr/bin/lpr", "annual report"],
+            &["bobpw"],
+        )
+        .unwrap();
+    print!("{}", r.stdout);
+    let queue = sys
+        .kernel
+        .read_to_string(init, "/var/spool/lpd/queue")
+        .unwrap();
+    println!("  queue now: {}", queue.trim());
+    println!("  (the job ran with alice's uid — granted at exec, not before)");
+
+    println!("\n--- bob: sudo -u alice /bin/sh (NOT in the rule) ---");
+    let r = sys
+        .run(
+            bob,
+            "/usr/bin/sudo",
+            &["-u", "alice", "/bin/sh"],
+            &["bobpw"],
+        )
+        .unwrap();
+    print!("{}", r.stdout);
+    println!("  (setuid reported success; the exec of a non-permitted binary failed — §4.3)");
+
+    // ------------------------------------------------------------------
+    // su requires the *target's* password.
+    // ------------------------------------------------------------------
+    println!("\n--- alice: su bob with bob's password ---");
+    let alice = sys.login("alice", "alicepw").unwrap();
+    let r = sys.run(alice, "/bin/su", &["bob"], &["bobpw"]).unwrap();
+    print!("{}", r.stdout);
+    println!("--- alice: su bob with her own password ---");
+    let r = sys.run(alice, "/bin/su", &["bob"], &["alicepw"]).unwrap();
+    print!("{}", r.stdout);
+
+    // ------------------------------------------------------------------
+    // newgrp: membership or the group password.
+    // ------------------------------------------------------------------
+    println!("\n--- alice (member): newgrp staff ---");
+    let r = sys.run(alice, "/usr/bin/newgrp", &["staff"], &[]).unwrap();
+    print!("{}", r.stdout);
+    println!("--- bob (non-member): newgrp staff with the group password ---");
+    let r = sys
+        .run(bob, "/usr/bin/newgrp", &["staff"], &["staffpw"])
+        .unwrap();
+    print!("{}", r.stdout);
+}

@@ -1,0 +1,37 @@
+//! # protego
+//!
+//! A Rust reproduction of *"Practical Techniques to Obviate
+//! Setuid-to-Root Binaries"* (Jain, Tsai, John, Porter — EuroSys 2014).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`kernel`] — the simulated Linux kernel substrate (`sim-kernel`);
+//! * [`core`] — the Protego security module (`protego-core`);
+//! * [`apparmor`] — the AppArmor-like baseline LSM (`apparmor-lsm`);
+//! * [`userland`] — the distribution image, setuid binaries, and trusted
+//!   services;
+//! * [`study`] — the paper's data tables (`setuid-study`);
+//! * [`exploits`] — the 40-CVE replay corpus (Table 6).
+//!
+//! # Quick start
+//!
+//! ```
+//! use protego::userland::{boot, SystemMode};
+//!
+//! // Boot Protego; an unprivileged user mounts the CD-ROM through a
+//! // non-setuid mount(8), the kernel enforcing /etc/fstab's policy.
+//! let mut sys = boot(SystemMode::Protego);
+//! let alice = sys.login("alice", "alicepw").unwrap();
+//! let r = sys.run(alice, "/bin/mount", &["/mnt/cdrom"], &[]).unwrap();
+//! assert!(r.ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use apparmor_lsm as apparmor;
+pub use exploits;
+pub use protego_core as core;
+pub use setuid_study as study;
+pub use sim_kernel as kernel;
+pub use userland;
