@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo CI: formatting, lints, tier-1 tests, and audit-subsystem guards.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== full workspace tests =="
+cargo test --workspace --release -q
+
+echo "== guard: no string-formatted audit calls =="
+# The legacy unbounded string log is gone; decisions must go through the
+# typed emit_* API so provenance and metrics stay complete.
+if grep -rn "audit_event(format!" --include='*.rs' crates src examples benches 2>/dev/null; then
+    echo "error: string audit_event(format!(..)) call sites found; use emit_lsm_event/emit_kernel_event" >&2
+    exit 1
+fi
+
+echo "CI OK"

@@ -30,6 +30,9 @@ use sim_kernel::vfs::Access;
 #[derive(Debug, Default)]
 pub struct AppArmorLsm {
     profiles: Vec<Profile>,
+    /// Name of the profile the most recent hook matched, drained by the
+    /// kernel to attach rule provenance to audit events.
+    matched: std::cell::RefCell<Option<String>>,
 }
 
 impl AppArmorLsm {
@@ -102,7 +105,10 @@ impl SecurityModule for AppArmorLsm {
 
     fn capable(&self, _cred: &Credentials, binary: &str, cap: Cap) -> Decision {
         match self.profile_for(binary) {
-            Some(p) if !p.check_cap(cap) => Decision::Deny(Errno::EPERM),
+            Some(p) if !p.check_cap(cap) => {
+                *self.matched.borrow_mut() = Some(format!("profile {}", p.binary));
+                Decision::Deny(Errno::EPERM)
+            }
             _ => Decision::UseDefault,
         }
     }
@@ -113,11 +119,16 @@ impl SecurityModule for AppArmorLsm {
                 if p.check_path(&ctx.path, ctx.access) {
                     FileDecision::UseDefault
                 } else {
+                    *self.matched.borrow_mut() = Some(format!("profile {}", p.binary));
                     FileDecision::Deny(Errno::EACCES)
                 }
             }
             None => FileDecision::UseDefault,
         }
+    }
+
+    fn take_matched_rule(&self) -> Option<String> {
+        self.matched.borrow_mut().take()
     }
 
     fn config_nodes(&self) -> Vec<&'static str> {

@@ -96,12 +96,12 @@ fn print_table6() {
         let legacy = s
             .per_cve
             .iter()
-            .filter(|(id, l, _)| ids.contains(id) && *l)
+            .filter(|c| ids.contains(&c.id) && c.legacy_escalated)
             .count();
         let protego = s
             .per_cve
             .iter()
-            .filter(|(id, _, p)| ids.contains(id) && *p)
+            .filter(|c| ids.contains(&c.id) && c.protego_escalated)
             .count();
         println!(
             "  {:<24} {:>6} {:>10} {:>16} {:>16}",
@@ -119,6 +119,24 @@ fn print_table6() {
         s.per_cve.len(),
         s.escalated_legacy,
         s.escalated_protego
+    );
+
+    println!("  Protego decision counts per LSM hook (aggregated over all replays):");
+    println!(
+        "  {:<16} {:>8} {:>8} {:>12} {:>8} {:>8}",
+        "hook", "allow", "deny", "use_default", "defer", "info"
+    );
+    for (hook, c) in &s.protego_metrics.per_hook {
+        println!(
+            "  {:<16} {:>8} {:>8} {:>12} {:>8} {:>8}",
+            hook, c.allow, c.deny, c.use_default, c.defer, c.info
+        );
+    }
+    let audited = s.per_cve.iter().filter(|c| c.protego_denials > 0).count();
+    println!(
+        "  denial provenance: {}/{} blocked CVEs emitted >=1 denial audit event\n",
+        audited,
+        s.per_cve.len()
     );
 }
 

@@ -30,6 +30,7 @@ use sim_kernel::lsm::{
 };
 use sim_kernel::net::{Domain, ProtoMatch, Route, RouteTable, Rule, SockType, Verdict};
 use sim_kernel::vfs::Access;
+use std::cell::RefCell;
 
 /// The authentication recency window (sudo's 5 minutes), in logical
 /// seconds.
@@ -39,6 +40,11 @@ pub const AUTH_WINDOW: u64 = 300;
 #[derive(Debug, Default)]
 pub struct ProtegoLsm {
     policy: PolicySet,
+    /// Identifier of the policy rule the most recent hook matched, drained
+    /// by the kernel (via [`SecurityModule::take_matched_rule`]) to attach
+    /// rule provenance to audit events. Hooks take `&self`, hence the
+    /// interior mutability.
+    matched: RefCell<Option<String>>,
 }
 
 impl ProtegoLsm {
@@ -50,7 +56,15 @@ impl ProtegoLsm {
 
     /// A module preconfigured with a policy set (used by image builders).
     pub fn with_policy(policy: PolicySet) -> ProtegoLsm {
-        ProtegoLsm { policy }
+        ProtegoLsm {
+            policy,
+            matched: RefCell::new(None),
+        }
+    }
+
+    /// Records the rule identifier the current hook matched.
+    fn note_rule(&self, rule: String) {
+        *self.matched.borrow_mut() = Some(rule);
     }
 
     /// Read-only view of the active policy.
@@ -181,6 +195,7 @@ impl SecurityModule for ProtegoLsm {
         }
         match self.find_mount_rule(req) {
             Some(rule) => {
+                self.note_rule(format!("mounts:{}->{}", rule.source, rule.mountpoint));
                 if rule.read_only && !req.options.read_only {
                     // The whitelist requires ro; a rw request is refused
                     // outright rather than falling back to EPERM, so the
@@ -199,16 +214,22 @@ impl SecurityModule for ProtegoLsm {
             return Decision::UseDefault;
         }
         match self.find_umount_rule(&req.target) {
-            Some(rule) => match rule.scope {
-                MountScope::Users => Decision::Allow,
-                MountScope::User => {
-                    if req.mounted_by == cred.ruid {
-                        Decision::Allow
-                    } else {
-                        Decision::Deny(Errno::EPERM)
+            Some(rule) => {
+                self.note_rule(format!(
+                    "mounts:{}->{} scope={:?}",
+                    rule.source, rule.mountpoint, rule.scope
+                ));
+                match rule.scope {
+                    MountScope::Users => Decision::Allow,
+                    MountScope::User => {
+                        if req.mounted_by == cred.ruid {
+                            Decision::Allow
+                        } else {
+                            Decision::Deny(Errno::EPERM)
+                        }
                     }
                 }
-            },
+            }
             None => Decision::UseDefault,
         }
     }
@@ -232,6 +253,13 @@ impl SecurityModule for ProtegoLsm {
     fn socket_bind(&self, cred: &Credentials, req: &BindRequest) -> Decision {
         match self.find_bind_rule(req.port, req.tcp) {
             Some(rule) => {
+                self.note_rule(format!(
+                    "bind:{}/{} -> ({}, {})",
+                    rule.port,
+                    if rule.tcp { "tcp" } else { "udp" },
+                    rule.binary,
+                    rule.uid
+                ));
                 if rule.binary == req.binary && Uid(rule.uid) == cred.euid {
                     Decision::Allow
                 } else {
@@ -258,6 +286,10 @@ impl SecurityModule for ProtegoLsm {
             Some(r) => r,
             None => return SetuidDecision::UseDefault, // -> EPERM
         };
+        self.note_rule(format!(
+            "sudoers:{:?} -> {:?} cmd={:?} auth={:?}",
+            rule.from, rule.target, rule.cmd, rule.auth
+        ));
         // Authentication, enforced by the kernel, with recency (§4.3).
         match rule.auth {
             AuthReq::None => {}
@@ -292,10 +324,12 @@ impl SecurityModule for ProtegoLsm {
         // A member may switch to any of her groups (stock allows only
         // rgid/sgid; newgrp's job was exactly this widening).
         if ctx.cred.in_group(target) {
+            self.note_rule(format!("groups:membership gid={}", target.0));
             return SetuidDecision::Allow;
         }
         match self.group_rule(target) {
             Some(g) if g.password_protected => {
+                self.note_rule(format!("groups:{} password", g.gid));
                 let scope = AuthScope::Group(target);
                 if ctx.authed_for(scope, AUTH_WINDOW) {
                     SetuidDecision::Allow
@@ -312,6 +346,10 @@ impl SecurityModule for ProtegoLsm {
             // Resolve a setuid-on-exec transition: the exec must name an
             // allowed binary, else permission denied (§4.3's deliberate
             // change in error behaviour).
+            self.note_rule(format!(
+                "sudoers:pending target={} cmds={:?}",
+                p.target, p.allowed_binaries
+            ));
             if !p.allowed_binaries.iter().any(|b| b == &ctx.binary) {
                 return ExecDecision::Deny(Errno::EACCES);
             }
@@ -353,6 +391,7 @@ impl SecurityModule for ProtegoLsm {
         if !self.policy.ppp.user_routes {
             return Decision::UseDefault;
         }
+        self.note_rule("ppp:user_routes".to_string());
         match table.conflict_with(route) {
             None => Decision::Allow,
             Some(_) => Decision::Deny(Errno::EEXIST),
@@ -365,11 +404,13 @@ impl SecurityModule for ProtegoLsm {
         }
         if self.policy.ppp.safe_modem_opts && opt.is_safe() && state.in_use_by.is_none() {
             // "A user may configure a modem (if not in use)" — Table 4.
+            self.note_rule("ppp:safe_modem_opts".to_string());
             return Decision::Allow;
         }
         if self.policy.ppp.safe_modem_opts && opt.is_safe() {
             // Already claimed: only the claimer's further configuration is
             // mediated by the claim ioctl; be conservative here.
+            self.note_rule("ppp:safe_modem_opts".to_string());
             return Decision::Allow;
         }
         Decision::UseDefault
@@ -395,6 +436,7 @@ impl SecurityModule for ProtegoLsm {
         // file, regardless of uid ("instead of, or in addition to, user
         // IDs" — Table 4).
         if let Some(rule) = self.keyfile_rule(&ctx.path) {
+            self.note_rule(format!("keyfiles:{} -> {}", rule.path, rule.binary));
             return if ctx.binary == rule.binary && !ctx.access.wants_write() {
                 FileDecision::AllowCloexec
             } else {
@@ -404,6 +446,7 @@ impl SecurityModule for ProtegoLsm {
         // Per-user shadow fragments: reading your own requires a fresh
         // authentication, and the handle may not be inherited (§4.4).
         if self.is_shadow_fragment(&ctx.path) && ctx.access.wants_read() {
+            self.note_rule(format!("creddb:{}", ctx.path));
             if ctx.cred.euid.is_root() {
                 // The trusted authentication agent and root tools.
                 return FileDecision::UseDefault;
@@ -460,6 +503,10 @@ impl SecurityModule for ProtegoLsm {
 
     fn boot_netfilter_rules(&self) -> Vec<Rule> {
         Self::default_raw_rules()
+    }
+
+    fn take_matched_rule(&self) -> Option<String> {
+        self.matched.borrow_mut().take()
     }
 }
 
@@ -1046,6 +1093,27 @@ mod tests {
         assert!(!bind_would_allow(&p, 25, true, "/usr/sbin/httpd", 8));
         assert!(!bind_would_allow(&p, 25, false, "/usr/sbin/exim4", 8));
         assert!(!bind_would_allow(&p, 26, true, "/usr/sbin/exim4", 8));
+    }
+
+    #[test]
+    fn matched_rule_is_recorded_and_drained() {
+        let lsm = lsm_with(cdrom_policy());
+        assert_eq!(lsm.take_matched_rule(), None);
+        let d = lsm.sb_mount(
+            &user_cred(),
+            &mount_req("/dev/cdrom", "/mnt/cdrom", "iso9660", "ro"),
+        );
+        assert_eq!(d, Decision::Allow);
+        let rule = lsm.take_matched_rule().expect("rule recorded");
+        assert_eq!(rule, "mounts:/dev/cdrom->/mnt/cdrom");
+        // Drained: a second take yields nothing.
+        assert_eq!(lsm.take_matched_rule(), None);
+        // Off-whitelist requests record no rule.
+        let _ = lsm.sb_mount(
+            &user_cred(),
+            &mount_req("/dev/sda1", "/etc", "iso9660", "ro"),
+        );
+        assert_eq!(lsm.take_matched_rule(), None);
     }
 
     #[test]

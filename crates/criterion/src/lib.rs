@@ -1,0 +1,162 @@
+//! A vendored, zero-dependency stand-in for the `criterion` crate so the
+//! workspace's benches compile and run offline (the real crates-io
+//! registry is unreachable in this environment).
+//!
+//! It implements the subset of the criterion API the workspace's benches
+//! use — `Criterion::benchmark_group`, `sample_size`, `bench_function`
+//! (with `&str` or [`BenchmarkId`] ids), `Bencher::iter`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros — measuring
+//! with `std::time::Instant` and printing one median line per benchmark
+//! instead of producing HTML reports.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of the standard black box to defeat constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one("", &id.0, 10, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints a `group/id: median` line.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&self.name, &id.0, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    let mut per_iter_nanos: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed_nanos: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter_nanos.push(b.elapsed_nanos / b.iters as u128);
+        }
+    }
+    per_iter_nanos.sort_unstable();
+    let median = per_iter_nanos
+        .get(per_iter_nanos.len() / 2)
+        .copied()
+        .unwrap_or(0);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{}/{}", group, id)
+    };
+    println!("bench {:<48} median {:>12} ns/iter", label, median);
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    iters: u32,
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Runs `f` a fixed number of iterations, accumulating wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

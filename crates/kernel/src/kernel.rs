@@ -11,6 +11,8 @@ use crate::error::{Errno, KResult};
 use crate::lsm::{AuthProvider, AuthScope, Decision, SecurityModule};
 use crate::net::{NetStack, Netfilter, RouteTable, SimNet};
 use crate::task::{Pid, Task};
+use crate::trace::DecisionKind;
+use crate::trace::{AuditEvent, AuditObject, AuditRing, AuditSink, Hook, Metrics, Provenance};
 use crate::vfs::{Ino, InodeData, Mode, ProcHook, Vfs};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -47,9 +49,12 @@ pub struct Kernel {
     pub pipes: Vec<Pipe>,
     /// Logical clock in seconds.
     pub clock: u64,
-    /// Audit trail of policy-relevant events (enabled via `trace`).
-    pub audit: Vec<String>,
-    /// Whether to record audit events.
+    /// Bounded audit trail of typed policy events. Denials are always
+    /// recorded; informational events require `trace`.
+    pub audit: AuditRing,
+    /// Kernel-wide decision counters and latency aggregates (always on).
+    pub metrics: Metrics,
+    /// Whether to record non-denial (informational) audit events.
     pub trace: bool,
     /// Whether unprivileged user-namespace creation is allowed — the
     /// Linux >= 3.8 behaviour (§4.6); the paper's 3.6 baseline is false.
@@ -59,6 +64,7 @@ pub struct Kernel {
     lsm: Box<dyn SecurityModule>,
     auth: Option<Box<dyn AuthProvider>>,
     media_roots: BTreeMap<DevId, Ino>,
+    sinks: Vec<Box<dyn AuditSink>>,
 }
 
 impl Kernel {
@@ -73,7 +79,8 @@ impl Kernel {
             devices: DeviceRegistry::new(),
             pipes: Vec::new(),
             clock: 1_000_000,
-            audit: Vec::new(),
+            audit: AuditRing::default(),
+            metrics: Metrics::default(),
             trace: false,
             unprivileged_userns: false,
             tasks: BTreeMap::new(),
@@ -81,6 +88,7 @@ impl Kernel {
             lsm: Box::new(crate::lsm::NullLsm),
             auth: None,
             media_roots: BTreeMap::new(),
+            sinks: Vec::new(),
         }
     }
 
@@ -101,8 +109,30 @@ impl Kernel {
                 crate::cred::Gid::ROOT,
             )?;
         }
+        // Observability nodes: the structured audit ring and the decision
+        // counters, readable by root under the module's /proc directory.
+        self.vfs.install_hook(
+            &format!("/proc/{}/audit", name),
+            ProcHook::Audit,
+            Mode(0o600),
+            Uid::ROOT,
+            crate::cred::Gid::ROOT,
+        )?;
+        self.vfs.install_hook(
+            &format!("/proc/{}/metrics", name),
+            ProcHook::Metrics,
+            Mode(0o600),
+            Uid::ROOT,
+            crate::cred::Gid::ROOT,
+        )?;
         self.lsm = lsm;
-        self.audit_event(format!("lsm: registered module '{}'", name));
+        self.emit_event(
+            0,
+            "register_lsm",
+            AuditObject::None,
+            Provenance::kernel(Hook::Lifecycle, DecisionKind::Info, None),
+            format!("lsm: registered module '{}'", name),
+        );
         Ok(())
     }
 
@@ -126,11 +156,99 @@ impl Kernel {
         self.auth = Some(auth);
     }
 
-    /// Records a policy-relevant event if tracing is enabled.
-    pub fn audit_event(&mut self, msg: String) {
-        if self.trace {
-            self.audit.push(msg);
+    /// Subscribes an audit sink; it observes every event emitted from now
+    /// on, independent of the `trace` flag and of ring eviction.
+    pub fn subscribe_sink(&mut self, sink: Box<dyn AuditSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Emits one typed audit event: snapshots the subject's credentials,
+    /// assigns a sequence number, folds the event into [`Metrics`],
+    /// notifies subscribed sinks, and stores it in the ring.
+    ///
+    /// Recording policy: `Deny` events are security-relevant and always
+    /// stored; every other kind is stored only when `trace` is on.
+    /// Metrics and sinks see all events unconditionally.
+    pub fn emit_event(
+        &mut self,
+        pid: u32,
+        syscall: &'static str,
+        object: AuditObject,
+        provenance: Provenance,
+        message: String,
+    ) {
+        let (ruid, euid) = self
+            .tasks
+            .get(&pid)
+            .map(|t| (t.cred.ruid.0, t.cred.euid.0))
+            .unwrap_or((0, 0));
+        let ev = AuditEvent {
+            seq: self.audit.assign_seq(),
+            clock: self.clock,
+            pid,
+            ruid,
+            euid,
+            syscall,
+            object,
+            provenance,
+            message,
+        };
+        self.metrics.record(&ev);
+        for sink in &mut self.sinks {
+            sink.on_event(&ev);
         }
+        if ev.is_denial() || self.trace {
+            self.audit.push(ev);
+        }
+    }
+
+    /// Emits an event attributed to the active LSM, draining the rule it
+    /// recorded for its most recent decision. Call immediately after the
+    /// hook whose outcome is being reported.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_lsm_event(
+        &mut self,
+        pid: Pid,
+        syscall: &'static str,
+        hook: Hook,
+        decision: DecisionKind,
+        errno: Option<Errno>,
+        object: AuditObject,
+        message: String,
+    ) {
+        let module = self.lsm.name();
+        let rule = self.lsm.take_matched_rule();
+        self.emit_event(
+            pid.0,
+            syscall,
+            object,
+            Provenance::lsm(module, hook, rule, decision, errno),
+            message,
+        );
+    }
+
+    /// Emits an event attributed to stock kernel policy (no module rule).
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_kernel_event(
+        &mut self,
+        pid: Pid,
+        syscall: &'static str,
+        hook: Hook,
+        decision: DecisionKind,
+        errno: Option<Errno>,
+        object: AuditObject,
+        message: String,
+    ) {
+        // The stock path never involves a module rule; discard any stale
+        // one so it cannot leak into a later LSM-attributed event.
+        let _ = self.lsm.take_matched_rule();
+        self.emit_event(
+            pid.0,
+            syscall,
+            object,
+            Provenance::kernel(hook, decision, errno),
+            message,
+        );
     }
 
     /// Advances the logical clock.
@@ -214,13 +332,22 @@ impl Kernel {
         match self.lsm.capable(&cred, &binary, cap) {
             Decision::UseDefault => has,
             Decision::Allow => true,
-            Decision::Deny(_) => {
-                self.audit_event(format!(
+            Decision::Deny(e) => {
+                let msg = format!(
                     "capable: lsm denied {} for {} ({})",
                     cap.name(),
                     cred.euid,
                     binary
-                ));
+                );
+                self.emit_lsm_event(
+                    pid,
+                    "capable",
+                    Hook::Capable,
+                    DecisionKind::Deny,
+                    Some(e),
+                    AuditObject::Capability(cap.name()),
+                    msg,
+                );
                 false
             }
         }
@@ -244,13 +371,20 @@ impl Kernel {
         let ok = agent.authenticate(scope, &mut input, &self.vfs);
         let now = self.clock;
         let mut parent = None;
+        let mut reprompt_gap = None;
         if let Ok(t) = self.task_mut(pid) {
             t.terminal_input = input;
             if ok {
+                reprompt_gap = t.last_auth.map(|prev| now.saturating_sub(prev));
                 t.last_auth = Some(now);
                 t.last_auth_scope = Some(scope);
                 parent = Some(t.ppid);
             }
+        }
+        // Logical-clock interval between successful prompts for the same
+        // task: the usability metric the recency-window ablation sweeps.
+        if let Some(gap) = reprompt_gap {
+            self.metrics.observe_latency("auth_reprompt_gap", gap);
         }
         // Recency is a property of the login session, not just the one
         // process that prompted (sudo's classic per-terminal ticket): the
@@ -263,12 +397,18 @@ impl Kernel {
             }
         }
         self.auth = Some(agent);
-        self.audit_event(format!(
+        let msg = format!(
             "auth: {:?} for pid {} -> {}",
             scope,
             pid.0,
             if ok { "success" } else { "failure" }
-        ));
+        );
+        let (kind, errno) = if ok {
+            (DecisionKind::Info, None)
+        } else {
+            (DecisionKind::Deny, Some(Errno::EACCES))
+        };
+        self.emit_kernel_event(pid, "auth", Hook::Auth, kind, errno, AuditObject::None, msg);
         ok
     }
 
@@ -532,12 +672,98 @@ mod tests {
     }
 
     #[test]
-    fn audit_respects_trace_flag() {
+    fn audit_respects_trace_flag_for_informational_events() {
         let mut k = Kernel::new(SimNet::new());
-        k.audit_event("ignored".into());
+        k.emit_event(
+            0,
+            "test",
+            AuditObject::None,
+            Provenance::kernel(Hook::Lifecycle, DecisionKind::Info, None),
+            "ignored".into(),
+        );
         assert!(k.audit.is_empty());
         k.trace = true;
-        k.audit_event("recorded".into());
+        k.emit_event(
+            0,
+            "test",
+            AuditObject::None,
+            Provenance::kernel(Hook::Lifecycle, DecisionKind::Info, None),
+            "recorded".into(),
+        );
         assert_eq!(k.audit.len(), 1);
+        // Metrics saw both events even though only one was stored.
+        assert_eq!(k.metrics.events, 2);
+        // Sequence numbers reveal the gated event.
+        assert_eq!(k.audit.next_seq(), 2);
+        assert_eq!(k.audit.last().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn denials_are_recorded_even_with_trace_off() {
+        // Regression: the legacy string log dropped *everything* when
+        // `trace` was off, including security denials.
+        let mut k = Kernel::new(SimNet::new());
+        assert!(!k.trace);
+        k.emit_event(
+            0,
+            "test",
+            AuditObject::None,
+            Provenance::kernel(Hook::SbMount, DecisionKind::Deny, Some(Errno::EPERM)),
+            "denied".into(),
+        );
+        assert_eq!(k.audit.len(), 1);
+        assert!(k.audit.last().unwrap().is_denial());
+        assert_eq!(k.metrics.hook(crate::trace::Hook::SbMount).deny, 1);
+    }
+
+    #[test]
+    fn syscall_denial_lands_in_ring_without_trace() {
+        // End-to-end variant: an unprivileged mount attempt under stock
+        // policy must leave a Deny event with provenance, trace off.
+        let mut k = Kernel::new(SimNet::new());
+        k.install_standard_devices().unwrap();
+        k.spawn_init();
+        k.vfs.mkdir_p("/mnt/cdrom").unwrap();
+        let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
+        assert_eq!(
+            k.sys_mount(user, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro"),
+            Err(Errno::EPERM)
+        );
+        let ev = k
+            .audit
+            .iter()
+            .find(|e| e.is_denial() && e.provenance.hook == Hook::SbMount)
+            .expect("mount denial recorded with trace off");
+        assert_eq!(ev.pid, user.0);
+        assert_eq!(ev.euid, 1000);
+        assert_eq!(ev.provenance.errno, Some(Errno::EPERM));
+    }
+
+    #[test]
+    fn sinks_observe_all_events() {
+        use crate::trace::CollectingSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut k = Kernel::new(SimNet::new());
+        let feed = Rc::new(RefCell::new(CollectingSink::default()));
+        k.subscribe_sink(Box::new(feed.clone()));
+        // Informational event with trace off: ring skips it, sink sees it.
+        k.emit_event(
+            0,
+            "test",
+            AuditObject::None,
+            Provenance::kernel(Hook::Lifecycle, DecisionKind::Info, None),
+            "info".into(),
+        );
+        k.emit_event(
+            0,
+            "test",
+            AuditObject::None,
+            Provenance::kernel(Hook::SbMount, DecisionKind::Deny, Some(Errno::EPERM)),
+            "denied".into(),
+        );
+        assert!(k.audit.len() == 1);
+        assert_eq!(feed.borrow().events.len(), 2);
+        assert!(feed.borrow().events[1].is_denial());
     }
 }

@@ -48,6 +48,7 @@ pub mod lsm;
 pub mod net;
 pub mod syscall;
 pub mod task;
+pub mod trace;
 pub mod vfs;
 
 pub use error::{Errno, KResult};

@@ -385,6 +385,16 @@ pub trait SecurityModule {
     fn boot_netfilter_rules(&self) -> Vec<Rule> {
         Vec::new()
     }
+
+    /// Returns and clears the identifier of the policy rule the module's
+    /// *most recent* hook decision matched, if it tracks one. The kernel
+    /// drains this right after each hook call to attach rule provenance
+    /// to the corresponding audit event. Hooks take `&self`, so modules
+    /// implement this with interior mutability; the default tracks
+    /// nothing.
+    fn take_matched_rule(&self) -> Option<String> {
+        None
+    }
 }
 
 /// A module that enforces nothing beyond stock Linux semantics; the

@@ -7,6 +7,7 @@ use crate::error::{Errno, KResult};
 use crate::kernel::Kernel;
 use crate::lsm::{FileDecision, FileOpenCtx};
 use crate::task::{Fd, FdObject, Pid};
+use crate::trace::{AuditObject, DecisionKind, Hook};
 use crate::vfs::{Access, Ino, InodeData, Mode, ProcHook, Resolved};
 
 /// Flags for [`Kernel::sys_open`].
@@ -249,18 +250,59 @@ impl Kernel {
                     dac?;
                     break;
                 }
-                FileDecision::Allow => break,
+                FileDecision::Allow => {
+                    let msg = format!("open: lsm granted {}", abs);
+                    self.emit_lsm_event(
+                        pid,
+                        "open",
+                        Hook::FileOpen,
+                        DecisionKind::Allow,
+                        None,
+                        AuditObject::Path(abs.clone()),
+                        msg,
+                    );
+                    break;
+                }
                 FileDecision::AllowCloexec => {
                     force_cloexec = true;
+                    let msg = format!("open: lsm granted {} (cloexec forced)", abs);
+                    self.emit_lsm_event(
+                        pid,
+                        "open",
+                        Hook::FileOpen,
+                        DecisionKind::Allow,
+                        None,
+                        AuditObject::Path(abs.clone()),
+                        msg,
+                    );
                     break;
                 }
                 FileDecision::Deny(e) => {
-                    self.audit_event(format!("open: lsm denied {} ({})", abs, e.name()));
+                    let msg = format!("open: lsm denied {} ({})", abs, e.name());
+                    self.emit_lsm_event(
+                        pid,
+                        "open",
+                        Hook::FileOpen,
+                        DecisionKind::Deny,
+                        Some(e),
+                        AuditObject::Path(abs.clone()),
+                        msg,
+                    );
                     return Err(e);
                 }
                 FileDecision::NeedAuth(scope) => {
                     attempts += 1;
                     if attempts > 1 || !self.run_auth(pid, scope) {
+                        let msg = format!("open: auth failed for {}", abs);
+                        self.emit_lsm_event(
+                            pid,
+                            "open",
+                            Hook::FileOpen,
+                            DecisionKind::Deny,
+                            Some(Errno::EACCES),
+                            AuditObject::Path(abs.clone()),
+                            msg,
+                        );
                         return Err(Errno::EACCES);
                     }
                 }
@@ -392,6 +434,8 @@ impl Kernel {
                     ProcHook::Mounts => Ok(self.vfs.render_proc_mounts().into_bytes()),
                     ProcHook::Uptime => Ok(format!("{}.00 0.00\n", self.clock).into_bytes()),
                     ProcHook::LsmConfig(name) => Ok(self.lsm().config_read(name)?.into_bytes()),
+                    ProcHook::Audit => Ok(self.audit.render().into_bytes()),
+                    ProcHook::Metrics => Ok(self.metrics.render().into_bytes()),
                     ProcHook::SysAttr(attr) => Ok(self.sys_attr_read(&attr)?.into_bytes()),
                 }
             }
@@ -459,11 +503,30 @@ impl Kernel {
             ProcHook::LsmConfig(name) => {
                 let cred = self.task(pid)?.cred.clone();
                 if !cred.euid.is_root() {
+                    let msg = format!("lsm-config: non-root write to '{}' refused", name);
+                    self.emit_kernel_event(
+                        pid,
+                        "write",
+                        Hook::LsmConfig,
+                        DecisionKind::Deny,
+                        Some(Errno::EPERM),
+                        AuditObject::Config(name.to_string()),
+                        msg,
+                    );
                     return Err(Errno::EPERM);
                 }
                 let content = String::from_utf8(data.to_vec()).map_err(|_| Errno::EINVAL)?;
                 self.lsm_mut().config_write(name, &content)?;
-                self.audit_event(format!("lsm-config: '{}' updated", name));
+                let msg = format!("lsm-config: '{}' updated", name);
+                self.emit_kernel_event(
+                    pid,
+                    "write",
+                    Hook::LsmConfig,
+                    DecisionKind::Info,
+                    None,
+                    AuditObject::Config(name.to_string()),
+                    msg,
+                );
                 Ok(data.len())
             }
             _ => Err(Errno::EACCES),

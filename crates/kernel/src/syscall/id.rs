@@ -13,6 +13,7 @@ use crate::error::{Errno, KResult};
 use crate::kernel::Kernel;
 use crate::lsm::{SetidCtx, SetuidDecision};
 use crate::task::Pid;
+use crate::trace::{AuditObject, DecisionKind, Hook};
 
 impl Kernel {
     fn setid_ctx(&self, pid: Pid) -> KResult<SetidCtx> {
@@ -34,10 +35,16 @@ impl Kernel {
             match self.lsm().task_setuid(&ctx, target) {
                 SetuidDecision::UseDefault => return self.setuid_stock(pid, target),
                 SetuidDecision::Allow => {
-                    self.audit_event(format!(
-                        "setuid: lsm granted {} -> {}",
-                        ctx.cred.ruid, target
-                    ));
+                    let msg = format!("setuid: lsm granted {} -> {}", ctx.cred.ruid, target);
+                    self.emit_lsm_event(
+                        pid,
+                        "setuid",
+                        Hook::TaskSetuid,
+                        DecisionKind::Allow,
+                        None,
+                        AuditObject::UidTarget(target.0),
+                        msg,
+                    );
                     let t = self.task_mut(pid)?;
                     t.cred.ruid = target;
                     t.cred.euid = target;
@@ -53,19 +60,37 @@ impl Kernel {
                     return Ok(());
                 }
                 SetuidDecision::Deny(e) => {
-                    self.audit_event(format!(
+                    let msg = format!(
                         "setuid: lsm denied {} -> {} ({})",
                         ctx.cred.ruid,
                         target,
                         e.name()
-                    ));
+                    );
+                    self.emit_lsm_event(
+                        pid,
+                        "setuid",
+                        Hook::TaskSetuid,
+                        DecisionKind::Deny,
+                        Some(e),
+                        AuditObject::UidTarget(target.0),
+                        msg,
+                    );
                     return Err(e);
                 }
                 SetuidDecision::Pending(p) => {
-                    self.audit_event(format!(
+                    let msg = format!(
                         "setuid: pending transition {} -> {} restricted to {:?}",
                         ctx.cred.ruid, target, p.allowed_binaries
-                    ));
+                    );
+                    self.emit_lsm_event(
+                        pid,
+                        "setuid",
+                        Hook::TaskSetuid,
+                        DecisionKind::Defer,
+                        None,
+                        AuditObject::UidTarget(target.0),
+                        msg,
+                    );
                     self.task_mut(pid)?.pending_setuid = Some(p);
                     // The call *reports* success; the credential change is
                     // deferred to exec (§4.3's change in error behaviour).
@@ -74,6 +99,17 @@ impl Kernel {
                 SetuidDecision::NeedAuth(scope) => {
                     attempts += 1;
                     if attempts > 1 || !self.run_auth(pid, scope) {
+                        let msg =
+                            format!("setuid: auth failed for {} -> {}", ctx.cred.ruid, target);
+                        self.emit_lsm_event(
+                            pid,
+                            "setuid",
+                            Hook::TaskSetuid,
+                            DecisionKind::Deny,
+                            Some(Errno::EPERM),
+                            AuditObject::UidTarget(target.0),
+                            msg,
+                        );
                         return Err(Errno::EPERM);
                     }
                 }
@@ -101,6 +137,20 @@ impl Kernel {
             t.cred.fsuid = target;
             Ok(())
         } else {
+            let ruid = t.cred.ruid;
+            let msg = format!(
+                "setuid: stock denied {} -> {} (no CAP_SETUID)",
+                ruid, target
+            );
+            self.emit_kernel_event(
+                pid,
+                "setuid",
+                Hook::TaskSetuid,
+                DecisionKind::Deny,
+                Some(Errno::EPERM),
+                AuditObject::UidTarget(target.0),
+                msg,
+            );
             Err(Errno::EPERM)
         }
     }
@@ -133,10 +183,16 @@ impl Kernel {
             match self.lsm().task_setgid(&ctx, target) {
                 SetuidDecision::UseDefault => return self.setgid_stock(pid, target),
                 SetuidDecision::Allow => {
-                    self.audit_event(format!(
-                        "setgid: lsm granted {} -> {}",
-                        ctx.cred.rgid.0, target.0
-                    ));
+                    let msg = format!("setgid: lsm granted {} -> {}", ctx.cred.rgid.0, target.0);
+                    self.emit_lsm_event(
+                        pid,
+                        "setgid",
+                        Hook::TaskSetgid,
+                        DecisionKind::Allow,
+                        None,
+                        AuditObject::GidTarget(target.0),
+                        msg,
+                    );
                     let t = self.task_mut(pid)?;
                     t.cred.rgid = target;
                     t.cred.egid = target;
@@ -146,11 +202,41 @@ impl Kernel {
                     }
                     return Ok(());
                 }
-                SetuidDecision::Deny(e) => return Err(e),
+                SetuidDecision::Deny(e) => {
+                    let msg = format!(
+                        "setgid: lsm denied {} -> {} ({})",
+                        ctx.cred.rgid.0,
+                        target.0,
+                        e.name()
+                    );
+                    self.emit_lsm_event(
+                        pid,
+                        "setgid",
+                        Hook::TaskSetgid,
+                        DecisionKind::Deny,
+                        Some(e),
+                        AuditObject::GidTarget(target.0),
+                        msg,
+                    );
+                    return Err(e);
+                }
                 SetuidDecision::Pending(_) => return Err(Errno::EINVAL),
                 SetuidDecision::NeedAuth(scope) => {
                     attempts += 1;
                     if attempts > 1 || !self.run_auth(pid, scope) {
+                        let msg = format!(
+                            "setgid: auth failed for {} -> {}",
+                            ctx.cred.rgid.0, target.0
+                        );
+                        self.emit_lsm_event(
+                            pid,
+                            "setgid",
+                            Hook::TaskSetgid,
+                            DecisionKind::Deny,
+                            Some(Errno::EPERM),
+                            AuditObject::GidTarget(target.0),
+                            msg,
+                        );
                         return Err(Errno::EPERM);
                     }
                 }
@@ -172,6 +258,20 @@ impl Kernel {
             t.cred.egid = target;
             Ok(())
         } else {
+            let rgid = t.cred.rgid;
+            let msg = format!(
+                "setgid: stock denied {} -> {} (no CAP_SETGID)",
+                rgid.0, target.0
+            );
+            self.emit_kernel_event(
+                pid,
+                "setgid",
+                Hook::TaskSetgid,
+                DecisionKind::Deny,
+                Some(Errno::EPERM),
+                AuditObject::GidTarget(target.0),
+                msg,
+            );
             Err(Errno::EPERM)
         }
     }

@@ -12,6 +12,7 @@ use crate::error::{Errno, KResult};
 use crate::kernel::Kernel;
 use crate::lsm::{Decision, KmsOp};
 use crate::task::{FdObject, Pid};
+use crate::trace::{AuditObject, DecisionKind, Hook};
 use crate::vfs::InodeData;
 
 /// Ioctl commands dispatched by [`Kernel::sys_ioctl`].
@@ -58,6 +59,7 @@ impl Kernel {
     /// `ioctl(2)` on a device fd.
     pub fn sys_ioctl(&mut self, pid: Pid, fd: i32, cmd: IoctlCmd) -> KResult<IoctlOut> {
         let dev = self.fd_device(pid, fd)?;
+        let dev_path = self.devices.get(dev)?.path.clone();
         let kind = self.devices.get(dev)?.kind.clone();
         match (cmd, kind) {
             (IoctlCmd::ModemClaim, DeviceKind::Modem(_)) => {
@@ -79,16 +81,52 @@ impl Kernel {
                 match self.lsm().ioctl_modem(&cred, opt, &state) {
                     Decision::UseDefault => {
                         if !self.capable(pid, Cap::NetAdmin) {
+                            let msg = format!(
+                                "ioctl: modem {:?} denied for {} (no CAP_NET_ADMIN)",
+                                opt, cred.ruid
+                            );
+                            self.emit_kernel_event(
+                                pid,
+                                "ioctl",
+                                Hook::IoctlModem,
+                                DecisionKind::Deny,
+                                Some(Errno::EPERM),
+                                AuditObject::Device(dev_path),
+                                msg,
+                            );
                             return Err(Errno::EPERM);
                         }
                     }
                     Decision::Allow => {
-                        self.audit_event(format!(
-                            "ioctl: lsm granted modem {:?} to {}",
-                            opt, cred.ruid
-                        ));
+                        let msg = format!("ioctl: lsm granted modem {:?} to {}", opt, cred.ruid);
+                        self.emit_lsm_event(
+                            pid,
+                            "ioctl",
+                            Hook::IoctlModem,
+                            DecisionKind::Allow,
+                            None,
+                            AuditObject::Device(dev_path),
+                            msg,
+                        );
                     }
-                    Decision::Deny(e) => return Err(e),
+                    Decision::Deny(e) => {
+                        let msg = format!(
+                            "ioctl: lsm denied modem {:?} to {} ({})",
+                            opt,
+                            cred.ruid,
+                            e.name()
+                        );
+                        self.emit_lsm_event(
+                            pid,
+                            "ioctl",
+                            Hook::IoctlModem,
+                            DecisionKind::Deny,
+                            Some(e),
+                            AuditObject::Device(dev_path),
+                            msg,
+                        );
+                        return Err(e);
+                    }
                 }
                 if let DeviceKind::Modem(m) = &mut self.devices.get_mut(dev)?.kind {
                     match opt {
@@ -107,11 +145,40 @@ impl Kernel {
                 match self.lsm().ioctl_dmcrypt(&cred) {
                     Decision::UseDefault => {
                         if !self.capable(pid, Cap::SysAdmin) {
+                            let msg = format!(
+                                "ioctl: dm status denied for {} (no CAP_SYS_ADMIN)",
+                                cred.ruid
+                            );
+                            self.emit_kernel_event(
+                                pid,
+                                "ioctl",
+                                Hook::IoctlDmcrypt,
+                                DecisionKind::Deny,
+                                Some(Errno::EPERM),
+                                AuditObject::Device(dev_path),
+                                msg,
+                            );
                             return Err(Errno::EPERM);
                         }
                     }
                     Decision::Allow => {}
-                    Decision::Deny(e) => return Err(e),
+                    Decision::Deny(e) => {
+                        let msg = format!(
+                            "ioctl: lsm denied dm status to {} ({})",
+                            cred.ruid,
+                            e.name()
+                        );
+                        self.emit_lsm_event(
+                            pid,
+                            "ioctl",
+                            Hook::IoctlDmcrypt,
+                            DecisionKind::Deny,
+                            Some(e),
+                            AuditObject::Device(dev_path),
+                            msg,
+                        );
+                        return Err(e);
+                    }
                 }
                 // All-or-nothing disclosure: this is the interface flaw the
                 // paper highlights (Table 4) — the same ioctl returns keys.
@@ -137,11 +204,41 @@ impl Kernel {
                         let need_priv =
                             matches!(op, KmsOp::RawRegisterAccess) || !state.kms_capable;
                         if need_priv && !privileged_ok {
+                            let msg = format!(
+                                "ioctl: kms {:?} denied for {} (needs CAP_SYS_RAWIO+CAP_SYS_ADMIN)",
+                                op, cred.ruid
+                            );
+                            self.emit_kernel_event(
+                                pid,
+                                "ioctl",
+                                Hook::IoctlKms,
+                                DecisionKind::Deny,
+                                Some(Errno::EPERM),
+                                AuditObject::Device(dev_path),
+                                msg,
+                            );
                             return Err(Errno::EPERM);
                         }
                     }
                     Decision::Allow => {}
-                    Decision::Deny(e) => return Err(e),
+                    Decision::Deny(e) => {
+                        let msg = format!(
+                            "ioctl: lsm denied kms {:?} to {} ({})",
+                            op,
+                            cred.ruid,
+                            e.name()
+                        );
+                        self.emit_lsm_event(
+                            pid,
+                            "ioctl",
+                            Hook::IoctlKms,
+                            DecisionKind::Deny,
+                            Some(e),
+                            AuditObject::Device(dev_path),
+                            msg,
+                        );
+                        return Err(e);
+                    }
                 }
                 if let DeviceKind::Video(v) = &mut self.devices.get_mut(dev)?.kind {
                     match op {

@@ -11,6 +11,7 @@ use crate::error::{Errno, KResult};
 use crate::kernel::Kernel;
 use crate::lsm::{Decision, MountRequest, UmountRequest};
 use crate::task::Pid;
+use crate::trace::{AuditObject, DecisionKind, Hook};
 use crate::vfs::{Access, InodeData, MountOptions};
 
 impl Kernel {
@@ -47,15 +48,35 @@ impl Kernel {
             fstype: fstype.to_string(),
             options: opts.clone(),
         };
+        let object = AuditObject::Path(format!("{} -> {}", source, mountpoint));
         match self.lsm().sb_mount(&cred, &req) {
             Decision::UseDefault => {
                 if !self.capable(pid, Cap::SysAdmin) {
-                    self.audit_event(format!(
+                    let msg = format!(
                         "mount: {} -> {} denied (no CAP_SYS_ADMIN)",
                         source, mountpoint
-                    ));
+                    );
+                    self.emit_kernel_event(
+                        pid,
+                        "mount",
+                        Hook::SbMount,
+                        DecisionKind::Deny,
+                        Some(Errno::EPERM),
+                        object,
+                        msg,
+                    );
                     return Err(Errno::EPERM);
                 }
+                let msg = format!("mount: {} -> {} via CAP_SYS_ADMIN", source, mountpoint);
+                self.emit_kernel_event(
+                    pid,
+                    "mount",
+                    Hook::SbMount,
+                    DecisionKind::UseDefault,
+                    None,
+                    object,
+                    msg,
+                );
             }
             Decision::Allow => {
                 // User mounts are forced nosuid/nodev, as the mount
@@ -64,18 +85,36 @@ impl Kernel {
                     opts.nosuid = true;
                     opts.nodev = true;
                 }
-                self.audit_event(format!(
+                let msg = format!(
                     "mount: lsm granted {} -> {} for {}",
                     source, mountpoint, cred.ruid
-                ));
+                );
+                self.emit_lsm_event(
+                    pid,
+                    "mount",
+                    Hook::SbMount,
+                    DecisionKind::Allow,
+                    None,
+                    object,
+                    msg,
+                );
             }
             Decision::Deny(e) => {
-                self.audit_event(format!(
+                let msg = format!(
                     "mount: lsm denied {} -> {} ({})",
                     source,
                     mountpoint,
                     e.name()
-                ));
+                );
+                self.emit_lsm_event(
+                    pid,
+                    "mount",
+                    Hook::SbMount,
+                    DecisionKind::Deny,
+                    Some(e),
+                    object,
+                    msg,
+                );
                 return Err(e);
             }
         }
@@ -141,19 +180,58 @@ impl Kernel {
             fstype: m.fstype.clone(),
             mounted_by: m.mounted_by,
         };
+        let object = AuditObject::Path(mountpoint.clone());
         match self.lsm().sb_umount(&cred, &req) {
             Decision::UseDefault => {
                 if !self.capable(pid, Cap::SysAdmin) {
+                    let msg = format!("umount: {} denied (no CAP_SYS_ADMIN)", mountpoint);
+                    self.emit_kernel_event(
+                        pid,
+                        "umount",
+                        Hook::SbUmount,
+                        DecisionKind::Deny,
+                        Some(Errno::EPERM),
+                        object,
+                        msg,
+                    );
                     return Err(Errno::EPERM);
                 }
+                let msg = format!("umount: {} via CAP_SYS_ADMIN", mountpoint);
+                self.emit_kernel_event(
+                    pid,
+                    "umount",
+                    Hook::SbUmount,
+                    DecisionKind::UseDefault,
+                    None,
+                    object,
+                    msg,
+                );
             }
             Decision::Allow => {
-                self.audit_event(format!(
-                    "umount: lsm granted {} for {}",
-                    mountpoint, cred.ruid
-                ));
+                let msg = format!("umount: lsm granted {} for {}", mountpoint, cred.ruid);
+                self.emit_lsm_event(
+                    pid,
+                    "umount",
+                    Hook::SbUmount,
+                    DecisionKind::Allow,
+                    None,
+                    object,
+                    msg,
+                );
             }
-            Decision::Deny(e) => return Err(e),
+            Decision::Deny(e) => {
+                let msg = format!("umount: lsm denied {} ({})", mountpoint, e.name());
+                self.emit_lsm_event(
+                    pid,
+                    "umount",
+                    Hook::SbUmount,
+                    DecisionKind::Deny,
+                    Some(e),
+                    object,
+                    msg,
+                );
+                return Err(e);
+            }
         }
 
         self.vfs.remove_mount(&mountpoint)?;

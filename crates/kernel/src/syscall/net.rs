@@ -19,6 +19,7 @@ use crate::net::{
     Verdict, L4,
 };
 use crate::task::{Fd, FdObject, Pid};
+use crate::trace::{AuditObject, DecisionKind, Hook, Provenance};
 
 /// Netfilter administration operations (the iptables backend).
 #[derive(Clone, Debug)]
@@ -68,22 +69,52 @@ impl Kernel {
         match self.lsm().socket_create(&cred, domain, stype, protocol) {
             Decision::UseDefault => {
                 if needs_raw_cap && !self.capable(pid, Cap::NetRaw) {
-                    self.audit_event(format!(
+                    let msg = format!(
                         "socket: raw socket denied for {} (no CAP_NET_RAW)",
                         cred.euid
-                    ));
+                    );
+                    self.emit_kernel_event(
+                        pid,
+                        "socket",
+                        Hook::SocketCreate,
+                        DecisionKind::Deny,
+                        Some(Errno::EPERM),
+                        AuditObject::None,
+                        msg,
+                    );
                     return Err(Errno::EPERM);
                 }
             }
             Decision::Allow => {
                 if needs_raw_cap {
-                    self.audit_event(format!(
+                    let msg = format!(
                         "socket: lsm granted raw socket to {} (netfilter-scoped)",
                         cred.euid
-                    ));
+                    );
+                    self.emit_lsm_event(
+                        pid,
+                        "socket",
+                        Hook::SocketCreate,
+                        DecisionKind::Allow,
+                        None,
+                        AuditObject::None,
+                        msg,
+                    );
                 }
             }
-            Decision::Deny(e) => return Err(e),
+            Decision::Deny(e) => {
+                let msg = format!("socket: lsm denied socket to {} ({})", cred.euid, e.name());
+                self.emit_lsm_event(
+                    pid,
+                    "socket",
+                    Hook::SocketCreate,
+                    DecisionKind::Deny,
+                    Some(e),
+                    AuditObject::None,
+                    msg,
+                );
+                return Err(e);
+            }
         }
         let binary = self.task(pid)?.binary.clone();
         let sid = self
@@ -106,27 +137,55 @@ impl Kernel {
                 binary: self.task(pid)?.binary.clone(),
                 tcp: matches!(stype, SockType::Stream),
             };
+            let object = AuditObject::Port { port, tcp: req.tcp };
             match self.lsm().socket_bind(&cred, &req) {
                 Decision::UseDefault => {
                     if !self.capable(pid, Cap::NetBindService) {
-                        self.audit_event(format!(
+                        let msg = format!(
                             "bind: port {} denied for {} (no CAP_NET_BIND_SERVICE)",
                             port, cred.euid
-                        ));
+                        );
+                        self.emit_kernel_event(
+                            pid,
+                            "bind",
+                            Hook::SocketBind,
+                            DecisionKind::Deny,
+                            Some(Errno::EACCES),
+                            object,
+                            msg,
+                        );
                         return Err(Errno::EACCES);
                     }
                 }
                 Decision::Allow => {
-                    self.audit_event(format!(
+                    let msg = format!(
                         "bind: lsm granted port {} to ({}, {})",
                         port, req.binary, cred.euid
-                    ));
+                    );
+                    self.emit_lsm_event(
+                        pid,
+                        "bind",
+                        Hook::SocketBind,
+                        DecisionKind::Allow,
+                        None,
+                        object,
+                        msg,
+                    );
                 }
                 Decision::Deny(e) => {
-                    self.audit_event(format!(
+                    let msg = format!(
                         "bind: lsm denied port {} to ({}, {})",
                         port, req.binary, cred.euid
-                    ));
+                    );
+                    self.emit_lsm_event(
+                        pid,
+                        "bind",
+                        Hook::SocketBind,
+                        DecisionKind::Deny,
+                        Some(e),
+                        object,
+                        msg,
+                    );
                     return Err(e);
                 }
             }
@@ -324,7 +383,7 @@ impl Kernel {
 
     /// Common output path: netfilter, then routing, then delivery; replies
     /// are queued on the sending socket.
-    fn transmit(&mut self, _pid: Pid, sid: SockId, pkt: Packet) -> KResult<()> {
+    fn transmit(&mut self, pid: Pid, sid: SockId, pkt: Packet) -> KResult<()> {
         // Spoof analysis: does the claimed source port belong to a socket
         // of a different user?
         let spoofed = match (&pkt.l4, pkt.from_raw_socket) {
@@ -347,10 +406,21 @@ impl Kernel {
             spoofed_src_port: spoofed,
         });
         if eval.verdict == Verdict::Drop {
-            self.audit_event(format!(
+            let msg = format!(
                 "netfilter: dropped {:?} from {} (rule {:?})",
                 pkt.l4, pkt.sender_uid, eval.rule
-            ));
+            );
+            // The matched netfilter rule is the provenance here, so build
+            // it explicitly rather than via the LSM rule channel.
+            let provenance = Provenance::lsm(
+                "netfilter",
+                Hook::Netfilter,
+                eval.rule.clone(),
+                DecisionKind::Deny,
+                Some(Errno::EPERM),
+            );
+            let object = AuditObject::Packet(format!("{:?} -> {}", pkt.l4, pkt.dst));
+            self.emit_event(pid.0, "send", object, provenance, msg);
             return Err(Errno::EPERM);
         }
 
@@ -480,26 +550,61 @@ impl Kernel {
         match op {
             RouteOp::Add(mut route) => {
                 let cred = self.task(pid)?.cred.clone();
+                let object = AuditObject::Route(format!(
+                    "{}/{} via {}",
+                    route.dest, route.prefix, route.dev
+                ));
                 match self.lsm().ioctl_route_add(&cred, &route, &self.routes) {
                     Decision::UseDefault => {
                         if !self.capable(pid, Cap::NetAdmin) {
+                            let msg = format!(
+                                "route: add {}/{} denied for {} (no CAP_NET_ADMIN)",
+                                route.dest, route.prefix, cred.ruid
+                            );
+                            self.emit_kernel_event(
+                                pid,
+                                "ioctl",
+                                Hook::IoctlRoute,
+                                DecisionKind::Deny,
+                                Some(Errno::EPERM),
+                                object,
+                                msg,
+                            );
                             return Err(Errno::EPERM);
                         }
                     }
                     Decision::Allow => {
-                        self.audit_event(format!(
+                        let msg = format!(
                             "route: lsm granted {}/{} via {} to {}",
                             route.dest, route.prefix, route.dev, cred.ruid
-                        ));
+                        );
+                        self.emit_lsm_event(
+                            pid,
+                            "ioctl",
+                            Hook::IoctlRoute,
+                            DecisionKind::Allow,
+                            None,
+                            object,
+                            msg,
+                        );
                     }
                     Decision::Deny(e) => {
-                        self.audit_event(format!(
+                        let msg = format!(
                             "route: lsm denied {}/{} to {} ({})",
                             route.dest,
                             route.prefix,
                             cred.ruid,
                             e.name()
-                        ));
+                        );
+                        self.emit_lsm_event(
+                            pid,
+                            "ioctl",
+                            Hook::IoctlRoute,
+                            DecisionKind::Deny,
+                            Some(e),
+                            object,
+                            msg,
+                        );
                         return Err(e);
                     }
                 }
@@ -516,6 +621,19 @@ impl Kernel {
                     .map(|r| r.created_by)
                     .ok_or(Errno::ENOENT)?;
                 if owner != cred.ruid && !self.capable(pid, Cap::NetAdmin) {
+                    let msg = format!(
+                        "route: del {}/{} denied for {} (not owner, no CAP_NET_ADMIN)",
+                        dest, prefix, cred.ruid
+                    );
+                    self.emit_kernel_event(
+                        pid,
+                        "ioctl",
+                        Hook::IoctlRoute,
+                        DecisionKind::Deny,
+                        Some(Errno::EPERM),
+                        AuditObject::Route(format!("{}/{}", dest, prefix)),
+                        msg,
+                    );
                     return Err(Errno::EPERM);
                 }
                 self.routes.remove(dest, prefix)?;

@@ -9,6 +9,7 @@ use crate::error::{Errno, KResult};
 use crate::kernel::Kernel;
 use crate::lsm::{EnvPolicy, ExecCtx, ExecDecision};
 use crate::task::{FdObject, Pid};
+use crate::trace::{AuditObject, DecisionKind, Hook};
 use crate::vfs::{Access, InodeData};
 
 impl Kernel {
@@ -100,6 +101,16 @@ impl Kernel {
                 ExecDecision::NeedAuth(scope) => {
                     attempts += 1;
                     if attempts > 1 || !self.run_auth(pid, scope) {
+                        let msg = format!("exec: auth failed for {}", abs);
+                        self.emit_lsm_event(
+                            pid,
+                            "exec",
+                            Hook::BprmCheck,
+                            DecisionKind::Deny,
+                            Some(Errno::EACCES),
+                            AuditObject::Binary(abs.clone()),
+                            msg,
+                        );
                         return Err(Errno::EACCES);
                     }
                 }
@@ -118,6 +129,7 @@ impl Kernel {
                 }
             }
             ExecDecision::Transition { cred, env } => {
+                let new_euid = cred.euid;
                 let t = self.task_mut(pid)?;
                 t.cred = cred;
                 match env {
@@ -128,9 +140,28 @@ impl Kernel {
                         });
                     }
                 }
+                let msg = format!("exec: lsm transition {} -> euid {}", abs, new_euid);
+                self.emit_lsm_event(
+                    pid,
+                    "execve",
+                    Hook::BprmCheck,
+                    DecisionKind::Allow,
+                    None,
+                    AuditObject::Binary(abs.clone()),
+                    msg,
+                );
             }
             ExecDecision::Deny(e) => {
-                self.audit_event(format!("exec: lsm denied {} ({})", abs, e.name()));
+                let msg = format!("exec: lsm denied {} ({})", abs, e.name());
+                self.emit_lsm_event(
+                    pid,
+                    "execve",
+                    Hook::BprmCheck,
+                    DecisionKind::Deny,
+                    Some(e),
+                    AuditObject::Binary(abs.clone()),
+                    msg,
+                );
                 return Err(e);
             }
             ExecDecision::NeedAuth(_) => unreachable!("resolved above"),
@@ -151,7 +182,16 @@ impl Kernel {
         }
 
         self.task_mut(pid)?.binary = abs.clone();
-        self.audit_event(format!("exec: pid {} -> {}", pid.0, abs));
+        let msg = format!("exec: pid {} -> {}", pid.0, abs);
+        self.emit_kernel_event(
+            pid,
+            "execve",
+            Hook::BprmCheck,
+            DecisionKind::Info,
+            None,
+            AuditObject::Binary(abs.clone()),
+            msg,
+        );
         Ok(abs)
     }
 

@@ -1,0 +1,231 @@
+//! Per-hook and per-syscall decision counters, an errno histogram, and
+//! logical-clock latency observations.
+
+use super::event::{AuditEvent, DecisionKind, Hook};
+use std::collections::BTreeMap;
+
+/// Allow/deny/use-default/defer/info counts for one key.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecisionCounters {
+    /// Module-granted decisions.
+    pub allow: u64,
+    /// Denials.
+    pub deny: u64,
+    /// Stock-policy decisions.
+    pub use_default: u64,
+    /// Deferred decisions (pending transitions).
+    pub defer: u64,
+    /// Informational events.
+    pub info: u64,
+}
+
+impl DecisionCounters {
+    /// Increments the counter for `kind`.
+    pub fn bump(&mut self, kind: DecisionKind) {
+        match kind {
+            DecisionKind::Allow => self.allow += 1,
+            DecisionKind::Deny => self.deny += 1,
+            DecisionKind::UseDefault => self.use_default += 1,
+            DecisionKind::Defer => self.defer += 1,
+            DecisionKind::Info => self.info += 1,
+        }
+    }
+
+    /// Sum over all decision kinds.
+    pub fn total(&self) -> u64 {
+        self.allow + self.deny + self.use_default + self.defer + self.info
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &DecisionCounters) {
+        self.allow += other.allow;
+        self.deny += other.deny;
+        self.use_default += other.use_default;
+        self.defer += other.defer;
+        self.info += other.info;
+    }
+}
+
+/// Logical-clock latency aggregate for one pathway.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of observations.
+    pub samples: u64,
+    /// Sum of observed logical-clock deltas.
+    pub total: u64,
+    /// Largest observed delta.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Records one observation.
+    pub fn observe(&mut self, delta: u64) {
+        self.samples += 1;
+        self.total += delta;
+        self.max = self.max.max(delta);
+    }
+}
+
+/// Kernel-wide observability counters. Updated on every emitted event,
+/// independent of the `trace` flag and of ring-buffer eviction.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Decision counts keyed by LSM hook name.
+    pub per_hook: BTreeMap<&'static str, DecisionCounters>,
+    /// Decision counts keyed by syscall name.
+    pub per_syscall: BTreeMap<&'static str, DecisionCounters>,
+    /// Denial errno histogram.
+    pub errnos: BTreeMap<&'static str, u64>,
+    /// Logical-clock latency aggregates (e.g. authentication prompts).
+    pub latency: BTreeMap<&'static str, LatencyStats>,
+    /// Total events emitted.
+    pub events: u64,
+}
+
+impl Metrics {
+    /// Folds one event into the counters.
+    pub fn record(&mut self, ev: &AuditEvent) {
+        self.events += 1;
+        let kind = ev.provenance.decision;
+        self.per_hook
+            .entry(ev.provenance.hook.name())
+            .or_default()
+            .bump(kind);
+        self.per_syscall.entry(ev.syscall).or_default().bump(kind);
+        if let Some(e) = ev.provenance.errno {
+            *self.errnos.entry(e.name()).or_insert(0) += 1;
+        }
+    }
+
+    /// Records a logical-clock latency observation.
+    pub fn observe_latency(&mut self, pathway: &'static str, delta: u64) {
+        self.latency.entry(pathway).or_default().observe(delta);
+    }
+
+    /// The counters for `hook` (zero if never hit).
+    pub fn hook(&self, hook: Hook) -> DecisionCounters {
+        self.per_hook.get(hook.name()).copied().unwrap_or_default()
+    }
+
+    /// Total denials across all hooks.
+    pub fn total_denials(&self) -> u64 {
+        self.per_hook.values().map(|c| c.deny).sum()
+    }
+
+    /// Adds another metrics snapshot into this one (corpus aggregation).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.events += other.events;
+        for (k, v) in &other.per_hook {
+            self.per_hook.entry(k).or_default().merge(v);
+        }
+        for (k, v) in &other.per_syscall {
+            self.per_syscall.entry(k).or_default().merge(v);
+        }
+        for (k, v) in &other.errnos {
+            *self.errnos.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.latency {
+            let s = self.latency.entry(k).or_default();
+            s.samples += v.samples;
+            s.total += v.total;
+            s.max = s.max.max(v.max);
+        }
+    }
+
+    /// Renders the `/proc/<lsm>/metrics` view: one `key value` line per
+    /// counter, stable-ordered for easy diffing.
+    pub fn render(&self) -> String {
+        let mut out = format!("events_total {}\n", self.events);
+        for (hook, c) in &self.per_hook {
+            out.push_str(&format!(
+                "hook_{} allow={} deny={} use_default={} defer={} info={}\n",
+                hook, c.allow, c.deny, c.use_default, c.defer, c.info
+            ));
+        }
+        for (sys, c) in &self.per_syscall {
+            out.push_str(&format!(
+                "syscall_{} allow={} deny={} use_default={} defer={} info={}\n",
+                sys, c.allow, c.deny, c.use_default, c.defer, c.info
+            ));
+        }
+        for (errno, n) in &self.errnos {
+            out.push_str(&format!("errno_{} {}\n", errno, n));
+        }
+        for (pathway, l) in &self.latency {
+            out.push_str(&format!(
+                "latency_{} samples={} total={} max={}\n",
+                pathway, l.samples, l.total, l.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Errno;
+    use crate::trace::{AuditObject, Provenance};
+
+    fn ev(hook: Hook, kind: DecisionKind, errno: Option<Errno>) -> AuditEvent {
+        AuditEvent {
+            seq: 0,
+            clock: 0,
+            pid: 1,
+            ruid: 1000,
+            euid: 1000,
+            syscall: "mount",
+            object: AuditObject::None,
+            provenance: Provenance::lsm("protego", hook, None, kind, errno),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn counters_follow_decisions() {
+        let mut m = Metrics::default();
+        m.record(&ev(Hook::SbMount, DecisionKind::Allow, None));
+        m.record(&ev(Hook::SbMount, DecisionKind::Deny, Some(Errno::EPERM)));
+        m.record(&ev(Hook::SbMount, DecisionKind::Deny, Some(Errno::EACCES)));
+        let c = m.hook(Hook::SbMount);
+        assert_eq!((c.allow, c.deny, c.use_default), (1, 2, 0));
+        assert_eq!(m.per_syscall["mount"].total(), 3);
+        assert_eq!(m.errnos["EPERM"], 1);
+        assert_eq!(m.errnos["EACCES"], 1);
+        assert_eq!(m.total_denials(), 2);
+    }
+
+    #[test]
+    fn latency_aggregates() {
+        let mut m = Metrics::default();
+        m.observe_latency("auth", 3);
+        m.observe_latency("auth", 7);
+        let l = m.latency["auth"];
+        assert_eq!((l.samples, l.total, l.max), (2, 10, 7));
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Metrics::default();
+        let mut b = Metrics::default();
+        a.record(&ev(Hook::SbMount, DecisionKind::Deny, Some(Errno::EPERM)));
+        b.record(&ev(Hook::SbMount, DecisionKind::Deny, Some(Errno::EPERM)));
+        b.observe_latency("auth", 5);
+        a.merge(&b);
+        assert_eq!(a.hook(Hook::SbMount).deny, 2);
+        assert_eq!(a.errnos["EPERM"], 2);
+        assert_eq!(a.latency["auth"].samples, 1);
+        assert_eq!(a.events, 2);
+    }
+
+    #[test]
+    fn render_is_line_per_counter() {
+        let mut m = Metrics::default();
+        m.record(&ev(Hook::SbMount, DecisionKind::Deny, Some(Errno::EPERM)));
+        let text = m.render();
+        assert!(text.starts_with("events_total 1\n"));
+        assert!(text.contains("hook_sb_mount allow=0 deny=1"));
+        assert!(text.contains("syscall_mount"));
+        assert!(text.contains("errno_EPERM 1"));
+    }
+}

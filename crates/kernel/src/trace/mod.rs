@@ -1,0 +1,34 @@
+//! Structured kernel observability: typed audit events with decision
+//! provenance, a bounded ring buffer with kernel-audit-backlog drop
+//! semantics, per-hook / per-syscall decision metrics, and an
+//! [`AuditSink`] subscription point for userland daemons.
+//!
+//! This replaces the original unbounded `Vec<String>` audit trail. Every
+//! policy-relevant decision site in the syscall layer now emits an
+//! [`AuditEvent`] carrying *which* LSM hook decided, *which* policy rule
+//! matched (when the module tracks one), the resulting decision kind and
+//! errno, and the subject (pid + credentials) and object (path, port,
+//! device, uid…) involved. The human-readable line the old log carried is
+//! preserved as [`AuditEvent::message`], so string-level assertions keep
+//! working, while everything downstream (benches, the exploit replay
+//! harness, `/proc/<lsm>/audit` and `/proc/<lsm>/metrics`) can query the
+//! typed form.
+//!
+//! Recording policy (see `Kernel::emit_event`):
+//!
+//! * `Deny` events are **always** recorded — dropping security denials
+//!   because tracing is off would blind incident response;
+//! * all other kinds (`Allow`, `UseDefault`, `Defer`, `Info`) are
+//!   recorded only when `Kernel::trace` is on;
+//! * [`Metrics`] counters and subscribed sinks observe every emitted
+//!   event regardless of the flag.
+
+mod event;
+mod metrics;
+mod ring;
+mod sink;
+
+pub use event::{AuditEvent, AuditObject, DecisionKind, Hook, Provenance};
+pub use metrics::{DecisionCounters, LatencyStats, Metrics};
+pub use ring::{AuditRing, DEFAULT_RING_CAPACITY};
+pub use sink::{AuditSink, CollectingSink};

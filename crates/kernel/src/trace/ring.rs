@@ -1,0 +1,177 @@
+//! Bounded audit ring buffer with kernel-audit-backlog drop semantics.
+
+use super::event::AuditEvent;
+use std::collections::VecDeque;
+
+/// Default backlog, mirroring `audit_backlog_limit`-style bounds.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// A bounded FIFO of audit events. When full, the oldest event is
+/// discarded and the drop counter incremented — the log never grows
+/// without bound and never loses the *newest* (most relevant) events.
+#[derive(Clone, Debug)]
+pub struct AuditRing {
+    buf: VecDeque<AuditEvent>,
+    cap: usize,
+    /// Events discarded due to backlog overflow.
+    pub dropped: u64,
+    next_seq: u64,
+}
+
+impl Default for AuditRing {
+    fn default() -> Self {
+        AuditRing::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl AuditRing {
+    /// An empty ring holding at most `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> AuditRing {
+        AuditRing {
+            buf: VecDeque::with_capacity(cap.clamp(1, DEFAULT_RING_CAPACITY)),
+            cap: cap.max(1),
+            dropped: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of events currently stored.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The sequence number the next emitted event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Allocates the next sequence number (every emitted event gets one,
+    /// stored or not, so `seq` gaps reveal trace-gated events).
+    pub fn assign_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Appends an event, evicting the oldest when at capacity.
+    pub fn push(&mut self, ev: AuditEvent) {
+        if self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Iterates stored events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &AuditEvent> {
+        self.buf.iter()
+    }
+
+    /// Stored events with `seq >= since` (e.g. "everything since I last
+    /// looked", using a saved [`AuditRing::next_seq`]).
+    pub fn since(&self, since: u64) -> impl Iterator<Item = &AuditEvent> {
+        self.buf.iter().filter(move |e| e.seq >= since)
+    }
+
+    /// The most recent event, if any.
+    pub fn last(&self) -> Option<&AuditEvent> {
+        self.buf.back()
+    }
+
+    /// Discards all stored events (drop/seq counters are preserved).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Renders the `/proc/<lsm>/audit` view: a summary header followed by
+    /// one structured line per stored event.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# audit ring: stored={} capacity={} dropped={} next_seq={}\n",
+            self.len(),
+            self.cap,
+            self.dropped,
+            self.next_seq
+        );
+        for ev in self.iter() {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a AuditRing {
+    type Item = &'a AuditEvent;
+    type IntoIter = std::collections::vec_deque::Iter<'a, AuditEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{AuditObject, DecisionKind, Hook, Provenance};
+
+    fn ev(seq: u64) -> AuditEvent {
+        AuditEvent {
+            seq,
+            clock: 0,
+            pid: 1,
+            ruid: 0,
+            euid: 0,
+            syscall: "test",
+            object: AuditObject::None,
+            provenance: Provenance::kernel(Hook::Lifecycle, DecisionKind::Info, None),
+            message: format!("event {}", seq),
+        }
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts_drops() {
+        let mut r = AuditRing::new(3);
+        for _ in 0..5 {
+            let s = r.assign_seq();
+            r.push(ev(s));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped, 2);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "newest events are retained");
+        assert_eq!(r.last().unwrap().seq, 4);
+        assert_eq!(r.next_seq(), 5);
+    }
+
+    #[test]
+    fn since_filters_by_seq() {
+        let mut r = AuditRing::new(10);
+        for _ in 0..6 {
+            let s = r.assign_seq();
+            r.push(ev(s));
+        }
+        let tail: Vec<u64> = r.since(4).map(|e| e.seq).collect();
+        assert_eq!(tail, vec![4, 5]);
+    }
+
+    #[test]
+    fn render_carries_header_and_lines() {
+        let mut r = AuditRing::new(2);
+        let s = r.assign_seq();
+        r.push(ev(s));
+        let text = r.render();
+        assert!(text.starts_with("# audit ring: stored=1 capacity=2 dropped=0"));
+        assert!(text.contains("seq=0"));
+        assert!(text.contains("hook=lifecycle"));
+    }
+}

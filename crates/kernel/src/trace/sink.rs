@@ -1,0 +1,33 @@
+//! The audit subscription point: sinks observe every emitted event
+//! (regardless of the `trace` flag or ring eviction), which is how
+//! userland daemons watch kernel decisions live.
+
+use super::event::AuditEvent;
+
+/// An audit event subscriber registered with `Kernel::subscribe_sink`.
+pub trait AuditSink {
+    /// Called synchronously for every emitted event.
+    fn on_event(&mut self, event: &AuditEvent);
+}
+
+/// A trivial sink that clones every event into a vector — useful in
+/// tests and as a reference implementation.
+#[derive(Clone, Debug, Default)]
+pub struct CollectingSink {
+    /// Everything observed so far.
+    pub events: Vec<AuditEvent>,
+}
+
+impl AuditSink for CollectingSink {
+    fn on_event(&mut self, event: &AuditEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Shared-handle forwarding, so a subscriber handed to the kernel can
+/// still be read from outside (the simulation is single-threaded).
+impl<S: AuditSink> AuditSink for std::rc::Rc<std::cell::RefCell<S>> {
+    fn on_event(&mut self, event: &AuditEvent) {
+        self.borrow_mut().on_event(event);
+    }
+}

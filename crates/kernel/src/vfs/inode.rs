@@ -118,6 +118,10 @@ pub enum ProcHook {
     /// `/proc/<lsm>/<name>` — a security-module configuration file with an
     /// LSM-defined grammar (e.g. Protego's mount whitelist).
     LsmConfig(&'static str),
+    /// `/proc/<lsm>/audit` — the structured audit ring, read-only.
+    Audit,
+    /// `/proc/<lsm>/metrics` — decision counters, read-only.
+    Metrics,
     /// `/sys/...` attribute owned by a device, read-only; the string names
     /// the attribute (e.g. `dm/0/deps` for dm-crypt device topology).
     SysAttr(String),

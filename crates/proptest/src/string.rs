@@ -1,0 +1,300 @@
+//! String generation from the regex subset the workspace's tests use:
+//! character classes (`[a-z0-9_.-]`, `[^:\n]`, `[ -~]`), literal
+//! alternations (`(iso9660|vfat|ext4|auto)`), quantifiers (`{n}`,
+//! `{m,n}`, `?`, `*`, `+`), the printable-any escapes `\PC` and `.`,
+//! and plain literal characters.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Lit(char),
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+    Alt(Vec<String>),
+    AnyPrintable,
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                i += 1;
+                let mut negated = false;
+                if i < chars.len() && chars[i] == '^' {
+                    negated = true;
+                    i += 1;
+                }
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // A range `a-z` needs a `-` that is neither first nor
+                    // last in the class.
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        ranges.push((c, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                pieces.push(Piece {
+                    node: Node::Class { ranges, negated },
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '(' => {
+                let mut depth = 1;
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && depth > 0 {
+                    match chars[j] {
+                        '(' => depth += 1,
+                        ')' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let inner: String = chars[start..j - 1].iter().collect();
+                let branches = inner.split('|').map(|s| s.to_string()).collect();
+                pieces.push(Piece {
+                    node: Node::Alt(branches),
+                    min: 1,
+                    max: 1,
+                });
+                i = j;
+            }
+            '{' => {
+                // Quantifier on the previous piece: {n} or {m,n}.
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != '}' {
+                    j += 1;
+                }
+                let spec: String = chars[i + 1..j].iter().collect();
+                let (min, max) = if let Some((lo, hi)) = spec.split_once(',') {
+                    (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    )
+                } else {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                };
+                if let Some(last) = pieces.last_mut() {
+                    last.min = min;
+                    last.max = max;
+                }
+                i = j + 1;
+            }
+            '?' => {
+                if let Some(last) = pieces.last_mut() {
+                    last.min = 0;
+                    last.max = 1;
+                }
+                i += 1;
+            }
+            '*' => {
+                if let Some(last) = pieces.last_mut() {
+                    last.min = 0;
+                    last.max = 8;
+                }
+                i += 1;
+            }
+            '+' => {
+                if let Some(last) = pieces.last_mut() {
+                    last.min = 1;
+                    last.max = 8;
+                }
+                i += 1;
+            }
+            '.' => {
+                pieces.push(Piece {
+                    node: Node::AnyPrintable,
+                    min: 1,
+                    max: 1,
+                });
+                i += 1;
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                match chars[i] {
+                    // `\PC` / `\pC`: (non-)control category — the tests use
+                    // it as "any printable char"; we emit printable ASCII.
+                    'P' | 'p' => {
+                        i += 1; // consume the category letter
+                        pieces.push(Piece {
+                            node: Node::AnyPrintable,
+                            min: 1,
+                            max: 1,
+                        });
+                    }
+                    'd' => pieces.push(Piece {
+                        node: Node::Class {
+                            ranges: vec![('0', '9')],
+                            negated: false,
+                        },
+                        min: 1,
+                        max: 1,
+                    }),
+                    c => pieces.push(Piece {
+                        node: Node::Lit(unescape(c)),
+                        min: 1,
+                        max: 1,
+                    }),
+                }
+                i += 1;
+            }
+            c => {
+                pieces.push(Piece {
+                    node: Node::Lit(c),
+                    min: 1,
+                    max: 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    pieces
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+const PRINTABLE: (char, char) = (' ', '~');
+
+fn sample_class(ranges: &[(char, char)], negated: bool, rng: &mut TestRng) -> char {
+    if negated {
+        // Rejection-sample from printable ASCII.
+        loop {
+            let c = (rng.range(PRINTABLE.0 as u64, PRINTABLE.1 as u64) as u8) as char;
+            if !ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi) {
+                return c;
+            }
+        }
+    }
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
+    debug_assert!(total > 0, "empty character class");
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+        }
+        pick -= span;
+    }
+    unreachable!()
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let count = if p.min == p.max {
+            p.min
+        } else {
+            rng.range(p.min as u64, p.max as u64) as usize
+        };
+        for _ in 0..count {
+            match &p.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class { ranges, negated } => out.push(sample_class(ranges, *negated, rng)),
+                Node::Alt(branches) => {
+                    let i = rng.below(branches.len() as u64) as usize;
+                    out.push_str(&branches[i]);
+                }
+                Node::AnyPrintable => {
+                    out.push((rng.range(PRINTABLE.0 as u64, PRINTABLE.1 as u64) as u8) as char)
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seeded(42)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..64 {
+            let s = generate("[a-z][a-z0-9_.-]{0,12}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 13, "{:?}", s);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes() {
+        let mut r = rng();
+        for _ in 0..64 {
+            let s = generate("[^:\\n]{0,30}", &mut r);
+            assert!(!s.contains(':') && !s.contains('\n'), "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn alternation_is_one_branch() {
+        let mut r = rng();
+        for _ in 0..32 {
+            let s = generate("(iso9660|vfat|ext4|auto)", &mut r);
+            assert!(["iso9660", "vfat", "ext4", "auto"].contains(&s.as_str()));
+        }
+    }
+
+    #[test]
+    fn printable_space_to_tilde() {
+        let mut r = rng();
+        for _ in 0..64 {
+            let s = generate("[ -~]{1,16}", &mut r);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn pc_escape_is_printable() {
+        let mut r = rng();
+        let s = generate("\\PC{0,200}", &mut r);
+        assert!(s.len() <= 200);
+        assert!(s.chars().all(|c| !c.is_control()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Deterministic RNG and the per-test driver loop.
+
+/// Number of generated cases per property test.
+pub const ITERATIONS: u32 = 32;
+
+/// A small, fast, deterministic RNG (xorshift64*).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a nonzero-ized seed.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15 | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed for iteration `iter` of the test named `name`.
+pub fn seed_for(name: &str, iter: u32) -> u64 {
+    let mut z = fnv1a(name) ^ ((iter as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `body` for [`ITERATIONS`] generated cases; on panic, reports the
+/// reproducing seed and re-raises.
+pub fn run<F: Fn(&mut TestRng)>(name: &str, body: F) {
+    for iter in 0..ITERATIONS {
+        let seed = seed_for(name, iter);
+        let mut rng = TestRng::seeded(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest(stub): {} failed at iteration {}/{} (seed {:#018x})",
+                name, iter, ITERATIONS, seed
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

@@ -194,9 +194,11 @@ pub fn boot(mode: SystemMode) -> System {
                 Mode(0o600),
             )
             .expect("creddb policy");
-        // The monitoring daemon mirrors every legacy config file.
+        // The monitoring daemon mirrors every legacy config file and
+        // subscribes to the kernel's structured audit stream.
         let mut daemon = MonitorDaemon::new(init);
         daemon.sync_all(&mut sys.kernel).expect("initial sync");
+        daemon.subscribe(&mut sys.kernel);
         sys.monitord = Some(daemon);
     }
     sys

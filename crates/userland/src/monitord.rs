@@ -22,8 +22,44 @@ use protego_core::sudoers::{parse_sudoers, MapResolver};
 use sim_kernel::error::KResult;
 use sim_kernel::kernel::Kernel;
 use sim_kernel::task::Pid;
+use sim_kernel::trace::{AuditEvent, AuditSink};
 use sim_kernel::vfs::Mode;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// How many rendered denial lines the daemon's feed retains.
+const FEED_CAPACITY: usize = 256;
+
+/// What the daemon has observed on the kernel's audit stream.
+#[derive(Debug, Default)]
+pub struct AuditFeed {
+    /// Total events observed.
+    pub events_seen: u64,
+    /// Denial events observed (counted even after lines rotate out).
+    pub denials_seen: u64,
+    /// Rendered lines of the most recent denials (bounded).
+    pub recent_denials: Vec<String>,
+}
+
+/// The audit-sink handle the daemon registers with the kernel. Clones
+/// share the feed, so the daemon keeps reading what the kernel writes.
+#[derive(Debug, Clone)]
+pub struct MonitorSink(Rc<RefCell<AuditFeed>>);
+
+impl AuditSink for MonitorSink {
+    fn on_event(&mut self, ev: &AuditEvent) {
+        let mut feed = self.0.borrow_mut();
+        feed.events_seen += 1;
+        if ev.is_denial() {
+            feed.denials_seen += 1;
+            if feed.recent_denials.len() == FEED_CAPACITY {
+                feed.recent_denials.remove(0);
+            }
+            feed.recent_denials.push(ev.render());
+        }
+    }
+}
 
 /// The monitoring daemon's state.
 #[derive(Debug)]
@@ -36,6 +72,7 @@ pub struct MonitorDaemon {
     /// Parse problems encountered (logged, not fatal — the previous
     /// kernel policy stays in force, as the paper's daemon does).
     pub errors: Vec<String>,
+    feed: Rc<RefCell<AuditFeed>>,
 }
 
 impl MonitorDaemon {
@@ -46,7 +83,29 @@ impl MonitorDaemon {
             seen: BTreeMap::new(),
             syncs: 0,
             errors: Vec::new(),
+            feed: Rc::new(RefCell::new(AuditFeed::default())),
         }
+    }
+
+    /// Subscribes the daemon to the kernel's structured audit stream; the
+    /// kernel pushes every event into the shared feed from then on.
+    pub fn subscribe(&self, k: &mut Kernel) {
+        k.subscribe_sink(Box::new(MonitorSink(Rc::clone(&self.feed))));
+    }
+
+    /// Total audit events observed through the subscription.
+    pub fn audit_events_seen(&self) -> u64 {
+        self.feed.borrow().events_seen
+    }
+
+    /// Denial events observed through the subscription.
+    pub fn audit_denials_seen(&self) -> u64 {
+        self.feed.borrow().denials_seen
+    }
+
+    /// Rendered lines of the most recent denials (bounded buffer).
+    pub fn recent_denials(&self) -> Vec<String> {
+        self.feed.borrow().recent_denials.clone()
     }
 
     fn version(&self, k: &Kernel, path: &str) -> Option<u64> {
@@ -489,6 +548,31 @@ mod tests {
         assert!(d.poll(&mut k).unwrap());
         let legacy = k.read_to_string(root, "/etc/shadow").unwrap();
         assert!(legacy.contains(&newfrag.hash));
+    }
+
+    #[test]
+    fn subscribed_daemon_sees_denials() {
+        let (mut k, root) = boot();
+        let mut d = MonitorDaemon::new(root);
+        d.sync_all(&mut k).unwrap();
+        d.subscribe(&mut k);
+        assert_eq!(d.audit_denials_seen(), 0);
+        // An unprivileged mount off the whitelist is denied by the stock
+        // fallback — the daemon's feed must carry the event.
+        let user = k.spawn_session(
+            sim_kernel::cred::Credentials::user(Uid(1000), Gid(1000)),
+            "/bin/mount",
+        );
+        k.vfs.mkdir_p("/mnt/nope").unwrap();
+        assert!(k
+            .sys_mount(user, "/dev/sdb1", "/mnt/nope", "vfat", "rw")
+            .is_err());
+        assert!(d.audit_events_seen() >= 1);
+        assert_eq!(d.audit_denials_seen(), 1);
+        let lines = d.recent_denials();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("decision=deny"), "{}", lines[0]);
+        assert!(lines[0].contains("hook=sb_mount"), "{}", lines[0]);
     }
 
     #[test]
