@@ -16,6 +16,15 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test --workspace --release -q
 
+echo "== smoke bench: BENCH_table5.json regenerates and validates =="
+# Low-iteration run of the Table 5 micro/macro/hot-path rows; fails if the
+# document is missing, malformed, the hot-path speedups regress below 2x,
+# or the caches report zero hits.
+cargo run --release -p bench --bin tables -- bench-json --quick --out target/BENCH_table5.smoke.json
+cargo run --release -p bench --bin tables -- bench-verify target/BENCH_table5.smoke.json
+test -s BENCH_table5.json || { echo "error: committed BENCH_table5.json missing" >&2; exit 1; }
+cargo run --release -p bench --bin tables -- bench-verify BENCH_table5.json
+
 echo "== guard: no string-formatted audit calls =="
 # The legacy unbounded string log is gone; decisions must go through the
 # typed emit_* API so provenance and metrics stay complete.

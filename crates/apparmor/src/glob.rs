@@ -3,6 +3,18 @@
 //! Supports the subset of AppArmor's glob language the shipped profiles
 //! use: `*` matches within a path component (not `/`), `**` matches across
 //! components, `?` matches one non-`/` character, and `{a,b}` alternation.
+//!
+//! Two evaluators share the same semantics:
+//!
+//! * [`glob_match`] — the interpreted reference: re-tokenizes and
+//!   allocates DP tables on every call. Kept as the oracle for property
+//!   tests and as the slow path for one-shot matches.
+//! * [`CompiledGlob`] — the compile-once engine used on the LSM hot path:
+//!   alternations are fully pre-expanded and each branch is tokenized at
+//!   construction, with literal / prefix fast paths and reusable DP
+//!   scratch buffers so steady-state matching performs no allocation.
+
+use std::cell::RefCell;
 
 /// Returns whether `path` matches the AppArmor-style `pattern`.
 pub fn glob_match(pattern: &str, path: &str) -> bool {
@@ -20,21 +32,69 @@ pub fn glob_match(pattern: &str, path: &str) -> bool {
 }
 
 /// Expands a single `{a,b,...}` group, returning `None` if there is none.
+///
+/// The closing brace is matched by depth, so `{a,{b,c}}` expands to `a`
+/// and `{b,c}` (which a recursive call expands further) rather than
+/// splitting at the first `}`. Alternatives are likewise split only at
+/// depth-0 commas. A `{` with no matching `}` is treated as a literal.
 fn expand_alternation(pattern: &str) -> Option<Vec<String>> {
     let open = pattern.find('{')?;
-    let close = pattern[open..].find('}')? + open;
+    let bytes = pattern.as_bytes();
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close?;
     let prefix = &pattern[..open];
     let suffix = &pattern[close + 1..];
     let body = &pattern[open + 1..close];
+    // Split the body at top-level commas only.
+    let mut alts = Vec::new();
+    let mut start = 0;
+    let mut body_depth = 0usize;
+    for (i, b) in body.bytes().enumerate() {
+        match b {
+            b'{' => body_depth += 1,
+            b'}' => body_depth = body_depth.saturating_sub(1),
+            b',' if body_depth == 0 => {
+                alts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    alts.push(&body[start..]);
     Some(
-        body.split(',')
+        alts.into_iter()
             .map(|alt| format!("{}{}{}", prefix, alt, suffix))
             .collect(),
     )
 }
 
+/// Fully expands every alternation in `pattern`, returning the list of
+/// alternation-free branches. A pattern without (well-formed) groups
+/// expands to itself. Shared by [`glob_match`] (via its recursion) and
+/// [`CompiledGlob`], so the two evaluators agree on brace semantics.
+pub(crate) fn expand_all(pattern: &str) -> Vec<String> {
+    match expand_alternation(pattern) {
+        None => vec![pattern.to_string()],
+        Some(parts) => parts.iter().flat_map(|p| expand_all(p)).collect(),
+    }
+}
+
 /// Tokenized pattern element.
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Tok {
     /// `*` — any run not crossing '/'.
     Star,
@@ -77,10 +137,21 @@ fn tokenize(pat: &[u8]) -> Vec<Tok> {
 /// exponential blow-up of naive backtracking on adversarial patterns.
 fn match_bytes(pat: &[u8], s: &[u8]) -> bool {
     let toks = tokenize(pat);
+    let mut next = vec![false; s.len() + 1];
+    let mut cur = vec![false; s.len() + 1];
+    dp_match(&toks, s, &mut cur, &mut next)
+}
+
+/// Core DP over pre-tokenized `toks` against `s`, using caller-provided
+/// table rows (cleared and resized here). Extracted so [`CompiledGlob`]
+/// can reuse scratch buffers across calls.
+fn dp_match(toks: &[Tok], s: &[u8], cur: &mut Vec<bool>, next: &mut Vec<bool>) -> bool {
     let (np, ns) = (toks.len(), s.len());
     // dp[j] = does toks[i..] match s[j..]? Iterate i from the end.
-    let mut next = vec![false; ns + 1];
-    let mut cur = vec![false; ns + 1];
+    next.clear();
+    next.resize(ns + 1, false);
+    cur.clear();
+    cur.resize(ns + 1, false);
     next[ns] = true;
     for i in (0..np).rev() {
         // Compute cur from next.
@@ -96,9 +167,132 @@ fn match_bytes(pat: &[u8], s: &[u8]) -> bool {
                 Tok::DoubleStar => next[j] || cur[j + 1],
             };
         }
-        std::mem::swap(&mut cur, &mut next);
+        std::mem::swap(cur, next);
     }
     next[0]
+}
+
+/// One alternation-free branch of a compiled pattern, specialized by
+/// shape so the common profile rules skip the DP entirely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Branch {
+    /// No metacharacters: plain byte equality.
+    Literal(Vec<u8>),
+    /// `<literal>**`: a pure prefix test (`/dev/**`, `/home/**`).
+    PrefixAll(Vec<u8>),
+    /// General case: a stripped literal prefix plus the remaining tokens,
+    /// matched with the DP.
+    Toks {
+        /// Leading literal bytes (checked with `starts_with`).
+        prefix: Vec<u8>,
+        /// Tokens after the literal prefix; never starts with `Byte`.
+        toks: Vec<Tok>,
+    },
+}
+
+impl Branch {
+    fn compile(leaf: &str) -> Branch {
+        let toks = tokenize(leaf.as_bytes());
+        let split = toks
+            .iter()
+            .position(|t| !matches!(t, Tok::Byte(_)))
+            .unwrap_or(toks.len());
+        let prefix: Vec<u8> = toks[..split]
+            .iter()
+            .map(|t| match t {
+                Tok::Byte(b) => *b,
+                _ => unreachable!("prefix is all Byte tokens"),
+            })
+            .collect();
+        let rest = &toks[split..];
+        if rest.is_empty() {
+            Branch::Literal(prefix)
+        } else if rest.len() == 1 && rest[0] == Tok::DoubleStar {
+            Branch::PrefixAll(prefix)
+        } else {
+            Branch::Toks {
+                prefix,
+                toks: rest.to_vec(),
+            }
+        }
+    }
+
+    fn matches(&self, s: &[u8], scratch: &RefCell<(Vec<bool>, Vec<bool>)>) -> bool {
+        match self {
+            Branch::Literal(lit) => s == &lit[..],
+            Branch::PrefixAll(lit) => s.starts_with(lit),
+            Branch::Toks { prefix, toks } => {
+                if !s.starts_with(prefix) {
+                    return false;
+                }
+                let mut sc = scratch.borrow_mut();
+                let sc = &mut *sc;
+                dp_match(toks, &s[prefix.len()..], &mut sc.0, &mut sc.1)
+            }
+        }
+    }
+}
+
+/// A pattern compiled once at profile-load time.
+///
+/// Construction pays for tokenization and full alternation expansion;
+/// [`CompiledGlob::matches`] then runs allocation-free in the steady
+/// state (the DP scratch rows are retained between calls and only grow).
+/// Semantics are identical to [`glob_match`] — enforced by property tests.
+pub struct CompiledGlob {
+    pattern: String,
+    branches: Vec<Branch>,
+    scratch: RefCell<(Vec<bool>, Vec<bool>)>,
+}
+
+impl CompiledGlob {
+    /// Compiles `pattern`.
+    pub fn new(pattern: &str) -> CompiledGlob {
+        let branches = expand_all(pattern)
+            .iter()
+            .map(|leaf| Branch::compile(leaf))
+            .collect();
+        CompiledGlob {
+            pattern: pattern.to_string(),
+            branches,
+            scratch: RefCell::new((Vec::new(), Vec::new())),
+        }
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether `path` matches. Equivalent to
+    /// `glob_match(self.pattern(), path)`.
+    pub fn matches(&self, path: &str) -> bool {
+        let s = path.as_bytes();
+        self.branches.iter().any(|b| b.matches(s, &self.scratch))
+    }
+}
+
+impl Clone for CompiledGlob {
+    fn clone(&self) -> CompiledGlob {
+        CompiledGlob::new(&self.pattern)
+    }
+}
+
+impl PartialEq for CompiledGlob {
+    fn eq(&self, other: &CompiledGlob) -> bool {
+        self.pattern == other.pattern
+    }
+}
+
+impl Eq for CompiledGlob {}
+
+impl std::fmt::Debug for CompiledGlob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledGlob")
+            .field("pattern", &self.pattern)
+            .field("branches", &self.branches.len())
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +336,38 @@ mod tests {
     }
 
     #[test]
+    fn nested_alternation() {
+        // Regression: the close brace must be matched by depth, not by
+        // the first `}` in the pattern.
+        assert!(glob_match("/{a,{b,c}}/x", "/a/x"));
+        assert!(glob_match("/{a,{b,c}}/x", "/b/x"));
+        assert!(glob_match("/{a,{b,c}}/x", "/c/x"));
+        assert!(!glob_match("/{a,{b,c}}/x", "/d/x"));
+        // Nested group inside the first alternative.
+        assert!(glob_match("/{{a,b},c}/x", "/a/x"));
+        assert!(glob_match("/{{a,b},c}/x", "/c/x"));
+        // Commas inside a nested group must not split the outer body.
+        assert!(glob_match("/usr/{lib{,64},share}/x", "/usr/lib/x"));
+        assert!(glob_match("/usr/{lib{,64},share}/x", "/usr/lib64/x"));
+        assert!(glob_match("/usr/{lib{,64},share}/x", "/usr/share/x"));
+        assert!(!glob_match("/usr/{lib{,64},share}/x", "/usr/lib6/x"));
+    }
+
+    #[test]
+    fn unmatched_brace_is_literal() {
+        assert!(glob_match("/etc/{oops", "/etc/{oops"));
+        assert!(!glob_match("/etc/{oops", "/etc/oops"));
+    }
+
+    #[test]
+    fn expand_all_flattens_nesting() {
+        let mut v = expand_all("/{a,{b,c}}/x");
+        v.sort();
+        assert_eq!(v, ["/a/x", "/b/x", "/c/x"]);
+        assert_eq!(expand_all("/plain"), ["/plain"]);
+    }
+
+    #[test]
     fn empty_and_root() {
         assert!(glob_match("/**", "/anything/at/all"));
         assert!(glob_match("/*", "/x"));
@@ -152,5 +378,42 @@ mod tests {
     fn star_can_match_empty() {
         assert!(glob_match("/etc/*", "/etc/"));
         assert!(glob_match("/etc/passwd*", "/etc/passwd"));
+    }
+
+    #[test]
+    fn compiled_agrees_on_basics() {
+        for (pat, path, want) in [
+            ("/etc/fstab", "/etc/fstab", true),
+            ("/etc/fstab", "/etc/fstab2", false),
+            ("/etc/*.conf", "/etc/host.conf", true),
+            ("/etc/*.conf", "/etc/apt/apt.conf", false),
+            ("/dev/**", "/dev/pts/0", true),
+            ("/dev/**", "/etc/passwd", false),
+            ("/dev/tty?", "/dev/tty1", true),
+            ("/dev/tty?", "/dev/tty10", false),
+            ("/{bin,sbin}/mount", "/sbin/mount", true),
+            ("/{a,{b,c}}/x", "/c/x", true),
+            ("/**", "/anything/at/all", true),
+            ("", "/x", false),
+            ("/etc/{oops", "/etc/{oops", true),
+        ] {
+            let g = CompiledGlob::new(pat);
+            assert_eq!(g.matches(path), want, "pattern {:?} path {:?}", pat, path);
+            assert_eq!(g.matches(path), glob_match(pat, path));
+        }
+    }
+
+    #[test]
+    fn compiled_is_reusable_and_cloneable() {
+        let g = CompiledGlob::new("/dev/**");
+        // Repeated calls exercise the retained scratch buffers.
+        for _ in 0..3 {
+            assert!(g.matches("/dev/pts/0"));
+            assert!(!g.matches("/etc/passwd"));
+        }
+        let g2 = g.clone();
+        assert_eq!(g, g2);
+        assert!(g2.matches("/dev/null"));
+        assert_eq!(g.pattern(), "/dev/**");
     }
 }

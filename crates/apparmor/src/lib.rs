@@ -17,22 +17,48 @@
 mod glob;
 mod profile;
 
-pub use glob::glob_match;
+pub use glob::{glob_match, CompiledGlob};
 pub use profile::{parse_cap_name, parse_profiles, render_profiles, PathAccess, PathRule, Profile};
 
 use sim_kernel::caps::Cap;
 use sim_kernel::cred::Credentials;
 use sim_kernel::error::{Errno, KResult};
 use sim_kernel::lsm::{Decision, FileDecision, FileOpenCtx, SecurityModule};
+use sim_kernel::trace::CacheStats;
 use sim_kernel::vfs::Access;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Bound on the binary→profile resolution cache. Exec identities are few
+/// in practice; on overflow the map is flushed wholesale.
+const BINARY_CACHE_CAP: usize = 1024;
 
 /// The AppArmor-like module: a set of profiles in enforce mode.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AppArmorLsm {
     profiles: Vec<Profile>,
     /// Name of the profile the most recent hook matched, drained by the
     /// kernel to attach rule provenance to audit events.
-    matched: std::cell::RefCell<Option<String>>,
+    matched: RefCell<Option<String>>,
+    /// Exec identity → index of the governing profile (None = unconfined).
+    /// Invalidated whenever profiles reload.
+    binary_cache: RefCell<HashMap<String, Option<usize>>>,
+    binary_cache_stats: RefCell<CacheStats>,
+    /// Hot-path caching toggle; benches flip this off to measure the
+    /// interpreted baseline.
+    caching: Cell<bool>,
+}
+
+impl Default for AppArmorLsm {
+    fn default() -> AppArmorLsm {
+        AppArmorLsm {
+            profiles: Vec::new(),
+            matched: RefCell::new(None),
+            binary_cache: RefCell::new(HashMap::new()),
+            binary_cache_stats: RefCell::new(CacheStats::default()),
+            caching: Cell::new(true),
+        }
+    }
 }
 
 impl AppArmorLsm {
@@ -42,9 +68,15 @@ impl AppArmorLsm {
         AppArmorLsm::default()
     }
 
-    /// Loads profiles from text, replacing the current set.
+    /// Loads profiles from text, replacing the current set and dropping
+    /// the binary→profile cache (the old indices are meaningless).
     pub fn load_text(&mut self, text: &str) -> Result<(), String> {
         self.profiles = parse_profiles(text)?;
+        let mut cache = self.binary_cache.borrow_mut();
+        if !cache.is_empty() {
+            self.binary_cache_stats.borrow_mut().invalidations += 1;
+        }
+        cache.clear();
         Ok(())
     }
 
@@ -57,13 +89,46 @@ impl AppArmorLsm {
         a
     }
 
+    /// Enables or disables the hot-path caches (binary→profile map and the
+    /// per-profile decision LRUs). Benches flip this off to measure the
+    /// interpreted baseline; correctness is identical either way.
+    pub fn set_caching(&self, on: bool) {
+        self.caching.set(on);
+    }
+
     fn profile_for(&self, binary: &str) -> Option<&Profile> {
-        self.profiles.iter().find(|p| p.matches_binary(binary))
+        if !self.caching.get() {
+            return self
+                .profiles
+                .iter()
+                .find(|p| p.matches_binary_interpreted(binary));
+        }
+        {
+            let cache = self.binary_cache.borrow();
+            if let Some(&idx) = cache.get(binary) {
+                self.binary_cache_stats.borrow_mut().hits += 1;
+                return idx.map(|i| &self.profiles[i]);
+            }
+        }
+        self.binary_cache_stats.borrow_mut().misses += 1;
+        let idx = self.profiles.iter().position(|p| p.matches_binary(binary));
+        let mut cache = self.binary_cache.borrow_mut();
+        if cache.len() >= BINARY_CACHE_CAP {
+            cache.clear();
+            self.binary_cache_stats.borrow_mut().invalidations += 1;
+        }
+        cache.insert(binary.to_string(), idx);
+        idx.map(|i| &self.profiles[i])
     }
 
     /// Number of loaded profiles.
     pub fn profile_count(&self) -> usize {
         self.profiles.len()
+    }
+
+    /// Counters of the binary→profile resolution cache.
+    pub fn binary_cache_stats(&self) -> CacheStats {
+        *self.binary_cache_stats.borrow()
     }
 }
 
@@ -116,7 +181,12 @@ impl SecurityModule for AppArmorLsm {
     fn file_open(&self, ctx: &FileOpenCtx) -> FileDecision {
         match self.profile_for(&ctx.binary) {
             Some(p) => {
-                if p.check_path(&ctx.path, ctx.access) {
+                let allowed = if self.caching.get() {
+                    p.check_path(&ctx.path, ctx.access)
+                } else {
+                    p.check_path_interpreted(&ctx.path, ctx.access)
+                };
+                if allowed {
                     FileDecision::UseDefault
                 } else {
                     *self.matched.borrow_mut() = Some(format!("profile {}", p.binary));
@@ -129,6 +199,17 @@ impl SecurityModule for AppArmorLsm {
 
     fn take_matched_rule(&self) -> Option<String> {
         self.matched.borrow_mut().take()
+    }
+
+    fn cache_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        let mut decisions = CacheStats::default();
+        for p in &self.profiles {
+            decisions.merge(&p.decision_cache_stats());
+        }
+        vec![
+            ("apparmor_binary_lookup", self.binary_cache_stats()),
+            ("apparmor_decision_lru", decisions),
+        ]
     }
 
     fn config_nodes(&self) -> Vec<&'static str> {
@@ -275,6 +356,49 @@ mod tests {
             .unwrap_err(),
             Errno::EACCES
         );
+    }
+
+    #[test]
+    fn binary_cache_hits_and_reload_invalidation() {
+        let mut a = AppArmorLsm::with_ubuntu_defaults();
+        assert!(a.profile_for("/bin/mount").is_some());
+        assert!(a.profile_for("/bin/mount").is_some());
+        assert!(a.profile_for("/bin/unconfined").is_none());
+        let s = a.binary_cache_stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        // Reload drops the cache: the same binary resolves against the new
+        // set, and the invalidation is counted.
+        a.load_text("profile /bin/unconfined {\n  /etc/hosts r,\n}\n")
+            .unwrap();
+        assert_eq!(a.binary_cache_stats().invalidations, 1);
+        assert!(a.profile_for("/bin/mount").is_none());
+        assert!(a.profile_for("/bin/unconfined").is_some());
+    }
+
+    #[test]
+    fn caching_toggle_preserves_decisions() {
+        let a = AppArmorLsm::with_ubuntu_defaults();
+        let ctx = |path: &str| FileOpenCtx {
+            cred: Credentials::root(),
+            path: path.to_string(),
+            binary: "/bin/mount".to_string(),
+            access: Access::READ,
+            dac_allows: true,
+            file_owner: sim_kernel::cred::Uid::ROOT,
+            last_auth: None,
+            last_auth_scope: None,
+            now: 0,
+        };
+        for path in ["/etc/fstab", "/etc/shadow", "/dev/null"] {
+            let cached = matches!(a.file_open(&ctx(path)), FileDecision::UseDefault);
+            a.take_matched_rule();
+            a.set_caching(false);
+            let interpreted = matches!(a.file_open(&ctx(path)), FileDecision::UseDefault);
+            a.take_matched_rule();
+            a.set_caching(true);
+            assert_eq!(cached, interpreted, "path {:?}", path);
+        }
     }
 
     #[test]

@@ -7,9 +7,90 @@
 //! may still corrupt the whole filesystem tree, because the profile must
 //! allow everything the legitimate binary could ever legitimately do.
 
-use crate::glob::glob_match;
+use crate::glob::{glob_match, CompiledGlob};
 use sim_kernel::caps::{Cap, CapSet};
+use sim_kernel::trace::CacheStats;
 use sim_kernel::vfs::Access;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Per-profile (path, access) → decision LRU capacity. Small on purpose:
+/// a confined binary's working set of distinct paths is tiny, and the
+/// cache is dropped whenever profiles reload.
+const DECISION_CACHE_CAP: usize = 64;
+
+/// (path, access) → decision memo with coarse LRU eviction.
+///
+/// Keyed access-first so a hit probes the inner map with `&str` — no
+/// allocation on the hot path. Values carry a last-use tick; on overflow
+/// the stalest entry is evicted.
+#[derive(Clone, Debug, Default)]
+struct DecisionCache {
+    map: HashMap<u32, HashMap<String, (bool, u64)>>,
+    entries: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl DecisionCache {
+    fn get(&mut self, path: &str, access: u32) -> Option<bool> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&access).and_then(|m| m.get_mut(path)) {
+            Some(entry) => {
+                entry.1 = tick;
+                self.stats.hits += 1;
+                Some(entry.0)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, path: &str, access: u32, decision: bool) {
+        if self.entries >= DECISION_CACHE_CAP {
+            self.evict_stalest();
+        }
+        let tick = self.tick;
+        if self
+            .map
+            .entry(access)
+            .or_default()
+            .insert(path.to_string(), (decision, tick))
+            .is_none()
+        {
+            self.entries += 1;
+        }
+    }
+
+    fn evict_stalest(&mut self) {
+        let mut stalest: Option<(u32, String, u64)> = None;
+        for (&acc, inner) in &self.map {
+            for (p, &(_, used)) in inner {
+                if stalest.as_ref().is_none_or(|s| used < s.2) {
+                    stalest = Some((acc, p.clone(), used));
+                }
+            }
+        }
+        if let Some((acc, p, _)) = stalest {
+            if let Some(inner) = self.map.get_mut(&acc) {
+                if inner.remove(&p).is_some() {
+                    self.entries -= 1;
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        if self.entries > 0 {
+            self.stats.invalidations += 1;
+        }
+        self.map.clear();
+        self.entries = 0;
+    }
+}
 
 /// Access letters on a path rule.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,6 +135,26 @@ pub struct PathRule {
     pub access: PathAccess,
     /// `deny` rules override allow rules.
     pub deny: bool,
+    // Compiled at parse time; equality follows `pattern`, so the derived
+    // PartialEq stays consistent.
+    compiled: CompiledGlob,
+}
+
+impl PathRule {
+    /// Builds a rule, compiling the pattern once.
+    pub fn new(pattern: &str, access: PathAccess, deny: bool) -> PathRule {
+        PathRule {
+            pattern: pattern.to_string(),
+            access,
+            deny,
+            compiled: CompiledGlob::new(pattern),
+        }
+    }
+
+    /// Whether `path` matches this rule's pattern (compiled fast path).
+    pub fn matches(&self, path: &str) -> bool {
+        self.compiled.matches(path)
+    }
 }
 
 /// A profile confining one binary.
@@ -65,18 +166,60 @@ pub struct Profile {
     pub paths: Vec<PathRule>,
     /// Capabilities the confined binary may use.
     pub caps: CapSet,
+    // Lazily compiled binary glob; re-validated against `binary` on every
+    // use since the field is public.
+    binary_glob: RefCell<Option<CompiledGlob>>,
+    decision_cache: RefCell<DecisionCache>,
 }
 
 impl Profile {
-    /// Whether the profile applies to `binary`.
+    /// Whether the profile applies to `binary` (compiled, lazily cached).
     pub fn matches_binary(&self, binary: &str) -> bool {
+        let mut slot = self.binary_glob.borrow_mut();
+        match slot.as_ref() {
+            Some(g) if g.pattern() == self.binary => {}
+            _ => *slot = Some(CompiledGlob::new(&self.binary)),
+        }
+        slot.as_ref().expect("just filled").matches(binary)
+    }
+
+    /// Interpreted [`Profile::matches_binary`]: re-tokenizes per call.
+    /// Kept as the benchmark baseline and equivalence oracle.
+    pub fn matches_binary_interpreted(&self, binary: &str) -> bool {
         glob_match(&self.binary, binary)
     }
 
-    /// Evaluates a path access: `Some(true)` allowed, `Some(false)`
-    /// explicitly denied or unmatched (AppArmor enforce mode denies by
-    /// default).
+    /// Evaluates a path access: `true` allowed, `false` explicitly denied
+    /// or unmatched (AppArmor enforce mode denies by default). Memoized
+    /// per (path, access) in a small LRU; compiled rule evaluation on
+    /// miss.
     pub fn check_path(&self, path: &str, want: Access) -> bool {
+        let mut cache = self.decision_cache.borrow_mut();
+        if let Some(d) = cache.get(path, want.0) {
+            return d;
+        }
+        let d = self.evaluate_path(path, want);
+        cache.insert(path, want.0, d);
+        d
+    }
+
+    /// Rule evaluation over the compiled globs, bypassing the LRU.
+    fn evaluate_path(&self, path: &str, want: Access) -> bool {
+        for r in self.paths.iter().filter(|r| r.deny) {
+            if r.access.covers(want) && r.matches(path) {
+                return false;
+            }
+        }
+        self.paths
+            .iter()
+            .filter(|r| !r.deny)
+            .any(|r| r.access.covers(want) && r.matches(path))
+    }
+
+    /// Interpreted [`Profile::check_path`]: per-call tokenization and DP
+    /// allocation, no memoization. This is the pre-compile hot path, kept
+    /// as the benchmark baseline and equivalence oracle.
+    pub fn check_path_interpreted(&self, path: &str, want: Access) -> bool {
         for r in self.paths.iter().filter(|r| r.deny) {
             if glob_match(&r.pattern, path) && r.access.covers(want) {
                 return false;
@@ -91,6 +234,16 @@ impl Profile {
     /// Whether the profile grants `cap`.
     pub fn check_cap(&self, cap: Cap) -> bool {
         self.caps.has(cap)
+    }
+
+    /// Hit/miss/invalidation counters of the per-profile decision LRU.
+    pub fn decision_cache_stats(&self) -> CacheStats {
+        self.decision_cache.borrow().stats
+    }
+
+    /// Drops memoized decisions (profile reload, bench cold runs).
+    pub fn clear_decision_cache(&self) {
+        self.decision_cache.borrow_mut().clear();
     }
 }
 
@@ -160,11 +313,7 @@ pub fn parse_profiles(text: &str) -> Result<Vec<Profile>, String> {
             return Err(err("path rules must be absolute"));
         }
         let access = PathAccess::parse(access_s).ok_or_else(|| err("bad access letters"))?;
-        p.paths.push(PathRule {
-            pattern: pattern.to_string(),
-            access,
-            deny,
-        });
+        p.paths.push(PathRule::new(pattern, access, deny));
     }
     if cur.is_some() {
         return Err("unterminated profile".into());
@@ -287,6 +436,51 @@ profile /usr/bin/ping {
         assert_eq!(ps2.len(), ps.len());
         assert_eq!(ps2[0].paths, ps[0].paths);
         assert_eq!(ps2[0].caps, ps[0].caps);
+    }
+
+    #[test]
+    fn cached_check_path_agrees_with_interpreted() {
+        let ps = parse_profiles(SAMPLE).unwrap();
+        let mount = &ps[0];
+        for path in ["/etc/fstab", "/dev/pts/0", "/etc/shadow", "/etc/passwd"] {
+            for want in [Access::READ, Access::WRITE, Access::READ.and(Access::WRITE)] {
+                // Twice: the second call exercises the LRU hit path.
+                assert_eq!(
+                    mount.check_path(path, want),
+                    mount.check_path_interpreted(path, want)
+                );
+                assert_eq!(
+                    mount.check_path(path, want),
+                    mount.check_path_interpreted(path, want)
+                );
+            }
+        }
+        let s = mount.decision_cache_stats();
+        assert!(s.hits > 0 && s.misses > 0);
+    }
+
+    #[test]
+    fn decision_cache_eviction_keeps_answers_right() {
+        let ps = parse_profiles("profile /x {\n  /data/** r,\n}\n").unwrap();
+        let p = &ps[0];
+        // Blow well past the LRU capacity; every answer must stay exact.
+        for i in 0..200 {
+            let path = format!("/data/file{}", i);
+            assert!(p.check_path(&path, Access::READ));
+            assert!(!p.check_path(&path, Access::WRITE));
+        }
+        assert!(!p.check_path("/etc/shadow", Access::READ));
+    }
+
+    #[test]
+    fn clear_decision_cache_counts_invalidation() {
+        let ps = parse_profiles(SAMPLE).unwrap();
+        ps[0].check_path("/etc/fstab", Access::READ);
+        ps[0].clear_decision_cache();
+        assert_eq!(ps[0].decision_cache_stats().invalidations, 1);
+        // Clearing an empty cache is not an invalidation.
+        ps[0].clear_decision_cache();
+        assert_eq!(ps[0].decision_cache_stats().invalidations, 1);
     }
 
     #[test]

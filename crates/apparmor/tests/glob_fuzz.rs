@@ -1,6 +1,6 @@
 //! Property tests for the AppArmor-style glob matcher.
 
-use apparmor_lsm::glob_match;
+use apparmor_lsm::{glob_match, CompiledGlob};
 use proptest::prelude::*;
 
 proptest! {
@@ -63,5 +63,50 @@ proptest! {
         let pattern = format!("/{{{},{}}}/bin", a, b);
         let hit = glob_match(&pattern, &format!("/{}/bin", probe));
         prop_assert_eq!(hit, probe == a || probe == b);
+    }
+
+    /// The compiled engine is equivalent to the interpreted reference on
+    /// arbitrary patterns — metacharacters, braces (balanced or not),
+    /// commas, the lot.
+    #[test]
+    fn compiled_equals_interpreted(pattern in "[a-z/*?{},]{0,24}", path in "[a-z/.]{0,32}") {
+        let compiled = CompiledGlob::new(&pattern);
+        prop_assert_eq!(
+            compiled.matches(&path),
+            glob_match(&pattern, &path),
+            "divergence on pattern {:?} path {:?}", pattern, path
+        );
+    }
+
+    /// Equivalence on well-formed nested alternations specifically.
+    #[test]
+    fn compiled_equals_interpreted_nested_braces(
+        a in "[a-z*]{1,4}",
+        b in "[a-z?]{1,4}",
+        c in "[a-z]{1,4}",
+        path in "[a-z/]{0,24}",
+    ) {
+        let pattern = format!("/{{{},{{{},{}}}}}/**", a, b, c);
+        let compiled = CompiledGlob::new(&pattern);
+        prop_assert_eq!(
+            compiled.matches(&path),
+            glob_match(&pattern, &path),
+            "divergence on pattern {:?} path {:?}", pattern, path
+        );
+    }
+
+    /// Equivalence on `**` runs and mixed star forms; a compiled glob is
+    /// also stable across repeated calls (scratch-buffer reuse).
+    #[test]
+    fn compiled_equals_interpreted_star_runs(
+        stars in 1usize..5,
+        seg in "[a-z]{1,6}",
+        path in "[a-z/]{0,32}",
+    ) {
+        let pattern = format!("/{}{}", seg, "*".repeat(stars));
+        let compiled = CompiledGlob::new(&pattern);
+        let first = compiled.matches(&path);
+        prop_assert_eq!(first, glob_match(&pattern, &path));
+        prop_assert_eq!(compiled.matches(&path), first, "must be stable across calls");
     }
 }

@@ -1,0 +1,66 @@
+//! Criterion benches for the hot-path caches: compiled vs interpreted
+//! glob matching, cold vs dcache-hit path resolution, and the full
+//! `file_open` hook round-trip cached vs uncached.
+
+use apparmor_lsm::{glob_match, AppArmorLsm, CompiledGlob};
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_kernel::cred::{Credentials, Gid, Uid};
+use sim_kernel::lsm::{FileOpenCtx, SecurityModule};
+use sim_kernel::vfs::{Access, Ino, Mode};
+use userland::SystemMode;
+
+fn glob(c: &mut Criterion) {
+    let pattern = "/usr/{lib,lib64,share}/**";
+    let path = "/usr/lib64/protego/policy.bin";
+    let compiled = CompiledGlob::new(pattern);
+    let mut group = c.benchmark_group("glob");
+    group.bench_function("interpreted", |b| b.iter(|| glob_match(pattern, path)));
+    group.bench_function("compiled", |b| b.iter(|| compiled.matches(path)));
+    group.finish();
+}
+
+fn resolve(c: &mut Criterion) {
+    let mut f = fixture(SystemMode::Protego);
+    const DEEP: &str = "/srv/bench/a/b/c/d/e/f/g/h/i/j/leaf.conf";
+    f.sys
+        .kernel
+        .vfs
+        .install_file(DEEP, b"x", Mode(0o644), Uid::ROOT, Gid::ROOT)
+        .expect("bench file installs");
+    let vfs = &f.sys.kernel.vfs;
+    let mut group = c.benchmark_group("resolve");
+    vfs.set_dcache_enabled(false);
+    group.bench_function("cold", |b| {
+        b.iter(|| vfs.resolve(Ino(0), DEEP).expect("resolves"))
+    });
+    vfs.set_dcache_enabled(true);
+    group.bench_function("dcache_hit", |b| {
+        b.iter(|| vfs.resolve(Ino(0), DEEP).expect("resolves"))
+    });
+    group.finish();
+}
+
+fn file_open_hook(c: &mut Criterion) {
+    let a = AppArmorLsm::with_ubuntu_defaults();
+    let ctx = FileOpenCtx {
+        cred: Credentials::root(),
+        path: "/etc/fstab".to_string(),
+        binary: "/bin/mount".to_string(),
+        access: Access::READ,
+        dac_allows: true,
+        file_owner: Uid::ROOT,
+        last_auth: None,
+        last_auth_scope: None,
+        now: 0,
+    };
+    let mut group = c.benchmark_group("file_open_hook");
+    a.set_caching(false);
+    group.bench_function("interpreted", |b| b.iter(|| a.file_open(&ctx)));
+    a.set_caching(true);
+    group.bench_function("cached", |b| b.iter(|| a.file_open(&ctx)));
+    group.finish();
+}
+
+criterion_group!(benches, glob, resolve, file_open_hook);
+criterion_main!(benches);

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! tables [table1|table2|table3|table4|table5|table6|table7|table8|ablations|all] [--quick]
+//! tables bench-json [--quick] [--out PATH]   # write BENCH_table5.json
+//! tables bench-verify PATH                   # validate a results file
 //! ```
 
-use bench::table5;
+use bench::{json, table5};
 use setuid_study::render;
 use setuid_study::summary::{table1, MeasuredInputs};
 use userland::suite::{run_divergence_suite, run_functional_suite, run_service_suite};
@@ -18,6 +20,15 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+
+    if which == "bench-json" {
+        run_bench_json(quick, &args);
+        return;
+    }
+    if which == "bench-verify" {
+        run_bench_verify(&args);
+        return;
+    }
 
     let all = which == "all";
     if all || which == "table5" {
@@ -171,6 +182,94 @@ fn print_table1(quick: bool) {
         max_overhead_pct: table5::max_overhead(&rows),
     });
     println!("{}", render::render_table1(&t));
+}
+
+fn run_bench_json(quick: bool, args: &[String]) {
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_table5.json".to_string());
+    let (warm, iters, postal, compile, ab) = bench_sizes(quick);
+    eprintln!(
+        "generating {} ({} mode)...",
+        out,
+        if quick { "quick" } else { "full" }
+    );
+    let mut text = table5::table5_json(quick, warm, iters, postal, compile, ab);
+    text.push('\n');
+    if let Err(e) = json::validate_table5(&text) {
+        eprintln!("error: generated document fails validation: {}", e);
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: cannot write {}: {}", out, e);
+        std::process::exit(1);
+    }
+    // Human summary of the machine-readable file.
+    let doc = json::parse(&text).expect("self-emitted JSON parses");
+    if let Some(rows) = doc.get("hotpath").and_then(json::Value::as_arr) {
+        for r in rows {
+            println!(
+                "  hotpath {:<16} {:>10.0} ns -> {:>8.0} ns  ({:.1}x)",
+                r.get("name").and_then(json::Value::as_str).unwrap_or("?"),
+                r.get("before_ns")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0),
+                r.get("after_ns")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0),
+                r.get("speedup")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0),
+            );
+        }
+    }
+    if let Some(caches) = doc.get("cache_metrics").and_then(json::Value::as_obj) {
+        for (name, stats) in caches {
+            println!(
+                "  cache {:<24} hits={} misses={} invalidations={}",
+                name,
+                stats
+                    .get("hits")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0),
+                stats
+                    .get("misses")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0),
+                stats
+                    .get("invalidations")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0),
+            );
+        }
+    }
+    println!("wrote {}", out);
+}
+
+fn run_bench_verify(args: &[String]) {
+    let path = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_table5.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {}", path, e);
+            std::process::exit(1);
+        }
+    };
+    match json::validate_table5(&text) {
+        Ok(()) => println!("{}: OK", path),
+        Err(e) => {
+            eprintln!("error: {} is invalid: {}", path, e);
+            std::process::exit(1);
+        }
+    }
 }
 
 fn print_ablations(quick: bool) {

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod json;
 pub mod micro;
 pub mod table5;
 pub mod workloads;

@@ -29,12 +29,17 @@ use sim_kernel::lsm::{
     KmsOp, MountRequest, PendingSetuid, SecurityModule, SetidCtx, SetuidDecision, UmountRequest,
 };
 use sim_kernel::net::{Domain, ProtoMatch, Route, RouteTable, Rule, SockType, Verdict};
+use sim_kernel::trace::CacheStats;
 use sim_kernel::vfs::Access;
 use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// The authentication recency window (sudo's 5 minutes), in logical
 /// seconds.
 pub const AUTH_WINDOW: u64 = 300;
+
+/// Bound on the keyfile-rule lookup cache; flushed wholesale on overflow.
+const KEYFILE_CACHE_CAP: usize = 1024;
 
 /// The Protego LSM.
 #[derive(Debug, Default)]
@@ -45,6 +50,12 @@ pub struct ProtegoLsm {
     /// rule provenance to audit events. Hooks take `&self`, hence the
     /// interior mutability.
     matched: RefCell<Option<String>>,
+    /// path → index of the governing keyfile rule (None = no rule). The
+    /// cache stores the *index* rather than the decision so the
+    /// rule-provenance side effects still fire on every hook. Dropped on
+    /// any policy write.
+    keyfile_cache: RefCell<HashMap<String, Option<usize>>>,
+    keyfile_cache_stats: RefCell<CacheStats>,
 }
 
 impl ProtegoLsm {
@@ -58,7 +69,7 @@ impl ProtegoLsm {
     pub fn with_policy(policy: PolicySet) -> ProtegoLsm {
         ProtegoLsm {
             policy,
-            matched: RefCell::new(None),
+            ..ProtegoLsm::default()
         }
     }
 
@@ -114,7 +125,36 @@ impl ProtegoLsm {
     }
 
     fn keyfile_rule(&self, path: &str) -> Option<&KeyFileRule> {
-        self.policy.keyfiles.iter().find(|k| k.path == path)
+        {
+            let cache = self.keyfile_cache.borrow();
+            if let Some(&idx) = cache.get(path) {
+                self.keyfile_cache_stats.borrow_mut().hits += 1;
+                return idx.map(|i| &self.policy.keyfiles[i]);
+            }
+        }
+        self.keyfile_cache_stats.borrow_mut().misses += 1;
+        let idx = self.policy.keyfiles.iter().position(|k| k.path == path);
+        let mut cache = self.keyfile_cache.borrow_mut();
+        if cache.len() >= KEYFILE_CACHE_CAP {
+            cache.clear();
+            self.keyfile_cache_stats.borrow_mut().invalidations += 1;
+        }
+        cache.insert(path.to_string(), idx);
+        idx.map(|i| &self.policy.keyfiles[i])
+    }
+
+    /// Drops the keyfile lookup cache (policy reload).
+    fn flush_keyfile_cache(&self) {
+        let mut cache = self.keyfile_cache.borrow_mut();
+        if !cache.is_empty() {
+            self.keyfile_cache_stats.borrow_mut().invalidations += 1;
+        }
+        cache.clear();
+    }
+
+    /// Counters of the keyfile-rule lookup cache.
+    pub fn keyfile_cache_stats(&self) -> CacheStats {
+        *self.keyfile_cache_stats.borrow()
     }
 
     fn is_shadow_fragment(&self, path: &str) -> bool {
@@ -485,6 +525,9 @@ impl SecurityModule for ProtegoLsm {
             "creddb" => self.policy.creddb = policy::parse_creddb(content)?,
             _ => return Err(Errno::ENOENT),
         }
+        // Any policy write may change what a cached lookup would answer;
+        // be conservative and drop the whole cache.
+        self.flush_keyfile_cache();
         Ok(())
     }
 
@@ -507,6 +550,10 @@ impl SecurityModule for ProtegoLsm {
 
     fn take_matched_rule(&self) -> Option<String> {
         self.matched.borrow_mut().take()
+    }
+
+    fn cache_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        vec![("protego_keyfile_lookup", self.keyfile_cache_stats())]
     }
 }
 
@@ -1051,6 +1098,38 @@ mod tests {
             now: 1001,
         };
         assert_eq!(lsm.file_open(&c), FileDecision::UseDefault);
+    }
+
+    #[test]
+    fn keyfile_cache_hits_and_policy_write_invalidates() {
+        let mut p = PolicySet::default();
+        p.keyfiles.push(KeyFileRule {
+            path: "/etc/ssh/ssh_host_key".into(),
+            binary: "/usr/lib/ssh-keysign".into(),
+        });
+        let mut lsm = lsm_with(p);
+        let mk = || FileOpenCtx {
+            cred: user_cred(),
+            path: "/etc/ssh/ssh_host_key".into(),
+            binary: "/usr/lib/ssh-keysign".into(),
+            access: Access::READ,
+            dac_allows: false,
+            file_owner: Uid::ROOT,
+            last_auth: None,
+            last_auth_scope: None,
+            now: 0,
+        };
+        assert_eq!(lsm.file_open(&mk()), FileDecision::AllowCloexec);
+        assert_eq!(lsm.file_open(&mk()), FileDecision::AllowCloexec);
+        // Provenance must still be recorded on the cached (second) hit.
+        assert!(lsm.take_matched_rule().is_some());
+        let s = lsm.keyfile_cache_stats();
+        assert_eq!(s.hits, 1);
+        assert!(s.misses >= 1);
+        // A policy write drops the cache and the new rules take effect.
+        lsm.config_write("keyfiles", "").unwrap();
+        assert_eq!(lsm.keyfile_cache_stats().invalidations, 1);
+        assert_eq!(lsm.file_open(&mk()), FileDecision::UseDefault);
     }
 
     #[test]

@@ -395,6 +395,15 @@ pub trait SecurityModule {
     fn take_matched_rule(&self) -> Option<String> {
         None
     }
+
+    /// Hit/miss/invalidation counters for the module's internal policy
+    /// caches (compiled-profile lookup tables and the like), keyed by a
+    /// stable cache name. The kernel folds these into the
+    /// `/proc/<name>/metrics` view next to the VFS dcache counters; the
+    /// default reports no caches.
+    fn cache_stats(&self) -> Vec<(&'static str, crate::trace::CacheStats)> {
+        Vec::new()
+    }
 }
 
 /// A module that enforces nothing beyond stock Linux semantics; the

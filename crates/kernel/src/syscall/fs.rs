@@ -435,7 +435,16 @@ impl Kernel {
                     ProcHook::Uptime => Ok(format!("{}.00 0.00\n", self.clock).into_bytes()),
                     ProcHook::LsmConfig(name) => Ok(self.lsm().config_read(name)?.into_bytes()),
                     ProcHook::Audit => Ok(self.audit.render().into_bytes()),
-                    ProcHook::Metrics => Ok(self.metrics.render().into_bytes()),
+                    ProcHook::Metrics => {
+                        // Fold the live cache counters (VFS dcache + the
+                        // module's policy caches) into the rendered view.
+                        let mut m = self.metrics.clone();
+                        m.record_cache("dcache", self.vfs.dcache_stats());
+                        for (name, stats) in self.lsm().cache_stats() {
+                            m.record_cache(name, stats);
+                        }
+                        Ok(m.render().into_bytes())
+                    }
                     ProcHook::SysAttr(attr) => Ok(self.sys_attr_read(&attr)?.into_bytes()),
                 }
             }
@@ -621,6 +630,9 @@ impl Kernel {
         // Linux); the *power* of the bit depends on the owner.
         self.vfs.inode_mut(r.ino).mode = mode;
         self.vfs.touch(r.ino);
+        // Mode changes alter what a path *means* to permission-aware
+        // walkers, so conservatively invalidate cached resolutions.
+        self.vfs.bump_namespace_gen();
         Ok(())
     }
 
@@ -661,6 +673,7 @@ impl Kernel {
             inode.mode = Mode(inode.mode.0 & !(Mode::SETUID | Mode::SETGID));
         }
         self.vfs.touch(r.ino);
+        self.vfs.bump_namespace_gen();
         Ok(())
     }
 

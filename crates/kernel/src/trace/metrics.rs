@@ -46,6 +46,27 @@ impl DecisionCounters {
     }
 }
 
+/// Hit/miss/invalidation counters for one kernel-side cache (the VFS
+/// dcache, an LSM's compiled-policy lookup caches, ...).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the slow path.
+    pub misses: u64,
+    /// Times the cache was flushed (generation bump, reload, overflow).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+}
+
 /// Logical-clock latency aggregate for one pathway.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LatencyStats {
@@ -78,6 +99,10 @@ pub struct Metrics {
     pub errnos: BTreeMap<&'static str, u64>,
     /// Logical-clock latency aggregates (e.g. authentication prompts).
     pub latency: BTreeMap<&'static str, LatencyStats>,
+    /// Cache counters keyed by cache name, synchronized from the VFS
+    /// dcache and the registered module's policy caches when the
+    /// `/proc/<lsm>/metrics` view is rendered.
+    pub caches: BTreeMap<&'static str, CacheStats>,
     /// Total events emitted.
     pub events: u64,
 }
@@ -100,6 +125,13 @@ impl Metrics {
     /// Records a logical-clock latency observation.
     pub fn observe_latency(&mut self, pathway: &'static str, delta: u64) {
         self.latency.entry(pathway).or_default().observe(delta);
+    }
+
+    /// Overwrites the snapshot for cache `name`. Cache owners keep the
+    /// live counters (interior-mutable, on the hot path); this copies the
+    /// current totals into the metrics view.
+    pub fn record_cache(&mut self, name: &'static str, stats: CacheStats) {
+        self.caches.insert(name, stats);
     }
 
     /// The counters for `hook` (zero if never hit).
@@ -130,6 +162,9 @@ impl Metrics {
             s.total += v.total;
             s.max = s.max.max(v.max);
         }
+        for (k, v) in &other.caches {
+            self.caches.entry(k).or_default().merge(v);
+        }
     }
 
     /// Renders the `/proc/<lsm>/metrics` view: one `key value` line per
@@ -155,6 +190,12 @@ impl Metrics {
             out.push_str(&format!(
                 "latency_{} samples={} total={} max={}\n",
                 pathway, l.samples, l.total, l.max
+            ));
+        }
+        for (cache, c) in &self.caches {
+            out.push_str(&format!(
+                "cache_{} hits={} misses={} invalidations={}\n",
+                cache, c.hits, c.misses, c.invalidations
             ));
         }
         out
@@ -216,6 +257,40 @@ mod tests {
         assert_eq!(a.errnos["EPERM"], 2);
         assert_eq!(a.latency["auth"].samples, 1);
         assert_eq!(a.events, 2);
+    }
+
+    #[test]
+    fn cache_counters_render_and_merge() {
+        let mut m = Metrics::default();
+        m.record_cache(
+            "dcache",
+            CacheStats {
+                hits: 10,
+                misses: 3,
+                invalidations: 1,
+            },
+        );
+        assert!(m
+            .render()
+            .contains("cache_dcache hits=10 misses=3 invalidations=1"));
+        let mut other = Metrics::default();
+        other.record_cache(
+            "dcache",
+            CacheStats {
+                hits: 5,
+                misses: 1,
+                invalidations: 0,
+            },
+        );
+        m.merge(&other);
+        assert_eq!(
+            m.caches["dcache"],
+            CacheStats {
+                hits: 15,
+                misses: 4,
+                invalidations: 1
+            }
+        );
     }
 
     #[test]

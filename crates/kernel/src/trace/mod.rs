@@ -29,6 +29,6 @@ mod ring;
 mod sink;
 
 pub use event::{AuditEvent, AuditObject, DecisionKind, Hook, Provenance};
-pub use metrics::{DecisionCounters, LatencyStats, Metrics};
+pub use metrics::{CacheStats, DecisionCounters, LatencyStats, Metrics};
 pub use ring::{AuditRing, DEFAULT_RING_CAPACITY};
 pub use sink::{AuditSink, CollectingSink};

@@ -9,10 +9,32 @@
 use super::inode::{Access, Ino, Inode, InodeData, Mode, ProcHook};
 use crate::cred::{Gid, Uid};
 use crate::error::{Errno, KResult};
-use std::collections::BTreeMap;
+use crate::trace::CacheStats;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 
 /// Maximum symlink expansions during one path walk (Linux uses 40).
 const MAX_SYMLINK_DEPTH: usize = 16;
+
+/// Bound on cached resolutions; the dcache is flushed wholesale when it
+/// fills (a simulation stand-in for the kernel's LRU shrinker).
+const DCACHE_CAPACITY: usize = 4096;
+
+/// The generation-stamped dentry cache fronting [`Vfs::resolve`].
+///
+/// Entries are keyed by (starting directory, raw path string, follow-last
+/// flag) and are valid only for the namespace generation they were stored
+/// under: any mutation of the tree or mount table bumps
+/// [`Vfs::namespace_generation`], and the next lookup flushes the map. This
+/// mirrors how the real dcache leans on d_seq/mount generations rather than
+/// tracking per-entry dependencies.
+#[derive(Debug, Default)]
+struct Dcache {
+    map: HashMap<(Ino, bool), HashMap<String, Resolved>>,
+    entries: usize,
+    gen: u64,
+    stats: CacheStats,
+}
 
 /// Parsed mount options.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -110,6 +132,13 @@ pub struct Vfs {
     /// Global change sequence, bumped on every mutation; cheap poll target
     /// for the monitoring daemon.
     pub change_seq: u64,
+    /// Namespace generation: bumped only on mutations that can change what
+    /// a path resolves to (link/unlink/rename/mount/umount/chmod/chown),
+    /// *not* on content writes — unlike `change_seq`, so file I/O does not
+    /// thrash the dcache.
+    namespace_gen: u64,
+    dcache: RefCell<Dcache>,
+    dcache_enabled: Cell<bool>,
 }
 
 impl Vfs {
@@ -133,6 +162,9 @@ impl Vfs {
             mounts: Vec::new(),
             next_mount_id: 1,
             change_seq: 0,
+            namespace_gen: 0,
+            dcache: RefCell::new(Dcache::default()),
+            dcache_enabled: Cell::new(true),
         }
     }
 
@@ -223,13 +255,97 @@ impl Vfs {
     // Path handling
     // ------------------------------------------------------------------
 
-    /// Splits a path into normalized components, resolving `.` lexically.
+    /// Iterates over normalized path components, resolving `.` lexically.
     /// `..` is preserved (it must be resolved against the directory tree,
-    /// not lexically, to honour symlinks and mounts).
+    /// not lexically, to honour symlinks and mounts). Borrows from `path`
+    /// and never allocates — this is the hot-path walker.
+    pub fn component_iter(path: &str) -> impl Iterator<Item = &str> + '_ {
+        path.split('/').filter(|c| !c.is_empty() && *c != ".")
+    }
+
+    /// Splits a path into normalized components (allocating form of
+    /// [`Vfs::component_iter`], kept for callers that need random access).
     pub fn components(path: &str) -> Vec<&str> {
-        path.split('/')
-            .filter(|c| !c.is_empty() && *c != ".")
-            .collect()
+        Vfs::component_iter(path).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Dentry cache
+    // ------------------------------------------------------------------
+
+    /// The current namespace generation. Any two `resolve` calls bracketing
+    /// an unchanged generation see the same namespace.
+    pub fn namespace_generation(&self) -> u64 {
+        self.namespace_gen
+    }
+
+    /// Invalidates the dcache by advancing the namespace generation.
+    /// Called from every mutation that can change a path's meaning.
+    pub fn bump_namespace_gen(&mut self) {
+        self.namespace_gen += 1;
+    }
+
+    /// Enables or disables the dcache (used by benches to measure the cold
+    /// path). Disabling does not flush; re-enabled entries are still
+    /// generation-checked.
+    pub fn set_dcache_enabled(&self, on: bool) {
+        self.dcache_enabled.set(on);
+    }
+
+    /// Current dcache hit/miss/invalidation counters.
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.borrow().stats
+    }
+
+    /// Cache-fronted resolution. Looks up (start dir, path, follow-last) in
+    /// the dcache after lazily flushing a stale generation; falls back to
+    /// [`Vfs::resolve_inner`] and stores the result.
+    fn resolve_cached(&self, cwd: Ino, path: &str, follow_last: bool) -> KResult<Resolved> {
+        if !self.dcache_enabled.get() {
+            return self.resolve_inner(cwd, path, follow_last, 0);
+        }
+        let start = if path.starts_with('/') {
+            self.root
+        } else {
+            cwd
+        };
+        {
+            let mut dc = self.dcache.borrow_mut();
+            if dc.gen != self.namespace_gen {
+                if dc.entries > 0 {
+                    dc.stats.invalidations += 1;
+                }
+                dc.map.clear();
+                dc.entries = 0;
+                dc.gen = self.namespace_gen;
+            }
+            // Nested map so the probe takes `&str` — no key allocation.
+            if let Some(hit) = dc
+                .map
+                .get(&(start, follow_last))
+                .and_then(|paths| paths.get(path))
+            {
+                let hit = hit.clone();
+                dc.stats.hits += 1;
+                return Ok(hit);
+            }
+            dc.stats.misses += 1;
+        }
+        let resolved = self.resolve_inner(cwd, path, follow_last, 0)?;
+        let mut dc = self.dcache.borrow_mut();
+        if dc.gen == self.namespace_gen {
+            if dc.entries >= DCACHE_CAPACITY {
+                dc.map.clear();
+                dc.entries = 0;
+                dc.stats.invalidations += 1;
+            }
+            dc.map
+                .entry((start, follow_last))
+                .or_default()
+                .insert(path.to_string(), resolved.clone());
+            dc.entries += 1;
+        }
+        Ok(resolved)
     }
 
     /// Returns the topmost mount covering directory `ino`, if any.
@@ -258,12 +374,12 @@ impl Vfs {
     /// Resolves `path` (absolute, or relative to `cwd`) to an inode,
     /// following symlinks in every component including the last.
     pub fn resolve(&self, cwd: Ino, path: &str) -> KResult<Resolved> {
-        self.resolve_inner(cwd, path, true, 0)
+        self.resolve_cached(cwd, path, true)
     }
 
     /// Resolves `path` without following a symlink in the final component.
     pub fn resolve_nofollow(&self, cwd: Ino, path: &str) -> KResult<Resolved> {
-        self.resolve_inner(cwd, path, false, 0)
+        self.resolve_cached(cwd, path, false)
     }
 
     fn resolve_inner(
@@ -285,20 +401,19 @@ impl Vfs {
             cwd
         };
         let mut dirs: Vec<Ino> = Vec::new();
-        let comps = Vfs::components(path);
-        let n = comps.len();
-        if n == 0 {
+        let mut comps = Vfs::component_iter(path).peekable();
+        if comps.peek().is_none() {
             return Ok(Resolved { ino: cur, dirs });
         }
-        for (i, comp) in comps.iter().enumerate() {
-            let is_last = i == n - 1;
+        while let Some(comp) = comps.next() {
+            let is_last = comps.peek().is_none();
             let node = self.inode(cur);
             let entries = match node.dir_entries() {
                 Some(e) => e,
                 None => return Err(Errno::ENOTDIR),
             };
             dirs.push(cur);
-            let next = if *comp == ".." {
+            let next = if comp == ".." {
                 // At a mount root, `..` escapes to the covered directory's
                 // parent.
                 if let Some(m) = self.mount_rooted_at(cur) {
@@ -307,7 +422,7 @@ impl Vfs {
                     node.parent
                 }
             } else {
-                match entries.get(*comp) {
+                match entries.get(comp) {
                     Some(&ino) => ino,
                     None => return Err(Errno::ENOENT),
                 }
@@ -349,27 +464,30 @@ impl Vfs {
 
     /// Resolves the parent directory of `path` and returns it with the
     /// final component name. Used by create/unlink-style operations.
+    ///
+    /// The parent prefix is borrowed straight out of `path` (no join), so
+    /// the walk itself allocates nothing beyond the returned name.
     pub fn resolve_parent(&self, cwd: Ino, path: &str) -> KResult<(Resolved, String)> {
-        let comps = Vfs::components(path);
-        let (last, parents) = match comps.split_last() {
-            Some(x) => x,
-            None => return Err(Errno::EINVAL),
-        };
-        if *last == ".." {
+        // Locate the last normalized component and its byte offset.
+        let mut last: Option<(usize, &str)> = None;
+        let mut off = 0;
+        for seg in path.split('/') {
+            if !seg.is_empty() && seg != "." {
+                last = Some((off, seg));
+            }
+            off += seg.len() + 1;
+        }
+        let (start, name) = last.ok_or(Errno::EINVAL)?;
+        if name == ".." {
             return Err(Errno::EINVAL);
         }
-        let parent_path = if path.starts_with('/') {
-            format!("/{}", parents.join("/"))
-        } else if parents.is_empty() {
-            ".".to_string()
-        } else {
-            parents.join("/")
-        };
-        let r = self.resolve(cwd, &parent_path)?;
+        // `resolve("")` yields the start directory, which matches the old
+        // behaviour of resolving "." for a bare relative name.
+        let r = self.resolve(cwd, &path[..start])?;
         if !self.inode(r.ino).data.is_dir() {
             return Err(Errno::ENOTDIR);
         }
-        Ok((r, last.to_string()))
+        Ok((r, name.to_string()))
     }
 
     /// Computes the absolute path of an inode by walking parents. Mount
@@ -429,6 +547,7 @@ impl Vfs {
             self.inodes[dir.0].nlink += 1;
         }
         self.touch(dir);
+        self.bump_namespace_gen();
         Ok(())
     }
 
@@ -448,6 +567,7 @@ impl Vfs {
             self.inodes[child.0].nlink = self.inodes[child.0].nlink.saturating_sub(1);
         }
         self.touch(dir);
+        self.bump_namespace_gen();
         self.maybe_reclaim(child);
         Ok(child)
     }
@@ -580,6 +700,7 @@ impl Vfs {
         self.inodes[src.0].parent = to_dir;
         self.touch(to_dir);
         self.touch(src);
+        self.bump_namespace_gen();
         Ok(())
     }
 
@@ -666,6 +787,7 @@ impl Vfs {
             mounted_by,
         });
         self.change_seq += 1;
+        self.bump_namespace_gen();
         Ok(id)
     }
 
@@ -690,6 +812,7 @@ impl Vfs {
             return Err(Errno::EBUSY);
         }
         self.change_seq += 1;
+        self.bump_namespace_gen();
         Ok(self.mounts.remove(idx))
     }
 
@@ -729,7 +852,7 @@ impl Vfs {
     /// returns the final directory inode.
     pub fn mkdir_p(&mut self, path: &str) -> KResult<Ino> {
         let mut cur = self.root;
-        for comp in Vfs::components(path) {
+        for comp in Vfs::component_iter(path) {
             if comp == ".." {
                 cur = self.inode(cur).parent;
                 continue;
@@ -1170,6 +1293,77 @@ mod tests {
             |g| g == Gid::ROOT,
             Access::WRITE
         ));
+    }
+
+    #[test]
+    fn dcache_hits_repeat_lookups() {
+        let v = fixture();
+        let a = v.resolve(v.root(), "/etc/fstab").unwrap();
+        let b = v.resolve(v.root(), "/etc/fstab").unwrap();
+        assert_eq!(a.ino, b.ino);
+        let s = v.dcache_stats();
+        assert_eq!(s.hits, 1);
+        assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn dcache_disabled_never_hits() {
+        let v = fixture();
+        v.set_dcache_enabled(false);
+        v.resolve(v.root(), "/etc/fstab").unwrap();
+        v.resolve(v.root(), "/etc/fstab").unwrap();
+        assert_eq!(v.dcache_stats().hits, 0);
+    }
+
+    #[test]
+    fn dcache_distinguishes_follow_modes() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        v.symlink(etc, "lnk", "/etc/fstab", Uid::ROOT, Gid::ROOT)
+            .unwrap();
+        let followed = v.resolve(v.root(), "/etc/lnk").unwrap();
+        let raw = v.resolve_nofollow(v.root(), "/etc/lnk").unwrap();
+        assert_ne!(followed.ino, raw.ino);
+        // Repeat both: each must come back from its own cache slot.
+        assert_eq!(v.resolve(v.root(), "/etc/lnk").unwrap().ino, followed.ino);
+        assert_eq!(
+            v.resolve_nofollow(v.root(), "/etc/lnk").unwrap().ino,
+            raw.ino
+        );
+    }
+
+    #[test]
+    fn namespace_mutations_bump_generation() {
+        let mut v = fixture();
+        let g0 = v.namespace_generation();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        v.create_file(etc, "new", Mode(0o644), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        assert!(v.namespace_generation() > g0);
+        let g1 = v.namespace_generation();
+        v.unlink(etc, "new").unwrap();
+        assert!(v.namespace_generation() > g1);
+        // Content writes do NOT invalidate the namespace.
+        let g2 = v.namespace_generation();
+        let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        v.append(f, b"x").unwrap();
+        assert_eq!(v.namespace_generation(), g2);
+    }
+
+    #[test]
+    fn dcache_stale_hit_impossible_after_rename() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        let old = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        // Warm the cache, then swap a different file into the same name.
+        v.create_file(etc, "other", Mode(0o600), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        let other = v.resolve(v.root(), "/etc/other").unwrap().ino;
+        v.rename(etc, "other", etc, "fstab").unwrap();
+        let now = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        assert_eq!(now, other);
+        assert_ne!(now, old);
+        assert!(v.dcache_stats().invalidations >= 1);
     }
 
     #[test]
