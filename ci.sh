@@ -25,6 +25,14 @@ cargo run --release -p bench --bin tables -- bench-verify target/BENCH_table5.sm
 test -s BENCH_table5.json || { echo "error: committed BENCH_table5.json missing" >&2; exit 1; }
 cargo run --release -p bench --bin tables -- bench-verify BENCH_table5.json
 
+echo "== smoke replay: recorded syscall trace replays deterministically =="
+# Records the full functional battery through the dispatch boundary and
+# replays a fresh boot against it; fails on any divergence.
+cargo run --release -p bench --bin tables -- replay-smoke
+
+echo "== docs: sim-kernel rustdoc is warning-clean =="
+RUSTDOCFLAGS="-D warnings" cargo doc -p sim-kernel --no-deps --quiet
+
 echo "== guard: no string-formatted audit calls =="
 # The legacy unbounded string log is gone; decisions must go through the
 # typed emit_* API so provenance and metrics stay complete.

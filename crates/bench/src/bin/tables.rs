@@ -4,6 +4,7 @@
 //! tables [table1|table2|table3|table4|table5|table6|table7|table8|ablations|all] [--quick]
 //! tables bench-json [--quick] [--out PATH]   # write BENCH_table5.json
 //! tables bench-verify PATH                   # validate a results file
+//! tables replay-smoke                        # record + replay determinism check
 //! ```
 
 use bench::{json, table5};
@@ -27,6 +28,10 @@ fn main() {
     }
     if which == "bench-verify" {
         run_bench_verify(&args);
+        return;
+    }
+    if which == "replay-smoke" {
+        run_replay_smoke();
         return;
     }
 
@@ -88,6 +93,62 @@ fn print_table5(quick: bool) {
     println!(
         "  max measured overhead: {:.2}%  (paper: <= 7.4%)\n",
         table5::max_overhead(&rows)
+    );
+    let mut f = bench::fixture(SystemMode::Protego);
+    let (direct, dispatched, metered) = bench::micro::dispatch_overhead(&mut f, warm, iters);
+    println!(
+        "  syscall ABI dispatch: direct {:.0} ns, dispatched {:.0} ns ({:+.2}%), +meter {:.0} ns ({:+.2}%)\n",
+        direct,
+        dispatched,
+        bench::overhead_pct(direct, dispatched),
+        metered,
+        bench::overhead_pct(direct, metered),
+    );
+}
+
+/// The ci smoke test for deterministic record/replay: record the full
+/// functional battery, replay a fresh boot against the recorded trace,
+/// and fail loudly on any divergence.
+fn run_replay_smoke() {
+    use sim_kernel::trace::{Trace, TraceRecorder, TraceReplayer};
+
+    let mut sys = boot(SystemMode::Protego);
+    let rec = TraceRecorder::new();
+    let trace = rec.trace();
+    sys.kernel.push_interceptor(Box::new(rec));
+    let outcomes = run_functional_suite(&mut sys);
+    let serialized = trace.borrow().render();
+    let recorded = trace.borrow().len();
+
+    let expected = match Trace::parse(&serialized) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: recorded trace does not parse: {}", e);
+            std::process::exit(1);
+        }
+    };
+    let replayer = TraceReplayer::new(expected);
+    let divergences = replayer.divergences();
+    let mut sys2 = boot(SystemMode::Protego);
+    sys2.kernel.push_interceptor(Box::new(replayer));
+    let outcomes2 = run_functional_suite(&mut sys2);
+
+    let divs = divergences.borrow();
+    if !divs.is_empty() {
+        eprintln!("error: replay diverged at {} point(s):", divs.len());
+        for d in divs.iter().take(5) {
+            eprintln!("  {}", d);
+        }
+        std::process::exit(1);
+    }
+    if outcomes != outcomes2 {
+        eprintln!("error: step outcomes differ between record and replay runs");
+        std::process::exit(1);
+    }
+    println!(
+        "replay-smoke: OK ({} dispatched syscalls, {} battery steps, 0 divergences)",
+        recorded,
+        outcomes.len()
     );
 }
 

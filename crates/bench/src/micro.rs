@@ -5,7 +5,7 @@
 use crate::Fixture;
 use sim_kernel::dev::ModemOpt;
 use sim_kernel::net::{Domain, Ipv4, SockType};
-use sim_kernel::syscall::{IoctlCmd, OpenFlags};
+use sim_kernel::syscall::{IoctlCmd, OpenFlags, Whence};
 use sim_kernel::vfs::Mode;
 
 /// Per-op prepared state (descriptors etc. created once, reused across
@@ -192,7 +192,7 @@ pub fn all_micro_ops() -> Vec<MicroOp> {
             paper_protego_us: Some(0.09),
             prepare: prep_rw_file,
             run: |f, p| {
-                let _ = f.sys.kernel.sys_lseek(f.user, p.fds[0], 0);
+                let _ = f.sys.kernel.sys_lseek(f.user, p.fds[0], 0, Whence::Set);
                 let mut buf = Vec::with_capacity(1);
                 let _ = f.sys.kernel.sys_read(f.user, p.fds[0], &mut buf, 1);
             },
@@ -203,7 +203,7 @@ pub fn all_micro_ops() -> Vec<MicroOp> {
             paper_protego_us: Some(0.09),
             prepare: prep_rw_file,
             run: |f, p| {
-                let _ = f.sys.kernel.sys_lseek(f.user, p.fds[0], 0);
+                let _ = f.sys.kernel.sys_lseek(f.user, p.fds[0], 0, Whence::Set);
                 let _ = f.sys.kernel.sys_write(f.user, p.fds[0], b"x");
             },
         },
@@ -447,6 +447,50 @@ pub fn all_micro_ops() -> Vec<MicroOp> {
     ]
 }
 
+/// Cost of the typed-ABI boundary itself: the same `stat` measured three
+/// ways — direct `sys_stat`, through [`sim_kernel::kernel::Kernel::dispatch`]
+/// with an empty interceptor chain, and dispatched with a
+/// [`sim_kernel::syscall::SyscallMeter`] attached. Returns
+/// `(direct_ns, dispatched_ns, metered_ns)`.
+pub fn dispatch_overhead(f: &mut Fixture, warmup: u32, iters: u32) -> (f64, f64, f64) {
+    use sim_kernel::syscall::{Syscall, SyscallMeter};
+
+    let direct = {
+        let sys = &mut f.sys;
+        let user = f.user;
+        crate::quick_time_ns(warmup, iters, || {
+            let _ = sys.kernel.sys_stat(user, "/etc/motd");
+        })
+    };
+    let dispatched = {
+        let sys = &mut f.sys;
+        let user = f.user;
+        crate::quick_time_ns(warmup, iters, || {
+            let _ = sys.kernel.dispatch(
+                user,
+                Syscall::Stat {
+                    path: "/etc/motd".into(),
+                },
+            );
+        })
+    };
+    f.sys.kernel.push_interceptor(Box::new(SyscallMeter::new()));
+    let metered = {
+        let sys = &mut f.sys;
+        let user = f.user;
+        crate::quick_time_ns(warmup, iters, || {
+            let _ = sys.kernel.dispatch(
+                user,
+                Syscall::Stat {
+                    path: "/etc/motd".into(),
+                },
+            );
+        })
+    };
+    f.sys.kernel.clear_interceptors();
+    (direct, dispatched, metered)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +508,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dispatch_overhead_measures_all_three_ways() {
+        let mut f = fixture(SystemMode::Protego);
+        let (direct, dispatched, metered) = dispatch_overhead(&mut f, 2, 20);
+        assert!(direct > 0.0 && dispatched > 0.0 && metered > 0.0);
+        // The meter must have fed class counters into the registry.
+        assert!(f.sys.kernel.metrics.render().contains("syscall_class_fs"));
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub enum Errno {
     EBADF,
     /// Try again (resource temporarily unavailable).
     EAGAIN,
+    /// Out of memory.
+    ENOMEM,
     /// Permission denied (DAC/MAC check failed).
     EACCES,
     /// Bad address.
@@ -109,6 +111,7 @@ impl Errno {
             Errno::ENXIO => 6,
             Errno::EBADF => 9,
             Errno::EAGAIN => 11,
+            Errno::ENOMEM => 12,
             Errno::EACCES => 13,
             Errno::EFAULT => 14,
             Errno::ENOTBLK => 15,
@@ -151,6 +154,7 @@ impl Errno {
             Errno::ENXIO => "ENXIO",
             Errno::EBADF => "EBADF",
             Errno::EAGAIN => "EAGAIN",
+            Errno::ENOMEM => "ENOMEM",
             Errno::EACCES => "EACCES",
             Errno::EFAULT => "EFAULT",
             Errno::EBUSY => "EBUSY",
@@ -193,6 +197,7 @@ impl Errno {
             Errno::ENXIO => "No such device or address",
             Errno::EBADF => "Bad file descriptor",
             Errno::EAGAIN => "Resource temporarily unavailable",
+            Errno::ENOMEM => "Cannot allocate memory",
             Errno::EACCES => "Permission denied",
             Errno::EFAULT => "Bad address",
             Errno::EBUSY => "Device or resource busy",

@@ -65,6 +65,7 @@ pub struct Kernel {
     auth: Option<Box<dyn AuthProvider>>,
     media_roots: BTreeMap<DevId, Ino>,
     sinks: Vec<Box<dyn AuditSink>>,
+    pub(crate) interceptors: Vec<Box<dyn crate::syscall::Interceptor>>,
 }
 
 impl Kernel {
@@ -89,7 +90,20 @@ impl Kernel {
             auth: None,
             media_roots: BTreeMap::new(),
             sinks: Vec::new(),
+            interceptors: Vec::new(),
         }
+    }
+
+    /// Registers an interceptor on the dispatch chain. `before` hooks run
+    /// in registration order, `after` hooks in reverse; see
+    /// [`Kernel::dispatch`].
+    pub fn push_interceptor(&mut self, ic: Box<dyn crate::syscall::Interceptor>) {
+        self.interceptors.push(ic);
+    }
+
+    /// Removes all registered interceptors.
+    pub fn clear_interceptors(&mut self) {
+        self.interceptors.clear();
     }
 
     /// Registers the active security module: installs its `/proc/<name>/`

@@ -1,0 +1,892 @@
+//! The unified syscall ABI: a typed request/response boundary over the
+//! `sys_*` entry points.
+//!
+//! Every kernel entry point in the [`crate::syscall`] modules can be
+//! invoked in two equivalent ways: directly (`kernel.sys_open(pid, ..)`)
+//! or through [`Kernel::dispatch`] with a [`Syscall`] request value. The
+//! dispatcher is a thin, total mapping — it calls the very same `sys_*`
+//! method — but it gives the simulation one boundary at which to perturb,
+//! record, and replay a run:
+//!
+//! * [`crate::syscall::Interceptor`]s registered on the kernel see every
+//!   dispatched call before and after execution. A `before` hook may
+//!   short-circuit the call with an injected errno (fault injection); an
+//!   `after` hook observes the full `(pid, Syscall, SysRet)` triple
+//!   (trace recording, replay checking, metering).
+//! * Because the whole simulation is deterministic, the dispatched stream
+//!   of a run replays byte-identically under the same seed, which turns
+//!   behavioural comparisons (the paper's §5.3 legacy-vs-Protego
+//!   divergence suite) into diffs over recorded traces.
+//!
+//! The request enum owns its arguments (`String`/`Vec` rather than
+//! borrows) so a recorded call is self-contained.
+
+use crate::cred::{Gid, Uid};
+use crate::error::{Errno, KResult};
+use crate::kernel::Kernel;
+use crate::net::{Domain, Ipv4, Packet, SockType};
+use crate::syscall::interceptor::SysCtx;
+use crate::syscall::{IoctlCmd, IoctlOut, NetfilterOp, OpenFlags, RouteOp, Stat};
+use crate::task::{NsKind, Pid};
+use crate::trace::{AuditObject, DecisionKind, Hook, Provenance};
+use crate::vfs::Mode;
+
+/// The class a syscall belongs to — the granularity at which the fault
+/// injector targets errno storms and the meter aggregates counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SyscallClass {
+    /// Filesystem calls (open/read/write/stat/...).
+    Fs,
+    /// Credential calls (setuid/setgid/...).
+    Id,
+    /// Device ioctls.
+    Ioctl,
+    /// mount/umount.
+    Mount,
+    /// Sockets, packets, netfilter, and routing.
+    Net,
+    /// fork/execve/unshare/exit/wait.
+    Process,
+}
+
+impl SyscallClass {
+    /// All classes, in stable order.
+    pub const ALL: [SyscallClass; 6] = [
+        SyscallClass::Fs,
+        SyscallClass::Id,
+        SyscallClass::Ioctl,
+        SyscallClass::Mount,
+        SyscallClass::Net,
+        SyscallClass::Process,
+    ];
+
+    /// Stable lower-case name (metrics keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            SyscallClass::Fs => "fs",
+            SyscallClass::Id => "id",
+            SyscallClass::Ioctl => "ioctl",
+            SyscallClass::Mount => "mount",
+            SyscallClass::Net => "net",
+            SyscallClass::Process => "process",
+        }
+    }
+}
+
+/// `lseek(2)` origin selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Whence {
+    /// `SEEK_SET` — from the start of the file.
+    Set,
+    /// `SEEK_CUR` — from the current offset.
+    Cur,
+    /// `SEEK_END` — from the end of the file.
+    End,
+}
+
+/// A netfilter OUTPUT-chain rule as reported by
+/// [`Kernel::sys_netfilter_list`] — the public view of the kernel's
+/// internal rule representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetfilterRule {
+    /// Rule name (iptables comment).
+    pub name: String,
+    /// Matches only packets sent through raw/packet sockets.
+    pub raw_socket_only: bool,
+    /// Protocol match, rendered (`"icmp"`, `"tcp"`, `"udp"`, `"arp"`,
+    /// `"ip"`), or `None` for any protocol.
+    pub proto: Option<String>,
+    /// ICMP type whitelist, when the rule carries one.
+    pub icmp_types: Option<Vec<u8>>,
+    /// Destination-port range match, when the rule carries one.
+    pub dst_ports: Option<(u16, u16)>,
+    /// Spoof-analysis match (`Some(true)` = spoofed only).
+    pub spoofed: Option<bool>,
+    /// Whether the rule accepts (vs drops) matching packets.
+    pub accept: bool,
+}
+
+impl From<&crate::net::Rule> for NetfilterRule {
+    fn from(r: &crate::net::Rule) -> NetfilterRule {
+        use crate::net::{ProtoMatch, Verdict};
+        NetfilterRule {
+            name: r.name.clone(),
+            raw_socket_only: r.raw_socket_only,
+            proto: r.proto.map(|p| {
+                match p {
+                    ProtoMatch::Icmp => "icmp",
+                    ProtoMatch::Tcp => "tcp",
+                    ProtoMatch::Udp => "udp",
+                    ProtoMatch::Arp => "arp",
+                    ProtoMatch::OtherIp => "ip",
+                }
+                .to_string()
+            }),
+            icmp_types: r.icmp_types.clone(),
+            dst_ports: r.dst_ports,
+            spoofed: r.spoofed,
+            accept: r.verdict == Verdict::Accept,
+        }
+    }
+}
+
+impl std::fmt::Display for NetfilterRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}",
+            self.name,
+            if self.accept { "ACCEPT" } else { "DROP" }
+        )?;
+        if self.raw_socket_only {
+            write!(f, " raw")?;
+        }
+        if let Some(p) = &self.proto {
+            write!(f, " proto={}", p)?;
+        }
+        if let Some(t) = &self.icmp_types {
+            write!(f, " icmp-types={:?}", t)?;
+        }
+        if let Some((lo, hi)) = self.dst_ports {
+            write!(f, " dports={}-{}", lo, hi)?;
+        }
+        if let Some(s) = self.spoofed {
+            write!(f, " spoofed={}", s)?;
+        }
+        Ok(())
+    }
+}
+
+/// A typed syscall request: one variant per `sys_*` entry point, owning
+/// its arguments so a recorded call is self-contained.
+#[derive(Clone, Debug)]
+pub enum Syscall {
+    // ------------------------------------------------------------- fs --
+    /// `open(2)`.
+    Open {
+        /// Path to open.
+        path: String,
+        /// Open flags.
+        flags: OpenFlags,
+    },
+    /// `close(2)`.
+    Close {
+        /// Descriptor to close.
+        fd: i32,
+    },
+    /// `read(2)` — the response carries the bytes read.
+    Read {
+        /// Descriptor to read from.
+        fd: i32,
+        /// Maximum byte count.
+        count: usize,
+    },
+    /// `write(2)`.
+    Write {
+        /// Descriptor to write to.
+        fd: i32,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// `lseek(2)`.
+    Lseek {
+        /// Descriptor to seek.
+        fd: i32,
+        /// Signed displacement from `whence`.
+        offset: i64,
+        /// Seek origin.
+        whence: Whence,
+    },
+    /// `stat(2)`.
+    Stat {
+        /// Path to inspect.
+        path: String,
+    },
+    /// `lstat(2)`.
+    Lstat {
+        /// Path to inspect (not following a trailing symlink).
+        path: String,
+    },
+    /// `chmod(2)`.
+    Chmod {
+        /// Path to change.
+        path: String,
+        /// New mode bits.
+        mode: Mode,
+    },
+    /// `chown(2)`.
+    Chown {
+        /// Path to change.
+        path: String,
+        /// New owner, if changing.
+        uid: Option<Uid>,
+        /// New group, if changing.
+        gid: Option<Gid>,
+    },
+    /// `mkdir(2)`.
+    Mkdir {
+        /// Directory to create.
+        path: String,
+        /// Mode bits.
+        mode: Mode,
+    },
+    /// `unlink(2)`.
+    Unlink {
+        /// Path to remove.
+        path: String,
+    },
+    /// `rmdir(2)`.
+    Rmdir {
+        /// Directory to remove.
+        path: String,
+    },
+    /// `rename(2)`.
+    Rename {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// `symlink(2)`.
+    Symlink {
+        /// Link target.
+        target: String,
+        /// Path of the new link.
+        linkpath: String,
+    },
+    /// `chdir(2)`.
+    Chdir {
+        /// New working directory.
+        path: String,
+    },
+    /// `readdir(3)`.
+    Readdir {
+        /// Directory to list.
+        path: String,
+    },
+    /// `pipe(2)`.
+    Pipe,
+    // ------------------------------------------------------------- id --
+    /// `setuid(2)`.
+    Setuid {
+        /// Target uid.
+        uid: Uid,
+    },
+    /// `seteuid(2)`.
+    Seteuid {
+        /// Target effective uid.
+        uid: Uid,
+    },
+    /// `setgid(2)`.
+    Setgid {
+        /// Target gid.
+        gid: Gid,
+    },
+    /// `setgroups(2)`.
+    Setgroups {
+        /// New supplementary group list.
+        groups: Vec<Gid>,
+    },
+    /// `getuid(2)`.
+    Getuid,
+    /// `geteuid(2)`.
+    Geteuid,
+    /// `getgid(2)`.
+    Getgid,
+    // ---------------------------------------------------------- ioctl --
+    /// `ioctl(2)` on a device fd.
+    Ioctl {
+        /// Device descriptor.
+        fd: i32,
+        /// Command.
+        cmd: IoctlCmd,
+    },
+    // ---------------------------------------------------------- mount --
+    /// `mount(2)`.
+    Mount {
+        /// Device or pseudo-fs source.
+        source: String,
+        /// Mountpoint path.
+        target: String,
+        /// Filesystem type.
+        fstype: String,
+        /// Comma-separated options.
+        options: String,
+    },
+    /// `umount(2)`.
+    Umount {
+        /// Mountpoint path.
+        target: String,
+    },
+    // ------------------------------------------------------------ net --
+    /// `socket(2)`.
+    Socket {
+        /// Address family.
+        domain: Domain,
+        /// Socket type.
+        stype: SockType,
+        /// Protocol number.
+        protocol: u8,
+    },
+    /// `bind(2)`.
+    Bind {
+        /// Socket descriptor.
+        fd: i32,
+        /// Local address.
+        addr: Ipv4,
+        /// Local port.
+        port: u16,
+    },
+    /// `listen(2)`.
+    Listen {
+        /// Socket descriptor.
+        fd: i32,
+    },
+    /// `connect(2)`.
+    Connect {
+        /// Socket descriptor.
+        fd: i32,
+        /// Remote address.
+        addr: Ipv4,
+        /// Remote port.
+        port: u16,
+    },
+    /// `accept(2)`.
+    Accept {
+        /// Listening descriptor.
+        fd: i32,
+    },
+    /// `send(2)` on a connected socket.
+    Send {
+        /// Socket descriptor.
+        fd: i32,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// `recv(2)` on a connected socket.
+    Recv {
+        /// Socket descriptor.
+        fd: i32,
+        /// Maximum byte count.
+        max: usize,
+    },
+    /// Raw packet reception.
+    RecvPacket {
+        /// Raw/packet socket descriptor.
+        fd: i32,
+    },
+    /// `sendto(2)` on a UDP socket.
+    Sendto {
+        /// Socket descriptor.
+        fd: i32,
+        /// Destination address.
+        addr: Ipv4,
+        /// Destination port.
+        port: u16,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Raw packet transmission (caller-built headers).
+    SendPacket {
+        /// Raw/packet socket descriptor.
+        fd: i32,
+        /// The packet, headers included.
+        pkt: Packet,
+    },
+    /// `socketpair(2)`.
+    Socketpair,
+    /// Netfilter administration (the iptables backend).
+    Netfilter {
+        /// Chain operation.
+        op: NetfilterOp,
+    },
+    /// Lists the OUTPUT-chain rules.
+    NetfilterList,
+    /// Routing-table ioctls (`SIOCADDRT`/`SIOCDELRT`).
+    IoctlRoute {
+        /// Route operation.
+        op: RouteOp,
+    },
+    // -------------------------------------------------------- process --
+    /// `fork(2)`.
+    Fork,
+    /// `execve(2)`.
+    Execve {
+        /// Program path.
+        path: String,
+    },
+    /// `unshare(2)`.
+    Unshare {
+        /// Namespace kind to unshare.
+        kind: NsKind,
+    },
+    /// `exit(2)`.
+    Exit {
+        /// Exit status.
+        status: i32,
+    },
+    /// `waitpid(2)`.
+    Wait {
+        /// Child to reap.
+        child: Pid,
+    },
+}
+
+impl Syscall {
+    /// Stable syscall name (matches the audit-event `syscall` field where
+    /// the call emits events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::Open { .. } => "open",
+            Syscall::Close { .. } => "close",
+            Syscall::Read { .. } => "read",
+            Syscall::Write { .. } => "write",
+            Syscall::Lseek { .. } => "lseek",
+            Syscall::Stat { .. } => "stat",
+            Syscall::Lstat { .. } => "lstat",
+            Syscall::Chmod { .. } => "chmod",
+            Syscall::Chown { .. } => "chown",
+            Syscall::Mkdir { .. } => "mkdir",
+            Syscall::Unlink { .. } => "unlink",
+            Syscall::Rmdir { .. } => "rmdir",
+            Syscall::Rename { .. } => "rename",
+            Syscall::Symlink { .. } => "symlink",
+            Syscall::Chdir { .. } => "chdir",
+            Syscall::Readdir { .. } => "readdir",
+            Syscall::Pipe => "pipe",
+            Syscall::Setuid { .. } => "setuid",
+            Syscall::Seteuid { .. } => "seteuid",
+            Syscall::Setgid { .. } => "setgid",
+            Syscall::Setgroups { .. } => "setgroups",
+            Syscall::Getuid => "getuid",
+            Syscall::Geteuid => "geteuid",
+            Syscall::Getgid => "getgid",
+            Syscall::Ioctl { .. } => "ioctl",
+            Syscall::Mount { .. } => "mount",
+            Syscall::Umount { .. } => "umount",
+            Syscall::Socket { .. } => "socket",
+            Syscall::Bind { .. } => "bind",
+            Syscall::Listen { .. } => "listen",
+            Syscall::Connect { .. } => "connect",
+            Syscall::Accept { .. } => "accept",
+            Syscall::Send { .. } => "send",
+            Syscall::Recv { .. } => "recv",
+            Syscall::RecvPacket { .. } => "recv_packet",
+            Syscall::Sendto { .. } => "sendto",
+            Syscall::SendPacket { .. } => "send_packet",
+            Syscall::Socketpair => "socketpair",
+            Syscall::Netfilter { .. } => "netfilter",
+            Syscall::NetfilterList => "netfilter_list",
+            Syscall::IoctlRoute { .. } => "ioctl_route",
+            Syscall::Fork => "fork",
+            Syscall::Execve { .. } => "execve",
+            Syscall::Unshare { .. } => "unshare",
+            Syscall::Exit { .. } => "exit",
+            Syscall::Wait { .. } => "wait",
+        }
+    }
+
+    /// The class this call belongs to.
+    pub fn class(&self) -> SyscallClass {
+        match self {
+            Syscall::Open { .. }
+            | Syscall::Close { .. }
+            | Syscall::Read { .. }
+            | Syscall::Write { .. }
+            | Syscall::Lseek { .. }
+            | Syscall::Stat { .. }
+            | Syscall::Lstat { .. }
+            | Syscall::Chmod { .. }
+            | Syscall::Chown { .. }
+            | Syscall::Mkdir { .. }
+            | Syscall::Unlink { .. }
+            | Syscall::Rmdir { .. }
+            | Syscall::Rename { .. }
+            | Syscall::Symlink { .. }
+            | Syscall::Chdir { .. }
+            | Syscall::Readdir { .. }
+            | Syscall::Pipe => SyscallClass::Fs,
+            Syscall::Setuid { .. }
+            | Syscall::Seteuid { .. }
+            | Syscall::Setgid { .. }
+            | Syscall::Setgroups { .. }
+            | Syscall::Getuid
+            | Syscall::Geteuid
+            | Syscall::Getgid => SyscallClass::Id,
+            Syscall::Ioctl { .. } => SyscallClass::Ioctl,
+            Syscall::Mount { .. } | Syscall::Umount { .. } => SyscallClass::Mount,
+            Syscall::Socket { .. }
+            | Syscall::Bind { .. }
+            | Syscall::Listen { .. }
+            | Syscall::Connect { .. }
+            | Syscall::Accept { .. }
+            | Syscall::Send { .. }
+            | Syscall::Recv { .. }
+            | Syscall::RecvPacket { .. }
+            | Syscall::Sendto { .. }
+            | Syscall::SendPacket { .. }
+            | Syscall::Socketpair
+            | Syscall::Netfilter { .. }
+            | Syscall::NetfilterList
+            | Syscall::IoctlRoute { .. } => SyscallClass::Net,
+            Syscall::Fork
+            | Syscall::Execve { .. }
+            | Syscall::Unshare { .. }
+            | Syscall::Exit { .. }
+            | Syscall::Wait { .. } => SyscallClass::Process,
+        }
+    }
+}
+
+/// A typed syscall response. [`Kernel::dispatch`] returns the variant
+/// matching the request (never a mismatched one), or [`SysRet::Err`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SysRet {
+    /// Success with no payload.
+    Unit,
+    /// A new file descriptor.
+    Fd(i32),
+    /// A descriptor pair (pipe, socketpair).
+    FdPair(i32, i32),
+    /// A byte count (write, send, sendto) or resulting offset (lseek).
+    Size(usize),
+    /// Bytes read/received.
+    Data(Vec<u8>),
+    /// Directory entry names.
+    Names(Vec<String>),
+    /// File metadata.
+    Stat(Stat),
+    /// An ioctl result.
+    Ioctl(IoctlOut),
+    /// A received raw packet.
+    Packet(Packet),
+    /// A uid (getuid/geteuid).
+    Uid(Uid),
+    /// A gid (getgid).
+    Gid(Gid),
+    /// A child pid (fork).
+    Pid(Pid),
+    /// A resolved path (execve).
+    Path(String),
+    /// A child exit status (wait).
+    Status(i32),
+    /// The netfilter rule list.
+    Rules(Vec<NetfilterRule>),
+    /// The call failed (or an interceptor injected a fault).
+    Err(Errno),
+}
+
+/// Typed accessors. Each converts the response into the `KResult` the
+/// matching direct `sys_*` call would have produced; the mismatched-variant
+/// arms are unreachable through [`Kernel::dispatch`].
+impl SysRet {
+    /// Whether the response is an errno.
+    pub fn is_err(&self) -> bool {
+        matches!(self, SysRet::Err(_))
+    }
+
+    /// The errno, if the call failed.
+    pub fn err(&self) -> Option<Errno> {
+        match self {
+            SysRet::Err(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Unit result.
+    pub fn unit(self) -> KResult<()> {
+        match self {
+            SysRet::Unit => Ok(()),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Unit, got {:?}", other),
+        }
+    }
+
+    /// File-descriptor result.
+    pub fn fd(self) -> KResult<i32> {
+        match self {
+            SysRet::Fd(n) => Ok(n),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Fd, got {:?}", other),
+        }
+    }
+
+    /// Descriptor-pair result.
+    pub fn fd_pair(self) -> KResult<(i32, i32)> {
+        match self {
+            SysRet::FdPair(a, b) => Ok((a, b)),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected FdPair, got {:?}", other),
+        }
+    }
+
+    /// Byte-count/offset result.
+    pub fn size(self) -> KResult<usize> {
+        match self {
+            SysRet::Size(n) => Ok(n),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Size, got {:?}", other),
+        }
+    }
+
+    /// Byte-payload result.
+    pub fn data(self) -> KResult<Vec<u8>> {
+        match self {
+            SysRet::Data(d) => Ok(d),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Data, got {:?}", other),
+        }
+    }
+
+    /// Name-list result.
+    pub fn names(self) -> KResult<Vec<String>> {
+        match self {
+            SysRet::Names(n) => Ok(n),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Names, got {:?}", other),
+        }
+    }
+
+    /// Stat result.
+    pub fn stat(self) -> KResult<Stat> {
+        match self {
+            SysRet::Stat(s) => Ok(s),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Stat, got {:?}", other),
+        }
+    }
+
+    /// Ioctl result.
+    pub fn ioctl(self) -> KResult<IoctlOut> {
+        match self {
+            SysRet::Ioctl(o) => Ok(o),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Ioctl, got {:?}", other),
+        }
+    }
+
+    /// Packet result.
+    pub fn packet(self) -> KResult<Packet> {
+        match self {
+            SysRet::Packet(p) => Ok(p),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Packet, got {:?}", other),
+        }
+    }
+
+    /// Uid result.
+    pub fn uid(self) -> KResult<Uid> {
+        match self {
+            SysRet::Uid(u) => Ok(u),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Uid, got {:?}", other),
+        }
+    }
+
+    /// Gid result.
+    pub fn gid(self) -> KResult<Gid> {
+        match self {
+            SysRet::Gid(g) => Ok(g),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Gid, got {:?}", other),
+        }
+    }
+
+    /// Pid result.
+    pub fn pid(self) -> KResult<Pid> {
+        match self {
+            SysRet::Pid(p) => Ok(p),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Pid, got {:?}", other),
+        }
+    }
+
+    /// Path result.
+    pub fn path(self) -> KResult<String> {
+        match self {
+            SysRet::Path(p) => Ok(p),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Path, got {:?}", other),
+        }
+    }
+
+    /// Exit-status result.
+    pub fn status(self) -> KResult<i32> {
+        match self {
+            SysRet::Status(s) => Ok(s),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Status, got {:?}", other),
+        }
+    }
+
+    /// Netfilter rule-list result.
+    pub fn rules(self) -> KResult<Vec<NetfilterRule>> {
+        match self {
+            SysRet::Rules(r) => Ok(r),
+            SysRet::Err(e) => Err(e),
+            other => unreachable!("ABI mismatch: expected Rules, got {:?}", other),
+        }
+    }
+}
+
+fn wrap<T>(r: KResult<T>, f: impl FnOnce(T) -> SysRet) -> SysRet {
+    match r {
+        Ok(v) => f(v),
+        Err(e) => SysRet::Err(e),
+    }
+}
+
+impl Kernel {
+    /// Dispatches a typed syscall through the interceptor chain.
+    ///
+    /// Interceptor `before` hooks run in registration order; the first to
+    /// return an errno short-circuits the call (the kernel entry point is
+    /// never reached and an `interceptor`-provenance audit event records
+    /// the injection). `after` hooks run in reverse order and always see
+    /// the final response, injected or real.
+    pub fn dispatch(&mut self, pid: Pid, call: Syscall) -> SysRet {
+        let mut chain = std::mem::take(&mut self.interceptors);
+        let mut injected = None;
+        for ic in chain.iter_mut() {
+            let mut ctx = SysCtx {
+                clock: self.clock,
+                metrics: &mut self.metrics,
+            };
+            if let Some(e) = ic.before(pid, &call, &mut ctx) {
+                injected = Some((e, ic.name()));
+                break;
+            }
+        }
+        let ret = match injected {
+            Some((e, who)) => {
+                let msg = format!("{}: injected {} by interceptor '{}'", call.name(), e, who);
+                self.emit_event(
+                    pid.0,
+                    call.name(),
+                    AuditObject::None,
+                    Provenance {
+                        module: "interceptor",
+                        hook: Hook::Interceptor,
+                        rule: Some(who.to_string()),
+                        decision: DecisionKind::Deny,
+                        errno: Some(e),
+                    },
+                    msg,
+                );
+                SysRet::Err(e)
+            }
+            None => self.dispatch_inner(pid, &call),
+        };
+        for ic in chain.iter_mut().rev() {
+            let mut ctx = SysCtx {
+                clock: self.clock,
+                metrics: &mut self.metrics,
+            };
+            ic.after(pid, &call, &ret, &mut ctx);
+        }
+        // A dispatched call cannot re-enter dispatch, but it may have
+        // registered new interceptors; keep both.
+        chain.append(&mut self.interceptors);
+        self.interceptors = chain;
+        ret
+    }
+
+    /// The total request→entry-point mapping behind [`Kernel::dispatch`].
+    fn dispatch_inner(&mut self, pid: Pid, call: &Syscall) -> SysRet {
+        match call {
+            Syscall::Open { path, flags } => wrap(self.sys_open(pid, path, *flags), SysRet::Fd),
+            Syscall::Close { fd } => wrap(self.sys_close(pid, *fd), |()| SysRet::Unit),
+            Syscall::Read { fd, count } => {
+                let mut buf = Vec::new();
+                wrap(self.sys_read(pid, *fd, &mut buf, *count), |_| {
+                    SysRet::Data(buf)
+                })
+            }
+            Syscall::Write { fd, data } => wrap(self.sys_write(pid, *fd, data), SysRet::Size),
+            Syscall::Lseek { fd, offset, whence } => {
+                wrap(self.sys_lseek(pid, *fd, *offset, *whence), SysRet::Size)
+            }
+            Syscall::Stat { path } => wrap(self.sys_stat(pid, path), SysRet::Stat),
+            Syscall::Lstat { path } => wrap(self.sys_lstat(pid, path), SysRet::Stat),
+            Syscall::Chmod { path, mode } => {
+                wrap(self.sys_chmod(pid, path, *mode), |()| SysRet::Unit)
+            }
+            Syscall::Chown { path, uid, gid } => {
+                wrap(self.sys_chown(pid, path, *uid, *gid), |()| SysRet::Unit)
+            }
+            Syscall::Mkdir { path, mode } => {
+                wrap(self.sys_mkdir(pid, path, *mode), |()| SysRet::Unit)
+            }
+            Syscall::Unlink { path } => wrap(self.sys_unlink(pid, path), |()| SysRet::Unit),
+            Syscall::Rmdir { path } => wrap(self.sys_rmdir(pid, path), |()| SysRet::Unit),
+            Syscall::Rename { from, to } => wrap(self.sys_rename(pid, from, to), |()| SysRet::Unit),
+            Syscall::Symlink { target, linkpath } => {
+                wrap(self.sys_symlink(pid, target, linkpath), |()| SysRet::Unit)
+            }
+            Syscall::Chdir { path } => wrap(self.sys_chdir(pid, path), |()| SysRet::Unit),
+            Syscall::Readdir { path } => wrap(self.sys_readdir(pid, path), SysRet::Names),
+            Syscall::Pipe => wrap(self.sys_pipe(pid), |(r, w)| SysRet::FdPair(r, w)),
+            Syscall::Setuid { uid } => wrap(self.sys_setuid(pid, *uid), |()| SysRet::Unit),
+            Syscall::Seteuid { uid } => wrap(self.sys_seteuid(pid, *uid), |()| SysRet::Unit),
+            Syscall::Setgid { gid } => wrap(self.sys_setgid(pid, *gid), |()| SysRet::Unit),
+            Syscall::Setgroups { groups } => {
+                wrap(self.sys_setgroups(pid, groups), |()| SysRet::Unit)
+            }
+            Syscall::Getuid => wrap(self.sys_getuid(pid), SysRet::Uid),
+            Syscall::Geteuid => wrap(self.sys_geteuid(pid), SysRet::Uid),
+            Syscall::Getgid => wrap(self.sys_getgid(pid), SysRet::Gid),
+            Syscall::Ioctl { fd, cmd } => {
+                wrap(self.sys_ioctl(pid, *fd, cmd.clone()), SysRet::Ioctl)
+            }
+            Syscall::Mount {
+                source,
+                target,
+                fstype,
+                options,
+            } => wrap(self.sys_mount(pid, source, target, fstype, options), |()| {
+                SysRet::Unit
+            }),
+            Syscall::Umount { target } => wrap(self.sys_umount(pid, target), |()| SysRet::Unit),
+            Syscall::Socket {
+                domain,
+                stype,
+                protocol,
+            } => wrap(self.sys_socket(pid, *domain, *stype, *protocol), SysRet::Fd),
+            Syscall::Bind { fd, addr, port } => {
+                wrap(self.sys_bind(pid, *fd, *addr, *port), |()| SysRet::Unit)
+            }
+            Syscall::Listen { fd } => wrap(self.sys_listen(pid, *fd), |()| SysRet::Unit),
+            Syscall::Connect { fd, addr, port } => {
+                wrap(self.sys_connect(pid, *fd, *addr, *port), |()| SysRet::Unit)
+            }
+            Syscall::Accept { fd } => wrap(self.sys_accept(pid, *fd), SysRet::Fd),
+            Syscall::Send { fd, data } => wrap(self.sys_send(pid, *fd, data), SysRet::Size),
+            Syscall::Recv { fd, max } => wrap(self.sys_recv(pid, *fd, *max), SysRet::Data),
+            Syscall::RecvPacket { fd } => wrap(self.sys_recv_packet(pid, *fd), SysRet::Packet),
+            Syscall::Sendto {
+                fd,
+                addr,
+                port,
+                data,
+            } => wrap(self.sys_sendto(pid, *fd, *addr, *port, data), SysRet::Size),
+            Syscall::SendPacket { fd, pkt } => {
+                wrap(self.sys_send_packet(pid, *fd, pkt.clone()), |()| {
+                    SysRet::Unit
+                })
+            }
+            Syscall::Socketpair => wrap(self.sys_socketpair(pid), |(a, b)| SysRet::FdPair(a, b)),
+            Syscall::Netfilter { op } => {
+                wrap(self.sys_netfilter(pid, op.clone()), |()| SysRet::Unit)
+            }
+            Syscall::NetfilterList => wrap(self.sys_netfilter_list(pid), SysRet::Rules),
+            Syscall::IoctlRoute { op } => {
+                wrap(self.sys_ioctl_route(pid, op.clone()), |()| SysRet::Unit)
+            }
+            Syscall::Fork => wrap(self.sys_fork(pid), SysRet::Pid),
+            Syscall::Execve { path } => wrap(self.sys_execve(pid, path), SysRet::Path),
+            Syscall::Unshare { kind } => wrap(self.sys_unshare(pid, *kind), |()| SysRet::Unit),
+            Syscall::Exit { status } => wrap(self.sys_exit(pid, *status), |()| SysRet::Unit),
+            Syscall::Wait { child } => wrap(self.sys_wait(pid, *child), SysRet::Status),
+        }
+    }
+}

@@ -6,6 +6,7 @@ use crate::cred::{Gid, Uid};
 use crate::error::{Errno, KResult};
 use crate::kernel::Kernel;
 use crate::lsm::{FileDecision, FileOpenCtx};
+use crate::syscall::abi::Whence;
 use crate::task::{Fd, FdObject, Pid};
 use crate::trace::{AuditObject, DecisionKind, Hook};
 use crate::vfs::{Access, Ino, InodeData, Mode, ProcHook, Resolved};
@@ -328,15 +329,26 @@ impl Kernel {
         self.task_mut(pid)?.fd_install(fd)
     }
 
-    /// `lseek(2)` — absolute positioning only (SEEK_SET).
-    pub fn sys_lseek(&mut self, pid: Pid, fd: i32, offset_to: usize) -> KResult<usize> {
-        match &mut self.task_mut(pid)?.fd_mut(fd)?.object {
-            FdObject::File { offset, .. } => {
-                *offset = offset_to;
-                Ok(offset_to)
-            }
-            _ => Err(Errno::EINVAL),
+    /// `lseek(2)` — repositions the file offset relative to `whence`.
+    pub fn sys_lseek(&mut self, pid: Pid, fd: i32, offset: i64, whence: Whence) -> KResult<usize> {
+        let (ino, cur) = match &self.task(pid)?.fd(fd)?.object {
+            FdObject::File { ino, offset, .. } => (*ino, *offset),
+            _ => return Err(Errno::EINVAL),
+        };
+        let base = match whence {
+            Whence::Set => 0,
+            Whence::Cur => cur as i64,
+            Whence::End => self.vfs.inode(ino).size() as i64,
+        };
+        let new = base.checked_add(offset).ok_or(Errno::EINVAL)?;
+        if new < 0 {
+            return Err(Errno::EINVAL);
         }
+        match &mut self.task_mut(pid)?.fd_mut(fd)?.object {
+            FdObject::File { offset, .. } => *offset = new as usize,
+            _ => return Err(Errno::EINVAL),
+        }
+        Ok(new as usize)
     }
 
     /// `close(2)`.

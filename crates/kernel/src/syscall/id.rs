@@ -277,11 +277,11 @@ impl Kernel {
     }
 
     /// `setgroups(2)` — requires CAP_SETGID.
-    pub fn sys_setgroups(&mut self, pid: Pid, groups: Vec<Gid>) -> KResult<()> {
+    pub fn sys_setgroups(&mut self, pid: Pid, groups: &[Gid]) -> KResult<()> {
         if !self.capable(pid, Cap::Setgid) {
             return Err(Errno::EPERM);
         }
-        self.task_mut(pid)?.cred.groups = groups;
+        self.task_mut(pid)?.cred.groups = groups.to_vec();
         Ok(())
     }
 
@@ -373,11 +373,8 @@ mod tests {
     #[test]
     fn setgroups_requires_cap() {
         let (mut k, root, user) = boot();
-        k.sys_setgroups(root, vec![Gid(0), Gid(24)]).unwrap();
-        assert_eq!(
-            k.sys_setgroups(user, vec![Gid(24)]).unwrap_err(),
-            Errno::EPERM
-        );
+        k.sys_setgroups(root, &[Gid(0), Gid(24)]).unwrap();
+        assert_eq!(k.sys_setgroups(user, &[Gid(24)]).unwrap_err(), Errno::EPERM);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Dispatch-chain interceptors: fault injection and per-class metering.
+//!
+//! An [`Interceptor`] registered with [`crate::kernel::Kernel::push_interceptor`]
+//! sees every call that flows through [`crate::kernel::Kernel::dispatch`].
+//! `before` hooks run in registration order and may short-circuit the call
+//! with an errno; `after` hooks run in reverse order and observe the final
+//! `(pid, Syscall, SysRet)` triple — injected faults included — which is
+//! what the trace recorder and replayer consume
+//! (see [`crate::trace::TraceRecorder`]).
+
+use crate::error::Errno;
+use crate::syscall::abi::{SysRet, Syscall, SyscallClass};
+use crate::task::Pid;
+use crate::trace::Metrics;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Kernel state an interceptor may consult or update while the dispatcher
+/// holds the chain.
+pub struct SysCtx<'a> {
+    /// The kernel's logical clock at hook time.
+    pub clock: u64,
+    /// The kernel-wide metrics sink.
+    pub metrics: &'a mut Metrics,
+}
+
+/// A hook pair around every dispatched syscall.
+///
+/// Interceptors are owned by the kernel and taken out of it for the
+/// duration of a dispatch (so they cannot alias the kernel they observe);
+/// they interact with kernel state only through [`SysCtx`].
+pub trait Interceptor {
+    /// Stable name, recorded in the audit `rule` field when this
+    /// interceptor injects a fault.
+    fn name(&self) -> &'static str;
+
+    /// Runs before the kernel entry point. Returning `Some(errno)`
+    /// short-circuits the call: the entry point is never reached and the
+    /// caller sees `SysRet::Err(errno)`.
+    fn before(&mut self, _pid: Pid, _call: &Syscall, _ctx: &mut SysCtx<'_>) -> Option<Errno> {
+        None
+    }
+
+    /// Runs after the response is known (real or injected).
+    fn after(&mut self, _pid: Pid, _call: &Syscall, _ret: &SysRet, _ctx: &mut SysCtx<'_>) {}
+}
+
+/// A deterministic xorshift64 generator — the simulation must not pull in
+/// a randomness crate, and the fault stream has to be reproducible from
+/// the seed alone.
+#[derive(Clone, Debug)]
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            // xorshift has a fixed point at 0; displace it.
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+/// A scheduled one-shot fault: fail the `k`-th dispatched call of a named
+/// syscall with a chosen errno, exactly once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OneShot {
+    /// Syscall name to target (e.g. `"mount"`; see [`Syscall::name`]).
+    pub syscall: &'static str,
+    /// 1-based occurrence to fail.
+    pub k: u64,
+    /// The errno to inject.
+    pub errno: Errno,
+}
+
+/// Configuration for the [`FaultInjector`].
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// PRNG seed; the full fault stream is a function of this value and
+    /// the dispatched call sequence.
+    pub seed: u64,
+    /// Injection rate as "1 in `rate`" per eligible call; `0` disables
+    /// random injection (one-shots still fire).
+    pub rate: u64,
+    /// Classes eligible for random injection. The default deliberately
+    /// excludes [`SyscallClass::Process`] so fork/exec/exit/wait — the
+    /// harness spine — always runs; fs/net/id calls are where userland
+    /// must degrade gracefully.
+    pub classes: Vec<SyscallClass>,
+    /// Errnos drawn from (uniformly) when a random injection fires.
+    pub palette: Vec<Errno>,
+    /// Scheduled one-shot faults, checked before the random draw.
+    pub one_shots: Vec<OneShot>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0xC0FFEE,
+            rate: 0,
+            classes: vec![SyscallClass::Fs, SyscallClass::Net, SyscallClass::Id],
+            palette: vec![Errno::EINTR, Errno::ENOMEM, Errno::EACCES],
+            one_shots: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A 1-in-`rate` random-injection config with the default class set
+    /// and palette.
+    pub fn storm(seed: u64, rate: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            rate,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Adds a one-shot "fail the `k`-th `syscall`" fault.
+    pub fn with_one_shot(mut self, syscall: &'static str, k: u64, errno: Errno) -> FaultConfig {
+        self.one_shots.push(OneShot { syscall, k, errno });
+        self
+    }
+}
+
+/// Counters describing what a [`FaultInjector`] actually did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Calls inspected.
+    pub seen: u64,
+    /// Faults injected (random + one-shot).
+    pub injected: u64,
+    /// Injections keyed by syscall class name.
+    pub per_class: BTreeMap<&'static str, u64>,
+    /// Injections keyed by errno name.
+    pub per_errno: BTreeMap<&'static str, u64>,
+}
+
+/// The seeded fault injector (tentpole interceptor #1).
+///
+/// Decides per dispatched call — deterministically from the seed and the
+/// call sequence — whether to short-circuit it with an errno from the
+/// palette. One-shot faults ("fail the 2nd mount with `EBUSY`") fire
+/// before the random draw and exactly once.
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: XorShift64,
+    /// 1-based dispatch counts per syscall name, driving one-shots.
+    counts: BTreeMap<&'static str, u64>,
+    fired: Vec<bool>,
+    stats: Rc<RefCell<FaultStats>>,
+}
+
+impl FaultInjector {
+    /// Builds an injector from `config`.
+    pub fn new(config: FaultConfig) -> FaultInjector {
+        let rng = XorShift64::new(config.seed);
+        let fired = vec![false; config.one_shots.len()];
+        FaultInjector {
+            config,
+            rng,
+            counts: BTreeMap::new(),
+            fired,
+            stats: Rc::new(RefCell::new(FaultStats::default())),
+        }
+    }
+
+    /// A shared handle onto the injector's counters, usable after the
+    /// injector has been boxed into the kernel.
+    pub fn stats(&self) -> Rc<RefCell<FaultStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    fn record(&self, call: &Syscall, errno: Errno) {
+        let mut s = self.stats.borrow_mut();
+        s.injected += 1;
+        *s.per_class.entry(call.class().name()).or_insert(0) += 1;
+        *s.per_errno.entry(errno.name()).or_insert(0) += 1;
+    }
+}
+
+impl Interceptor for FaultInjector {
+    fn name(&self) -> &'static str {
+        "fault_injector"
+    }
+
+    fn before(&mut self, _pid: Pid, call: &Syscall, _ctx: &mut SysCtx<'_>) -> Option<Errno> {
+        self.stats.borrow_mut().seen += 1;
+        let n = self.counts.entry(call.name()).or_insert(0);
+        *n += 1;
+        let nth = *n;
+        for (i, shot) in self.config.one_shots.iter().enumerate() {
+            if !self.fired[i] && shot.syscall == call.name() && shot.k == nth {
+                self.fired[i] = true;
+                self.record(call, shot.errno);
+                return Some(shot.errno);
+            }
+        }
+        if self.config.rate == 0
+            || self.config.palette.is_empty()
+            || !self.config.classes.contains(&call.class())
+        {
+            return None;
+        }
+        // Getters are infallible reads; injecting there models nothing.
+        if matches!(call, Syscall::Getuid | Syscall::Geteuid | Syscall::Getgid) {
+            return None;
+        }
+        if self.rng.next().is_multiple_of(self.config.rate) {
+            let pick = (self.rng.next() % self.config.palette.len() as u64) as usize;
+            let errno = self.config.palette[pick];
+            self.record(call, errno);
+            return Some(errno);
+        }
+        None
+    }
+}
+
+/// The per-class latency/count meter (tentpole interceptor #3): folds
+/// every dispatched call into [`Metrics::observe_class`], surfacing
+/// `syscall_class_<class>` lines in `/proc/<lsm>/metrics`.
+#[derive(Debug, Default)]
+pub struct SyscallMeter {
+    /// Clock at `before` time. Dispatch never re-enters itself, so a
+    /// single pending slot suffices.
+    start: Option<u64>,
+}
+
+impl SyscallMeter {
+    /// Builds a meter.
+    pub fn new() -> SyscallMeter {
+        SyscallMeter::default()
+    }
+}
+
+impl Interceptor for SyscallMeter {
+    fn name(&self) -> &'static str {
+        "syscall_meter"
+    }
+
+    fn before(&mut self, _pid: Pid, _call: &Syscall, ctx: &mut SysCtx<'_>) -> Option<Errno> {
+        self.start = Some(ctx.clock);
+        None
+    }
+
+    fn after(&mut self, _pid: Pid, call: &Syscall, ret: &SysRet, ctx: &mut SysCtx<'_>) {
+        let start = self.start.take().unwrap_or(ctx.clock);
+        let delta = ctx.clock.saturating_sub(start);
+        ctx.metrics
+            .observe_class(call.class().name(), delta, ret.is_err());
+    }
+}

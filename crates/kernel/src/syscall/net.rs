@@ -18,6 +18,7 @@ use crate::net::{
     Domain, IcmpKind, Ipv4, Packet, PacketMeta, PortProto, Route, SockId, SockType, StreamState,
     Verdict, L4,
 };
+use crate::syscall::abi::NetfilterRule;
 use crate::task::{Fd, FdObject, Pid};
 use crate::trace::{AuditObject, DecisionKind, Hook, Provenance};
 
@@ -540,9 +541,14 @@ impl Kernel {
 
     /// Lists the OUTPUT chain (iptables -L). Readable by anyone, as rule
     /// listing discloses no secrets in this model.
-    pub fn sys_netfilter_list(&self, pid: Pid) -> KResult<Vec<crate::net::Rule>> {
+    pub fn sys_netfilter_list(&self, pid: Pid) -> KResult<Vec<NetfilterRule>> {
         self.task(pid)?;
-        Ok(self.netfilter.rules().to_vec())
+        Ok(self
+            .netfilter
+            .rules()
+            .iter()
+            .map(NetfilterRule::from)
+            .collect())
     }
 
     /// Routing-table ioctls (`SIOCADDRT` / `SIOCDELRT`).

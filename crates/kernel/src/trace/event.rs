@@ -40,6 +40,8 @@ pub enum Hook {
     Auth,
     /// Module registration and other lifecycle events.
     Lifecycle,
+    /// A dispatch-chain interceptor (fault injection, replay checking).
+    Interceptor,
 }
 
 impl Hook {
@@ -63,6 +65,7 @@ impl Hook {
             Hook::LsmConfig => "lsm_config",
             Hook::Auth => "auth",
             Hook::Lifecycle => "lifecycle",
+            Hook::Interceptor => "interceptor",
         }
     }
 }

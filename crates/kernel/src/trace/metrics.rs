@@ -87,6 +87,32 @@ impl LatencyStats {
     }
 }
 
+/// Dispatch counters for one syscall class, fed by the
+/// [`crate::syscall::SyscallMeter`] interceptor: call and error totals
+/// plus logical-clock latency over the dispatched call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Calls dispatched in this class.
+    pub calls: u64,
+    /// Calls that returned an errno (including injected faults).
+    pub errors: u64,
+    /// Logical-clock latency over the dispatched call (normally 0 in the
+    /// simulation; nonzero when a syscall advances the clock, e.g. an
+    /// authentication prompt).
+    pub latency: LatencyStats,
+}
+
+impl ClassStats {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.calls += other.calls;
+        self.errors += other.errors;
+        self.latency.samples += other.latency.samples;
+        self.latency.total += other.latency.total;
+        self.latency.max = self.latency.max.max(other.latency.max);
+    }
+}
+
 /// Kernel-wide observability counters. Updated on every emitted event,
 /// independent of the `trace` flag and of ring-buffer eviction.
 #[derive(Clone, Debug, Default)]
@@ -103,6 +129,9 @@ pub struct Metrics {
     /// dcache and the registered module's policy caches when the
     /// `/proc/<lsm>/metrics` view is rendered.
     pub caches: BTreeMap<&'static str, CacheStats>,
+    /// Per-class dispatch counters keyed by [`crate::syscall::SyscallClass`]
+    /// name, fed by the [`crate::syscall::SyscallMeter`] interceptor.
+    pub classes: BTreeMap<&'static str, ClassStats>,
     /// Total events emitted.
     pub events: u64,
 }
@@ -125,6 +154,16 @@ impl Metrics {
     /// Records a logical-clock latency observation.
     pub fn observe_latency(&mut self, pathway: &'static str, delta: u64) {
         self.latency.entry(pathway).or_default().observe(delta);
+    }
+
+    /// Folds one dispatched call into the per-class counters.
+    pub fn observe_class(&mut self, class: &'static str, delta: u64, errored: bool) {
+        let s = self.classes.entry(class).or_default();
+        s.calls += 1;
+        if errored {
+            s.errors += 1;
+        }
+        s.latency.observe(delta);
     }
 
     /// Overwrites the snapshot for cache `name`. Cache owners keep the
@@ -165,6 +204,9 @@ impl Metrics {
         for (k, v) in &other.caches {
             self.caches.entry(k).or_default().merge(v);
         }
+        for (k, v) in &other.classes {
+            self.classes.entry(k).or_default().merge(v);
+        }
     }
 
     /// Renders the `/proc/<lsm>/metrics` view: one `key value` line per
@@ -196,6 +238,14 @@ impl Metrics {
             out.push_str(&format!(
                 "cache_{} hits={} misses={} invalidations={}\n",
                 cache, c.hits, c.misses, c.invalidations
+            ));
+        }
+        // The `syscall_class_` prefix keeps class rows distinct from the
+        // per-syscall rows above ("mount" is both a class and a syscall).
+        for (class, s) in &self.classes {
+            out.push_str(&format!(
+                "syscall_class_{} calls={} errors={} clk_total={} clk_max={}\n",
+                class, s.calls, s.errors, s.latency.total, s.latency.max
             ));
         }
         out

@@ -25,10 +25,12 @@
 
 mod event;
 mod metrics;
+mod recorder;
 mod ring;
 mod sink;
 
 pub use event::{AuditEvent, AuditObject, DecisionKind, Hook, Provenance};
-pub use metrics::{CacheStats, DecisionCounters, LatencyStats, Metrics};
+pub use metrics::{CacheStats, ClassStats, DecisionCounters, LatencyStats, Metrics};
+pub use recorder::{Divergence, Trace, TraceEntry, TraceRecorder, TraceReplayer};
 pub use ring::{AuditRing, DEFAULT_RING_CAPACITY};
 pub use sink::{AuditSink, CollectingSink};

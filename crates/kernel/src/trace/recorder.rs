@@ -1,0 +1,274 @@
+//! Deterministic trace record/replay over the dispatch boundary
+//! (tentpole interceptor #2).
+//!
+//! A [`TraceRecorder`] registered on the kernel captures the full
+//! `(pid, Syscall, SysRet)` stream of a run as a [`Trace`]. Because the
+//! simulation is deterministic (seeded PRNGs, logical clock), re-running
+//! the same workload under the same seed reproduces the stream
+//! byte-identically — which a [`TraceReplayer`] verifies call by call,
+//! reporting any [`Divergence`]. This turns behavioural comparisons
+//! (e.g. the paper's §5.3 legacy-vs-Protego suite) into diffs over
+//! rendered traces.
+//!
+//! Entries store the `Debug` rendering of request and response rather
+//! than the values themselves: every argument type renders totally, the
+//! format is diff-friendly, and equality over renderings is exactly the
+//! byte-identity the replay guarantee promises.
+
+use crate::syscall::abi::{SysRet, Syscall};
+use crate::syscall::interceptor::{Interceptor, SysCtx};
+use crate::task::Pid;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One dispatched call, as recorded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Calling pid.
+    pub pid: u32,
+    /// `Debug` rendering of the [`Syscall`] request.
+    pub call: String,
+    /// `Debug` rendering of the [`SysRet`] response.
+    pub ret: String,
+}
+
+impl TraceEntry {
+    /// Builds an entry from a live triple.
+    pub fn new(pid: Pid, call: &Syscall, ret: &SysRet) -> TraceEntry {
+        TraceEntry {
+            pid: pid.0,
+            call: format!("{:?}", call),
+            ret: format!("{:?}", ret),
+        }
+    }
+
+    /// One-line serialization: `pid <tab> call <tab> ret`.
+    pub fn render(&self) -> String {
+        format!("{}\t{}\t{}", self.pid, self.call, self.ret)
+    }
+
+    /// Parses [`TraceEntry::render`] output.
+    pub fn parse(line: &str) -> Option<TraceEntry> {
+        let mut parts = line.splitn(3, '\t');
+        let pid = parts.next()?.parse().ok()?;
+        let call = parts.next()?.to_string();
+        let ret = parts.next()?.to_string();
+        Some(TraceEntry { pid, call, ret })
+    }
+}
+
+/// A recorded syscall stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Entries in dispatch order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Number of recorded calls.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Line-per-entry serialization of the whole stream.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses [`Trace::render`] output; malformed lines are an error.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            match TraceEntry::parse(line) {
+                Some(e) => entries.push(e),
+                None => return Err(format!("trace line {}: malformed: {:?}", i + 1, line)),
+            }
+        }
+        Ok(Trace { entries })
+    }
+
+    /// First index at which `self` and `other` differ, if any; compares
+    /// entry-by-entry and then length.
+    pub fn first_divergence(&self, other: &Trace) -> Option<usize> {
+        for (i, (a, b)) in self.entries.iter().zip(other.entries.iter()).enumerate() {
+            if a != b {
+                return Some(i);
+            }
+        }
+        if self.entries.len() != other.entries.len() {
+            return Some(self.entries.len().min(other.entries.len()));
+        }
+        None
+    }
+}
+
+/// Records every dispatched call into a shared [`Trace`].
+pub struct TraceRecorder {
+    trace: Rc<RefCell<Trace>>,
+}
+
+impl TraceRecorder {
+    /// Builds a recorder; hold on to [`TraceRecorder::trace`] before
+    /// boxing it into the kernel.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder {
+            trace: Rc::new(RefCell::new(Trace::default())),
+        }
+    }
+
+    /// Shared handle onto the accumulating trace.
+    pub fn trace(&self) -> Rc<RefCell<Trace>> {
+        Rc::clone(&self.trace)
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> TraceRecorder {
+        TraceRecorder::new()
+    }
+}
+
+impl Interceptor for TraceRecorder {
+    fn name(&self) -> &'static str {
+        "trace_recorder"
+    }
+
+    fn after(&mut self, pid: Pid, call: &Syscall, ret: &SysRet, _ctx: &mut SysCtx<'_>) {
+        self.trace
+            .borrow_mut()
+            .entries
+            .push(TraceEntry::new(pid, call, ret));
+    }
+}
+
+/// One replay mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Stream position (0-based).
+    pub index: usize,
+    /// What the recorded trace expected at this position, if any.
+    pub expected: Option<TraceEntry>,
+    /// What the replay actually dispatched.
+    pub actual: TraceEntry,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.expected {
+            Some(e) => write!(
+                f,
+                "entry {}: expected `{}`, got `{}`",
+                self.index,
+                e.render(),
+                self.actual.render()
+            ),
+            None => write!(
+                f,
+                "entry {}: past end of recorded trace: `{}`",
+                self.index,
+                self.actual.render()
+            ),
+        }
+    }
+}
+
+/// Verifies a live run against a recorded [`Trace`], call by call.
+pub struct TraceReplayer {
+    expected: Trace,
+    cursor: usize,
+    divergences: Rc<RefCell<Vec<Divergence>>>,
+}
+
+impl TraceReplayer {
+    /// Builds a replayer over a previously recorded trace; hold on to
+    /// [`TraceReplayer::divergences`] before boxing it into the kernel.
+    pub fn new(expected: Trace) -> TraceReplayer {
+        TraceReplayer {
+            expected,
+            cursor: 0,
+            divergences: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Shared handle onto the accumulated mismatches.
+    pub fn divergences(&self) -> Rc<RefCell<Vec<Divergence>>> {
+        Rc::clone(&self.divergences)
+    }
+}
+
+impl Interceptor for TraceReplayer {
+    fn name(&self) -> &'static str {
+        "trace_replayer"
+    }
+
+    fn after(&mut self, pid: Pid, call: &Syscall, ret: &SysRet, _ctx: &mut SysCtx<'_>) {
+        let actual = TraceEntry::new(pid, call, ret);
+        let expected = self.expected.entries.get(self.cursor).cloned();
+        if expected.as_ref() != Some(&actual) {
+            self.divergences.borrow_mut().push(Divergence {
+                index: self.cursor,
+                expected,
+                actual,
+            });
+        }
+        self.cursor += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pid: u32, call: &str, ret: &str) -> TraceEntry {
+        TraceEntry {
+            pid,
+            call: call.to_string(),
+            ret: ret.to_string(),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let t = Trace {
+            entries: vec![
+                entry(3, "Open { path: \"/etc/passwd\" }", "Fd(3)"),
+                entry(3, "Close { fd: 3 }", "Unit"),
+            ],
+        };
+        assert_eq!(Trace::parse(&t.render()).unwrap(), t);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(Trace::parse("not-a-pid\tx\ty").is_err());
+        assert!(Trace::parse("3\tmissing-ret").is_err());
+    }
+
+    #[test]
+    fn first_divergence_finds_mismatch_and_length_skew() {
+        let a = Trace {
+            entries: vec![entry(1, "Pipe", "FdPair(3, 4)")],
+        };
+        let same = a.clone();
+        assert_eq!(a.first_divergence(&same), None);
+        let mut longer = a.clone();
+        longer.entries.push(entry(1, "Close { fd: 3 }", "Unit"));
+        assert_eq!(a.first_divergence(&longer), Some(1));
+        let mut differs = a.clone();
+        differs.entries[0].ret = "FdPair(5, 6)".to_string();
+        assert_eq!(a.first_divergence(&differs), Some(0));
+    }
+}

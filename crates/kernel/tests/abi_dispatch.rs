@@ -1,0 +1,703 @@
+//! The dispatch boundary is a *total, transparent* mapping: every
+//! [`Syscall`] variant routed through [`Kernel::dispatch`] must behave
+//! exactly like the corresponding direct `sys_*` call — same return
+//! value, same state transitions, same audit stream. These tests drive a
+//! twin pair of kernels (one direct, one dispatched) through every
+//! variant, then exercise the interceptor stack: deterministic fault
+//! injection, one-shot faults, per-class metering, and trace recording.
+
+use sim_kernel::cred::{Credentials, Gid, Uid};
+use sim_kernel::error::Errno;
+use sim_kernel::kernel::Kernel;
+use sim_kernel::net::{Domain, Ipv4, Packet, SimNet, SockType};
+use sim_kernel::syscall::{
+    FaultConfig, FaultInjector, IoctlCmd, NetfilterOp, OpenFlags, RouteOp, Syscall, SyscallMeter,
+    Whence,
+};
+use sim_kernel::task::{NsKind, Pid};
+use sim_kernel::trace::TraceRecorder;
+use sim_kernel::vfs::Mode;
+
+fn boot() -> (Kernel, Pid, Pid) {
+    let mut k = Kernel::new(SimNet::new());
+    let root = k.spawn_init();
+    k.vfs.mkdir_p("/tmp").unwrap();
+    k.vfs.mkdir_p("/mnt/cdrom").unwrap();
+    let t = k.vfs.resolve(k.vfs.root(), "/tmp").unwrap().ino;
+    k.vfs.inode_mut(t).mode = Mode(0o1777);
+    k.install_standard_devices().unwrap();
+    let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
+    (k, root, user)
+}
+
+/// Runs the same logical call on the direct kernel and the dispatched
+/// kernel and asserts the observable outcome matches.
+macro_rules! same {
+    ($direct:expr, $via:expr) => {{
+        let d = $direct;
+        let v = $via;
+        assert_eq!(d, v, "direct and dispatched outcomes diverge");
+    }};
+}
+
+/// Like [`same!`], but yields the (matching) direct result.
+macro_rules! same_val {
+    ($direct:expr, $via:expr) => {{
+        let d = $direct;
+        let v = $via;
+        assert_eq!(d, v, "direct and dispatched outcomes diverge");
+        d
+    }};
+}
+
+/// Every `Syscall` variant, dispatched, behaves exactly like the direct
+/// entry point — on success paths and denial paths alike — and the two
+/// kernels end with identical audit streams.
+#[test]
+fn dispatch_is_equivalent_to_direct_for_every_variant() {
+    let (mut kd, rootd, userd) = boot();
+    let (mut kv, rootv, userv) = boot();
+    assert_eq!(rootd, rootv);
+    assert_eq!(userd, userv);
+    let (root, user) = (rootd, userd);
+
+    // ----- fs -----
+    same!(
+        kd.sys_mkdir(user, "/tmp/d", Mode(0o755)),
+        kv.dispatch(
+            user,
+            Syscall::Mkdir {
+                path: "/tmp/d".into(),
+                mode: Mode(0o755),
+            },
+        )
+        .unit()
+    );
+    let fd = same_val!(
+        kd.sys_open(user, "/tmp/d/f", OpenFlags::create_trunc(Mode(0o644))),
+        kv.dispatch(
+            user,
+            Syscall::Open {
+                path: "/tmp/d/f".into(),
+                flags: OpenFlags::create_trunc(Mode(0o644)),
+            },
+        )
+        .fd()
+    )
+    .unwrap();
+    same!(
+        kd.sys_write(user, fd, b"hello, abi"),
+        kv.dispatch(
+            user,
+            Syscall::Write {
+                fd,
+                data: b"hello, abi".to_vec(),
+            },
+        )
+        .size()
+    );
+    for (offset, whence) in [(0, Whence::Set), (-4, Whence::Cur), (-10, Whence::End)] {
+        same!(
+            kd.sys_lseek(user, fd, offset, whence),
+            kv.dispatch(user, Syscall::Lseek { fd, offset, whence })
+                .size()
+        );
+    }
+    {
+        let mut buf = Vec::new();
+        let dn = kd.sys_read(user, fd, &mut buf, 5);
+        let vr = kv.dispatch(user, Syscall::Read { fd, count: 5 }).data();
+        assert_eq!(dn.map(|_| buf), vr);
+    }
+    same!(
+        kd.sys_stat(user, "/tmp/d/f"),
+        kv.dispatch(
+            user,
+            Syscall::Stat {
+                path: "/tmp/d/f".into(),
+            },
+        )
+        .stat()
+    );
+    same!(
+        kd.sys_symlink(user, "/tmp/d/f", "/tmp/d/l"),
+        kv.dispatch(
+            user,
+            Syscall::Symlink {
+                target: "/tmp/d/f".into(),
+                linkpath: "/tmp/d/l".into(),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_lstat(user, "/tmp/d/l"),
+        kv.dispatch(
+            user,
+            Syscall::Lstat {
+                path: "/tmp/d/l".into(),
+            },
+        )
+        .stat()
+    );
+    same!(
+        kd.sys_chmod(user, "/tmp/d/f", Mode(0o600)),
+        kv.dispatch(
+            user,
+            Syscall::Chmod {
+                path: "/tmp/d/f".into(),
+                mode: Mode(0o600),
+            },
+        )
+        .unit()
+    );
+    // chown: denied for the user, permitted for root — both paths.
+    same!(
+        kd.sys_chown(user, "/tmp/d/f", Some(Uid::ROOT), None),
+        kv.dispatch(
+            user,
+            Syscall::Chown {
+                path: "/tmp/d/f".into(),
+                uid: Some(Uid::ROOT),
+                gid: None,
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_chown(root, "/tmp/d/f", None, Some(Gid(1000))),
+        kv.dispatch(
+            root,
+            Syscall::Chown {
+                path: "/tmp/d/f".into(),
+                uid: None,
+                gid: Some(Gid(1000)),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_readdir(user, "/tmp/d"),
+        kv.dispatch(
+            user,
+            Syscall::Readdir {
+                path: "/tmp/d".into(),
+            },
+        )
+        .names()
+    );
+    same!(
+        kd.sys_rename(user, "/tmp/d/f", "/tmp/d/g"),
+        kv.dispatch(
+            user,
+            Syscall::Rename {
+                from: "/tmp/d/f".into(),
+                to: "/tmp/d/g".into(),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_chdir(user, "/tmp/d"),
+        kv.dispatch(
+            user,
+            Syscall::Chdir {
+                path: "/tmp/d".into(),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_close(user, fd),
+        kv.dispatch(user, Syscall::Close { fd }).unit()
+    );
+    same!(
+        kd.sys_unlink(user, "/tmp/d/g"),
+        kv.dispatch(
+            user,
+            Syscall::Unlink {
+                path: "/tmp/d/g".into(),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_unlink(user, "/tmp/d/l"),
+        kv.dispatch(
+            user,
+            Syscall::Unlink {
+                path: "/tmp/d/l".into(),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_chdir(user, "/"),
+        kv.dispatch(user, Syscall::Chdir { path: "/".into() })
+            .unit()
+    );
+    same!(
+        kd.sys_rmdir(user, "/tmp/d"),
+        kv.dispatch(
+            user,
+            Syscall::Rmdir {
+                path: "/tmp/d".into(),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_pipe(user),
+        kv.dispatch(user, Syscall::Pipe).fd_pair()
+    );
+
+    // ----- id -----
+    same!(
+        kd.sys_setuid(user, Uid::ROOT),
+        kv.dispatch(user, Syscall::Setuid { uid: Uid::ROOT }).unit()
+    );
+    same!(
+        kd.sys_seteuid(user, Uid(1000)),
+        kv.dispatch(user, Syscall::Seteuid { uid: Uid(1000) })
+            .unit()
+    );
+    same!(
+        kd.sys_setgid(user, Gid(1000)),
+        kv.dispatch(user, Syscall::Setgid { gid: Gid(1000) }).unit()
+    );
+    same!(
+        kd.sys_setgroups(root, &[Gid(0), Gid(24)]),
+        kv.dispatch(
+            root,
+            Syscall::Setgroups {
+                groups: vec![Gid(0), Gid(24)],
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_getuid(user),
+        kv.dispatch(user, Syscall::Getuid).uid()
+    );
+    same!(
+        kd.sys_geteuid(user),
+        kv.dispatch(user, Syscall::Geteuid).uid()
+    );
+    same!(
+        kd.sys_getgid(user),
+        kv.dispatch(user, Syscall::Getgid).gid()
+    );
+
+    // ----- ioctl -----
+    same!(
+        kd.sys_ioctl(user, 99, IoctlCmd::Eject),
+        kv.dispatch(
+            user,
+            Syscall::Ioctl {
+                fd: 99,
+                cmd: IoctlCmd::Eject,
+            },
+        )
+        .ioctl()
+    );
+
+    // ----- mount -----
+    same!(
+        kd.sys_mount(root, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro"),
+        kv.dispatch(
+            root,
+            Syscall::Mount {
+                source: "/dev/cdrom".into(),
+                target: "/mnt/cdrom".into(),
+                fstype: "iso9660".into(),
+                options: "ro".into(),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_umount(root, "/mnt/cdrom"),
+        kv.dispatch(
+            root,
+            Syscall::Umount {
+                target: "/mnt/cdrom".into(),
+            },
+        )
+        .unit()
+    );
+
+    // ----- net -----
+    let sock = same_val!(
+        kd.sys_socket(user, Domain::Inet, SockType::Dgram, 17),
+        kv.dispatch(
+            user,
+            Syscall::Socket {
+                domain: Domain::Inet,
+                stype: SockType::Dgram,
+                protocol: 17,
+            },
+        )
+        .fd()
+    )
+    .unwrap();
+    same!(
+        kd.sys_bind(user, sock, Ipv4::ANY, 5353),
+        kv.dispatch(
+            user,
+            Syscall::Bind {
+                fd: sock,
+                addr: Ipv4::ANY,
+                port: 5353,
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_listen(user, sock),
+        kv.dispatch(user, Syscall::Listen { fd: sock }).unit()
+    );
+    same!(
+        kd.sys_accept(user, sock),
+        kv.dispatch(user, Syscall::Accept { fd: sock }).fd()
+    );
+    same!(
+        kd.sys_connect(user, sock, Ipv4::LOOPBACK, 9),
+        kv.dispatch(
+            user,
+            Syscall::Connect {
+                fd: sock,
+                addr: Ipv4::LOOPBACK,
+                port: 9,
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_send(user, sock, b"ping"),
+        kv.dispatch(
+            user,
+            Syscall::Send {
+                fd: sock,
+                data: b"ping".to_vec(),
+            },
+        )
+        .size()
+    );
+    same!(
+        kd.sys_sendto(user, sock, Ipv4::LOOPBACK, 9, b"dgram"),
+        kv.dispatch(
+            user,
+            Syscall::Sendto {
+                fd: sock,
+                addr: Ipv4::LOOPBACK,
+                port: 9,
+                data: b"dgram".to_vec(),
+            },
+        )
+        .size()
+    );
+    same!(
+        kd.sys_recv(user, sock, 64),
+        kv.dispatch(user, Syscall::Recv { fd: sock, max: 64 })
+            .data()
+    );
+    same!(
+        kd.sys_recv_packet(user, sock),
+        kv.dispatch(user, Syscall::RecvPacket { fd: sock }).packet()
+    );
+    let probe = Packet::echo_request(Ipv4::LOOPBACK, Ipv4::LOOPBACK, 1, 1, Uid(1000));
+    same!(
+        kd.sys_send_packet(user, sock, probe.clone()),
+        kv.dispatch(
+            user,
+            Syscall::SendPacket {
+                fd: sock,
+                pkt: probe.clone(),
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_socketpair(user),
+        kv.dispatch(user, Syscall::Socketpair).fd_pair()
+    );
+    same!(
+        kd.sys_netfilter(root, NetfilterOp::Flush),
+        kv.dispatch(
+            root,
+            Syscall::Netfilter {
+                op: NetfilterOp::Flush,
+            },
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_netfilter_list(user),
+        kv.dispatch(user, Syscall::NetfilterList).rules()
+    );
+    same!(
+        kd.sys_ioctl_route(
+            root,
+            RouteOp::Del {
+                dest: Ipv4::ANY,
+                prefix: 0,
+            },
+        ),
+        kv.dispatch(
+            root,
+            Syscall::IoctlRoute {
+                op: RouteOp::Del {
+                    dest: Ipv4::ANY,
+                    prefix: 0,
+                },
+            },
+        )
+        .unit()
+    );
+
+    // ----- process -----
+    let child = same_val!(kd.sys_fork(user), kv.dispatch(user, Syscall::Fork).pid()).unwrap();
+    same!(
+        kd.sys_execve(child, "/bin/true"),
+        kv.dispatch(
+            child,
+            Syscall::Execve {
+                path: "/bin/true".into(),
+            },
+        )
+        .path()
+    );
+    same!(
+        kd.sys_unshare(child, NsKind::Mount),
+        kv.dispatch(
+            child,
+            Syscall::Unshare {
+                kind: NsKind::Mount
+            }
+        )
+        .unit()
+    );
+    same!(
+        kd.sys_exit(child, 7),
+        kv.dispatch(child, Syscall::Exit { status: 7 }).unit()
+    );
+    same!(
+        kd.sys_wait(user, child),
+        kv.dispatch(user, Syscall::Wait { child }).status()
+    );
+
+    // The two kernels must have produced identical audit streams.
+    let direct: Vec<String> = kd.audit.iter().map(|e| e.render()).collect();
+    let via: Vec<String> = kv.audit.iter().map(|e| e.render()).collect();
+    assert_eq!(
+        direct, via,
+        "audit streams diverge between direct and dispatched runs"
+    );
+    assert_eq!(kd.audit.next_seq(), kv.audit.next_seq());
+}
+
+/// Same seed + same call sequence → byte-identical injection pattern;
+/// different seed → (almost surely) a different one.
+#[test]
+fn fault_injection_is_deterministic_under_a_fixed_seed() {
+    let run = |seed: u64| -> Vec<bool> {
+        let (mut k, _root, user) = boot();
+        let inj = FaultInjector::new(FaultConfig::storm(seed, 10));
+        let stats = inj.stats();
+        k.push_interceptor(Box::new(inj));
+        let pattern: Vec<bool> = (0..400)
+            .map(|_| {
+                k.dispatch(
+                    user,
+                    Syscall::Stat {
+                        path: "/tmp".into(),
+                    },
+                )
+                .is_err()
+            })
+            .collect();
+        let s = stats.borrow();
+        assert_eq!(s.seen, 400);
+        assert!(s.injected > 0, "a 1-in-10 storm over 400 calls must fire");
+        assert_eq!(s.injected, pattern.iter().filter(|&&b| b).count() as u64);
+        pattern
+    };
+    let a = run(42);
+    let b = run(42);
+    let c = run(43);
+    assert_eq!(a, b, "same seed must reproduce the same fault pattern");
+    assert_ne!(a, c, "different seeds should perturb the fault pattern");
+}
+
+/// An injected fault is observable on the audit stream, attributed to
+/// the interceptor, and never touches the credential getters.
+#[test]
+fn injected_faults_are_audited_and_getters_are_exempt() {
+    let (mut k, _root, user) = boot();
+    // rate 1 = inject on every eligible call.
+    k.push_interceptor(Box::new(FaultInjector::new(FaultConfig::storm(7, 1))));
+    let ret = k.dispatch(
+        user,
+        Syscall::Stat {
+            path: "/tmp".into(),
+        },
+    );
+    assert!(ret.is_err(), "rate-1 storm must fail the first fs call");
+    let last = k.audit.last().expect("injection emits an audit event");
+    assert!(
+        last.contains("injected") && last.contains("fault_injector"),
+        "audit event should attribute the fault: {}",
+        last.render()
+    );
+    // Credential getters are exempt even at rate 1 — a vulnerable binary
+    // must always be able to ask who it is.
+    assert!(k.dispatch(user, Syscall::Getuid).uid().is_ok());
+    assert!(k.dispatch(user, Syscall::Geteuid).uid().is_ok());
+    assert!(k.dispatch(user, Syscall::Getgid).gid().is_ok());
+}
+
+/// The one-shot plan fails exactly the k-th occurrence of the named
+/// syscall — here, the second mount — and nothing else.
+#[test]
+fn one_shot_fails_exactly_the_kth_mount() {
+    let (mut k, root, _user) = boot();
+    k.push_interceptor(Box::new(FaultInjector::new(
+        FaultConfig::default().with_one_shot("mount", 2, Errno::EIO),
+    )));
+    let mount = |k: &mut Kernel| {
+        k.dispatch(
+            root,
+            Syscall::Mount {
+                source: "/dev/cdrom".into(),
+                target: "/mnt/cdrom".into(),
+                fstype: "iso9660".into(),
+                options: "ro".into(),
+            },
+        )
+        .unit()
+    };
+    let umount = |k: &mut Kernel| {
+        k.dispatch(
+            root,
+            Syscall::Umount {
+                target: "/mnt/cdrom".into(),
+            },
+        )
+        .unit()
+    };
+    assert_eq!(mount(&mut k), Ok(()), "first mount is untouched");
+    assert_eq!(umount(&mut k), Ok(()));
+    assert_eq!(
+        mount(&mut k),
+        Err(Errno::EIO),
+        "second mount takes the one-shot"
+    );
+    assert_eq!(mount(&mut k), Ok(()), "third mount is untouched again");
+    assert_eq!(umount(&mut k), Ok(()));
+}
+
+/// The meter feeds per-class counters into the kernel metrics registry,
+/// which renders them as `syscall_class_*` lines.
+#[test]
+fn meter_renders_per_class_metrics_lines() {
+    let (mut k, root, user) = boot();
+    k.push_interceptor(Box::new(SyscallMeter::new()));
+    let _ = k.dispatch(
+        user,
+        Syscall::Stat {
+            path: "/tmp".into(),
+        },
+    );
+    let _ = k.dispatch(user, Syscall::Getuid);
+    let _ = k.dispatch(
+        root,
+        Syscall::Mount {
+            source: "/dev/cdrom".into(),
+            target: "/mnt/cdrom".into(),
+            fstype: "iso9660".into(),
+            options: "ro".into(),
+        },
+    );
+    let _ = k.dispatch(
+        user,
+        Syscall::Stat {
+            path: "/nope".into(),
+        },
+    );
+    let rendered = k.metrics.render();
+    assert!(
+        rendered.contains("syscall_class_fs calls=2 errors=1"),
+        "fs class line missing or wrong: {}",
+        rendered
+    );
+    assert!(
+        rendered.contains("syscall_class_id calls=1"),
+        "{}",
+        rendered
+    );
+    assert!(
+        rendered.contains("syscall_class_mount calls=1"),
+        "{}",
+        rendered
+    );
+}
+
+/// A recorder attached to a run captures the full (pid, call, ret)
+/// stream; a second identical run replays it byte-for-byte.
+#[test]
+fn recorded_trace_replays_byte_identically() {
+    let drive = |k: &mut Kernel, user: Pid| {
+        let _ = k.dispatch(
+            user,
+            Syscall::Mkdir {
+                path: "/tmp/t".into(),
+                mode: Mode(0o755),
+            },
+        );
+        let fd = k
+            .dispatch(
+                user,
+                Syscall::Open {
+                    path: "/tmp/t/x".into(),
+                    flags: OpenFlags::create_trunc(Mode(0o644)),
+                },
+            )
+            .fd()
+            .unwrap();
+        let _ = k.dispatch(
+            user,
+            Syscall::Write {
+                fd,
+                data: b"trace me".to_vec(),
+            },
+        );
+        let _ = k.dispatch(user, Syscall::Close { fd });
+        let _ = k.dispatch(user, Syscall::Getuid);
+        let _ = k.dispatch(
+            user,
+            Syscall::Stat {
+                path: "/tmp/t/x".into(),
+            },
+        );
+    };
+
+    let (mut k1, _r1, u1) = boot();
+    let rec = TraceRecorder::new();
+    let trace1 = rec.trace();
+    k1.push_interceptor(Box::new(rec));
+    drive(&mut k1, u1);
+    let rendered = trace1.borrow().render();
+    assert!(!trace1.borrow().is_empty());
+
+    // Re-run from scratch: identical bytes.
+    let (mut k2, _r2, u2) = boot();
+    let rec2 = TraceRecorder::new();
+    let trace2 = rec2.trace();
+    k2.push_interceptor(Box::new(rec2));
+    drive(&mut k2, u2);
+    assert_eq!(rendered, trace2.borrow().render());
+
+    // And the serialized form round-trips.
+    let parsed = sim_kernel::trace::Trace::parse(&rendered).unwrap();
+    assert_eq!(parsed.first_divergence(&trace2.borrow()), None);
+}

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use sim_kernel::cred::{Credentials, Gid, Uid};
 use sim_kernel::kernel::Kernel;
 use sim_kernel::net::SimNet;
-use sim_kernel::syscall::OpenFlags;
+use sim_kernel::syscall::{OpenFlags, Whence};
 use sim_kernel::task::Pid;
 use sim_kernel::vfs::Mode;
 
@@ -72,7 +72,7 @@ proptest! {
                     let _ = k.sys_read(user, fd, &mut buf, 16);
                 }
                 Op::Write(fd) => { let _ = k.sys_write(user, fd, b"xyz"); }
-                Op::Lseek(fd, o) => { let _ = k.sys_lseek(user, fd, o); }
+                Op::Lseek(fd, o) => { let _ = k.sys_lseek(user, fd, o as i64, Whence::Set); }
                 Op::Unlink(n) => { let _ = k.sys_unlink(user, &format!("/tmp/f{}", n)); }
                 Op::Mkdir(n) => { let _ = k.sys_mkdir(user, &format!("/tmp/d{}", n), Mode(0o755)); }
                 Op::Fork => {
@@ -149,6 +149,150 @@ proptest! {
             prop_assert!(port >= 32768);
             prop_assert!(seen.insert(port), "duplicate ephemeral port");
         }
+    }
+    /// Dispatching a random operation sequence through the typed ABI is
+    /// observably identical to calling the `sys_*` entry points directly:
+    /// same per-call results, same final audit stream.
+    #[test]
+    fn dispatch_equivalent_to_direct_on_random_sequences(
+        ops in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        use sim_kernel::syscall::Syscall;
+        let (mut kd, _rootd, user) = boot();
+        let (mut kv, _rootv, userv) = boot();
+        prop_assert_eq!(user, userv);
+        for op in ops {
+            let (d, v) = match op {
+                Op::Open(n, w) => {
+                    let flags = if w {
+                        OpenFlags::create_trunc(Mode(0o600))
+                    } else {
+                        OpenFlags::read_only()
+                    };
+                    let path = format!("/tmp/f{}", n);
+                    (
+                        format!("{:?}", kd.sys_open(user, &path, flags)),
+                        format!("{:?}", kv.dispatch(user, Syscall::Open { path, flags }).fd()),
+                    )
+                }
+                Op::Close(fd) => (
+                    format!("{:?}", kd.sys_close(user, fd)),
+                    format!("{:?}", kv.dispatch(user, Syscall::Close { fd }).unit()),
+                ),
+                Op::Read(fd) => {
+                    let mut buf = Vec::new();
+                    let dn = kd.sys_read(user, fd, &mut buf, 16);
+                    (
+                        format!("{:?}", dn.map(|_| buf)),
+                        format!("{:?}", kv.dispatch(user, Syscall::Read { fd, count: 16 }).data()),
+                    )
+                }
+                Op::Write(fd) => (
+                    format!("{:?}", kd.sys_write(user, fd, b"xyz")),
+                    format!(
+                        "{:?}",
+                        kv.dispatch(user, Syscall::Write { fd, data: b"xyz".to_vec() }).size()
+                    ),
+                ),
+                Op::Lseek(fd, o) => (
+                    format!("{:?}", kd.sys_lseek(user, fd, o as i64, Whence::Set)),
+                    format!(
+                        "{:?}",
+                        kv.dispatch(
+                            user,
+                            Syscall::Lseek { fd, offset: o as i64, whence: Whence::Set },
+                        )
+                        .size()
+                    ),
+                ),
+                Op::Unlink(n) => {
+                    let path = format!("/tmp/f{}", n);
+                    (
+                        format!("{:?}", kd.sys_unlink(user, &path)),
+                        format!("{:?}", kv.dispatch(user, Syscall::Unlink { path }).unit()),
+                    )
+                }
+                Op::Mkdir(n) => {
+                    let path = format!("/tmp/d{}", n);
+                    (
+                        format!("{:?}", kd.sys_mkdir(user, &path, Mode(0o755))),
+                        format!(
+                            "{:?}",
+                            kv.dispatch(user, Syscall::Mkdir { path, mode: Mode(0o755) }).unit()
+                        ),
+                    )
+                }
+                Op::Fork => (
+                    format!("{:?}", kd.sys_fork(user)),
+                    format!("{:?}", kv.dispatch(user, Syscall::Fork).pid()),
+                ),
+                Op::Pipe => (
+                    format!("{:?}", kd.sys_pipe(user)),
+                    format!("{:?}", kv.dispatch(user, Syscall::Pipe).fd_pair()),
+                ),
+            };
+            prop_assert_eq!(d, v);
+        }
+        let direct: Vec<String> = kd.audit.iter().map(|e| e.render()).collect();
+        let via: Vec<String> = kv.audit.iter().map(|e| e.render()).collect();
+        prop_assert_eq!(direct, via);
+    }
+
+    /// Any random operation sequence under an aggressive errno storm is
+    /// total (no panics) and leaves DAC intact: injected faults may fail
+    /// calls, but never grant anything.
+    #[test]
+    fn errno_storm_never_panics_or_corrupts_dac(
+        ops in prop::collection::vec(op_strategy(), 0..40),
+        seed in any::<u64>(),
+    ) {
+        use sim_kernel::syscall::{FaultConfig, FaultInjector, Syscall};
+        let (mut k, root, user) = boot();
+        k.push_interceptor(Box::new(FaultInjector::new(FaultConfig::storm(seed, 3))));
+        for op in ops {
+            match op {
+                Op::Open(n, w) => {
+                    let flags = if w {
+                        OpenFlags::create_trunc(Mode(0o600))
+                    } else {
+                        OpenFlags::read_only()
+                    };
+                    let _ = k.dispatch(user, Syscall::Open { path: format!("/tmp/f{}", n), flags });
+                }
+                Op::Close(fd) => { let _ = k.dispatch(user, Syscall::Close { fd }); }
+                Op::Read(fd) => { let _ = k.dispatch(user, Syscall::Read { fd, count: 16 }); }
+                Op::Write(fd) => {
+                    let _ = k.dispatch(user, Syscall::Write { fd, data: b"xyz".to_vec() });
+                }
+                Op::Lseek(fd, o) => {
+                    let _ = k.dispatch(
+                        user,
+                        Syscall::Lseek { fd, offset: o as i64, whence: Whence::Set },
+                    );
+                }
+                Op::Unlink(n) => {
+                    let _ = k.dispatch(user, Syscall::Unlink { path: format!("/tmp/f{}", n) });
+                }
+                Op::Mkdir(n) => {
+                    let _ = k.dispatch(
+                        user,
+                        Syscall::Mkdir { path: format!("/tmp/d{}", n), mode: Mode(0o755) },
+                    );
+                }
+                Op::Fork => {
+                    if let Ok(c) = k.dispatch(user, Syscall::Fork).pid() {
+                        let _ = k.dispatch(c, Syscall::Exit { status: 0 });
+                        let _ = k.dispatch(user, Syscall::Wait { child: c });
+                    }
+                }
+                Op::Pipe => { let _ = k.dispatch(user, Syscall::Pipe); }
+            }
+        }
+        // DAC survives the storm: root's private file stays private.
+        k.clear_interceptors();
+        k.write_file(root, "/tmp/rootfile", b"secret", Mode(0o600)).unwrap();
+        prop_assert!(k.read_file(user, "/tmp/rootfile").is_err());
+        prop_assert!(k.read_file(root, "/tmp/rootfile").is_ok());
     }
 }
 

@@ -63,11 +63,7 @@ pub fn tcptraceroute_main(p: &mut Proc<'_>) -> i32 {
             return 2;
         }
     };
-    let fd = match p
-        .sys
-        .kernel
-        .sys_socket(p.pid, Domain::Inet, SockType::Raw, 6)
-    {
+    let fd = match p.os().socket(Domain::Inet, SockType::Raw, 6) {
         Ok(fd) => fd,
         Err(e) => {
             p.cov("socket_fail");
@@ -76,7 +72,7 @@ pub fn tcptraceroute_main(p: &mut Proc<'_>) -> i32 {
     };
     if p.sys.mode == SystemMode::Legacy && p.euid().is_root() && !p.ruid().is_root() {
         let ruid = p.ruid();
-        let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+        let _ = p.os().setuid(ruid);
     }
     let src = p
         .sys
@@ -100,13 +96,13 @@ pub fn tcptraceroute_main(p: &mut Proc<'_>) -> i32 {
             from_raw_socket: true,
             sender_uid: p.euid(),
         };
-        if let Err(e) = p.sys.kernel.sys_send_packet(p.pid, fd, probe) {
+        if let Err(e) = p.os().send_packet(fd, probe) {
             // On a default Protego policy the raw-TCP probe is filtered;
             // the admin must refine the whitelist (§5.4).
             p.cov("probe_blocked");
             return fail(p, "tcptraceroute", "probe filtered by policy", e);
         }
-        match p.sys.kernel.sys_recv_packet(p.pid, fd) {
+        match p.os().recv_packet(fd) {
             Ok(reply) => match reply.l4 {
                 L4::Icmp(IcmpKind::TimeExceeded) => {
                     p.cov("hop");
@@ -211,11 +207,7 @@ pub fn ecryptfs_main(p: &mut Proc<'_>) -> i32 {
             Errno::EPERM,
         );
     }
-    match p
-        .sys
-        .kernel
-        .sys_mount(p.pid, "ecryptfs", &target, "fuse", "rw")
-    {
+    match p.os().mount("ecryptfs", &target, "fuse", "rw") {
         Ok(()) => {
             p.cov("mount_ok");
             p.println(&format!("ecryptfs mounted on {}", target));

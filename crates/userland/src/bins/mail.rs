@@ -63,22 +63,18 @@ pub fn catalog() -> Vec<CatalogItem> {
 }
 
 fn bind_service(p: &mut Proc<'_>, prog: &str, port: u16, drop_to: u32) -> Result<i32, i32> {
-    let fd = match p
-        .sys
-        .kernel
-        .sys_socket(p.pid, Domain::Inet, SockType::Stream, 0)
-    {
+    let fd = match p.os().socket(Domain::Inet, SockType::Stream, 0) {
         Ok(fd) => fd,
         Err(e) => return Err(fail(p, prog, "socket", e)),
     };
-    match p.sys.kernel.sys_bind(p.pid, fd, Ipv4::ANY, port) {
+    match p.os().bind(fd, Ipv4::ANY, port) {
         Ok(()) => p.cov("bind_ok"),
         Err(e) => {
             p.cov("bind_fail");
             return Err(fail(p, prog, &format!("bind {}", port), e));
         }
     }
-    if let Err(e) = p.sys.kernel.sys_listen(p.pid, fd) {
+    if let Err(e) = p.os().listen(fd) {
         return Err(fail(p, prog, "listen", e));
     }
     // Legacy etiquette: drop the *effective* uid after the privileged
@@ -87,7 +83,7 @@ fn bind_service(p: &mut Proc<'_>, prog: &str, port: u16, drop_to: u32) -> Result
     // privilege is exactly the risk Protego removes.
     if p.sys.mode == SystemMode::Legacy && p.euid().is_root() {
         p.cov("drop_priv");
-        let _ = p.sys.kernel.sys_seteuid(p.pid, Uid(drop_to));
+        let _ = p.os().seteuid(Uid(drop_to));
     }
     p.println(&format!("{}: listening on port {} (fd {})", prog, port, fd));
     Ok(fd)
@@ -127,15 +123,11 @@ pub fn httpd_main(p: &mut Proc<'_>) -> i32 {
 /// tries to become the mail server (§4.1.3's threat).
 pub fn rogue_main(p: &mut Proc<'_>) -> i32 {
     p.cov("start");
-    let fd = match p
-        .sys
-        .kernel
-        .sys_socket(p.pid, Domain::Inet, SockType::Stream, 0)
-    {
+    let fd = match p.os().socket(Domain::Inet, SockType::Stream, 0) {
         Ok(fd) => fd,
         Err(e) => return fail(p, "rogue-mta", "socket", e),
     };
-    match p.sys.kernel.sys_bind(p.pid, fd, Ipv4::ANY, 25) {
+    match p.os().bind(fd, Ipv4::ANY, 25) {
         Ok(()) => {
             p.cov("bind_ok");
             p.println("rogue-mta: captured port 25!");
@@ -155,21 +147,20 @@ pub fn rogue_main(p: &mut Proc<'_>) -> i32 {
 /// Handles one SMTP connection on the exim daemon task: accepts, reads
 /// `MAIL TO:<user>\n<body>`, delivers, replies `250 OK`.
 pub fn exim_serve_one(sys: &mut System, server: Pid, listen_fd: i32) -> KResult<String> {
-    let conn = sys.kernel.sys_accept(server, listen_fd)?;
-    let req = sys.kernel.sys_recv(server, conn, 65536)?;
+    let conn = sys.process(server).accept(listen_fd)?;
+    let req = sys.process(server).recv(conn, 65536)?;
     let text = String::from_utf8_lossy(&req).to_string();
     let reply = match deliver(sys, server, &text) {
         Ok(log) => {
-            sys.kernel.sys_send(server, conn, b"250 OK\r\n")?;
+            sys.process(server).send(conn, b"250 OK\r\n")?;
             log
         }
         Err(e) => {
-            sys.kernel
-                .sys_send(server, conn, b"451 delivery failed\r\n")?;
+            sys.process(server).send(conn, b"451 delivery failed\r\n")?;
             format!("delivery failed: {}", e)
         }
     };
-    sys.kernel.sys_close(server, conn)?;
+    sys.process(server).close(conn)?;
     Ok(reply)
 }
 
@@ -197,11 +188,11 @@ fn deliver(sys: &mut System, server: Pid, text: &str) -> KResult<String> {
             .map(|t| t.cred.suid.is_root() && !t.cred.euid.is_root())
             .unwrap_or(false);
     if legacy_raise {
-        sys.kernel.sys_seteuid(server, Uid::ROOT)?;
+        sys.process(server).seteuid(Uid::ROOT)?;
     }
 
     let forward_path = format!("/home/{}/.forward", rcpt);
-    let target = match sys.kernel.read_to_string(server, &forward_path) {
+    let target = match sys.process(server).read_to_string(&forward_path) {
         Ok(fwd) => {
             sys.coverage.hit("/usr/sbin/exim4", "forward_used");
             let t = fwd.trim().to_string();
@@ -227,7 +218,7 @@ fn deliver(sys: &mut System, server: Pid, text: &str) -> KResult<String> {
         Err(_) => format!("/var/mail/{}", rcpt),
     };
     let line = format!("From MTA: to {}\n{}\n\n", rcpt, body);
-    let result = match sys.kernel.append_file(server, &target, line.as_bytes()) {
+    let result = match sys.process(server).append_file(&target, line.as_bytes()) {
         Ok(()) => Ok(format!("delivered to {}", target)),
         Err(e) => {
             sys.coverage.hit("/usr/sbin/exim4", "deliver_fail");
@@ -235,7 +226,7 @@ fn deliver(sys: &mut System, server: Pid, text: &str) -> KResult<String> {
         }
     };
     if legacy_raise {
-        let _ = sys.kernel.sys_seteuid(server, Uid(MAIL_UID));
+        let _ = sys.process(server).seteuid(Uid(MAIL_UID));
     }
     result
 }
@@ -251,43 +242,42 @@ pub fn smtp_send(
     body: &str,
 ) -> KResult<String> {
     let cli = sys
-        .kernel
-        .sys_socket(session, Domain::Inet, SockType::Stream, 0)?;
-    sys.kernel.sys_connect(session, cli, Ipv4::LOOPBACK, 25)?;
+        .process(session)
+        .socket(Domain::Inet, SockType::Stream, 0)?;
+    sys.process(session).connect(cli, Ipv4::LOOPBACK, 25)?;
     let msg = format!("MAIL TO:<{}>\n{}", rcpt, body);
-    sys.kernel.sys_send(session, cli, msg.as_bytes())?;
+    sys.process(session).send(cli, msg.as_bytes())?;
     exim_serve_one(sys, server, listen_fd)?;
-    let reply = sys.kernel.sys_recv(session, cli, 1024)?;
-    sys.kernel.sys_close(session, cli)?;
+    let reply = sys.process(session).recv(cli, 1024)?;
+    sys.process(session).close(cli)?;
     Ok(String::from_utf8_lossy(&reply).to_string())
 }
 
 /// Handles one HTTP connection on the httpd task: accepts, reads the
 /// request, sends a fixed page.
 pub fn httpd_serve_one(sys: &mut System, server: Pid, listen_fd: i32) -> KResult<()> {
-    let conn = sys.kernel.sys_accept(server, listen_fd)?;
-    let _req = sys.kernel.sys_recv(server, conn, 65536)?;
+    let conn = sys.process(server).accept(listen_fd)?;
+    let _req = sys.process(server).recv(conn, 65536)?;
     let body = "<html><body>It works!</body></html>";
     let resp = format!(
         "HTTP/1.0 200 OK\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     );
-    sys.kernel.sys_send(server, conn, resp.as_bytes())?;
-    sys.kernel.sys_close(server, conn)
+    sys.process(server).send(conn, resp.as_bytes())?;
+    sys.process(server).close(conn)
 }
 
 /// One client HTTP request against the local httpd; returns the response.
 pub fn http_get(sys: &mut System, session: Pid, server: Pid, listen_fd: i32) -> KResult<String> {
     let cli = sys
-        .kernel
-        .sys_socket(session, Domain::Inet, SockType::Stream, 0)?;
-    sys.kernel.sys_connect(session, cli, Ipv4::LOOPBACK, 80)?;
-    sys.kernel
-        .sys_send(session, cli, b"GET / HTTP/1.0\r\n\r\n")?;
+        .process(session)
+        .socket(Domain::Inet, SockType::Stream, 0)?;
+    sys.process(session).connect(cli, Ipv4::LOOPBACK, 80)?;
+    sys.process(session).send(cli, b"GET / HTTP/1.0\r\n\r\n")?;
     httpd_serve_one(sys, server, listen_fd)?;
-    let resp = sys.kernel.sys_recv(session, cli, 65536)?;
-    sys.kernel.sys_close(session, cli)?;
+    let resp = sys.process(session).recv(cli, 65536)?;
+    sys.process(session).close(cli)?;
     Ok(String::from_utf8_lossy(&resp).to_string())
 }
 

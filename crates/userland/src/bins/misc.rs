@@ -91,7 +91,7 @@ pub fn dmcrypt_main(p: &mut Proc<'_>) -> i32 {
             Ok(fd) => fd,
             Err(e) => return fail(p, "dmcrypt-get-device", &mapping, e),
         };
-        match p.sys.kernel.sys_ioctl(p.pid, fd, IoctlCmd::DmStatus) {
+        match p.os().ioctl(fd, IoctlCmd::DmStatus) {
             Ok(IoctlOut::Dm(status)) => {
                 // The key material is now sitting in this process's
                 // memory — the exposure Protego eliminates.
@@ -139,7 +139,7 @@ pub fn keysign_main(p: &mut Proc<'_>) -> i32 {
     p.cov("key_read");
     if p.sys.mode == SystemMode::Legacy && p.euid().is_root() && !p.ruid().is_root() {
         let ruid = p.ruid();
-        let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+        let _ = p.os().setuid(ruid);
     }
     let signature = sim_crypt(&key.trim().chars().take(2).collect::<String>(), &data);
     p.cov("signed");
@@ -178,8 +178,7 @@ pub fn xorg_main(p: &mut Proc<'_>) -> i32 {
         Ok(fd) => fd,
         Err(e) => return fail(p, "Xorg", "/dev/dri/card0", e),
     };
-    match p.sys.kernel.sys_ioctl(
-        p.pid,
+    match p.os().ioctl(
         fd,
         IoctlCmd::Kms(KmsOp::SetMode {
             width,
@@ -194,11 +193,7 @@ pub fn xorg_main(p: &mut Proc<'_>) -> i32 {
         }
     }
     if let Some(vt) = vt {
-        if let Err(e) = p
-            .sys
-            .kernel
-            .sys_ioctl(p.pid, fd, IoctlCmd::Kms(KmsOp::VtSwitch { vt }))
-        {
+        if let Err(e) = p.os().ioctl(fd, IoctlCmd::Kms(KmsOp::VtSwitch { vt })) {
             return fail(p, "Xorg", "VT switch", e);
         }
         p.cov("vt_switch");
@@ -215,14 +210,14 @@ pub fn xorg_main(p: &mut Proc<'_>) -> i32 {
 pub fn chromium_sandbox_main(p: &mut Proc<'_>) -> i32 {
     use sim_kernel::task::NsKind;
     p.cov("start");
-    if let Err(e) = p.sys.kernel.sys_unshare(p.pid, NsKind::User) {
+    if let Err(e) = p.os().unshare(NsKind::User) {
         p.cov("userns_denied");
         return fail(p, "chromium-sandbox", "user namespace", e);
     }
     p.cov("userns_ok");
     // Inside the user namespace, the sandbox builds its inner world.
     for kind in [NsKind::Mount, NsKind::Net, NsKind::Pid] {
-        if let Err(e) = p.sys.kernel.sys_unshare(p.pid, kind) {
+        if let Err(e) = p.os().unshare(kind) {
             return fail(p, "chromium-sandbox", "inner namespace", e);
         }
     }
@@ -230,7 +225,7 @@ pub fn chromium_sandbox_main(p: &mut Proc<'_>) -> i32 {
     // The legacy helper drops privilege once the namespaces exist.
     if p.sys.mode == SystemMode::Legacy && p.euid().is_root() && !p.ruid().is_root() {
         let ruid = p.ruid();
-        let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+        let _ = p.os().setuid(ruid);
     }
     p.println("chromium-sandbox: renderer isolated (user+mount+net+pid namespaces)");
     0
@@ -256,7 +251,7 @@ pub fn iptables_main(p: &mut Proc<'_>) -> i32 {
     match args.first().map(String::as_str) {
         Some("-L") => {
             p.cov("list");
-            let rules = match p.sys.kernel.sys_netfilter_list(p.pid) {
+            let rules = match p.os().netfilter_list() {
                 Ok(r) => r,
                 Err(e) => return fail(p, "iptables", "list", e),
             };
@@ -265,7 +260,7 @@ pub fn iptables_main(p: &mut Proc<'_>) -> i32 {
             }
             0
         }
-        Some("-F") => match p.sys.kernel.sys_netfilter(p.pid, NetfilterOp::Flush) {
+        Some("-F") => match p.os().netfilter(NetfilterOp::Flush) {
             Ok(()) => {
                 p.cov("flush");
                 0
@@ -304,11 +299,7 @@ pub fn iptables_main(p: &mut Proc<'_>) -> i32 {
                 spoofed: None,
                 verdict,
             };
-            match p
-                .sys
-                .kernel
-                .sys_netfilter(p.pid, NetfilterOp::InsertFront(rule))
-            {
+            match p.os().netfilter(NetfilterOp::InsertFront(rule)) {
                 Ok(()) => {
                     p.cov("append");
                     0
@@ -320,11 +311,7 @@ pub fn iptables_main(p: &mut Proc<'_>) -> i32 {
             }
         }
         Some("-D") if args.len() == 2 => {
-            match p
-                .sys
-                .kernel
-                .sys_netfilter(p.pid, NetfilterOp::DeleteByName(args[1].clone()))
-            {
+            match p.os().netfilter(NetfilterOp::DeleteByName(args[1].clone())) {
                 Ok(()) => {
                     p.cov("delete");
                     0

@@ -136,11 +136,7 @@ pub fn mount_main(p: &mut Proc<'_>) -> i32 {
         }
     }
 
-    match p
-        .sys
-        .kernel
-        .sys_mount(p.pid, &source, &target, &fstype, &options)
-    {
+    match p.os().mount(&source, &target, &fstype, &options) {
         Ok(()) => {
             p.cov("syscall_ok");
             if p.sys.mode == SystemMode::Legacy {
@@ -198,7 +194,7 @@ pub fn umount_main(p: &mut Proc<'_>) -> i32 {
             p.cov("legacy_user_check_pass");
         }
     }
-    match p.sys.kernel.sys_umount(p.pid, &target) {
+    match p.os().umount(&target) {
         Ok(()) => {
             p.cov("syscall_ok");
             p.println(&format!("unmounted {}", target));
@@ -227,13 +223,13 @@ pub fn fusermount_main(p: &mut Proc<'_>) -> i32 {
     }
     if p.sys.mode == SystemMode::Legacy && !p.ruid().is_root() {
         // The legacy binary insists the user owns the mountpoint.
-        match p.sys.kernel.sys_stat(p.pid, &target) {
+        match p.os().stat(&target) {
             Ok(st) if st.uid == p.ruid() => {}
             Ok(_) => return fail(p, "fusermount", "mountpoint not owned by you", Errno::EPERM),
             Err(e) => return fail(p, "fusermount", &target, e),
         }
     }
-    match p.sys.kernel.sys_mount(p.pid, "fuse", &target, "fuse", "rw") {
+    match p.os().mount("fuse", &target, "fuse", "rw") {
         Ok(()) => {
             p.cov("syscall_ok");
             p.println(&format!("fuse mounted on {}", target));
@@ -265,7 +261,7 @@ pub fn eject_main(p: &mut Proc<'_>) -> i32 {
         .map(|m| m.mountpoint.clone());
     if let Some(at) = mounted_at {
         p.cov("umount_first");
-        if let Err(e) = p.sys.kernel.sys_umount(p.pid, &at) {
+        if let Err(e) = p.os().umount(&at) {
             return fail(p, "eject", &at, e);
         }
     }
@@ -273,16 +269,16 @@ pub fn eject_main(p: &mut Proc<'_>) -> i32 {
         Ok(fd) => fd,
         Err(e) => return fail(p, "eject", &device, e),
     };
-    match p.sys.kernel.sys_ioctl(p.pid, fd, IoctlCmd::Eject) {
+    match p.os().ioctl(fd, IoctlCmd::Eject) {
         Ok(_) => {
             p.cov("eject_ok");
             p.println(&format!("ejected {}", device));
-            let _ = p.sys.kernel.sys_close(p.pid, fd);
+            let _ = p.os().close(fd);
             0
         }
         Err(e) => {
             p.cov("eject_fail");
-            let _ = p.sys.kernel.sys_close(p.pid, fd);
+            let _ = p.os().close(fd);
             fail(p, "eject", &device, e)
         }
     }

@@ -141,17 +141,13 @@ fn parse_target(p: &mut Proc<'_>, prog: &str) -> Result<Ipv4, i32> {
 /// Opens a raw ICMP socket with legacy privilege etiquette: the setuid
 /// variant drops privilege right after socket creation.
 fn raw_socket(p: &mut Proc<'_>, prog: &str) -> Result<i32, i32> {
-    match p
-        .sys
-        .kernel
-        .sys_socket(p.pid, Domain::Inet, SockType::Raw, 1)
-    {
+    match p.os().socket(Domain::Inet, SockType::Raw, 1) {
         Ok(fd) => {
             p.cov("socket_ok");
             if p.sys.mode == SystemMode::Legacy && p.euid().is_root() && !p.ruid().is_root() {
                 p.cov("drop_priv");
                 let ruid = p.ruid();
-                let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+                let _ = p.os().setuid(ruid);
             }
             Ok(fd)
         }
@@ -178,11 +174,11 @@ pub fn ping_main(p: &mut Proc<'_>) -> i32 {
     };
     let id = p.pid.0 as u16;
     let pkt = Packet::echo_request(local_ip(p), dst, id, 1, p.euid());
-    if let Err(e) = p.sys.kernel.sys_send_packet(p.pid, fd, pkt) {
+    if let Err(e) = p.os().send_packet(fd, pkt) {
         p.cov("send_fail");
         return fail(p, "ping", "sendmsg", e);
     }
-    match p.sys.kernel.sys_recv_packet(p.pid, fd) {
+    match p.os().recv_packet(fd) {
         Ok(reply) => {
             // Historical exploit site: reply parsing (CVE-2000-1213
             // class — ping's reply handling overflows).
@@ -221,11 +217,7 @@ pub fn arping_main(p: &mut Proc<'_>) -> i32 {
         Ok(ip) => ip,
         Err(c) => return c,
     };
-    let fd = match p
-        .sys
-        .kernel
-        .sys_socket(p.pid, Domain::Packet, SockType::Raw, 0)
-    {
+    let fd = match p.os().socket(Domain::Packet, SockType::Raw, 0) {
         Ok(fd) => fd,
         Err(e) => {
             p.cov("socket_fail");
@@ -234,7 +226,7 @@ pub fn arping_main(p: &mut Proc<'_>) -> i32 {
     };
     if p.sys.mode == SystemMode::Legacy && p.euid().is_root() && !p.ruid().is_root() {
         let ruid = p.ruid();
-        let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+        let _ = p.os().setuid(ruid);
     }
     let pkt = Packet {
         src: local_ip(p),
@@ -245,10 +237,10 @@ pub fn arping_main(p: &mut Proc<'_>) -> i32 {
         from_raw_socket: true,
         sender_uid: p.euid(),
     };
-    if let Err(e) = p.sys.kernel.sys_send_packet(p.pid, fd, pkt) {
+    if let Err(e) = p.os().send_packet(fd, pkt) {
         return fail(p, "arping", "send", e);
     }
-    match p.sys.kernel.sys_recv_packet(p.pid, fd) {
+    match p.os().recv_packet(fd) {
         Ok(reply) if matches!(reply.l4, L4::Arp { op: 2, .. }) => {
             p.cov("reply");
             p.println(&format!("Unicast reply from {}", reply.src));
@@ -278,10 +270,10 @@ pub fn traceroute_main(p: &mut Proc<'_>) -> i32 {
     let src = local_ip(p);
     for ttl in 1..=16u8 {
         let probe = Packet::udp_probe(src, dst, ttl, 33434 + ttl as u16, p.euid());
-        if let Err(e) = p.sys.kernel.sys_send_packet(p.pid, fd, probe) {
+        if let Err(e) = p.os().send_packet(fd, probe) {
             return fail(p, "traceroute", "send", e);
         }
-        match p.sys.kernel.sys_recv_packet(p.pid, fd) {
+        match p.os().recv_packet(fd) {
             Ok(reply) => match reply.l4 {
                 L4::Icmp(IcmpKind::TimeExceeded) => {
                     p.cov("hop");
@@ -321,10 +313,10 @@ pub fn mtr_main(p: &mut Proc<'_>) -> i32 {
     let mut hops = 0;
     for ttl in 1..=16u8 {
         let probe = Packet::udp_probe(src, dst, ttl, 33434, p.euid());
-        if p.sys.kernel.sys_send_packet(p.pid, fd, probe).is_err() {
+        if p.os().send_packet(fd, probe).is_err() {
             break;
         }
-        match p.sys.kernel.sys_recv_packet(p.pid, fd) {
+        match p.os().recv_packet(fd) {
             Ok(reply) => match reply.l4 {
                 L4::Icmp(IcmpKind::TimeExceeded) => {
                     hops += 1;
@@ -346,8 +338,8 @@ pub fn mtr_main(p: &mut Proc<'_>) -> i32 {
     }
     // One final latency probe to the destination itself.
     let echo = Packet::echo_request(src, dst, p.pid.0 as u16, 99, p.euid());
-    if p.sys.kernel.sys_send_packet(p.pid, fd, echo).is_ok() {
-        if let Ok(reply) = p.sys.kernel.sys_recv_packet(p.pid, fd) {
+    if p.os().send_packet(fd, echo).is_ok() {
+        if let Ok(reply) = p.os().recv_packet(fd) {
             if matches!(reply.l4, L4::Icmp(IcmpKind::EchoReply { .. })) {
                 p.println(&format!("{}: echo ok", dst));
             }
@@ -380,8 +372,7 @@ pub fn fping_main(p: &mut Proc<'_>) -> i32 {
             continue;
         };
         let pkt = Packet::echo_request(src, *ip, p.pid.0 as u16, i as u16, p.euid());
-        let alive = p.sys.kernel.sys_send_packet(p.pid, fd, pkt).is_ok()
-            && p.sys.kernel.sys_recv_packet(p.pid, fd).is_ok();
+        let alive = p.os().send_packet(fd, pkt).is_ok() && p.os().recv_packet(fd).is_ok();
         if alive {
             p.cov("alive");
             p.println(&format!("{} is alive", ip));
@@ -407,11 +398,7 @@ pub fn myping_main(p: &mut Proc<'_>) -> i32 {
         Ok(ip) => ip,
         Err(c) => return c,
     };
-    let fd = match p
-        .sys
-        .kernel
-        .sys_socket(p.pid, Domain::Inet, SockType::Raw, 1)
-    {
+    let fd = match p.os().socket(Domain::Inet, SockType::Raw, 1) {
         Ok(fd) => fd,
         Err(e) => {
             p.cov("denied");
@@ -419,11 +406,11 @@ pub fn myping_main(p: &mut Proc<'_>) -> i32 {
         }
     };
     let pkt = Packet::echo_request(local_ip(p), dst, 777, 1, p.euid());
-    if let Err(e) = p.sys.kernel.sys_send_packet(p.pid, fd, pkt) {
+    if let Err(e) = p.os().send_packet(fd, pkt) {
         p.cov("denied");
         return fail(p, "myping", "send", e);
     }
-    match p.sys.kernel.sys_recv_packet(p.pid, fd) {
+    match p.os().recv_packet(fd) {
         Ok(reply) => {
             p.cov("reply");
             p.println(&format!("myping: reply from {}", reply.src));
@@ -440,10 +427,7 @@ pub fn myping_main(p: &mut Proc<'_>) -> i32 {
 /// Not installed as a binary; used directly by tests and examples to show
 /// the netfilter rule stopping it (Table 4's raw-socket security concern).
 pub fn send_spoofed_tcp(p: &mut Proc<'_>, victim_port: u16, dst: Ipv4) -> Result<(), Errno> {
-    let fd = p
-        .sys
-        .kernel
-        .sys_socket(p.pid, Domain::Inet, SockType::Raw, 6)?;
+    let fd = p.os().socket(Domain::Inet, SockType::Raw, 6)?;
     let pkt = Packet {
         src: local_ip(p),
         dst,
@@ -457,5 +441,5 @@ pub fn send_spoofed_tcp(p: &mut Proc<'_>, victim_port: u16, dst: Ipv4) -> Result
         from_raw_socket: true,
         sender_uid: p.euid(),
     };
-    p.sys.kernel.sys_send_packet(p.pid, fd, pkt)
+    p.os().send_packet(fd, pkt)
 }

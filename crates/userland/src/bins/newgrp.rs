@@ -107,13 +107,13 @@ pub fn newgrp_main(p: &mut Proc<'_>) -> i32 {
         // Drop root before announcing the new group.
         let ruid = p.ruid();
         let gid = Gid(group.gid);
-        if let Err(e) = p.sys.kernel.sys_setgid(p.pid, gid) {
+        if let Err(e) = p.os().setgid(gid) {
             p.cov("setgid_fail");
             return fail(p, "newgrp", "setgid", e);
         }
-        let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+        let _ = p.os().setuid(ruid);
     } else {
-        match p.sys.kernel.sys_setgid(p.pid, Gid(group.gid)) {
+        match p.os().setgid(Gid(group.gid)) {
             Ok(()) => {}
             Err(e) => {
                 p.cov("setgid_fail");

@@ -112,7 +112,7 @@ fn my_entry(p: &mut Proc<'_>) -> Option<PasswdEntry> {
 fn atomic_replace(p: &mut Proc<'_>, path: &str, content: &str, mode: Mode) -> Result<(), Errno> {
     let tmp = format!("{}+", path);
     p.write_file(&tmp, content.as_bytes(), mode)?;
-    p.sys.kernel.sys_rename(p.pid, &tmp, path)
+    p.os().rename(&tmp, path)
 }
 
 fn rewrite_legacy_passwd(p: &mut Proc<'_>, update: &PasswdEntry) -> Result<(), Errno> {
@@ -353,8 +353,7 @@ pub fn vipw_main(p: &mut Proc<'_>) -> i32 {
             return fail(p, "vipw", &frag, e);
         }
         // Restore fragment ownership to the account it describes.
-        let _ = p.sys.kernel.sys_chown(
-            p.pid,
+        let _ = p.os().chown(
             &frag,
             Some(Uid(entry.uid)),
             Some(sim_kernel::cred::Gid(entry.gid)),
@@ -408,7 +407,7 @@ pub fn login_main(p: &mut Proc<'_>) -> i32 {
     }
     p.cov("auth_ok");
     let _ = p.sys.kernel.mark_authenticated(p.pid);
-    if let Err(e) = p.sys.kernel.sys_setuid(p.pid, Uid(entry.uid)) {
+    if let Err(e) = p.os().setuid(Uid(entry.uid)) {
         return fail(p, "login", "setuid", e);
     }
     p.println(&format!("login: welcome {}", user));

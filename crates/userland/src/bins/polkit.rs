@@ -101,12 +101,12 @@ pub fn pkexec_main(p: &mut Proc<'_>) -> i32 {
                 return 1;
             }
         }
-        if let Err(e) = p.sys.kernel.sys_setuid(p.pid, Uid::ROOT) {
+        if let Err(e) = p.os().setuid(Uid::ROOT) {
             p.cov("setuid_fail");
             return fail(p, "pkexec", "setuid", e);
         }
     } else {
-        match p.sys.kernel.sys_setuid(p.pid, Uid::ROOT) {
+        match p.os().setuid(Uid::ROOT) {
             Ok(()) => {}
             Err(e) => {
                 p.cov("setuid_fail");
@@ -150,7 +150,7 @@ pub fn dbus_helper_main(p: &mut Proc<'_>) -> i32 {
             Errno::EPERM,
         );
     }
-    match p.sys.kernel.sys_setuid(p.pid, Uid(uid)) {
+    match p.os().setuid(Uid(uid)) {
         Ok(()) => p.cov("setuid_ok"),
         Err(e) => {
             p.cov("setuid_fail");

@@ -62,16 +62,16 @@ pub fn pppd_main(p: &mut Proc<'_>) -> i32 {
         Ok(fd) => fd,
         Err(e) => return fail(p, "pppd", "/dev/ttyS0", e),
     };
-    if let Err(e) = p.sys.kernel.sys_ioctl(p.pid, fd, IoctlCmd::ModemClaim) {
+    if let Err(e) = p.os().ioctl(fd, IoctlCmd::ModemClaim) {
         p.cov("line_busy");
         return fail(p, "pppd", "line busy", e);
     }
 
     // Safe session options: baud rate and VJ compression.
     for opt in [ModemOpt::Baud(115_200), ModemOpt::Compression(true)] {
-        if let Err(e) = p.sys.kernel.sys_ioctl(p.pid, fd, IoctlCmd::Modem(opt)) {
+        if let Err(e) = p.os().ioctl(fd, IoctlCmd::Modem(opt)) {
             p.cov("modem_denied");
-            let _ = p.sys.kernel.sys_ioctl(p.pid, fd, IoctlCmd::ModemRelease);
+            let _ = p.os().ioctl(fd, IoctlCmd::ModemRelease);
             return fail(p, "pppd", "modem configuration", e);
         }
     }
@@ -85,7 +85,7 @@ pub fn pppd_main(p: &mut Proc<'_>) -> i32 {
         dev: "ppp0".into(),
         created_by: p.ruid(),
     };
-    match p.sys.kernel.sys_ioctl_route(p.pid, RouteOp::Add(route)) {
+    match p.os().ioctl_route(RouteOp::Add(route)) {
         Ok(()) => p.cov("route_added"),
         Err(Errno::EEXIST) => {
             // A duplicate route: the link still comes up as a plain tty
@@ -99,7 +99,7 @@ pub fn pppd_main(p: &mut Proc<'_>) -> i32 {
         }
         Err(e) => {
             p.cov("route_denied");
-            let _ = p.sys.kernel.sys_ioctl(p.pid, fd, IoctlCmd::ModemRelease);
+            let _ = p.os().ioctl(fd, IoctlCmd::ModemRelease);
             return fail(p, "pppd", "route", e);
         }
     }
@@ -107,7 +107,7 @@ pub fn pppd_main(p: &mut Proc<'_>) -> i32 {
     // The legacy daemon would now drop privilege for the session loop.
     if p.sys.mode == SystemMode::Legacy && p.euid().is_root() && !p.ruid().is_root() {
         let ruid = p.ruid();
-        let _ = p.sys.kernel.sys_setuid(p.pid, ruid);
+        let _ = p.os().setuid(ruid);
     }
 
     p.cov("up");

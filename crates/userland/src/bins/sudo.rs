@@ -265,14 +265,14 @@ pub fn sudo_main(p: &mut Proc<'_>) -> i32 {
         }
         sanitize_env(p, &rule.keep_env);
         // Only now does the (already root) process pin its uids.
-        if let Err(e) = p.sys.kernel.sys_setuid(p.pid, Uid(target.uid)) {
+        if let Err(e) = p.os().setuid(Uid(target.uid)) {
             p.cov("setuid_fail");
             return fail(p, "sudo", "setuid", e);
         }
         p.cov("setuid_ok");
     } else {
         // --- Protego: one system call; the kernel runs the policy. ---
-        match p.sys.kernel.sys_setuid(p.pid, Uid(target.uid)) {
+        match p.os().setuid(Uid(target.uid)) {
             Ok(()) => p.cov("setuid_ok"),
             Err(e) => {
                 p.cov("setuid_fail");
@@ -327,12 +327,12 @@ pub fn su_main(p: &mut Proc<'_>) -> i32 {
             p.println("su: Authentication failure");
             return 1;
         }
-        if let Err(e) = p.sys.kernel.sys_setuid(p.pid, Uid(target.uid)) {
+        if let Err(e) = p.os().setuid(Uid(target.uid)) {
             p.cov("setuid_fail");
             return fail(p, "su", "setuid", e);
         }
     } else {
-        match p.sys.kernel.sys_setuid(p.pid, Uid(target.uid)) {
+        match p.os().setuid(Uid(target.uid)) {
             Ok(()) => {}
             Err(e) => {
                 p.cov("setuid_fail");
@@ -383,10 +383,10 @@ pub fn sudoedit_main(p: &mut Proc<'_>) -> i32 {
             return fail(p, "sudoedit", "not permitted", Errno::EPERM);
         }
         let root = Uid::ROOT;
-        if let Err(e) = p.sys.kernel.sys_setuid(p.pid, root) {
+        if let Err(e) = p.os().setuid(root) {
             return fail(p, "sudoedit", "setuid", e);
         }
-    } else if let Err(e) = p.sys.kernel.sys_setuid(p.pid, Uid::ROOT) {
+    } else if let Err(e) = p.os().setuid(Uid::ROOT) {
         p.cov("edit_fail");
         return fail(p, "sudoedit", "kernel policy", e);
     }

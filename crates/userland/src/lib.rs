@@ -27,8 +27,10 @@ pub mod coverage;
 pub mod db;
 pub mod image;
 pub mod monitord;
+pub mod process;
 pub mod suite;
 pub mod system;
 
 pub use image::boot;
+pub use process::Process;
 pub use system::{AttackEvent, BinEntry, Exploit, Proc, RunResult, System, SystemMode};

@@ -16,6 +16,7 @@
 //! shared files so unmodified applications keep working.
 
 use crate::db::{parse_db, GshadowEntry, PasswdEntry, ShadowEntry};
+use crate::process::Process;
 use protego_core::fstab::{fstab_to_policy, parse_fstab};
 use protego_core::policy::{self, GroupRule, SudoRule};
 use protego_core::sudoers::{parse_sudoers, MapResolver};
@@ -108,6 +109,12 @@ impl MonitorDaemon {
         self.feed.borrow().recent_denials.clone()
     }
 
+    /// The daemon's typed syscall context — all of its file IO goes
+    /// through dispatch, like any other userland component.
+    fn os<'k>(&self, k: &'k mut Kernel) -> Process<'k> {
+        Process::new(k, self.pid)
+    }
+
     fn version(&self, k: &Kernel, path: &str) -> Option<u64> {
         k.vfs
             .resolve(k.vfs.root(), path)
@@ -133,7 +140,7 @@ impl MonitorDaemon {
 
     fn dir_signature(&self, k: &mut Kernel, dir: &str) -> Option<u64> {
         // Combined signature of the directory and every file in it.
-        let names = k.sys_readdir(self.pid, dir).ok()?;
+        let names = self.os(k).readdir(dir).ok()?;
         let mut sig = self.version(k, dir).unwrap_or(0);
         for n in names {
             sig = sig
@@ -227,8 +234,7 @@ impl MonitorDaemon {
     }
 
     fn push(&mut self, k: &mut Kernel, node: &str, content: &str) -> KResult<()> {
-        k.write_file(
-            self.pid,
+        self.os(k).write_file(
             &format!("/proc/protego/{}", node),
             content.as_bytes(),
             Mode(0o600),
@@ -238,7 +244,7 @@ impl MonitorDaemon {
     }
 
     fn sync_mounts(&mut self, k: &mut Kernel) -> KResult<()> {
-        let text = k.read_to_string(self.pid, "/etc/fstab").unwrap_or_default();
+        let text = self.os(k).read_to_string("/etc/fstab").unwrap_or_default();
         let (entries, bad) = parse_fstab(&text);
         for b in bad {
             self.errors.push(format!("fstab: skipped '{}'", b));
@@ -249,12 +255,12 @@ impl MonitorDaemon {
 
     fn resolver(&self, k: &mut Kernel) -> MapResolver {
         let mut r = MapResolver::default();
-        if let Ok(passwd) = k.read_to_string(self.pid, "/etc/passwd") {
+        if let Ok(passwd) = self.os(k).read_to_string("/etc/passwd") {
             for e in parse_db(&passwd, PasswdEntry::parse) {
                 r.users.push((e.name, e.uid));
             }
         }
-        if let Ok(group) = k.read_to_string(self.pid, "/etc/group") {
+        if let Ok(group) = self.os(k).read_to_string("/etc/group") {
             for e in parse_db(&group, crate::db::GroupEntry::parse) {
                 r.groups.push((e.name, e.gid));
             }
@@ -263,12 +269,13 @@ impl MonitorDaemon {
     }
 
     fn sync_sudoers(&mut self, k: &mut Kernel) -> KResult<()> {
-        let mut text = k
-            .read_to_string(self.pid, "/etc/sudoers")
+        let mut text = self
+            .os(k)
+            .read_to_string("/etc/sudoers")
             .unwrap_or_default();
-        if let Ok(names) = k.sys_readdir(self.pid, "/etc/sudoers.d") {
+        if let Ok(names) = self.os(k).readdir("/etc/sudoers.d") {
             for n in names {
-                if let Ok(extra) = k.read_to_string(self.pid, &format!("/etc/sudoers.d/{}", n)) {
+                if let Ok(extra) = self.os(k).read_to_string(&format!("/etc/sudoers.d/{}", n)) {
                     text.push('\n');
                     text.push_str(&extra);
                 }
@@ -286,7 +293,7 @@ impl MonitorDaemon {
     }
 
     fn sync_bind(&mut self, k: &mut Kernel) -> KResult<()> {
-        let text = k.read_to_string(self.pid, "/etc/bind").unwrap_or_default();
+        let text = self.os(k).read_to_string("/etc/bind").unwrap_or_default();
         // /etc/bind already uses the kernel grammar; validate before push.
         match policy::parse_binds(&text) {
             Ok(rules) => self.push(k, "bind", &policy::render_binds(&rules)),
@@ -299,9 +306,10 @@ impl MonitorDaemon {
 
     fn sync_groups(&mut self, k: &mut Kernel) -> KResult<()> {
         let mut rules: Vec<GroupRule> = Vec::new();
-        let groups = k.read_to_string(self.pid, "/etc/group").unwrap_or_default();
-        let gshadow = k
-            .read_to_string(self.pid, "/etc/gshadow")
+        let groups = self.os(k).read_to_string("/etc/group").unwrap_or_default();
+        let gshadow = self
+            .os(k)
+            .read_to_string("/etc/gshadow")
             .unwrap_or_default();
         let gsh = parse_db(&gshadow, GshadowEntry::parse);
         for g in parse_db(&groups, crate::db::GroupEntry::parse) {
@@ -319,8 +327,9 @@ impl MonitorDaemon {
     }
 
     fn sync_ppp(&mut self, k: &mut Kernel) -> KResult<()> {
-        let text = k
-            .read_to_string(self.pid, "/etc/ppp/options")
+        let text = self
+            .os(k)
+            .read_to_string("/etc/ppp/options")
             .unwrap_or_default();
         let mut p = policy::PppPolicy::default();
         for line in text.lines() {
@@ -357,13 +366,13 @@ impl MonitorDaemon {
         mode: Mode,
         parse: impl Fn(&str) -> Option<(String, String)>,
     ) -> KResult<()> {
-        let names = match k.sys_readdir(self.pid, frag_dir) {
+        let names = match self.os(k).readdir(frag_dir) {
             Ok(n) => n,
             Err(_) => return Ok(()), // legacy-only system
         };
         // Start from the legacy file so unfragmented entries survive.
         let mut entries: Vec<(String, String)> = Vec::new();
-        if let Ok(old) = k.read_to_string(self.pid, legacy) {
+        if let Ok(old) = self.os(k).read_to_string(legacy) {
             for line in old.lines() {
                 if let Some(kv) = parse(line) {
                     entries.push(kv);
@@ -371,7 +380,7 @@ impl MonitorDaemon {
             }
         }
         for n in &names {
-            if let Ok(frag) = k.read_to_string(self.pid, &format!("{}/{}", frag_dir, n)) {
+            if let Ok(frag) = self.os(k).read_to_string(&format!("{}/{}", frag_dir, n)) {
                 for line in frag.lines() {
                     if let Some((name, rendered)) = parse(line) {
                         if let Some(e) = entries.iter_mut().find(|(n2, _)| *n2 == name) {
@@ -384,7 +393,7 @@ impl MonitorDaemon {
             }
         }
         let content: String = entries.iter().map(|(_, r)| format!("{}\n", r)).collect();
-        k.write_file(self.pid, legacy, content.as_bytes(), mode)?;
+        self.os(k).write_file(legacy, content.as_bytes(), mode)?;
         self.syncs += 1;
         Ok(())
     }

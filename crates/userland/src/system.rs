@@ -11,6 +11,7 @@
 //! memory-corruption exploit achieves.
 
 use crate::coverage::Coverage;
+use crate::process::Process;
 use sim_kernel::cred::{Credentials, Gid, Uid};
 use sim_kernel::error::{Errno, KResult};
 use sim_kernel::kernel::Kernel;
@@ -121,6 +122,12 @@ impl System {
         r
     }
 
+    /// A [`Process`] syscall context bound to `pid` — the typed-dispatch
+    /// route into the kernel.
+    pub fn process(&mut self, pid: Pid) -> Process<'_> {
+        Process::new(&mut self.kernel, pid)
+    }
+
     /// The init (pid 1, root) task, creating it on first use.
     pub fn init_pid(&mut self) -> Pid {
         match self.init {
@@ -160,12 +167,12 @@ impl System {
     /// spawning a shell task. Returns the session pid.
     pub fn login(&mut self, name: &str, password: &str) -> KResult<Pid> {
         let init = self.init_pid();
-        let passwd = self.kernel.read_to_string(init, "/etc/passwd")?;
+        let passwd = self.process(init).read_to_string("/etc/passwd")?;
         let entry = crate::db::parse_db(&passwd, crate::db::PasswdEntry::parse)
             .into_iter()
             .find(|e| e.name == name)
             .ok_or(Errno::ENOENT)?;
-        let shadow = self.kernel.read_to_string(init, "/etc/shadow")?;
+        let shadow = self.process(init).read_to_string("/etc/shadow")?;
         let sh = crate::db::parse_db(&shadow, crate::db::ShadowEntry::parse)
             .into_iter()
             .find(|e| e.name == name)
@@ -174,7 +181,7 @@ impl System {
             return Err(Errno::EAUTH);
         }
         // Group membership from /etc/group.
-        let groups_text = self.kernel.read_to_string(init, "/etc/group")?;
+        let groups_text = self.process(init).read_to_string("/etc/group")?;
         // Root logins get the full capability set, as stock Linux grants
         // any euid-0 process.
         let mut cred = if entry.uid == 0 {
@@ -206,14 +213,14 @@ impl System {
         args: &[&str],
         input: &[&str],
     ) -> KResult<RunResult> {
-        let child = self.kernel.sys_fork(session)?;
+        let child = self.process(session).fork()?;
         for line in input {
             self.kernel.task_mut(child)?.type_input(line);
         }
         let mut out = String::new();
         let code = self.exec_into(child, path, &args_vec(args), &mut out);
-        let _ = self.kernel.sys_exit(child, code);
-        let code = self.kernel.sys_wait(session, child).unwrap_or(code);
+        let _ = self.process(child).exit(code);
+        let code = self.process(session).wait(child).unwrap_or(code);
         Ok(RunResult { code, stdout: out })
     }
 
@@ -226,7 +233,7 @@ impl System {
         path: &str,
         args: &[&str],
     ) -> KResult<(Pid, RunResult)> {
-        let child = self.kernel.sys_fork(session)?;
+        let child = self.process(session).fork()?;
         let mut out = String::new();
         let code = self.exec_into(child, path, &args_vec(args), &mut out);
         Ok((child, RunResult { code, stdout: out }))
@@ -248,7 +255,7 @@ impl System {
         args: &[String],
         out: &mut String,
     ) -> i32 {
-        let abs = match self.kernel.sys_execve(pid, path) {
+        let abs = match self.process(pid).execve(path) {
             Ok(a) => a,
             Err(e) => {
                 out.push_str(&format!("exec {}: {}\n", path, e));
@@ -364,24 +371,31 @@ impl<'a> Proc<'a> {
 
     // -- thin syscall wrappers -----------------------------------------
 
+    /// The typed syscall context for this process — every call made
+    /// through it goes via `Kernel::dispatch` and is therefore visible to
+    /// interceptors (fault injection, tracing, metering).
+    pub fn os(&mut self) -> Process<'_> {
+        self.sys.process(self.pid)
+    }
+
     /// Reads a whole file as UTF-8.
     pub fn read_to_string(&mut self, path: &str) -> KResult<String> {
-        self.sys.kernel.read_to_string(self.pid, path)
+        self.os().read_to_string(path)
     }
 
     /// Creates/truncates a file.
     pub fn write_file(&mut self, path: &str, data: &[u8], mode: Mode) -> KResult<()> {
-        self.sys.kernel.write_file(self.pid, path, data, mode)
+        self.os().write_file(path, data, mode)
     }
 
     /// Appends to a file.
     pub fn append_file(&mut self, path: &str, data: &[u8]) -> KResult<()> {
-        self.sys.kernel.append_file(self.pid, path, data)
+        self.os().append_file(path, data)
     }
 
     /// Opens a file.
     pub fn open(&mut self, path: &str, flags: OpenFlags) -> KResult<i32> {
-        self.sys.kernel.sys_open(self.pid, path, flags)
+        self.os().open(path, flags)
     }
 
     /// Reads the next queued terminal line (a password prompt).

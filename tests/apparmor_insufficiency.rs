@@ -99,5 +99,5 @@ fn profile_capability_mask_does_confine_other_caps() {
             k.task(evil).unwrap().cred.ruid == Uid(1000)
         }
     );
-    assert!(k.sys_setgroups(evil, vec![Gid(0)]).is_err());
+    assert!(k.sys_setgroups(evil, &[Gid(0)]).is_err());
 }
