@@ -25,6 +25,17 @@ cargo run --release -p bench --bin tables -- bench-verify target/BENCH_table5.sm
 test -s BENCH_table5.json || { echo "error: committed BENCH_table5.json missing" >&2; exit 1; }
 cargo run --release -p bench --bin tables -- bench-verify BENCH_table5.json
 
+echo "== smoke fleet: macro fleets aggregate deterministically =="
+# Tiny fleets of the web + mail macro workloads in both modes plus a 1%
+# errno-storm soak; the subcommand itself re-runs the whole matrix and
+# fails unless every op/fault/syscall count reproduces per seed, the
+# overheads are finite, and the soak ends with zero panics and zero
+# privileged artifacts.
+cargo run --release -p bench --bin tables -- bench-macro --smoke --out target/BENCH_macro.smoke.json
+cargo run --release -p bench --bin tables -- bench-verify target/BENCH_macro.smoke.json
+test -s BENCH_macro.json || { echo "error: committed BENCH_macro.json missing" >&2; exit 1; }
+cargo run --release -p bench --bin tables -- bench-verify BENCH_macro.json
+
 echo "== smoke replay: recorded syscall trace replays deterministically =="
 # Records the full functional battery through the dispatch boundary and
 # replays a fresh boot against it; fails on any divergence.

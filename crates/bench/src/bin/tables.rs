@@ -3,11 +3,12 @@
 //! ```text
 //! tables [table1|table2|table3|table4|table5|table6|table7|table8|ablations|all] [--quick]
 //! tables bench-json [--quick] [--out PATH]   # write BENCH_table5.json
-//! tables bench-verify PATH                   # validate a results file
+//! tables bench-macro [--smoke] [--out PATH]  # fleet macro benchmark -> BENCH_macro.json
+//! tables bench-verify PATH                   # validate a results file (schema-dispatched)
 //! tables replay-smoke                        # record + replay determinism check
 //! ```
 
-use bench::{json, table5};
+use bench::{json, macro_fleet, table5};
 use setuid_study::render;
 use setuid_study::summary::{table1, MeasuredInputs};
 use userland::suite::{run_divergence_suite, run_functional_suite, run_service_suite};
@@ -24,6 +25,10 @@ fn main() {
 
     if which == "bench-json" {
         run_bench_json(quick, &args);
+        return;
+    }
+    if which == "bench-macro" {
+        run_bench_macro(&args);
         return;
     }
     if which == "bench-verify" {
@@ -310,6 +315,83 @@ fn run_bench_json(quick: bool, args: &[String]) {
     println!("wrote {}", out);
 }
 
+fn run_bench_macro(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_macro.json".to_string());
+    let options = macro_fleet::MacroOptions {
+        smoke,
+        seed: 0xC0FFEE,
+    };
+    eprintln!(
+        "running fleet macro benchmark ({} mode, fleets of {:?} workers)...",
+        if smoke { "smoke" } else { "full" },
+        options.worker_counts()
+    );
+    let results = macro_fleet::run_macro_matrix(options);
+    if let Err(e) = results.check() {
+        eprintln!("error: fleet run failed its invariants: {}", e);
+        std::process::exit(1);
+    }
+    if smoke {
+        // Determinism gate: the whole matrix again with the same seed
+        // must reproduce every op/failure/fault/syscall-class count
+        // (timings excluded by construction of the fingerprint).
+        let again = macro_fleet::run_macro_matrix(options);
+        if results.fingerprint() != again.fingerprint() {
+            eprintln!("error: fleet counts are not deterministic per seed:");
+            eprintln!("--- first run ---\n{}", results.fingerprint());
+            eprintln!("--- second run ---\n{}", again.fingerprint());
+            std::process::exit(1);
+        }
+    }
+    let mut text = macro_fleet::macro_json(&results);
+    text.push('\n');
+    if let Err(e) = json::validate_macro(&text) {
+        eprintln!("error: generated document fails validation: {}", e);
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: cannot write {}: {}", out, e);
+        std::process::exit(1);
+    }
+    for (wl, points) in &results.curves {
+        for p in points {
+            println!(
+                "  {:<5} x{:<2} legacy {:>12.0} ops/s | protego {:>12.0} ops/s  ({:+.2}%)",
+                wl.name(),
+                p.workers,
+                p.legacy.ops_per_sec,
+                p.protego.ops_per_sec,
+                p.overhead_pct()
+            );
+        }
+        println!(
+            "  {:<5} protego scaling 1 -> {} workers: {:.2}x",
+            wl.name(),
+            points.iter().map(|p| p.workers).max().unwrap_or(1),
+            results.scaling(*wl)
+        );
+    }
+    println!(
+        "  soak: {} workers, 1% storm, {} ops, {} injected faults, {} failed ops, {} panics, {} artifacts",
+        results.soak.workers,
+        results.soak.ops,
+        results.soak.injected,
+        results.soak.failures,
+        results.soak.panicked,
+        results.soak.artifacts.len()
+    );
+    if smoke {
+        println!("  determinism: double-run fingerprints identical");
+    }
+    println!("wrote {}", out);
+}
+
 fn run_bench_verify(args: &[String]) {
     let path = args
         .iter()
@@ -324,7 +406,21 @@ fn run_bench_verify(args: &[String]) {
             std::process::exit(1);
         }
     };
-    match json::validate_table5(&text) {
+    // Dispatch on the document's own schema tag.
+    let schema = json::parse(&text)
+        .ok()
+        .and_then(|d| {
+            d.get("schema")
+                .and_then(json::Value::as_str)
+                .map(String::from)
+        })
+        .unwrap_or_default();
+    let checked = if schema == json::MACRO_SCHEMA {
+        json::validate_macro(&text)
+    } else {
+        json::validate_table5(&text)
+    };
+    match checked {
         Ok(()) => println!("{}: OK", path),
         Err(e) => {
             eprintln!("error: {} is invalid: {}", path, e);

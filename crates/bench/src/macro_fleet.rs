@@ -1,0 +1,743 @@
+//! The fleet macro-benchmark engine: the paper's §6 macro workloads
+//! (ApacheBench web serving, Postal mail delivery) scaled out over a
+//! fleet of kernels.
+//!
+//! ## Worker topology
+//!
+//! The simulated kernel is deliberately single-threaded (`Rc`/`RefCell`
+//! internals), so the fleet runs **thread-per-worker**: each OS thread
+//! boots its *own* deterministic [`userland::System`] in-thread, starts
+//! the service under test, and drives a closed-loop workload against
+//! it. Workers never share kernel state; they report plain-data
+//! [`WorkerReport`]s — op counts, per-class syscall counters, cache hit
+//! rates, busy time — over an [`std::sync::mpsc`] channel, and the
+//! driver folds them into a [`FleetAggregate`] with
+//! [`sim_kernel::trace::Metrics::merge`].
+//!
+//! ## Throughput metric
+//!
+//! Aggregate fleet throughput is the **sum of per-worker rates**, each
+//! worker's rate being its ops over its own *on-CPU* time (read from
+//! `/proc/thread-self/schedstat`, falling back to wall clock where
+//! schedstats are unavailable). On-CPU time excludes runqueue wait, so
+//! the aggregate reflects what the fleet sustains per unit of hardware
+//! rather than how a particular core count happens to interleave the
+//! threads. Determinism guarantees cover op/syscall/fault *counts* —
+//! never timings.
+//!
+//! ## Soak mode
+//!
+//! [`run_fleet`] with a [`FaultSpec`] composes the existing seeded
+//! [`FaultInjector`] (1-in-`rate` errno storm) over every worker's
+//! steady-state loop and proves the fleet completes with **zero
+//! panics** (every worker joins cleanly) and **zero privileged
+//! artifacts** (per-worker [`userland::workload::privileged_artifacts`]
+//! audit).
+
+use crate::json::Value;
+use sim_kernel::syscall::{FaultConfig, FaultInjector, SyscallMeter};
+use sim_kernel::trace::Metrics;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::Instant;
+use userland::workload::{self, Service};
+use userland::{boot, System, SystemMode};
+
+/// Which §6 macro workload a fleet drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MacroWorkload {
+    /// ApacheBench-style closed loop: one HTTP round trip per op, the
+    /// server doing stat + open + read + close on the docroot.
+    Web,
+    /// Postal-style closed loop: one SMTP delivery per op, committed
+    /// with write-to-tmp + atomic-replace `rename` over the spool.
+    Mail,
+}
+
+impl MacroWorkload {
+    /// Stable name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            MacroWorkload::Web => "web",
+            MacroWorkload::Mail => "mail",
+        }
+    }
+}
+
+/// Seeded errno-storm parameters for soak runs.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSpec {
+    /// Base PRNG seed; worker `i` storms with `seed + i`.
+    pub seed: u64,
+    /// Injection rate as 1-in-`rate` per eligible call (100 = 1%).
+    pub rate: u64,
+}
+
+/// One fleet run: a workload, a mode, a worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetSpec {
+    /// The workload every worker drives.
+    pub workload: MacroWorkload,
+    /// Which image the workers boot.
+    pub mode: SystemMode,
+    /// Number of worker threads (each with its own kernel).
+    pub workers: usize,
+    /// Measured iterations per worker.
+    pub iters: u64,
+    /// Unmeasured warmup iterations per worker.
+    pub warmup: u64,
+    /// Optional errno storm over the measured loop (soak mode).
+    pub fault: Option<FaultSpec>,
+}
+
+/// What one worker observed; plain data, sent over the results channel.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// Worker index within the fleet.
+    pub worker: usize,
+    /// Operations attempted in the measured loop.
+    pub ops: u64,
+    /// Operations that returned an error (nonzero only under faults).
+    pub failures: u64,
+    /// On-CPU nanoseconds of the measured loop (wall-clock fallback).
+    pub busy_ns: u64,
+    /// Wall-clock nanoseconds of the measured loop.
+    pub wall_ns: u64,
+    /// Whether `busy_ns` came from `/proc/thread-self/schedstat`.
+    pub used_schedstat: bool,
+    /// Full-run metrics snapshot (kernel counters + cache stats).
+    pub metrics: Metrics,
+    /// Per-class (calls, errors) deltas over the measured loop only.
+    pub loop_classes: BTreeMap<&'static str, (u64, u64)>,
+    /// Faults the storm injected (0 without a [`FaultSpec`]).
+    pub injected: u64,
+    /// Privileged-artifact audit findings (must be empty).
+    pub artifacts: Vec<String>,
+}
+
+/// The driver's fold over every [`WorkerReport`] of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetAggregate {
+    /// The spec this aggregate came from.
+    pub workers: usize,
+    /// Total ops attempted across the fleet.
+    pub ops: u64,
+    /// Total failed ops across the fleet.
+    pub failures: u64,
+    /// Aggregate throughput: Σ per-worker (ops / busy seconds).
+    pub ops_per_sec: f64,
+    /// True when every worker measured with schedstat (not wall clock).
+    pub used_schedstat: bool,
+    /// Merged kernel metrics across the fleet.
+    pub metrics: Metrics,
+    /// Summed per-class (calls, errors) over the measured loops.
+    pub loop_classes: BTreeMap<&'static str, (u64, u64)>,
+    /// Total injected faults.
+    pub injected: u64,
+    /// Concatenated privileged-artifact findings (must be empty).
+    pub artifacts: Vec<String>,
+    /// Workers that panicked instead of reporting (must be 0).
+    pub panicked: usize,
+}
+
+impl FleetAggregate {
+    /// Fleet-wide dcache hit rate in [0, 1].
+    pub fn dcache_hit_rate(&self) -> f64 {
+        match self.metrics.caches.get("dcache") {
+            Some(c) if c.hits + c.misses > 0 => c.hits as f64 / (c.hits + c.misses) as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// A timing-free digest of everything that must reproduce per seed:
+    /// op/failure/fault counts and per-class syscall counts.
+    pub fn fingerprint(&self) -> String {
+        let mut out = format!(
+            "workers={} ops={} failures={} injected={}",
+            self.workers, self.ops, self.failures, self.injected
+        );
+        for (class, (calls, errors)) in &self.loop_classes {
+            out.push_str(&format!(" {}={}:{}", class, calls, errors));
+        }
+        out
+    }
+}
+
+/// On-CPU nanoseconds of the calling thread, when the kernel exposes
+/// populated schedstats.
+fn thread_busy_ns() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    let first = text.split_whitespace().next()?;
+    // Zero is a legitimate reading for a freshly spawned thread; the
+    // caller falls back to wall clock only when the counter never moves
+    // (schedstats compiled out report zero forever).
+    first.parse::<u64>().ok()
+}
+
+fn run_one_op(
+    sys: &mut System,
+    wl: MacroWorkload,
+    client: sim_kernel::Pid,
+    srv: Service,
+    worker: usize,
+    i: u64,
+) -> bool {
+    match wl {
+        MacroWorkload::Web => workload::web_request(sys, client, srv).is_ok(),
+        MacroWorkload::Mail => {
+            let rcpt = if i.is_multiple_of(2) { "alice" } else { "bob" };
+            workload::mail_delivery(
+                sys,
+                client,
+                srv,
+                rcpt,
+                &format!("fleet w{} op{}", worker, i),
+            )
+            .is_ok()
+        }
+    }
+}
+
+/// One worker: boots its own kernel in-thread, starts the service,
+/// drives the closed loop, and reports. Never shares kernel state.
+fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
+    let mut sys = boot(spec.mode);
+    sys.kernel.push_interceptor(Box::new(SyscallMeter::new()));
+    let srv = match spec.workload {
+        MacroWorkload::Web => workload::start_web_service(&mut sys),
+        MacroWorkload::Mail => workload::start_mail_service(&mut sys),
+    }
+    .expect("fleet worker: service start on a clean boot");
+    let client = workload::client_session(&mut sys).expect("fleet worker: client login");
+
+    for i in 0..spec.warmup {
+        run_one_op(&mut sys, spec.workload, client, srv, worker, i);
+    }
+    if spec.workload == MacroWorkload::Mail {
+        workload::drain_spools(&mut sys, srv);
+    }
+
+    // The storm covers the steady-state loop: startup ran clean so every
+    // worker measures the same loop, fault stream seeded per worker.
+    let fault_stats = spec.fault.map(|f| {
+        let inj = FaultInjector::new(FaultConfig::storm(
+            f.seed.wrapping_add(worker as u64),
+            f.rate,
+        ));
+        let stats = inj.stats();
+        sys.kernel.push_interceptor(Box::new(inj));
+        stats
+    });
+
+    let before = sys.kernel.metrics_snapshot();
+    let wall_start = Instant::now();
+    let busy_start = thread_busy_ns();
+    let mut failures = 0u64;
+    for i in 0..spec.iters {
+        // The closed loop includes the consumer: every 256 deliveries
+        // the spool is drained, keeping the per-op commit cost bounded.
+        if spec.workload == MacroWorkload::Mail && i > 0 && i % 256 == 0 {
+            workload::drain_spools(&mut sys, srv);
+        }
+        if !run_one_op(
+            &mut sys,
+            spec.workload,
+            client,
+            srv,
+            worker,
+            spec.warmup + i,
+        ) {
+            failures += 1;
+            // A fault injected into the server half can strand the
+            // client's connection in the listen backlog; reap it so the
+            // next op starts from a clean queue instead of wedging.
+            workload::drain_backlog(&mut sys, srv);
+        }
+    }
+    let wall_ns = (wall_start.elapsed().as_nanos() as u64).max(1);
+    let (busy_ns, used_schedstat) = match (busy_start, thread_busy_ns()) {
+        (Some(a), Some(b)) if b > a => (b - a, true),
+        _ => (wall_ns, false),
+    };
+
+    let metrics = sys.kernel.metrics_snapshot();
+    let mut loop_classes = BTreeMap::new();
+    for (class, after) in &metrics.classes {
+        let prior = before.classes.get(class).copied().unwrap_or_default();
+        loop_classes.insert(
+            *class,
+            (after.calls - prior.calls, after.errors - prior.errors),
+        );
+    }
+    let injected = fault_stats.map(|s| s.borrow().injected).unwrap_or(0);
+    let artifacts = workload::privileged_artifacts(&mut sys);
+
+    WorkerReport {
+        worker,
+        ops: spec.iters,
+        failures,
+        busy_ns,
+        wall_ns,
+        used_schedstat,
+        metrics,
+        loop_classes,
+        injected,
+        artifacts,
+    }
+}
+
+/// Runs one fleet: spawns `spec.workers` OS threads, each booting its
+/// own kernel, and folds their channel reports into a
+/// [`FleetAggregate`]. A panicking worker is counted, never propagated
+/// — `panicked == 0` is the soak's zero-panic proof.
+pub fn run_fleet(spec: FleetSpec) -> FleetAggregate {
+    let (tx, rx) = mpsc::channel::<WorkerReport>();
+    let mut handles = Vec::with_capacity(spec.workers);
+    for worker in 0..spec.workers {
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let report = worker_body(spec, worker);
+            // A send can only fail if the driver vanished; the worker
+            // has nothing useful to do about that.
+            let _ = tx.send(report);
+        }));
+    }
+    drop(tx);
+
+    let mut agg = FleetAggregate {
+        workers: spec.workers,
+        ops: 0,
+        failures: 0,
+        ops_per_sec: 0.0,
+        used_schedstat: true,
+        metrics: Metrics::default(),
+        loop_classes: BTreeMap::new(),
+        injected: 0,
+        artifacts: Vec::new(),
+        panicked: 0,
+    };
+    for report in rx {
+        agg.ops += report.ops;
+        agg.failures += report.failures;
+        agg.ops_per_sec += report.ops as f64 / (report.busy_ns as f64 / 1e9);
+        agg.used_schedstat &= report.used_schedstat;
+        agg.metrics.merge(&report.metrics);
+        for (class, (calls, errors)) in &report.loop_classes {
+            let e = agg.loop_classes.entry(class).or_insert((0, 0));
+            e.0 += calls;
+            e.1 += errors;
+        }
+        agg.injected += report.injected;
+        agg.artifacts.extend(report.artifacts);
+    }
+    for h in handles {
+        if h.join().is_err() {
+            agg.panicked += 1;
+        }
+    }
+    agg
+}
+
+/// Options for the full `bench-macro` matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct MacroOptions {
+    /// Smoke mode: tiny iteration counts, fleets of 1-2 workers, plus a
+    /// per-seed determinism double-run.
+    pub smoke: bool,
+    /// Base seed for the soak storm (and the determinism assertion).
+    pub seed: u64,
+}
+
+impl MacroOptions {
+    /// Fleet sizes measured per workload.
+    pub fn worker_counts(self) -> &'static [usize] {
+        if self.smoke {
+            &[1, 2]
+        } else {
+            &[1, 2, 4, 8]
+        }
+    }
+
+    /// Measured iterations per worker.
+    pub fn iters(self) -> u64 {
+        if self.smoke {
+            30
+        } else {
+            10_000
+        }
+    }
+
+    /// Warmup iterations per worker.
+    pub fn warmup(self) -> u64 {
+        if self.smoke {
+            3
+        } else {
+            200
+        }
+    }
+
+    /// Workers in the soak fleet.
+    pub fn soak_workers(self) -> usize {
+        if self.smoke {
+            2
+        } else {
+            8
+        }
+    }
+}
+
+/// One measured point: both modes at one fleet size.
+#[derive(Clone, Debug)]
+pub struct MacroPoint {
+    /// Fleet size.
+    pub workers: usize,
+    /// Legacy (AppArmor-baseline) aggregate.
+    pub legacy: FleetAggregate,
+    /// Protego aggregate.
+    pub protego: FleetAggregate,
+}
+
+impl MacroPoint {
+    /// Protego overhead over the legacy baseline, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        crate::overhead_pct(
+            1.0 / self.legacy.ops_per_sec.max(f64::MIN_POSITIVE),
+            1.0 / self.protego.ops_per_sec.max(f64::MIN_POSITIVE),
+        )
+    }
+}
+
+/// The whole bench-macro result set.
+#[derive(Clone, Debug)]
+pub struct MacroResults {
+    /// Options the matrix ran with.
+    pub options: MacroOptions,
+    /// Per-workload scaling curves.
+    pub curves: Vec<(MacroWorkload, Vec<MacroPoint>)>,
+    /// The soak fleet (Protego, all workers, 1% storm).
+    pub soak: FleetAggregate,
+}
+
+impl MacroResults {
+    /// Protego aggregate throughput scaling from 1 worker to the largest
+    /// fleet, for `workload`.
+    pub fn scaling(&self, workload: MacroWorkload) -> f64 {
+        let Some((_, points)) = self.curves.iter().find(|(w, _)| *w == workload) else {
+            return 0.0;
+        };
+        let one = points.iter().find(|p| p.workers == 1);
+        let max = points.iter().max_by_key(|p| p.workers);
+        match (one, max) {
+            (Some(a), Some(b)) if a.protego.ops_per_sec > 0.0 => {
+                b.protego.ops_per_sec / a.protego.ops_per_sec
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// A timing-free digest of the whole matrix, for per-seed
+    /// determinism checks: concatenates every fleet's
+    /// [`FleetAggregate::fingerprint`].
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for (wl, points) in &self.curves {
+            for p in points {
+                out.push_str(&format!(
+                    "{}/legacy {}\n",
+                    wl.name(),
+                    p.legacy.fingerprint()
+                ));
+                out.push_str(&format!(
+                    "{}/protego {}\n",
+                    wl.name(),
+                    p.protego.fingerprint()
+                ));
+            }
+        }
+        out.push_str(&format!("soak {}\n", self.soak.fingerprint()));
+        out
+    }
+
+    /// Driver-side sanity: every point finite, no failures outside the
+    /// soak, soak clean (no panics, no artifacts, faults actually fired).
+    pub fn check(&self) -> Result<(), String> {
+        for (wl, points) in &self.curves {
+            for p in points {
+                for (mode, agg) in [("legacy", &p.legacy), ("protego", &p.protego)] {
+                    if agg.panicked > 0 {
+                        return Err(format!(
+                            "{}/{} x{}: {} worker(s) panicked",
+                            wl.name(),
+                            mode,
+                            p.workers,
+                            agg.panicked
+                        ));
+                    }
+                    if agg.failures > 0 {
+                        return Err(format!(
+                            "{}/{} x{}: {} failed ops without fault injection",
+                            wl.name(),
+                            mode,
+                            p.workers,
+                            agg.failures
+                        ));
+                    }
+                    if !agg.ops_per_sec.is_finite() || agg.ops_per_sec <= 0.0 {
+                        return Err(format!(
+                            "{}/{} x{}: non-finite throughput",
+                            wl.name(),
+                            mode,
+                            p.workers
+                        ));
+                    }
+                    if !agg.artifacts.is_empty() {
+                        return Err(format!(
+                            "{}/{} x{}: privileged artifacts: {:?}",
+                            wl.name(),
+                            mode,
+                            p.workers,
+                            agg.artifacts
+                        ));
+                    }
+                }
+                if !p.overhead_pct().is_finite() {
+                    return Err(format!("{} x{}: non-finite overhead", wl.name(), p.workers));
+                }
+            }
+        }
+        if self.soak.panicked > 0 {
+            return Err(format!("soak: {} worker(s) panicked", self.soak.panicked));
+        }
+        if self.soak.injected == 0 {
+            return Err("soak: the 1% storm never fired".into());
+        }
+        if !self.soak.artifacts.is_empty() {
+            return Err(format!(
+                "soak: privileged artifacts under storm: {:?}",
+                self.soak.artifacts
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full matrix: every workload × fleet size × both modes, then
+/// the soak fleet.
+pub fn run_macro_matrix(options: MacroOptions) -> MacroResults {
+    let mut curves = Vec::new();
+    for workload in [MacroWorkload::Web, MacroWorkload::Mail] {
+        let mut points = Vec::new();
+        for &workers in options.worker_counts() {
+            let spec = |mode| FleetSpec {
+                workload,
+                mode,
+                workers,
+                iters: options.iters(),
+                warmup: options.warmup(),
+                fault: None,
+            };
+            points.push(MacroPoint {
+                workers,
+                legacy: run_fleet(spec(SystemMode::Legacy)),
+                protego: run_fleet(spec(SystemMode::Protego)),
+            });
+        }
+        curves.push((workload, points));
+    }
+    // Soak: the whole fleet under a seeded 1% errno storm, alternating
+    // workloads across workers via two half-fleets.
+    let soak_spec = |workload| FleetSpec {
+        workload,
+        mode: SystemMode::Protego,
+        workers: options.soak_workers().div_ceil(2),
+        iters: options.iters(),
+        warmup: options.warmup(),
+        fault: Some(FaultSpec {
+            seed: options.seed,
+            rate: 100,
+        }),
+    };
+    let web_half = run_fleet(soak_spec(MacroWorkload::Web));
+    let mail_half = run_fleet(soak_spec(MacroWorkload::Mail));
+    let mut soak = web_half;
+    soak.workers += mail_half.workers;
+    soak.ops += mail_half.ops;
+    soak.failures += mail_half.failures;
+    soak.ops_per_sec += mail_half.ops_per_sec;
+    soak.used_schedstat &= mail_half.used_schedstat;
+    soak.metrics.merge(&mail_half.metrics);
+    for (class, (calls, errors)) in &mail_half.loop_classes {
+        let e = soak.loop_classes.entry(class).or_insert((0, 0));
+        e.0 += calls;
+        e.1 += errors;
+    }
+    soak.injected += mail_half.injected;
+    soak.artifacts.extend(mail_half.artifacts.clone());
+    soak.panicked += mail_half.panicked;
+    MacroResults {
+        options,
+        curves,
+        soak,
+    }
+}
+
+fn classes_json(classes: &BTreeMap<&'static str, (u64, u64)>) -> Value {
+    Value::Obj(
+        classes
+            .iter()
+            .map(|(class, (calls, errors))| {
+                (
+                    class.to_string(),
+                    Value::Obj(vec![
+                        ("calls".into(), Value::Num(*calls as f64)),
+                        ("errors".into(), Value::Num(*errors as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn aggregate_json(agg: &FleetAggregate) -> Value {
+    Value::Obj(vec![
+        ("ops".into(), Value::Num(agg.ops as f64)),
+        ("failures".into(), Value::Num(agg.failures as f64)),
+        ("ops_per_sec".into(), Value::Num(agg.ops_per_sec)),
+        ("dcache_hit_rate".into(), Value::Num(agg.dcache_hit_rate())),
+        ("syscall_classes".into(), classes_json(&agg.loop_classes)),
+        ("used_schedstat".into(), Value::Bool(agg.used_schedstat)),
+    ])
+}
+
+/// Renders the results as the committed `BENCH_macro.json` document.
+pub fn macro_json(results: &MacroResults) -> String {
+    let mut workloads = Vec::new();
+    for (wl, points) in &results.curves {
+        let pts = points
+            .iter()
+            .map(|p| {
+                Value::Obj(vec![
+                    ("workers".into(), Value::Num(p.workers as f64)),
+                    (
+                        "legacy_ops_per_sec".into(),
+                        Value::Num(p.legacy.ops_per_sec),
+                    ),
+                    (
+                        "protego_ops_per_sec".into(),
+                        Value::Num(p.protego.ops_per_sec),
+                    ),
+                    ("overhead_pct".into(), Value::Num(p.overhead_pct())),
+                    ("legacy".into(), aggregate_json(&p.legacy)),
+                    ("protego".into(), aggregate_json(&p.protego)),
+                ])
+            })
+            .collect();
+        workloads.push(Value::Obj(vec![
+            ("name".into(), Value::Str(wl.name().into())),
+            ("points".into(), Value::Arr(pts)),
+            (
+                "protego_scaling_1_to_max".into(),
+                Value::Num(results.scaling(*wl)),
+            ),
+        ]));
+    }
+    let soak = Value::Obj(vec![
+        ("workers".into(), Value::Num(results.soak.workers as f64)),
+        ("fault_rate_pct".into(), Value::Num(1.0)),
+        ("injected".into(), Value::Num(results.soak.injected as f64)),
+        ("ops".into(), Value::Num(results.soak.ops as f64)),
+        ("failures".into(), Value::Num(results.soak.failures as f64)),
+        (
+            "panicked_workers".into(),
+            Value::Num(results.soak.panicked as f64),
+        ),
+        (
+            "privileged_artifacts".into(),
+            Value::Num(results.soak.artifacts.len() as f64),
+        ),
+        ("completed".into(), Value::Bool(true)),
+    ]);
+    Value::Obj(vec![
+        (
+            "schema".into(),
+            Value::Str(crate::json::MACRO_SCHEMA.into()),
+        ),
+        ("smoke".into(), Value::Bool(results.options.smoke)),
+        (
+            "iters_per_worker".into(),
+            Value::Num(results.options.iters() as f64),
+        ),
+        ("workloads".into(), Value::Arr(workloads)),
+        ("soak".into(), soak),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(mode: SystemMode, workload: MacroWorkload, workers: usize) -> FleetSpec {
+        FleetSpec {
+            workload,
+            mode,
+            workers,
+            iters: 8,
+            warmup: 1,
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn fleet_runs_both_workloads_both_modes() {
+        for workload in [MacroWorkload::Web, MacroWorkload::Mail] {
+            for mode in [SystemMode::Legacy, SystemMode::Protego] {
+                let agg = run_fleet(tiny_spec(mode, workload, 2));
+                assert_eq!(agg.panicked, 0);
+                assert_eq!(agg.ops, 16);
+                assert_eq!(agg.failures, 0, "{:?}/{:?}", workload, mode);
+                assert!(agg.ops_per_sec > 0.0);
+                assert!(agg.artifacts.is_empty());
+                // The loop dispatched fs and net syscalls on every op.
+                assert!(agg.loop_classes.get("fs").map_or(0, |c| c.0) > 0);
+                assert!(agg.loop_classes.get("net").map_or(0, |c| c.0) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_counts_are_deterministic_per_seed() {
+        let spec = FleetSpec {
+            workload: MacroWorkload::Mail,
+            mode: SystemMode::Protego,
+            workers: 2,
+            iters: 10,
+            warmup: 1,
+            fault: Some(FaultSpec {
+                seed: 0xFEED,
+                rate: 50,
+            }),
+        };
+        let a = run_fleet(spec);
+        let b = run_fleet(spec);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.injected > 0, "a 2% storm over the loop must fire");
+        assert_eq!(a.panicked, 0);
+        assert!(a.artifacts.is_empty());
+    }
+
+    #[test]
+    fn soak_storm_tolerated_by_workload_loop() {
+        let agg = run_fleet(FleetSpec {
+            workload: MacroWorkload::Web,
+            mode: SystemMode::Protego,
+            workers: 2,
+            iters: 20,
+            warmup: 1,
+            fault: Some(FaultSpec { seed: 7, rate: 25 }),
+        });
+        assert_eq!(agg.panicked, 0);
+        assert_eq!(agg.ops, 40);
+        assert!(agg.artifacts.is_empty());
+    }
+}

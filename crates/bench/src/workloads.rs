@@ -4,7 +4,7 @@
 use crate::Fixture;
 use sim_kernel::vfs::Mode;
 use userland::bins::mail;
-use userland::SystemMode;
+use userland::workload;
 
 /// Result of a throughput workload.
 #[derive(Clone, Copy, Debug)]
@@ -29,20 +29,8 @@ impl Throughput {
 
 /// Starts the image's mail service and returns (server task, listen fd).
 pub fn start_mta(f: &mut Fixture) -> (sim_kernel::Pid, i32) {
-    let session = match f.sys.mode {
-        SystemMode::Legacy => f.root,
-        SystemMode::Protego => f.sys.service_session(
-            sim_kernel::cred::Uid(mail::MAIL_UID),
-            sim_kernel::cred::Gid(8),
-            "/bin/sh",
-        ),
-    };
-    let (pid, startup) = f
-        .sys
-        .spawn_service(session, "/usr/sbin/exim4", &["--daemon"])
-        .expect("spawn mta");
-    let fd = mail::parse_listen_fd(&startup).expect("mta listening");
-    (pid, fd)
+    let srv = workload::start_mail_service(&mut f.sys).expect("spawn mta");
+    (srv.pid, srv.listen_fd)
 }
 
 /// The Postal benchmark: `messages` SMTP round-trips through the MTA.
@@ -105,20 +93,8 @@ pub fn compile(f: &mut Fixture, units: u64) -> Throughput {
 
 /// Starts the image's web service and returns (server task, listen fd).
 pub fn start_httpd(f: &mut Fixture) -> (sim_kernel::Pid, i32) {
-    let session = match f.sys.mode {
-        SystemMode::Legacy => f.root,
-        SystemMode::Protego => f.sys.service_session(
-            sim_kernel::cred::Uid(mail::WWW_UID),
-            sim_kernel::cred::Gid(33),
-            "/bin/sh",
-        ),
-    };
-    let (pid, startup) = f
-        .sys
-        .spawn_service(session, "/usr/sbin/httpd", &["--daemon"])
-        .expect("spawn httpd");
-    let fd = mail::parse_listen_fd(&startup).expect("httpd listening");
-    (pid, fd)
+    let srv = workload::start_web_service(&mut f.sys).expect("spawn httpd");
+    (srv.pid, srv.listen_fd)
 }
 
 /// ApacheBench: `requests` HTTP round-trips issued in batches of
@@ -174,6 +150,7 @@ pub fn apache_bench(
 mod tests {
     use super::*;
     use crate::fixture;
+    use userland::SystemMode;
 
     #[test]
     fn postal_runs_on_both_modes() {

@@ -165,6 +165,20 @@ impl Kernel {
         self.lsm.as_mut()
     }
 
+    /// A self-contained copy of the kernel's metrics with the live cache
+    /// counters (VFS dcache + the security module's policy caches)
+    /// folded in — the same view `/proc/<lsm>/metrics` renders, but as a
+    /// plain value that can cross threads and be [`Metrics::merge`]d
+    /// into a fleet-wide aggregate.
+    pub fn metrics_snapshot(&self) -> Metrics {
+        let mut m = self.metrics.clone();
+        m.record_cache("dcache", self.vfs.dcache_stats());
+        for (name, stats) in self.lsm().cache_stats() {
+            m.record_cache(name, stats);
+        }
+        m
+    }
+
     /// Registers the trusted authentication agent.
     pub fn register_auth(&mut self, auth: Box<dyn AuthProvider>) {
         self.auth = Some(auth);

@@ -447,16 +447,7 @@ impl Kernel {
                     ProcHook::Uptime => Ok(format!("{}.00 0.00\n", self.clock).into_bytes()),
                     ProcHook::LsmConfig(name) => Ok(self.lsm().config_read(name)?.into_bytes()),
                     ProcHook::Audit => Ok(self.audit.render().into_bytes()),
-                    ProcHook::Metrics => {
-                        // Fold the live cache counters (VFS dcache + the
-                        // module's policy caches) into the rendered view.
-                        let mut m = self.metrics.clone();
-                        m.record_cache("dcache", self.vfs.dcache_stats());
-                        for (name, stats) in self.lsm().cache_stats() {
-                            m.record_cache(name, stats);
-                        }
-                        Ok(m.render().into_bytes())
-                    }
+                    ProcHook::Metrics => Ok(self.metrics_snapshot().render().into_bytes()),
                     ProcHook::SysAttr(attr) => Ok(self.sys_attr_read(&attr)?.into_bytes()),
                 }
             }

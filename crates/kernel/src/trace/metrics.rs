@@ -343,6 +343,32 @@ mod tests {
         );
     }
 
+    /// Fleet workers snapshot metrics in-thread and ship them over a
+    /// channel to the aggregating driver — that only works if `Metrics`
+    /// stays `Send + 'static`. This is a compile-time guarantee; the
+    /// function body never runs.
+    #[allow(dead_code)]
+    fn metrics_crosses_threads() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<Metrics>();
+    }
+
+    #[test]
+    fn merged_snapshot_sums_class_counters() {
+        let mut a = Metrics::default();
+        a.observe_class("fs", 3, false);
+        a.observe_class("fs", 0, true);
+        let mut b = Metrics::default();
+        b.observe_class("fs", 5, false);
+        b.observe_class("net", 1, false);
+        a.merge(&b);
+        assert_eq!(a.classes["fs"].calls, 3);
+        assert_eq!(a.classes["fs"].errors, 1);
+        assert_eq!(a.classes["fs"].latency.total, 8);
+        assert_eq!(a.classes["fs"].latency.max, 5);
+        assert_eq!(a.classes["net"].calls, 1);
+    }
+
     #[test]
     fn render_is_line_per_counter() {
         let mut m = Metrics::default();

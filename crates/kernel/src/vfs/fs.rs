@@ -223,6 +223,16 @@ impl Vfs {
         ino
     }
 
+    /// Number of inode slots in the arena (live + reclaimed).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Inode slots currently sitting on the free list.
+    pub fn reclaimed_slots(&self) -> &[Ino] {
+        &self.free_inos
+    }
+
     /// Records that a file description opened `ino`.
     pub fn inc_open(&mut self, ino: Ino) {
         self.inodes[ino.0].opens += 1;
@@ -530,18 +540,29 @@ impl Vfs {
     // Directory operations (mechanism; callers check permissions)
     // ------------------------------------------------------------------
 
-    /// Adds a directory entry, failing if the name exists.
-    pub fn dir_add(&mut self, dir: Ino, name: &str, child: Ino) -> KResult<()> {
+    /// Checks that `dir_add(dir, name, _)` would succeed, without
+    /// mutating anything. Callers that allocate an inode before linking
+    /// it in (`create_file`, `mkdir`, `symlink`) run this first so a
+    /// failed `dir_add` can never strand a freshly allocated inode
+    /// outside the tree.
+    fn dir_add_precheck(&self, dir: Ino, name: &str) -> KResult<()> {
         if name.is_empty() || name.contains('/') {
             return Err(Errno::EINVAL);
         }
+        let entries = self.inodes[dir.0].dir_entries().ok_or(Errno::ENOTDIR)?;
+        if entries.contains_key(name) {
+            return Err(Errno::EEXIST);
+        }
+        Ok(())
+    }
+
+    /// Adds a directory entry, failing if the name exists.
+    pub fn dir_add(&mut self, dir: Ino, name: &str, child: Ino) -> KResult<()> {
+        self.dir_add_precheck(dir, name)?;
         let entries = match &mut self.inodes[dir.0].data {
             InodeData::Directory(e) => e,
             _ => return Err(Errno::ENOTDIR),
         };
-        if entries.contains_key(name) {
-            return Err(Errno::EEXIST);
-        }
         entries.insert(name.to_string(), child);
         if self.inodes[child.0].data.is_dir() {
             self.inodes[dir.0].nlink += 1;
@@ -552,7 +573,21 @@ impl Vfs {
     }
 
     /// Removes a directory entry, returning the unlinked inode number.
+    ///
+    /// Removing a *directory* entry requires the directory to be empty —
+    /// this is checked here, not just in [`Vfs::rmdir`], because this is a
+    /// `pub` API and dropping a populated subtree to `nlink = 0` would
+    /// orphan every inode under it.
     pub fn dir_remove(&mut self, dir: Ino, name: &str) -> KResult<Ino> {
+        {
+            let entries = self.inodes[dir.0].dir_entries().ok_or(Errno::ENOTDIR)?;
+            let &child = entries.get(name).ok_or(Errno::ENOENT)?;
+            if let Some(sub) = self.inodes[child.0].dir_entries() {
+                if !sub.is_empty() {
+                    return Err(Errno::ENOTEMPTY);
+                }
+            }
+        }
         let entries = match &mut self.inodes[dir.0].data {
             InodeData::Directory(e) => e,
             _ => return Err(Errno::ENOTDIR),
@@ -560,8 +595,7 @@ impl Vfs {
         let child = entries.remove(name).ok_or(Errno::ENOENT)?;
         if self.inodes[child.0].data.is_dir() {
             self.inodes[dir.0].nlink -= 1;
-            // A removed directory is gone entirely (rmdir checked it was
-            // empty).
+            // The emptiness check above guarantees nothing is orphaned.
             self.inodes[child.0].nlink = 0;
         } else {
             self.inodes[child.0].nlink = self.inodes[child.0].nlink.saturating_sub(1);
@@ -582,15 +616,20 @@ impl Vfs {
         gid: Gid,
         exclusive: bool,
     ) -> KResult<Ino> {
-        if let Some(entries) = self.inodes[dir.0].dir_entries() {
-            if let Some(&existing) = entries.get(name) {
+        match self.dir_add_precheck(dir, name) {
+            Ok(()) => {}
+            Err(Errno::EEXIST) => {
                 if exclusive {
                     return Err(Errno::EEXIST);
                 }
+                let &existing = self.inodes[dir.0]
+                    .dir_entries()
+                    .ok_or(Errno::ENOTDIR)?
+                    .get(name)
+                    .ok_or(Errno::ENOENT)?;
                 return Ok(existing);
             }
-        } else {
-            return Err(Errno::ENOTDIR);
+            Err(e) => return Err(e),
         }
         let ino = self.alloc(dir, mode, uid, gid, InodeData::Regular(Vec::new()));
         self.dir_add(dir, name, ino)?;
@@ -599,6 +638,7 @@ impl Vfs {
 
     /// Creates a directory.
     pub fn mkdir(&mut self, dir: Ino, name: &str, mode: Mode, uid: Uid, gid: Gid) -> KResult<Ino> {
+        self.dir_add_precheck(dir, name)?;
         let ino = self.alloc(dir, mode, uid, gid, InodeData::Directory(BTreeMap::new()));
         self.dir_add(dir, name, ino)?;
         Ok(ino)
@@ -613,6 +653,7 @@ impl Vfs {
         uid: Uid,
         gid: Gid,
     ) -> KResult<Ino> {
+        self.dir_add_precheck(dir, name)?;
         let ino = self.alloc(
             dir,
             Mode(0o777),
@@ -665,6 +706,24 @@ impl Vfs {
             .ok_or(Errno::ENOTDIR)?
             .get(from_name)
             .ok_or(Errno::ENOENT)?;
+        if self.inodes[src.0].data.is_dir() {
+            // Moving a directory under itself (or into itself) would
+            // detach the subtree into an unreachable cycle: walk the
+            // destination's parent chain and refuse if `src` shows up
+            // anywhere on it (Linux returns EINVAL here).
+            let mut cur = to_dir;
+            let mut guard = 0usize;
+            loop {
+                if cur == src {
+                    return Err(Errno::EINVAL);
+                }
+                guard += 1;
+                if cur == self.root || guard > 4096 {
+                    break;
+                }
+                cur = self.inode(cur).parent;
+            }
+        }
         if let Some(entries) = self.inodes[to_dir.0].dir_entries() {
             if let Some(&existing) = entries.get(to_name) {
                 if existing == src {
@@ -1252,6 +1311,123 @@ mod tests {
         assert_eq!(v.read_all(f).unwrap(), b"# fstab\n");
         // Missing source.
         assert_eq!(v.rename(tmp, "nope", tmp, "x").unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn rename_into_own_subtree_is_einval() {
+        let mut v = fixture();
+        let a = v.mkdir_p("/a").unwrap();
+        let b = v.mkdir_p("/a/b").unwrap();
+        let c = v.mkdir_p("/a/b/c").unwrap();
+        // Direct: /a -> /a/x.
+        assert_eq!(v.rename(v.root(), "a", a, "x").unwrap_err(), Errno::EINVAL);
+        // Transitive: /a -> /a/b/c/x.
+        assert_eq!(v.rename(v.root(), "a", c, "x").unwrap_err(), Errno::EINVAL);
+        // Mid-chain source: /a/b -> /a/b/c/x.
+        assert_eq!(v.rename(a, "b", c, "x").unwrap_err(), Errno::EINVAL);
+        // The tree is untouched: everything still resolves and nlinks are
+        // consistent (/a holds ".", "..", and b => 3).
+        assert_eq!(v.resolve(v.root(), "/a/b/c").unwrap().ino, c);
+        assert_eq!(v.inode(a).nlink, 3);
+        assert_eq!(v.inode(b).nlink, 3);
+        // Moving a directory *sideways* still works.
+        let d = v.mkdir_p("/d").unwrap();
+        v.rename(a, "b", d, "b").unwrap();
+        assert_eq!(v.resolve(v.root(), "/d/b/c").unwrap().ino, c);
+    }
+
+    #[test]
+    fn rename_same_inode_is_noop() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        // Rename onto itself (same entry).
+        v.rename(etc, "fstab", etc, "fstab").unwrap();
+        assert_eq!(v.resolve(v.root(), "/etc/fstab").unwrap().ino, f);
+        // Rename onto a hard link of the same inode: POSIX no-op, both
+        // names survive.
+        v.link(etc, "fstab2", f).unwrap();
+        v.rename(etc, "fstab", etc, "fstab2").unwrap();
+        assert_eq!(v.resolve(v.root(), "/etc/fstab").unwrap().ino, f);
+        assert_eq!(v.resolve(v.root(), "/etc/fstab2").unwrap().ino, f);
+        assert_eq!(v.inode(f).nlink, 2);
+    }
+
+    #[test]
+    fn rename_overwrite_open_target_defers_reclaim() {
+        let mut v = fixture();
+        let tmp = v.mkdir_p("/tmp").unwrap();
+        let old = v
+            .create_file(tmp, "spool", Mode(0o600), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        v.write_all(old, b"old contents").unwrap();
+        let new = v
+            .create_file(tmp, "spool.tmp", Mode(0o600), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        v.write_all(new, b"new contents").unwrap();
+        // A reader holds the about-to-be-replaced inode open.
+        v.inc_open(old);
+        v.rename(tmp, "spool.tmp", tmp, "spool").unwrap();
+        // The name now points at the replacement...
+        assert_eq!(v.resolve(v.root(), "/tmp/spool").unwrap().ino, new);
+        // ...but the old inode is still readable through the open fd.
+        assert_eq!(v.inode(old).nlink, 0);
+        assert_eq!(v.read_all(old).unwrap(), b"old contents");
+        // Close: now it is reclaimed, and the slot is reusable.
+        v.dec_open(old);
+        let fresh = v.alloc(
+            tmp,
+            Mode(0o644),
+            Uid::ROOT,
+            Gid::ROOT,
+            InodeData::Regular(Vec::new()),
+        );
+        assert_eq!(fresh, old, "reclaimed slot must be reused");
+        assert_eq!(v.read_all(fresh).unwrap(), b"", "no content leak");
+    }
+
+    #[test]
+    fn rename_errno_paths() {
+        let mut v = fixture();
+        let etc = v.resolve(v.root(), "/etc").unwrap().ino;
+        let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
+        let home = v.resolve(v.root(), "/home").unwrap().ino;
+        // Overwriting a directory with a file is EISDIR.
+        assert_eq!(
+            v.rename(etc, "fstab", v.root(), "home").unwrap_err(),
+            Errno::EISDIR
+        );
+        // A file as the destination directory is ENOTDIR.
+        assert_eq!(v.rename(etc, "fstab", f, "x").unwrap_err(), Errno::ENOTDIR);
+        // Missing source is ENOENT.
+        assert_eq!(v.rename(etc, "nope", etc, "x").unwrap_err(), Errno::ENOENT);
+        // Nothing above disturbed the namespace.
+        assert_eq!(v.resolve(v.root(), "/etc/fstab").unwrap().ino, f);
+        assert_eq!(v.resolve(v.root(), "/home").unwrap().ino, home);
+    }
+
+    #[test]
+    fn dir_remove_refuses_nonempty_directory() {
+        let mut v = fixture();
+        let home = v.resolve(v.root(), "/home").unwrap().ino;
+        let alice = v.resolve(v.root(), "/home/alice").unwrap().ino;
+        // /home/alice is populated via /home — direct dir_remove must
+        // refuse rather than orphan the subtree.
+        v.create_file(alice, "notes", Mode(0o644), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        assert_eq!(
+            v.dir_remove(v.root(), "home").unwrap_err(),
+            Errno::ENOTEMPTY
+        );
+        assert_eq!(v.dir_remove(home, "alice").unwrap_err(), Errno::ENOTEMPTY);
+        // The subtree survived with sane links.
+        assert!(v.resolve(v.root(), "/home/alice/notes").is_ok());
+        assert!(v.inode(alice).nlink >= 2);
+        // Empty it out and removal succeeds bottom-up.
+        v.unlink(alice, "notes").unwrap();
+        v.dir_remove(home, "alice").unwrap();
+        v.dir_remove(v.root(), "home").unwrap();
+        assert_eq!(v.resolve(v.root(), "/home").unwrap_err(), Errno::ENOENT);
     }
 
     #[test]

@@ -253,12 +253,26 @@ pub fn smtp_send(
     Ok(String::from_utf8_lossy(&reply).to_string())
 }
 
+/// The page served when the docroot is missing or unreadable.
+pub const HTTPD_FALLBACK_PAGE: &str = "<html><body>It works!</body></html>";
+
+/// The docroot file `httpd` serves.
+pub const HTTPD_DOCROOT_INDEX: &str = "/var/www/index.html";
+
 /// Handles one HTTP connection on the httpd task: accepts, reads the
-/// request, sends a fixed page.
+/// request, and serves the docroot index — a stat + open + read + close
+/// per request, the per-request syscall mix ApacheBench measures —
+/// falling back to a fixed page if the docroot is absent.
 pub fn httpd_serve_one(sys: &mut System, server: Pid, listen_fd: i32) -> KResult<()> {
     let conn = sys.process(server).accept(listen_fd)?;
     let _req = sys.process(server).recv(conn, 65536)?;
-    let body = "<html><body>It works!</body></html>";
+    let mut p = sys.process(server);
+    let body = match p.stat(HTTPD_DOCROOT_INDEX) {
+        Ok(_) => p
+            .read_to_string(HTTPD_DOCROOT_INDEX)
+            .unwrap_or_else(|_| HTTPD_FALLBACK_PAGE.to_string()),
+        Err(_) => HTTPD_FALLBACK_PAGE.to_string(),
+    };
     let resp = format!(
         "HTTP/1.0 200 OK\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),

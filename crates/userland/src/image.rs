@@ -230,6 +230,15 @@ fn build_tree(sys: &mut System) {
     let mail = v.mkdir_p("/var/mail").unwrap();
     v.inode_mut(mail).mode = Mode(0o2775);
     v.inode_mut(mail).gid = Gid(8);
+    v.mkdir_p("/var/www").unwrap();
+    v.install_file(
+        crate::bins::mail::HTTPD_DOCROOT_INDEX,
+        crate::bins::mail::HTTPD_FALLBACK_PAGE.as_bytes(),
+        Mode(0o644),
+        Uid::ROOT,
+        Gid::ROOT,
+    )
+    .unwrap();
     let sudo_lib = v.mkdir_p("/var/lib/sudo").unwrap();
     v.inode_mut(sudo_lib).mode = Mode(0o700);
 

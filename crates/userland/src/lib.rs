@@ -30,6 +30,7 @@ pub mod monitord;
 pub mod process;
 pub mod suite;
 pub mod system;
+pub mod workload;
 
 pub use image::boot;
 pub use process::Process;
