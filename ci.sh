@@ -36,13 +36,26 @@ cargo run --release -p bench --bin tables -- bench-verify target/BENCH_macro.smo
 test -s BENCH_macro.json || { echo "error: committed BENCH_macro.json missing" >&2; exit 1; }
 cargo run --release -p bench --bin tables -- bench-verify BENCH_macro.json
 
+echo "== smoke profile: pathway attribution covers dispatched time =="
+# Reduced-op run of the overhead-attribution pipeline on both images; the
+# subcommand fails unless >=95% of dispatched wall time is attributed to
+# named kernel pathways, and bench-verify re-checks the emitted document
+# against the bench_profile/v1 schema (schema-stability guard).
+cargo run --release -p bench --bin tables -- profile --smoke --out target/BENCH_profile.smoke.json
+cargo run --release -p bench --bin tables -- bench-verify target/BENCH_profile.smoke.json
+
+echo "== span-timing feature compiles out cleanly =="
+# The no-default-features build turns every span into a zero-sized no-op;
+# keep that configuration compiling so the flag stays usable.
+cargo check -q -p sim-kernel --no-default-features
+
 echo "== smoke replay: recorded syscall trace replays deterministically =="
 # Records the full functional battery through the dispatch boundary and
 # replays a fresh boot against it; fails on any divergence.
 cargo run --release -p bench --bin tables -- replay-smoke
 
-echo "== docs: sim-kernel rustdoc is warning-clean =="
-RUSTDOCFLAGS="-D warnings" cargo doc -p sim-kernel --no-deps --quiet
+echo "== docs: sim-kernel + bench rustdoc is warning-clean =="
+RUSTDOCFLAGS="-D warnings" cargo doc -p sim-kernel -p bench --no-deps --quiet
 
 echo "== guard: no string-formatted audit calls =="
 # The legacy unbounded string log is gone; decisions must go through the

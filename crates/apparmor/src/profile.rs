@@ -194,6 +194,7 @@ impl Profile {
     /// per (path, access) in a small LRU; compiled rule evaluation on
     /// miss.
     pub fn check_path(&self, path: &str, want: Access) -> bool {
+        let _span = sim_kernel::trace::span(sim_kernel::trace::Pathway::PolicyCache);
         let mut cache = self.decision_cache.borrow_mut();
         if let Some(d) = cache.get(path, want.0) {
             return d;

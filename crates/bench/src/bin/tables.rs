@@ -4,11 +4,12 @@
 //! tables [table1|table2|table3|table4|table5|table6|table7|table8|ablations|all] [--quick]
 //! tables bench-json [--quick] [--out PATH]   # write BENCH_table5.json
 //! tables bench-macro [--smoke] [--out PATH]  # fleet macro benchmark -> BENCH_macro.json
+//! tables profile [--smoke] [--out PATH]      # overhead attribution -> BENCH_profile.json
 //! tables bench-verify PATH                   # validate a results file (schema-dispatched)
 //! tables replay-smoke                        # record + replay determinism check
 //! ```
 
-use bench::{json, macro_fleet, table5};
+use bench::{json, macro_fleet, profile, table5};
 use setuid_study::render;
 use setuid_study::summary::{table1, MeasuredInputs};
 use userland::suite::{run_divergence_suite, run_functional_suite, run_service_suite};
@@ -29,6 +30,10 @@ fn main() {
     }
     if which == "bench-macro" {
         run_bench_macro(&args);
+        return;
+    }
+    if which == "profile" {
+        run_profile_cmd(&args);
         return;
     }
     if which == "bench-verify" {
@@ -392,6 +397,38 @@ fn run_bench_macro(args: &[String]) {
     println!("wrote {}", out);
 }
 
+fn run_profile_cmd(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_profile.json".to_string());
+    eprintln!(
+        "profiling kernel pathways ({} mode, both images)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = profile::run_profile(smoke);
+    if let Err(e) = report.check() {
+        eprintln!("error: profile failed its attribution gate: {}", e);
+        std::process::exit(1);
+    }
+    let mut text = report.to_json();
+    text.push('\n');
+    if let Err(e) = json::validate_profile(&text) {
+        eprintln!("error: generated document fails validation: {}", e);
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: cannot write {}: {}", out, e);
+        std::process::exit(1);
+    }
+    println!("== Overhead attribution (protego, top 15 pathways by self time) ==");
+    print!("{}", report.render(15));
+    println!("wrote {}", out);
+}
+
 fn run_bench_verify(args: &[String]) {
     let path = args
         .iter()
@@ -417,6 +454,8 @@ fn run_bench_verify(args: &[String]) {
         .unwrap_or_default();
     let checked = if schema == json::MACRO_SCHEMA {
         json::validate_macro(&text)
+    } else if schema == json::PROFILE_SCHEMA {
+        json::validate_profile(&text)
     } else {
         json::validate_table5(&text)
     };

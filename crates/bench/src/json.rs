@@ -502,6 +502,73 @@ pub fn validate_macro(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The schema tag every generated `BENCH_profile.json` carries.
+pub const PROFILE_SCHEMA: &str = "bench_profile/v1";
+
+/// Validates a `bench_profile/v1` document: schema tag, one run per mode
+/// (`legacy` and `protego`), each with positive dispatched wall time, a
+/// non-empty pathway table whose rows carry finite timing fields, and —
+/// the pipeline's acceptance criterion — at least 95% of dispatched wall
+/// time attributed to named pathways.
+pub fn validate_profile(text: &str) -> Result<(), String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {}", e))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" string")?;
+    if schema != PROFILE_SCHEMA {
+        return Err(format!(
+            "schema {:?}, expected {:?}",
+            schema, PROFILE_SCHEMA
+        ));
+    }
+    require_bool(&doc, "smoke", "document")?;
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"runs\" array")?;
+    for required in ["legacy", "protego"] {
+        let run = runs
+            .iter()
+            .find(|r| r.get("mode").and_then(Value::as_str) == Some(required))
+            .ok_or_else(|| format!("runs missing required mode {:?}", required))?;
+        let ctx = format!("run {:?}", required);
+        if require_num(run, "root_total_ns", &ctx)? <= 0.0 {
+            return Err(format!("{}: no dispatched wall time recorded", ctx));
+        }
+        require_num(run, "root_spans", &ctx)?;
+        require_num(run, "attributed_self_ns", &ctx)?;
+        let pct = require_num(run, "attributed_pct", &ctx)?;
+        if pct < 95.0 {
+            return Err(format!(
+                "{}: only {:.2}% of dispatched time attributed (need >= 95%)",
+                ctx, pct
+            ));
+        }
+        let pathways = run
+            .get("pathways")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("{} without a pathways array", ctx))?;
+        if pathways.is_empty() {
+            return Err(format!("{}: pathway table is empty", ctx));
+        }
+        for p in pathways {
+            let name = p
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{}: pathway row without a string name", ctx))?;
+            let ctx = format!("{} pathway {:?}", ctx, name);
+            for field in [
+                "count", "total_ns", "self_ns", "pct", "min_ns", "p50_ns", "p95_ns", "p99_ns",
+                "max_ns",
+            ] {
+                require_num(p, field, &ctx)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +665,47 @@ mod tests {
                    "panicked_workers":0,"privileged_artifacts":0,"completed":true}
         }"#
         .to_string()
+    }
+
+    fn valid_profile_doc() -> String {
+        r#"{
+          "schema": "bench_profile/v1",
+          "smoke": true,
+          "runs": [
+            {"mode":"legacy","ops":100,"root_spans":1200,"root_total_ns":900000,
+             "attributed_self_ns":890000,"attributed_pct":98.9,
+             "pathways":[{"name":"sys_fs","count":800,"total_ns":500000,"self_ns":400000,
+                          "pct":44.4,"min_ns":100,"p50_ns":512,"p95_ns":2047,"p99_ns":4095,"max_ns":9000}]},
+            {"mode":"protego","ops":100,"root_spans":1300,"root_total_ns":1000000,
+             "attributed_self_ns":990000,"attributed_pct":99.0,
+             "pathways":[{"name":"sys_fs","count":800,"total_ns":520000,"self_ns":410000,
+                          "pct":41.0,"min_ns":100,"p50_ns":512,"p95_ns":2047,"p99_ns":4095,"max_ns":9000},
+                         {"name":"lsm_file_open","count":800,"total_ns":40000,"self_ns":40000,
+                          "pct":4.0,"min_ns":20,"p50_ns":63,"p95_ns":127,"p99_ns":255,"max_ns":400}]}
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn profile_validator_accepts_a_good_document() {
+        validate_profile(&valid_profile_doc()).unwrap();
+    }
+
+    #[test]
+    fn profile_validator_enforces_attribution_modes_and_shape() {
+        let leaky =
+            valid_profile_doc().replace("\"attributed_pct\":99.0", "\"attributed_pct\":80.0");
+        assert!(validate_profile(&leaky).unwrap_err().contains("95%"));
+        let one_mode = valid_profile_doc().replace("\"mode\":\"legacy\"", "\"mode\":\"linux\"");
+        assert!(validate_profile(&one_mode).unwrap_err().contains("legacy"));
+        let no_paths = valid_profile_doc().replace("\"p50_ns\":512,", "");
+        assert!(validate_profile(&no_paths).unwrap_err().contains("p50_ns"));
+        let wrong_schema = valid_profile_doc().replace("bench_profile/v1", "bench_profile/v0");
+        assert!(validate_profile(&wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+        assert!(validate_profile("not json").is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod ablations;
 pub mod json;
 pub mod macro_fleet;
 pub mod micro;
+pub mod profile;
 pub mod table5;
 pub mod workloads;
 

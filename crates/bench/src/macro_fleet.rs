@@ -35,8 +35,8 @@
 //! audit).
 
 use crate::json::Value;
-use sim_kernel::syscall::{FaultConfig, FaultInjector, SyscallMeter};
-use sim_kernel::trace::Metrics;
+use sim_kernel::syscall::{FaultConfig, FaultInjector, SyscallClass, SyscallMeter};
+use sim_kernel::trace::{span, Metrics, Pathway, TimingSnapshot};
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::time::Instant;
@@ -109,6 +109,8 @@ pub struct WorkerReport {
     pub metrics: Metrics,
     /// Per-class (calls, errors) deltas over the measured loop only.
     pub loop_classes: BTreeMap<&'static str, (u64, u64)>,
+    /// Per-pathway latency histograms over the measured loop only.
+    pub timing: TimingSnapshot,
     /// Faults the storm injected (0 without a [`FaultSpec`]).
     pub injected: u64,
     /// Privileged-artifact audit findings (must be empty).
@@ -132,6 +134,10 @@ pub struct FleetAggregate {
     pub metrics: Metrics,
     /// Summed per-class (calls, errors) over the measured loops.
     pub loop_classes: BTreeMap<&'static str, (u64, u64)>,
+    /// Merged per-pathway latency histograms over the measured loops.
+    /// Excluded from [`FleetAggregate::fingerprint`] — timings never
+    /// participate in determinism checks.
+    pub timing: TimingSnapshot,
     /// Total injected faults.
     pub injected: u64,
     /// Concatenated privileged-artifact findings (must be empty).
@@ -230,6 +236,11 @@ fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
     });
 
     let before = sys.kernel.metrics_snapshot();
+    // Span timing covers exactly the measured loop: boot, service start
+    // and warmup stay out of the histograms. The registry is thread-local,
+    // so each worker gets an isolated copy for free.
+    span::reset();
+    span::set_enabled(true);
     let wall_start = Instant::now();
     let busy_start = thread_busy_ns();
     let mut failures = 0u64;
@@ -259,13 +270,15 @@ fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
         (Some(a), Some(b)) if b > a => (b - a, true),
         _ => (wall_ns, false),
     };
+    span::set_enabled(false);
+    let timing = span::snapshot();
 
     let metrics = sys.kernel.metrics_snapshot();
     let mut loop_classes = BTreeMap::new();
     for (class, after) in &metrics.classes {
         let prior = before.classes.get(class).copied().unwrap_or_default();
         loop_classes.insert(
-            *class,
+            class,
             (after.calls - prior.calls, after.errors - prior.errors),
         );
     }
@@ -281,6 +294,7 @@ fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
         used_schedstat,
         metrics,
         loop_classes,
+        timing,
         injected,
         artifacts,
     }
@@ -312,6 +326,7 @@ pub fn run_fleet(spec: FleetSpec) -> FleetAggregate {
         used_schedstat: true,
         metrics: Metrics::default(),
         loop_classes: BTreeMap::new(),
+        timing: TimingSnapshot::new(),
         injected: 0,
         artifacts: Vec::new(),
         panicked: 0,
@@ -327,6 +342,7 @@ pub fn run_fleet(spec: FleetSpec) -> FleetAggregate {
             e.0 += calls;
             e.1 += errors;
         }
+        agg.timing.merge(&report.timing);
         agg.injected += report.injected;
         agg.artifacts.extend(report.artifacts);
     }
@@ -571,6 +587,7 @@ pub fn run_macro_matrix(options: MacroOptions) -> MacroResults {
         e.0 += calls;
         e.1 += errors;
     }
+    soak.timing.merge(&mail_half.timing);
     soak.injected += mail_half.injected;
     soak.artifacts.extend(mail_half.artifacts.clone());
     soak.panicked += mail_half.panicked;
@@ -598,6 +615,31 @@ fn classes_json(classes: &BTreeMap<&'static str, (u64, u64)>) -> Value {
     )
 }
 
+/// Per-syscall-class latency breakdown from the fleet's merged span
+/// histograms: one entry per class whose body pathway recorded spans.
+/// Timings are additive documentation — they never enter the
+/// determinism fingerprint.
+fn class_latency_json(timing: &TimingSnapshot) -> Value {
+    let mut members = Vec::new();
+    for class in SyscallClass::ALL {
+        let h = timing.hist(Pathway::for_class(class));
+        if h.is_empty() {
+            continue;
+        }
+        members.push((
+            class.name().to_string(),
+            Value::Obj(vec![
+                ("count".into(), Value::Num(h.count as f64)),
+                ("p50_ns".into(), Value::Num(h.p50() as f64)),
+                ("p95_ns".into(), Value::Num(h.p95() as f64)),
+                ("p99_ns".into(), Value::Num(h.p99() as f64)),
+                ("max_ns".into(), Value::Num(h.max as f64)),
+            ]),
+        ));
+    }
+    Value::Obj(members)
+}
+
 fn aggregate_json(agg: &FleetAggregate) -> Value {
     Value::Obj(vec![
         ("ops".into(), Value::Num(agg.ops as f64)),
@@ -605,6 +647,7 @@ fn aggregate_json(agg: &FleetAggregate) -> Value {
         ("ops_per_sec".into(), Value::Num(agg.ops_per_sec)),
         ("dcache_hit_rate".into(), Value::Num(agg.dcache_hit_rate())),
         ("syscall_classes".into(), classes_json(&agg.loop_classes)),
+        ("class_latency".into(), class_latency_json(&agg.timing)),
         ("used_schedstat".into(), Value::Bool(agg.used_schedstat)),
     ])
 }
@@ -701,6 +744,10 @@ mod tests {
                 // The loop dispatched fs and net syscalls on every op.
                 assert!(agg.loop_classes.get("fs").map_or(0, |c| c.0) > 0);
                 assert!(agg.loop_classes.get("net").map_or(0, |c| c.0) > 0);
+                // ... and each dispatch was timed (span registry merged
+                // from every worker thread).
+                assert!(agg.timing.hist(Pathway::Dispatch).count > 0);
+                assert!(agg.timing.hist(Pathway::SysNet).count > 0);
             }
         }
     }

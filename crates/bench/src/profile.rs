@@ -1,0 +1,323 @@
+//! The `tables profile` overhead-attribution pipeline.
+//!
+//! Runs the functional battery plus the §6 web and mail workloads under
+//! both images (legacy and Protego) with kernel span timing enabled, and
+//! attributes the dispatched wall time to named kernel pathways: syscall
+//! bodies by class, the interceptor chain, VFS resolution and dcache
+//! probes, every `SecurityModule` hook, policy decision caches, and
+//! audit emission.
+//!
+//! Self-time accounting makes the attribution complete by construction
+//! (summed self time equals root-span wall time, see
+//! [`mod@sim_kernel::trace::span`]), so the pipeline's acceptance gate —
+//! ≥95% of dispatched time attributed to named pathways on both modes —
+//! checks that the instrumentation actually covers the kernel, not that
+//! the arithmetic happens to work out.
+
+use crate::json::Value;
+use sim_kernel::trace::span;
+use sim_kernel::trace::{Pathway, TimingSnapshot};
+use userland::suite::run_functional_suite;
+use userland::workload;
+use userland::{boot, SystemMode};
+
+/// Attribution floor enforced on every profiled mode: at least this
+/// percentage of root-span wall time must land in named pathways.
+pub const MIN_ATTRIBUTED_PCT: f64 = 95.0;
+
+/// One profiled mode: its name plus the merged timing snapshot.
+#[derive(Clone, Debug)]
+pub struct ModeProfile {
+    /// `"legacy"` or `"protego"`.
+    pub mode: &'static str,
+    /// Timing state captured over the profiled workloads.
+    pub timing: TimingSnapshot,
+    /// Operations the profile drove (battery steps + web + mail ops).
+    pub ops: u64,
+}
+
+/// The whole profile: both modes, same workload mix.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// Whether this was a `--smoke` run (reduced op counts).
+    pub smoke: bool,
+    /// Per-mode profiles, legacy first.
+    pub runs: Vec<ModeProfile>,
+}
+
+/// One row of the attribution table.
+#[derive(Clone, Copy, Debug)]
+pub struct AttributionRow {
+    /// The pathway.
+    pub pathway: Pathway,
+    /// Spans observed (protego run).
+    pub count: u64,
+    /// Inclusive time, ns (protego run).
+    pub total_ns: u64,
+    /// Self time, ns (protego run).
+    pub self_ns: u64,
+    /// Self time as a percentage of the protego root wall time.
+    pub pct: f64,
+    /// Self time, ns, on the legacy run (0 when the pathway never ran).
+    pub legacy_self_ns: u64,
+}
+
+fn profile_mode(mode: SystemMode, web_ops: u64, mail_ops: u64) -> ModeProfile {
+    let mut sys = boot(mode);
+    let web = workload::start_web_service(&mut sys).expect("profile: web service start");
+    let mta = workload::start_mail_service(&mut sys).expect("profile: mail service start");
+    let client = workload::client_session(&mut sys).expect("profile: client login");
+
+    // Timing brackets exactly the profiled work: boot, service start and
+    // logins stay out of the histograms.
+    span::reset();
+    span::set_enabled(true);
+    let battery = run_functional_suite(&mut sys).len() as u64;
+    for _ in 0..web_ops {
+        let _ = workload::web_request(&mut sys, client, web);
+    }
+    for i in 0..mail_ops {
+        if i > 0 && i % 256 == 0 {
+            workload::drain_spools(&mut sys, mta);
+        }
+        let rcpt = if i % 2 == 0 { "alice" } else { "bob" };
+        let _ = workload::mail_delivery(&mut sys, client, mta, rcpt, "profile body");
+    }
+    span::set_enabled(false);
+    let timing = span::snapshot();
+    span::reset();
+
+    ModeProfile {
+        mode: match mode {
+            SystemMode::Legacy => "legacy",
+            SystemMode::Protego => "protego",
+        },
+        timing,
+        ops: battery + web_ops + mail_ops,
+    }
+}
+
+/// Runs the full pipeline: both modes over the identical workload mix.
+pub fn run_profile(smoke: bool) -> ProfileReport {
+    let (web_ops, mail_ops) = if smoke { (40, 40) } else { (400, 400) };
+    ProfileReport {
+        smoke,
+        runs: vec![
+            profile_mode(SystemMode::Legacy, web_ops, mail_ops),
+            profile_mode(SystemMode::Protego, web_ops, mail_ops),
+        ],
+    }
+}
+
+impl ProfileReport {
+    fn run(&self, mode: &str) -> Option<&ModeProfile> {
+        self.runs.iter().find(|r| r.mode == mode)
+    }
+
+    /// The attribution table: every pathway touched by either mode,
+    /// sorted by protego self time, descending.
+    pub fn attribution(&self) -> Vec<AttributionRow> {
+        let empty = TimingSnapshot::new();
+        let legacy = self.run("legacy").map(|r| &r.timing).unwrap_or(&empty);
+        let protego = self.run("protego").map(|r| &r.timing).unwrap_or(&empty);
+        let mut rows: Vec<AttributionRow> = Pathway::ALL
+            .iter()
+            .filter(|&&p| !protego.hist(p).is_empty() || !legacy.hist(p).is_empty())
+            .map(|&p| AttributionRow {
+                pathway: p,
+                count: protego.hist(p).count,
+                total_ns: protego.hist(p).total,
+                self_ns: protego.self_ns(p),
+                pct: if protego.root_ns == 0 {
+                    0.0
+                } else {
+                    protego.self_ns(p) as f64 * 100.0 / protego.root_ns as f64
+                },
+                legacy_self_ns: legacy.self_ns(p),
+            })
+            .collect();
+        rows.sort_by_key(|row| std::cmp::Reverse(row.self_ns));
+        rows
+    }
+
+    /// The driver-side acceptance gate: both modes present, non-empty,
+    /// and ≥[`MIN_ATTRIBUTED_PCT`] of root wall time attributed.
+    pub fn check(&self) -> Result<(), String> {
+        for mode in ["legacy", "protego"] {
+            let run = self
+                .run(mode)
+                .ok_or_else(|| format!("missing {} run", mode))?;
+            if run.timing.root_spans == 0 {
+                return Err(format!("{}: no root spans recorded", mode));
+            }
+            let pct = run.timing.attributed_pct();
+            if pct < MIN_ATTRIBUTED_PCT {
+                return Err(format!(
+                    "{}: only {:.2}% of dispatched time attributed (need >= {:.0}%)",
+                    mode, pct, MIN_ATTRIBUTED_PCT
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the human attribution table: top-`top_n` pathways by
+    /// protego self time, with the legacy-vs-protego per-span delta.
+    pub fn render(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<20} {:>9} {:>12} {:>12} {:>7} {:>9} {:>9} {:>10}\n",
+            "pathway", "count", "total_ns", "self_ns", "%total", "p50_ns", "p99_ns", "vs_legacy"
+        ));
+        let empty = TimingSnapshot::new();
+        let legacy = self.run("legacy").map(|r| &r.timing).unwrap_or(&empty);
+        let protego = self.run("protego").map(|r| &r.timing).unwrap_or(&empty);
+        for row in self.attribution().iter().take(top_n) {
+            let h = protego.hist(row.pathway);
+            // Compare per-span self cost so the delta is meaningful even
+            // when the two runs execute different span counts.
+            let per = |self_ns: u64, count: u64| {
+                if count == 0 {
+                    0.0
+                } else {
+                    self_ns as f64 / count as f64
+                }
+            };
+            let p = per(row.self_ns, h.count);
+            let l = per(row.legacy_self_ns, legacy.hist(row.pathway).count);
+            let delta = if l == 0.0 && p == 0.0 {
+                "     -".to_string()
+            } else if l == 0.0 {
+                "   new".to_string()
+            } else {
+                format!("{:+9.1}%", (p - l) * 100.0 / l)
+            };
+            out.push_str(&format!(
+                "  {:<20} {:>9} {:>12} {:>12} {:>6.2}% {:>9} {:>9} {:>10}\n",
+                row.pathway.name(),
+                row.count,
+                row.total_ns,
+                row.self_ns,
+                row.pct,
+                h.p50(),
+                h.p99(),
+                delta,
+            ));
+        }
+        for run in &self.runs {
+            out.push_str(&format!(
+                "  {:<8} {} root spans, {} ns dispatched, {:.2}% attributed\n",
+                run.mode,
+                run.timing.root_spans,
+                run.timing.root_ns,
+                run.timing.attributed_pct()
+            ));
+        }
+        out
+    }
+
+    /// Renders the machine-readable `bench_profile/v1` document.
+    pub fn to_json(&self) -> String {
+        let runs = self
+            .runs
+            .iter()
+            .map(|run| {
+                let pathways = Pathway::ALL
+                    .iter()
+                    .filter(|&&p| !run.timing.hist(p).is_empty())
+                    .map(|&p| {
+                        let h = run.timing.hist(p);
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str(p.name().into())),
+                            ("count".into(), Value::Num(h.count as f64)),
+                            ("total_ns".into(), Value::Num(h.total as f64)),
+                            ("self_ns".into(), Value::Num(run.timing.self_ns(p) as f64)),
+                            (
+                                "pct".into(),
+                                Value::Num(if run.timing.root_ns == 0 {
+                                    0.0
+                                } else {
+                                    run.timing.self_ns(p) as f64 * 100.0 / run.timing.root_ns as f64
+                                }),
+                            ),
+                            ("min_ns".into(), Value::Num(h.observed_min() as f64)),
+                            ("p50_ns".into(), Value::Num(h.p50() as f64)),
+                            ("p95_ns".into(), Value::Num(h.p95() as f64)),
+                            ("p99_ns".into(), Value::Num(h.p99() as f64)),
+                            ("max_ns".into(), Value::Num(h.max as f64)),
+                        ])
+                    })
+                    .collect();
+                Value::Obj(vec![
+                    ("mode".into(), Value::Str(run.mode.into())),
+                    ("ops".into(), Value::Num(run.ops as f64)),
+                    (
+                        "root_spans".into(),
+                        Value::Num(run.timing.root_spans as f64),
+                    ),
+                    (
+                        "root_total_ns".into(),
+                        Value::Num(run.timing.root_ns as f64),
+                    ),
+                    (
+                        "attributed_self_ns".into(),
+                        Value::Num(run.timing.attributed_ns() as f64),
+                    ),
+                    (
+                        "attributed_pct".into(),
+                        Value::Num(run.timing.attributed_pct()),
+                    ),
+                    ("pathways".into(), Value::Arr(pathways)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            (
+                "schema".into(),
+                Value::Str(crate::json::PROFILE_SCHEMA.into()),
+            ),
+            ("smoke".into(), Value::Bool(self.smoke)),
+            ("runs".into(), Value::Arr(runs)),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn smoke_profile_attributes_dispatched_time_on_both_modes() {
+        let report = run_profile(true);
+        report.check().expect("attribution gate");
+        for run in &report.runs {
+            // The workload mix exercises fs + net bodies, VFS resolution
+            // and audit emission on both images.
+            assert!(run.timing.hist(Pathway::Dispatch).count > 0, "{}", run.mode);
+            assert!(run.timing.hist(Pathway::SysFs).count > 0, "{}", run.mode);
+            assert!(run.timing.hist(Pathway::SysNet).count > 0, "{}", run.mode);
+            assert!(
+                run.timing.hist(Pathway::VfsResolve).count > 0,
+                "{}",
+                run.mode
+            );
+        }
+        // Protego runs its LSM hooks; the table must attribute them.
+        let protego = report.run("protego").unwrap();
+        assert!(protego.timing.hist(Pathway::LsmFileOpen).count > 0);
+
+        let rows = report.attribution();
+        assert!(!rows.is_empty());
+        // Sorted by self time descending.
+        assert!(rows.windows(2).all(|w| w[0].self_ns >= w[1].self_ns));
+
+        let text = report.render(10);
+        assert!(text.contains("pathway"));
+        assert!(text.contains("% attributed"));
+
+        let doc = report.to_json();
+        json::validate_profile(&doc).expect("self-emitted profile validates");
+    }
+}

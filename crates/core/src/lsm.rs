@@ -125,6 +125,7 @@ impl ProtegoLsm {
     }
 
     fn keyfile_rule(&self, path: &str) -> Option<&KeyFileRule> {
+        let _span = sim_kernel::trace::span(sim_kernel::trace::Pathway::PolicyCache);
         {
             let cache = self.keyfile_cache.borrow();
             if let Some(&idx) = cache.get(path) {
@@ -322,7 +323,7 @@ impl SecurityModule for ProtegoLsm {
         if ctx.cred.has_cap(Cap::Setuid) || target == ctx.cred.ruid || target == ctx.cred.suid {
             return SetuidDecision::UseDefault;
         }
-        let rule = match self.find_sudo_rule(&ctx.cred, target) {
+        let rule = match self.find_sudo_rule(ctx.cred, target) {
             Some(r) => r,
             None => return SetuidDecision::UseDefault, // -> EPERM
         };
@@ -359,6 +360,14 @@ impl SecurityModule for ProtegoLsm {
 
     fn task_setgid(&self, ctx: &SetidCtx, target: Gid) -> SetuidDecision {
         if ctx.cred.has_cap(Cap::Setgid) {
+            return SetuidDecision::UseDefault;
+        }
+        // Transitions to already-held ids keep stock semantics (mirrors
+        // task_setuid): stock grants these anyway, and answering
+        // UseDefault keeps the hot re-assert path (every `id`-style
+        // invocation calls setgid(own gid)) off the audit/metrics
+        // emission path.
+        if target == ctx.cred.rgid || target == ctx.cred.sgid {
             return SetuidDecision::UseDefault;
         }
         // A member may switch to any of her groups (stock allows only
@@ -615,10 +624,10 @@ mod tests {
         Credentials::user(Uid(1000), Gid(1000))
     }
 
-    fn ctx(cred: Credentials, authed: Option<AuthScope>) -> SetidCtx {
+    fn ctx(cred: &Credentials, authed: Option<AuthScope>) -> SetidCtx<'_> {
         SetidCtx {
             cred,
-            binary: "/usr/bin/sudo".into(),
+            binary: "/usr/bin/sudo",
             last_auth: authed.map(|_| 1000),
             last_auth_scope: authed,
             now: 1100,
@@ -729,13 +738,11 @@ mod tests {
         });
         let lsm = lsm_with(p);
         // Not authenticated yet -> kernel must launch the auth agent.
-        let d = lsm.task_setuid(&ctx(user_cred(), None), Uid::ROOT);
+        let alice = user_cred();
+        let d = lsm.task_setuid(&ctx(&alice, None), Uid::ROOT);
         assert_eq!(d, SetuidDecision::NeedAuth(AuthScope::User(Uid(1000))));
         // Recently authenticated -> allowed.
-        let d = lsm.task_setuid(
-            &ctx(user_cred(), Some(AuthScope::User(Uid(1000)))),
-            Uid::ROOT,
-        );
+        let d = lsm.task_setuid(&ctx(&alice, Some(AuthScope::User(Uid(1000)))), Uid::ROOT);
         assert_eq!(d, SetuidDecision::Allow);
     }
 
@@ -750,7 +757,8 @@ mod tests {
             keep_env: vec![],
         });
         let lsm = lsm_with(p);
-        let mut c = ctx(user_cred(), Some(AuthScope::User(Uid(1000))));
+        let alice = user_cred();
+        let mut c = ctx(&alice, Some(AuthScope::User(Uid(1000))));
         c.now = c.last_auth.unwrap() + AUTH_WINDOW + 1;
         assert!(matches!(
             lsm.task_setuid(&c, Uid::ROOT),
@@ -770,7 +778,7 @@ mod tests {
         });
         let lsm = lsm_with(p);
         let bob = Credentials::user(Uid(1001), Gid(1001));
-        match lsm.task_setuid(&ctx(bob, None), Uid(1000)) {
+        match lsm.task_setuid(&ctx(&bob, None), Uid(1000)) {
             SetuidDecision::Pending(pend) => {
                 assert_eq!(pend.target, Uid(1000));
                 assert_eq!(pend.allowed_binaries, vec!["/usr/bin/lpr".to_string()]);
@@ -793,7 +801,7 @@ mod tests {
         let lsm = lsm_with(p);
         let charlie = Credentials::user(Uid(1002), Gid(1002));
         assert_eq!(
-            lsm.task_setuid(&ctx(charlie, None), Uid::ROOT),
+            lsm.task_setuid(&ctx(&charlie, None), Uid::ROOT),
             SetuidDecision::UseDefault
         );
     }
@@ -812,7 +820,7 @@ mod tests {
         let mut admin = Credentials::user(Uid(1003), Gid(1003));
         admin.groups.push(Gid(27));
         assert_eq!(
-            lsm.task_setuid(&ctx(admin, None), Uid::ROOT),
+            lsm.task_setuid(&ctx(&admin, None), Uid::ROOT),
             SetuidDecision::Allow
         );
     }
@@ -822,19 +830,14 @@ mod tests {
         let mut p = PolicySet::default();
         p.sudo.push(SudoRule::su_rule());
         let lsm = lsm_with(p);
-        let d = lsm.task_setuid(&ctx(user_cred(), None), Uid(1001));
+        let alice = user_cred();
+        let d = lsm.task_setuid(&ctx(&alice, None), Uid(1001));
         assert_eq!(d, SetuidDecision::NeedAuth(AuthScope::User(Uid(1001))));
         // Proving the *wrong* (own) password is not enough.
-        let d = lsm.task_setuid(
-            &ctx(user_cred(), Some(AuthScope::User(Uid(1000)))),
-            Uid(1001),
-        );
+        let d = lsm.task_setuid(&ctx(&alice, Some(AuthScope::User(Uid(1000)))), Uid(1001));
         assert_eq!(d, SetuidDecision::NeedAuth(AuthScope::User(Uid(1001))));
         // Target's password proven -> allowed.
-        let d = lsm.task_setuid(
-            &ctx(user_cred(), Some(AuthScope::User(Uid(1001)))),
-            Uid(1001),
-        );
+        let d = lsm.task_setuid(&ctx(&alice, Some(AuthScope::User(Uid(1001)))), Uid(1001));
         assert_eq!(d, SetuidDecision::Allow);
     }
 
@@ -849,16 +852,16 @@ mod tests {
         let mut member = user_cred();
         member.groups.push(Gid(101));
         assert_eq!(
-            lsm.task_setgid(&ctx(member, None), Gid(101)),
+            lsm.task_setgid(&ctx(&member, None), Gid(101)),
             SetuidDecision::Allow
         );
         let stranger = Credentials::user(Uid(1004), Gid(1004));
         assert_eq!(
-            lsm.task_setgid(&ctx(stranger.clone(), None), Gid(101)),
+            lsm.task_setgid(&ctx(&stranger, None), Gid(101)),
             SetuidDecision::NeedAuth(AuthScope::Group(Gid(101)))
         );
         assert_eq!(
-            lsm.task_setgid(&ctx(stranger, Some(AuthScope::Group(Gid(101)))), Gid(101)),
+            lsm.task_setgid(&ctx(&stranger, Some(AuthScope::Group(Gid(101)))), Gid(101)),
             SetuidDecision::Allow
         );
     }
@@ -868,7 +871,7 @@ mod tests {
         let lsm = lsm_with(PolicySet::default());
         let stranger = Credentials::user(Uid(1004), Gid(1004));
         assert_eq!(
-            lsm.task_setgid(&ctx(stranger, None), Gid(101)),
+            lsm.task_setgid(&ctx(&stranger, None), Gid(101)),
             SetuidDecision::UseDefault
         );
     }

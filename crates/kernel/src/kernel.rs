@@ -139,7 +139,9 @@ impl Kernel {
             Uid::ROOT,
             crate::cred::Gid::ROOT,
         )?;
-        self.lsm = lsm;
+        // Every registered module is wrapped so its hooks feed the
+        // per-pathway latency histograms (trace::span) uniformly.
+        self.lsm = Box::new(crate::lsm::TimedLsm::new(lsm));
         self.emit_event(
             0,
             "register_lsm",
@@ -205,6 +207,7 @@ impl Kernel {
         provenance: Provenance,
         message: String,
     ) {
+        let _span = crate::trace::span(crate::trace::Pathway::AuditEmit);
         let (ruid, euid) = self
             .tasks
             .get(&pid)
@@ -352,19 +355,25 @@ impl Kernel {
     /// capabilities here; they grant access through the object-specific
     /// hooks instead, which is the paper's design point.)
     pub fn capable(&mut self, pid: Pid, cap: Cap) -> bool {
-        let (cred, binary) = match self.task(pid) {
-            Ok(t) => (t.cred.clone(), t.binary.clone()),
+        // Borrow the task in place: the hook takes references, so the
+        // common grant/fall-through path performs no clones.
+        let (decision, has, euid) = match self.task(pid) {
+            Ok(t) => (
+                self.lsm.capable(&t.cred, &t.binary, cap),
+                t.cred.has_cap(cap),
+                t.cred.euid,
+            ),
             Err(_) => return false,
         };
-        let has = cred.has_cap(cap);
-        match self.lsm.capable(&cred, &binary, cap) {
+        match decision {
             Decision::UseDefault => has,
             Decision::Allow => true,
             Decision::Deny(e) => {
+                let binary = self.task(pid).map(|t| t.binary.clone()).unwrap_or_default();
                 let msg = format!(
                     "capable: lsm denied {} for {} ({})",
                     cap.name(),
-                    cred.euid,
+                    euid,
                     binary
                 );
                 self.emit_lsm_event(
@@ -537,6 +546,16 @@ impl Kernel {
             "/proc/uptime",
             ProcHook::Uptime,
             Mode(0o444),
+            Uid::ROOT,
+            Gid::ROOT,
+        )?;
+        // Per-pathway latency histograms from the span-timing subsystem;
+        // root-only like the LSM metrics nodes.
+        self.vfs.mkdir_p("/proc/kernel")?;
+        self.vfs.install_hook(
+            "/proc/kernel/histograms",
+            ProcHook::Histograms,
+            Mode(0o600),
             Uid::ROOT,
             Gid::ROOT,
         )?;

@@ -157,13 +157,16 @@ pub struct BindRequest {
     pub tcp: bool,
 }
 
-/// Context for the setuid/setgid hooks.
-#[derive(Clone, Debug)]
-pub struct SetidCtx {
+/// Context for the setuid/setgid hooks. Borrows the caller's credentials
+/// and binary path straight from the task table, so building one is free
+/// — the setuid/setgid fast path (every `id`-style re-assert of an
+/// already-held gid) performs no clones.
+#[derive(Clone, Copy, Debug)]
+pub struct SetidCtx<'a> {
     /// Calling task's credentials.
-    pub cred: Credentials,
+    pub cred: &'a Credentials,
     /// Path of the binary the task is running.
-    pub binary: String,
+    pub binary: &'a str,
     /// Logical time of the task's last successful authentication.
     pub last_auth: Option<u64>,
     /// Principal that authentication proved.
@@ -172,7 +175,7 @@ pub struct SetidCtx {
     pub now: u64,
 }
 
-impl SetidCtx {
+impl SetidCtx<'_> {
     /// Whether the task proved `scope` within `window` seconds.
     pub fn authed_for(&self, scope: AuthScope, window: u64) -> bool {
         self.last_auth_scope == Some(scope)
@@ -319,12 +322,12 @@ pub trait SecurityModule {
     }
 
     /// `setuid(2)` family.
-    fn task_setuid(&self, _ctx: &SetidCtx, _target: Uid) -> SetuidDecision {
+    fn task_setuid(&self, _ctx: &SetidCtx<'_>, _target: Uid) -> SetuidDecision {
         SetuidDecision::UseDefault
     }
 
     /// `setgid(2)` family.
-    fn task_setgid(&self, _ctx: &SetidCtx, _target: Gid) -> SetuidDecision {
+    fn task_setgid(&self, _ctx: &SetidCtx<'_>, _target: Gid) -> SetuidDecision {
         SetuidDecision::UseDefault
     }
 
@@ -403,6 +406,128 @@ pub trait SecurityModule {
     /// default reports no caches.
     fn cache_stats(&self) -> Vec<(&'static str, crate::trace::CacheStats)> {
         Vec::new()
+    }
+}
+
+/// Decorator that brackets every hook of the wrapped module with a
+/// [`mod@crate::trace::span`], feeding the per-hook latency histograms.
+/// `Kernel::register_lsm` wraps every registered module in one of these,
+/// so all `SecurityModule` implementations are timed uniformly without
+/// touching any call site. Pass-through methods (`name`,
+/// `take_matched_rule`, `cache_stats`) are not spanned: they are
+/// bookkeeping, not policy evaluation.
+pub struct TimedLsm {
+    inner: Box<dyn SecurityModule>,
+}
+
+impl TimedLsm {
+    /// Wraps `inner` so every hook invocation is timed.
+    pub fn new(inner: Box<dyn SecurityModule>) -> TimedLsm {
+        TimedLsm { inner }
+    }
+}
+
+impl SecurityModule for TimedLsm {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn capable(&self, cred: &Credentials, binary: &str, cap: Cap) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmCapable);
+        self.inner.capable(cred, binary, cap)
+    }
+
+    fn sb_mount(&self, cred: &Credentials, req: &MountRequest) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmSbMount);
+        self.inner.sb_mount(cred, req)
+    }
+
+    fn sb_umount(&self, cred: &Credentials, req: &UmountRequest) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmSbUmount);
+        self.inner.sb_umount(cred, req)
+    }
+
+    fn socket_create(
+        &self,
+        cred: &Credentials,
+        domain: Domain,
+        stype: SockType,
+        protocol: u8,
+    ) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmSocketCreate);
+        self.inner.socket_create(cred, domain, stype, protocol)
+    }
+
+    fn socket_bind(&self, cred: &Credentials, req: &BindRequest) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmSocketBind);
+        self.inner.socket_bind(cred, req)
+    }
+
+    fn task_setuid(&self, ctx: &SetidCtx<'_>, target: Uid) -> SetuidDecision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmTaskSetuid);
+        self.inner.task_setuid(ctx, target)
+    }
+
+    fn task_setgid(&self, ctx: &SetidCtx<'_>, target: Gid) -> SetuidDecision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmTaskSetgid);
+        self.inner.task_setgid(ctx, target)
+    }
+
+    fn bprm_check(&self, ctx: &ExecCtx) -> ExecDecision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmBprmCheck);
+        self.inner.bprm_check(ctx)
+    }
+
+    fn ioctl_route_add(&self, cred: &Credentials, route: &Route, table: &RouteTable) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmIoctl);
+        self.inner.ioctl_route_add(cred, route, table)
+    }
+
+    fn ioctl_modem(&self, cred: &Credentials, opt: ModemOpt, state: &ModemState) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmIoctl);
+        self.inner.ioctl_modem(cred, opt, state)
+    }
+
+    fn ioctl_dmcrypt(&self, cred: &Credentials) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmIoctl);
+        self.inner.ioctl_dmcrypt(cred)
+    }
+
+    fn ioctl_kms(&self, cred: &Credentials, op: KmsOp) -> Decision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmIoctl);
+        self.inner.ioctl_kms(cred, op)
+    }
+
+    fn file_open(&self, ctx: &FileOpenCtx) -> FileDecision {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmFileOpen);
+        self.inner.file_open(ctx)
+    }
+
+    fn config_nodes(&self) -> Vec<&'static str> {
+        self.inner.config_nodes()
+    }
+
+    fn config_write(&mut self, node: &str, content: &str) -> KResult<()> {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmConfig);
+        self.inner.config_write(node, content)
+    }
+
+    fn config_read(&self, node: &str) -> KResult<String> {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmConfig);
+        self.inner.config_read(node)
+    }
+
+    fn boot_netfilter_rules(&self) -> Vec<Rule> {
+        let _span = crate::trace::span(crate::trace::Pathway::LsmNetfilter);
+        self.inner.boot_netfilter_rules()
+    }
+
+    fn take_matched_rule(&self) -> Option<String> {
+        self.inner.take_matched_rule()
+    }
+
+    fn cache_stats(&self) -> Vec<(&'static str, crate::trace::CacheStats)> {
+        self.inner.cache_stats()
     }
 }
 

@@ -28,6 +28,7 @@ use crate::net::{Domain, Ipv4, Packet, SockType};
 use crate::syscall::interceptor::SysCtx;
 use crate::syscall::{IoctlCmd, IoctlOut, NetfilterOp, OpenFlags, RouteOp, Stat};
 use crate::task::{NsKind, Pid};
+use crate::trace;
 use crate::trace::{AuditObject, DecisionKind, Hook, Provenance};
 use crate::vfs::Mode;
 
@@ -50,6 +51,16 @@ pub enum SyscallClass {
 }
 
 impl SyscallClass {
+    /// Number of syscall classes ([`SyscallClass::ALL`] length).
+    pub const COUNT: usize = 6;
+
+    /// Fixed array index for this class (discriminant order, which is
+    /// also the [`SyscallClass::ALL`] / alphabetical-name order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// All classes, in stable order.
     pub const ALL: [SyscallClass; 6] = [
         SyscallClass::Fs,
@@ -486,6 +497,118 @@ impl Syscall {
         }
     }
 
+    /// Number of syscall variants (the fixed-counter table size).
+    pub const COUNT: usize = 46;
+
+    /// Every ABI syscall name, in variant-declaration order. The index of
+    /// a name here matches [`Syscall::name_index`], so metrics can use a
+    /// fixed `[T; Syscall::COUNT]` table instead of a map on the dispatch
+    /// fast path.
+    pub const NAMES: [&'static str; Syscall::COUNT] = [
+        "open",
+        "close",
+        "read",
+        "write",
+        "lseek",
+        "stat",
+        "lstat",
+        "chmod",
+        "chown",
+        "mkdir",
+        "unlink",
+        "rmdir",
+        "rename",
+        "symlink",
+        "chdir",
+        "readdir",
+        "pipe",
+        "setuid",
+        "seteuid",
+        "setgid",
+        "setgroups",
+        "getuid",
+        "geteuid",
+        "getgid",
+        "ioctl",
+        "mount",
+        "umount",
+        "socket",
+        "bind",
+        "listen",
+        "connect",
+        "accept",
+        "send",
+        "recv",
+        "recv_packet",
+        "sendto",
+        "send_packet",
+        "socketpair",
+        "netfilter",
+        "netfilter_list",
+        "ioctl_route",
+        "fork",
+        "execve",
+        "unshare",
+        "exit",
+        "wait",
+    ];
+
+    /// Fixed table index for an ABI syscall name (a compiler-optimised
+    /// string match — no allocation, no map). `None` for names that are
+    /// not ABI syscalls (kernel-internal audit pathways like `"auth"`).
+    pub fn name_index(name: &str) -> Option<usize> {
+        let idx = match name {
+            "open" => 0,
+            "close" => 1,
+            "read" => 2,
+            "write" => 3,
+            "lseek" => 4,
+            "stat" => 5,
+            "lstat" => 6,
+            "chmod" => 7,
+            "chown" => 8,
+            "mkdir" => 9,
+            "unlink" => 10,
+            "rmdir" => 11,
+            "rename" => 12,
+            "symlink" => 13,
+            "chdir" => 14,
+            "readdir" => 15,
+            "pipe" => 16,
+            "setuid" => 17,
+            "seteuid" => 18,
+            "setgid" => 19,
+            "setgroups" => 20,
+            "getuid" => 21,
+            "geteuid" => 22,
+            "getgid" => 23,
+            "ioctl" => 24,
+            "mount" => 25,
+            "umount" => 26,
+            "socket" => 27,
+            "bind" => 28,
+            "listen" => 29,
+            "connect" => 30,
+            "accept" => 31,
+            "send" => 32,
+            "recv" => 33,
+            "recv_packet" => 34,
+            "sendto" => 35,
+            "send_packet" => 36,
+            "socketpair" => 37,
+            "netfilter" => 38,
+            "netfilter_list" => 39,
+            "ioctl_route" => 40,
+            "fork" => 41,
+            "execve" => 42,
+            "unshare" => 43,
+            "exit" => 44,
+            "wait" => 45,
+            _ => return None,
+        };
+        Some(idx)
+    }
+
     /// The class this call belongs to.
     pub fn class(&self) -> SyscallClass {
         match self {
@@ -745,16 +868,20 @@ impl Kernel {
     /// the injection). `after` hooks run in reverse order and always see
     /// the final response, injected or real.
     pub fn dispatch(&mut self, pid: Pid, call: Syscall) -> SysRet {
+        let _dispatch_span = trace::span(trace::Pathway::Dispatch);
         let mut chain = std::mem::take(&mut self.interceptors);
         let mut injected = None;
-        for ic in chain.iter_mut() {
-            let mut ctx = SysCtx {
-                clock: self.clock,
-                metrics: &mut self.metrics,
-            };
-            if let Some(e) = ic.before(pid, &call, &mut ctx) {
-                injected = Some((e, ic.name()));
-                break;
+        {
+            let _before_span = trace::span(trace::Pathway::InterceptBefore);
+            for ic in chain.iter_mut() {
+                let mut ctx = SysCtx {
+                    clock: self.clock,
+                    metrics: &mut self.metrics,
+                };
+                if let Some(e) = ic.before(pid, &call, &mut ctx) {
+                    injected = Some((e, ic.name()));
+                    break;
+                }
             }
         }
         let ret = match injected {
@@ -775,14 +902,20 @@ impl Kernel {
                 );
                 SysRet::Err(e)
             }
-            None => self.dispatch_inner(pid, &call),
+            None => {
+                let _body_span = trace::span(trace::Pathway::for_class(call.class()));
+                self.dispatch_inner(pid, &call)
+            }
         };
-        for ic in chain.iter_mut().rev() {
-            let mut ctx = SysCtx {
-                clock: self.clock,
-                metrics: &mut self.metrics,
-            };
-            ic.after(pid, &call, &ret, &mut ctx);
+        {
+            let _after_span = trace::span(trace::Pathway::InterceptAfter);
+            for ic in chain.iter_mut().rev() {
+                let mut ctx = SysCtx {
+                    clock: self.clock,
+                    metrics: &mut self.metrics,
+                };
+                ic.after(pid, &call, &ret, &mut ctx);
+            }
         }
         // A dispatched call cannot re-enter dispatch, but it may have
         // registered new interceptors; keep both.

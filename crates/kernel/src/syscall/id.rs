@@ -16,26 +16,28 @@ use crate::task::Pid;
 use crate::trace::{AuditObject, DecisionKind, Hook};
 
 impl Kernel {
-    fn setid_ctx(&self, pid: Pid) -> KResult<SetidCtx> {
-        let t = self.task(pid)?;
-        Ok(SetidCtx {
-            cred: t.cred.clone(),
-            binary: t.binary.clone(),
-            last_auth: t.last_auth,
-            last_auth_scope: t.last_auth_scope,
-            now: self.clock,
-        })
-    }
-
     /// `setuid(2)`.
     pub fn sys_setuid(&mut self, pid: Pid, target: Uid) -> KResult<()> {
         let mut attempts = 0;
         loop {
-            let ctx = self.setid_ctx(pid)?;
-            match self.lsm().task_setuid(&ctx, target) {
+            // The hook context borrows the task's credentials and binary
+            // in place — no clones on the id fast path. Only the scalar
+            // ruid survives the block for the audit messages.
+            let (decision, ruid) = {
+                let t = self.task(pid)?;
+                let ctx = SetidCtx {
+                    cred: &t.cred,
+                    binary: &t.binary,
+                    last_auth: t.last_auth,
+                    last_auth_scope: t.last_auth_scope,
+                    now: self.clock,
+                };
+                (self.lsm().task_setuid(&ctx, target), t.cred.ruid)
+            };
+            match decision {
                 SetuidDecision::UseDefault => return self.setuid_stock(pid, target),
                 SetuidDecision::Allow => {
-                    let msg = format!("setuid: lsm granted {} -> {}", ctx.cred.ruid, target);
+                    let msg = format!("setuid: lsm granted {} -> {}", ruid, target);
                     self.emit_lsm_event(
                         pid,
                         "setuid",
@@ -60,12 +62,7 @@ impl Kernel {
                     return Ok(());
                 }
                 SetuidDecision::Deny(e) => {
-                    let msg = format!(
-                        "setuid: lsm denied {} -> {} ({})",
-                        ctx.cred.ruid,
-                        target,
-                        e.name()
-                    );
+                    let msg = format!("setuid: lsm denied {} -> {} ({})", ruid, target, e.name());
                     self.emit_lsm_event(
                         pid,
                         "setuid",
@@ -80,7 +77,7 @@ impl Kernel {
                 SetuidDecision::Pending(p) => {
                     let msg = format!(
                         "setuid: pending transition {} -> {} restricted to {:?}",
-                        ctx.cred.ruid, target, p.allowed_binaries
+                        ruid, target, p.allowed_binaries
                     );
                     self.emit_lsm_event(
                         pid,
@@ -99,8 +96,7 @@ impl Kernel {
                 SetuidDecision::NeedAuth(scope) => {
                     attempts += 1;
                     if attempts > 1 || !self.run_auth(pid, scope) {
-                        let msg =
-                            format!("setuid: auth failed for {} -> {}", ctx.cred.ruid, target);
+                        let msg = format!("setuid: auth failed for {} -> {}", ruid, target);
                         self.emit_lsm_event(
                             pid,
                             "setuid",
@@ -179,11 +175,23 @@ impl Kernel {
     pub fn sys_setgid(&mut self, pid: Pid, target: Gid) -> KResult<()> {
         let mut attempts = 0;
         loop {
-            let ctx = self.setid_ctx(pid)?;
-            match self.lsm().task_setgid(&ctx, target) {
+            // Clone-free hook context, as in sys_setuid; the scalar rgid
+            // survives for the audit messages.
+            let (decision, rgid) = {
+                let t = self.task(pid)?;
+                let ctx = SetidCtx {
+                    cred: &t.cred,
+                    binary: &t.binary,
+                    last_auth: t.last_auth,
+                    last_auth_scope: t.last_auth_scope,
+                    now: self.clock,
+                };
+                (self.lsm().task_setgid(&ctx, target), t.cred.rgid)
+            };
+            match decision {
                 SetuidDecision::UseDefault => return self.setgid_stock(pid, target),
                 SetuidDecision::Allow => {
-                    let msg = format!("setgid: lsm granted {} -> {}", ctx.cred.rgid.0, target.0);
+                    let msg = format!("setgid: lsm granted {} -> {}", rgid.0, target.0);
                     self.emit_lsm_event(
                         pid,
                         "setgid",
@@ -205,7 +213,7 @@ impl Kernel {
                 SetuidDecision::Deny(e) => {
                     let msg = format!(
                         "setgid: lsm denied {} -> {} ({})",
-                        ctx.cred.rgid.0,
+                        rgid.0,
                         target.0,
                         e.name()
                     );
@@ -224,10 +232,7 @@ impl Kernel {
                 SetuidDecision::NeedAuth(scope) => {
                     attempts += 1;
                     if attempts > 1 || !self.run_auth(pid, scope) {
-                        let msg = format!(
-                            "setgid: auth failed for {} -> {}",
-                            ctx.cred.rgid.0, target.0
-                        );
+                        let msg = format!("setgid: auth failed for {} -> {}", rgid.0, target.0);
                         self.emit_lsm_event(
                             pid,
                             "setgid",

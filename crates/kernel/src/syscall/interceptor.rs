@@ -257,7 +257,6 @@ impl Interceptor for SyscallMeter {
     fn after(&mut self, _pid: Pid, call: &Syscall, ret: &SysRet, ctx: &mut SysCtx<'_>) {
         let start = self.start.take().unwrap_or(ctx.clock);
         let delta = ctx.clock.saturating_sub(start);
-        ctx.metrics
-            .observe_class(call.class().name(), delta, ret.is_err());
+        ctx.metrics.observe_class(call.class(), delta, ret.is_err());
     }
 }

@@ -45,6 +45,37 @@ pub enum Hook {
 }
 
 impl Hook {
+    /// Number of hooks (the fixed metrics-counter table size).
+    pub const COUNT: usize = 18;
+
+    /// Every hook, in discriminant order.
+    pub const ALL: [Hook; Hook::COUNT] = [
+        Hook::Capable,
+        Hook::SbMount,
+        Hook::SbUmount,
+        Hook::SocketCreate,
+        Hook::SocketBind,
+        Hook::TaskSetuid,
+        Hook::TaskSetgid,
+        Hook::BprmCheck,
+        Hook::IoctlRoute,
+        Hook::IoctlModem,
+        Hook::IoctlDmcrypt,
+        Hook::IoctlKms,
+        Hook::FileOpen,
+        Hook::Netfilter,
+        Hook::LsmConfig,
+        Hook::Auth,
+        Hook::Lifecycle,
+        Hook::Interceptor,
+    ];
+
+    /// Fixed counter-table index (the discriminant).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Stable lower-snake name (metrics keys, `/proc` rendering).
     pub fn name(self) -> &'static str {
         match self {

@@ -1,7 +1,16 @@
 //! Per-hook and per-syscall decision counters, an errno histogram, and
 //! logical-clock latency observations.
+//!
+//! The hot-path counters ([`HookCounters`], [`SyscallCounters`],
+//! [`ClassTable`]) are fixed arrays indexed by enum discriminant, so
+//! recording an event or a dispatched call never touches a map. Cold
+//! aggregates (errnos, named latency pathways, cache snapshots) stay in
+//! `BTreeMap`s. Rendering sorts by name at read time, which keeps the
+//! `/proc/<lsm>/metrics` output byte-identical to the old all-`BTreeMap`
+//! layout.
 
 use super::event::{AuditEvent, DecisionKind, Hook};
+use crate::syscall::{Syscall, SyscallClass};
 use std::collections::BTreeMap;
 
 /// Allow/deny/use-default/defer/info counts for one key.
@@ -68,22 +77,66 @@ impl CacheStats {
 }
 
 /// Logical-clock latency aggregate for one pathway.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LatencyStats {
     /// Number of observations.
     pub samples: u64,
     /// Sum of observed logical-clock deltas.
     pub total: u64,
+    /// Smallest observed delta (`u64::MAX` until the first observation,
+    /// so merges are order-independent; use [`LatencyStats::observed_min`]
+    /// for display).
+    pub min: u64,
     /// Largest observed delta.
     pub max: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> LatencyStats {
+        LatencyStats {
+            samples: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
 }
 
 impl LatencyStats {
     /// Records one observation.
     pub fn observe(&mut self, delta: u64) {
         self.samples += 1;
-        self.total += delta;
+        // Saturating like `LatencyHistogram::observe`: a clamped sum of
+        // non-negative deltas is still order-independent under merge.
+        self.total = self.total.saturating_add(delta);
+        self.min = self.min.min(delta);
         self.max = self.max.max(delta);
+    }
+
+    /// The smallest observation, or 0 when empty (the sentinel never
+    /// leaks into rendered output).
+    pub fn observed_min(&self) -> u64 {
+        if self.samples == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean observation (0 when empty) — preserved exactly across merges
+    /// because `samples` and `total` both fold.
+    pub fn mean(&self) -> u64 {
+        self.total.checked_div(self.samples).unwrap_or(0)
+    }
+
+    /// Adds another aggregate into this one. Folds every field — samples,
+    /// total, min, and max — so thread merges lose no fidelity and are
+    /// associative, commutative, and order-independent.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples += other.samples;
+        self.total = self.total.saturating_add(other.total);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -107,9 +160,218 @@ impl ClassStats {
     pub fn merge(&mut self, other: &ClassStats) {
         self.calls += other.calls;
         self.errors += other.errors;
-        self.latency.samples += other.latency.samples;
-        self.latency.total += other.latency.total;
-        self.latency.max = self.latency.max.max(other.latency.max);
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// Per-hook decision counters as a fixed array indexed by [`Hook`]
+/// discriminant: bumping a counter on the dispatch path is an array write,
+/// not a map lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HookCounters {
+    table: [DecisionCounters; Hook::COUNT],
+}
+
+impl Default for HookCounters {
+    fn default() -> HookCounters {
+        HookCounters {
+            table: [DecisionCounters::default(); Hook::COUNT],
+        }
+    }
+}
+
+impl HookCounters {
+    /// Increments the counter for `hook`/`kind`.
+    #[inline]
+    pub fn bump(&mut self, hook: Hook, kind: DecisionKind) {
+        self.table[hook.index()].bump(kind);
+    }
+
+    /// The counters for `hook` (zero if never hit).
+    pub fn get(&self, hook: Hook) -> DecisionCounters {
+        self.table[hook.index()]
+    }
+
+    /// Touched hooks as `(name, counters)` pairs, sorted by name — the
+    /// same visiting order the old `BTreeMap` produced.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &DecisionCounters)> {
+        let mut rows: Vec<(&'static str, &DecisionCounters)> = Hook::ALL
+            .iter()
+            .map(|h| (h.name(), &self.table[h.index()]))
+            .filter(|(_, c)| c.total() > 0)
+            .collect();
+        rows.sort_by_key(|(name, _)| *name);
+        rows.into_iter()
+    }
+
+    /// Total denials across all hooks.
+    pub fn total_denials(&self) -> u64 {
+        self.table.iter().map(|c| c.deny).sum()
+    }
+
+    /// Adds another table into this one, element-wise.
+    pub fn merge(&mut self, other: &HookCounters) {
+        for (mine, theirs) in self.table.iter_mut().zip(other.table.iter()) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a HookCounters {
+    type Item = (&'static str, &'a DecisionCounters);
+    type IntoIter = std::vec::IntoIter<(&'static str, &'a DecisionCounters)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let mut rows: Vec<(&'static str, &'a DecisionCounters)> = Hook::ALL
+            .iter()
+            .map(|h| (h.name(), &self.table[h.index()]))
+            .filter(|(_, c)| c.total() > 0)
+            .collect();
+        rows.sort_by_key(|(name, _)| *name);
+        rows.into_iter()
+    }
+}
+
+/// Per-syscall decision counters: a fixed array indexed by the ABI name's
+/// variant position (see [`Syscall::name_index`]) for the dispatch fast
+/// path, plus a `BTreeMap` overflow for kernel-internal pathway names
+/// (`"auth"`, `"register_lsm"`, `"capable"`, test fixtures, …) that are
+/// not ABI syscalls.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyscallCounters {
+    fixed: SyscallFixed,
+    overflow: BTreeMap<&'static str, DecisionCounters>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SyscallFixed([DecisionCounters; Syscall::COUNT]);
+
+impl Default for SyscallFixed {
+    fn default() -> SyscallFixed {
+        SyscallFixed([DecisionCounters::default(); Syscall::COUNT])
+    }
+}
+
+impl SyscallCounters {
+    /// Increments the counter for `name`/`kind`. ABI names hit the fixed
+    /// table; anything else falls back to the overflow map.
+    #[inline]
+    pub fn bump(&mut self, name: &'static str, kind: DecisionKind) {
+        match Syscall::name_index(name) {
+            Some(i) => self.fixed.0[i].bump(kind),
+            None => self.overflow.entry(name).or_default().bump(kind),
+        }
+    }
+
+    /// The counters recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&DecisionCounters> {
+        match Syscall::name_index(name) {
+            Some(i) => {
+                let c = &self.fixed.0[i];
+                if c.total() > 0 {
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+            None => self.overflow.get(name),
+        }
+    }
+
+    /// Touched syscalls as `(name, counters)` pairs, sorted by name — the
+    /// same visiting order the old `BTreeMap` produced (fixed-table and
+    /// overflow rows interleaved alphabetically).
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &DecisionCounters)> {
+        let mut rows: Vec<(&'static str, &DecisionCounters)> = Syscall::NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (*name, &self.fixed.0[i]))
+            .filter(|(_, c)| c.total() > 0)
+            .collect();
+        rows.extend(self.overflow.iter().map(|(k, v)| (*k, v)));
+        rows.sort_by_key(|(name, _)| *name);
+        rows.into_iter()
+    }
+
+    /// Adds another table into this one.
+    pub fn merge(&mut self, other: &SyscallCounters) {
+        for (mine, theirs) in self.fixed.0.iter_mut().zip(other.fixed.0.iter()) {
+            mine.merge(theirs);
+        }
+        for (k, v) in &other.overflow {
+            self.overflow.entry(k).or_default().merge(v);
+        }
+    }
+}
+
+impl std::ops::Index<&str> for SyscallCounters {
+    type Output = DecisionCounters;
+
+    fn index(&self, name: &str) -> &DecisionCounters {
+        match Syscall::name_index(name) {
+            Some(i) => &self.fixed.0[i],
+            None => &self.overflow[name],
+        }
+    }
+}
+
+/// Per-class dispatch counters as a fixed array indexed by
+/// [`SyscallClass`] discriminant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassTable {
+    table: [ClassStats; SyscallClass::COUNT],
+}
+
+impl ClassTable {
+    /// The stats recorded for `class`.
+    pub fn class(&self, class: SyscallClass) -> &ClassStats {
+        &self.table[class.index()]
+    }
+
+    /// The stats recorded under a class *name*, if that class was hit.
+    pub fn get(&self, name: &str) -> Option<&ClassStats> {
+        SyscallClass::ALL
+            .iter()
+            .find(|c| c.name() == name)
+            .map(|c| &self.table[c.index()])
+            .filter(|s| s.calls > 0)
+    }
+
+    /// Touched classes as `(name, stats)` pairs. Discriminant order is
+    /// already alphabetical, matching the old `BTreeMap` rendering.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &ClassStats)> {
+        SyscallClass::ALL
+            .iter()
+            .map(|c| (c.name(), &self.table[c.index()]))
+            .filter(|(_, s)| s.calls > 0)
+    }
+
+    /// Adds another table into this one, element-wise.
+    pub fn merge(&mut self, other: &ClassTable) {
+        for (mine, theirs) in self.table.iter_mut().zip(other.table.iter()) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+impl std::ops::Index<&str> for ClassTable {
+    type Output = ClassStats;
+
+    fn index(&self, name: &str) -> &ClassStats {
+        let class = SyscallClass::ALL
+            .iter()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("unknown syscall class {name:?}"));
+        &self.table[class.index()]
+    }
+}
+
+impl<'a> IntoIterator for &'a ClassTable {
+    type Item = (&'static str, &'a ClassStats);
+    type IntoIter = std::vec::IntoIter<(&'static str, &'a ClassStats)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
     }
 }
 
@@ -117,10 +379,10 @@ impl ClassStats {
 /// independent of the `trace` flag and of ring-buffer eviction.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    /// Decision counts keyed by LSM hook name.
-    pub per_hook: BTreeMap<&'static str, DecisionCounters>,
-    /// Decision counts keyed by syscall name.
-    pub per_syscall: BTreeMap<&'static str, DecisionCounters>,
+    /// Decision counts per LSM hook (fixed array, no map on the hot path).
+    pub per_hook: HookCounters,
+    /// Decision counts per syscall name (fixed array + overflow map).
+    pub per_syscall: SyscallCounters,
     /// Denial errno histogram.
     pub errnos: BTreeMap<&'static str, u64>,
     /// Logical-clock latency aggregates (e.g. authentication prompts).
@@ -129,9 +391,10 @@ pub struct Metrics {
     /// dcache and the registered module's policy caches when the
     /// `/proc/<lsm>/metrics` view is rendered.
     pub caches: BTreeMap<&'static str, CacheStats>,
-    /// Per-class dispatch counters keyed by [`crate::syscall::SyscallClass`]
-    /// name, fed by the [`crate::syscall::SyscallMeter`] interceptor.
-    pub classes: BTreeMap<&'static str, ClassStats>,
+    /// Per-class dispatch counters (fixed array indexed by
+    /// [`SyscallClass`]), fed by the [`crate::syscall::SyscallMeter`]
+    /// interceptor.
+    pub classes: ClassTable,
     /// Total events emitted.
     pub events: u64,
 }
@@ -141,11 +404,8 @@ impl Metrics {
     pub fn record(&mut self, ev: &AuditEvent) {
         self.events += 1;
         let kind = ev.provenance.decision;
-        self.per_hook
-            .entry(ev.provenance.hook.name())
-            .or_default()
-            .bump(kind);
-        self.per_syscall.entry(ev.syscall).or_default().bump(kind);
+        self.per_hook.bump(ev.provenance.hook, kind);
+        self.per_syscall.bump(ev.syscall, kind);
         if let Some(e) = ev.provenance.errno {
             *self.errnos.entry(e.name()).or_insert(0) += 1;
         }
@@ -157,8 +417,9 @@ impl Metrics {
     }
 
     /// Folds one dispatched call into the per-class counters.
-    pub fn observe_class(&mut self, class: &'static str, delta: u64, errored: bool) {
-        let s = self.classes.entry(class).or_default();
+    #[inline]
+    pub fn observe_class(&mut self, class: SyscallClass, delta: u64, errored: bool) {
+        let s = &mut self.classes.table[class.index()];
         s.calls += 1;
         if errored {
             s.errors += 1;
@@ -175,51 +436,42 @@ impl Metrics {
 
     /// The counters for `hook` (zero if never hit).
     pub fn hook(&self, hook: Hook) -> DecisionCounters {
-        self.per_hook.get(hook.name()).copied().unwrap_or_default()
+        self.per_hook.get(hook)
     }
 
     /// Total denials across all hooks.
     pub fn total_denials(&self) -> u64 {
-        self.per_hook.values().map(|c| c.deny).sum()
+        self.per_hook.total_denials()
     }
 
     /// Adds another metrics snapshot into this one (corpus aggregation).
     pub fn merge(&mut self, other: &Metrics) {
         self.events += other.events;
-        for (k, v) in &other.per_hook {
-            self.per_hook.entry(k).or_default().merge(v);
-        }
-        for (k, v) in &other.per_syscall {
-            self.per_syscall.entry(k).or_default().merge(v);
-        }
+        self.per_hook.merge(&other.per_hook);
+        self.per_syscall.merge(&other.per_syscall);
         for (k, v) in &other.errnos {
             *self.errnos.entry(k).or_insert(0) += v;
         }
         for (k, v) in &other.latency {
-            let s = self.latency.entry(k).or_default();
-            s.samples += v.samples;
-            s.total += v.total;
-            s.max = s.max.max(v.max);
+            self.latency.entry(k).or_default().merge(v);
         }
         for (k, v) in &other.caches {
             self.caches.entry(k).or_default().merge(v);
         }
-        for (k, v) in &other.classes {
-            self.classes.entry(k).or_default().merge(v);
-        }
+        self.classes.merge(&other.classes);
     }
 
     /// Renders the `/proc/<lsm>/metrics` view: one `key value` line per
     /// counter, stable-ordered for easy diffing.
     pub fn render(&self) -> String {
         let mut out = format!("events_total {}\n", self.events);
-        for (hook, c) in &self.per_hook {
+        for (hook, c) in self.per_hook.iter() {
             out.push_str(&format!(
                 "hook_{} allow={} deny={} use_default={} defer={} info={}\n",
                 hook, c.allow, c.deny, c.use_default, c.defer, c.info
             ));
         }
-        for (sys, c) in &self.per_syscall {
+        for (sys, c) in self.per_syscall.iter() {
             out.push_str(&format!(
                 "syscall_{} allow={} deny={} use_default={} defer={} info={}\n",
                 sys, c.allow, c.deny, c.use_default, c.defer, c.info
@@ -230,8 +482,12 @@ impl Metrics {
         }
         for (pathway, l) in &self.latency {
             out.push_str(&format!(
-                "latency_{} samples={} total={} max={}\n",
-                pathway, l.samples, l.total, l.max
+                "latency_{} samples={} total={} min={} max={}\n",
+                pathway,
+                l.samples,
+                l.total,
+                l.observed_min(),
+                l.max
             ));
         }
         for (cache, c) in &self.caches {
@@ -242,7 +498,7 @@ impl Metrics {
         }
         // The `syscall_class_` prefix keeps class rows distinct from the
         // per-syscall rows above ("mount" is both a class and a syscall).
-        for (class, s) in &self.classes {
+        for (class, s) in self.classes.iter() {
             out.push_str(&format!(
                 "syscall_class_{} calls={} errors={} clk_total={} clk_max={}\n",
                 class, s.calls, s.errors, s.latency.total, s.latency.max
@@ -287,12 +543,49 @@ mod tests {
     }
 
     #[test]
+    fn non_abi_syscall_names_land_in_overflow() {
+        let mut m = Metrics::default();
+        let mut e = ev(Hook::Auth, DecisionKind::Info, None);
+        e.syscall = "auth";
+        m.record(&e);
+        m.record(&ev(Hook::SbMount, DecisionKind::Allow, None));
+        assert_eq!(m.per_syscall["auth"].info, 1);
+        assert_eq!(m.per_syscall.get("auth").unwrap().total(), 1);
+        // Sorted interleave: "auth" (overflow) precedes "mount" (fixed).
+        let names: Vec<_> = m.per_syscall.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["auth", "mount"]);
+    }
+
+    #[test]
     fn latency_aggregates() {
         let mut m = Metrics::default();
         m.observe_latency("auth", 3);
         m.observe_latency("auth", 7);
         let l = m.latency["auth"];
         assert_eq!((l.samples, l.total, l.max), (2, 10, 7));
+        assert_eq!(l.observed_min(), 3);
+        assert_eq!(l.mean(), 5);
+    }
+
+    #[test]
+    fn latency_merge_keeps_min_and_mean_fidelity() {
+        let mut a = LatencyStats::default();
+        a.observe(10);
+        a.observe(20);
+        let mut b = LatencyStats::default();
+        b.observe(2);
+        // Merge order must not matter, and min/mean must survive.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.observed_min(), 2);
+        assert_eq!(ab.mean(), 32 / 3);
+        // An empty aggregate is the merge identity.
+        let mut with_empty = ab;
+        with_empty.merge(&LatencyStats::default());
+        assert_eq!(with_empty, ab);
     }
 
     #[test]
@@ -356,17 +649,43 @@ mod tests {
     #[test]
     fn merged_snapshot_sums_class_counters() {
         let mut a = Metrics::default();
-        a.observe_class("fs", 3, false);
-        a.observe_class("fs", 0, true);
+        a.observe_class(SyscallClass::Fs, 3, false);
+        a.observe_class(SyscallClass::Fs, 0, true);
         let mut b = Metrics::default();
-        b.observe_class("fs", 5, false);
-        b.observe_class("net", 1, false);
+        b.observe_class(SyscallClass::Fs, 5, false);
+        b.observe_class(SyscallClass::Net, 1, false);
         a.merge(&b);
         assert_eq!(a.classes["fs"].calls, 3);
         assert_eq!(a.classes["fs"].errors, 1);
         assert_eq!(a.classes["fs"].latency.total, 8);
         assert_eq!(a.classes["fs"].latency.max, 5);
         assert_eq!(a.classes["net"].calls, 1);
+    }
+
+    #[test]
+    fn fixed_table_render_matches_btreemap_order() {
+        // Bump hooks and syscalls deliberately out of alphabetical order;
+        // the render must still come out sorted (byte-compatible with the
+        // old BTreeMap layout).
+        let mut m = Metrics::default();
+        let mut e = ev(Hook::TaskSetuid, DecisionKind::Allow, None);
+        e.syscall = "setuid";
+        m.record(&e);
+        let mut e = ev(Hook::Capable, DecisionKind::UseDefault, None);
+        e.syscall = "chmod";
+        m.record(&e);
+        let text = m.render();
+        let hook_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("hook_")).collect();
+        assert_eq!(hook_lines.len(), 2);
+        assert!(hook_lines[0].starts_with("hook_capable "));
+        assert!(hook_lines[1].starts_with("hook_task_setuid "));
+        let sys_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("syscall_") && !l.starts_with("syscall_class_"))
+            .collect();
+        assert_eq!(sys_lines.len(), 2);
+        assert!(sys_lines[0].starts_with("syscall_chmod "));
+        assert!(sys_lines[1].starts_with("syscall_setuid "));
     }
 
     #[test]

@@ -24,13 +24,20 @@
 //!   event regardless of the flag.
 
 mod event;
+pub mod hist;
 mod metrics;
 mod recorder;
 mod ring;
 mod sink;
+pub mod span;
 
 pub use event::{AuditEvent, AuditObject, DecisionKind, Hook, Provenance};
-pub use metrics::{CacheStats, ClassStats, DecisionCounters, LatencyStats, Metrics};
+pub use hist::{LatencyHistogram, HIST_BUCKETS};
+pub use metrics::{
+    CacheStats, ClassStats, ClassTable, DecisionCounters, HookCounters, LatencyStats, Metrics,
+    SyscallCounters,
+};
 pub use recorder::{Divergence, Trace, TraceEntry, TraceRecorder, TraceReplayer};
 pub use ring::{AuditRing, DEFAULT_RING_CAPACITY};
 pub use sink::{AuditSink, CollectingSink};
+pub use span::{span, Pathway, SpanGuard, TimingSnapshot};

@@ -311,6 +311,7 @@ impl Vfs {
     /// the dcache after lazily flushing a stale generation; falls back to
     /// [`Vfs::resolve_inner`] and stores the result.
     fn resolve_cached(&self, cwd: Ino, path: &str, follow_last: bool) -> KResult<Resolved> {
+        let _resolve_span = crate::trace::span(crate::trace::Pathway::VfsResolve);
         if !self.dcache_enabled.get() {
             return self.resolve_inner(cwd, path, follow_last, 0);
         }
@@ -320,6 +321,7 @@ impl Vfs {
             cwd
         };
         {
+            let _probe_span = crate::trace::span(crate::trace::Pathway::DcacheProbe);
             let mut dc = self.dcache.borrow_mut();
             if dc.gen != self.namespace_gen {
                 if dc.entries > 0 {

@@ -122,6 +122,9 @@ pub enum ProcHook {
     Audit,
     /// `/proc/<lsm>/metrics` — decision counters, read-only.
     Metrics,
+    /// `/proc/kernel/histograms` — per-pathway latency histograms from
+    /// the span-timing subsystem, read-only.
+    Histograms,
     /// `/sys/...` attribute owned by a device, read-only; the string names
     /// the attribute (e.g. `dm/0/deps` for dm-crypt device topology).
     SysAttr(String),
