@@ -14,7 +14,8 @@
 //!   construction, with literal / prefix fast paths and reusable DP
 //!   scratch buffers so steady-state matching performs no allocation.
 
-use std::cell::RefCell;
+use sim_kernel::sync::lock;
+use std::sync::Mutex;
 
 /// Returns whether `path` matches the AppArmor-style `pattern`.
 pub fn glob_match(pattern: &str, path: &str) -> bool {
@@ -217,7 +218,7 @@ impl Branch {
         }
     }
 
-    fn matches(&self, s: &[u8], scratch: &RefCell<(Vec<bool>, Vec<bool>)>) -> bool {
+    fn matches(&self, s: &[u8], scratch: &Mutex<(Vec<bool>, Vec<bool>)>) -> bool {
         match self {
             Branch::Literal(lit) => s == &lit[..],
             Branch::PrefixAll(lit) => s.starts_with(lit),
@@ -225,7 +226,7 @@ impl Branch {
                 if !s.starts_with(prefix) {
                     return false;
                 }
-                let mut sc = scratch.borrow_mut();
+                let mut sc = lock(scratch);
                 let sc = &mut *sc;
                 dp_match(toks, &s[prefix.len()..], &mut sc.0, &mut sc.1)
             }
@@ -242,7 +243,7 @@ impl Branch {
 pub struct CompiledGlob {
     pattern: String,
     branches: Vec<Branch>,
-    scratch: RefCell<(Vec<bool>, Vec<bool>)>,
+    scratch: Mutex<(Vec<bool>, Vec<bool>)>,
 }
 
 impl CompiledGlob {
@@ -255,7 +256,7 @@ impl CompiledGlob {
         CompiledGlob {
             pattern: pattern.to_string(),
             branches,
-            scratch: RefCell::new((Vec::new(), Vec::new())),
+            scratch: Mutex::new((Vec::new(), Vec::new())),
         }
     }
 

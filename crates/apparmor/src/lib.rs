@@ -24,10 +24,12 @@ use sim_kernel::caps::Cap;
 use sim_kernel::cred::Credentials;
 use sim_kernel::error::{Errno, KResult};
 use sim_kernel::lsm::{Decision, FileDecision, FileOpenCtx, SecurityModule};
+use sim_kernel::sync::lock;
 use sim_kernel::trace::CacheStats;
 use sim_kernel::vfs::Access;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Bound on the binary→profile resolution cache. Exec identities are few
 /// in practice; on overflow the map is flushed wholesale.
@@ -39,24 +41,24 @@ pub struct AppArmorLsm {
     profiles: Vec<Profile>,
     /// Name of the profile the most recent hook matched, drained by the
     /// kernel to attach rule provenance to audit events.
-    matched: RefCell<Option<String>>,
+    matched: Mutex<Option<String>>,
     /// Exec identity → index of the governing profile (None = unconfined).
     /// Invalidated whenever profiles reload.
-    binary_cache: RefCell<HashMap<String, Option<usize>>>,
-    binary_cache_stats: RefCell<CacheStats>,
+    binary_cache: Mutex<HashMap<String, Option<usize>>>,
+    binary_cache_stats: Mutex<CacheStats>,
     /// Hot-path caching toggle; benches flip this off to measure the
     /// interpreted baseline.
-    caching: Cell<bool>,
+    caching: AtomicBool,
 }
 
 impl Default for AppArmorLsm {
     fn default() -> AppArmorLsm {
         AppArmorLsm {
             profiles: Vec::new(),
-            matched: RefCell::new(None),
-            binary_cache: RefCell::new(HashMap::new()),
-            binary_cache_stats: RefCell::new(CacheStats::default()),
-            caching: Cell::new(true),
+            matched: Mutex::new(None),
+            binary_cache: Mutex::new(HashMap::new()),
+            binary_cache_stats: Mutex::new(CacheStats::default()),
+            caching: AtomicBool::new(true),
         }
     }
 }
@@ -72,9 +74,9 @@ impl AppArmorLsm {
     /// the binary→profile cache (the old indices are meaningless).
     pub fn load_text(&mut self, text: &str) -> Result<(), String> {
         self.profiles = parse_profiles(text)?;
-        let mut cache = self.binary_cache.borrow_mut();
+        let mut cache = lock(&self.binary_cache);
         if !cache.is_empty() {
-            self.binary_cache_stats.borrow_mut().invalidations += 1;
+            lock(&self.binary_cache_stats).invalidations += 1;
         }
         cache.clear();
         Ok(())
@@ -93,29 +95,29 @@ impl AppArmorLsm {
     /// per-profile decision LRUs). Benches flip this off to measure the
     /// interpreted baseline; correctness is identical either way.
     pub fn set_caching(&self, on: bool) {
-        self.caching.set(on);
+        self.caching.store(on, Ordering::Relaxed);
     }
 
     fn profile_for(&self, binary: &str) -> Option<&Profile> {
-        if !self.caching.get() {
+        if !self.caching.load(Ordering::Relaxed) {
             return self
                 .profiles
                 .iter()
                 .find(|p| p.matches_binary_interpreted(binary));
         }
         {
-            let cache = self.binary_cache.borrow();
+            let cache = lock(&self.binary_cache);
             if let Some(&idx) = cache.get(binary) {
-                self.binary_cache_stats.borrow_mut().hits += 1;
+                lock(&self.binary_cache_stats).hits += 1;
                 return idx.map(|i| &self.profiles[i]);
             }
         }
-        self.binary_cache_stats.borrow_mut().misses += 1;
+        lock(&self.binary_cache_stats).misses += 1;
         let idx = self.profiles.iter().position(|p| p.matches_binary(binary));
-        let mut cache = self.binary_cache.borrow_mut();
+        let mut cache = lock(&self.binary_cache);
         if cache.len() >= BINARY_CACHE_CAP {
             cache.clear();
-            self.binary_cache_stats.borrow_mut().invalidations += 1;
+            lock(&self.binary_cache_stats).invalidations += 1;
         }
         cache.insert(binary.to_string(), idx);
         idx.map(|i| &self.profiles[i])
@@ -128,7 +130,7 @@ impl AppArmorLsm {
 
     /// Counters of the binary→profile resolution cache.
     pub fn binary_cache_stats(&self) -> CacheStats {
-        *self.binary_cache_stats.borrow()
+        *lock(&self.binary_cache_stats)
     }
 }
 
@@ -171,7 +173,7 @@ impl SecurityModule for AppArmorLsm {
     fn capable(&self, _cred: &Credentials, binary: &str, cap: Cap) -> Decision {
         match self.profile_for(binary) {
             Some(p) if !p.check_cap(cap) => {
-                *self.matched.borrow_mut() = Some(format!("profile {}", p.binary));
+                *lock(&self.matched) = Some(format!("profile {}", p.binary));
                 Decision::Deny(Errno::EPERM)
             }
             _ => Decision::UseDefault,
@@ -181,7 +183,7 @@ impl SecurityModule for AppArmorLsm {
     fn file_open(&self, ctx: &FileOpenCtx) -> FileDecision {
         match self.profile_for(&ctx.binary) {
             Some(p) => {
-                let allowed = if self.caching.get() {
+                let allowed = if self.caching.load(Ordering::Relaxed) {
                     p.check_path(&ctx.path, ctx.access)
                 } else {
                     p.check_path_interpreted(&ctx.path, ctx.access)
@@ -189,7 +191,7 @@ impl SecurityModule for AppArmorLsm {
                 if allowed {
                     FileDecision::UseDefault
                 } else {
-                    *self.matched.borrow_mut() = Some(format!("profile {}", p.binary));
+                    *lock(&self.matched) = Some(format!("profile {}", p.binary));
                     FileDecision::Deny(Errno::EACCES)
                 }
             }
@@ -198,7 +200,7 @@ impl SecurityModule for AppArmorLsm {
     }
 
     fn take_matched_rule(&self) -> Option<String> {
-        self.matched.borrow_mut().take()
+        lock(&self.matched).take()
     }
 
     fn cache_stats(&self) -> Vec<(&'static str, CacheStats)> {
@@ -249,7 +251,7 @@ mod tests {
     use sim_kernel::vfs::Mode;
 
     fn boot_with_apparmor() -> (Kernel, sim_kernel::Pid) {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         k.install_standard_devices().unwrap();
         k.register_lsm(Box::new(AppArmorLsm::with_ubuntu_defaults()))
             .unwrap();
@@ -268,13 +270,13 @@ mod tests {
 
     #[test]
     fn unconfined_binary_unaffected() {
-        let (mut k, root) = boot_with_apparmor();
+        let (k, root) = boot_with_apparmor();
         assert!(k.read_file(root, "/etc/shadow").is_ok());
     }
 
     #[test]
     fn confined_mount_cannot_read_shadow_even_as_root() {
-        let (mut k, root) = boot_with_apparmor();
+        let (k, root) = boot_with_apparmor();
         // Simulate the exploited /bin/mount: task runs that binary as root.
         k.task_mut(root).unwrap().binary = "/bin/mount".into();
         assert_eq!(k.read_file(root, "/etc/shadow").unwrap_err(), Errno::EACCES);
@@ -284,7 +286,7 @@ mod tests {
 
     #[test]
     fn confined_mount_retains_sys_admin() {
-        let (mut k, root) = boot_with_apparmor();
+        let (k, root) = boot_with_apparmor();
         k.task_mut(root).unwrap().binary = "/bin/mount".into();
         k.vfs.mkdir_p("/mnt/cdrom").unwrap();
         // The paper's critique: the confined binary can still re-arrange
@@ -295,7 +297,7 @@ mod tests {
 
     #[test]
     fn confined_ping_loses_sys_admin() {
-        let (mut k, root) = boot_with_apparmor();
+        let (k, root) = boot_with_apparmor();
         k.task_mut(root).unwrap().binary = "/bin/ping".into();
         k.vfs.mkdir_p("/mnt/cdrom").unwrap();
         assert_eq!(
@@ -307,7 +309,7 @@ mod tests {
 
     #[test]
     fn proc_interface_roundtrip() {
-        let (mut k, root) = boot_with_apparmor();
+        let (k, root) = boot_with_apparmor();
         let text = k.read_to_string(root, "/proc/apparmor/profiles").unwrap();
         assert!(text.contains("profile /{bin,sbin}/mount"));
         // Replace profiles through the /proc interface.
@@ -328,7 +330,7 @@ mod tests {
 
     #[test]
     fn malformed_profile_write_is_einval() {
-        let (mut k, root) = boot_with_apparmor();
+        let (k, root) = boot_with_apparmor();
         let fd = k
             .sys_open(
                 root,
@@ -344,7 +346,7 @@ mod tests {
 
     #[test]
     fn config_write_requires_root() {
-        let (mut k, _) = boot_with_apparmor();
+        let (k, _) = boot_with_apparmor();
         let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
         // 0600 root:root — the open itself is refused by DAC.
         assert_eq!(

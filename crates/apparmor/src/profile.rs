@@ -9,10 +9,11 @@
 
 use crate::glob::{glob_match, CompiledGlob};
 use sim_kernel::caps::{Cap, CapSet};
+use sim_kernel::sync::lock;
 use sim_kernel::trace::CacheStats;
 use sim_kernel::vfs::Access;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Per-profile (path, access) → decision LRU capacity. Small on purpose:
 /// a confined binary's working set of distinct paths is tiny, and the
@@ -158,7 +159,7 @@ impl PathRule {
 }
 
 /// A profile confining one binary.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Profile {
     /// Absolute path (or glob) of the confined binary.
     pub binary: String,
@@ -168,14 +169,27 @@ pub struct Profile {
     pub caps: CapSet,
     // Lazily compiled binary glob; re-validated against `binary` on every
     // use since the field is public.
-    binary_glob: RefCell<Option<CompiledGlob>>,
-    decision_cache: RefCell<DecisionCache>,
+    binary_glob: Mutex<Option<CompiledGlob>>,
+    decision_cache: Mutex<DecisionCache>,
+}
+
+impl Clone for Profile {
+    fn clone(&self) -> Profile {
+        // Caches are per-instance working state: the clone starts cold.
+        Profile {
+            binary: self.binary.clone(),
+            paths: self.paths.clone(),
+            caps: self.caps,
+            binary_glob: Mutex::new(None),
+            decision_cache: Mutex::new(DecisionCache::default()),
+        }
+    }
 }
 
 impl Profile {
     /// Whether the profile applies to `binary` (compiled, lazily cached).
     pub fn matches_binary(&self, binary: &str) -> bool {
-        let mut slot = self.binary_glob.borrow_mut();
+        let mut slot = lock(&self.binary_glob);
         match slot.as_ref() {
             Some(g) if g.pattern() == self.binary => {}
             _ => *slot = Some(CompiledGlob::new(&self.binary)),
@@ -195,7 +209,7 @@ impl Profile {
     /// miss.
     pub fn check_path(&self, path: &str, want: Access) -> bool {
         let _span = sim_kernel::trace::span(sim_kernel::trace::Pathway::PolicyCache);
-        let mut cache = self.decision_cache.borrow_mut();
+        let mut cache = lock(&self.decision_cache);
         if let Some(d) = cache.get(path, want.0) {
             return d;
         }
@@ -239,12 +253,12 @@ impl Profile {
 
     /// Hit/miss/invalidation counters of the per-profile decision LRU.
     pub fn decision_cache_stats(&self) -> CacheStats {
-        self.decision_cache.borrow().stats
+        lock(&self.decision_cache).stats
     }
 
     /// Drops memoized decisions (profile reload, bench cold runs).
     pub fn clear_decision_cache(&self) {
-        self.decision_cache.borrow_mut().clear();
+        lock(&self.decision_cache).clear();
     }
 }
 

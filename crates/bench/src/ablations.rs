@@ -37,12 +37,12 @@ pub fn udp_burst(f: &mut Fixture, n: u32) -> u128 {
 
 /// Flushes the netfilter OUTPUT chain (the ablated configuration).
 pub fn flush_netfilter(f: &mut Fixture) {
-    f.sys.kernel.netfilter.flush();
+    f.sys.kernel.netfilter.write().flush();
 }
 
 /// Number of rules currently installed.
 pub fn rule_count(f: &Fixture) -> usize {
-    f.sys.kernel.netfilter.rules().len()
+    f.sys.kernel.netfilter.read().rules().len()
 }
 
 /// Runs a scripted interactive session (six sudo invocations spaced
@@ -50,7 +50,7 @@ pub fn rule_count(f: &Fixture) -> usize {
 /// trusted agent served. Only meaningful on Protego.
 pub fn prompts_for_window(spacing_secs: u64) -> u64 {
     let mut f = crate::fixture(SystemMode::Protego);
-    f.sys.kernel.trace = true;
+    f.sys.kernel.set_trace(true);
     let carol = f.sys.login("carol", "carolpw").expect("login");
     for _ in 0..6 {
         f.sys.kernel.advance_clock(spacing_secs);
@@ -63,7 +63,8 @@ pub fn prompts_for_window(spacing_secs: u64) -> u64 {
     f.sys
         .kernel
         .audit
-        .iter()
+        .events()
+        .into_iter()
         .filter(|l| l.starts_with("auth:"))
         .count() as u64
 }
@@ -71,7 +72,7 @@ pub fn prompts_for_window(spacing_secs: u64) -> u64 {
 /// Installs `n` mount whitelist rules and times `iters` user mounts that
 /// match the *last* rule (worst-case linear scan).
 pub fn mount_lookup_cost(n: usize, iters: u32) -> u128 {
-    let mut f = crate::fixture(SystemMode::Protego);
+    let f = crate::fixture(SystemMode::Protego);
     let mut rules = String::new();
     for i in 0..n.saturating_sub(1) {
         rules.push_str(&format!("/dev/fake{} /mnt/fake{} iso9660 user\n", i, i));

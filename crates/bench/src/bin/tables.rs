@@ -3,7 +3,7 @@
 //! ```text
 //! tables [table1|table2|table3|table4|table5|table6|table7|table8|ablations|all] [--quick]
 //! tables bench-json [--quick] [--out PATH]   # write BENCH_table5.json
-//! tables bench-macro [--smoke] [--out PATH]  # fleet macro benchmark -> BENCH_macro.json
+//! tables bench-macro [--smoke] [--shared] [--out PATH]  # fleet macro benchmark -> BENCH_macro.json (--shared adds one-kernel contention curves, schema v2)
 //! tables profile [--smoke] [--out PATH]      # overhead attribution -> BENCH_profile.json
 //! tables bench-verify PATH                   # validate a results file (schema-dispatched)
 //! tables replay-smoke                        # record + replay determinism check
@@ -127,8 +127,8 @@ fn run_replay_smoke() {
     let trace = rec.trace();
     sys.kernel.push_interceptor(Box::new(rec));
     let outcomes = run_functional_suite(&mut sys);
-    let serialized = trace.borrow().render();
-    let recorded = trace.borrow().len();
+    let serialized = trace.lock().unwrap().render();
+    let recorded = trace.lock().unwrap().len();
 
     let expected = match Trace::parse(&serialized) {
         Ok(t) => t,
@@ -143,7 +143,7 @@ fn run_replay_smoke() {
     sys2.kernel.push_interceptor(Box::new(replayer));
     let outcomes2 = run_functional_suite(&mut sys2);
 
-    let divs = divergences.borrow();
+    let divs = divergences.lock().unwrap();
     if !divs.is_empty() {
         eprintln!("error: replay diverged at {} point(s):", divs.len());
         for d in divs.iter().take(5) {
@@ -322,6 +322,7 @@ fn run_bench_json(quick: bool, args: &[String]) {
 
 fn run_bench_macro(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
+    let shared = args.iter().any(|a| a == "--shared");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -331,11 +332,20 @@ fn run_bench_macro(args: &[String]) {
     let options = macro_fleet::MacroOptions {
         smoke,
         seed: 0xC0FFEE,
+        shared,
     };
     eprintln!(
-        "running fleet macro benchmark ({} mode, fleets of {:?} workers)...",
+        "running fleet macro benchmark ({} mode, fleets of {:?} workers{})...",
         if smoke { "smoke" } else { "full" },
-        options.worker_counts()
+        options.worker_counts(),
+        if shared {
+            format!(
+                ", shared-kernel fleets of {:?} workers",
+                options.shared_worker_counts()
+            )
+        } else {
+            String::new()
+        }
     );
     let results = macro_fleet::run_macro_matrix(options);
     if let Err(e) = results.check() {
@@ -380,6 +390,24 @@ fn run_bench_macro(args: &[String]) {
             wl.name(),
             points.iter().map(|p| p.workers).max().unwrap_or(1),
             results.scaling(*wl)
+        );
+    }
+    for (wl, points) in &results.shared_curves {
+        for p in points {
+            println!(
+                "  shared {:<5} x{:<3} legacy {:>12.0} ops/s | protego {:>12.0} ops/s  ({:+.2}%, median of {})",
+                wl.name(),
+                p.workers,
+                p.legacy.ops_per_sec,
+                p.protego.ops_per_sec,
+                p.overhead_pct(),
+                p.runs
+            );
+        }
+        println!(
+            "  shared {:<5} protego scaling 1 -> 8 workers on one kernel: {:.2}x",
+            wl.name(),
+            results.shared_scaling_1_to_8(*wl)
         );
     }
     println!(
@@ -452,7 +480,7 @@ fn run_bench_verify(args: &[String]) {
                 .map(String::from)
         })
         .unwrap_or_default();
-    let checked = if schema == json::MACRO_SCHEMA {
+    let checked = if schema == json::MACRO_SCHEMA || schema == json::MACRO_SCHEMA_V2 {
         json::validate_macro(&text)
     } else if schema == json::PROFILE_SCHEMA {
         json::validate_profile(&text)

@@ -412,8 +412,12 @@ pub fn validate_table5(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// The schema tag every generated `BENCH_macro.json` carries.
+/// The schema tag of per-thread-only `BENCH_macro.json` documents.
 pub const MACRO_SCHEMA: &str = "bench_macro/v1";
+
+/// The schema tag of documents that also carry shared-kernel contention
+/// curves (the `shared` section).
+pub const MACRO_SCHEMA_V2: &str = "bench_macro/v2";
 
 fn require_bool(v: &Value, field: &str, ctx: &str) -> Result<bool, String> {
     match v.get(field) {
@@ -429,16 +433,30 @@ fn require_bool(v: &Value, field: &str, ctx: &str) -> Result<bool, String> {
 /// artifacts). Full (non-smoke) documents must additionally cover fleet
 /// sizes 1/2/4/8 and show ≥3x aggregate Protego scaling from 1 to 8
 /// workers per workload.
+///
+/// `bench_macro/v2` documents must additionally carry the shared-kernel
+/// `shared` section: contention
+/// curves for both workloads at 1/8/32/128 workers (1/8 in smoke), ≥2.5×
+/// Protego throughput from 1 to 8 workers on one kernel, and ≤8% Protego
+/// overhead at the 8-worker contention point.
 pub fn validate_macro(text: &str) -> Result<(), String> {
     let doc = parse(text).map_err(|e| format!("not valid JSON: {}", e))?;
     let schema = doc
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\" string")?;
-    if schema != MACRO_SCHEMA {
-        return Err(format!("schema {:?}, expected {:?}", schema, MACRO_SCHEMA));
+    if schema != MACRO_SCHEMA && schema != MACRO_SCHEMA_V2 {
+        return Err(format!(
+            "schema {:?}, expected {:?} or {:?}",
+            schema, MACRO_SCHEMA, MACRO_SCHEMA_V2
+        ));
     }
     let smoke = require_bool(&doc, "smoke", "document")?;
+    if schema == MACRO_SCHEMA_V2 {
+        validate_macro_shared(&doc, smoke)?;
+    } else if doc.get("shared").is_some() {
+        return Err("v1 document carries a \"shared\" section (should be tagged v2)".into());
+    }
 
     let workloads = doc
         .get("workloads")
@@ -498,6 +516,81 @@ pub fn validate_macro(text: &str) -> Result<(), String> {
     }
     if require_num(soak, "privileged_artifacts", "soak")? != 0.0 {
         return Err("soak left privileged artifacts".into());
+    }
+    Ok(())
+}
+
+/// Validates the `shared` section of a `bench_macro/v2` document: the
+/// shared-kernel contention curves and their gated criteria.
+fn validate_macro_shared(doc: &Value, smoke: bool) -> Result<(), String> {
+    let shared = doc
+        .get("shared")
+        .ok_or("v2 document missing \"shared\" object")?;
+    let workloads = shared
+        .get("workloads")
+        .and_then(Value::as_arr)
+        .ok_or("shared section missing \"workloads\" array")?;
+    for required in ["web", "mail"] {
+        let wl = workloads
+            .iter()
+            .find(|w| w.get("name").and_then(Value::as_str) == Some(required))
+            .ok_or_else(|| format!("shared workloads missing required entry {:?}", required))?;
+        let points = wl
+            .get("points")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("shared workload {:?} without a points array", required))?;
+        let mut sizes = Vec::new();
+        let mut overhead_at_8 = None;
+        for p in points {
+            let ctx = format!("shared workload {:?} point", required);
+            let workers = require_num(p, "workers", &ctx)?;
+            let ctx = format!("shared workload {:?} x{}", required, workers);
+            sizes.push(workers as u64);
+            for field in ["legacy_ops_per_sec", "protego_ops_per_sec"] {
+                if require_num(p, field, &ctx)? <= 0.0 {
+                    return Err(format!("{}: non-positive {}", ctx, field));
+                }
+            }
+            let overhead = require_num(p, "overhead_pct", &ctx)?;
+            if workers as u64 == 8 {
+                overhead_at_8 = Some(overhead);
+            }
+        }
+        let expected: &[u64] = if smoke { &[1, 8] } else { &[1, 8, 32, 128] };
+        if sizes != expected {
+            return Err(format!(
+                "shared workload {:?} worker counts {:?}, expected {:?}",
+                required, sizes, expected
+            ));
+        }
+        if !smoke {
+            let scaling = require_num(
+                wl,
+                "protego_scaling_1_to_8",
+                &format!("shared {:?}", required),
+            )?;
+            if scaling < 2.5 {
+                return Err(format!(
+                    "shared workload {:?} scaled only {:.2}x from 1 to 8 workers on one kernel (need >= 2.5x)",
+                    required, scaling
+                ));
+            }
+            match overhead_at_8 {
+                Some(o) if o <= 8.0 => {}
+                Some(o) => {
+                    return Err(format!(
+                        "shared workload {:?}: protego overhead {:.2}% at 8 workers (budget <= 8%)",
+                        required, o
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "shared workload {:?} has no 8-worker contention point",
+                        required
+                    ));
+                }
+            }
+        }
     }
     Ok(())
 }

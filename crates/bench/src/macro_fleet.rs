@@ -2,17 +2,34 @@
 //! (ApacheBench web serving, Postal mail delivery) scaled out over a
 //! fleet of kernels.
 //!
-//! ## Worker topology
+//! ## Worker topologies
 //!
-//! The simulated kernel is deliberately single-threaded (`Rc`/`RefCell`
-//! internals), so the fleet runs **thread-per-worker**: each OS thread
-//! boots its *own* deterministic [`userland::System`] in-thread, starts
-//! the service under test, and drives a closed-loop workload against
-//! it. Workers never share kernel state; they report plain-data
-//! [`WorkerReport`]s — op counts, per-class syscall counters, cache hit
-//! rates, busy time — over an [`std::sync::mpsc`] channel, and the
-//! driver folds them into a [`FleetAggregate`] with
-//! [`sim_kernel::trace::Metrics::merge`].
+//! Two fleet shapes are measured:
+//!
+//! * **Thread-per-kernel** ([`run_fleet`]): each OS thread boots its
+//!   *own* deterministic [`userland::System`] in-thread, starts the
+//!   service under test, and drives a closed-loop workload against it.
+//!   These workers share nothing; the curve proves harness scaling.
+//! * **Shared-kernel** ([`run_shared_fleet`]): the driver boots *one*
+//!   system and hands each worker thread a [`userland::System::worker_view`]
+//!   onto the same interior-locked kernel. Every worker runs its own
+//!   service instance on a disjoint port with a disjoint mail spool, so
+//!   all contention measured is kernel-lock contention, not workload
+//!   aliasing. This is the curve the tentpole refactor unlocks: N
+//!   workers × 1 kernel.
+//!
+//! In both shapes workers report plain-data reports — op counts,
+//! per-class syscall counters, cache hit rates, busy time — over an
+//! [`std::sync::mpsc`] channel, and the driver folds them into a
+//! [`FleetAggregate`] with [`sim_kernel::trace::Metrics::merge`].
+//!
+//! ## Paired interleaved runs (shared mode)
+//!
+//! Shared-kernel points are measured as K interleaved legacy/protego
+//! pairs (L, P, L, P, ...) and reported as the **median-of-K by on-CPU
+//! throughput**, so a background scheduling hiccup in one run cannot
+//! flip the ≤8% overhead verdict. Counts are deterministic across the K
+//! runs; only timings differ.
 //!
 //! ## Throughput metric
 //!
@@ -38,7 +55,8 @@ use crate::json::Value;
 use sim_kernel::syscall::{FaultConfig, FaultInjector, SyscallClass, SyscallMeter};
 use sim_kernel::trace::{span, Metrics, Pathway, TimingSnapshot};
 use std::collections::BTreeMap;
-use std::sync::mpsc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Barrier};
 use std::time::Instant;
 use userland::workload::{self, Service};
 use userland::{boot, System, SystemMode};
@@ -187,16 +205,25 @@ fn run_one_op(
     srv: Service,
     worker: usize,
     i: u64,
+    shared: bool,
 ) -> bool {
     match wl {
         MacroWorkload::Web => workload::web_request(sys, client, srv).is_ok(),
         MacroWorkload::Mail => {
-            let rcpt = if i.is_multiple_of(2) { "alice" } else { "bob" };
+            // Shared-kernel workers deliver to their own spool so the
+            // atomic-replace renames of concurrent workers never collide.
+            let rcpt = if shared {
+                workload::worker_rcpt(worker)
+            } else if i.is_multiple_of(2) {
+                "alice".to_string()
+            } else {
+                "bob".to_string()
+            };
             workload::mail_delivery(
                 sys,
                 client,
                 srv,
-                rcpt,
+                &rcpt,
                 &format!("fleet w{} op{}", worker, i),
             )
             .is_ok()
@@ -217,7 +244,7 @@ fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
     let client = workload::client_session(&mut sys).expect("fleet worker: client login");
 
     for i in 0..spec.warmup {
-        run_one_op(&mut sys, spec.workload, client, srv, worker, i);
+        run_one_op(&mut sys, spec.workload, client, srv, worker, i, false);
     }
     if spec.workload == MacroWorkload::Mail {
         workload::drain_spools(&mut sys, srv);
@@ -257,6 +284,7 @@ fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
             srv,
             worker,
             spec.warmup + i,
+            false,
         ) {
             failures += 1;
             // A fault injected into the server half can strand the
@@ -282,7 +310,7 @@ fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
             (after.calls - prior.calls, after.errors - prior.errors),
         );
     }
-    let injected = fault_stats.map(|s| s.borrow().injected).unwrap_or(0);
+    let injected = fault_stats.map(|s| s.lock().unwrap().injected).unwrap_or(0);
     let artifacts = workload::privileged_artifacts(&mut sys);
 
     WorkerReport {
@@ -354,6 +382,189 @@ pub fn run_fleet(spec: FleetSpec) -> FleetAggregate {
     agg
 }
 
+/// What one shared-kernel worker observed over its measured loop. Kernel
+/// counters are *not* per-worker here — the kernel is shared — so the
+/// driver computes fleet-wide metric deltas itself; workers report only
+/// thread-local observations.
+struct SharedWorkerReport {
+    ops: u64,
+    failures: u64,
+    busy_ns: u64,
+    used_schedstat: bool,
+    /// Thread-local span histograms over the measured loop.
+    timing: TimingSnapshot,
+}
+
+/// Per-worker setup state carried from the warmup phase into the
+/// measured phase of a shared-kernel worker.
+struct SharedWorkerState {
+    sys: System,
+    srv: Service,
+    client: sim_kernel::Pid,
+}
+
+fn shared_worker_setup(mut sys: System, spec: FleetSpec, worker: usize) -> SharedWorkerState {
+    let srv = match spec.workload {
+        MacroWorkload::Web => workload::start_shared_web_service(&mut sys, worker),
+        MacroWorkload::Mail => workload::start_shared_mail_service(&mut sys, worker),
+    }
+    .expect("shared fleet worker: service start on a clean boot");
+    let client = workload::client_session(&mut sys).expect("shared fleet worker: client login");
+    for i in 0..spec.warmup {
+        run_one_op(&mut sys, spec.workload, client, srv, worker, i, true);
+    }
+    if spec.workload == MacroWorkload::Mail {
+        workload::drain_spool(&mut sys, srv, &workload::worker_rcpt(worker));
+    }
+    SharedWorkerState { sys, srv, client }
+}
+
+fn shared_worker_measure(
+    mut st: SharedWorkerState,
+    spec: FleetSpec,
+    worker: usize,
+) -> SharedWorkerReport {
+    let SharedWorkerState {
+        ref mut sys,
+        srv,
+        client,
+    } = st;
+    // Span timing is thread-local, so each worker's histograms cover
+    // exactly its own measured loop even on a shared kernel.
+    span::reset();
+    span::set_enabled(true);
+    let wall_start = Instant::now();
+    let busy_start = thread_busy_ns();
+    let mut failures = 0u64;
+    for i in 0..spec.iters {
+        if spec.workload == MacroWorkload::Mail && i > 0 && i % 256 == 0 {
+            workload::drain_spool(sys, srv, &workload::worker_rcpt(worker));
+        }
+        if !run_one_op(
+            sys,
+            spec.workload,
+            client,
+            srv,
+            worker,
+            spec.warmup + i,
+            true,
+        ) {
+            failures += 1;
+            workload::drain_backlog(sys, srv);
+        }
+    }
+    let wall_ns = (wall_start.elapsed().as_nanos() as u64).max(1);
+    let (busy_ns, used_schedstat) = match (busy_start, thread_busy_ns()) {
+        (Some(a), Some(b)) if b > a => (b - a, true),
+        _ => (wall_ns, false),
+    };
+    span::set_enabled(false);
+    SharedWorkerReport {
+        ops: spec.iters,
+        failures,
+        busy_ns,
+        used_schedstat,
+        timing: span::snapshot(),
+    }
+}
+
+/// Runs one *shared-kernel* fleet: boots a single [`userland::System`],
+/// hands every worker thread a [`System::worker_view`] onto the same
+/// kernel, and drives `spec.workers` concurrent closed loops.
+///
+/// Three barriers fence the measurement so the driver can compute exact
+/// fleet-wide kernel-counter deltas on a kernel it shares with the
+/// workers: all warmups finish (`ready`), the driver snapshots metrics,
+/// everyone starts the measured loops (`go`), all loops finish (`done`),
+/// and the driver snapshots again before any post-loop syscall (the
+/// privileged-artifact audit) can pollute the delta. Worker panics are
+/// caught around each phase so a dying worker can never strand the
+/// barriers; it is counted in [`FleetAggregate::panicked`] instead.
+///
+/// With a [`FaultSpec`] the storm interceptor is installed once on the
+/// shared kernel after warmup: fault *placement* across workers then
+/// depends on thread interleaving (unlike the per-kernel fleet), so
+/// shared soaks assert safety — zero panics, zero artifacts — not
+/// per-seed count equality.
+pub fn run_shared_fleet(spec: FleetSpec) -> FleetAggregate {
+    let mut base = boot(spec.mode);
+    base.kernel.push_interceptor(Box::new(SyscallMeter::new()));
+    let ready = Arc::new(Barrier::new(spec.workers + 1));
+    let go = Arc::new(Barrier::new(spec.workers + 1));
+    let done = Arc::new(Barrier::new(spec.workers + 1));
+
+    let (tx, rx) = mpsc::channel::<SharedWorkerReport>();
+    let mut handles = Vec::with_capacity(spec.workers);
+    for worker in 0..spec.workers {
+        let view = base.worker_view();
+        let (tx, ready, go, done) = (tx.clone(), ready.clone(), go.clone(), done.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut state =
+                catch_unwind(AssertUnwindSafe(|| shared_worker_setup(view, spec, worker))).ok();
+            ready.wait();
+            go.wait();
+            let report = state.take().and_then(|st| {
+                catch_unwind(AssertUnwindSafe(|| shared_worker_measure(st, spec, worker))).ok()
+            });
+            done.wait();
+            if let Some(r) = report {
+                let _ = tx.send(r);
+            }
+        }));
+    }
+    drop(tx);
+
+    ready.wait();
+    // Every warmup has finished and no measured loop has started: this
+    // delta base covers exactly the union of the measured loops.
+    let fault_stats = spec.fault.map(|f| {
+        let inj = FaultInjector::new(FaultConfig::storm(f.seed, f.rate));
+        let stats = inj.stats();
+        base.kernel.push_interceptor(Box::new(inj));
+        stats
+    });
+    let before = base.kernel.metrics_snapshot();
+    go.wait();
+    done.wait();
+    let after = base.kernel.metrics_snapshot();
+
+    let mut agg = FleetAggregate {
+        workers: spec.workers,
+        ops: 0,
+        failures: 0,
+        ops_per_sec: 0.0,
+        used_schedstat: true,
+        metrics: after.clone(),
+        loop_classes: BTreeMap::new(),
+        timing: TimingSnapshot::new(),
+        injected: 0,
+        artifacts: Vec::new(),
+        panicked: 0,
+    };
+    for (class, a) in &after.classes {
+        let prior = before.classes.get(class).copied().unwrap_or_default();
+        agg.loop_classes
+            .insert(class, (a.calls - prior.calls, a.errors - prior.errors));
+    }
+    let mut reports = 0usize;
+    for report in rx {
+        reports += 1;
+        agg.ops += report.ops;
+        agg.failures += report.failures;
+        agg.ops_per_sec += report.ops as f64 / (report.busy_ns as f64 / 1e9);
+        agg.used_schedstat &= report.used_schedstat;
+        agg.timing.merge(&report.timing);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    agg.panicked = spec.workers - reports;
+    agg.injected = fault_stats.map(|s| s.lock().unwrap().injected).unwrap_or(0);
+    // One audit suffices: the artifacts live in the single shared kernel.
+    agg.artifacts = workload::privileged_artifacts(&mut base);
+    agg
+}
+
 /// Options for the full `bench-macro` matrix.
 #[derive(Clone, Copy, Debug)]
 pub struct MacroOptions {
@@ -362,6 +573,8 @@ pub struct MacroOptions {
     pub smoke: bool,
     /// Base seed for the soak storm (and the determinism assertion).
     pub seed: u64,
+    /// Also measure the shared-kernel contention curves (schema v2).
+    pub shared: bool,
 }
 
 impl MacroOptions {
@@ -400,6 +613,45 @@ impl MacroOptions {
             8
         }
     }
+
+    /// Shared-kernel fleet sizes: the contention curve's x axis.
+    pub fn shared_worker_counts(self) -> &'static [usize] {
+        if self.smoke {
+            &[1, 8]
+        } else {
+            &[1, 8, 32, 128]
+        }
+    }
+
+    /// Measured iterations per shared-kernel worker, scaled down with
+    /// fleet size so the 128-worker point stays tractable while every
+    /// worker still runs a statistically useful loop.
+    pub fn shared_iters(self, workers: usize) -> u64 {
+        if self.smoke {
+            25
+        } else {
+            (16_000 / workers as u64).clamp(150, 4_000)
+        }
+    }
+
+    /// Warmup iterations per shared-kernel worker.
+    pub fn shared_warmup(self) -> u64 {
+        if self.smoke {
+            3
+        } else {
+            50
+        }
+    }
+
+    /// How many interleaved legacy/protego run pairs each shared point
+    /// is measured over (the K of median-of-K).
+    pub fn shared_runs(self) -> usize {
+        if self.smoke {
+            1
+        } else {
+            3
+        }
+    }
 }
 
 /// One measured point: both modes at one fleet size.
@@ -423,13 +675,94 @@ impl MacroPoint {
     }
 }
 
+/// One shared-kernel contention point: both modes at one worker count,
+/// each the median-of-K of paired interleaved runs.
+#[derive(Clone, Debug)]
+pub struct SharedPoint {
+    /// Concurrent workers on the one kernel.
+    pub workers: usize,
+    /// How many runs per mode the medians were taken over.
+    pub runs: usize,
+    /// Median legacy run (by aggregate on-CPU throughput).
+    pub legacy: FleetAggregate,
+    /// Median Protego run.
+    pub protego: FleetAggregate,
+    /// Every legacy run's throughput, in run order.
+    pub legacy_rates: Vec<f64>,
+    /// Every Protego run's throughput, in run order.
+    pub protego_rates: Vec<f64>,
+}
+
+impl SharedPoint {
+    /// Protego overhead over the legacy baseline at this contention
+    /// level, in percent, from the median runs.
+    pub fn overhead_pct(&self) -> f64 {
+        crate::overhead_pct(
+            1.0 / self.legacy.ops_per_sec.max(f64::MIN_POSITIVE),
+            1.0 / self.protego.ops_per_sec.max(f64::MIN_POSITIVE),
+        )
+    }
+}
+
+/// Selects the run with the median aggregate throughput; returns it plus
+/// every run's rate in original order.
+fn median_by_rate(mut runs: Vec<FleetAggregate>) -> (FleetAggregate, Vec<f64>) {
+    let rates: Vec<f64> = runs.iter().map(|a| a.ops_per_sec).collect();
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by(|&a, &b| {
+        runs[a]
+            .ops_per_sec
+            .partial_cmp(&runs[b].ops_per_sec)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mid = order[order.len() / 2];
+    (runs.swap_remove(mid), rates)
+}
+
+/// Measures one shared-kernel point: K interleaved legacy/protego pairs
+/// (L, P, L, P, ...), folded to per-mode medians.
+pub fn run_shared_point(
+    workload: MacroWorkload,
+    workers: usize,
+    options: MacroOptions,
+) -> SharedPoint {
+    let spec = |mode| FleetSpec {
+        workload,
+        mode,
+        workers,
+        iters: options.shared_iters(workers),
+        warmup: options.shared_warmup(),
+        fault: None,
+    };
+    let runs = options.shared_runs();
+    let mut legacy_runs = Vec::with_capacity(runs);
+    let mut protego_runs = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        legacy_runs.push(run_shared_fleet(spec(SystemMode::Legacy)));
+        protego_runs.push(run_shared_fleet(spec(SystemMode::Protego)));
+    }
+    let (legacy, legacy_rates) = median_by_rate(legacy_runs);
+    let (protego, protego_rates) = median_by_rate(protego_runs);
+    SharedPoint {
+        workers,
+        runs,
+        legacy,
+        protego,
+        legacy_rates,
+        protego_rates,
+    }
+}
+
 /// The whole bench-macro result set.
 #[derive(Clone, Debug)]
 pub struct MacroResults {
     /// Options the matrix ran with.
     pub options: MacroOptions,
-    /// Per-workload scaling curves.
+    /// Per-workload scaling curves (thread-per-kernel).
     pub curves: Vec<(MacroWorkload, Vec<MacroPoint>)>,
+    /// Shared-kernel contention curves; empty unless
+    /// [`MacroOptions::shared`] was set.
+    pub shared_curves: Vec<(MacroWorkload, Vec<SharedPoint>)>,
     /// The soak fleet (Protego, all workers, 1% storm).
     pub soak: FleetAggregate,
 }
@@ -451,9 +784,28 @@ impl MacroResults {
         }
     }
 
+    /// Shared-kernel Protego throughput scaling from 1 worker to the
+    /// 8-worker contention point, for `workload` — the tentpole's gated
+    /// criterion (≥ 2.5× on one kernel).
+    pub fn shared_scaling_1_to_8(&self, workload: MacroWorkload) -> f64 {
+        let Some((_, points)) = self.shared_curves.iter().find(|(w, _)| *w == workload) else {
+            return 0.0;
+        };
+        let one = points.iter().find(|p| p.workers == 1);
+        let eight = points.iter().find(|p| p.workers == 8);
+        match (one, eight) {
+            (Some(a), Some(b)) if a.protego.ops_per_sec > 0.0 => {
+                b.protego.ops_per_sec / a.protego.ops_per_sec
+            }
+            _ => 0.0,
+        }
+    }
+
     /// A timing-free digest of the whole matrix, for per-seed
     /// determinism checks: concatenates every fleet's
-    /// [`FleetAggregate::fingerprint`].
+    /// [`FleetAggregate::fingerprint`]. Shared-kernel points are
+    /// included — their fault-free counts are interleaving-independent
+    /// (every op performs a fixed syscall mix and totals are sums).
     pub fn fingerprint(&self) -> String {
         let mut out = String::new();
         for (wl, points) in &self.curves {
@@ -465,6 +817,20 @@ impl MacroResults {
                 ));
                 out.push_str(&format!(
                     "{}/protego {}\n",
+                    wl.name(),
+                    p.protego.fingerprint()
+                ));
+            }
+        }
+        for (wl, points) in &self.shared_curves {
+            for p in points {
+                out.push_str(&format!(
+                    "shared/{}/legacy {}\n",
+                    wl.name(),
+                    p.legacy.fingerprint()
+                ));
+                out.push_str(&format!(
+                    "shared/{}/protego {}\n",
                     wl.name(),
                     p.protego.fingerprint()
                 ));
@@ -521,6 +887,73 @@ impl MacroResults {
                 }
             }
         }
+        for (wl, points) in &self.shared_curves {
+            for p in points {
+                for (mode, agg) in [("legacy", &p.legacy), ("protego", &p.protego)] {
+                    if agg.panicked > 0 {
+                        return Err(format!(
+                            "shared {}/{} x{}: {} worker(s) panicked",
+                            wl.name(),
+                            mode,
+                            p.workers,
+                            agg.panicked
+                        ));
+                    }
+                    if agg.failures > 0 {
+                        return Err(format!(
+                            "shared {}/{} x{}: {} failed ops without fault injection",
+                            wl.name(),
+                            mode,
+                            p.workers,
+                            agg.failures
+                        ));
+                    }
+                    if !agg.ops_per_sec.is_finite() || agg.ops_per_sec <= 0.0 {
+                        return Err(format!(
+                            "shared {}/{} x{}: non-finite throughput",
+                            wl.name(),
+                            mode,
+                            p.workers
+                        ));
+                    }
+                    if !agg.artifacts.is_empty() {
+                        return Err(format!(
+                            "shared {}/{} x{}: privileged artifacts: {:?}",
+                            wl.name(),
+                            mode,
+                            p.workers,
+                            agg.artifacts
+                        ));
+                    }
+                }
+                if !p.overhead_pct().is_finite() {
+                    return Err(format!(
+                        "shared {} x{}: non-finite overhead",
+                        wl.name(),
+                        p.workers
+                    ));
+                }
+            }
+            if !self.options.smoke {
+                let scaling = self.shared_scaling_1_to_8(*wl);
+                if scaling < 2.5 {
+                    return Err(format!(
+                        "shared {}: 8-worker throughput only {:.2}x the 1-worker point (need >= 2.5x)",
+                        wl.name(),
+                        scaling
+                    ));
+                }
+                if let Some(p8) = points.iter().find(|p| p.workers == 8) {
+                    if p8.overhead_pct() > 8.0 {
+                        return Err(format!(
+                            "shared {}: protego overhead {:.2}% under 8-worker contention (budget <= 8%)",
+                            wl.name(),
+                            p8.overhead_pct()
+                        ));
+                    }
+                }
+            }
+        }
         if self.soak.panicked > 0 {
             return Err(format!("soak: {} worker(s) panicked", self.soak.panicked));
         }
@@ -573,6 +1006,17 @@ pub fn run_macro_matrix(options: MacroOptions) -> MacroResults {
             rate: 100,
         }),
     };
+    let mut shared_curves = Vec::new();
+    if options.shared {
+        for workload in [MacroWorkload::Web, MacroWorkload::Mail] {
+            let points = options
+                .shared_worker_counts()
+                .iter()
+                .map(|&workers| run_shared_point(workload, workers, options))
+                .collect();
+            shared_curves.push((workload, points));
+        }
+    }
     let web_half = run_fleet(soak_spec(MacroWorkload::Web));
     let mail_half = run_fleet(soak_spec(MacroWorkload::Mail));
     let mut soak = web_half;
@@ -594,6 +1038,7 @@ pub fn run_macro_matrix(options: MacroOptions) -> MacroResults {
     MacroResults {
         options,
         curves,
+        shared_curves,
         soak,
     }
 }
@@ -700,20 +1145,69 @@ pub fn macro_json(results: &MacroResults) -> String {
         ),
         ("completed".into(), Value::Bool(true)),
     ]);
-    Value::Obj(vec![
-        (
-            "schema".into(),
-            Value::Str(crate::json::MACRO_SCHEMA.into()),
-        ),
+    let schema = if results.shared_curves.is_empty() {
+        crate::json::MACRO_SCHEMA
+    } else {
+        crate::json::MACRO_SCHEMA_V2
+    };
+    let mut doc = vec![
+        ("schema".into(), Value::Str(schema.into())),
         ("smoke".into(), Value::Bool(results.options.smoke)),
         (
             "iters_per_worker".into(),
             Value::Num(results.options.iters() as f64),
         ),
         ("workloads".into(), Value::Arr(workloads)),
-        ("soak".into(), soak),
-    ])
-    .render()
+    ];
+    if !results.shared_curves.is_empty() {
+        doc.push(("shared".into(), shared_json(results)));
+    }
+    doc.push(("soak".into(), soak));
+    Value::Obj(doc).render()
+}
+
+fn rates_json(rates: &[f64]) -> Value {
+    Value::Arr(rates.iter().map(|&r| Value::Num(r)).collect())
+}
+
+/// The `shared` section of a `bench_macro/v2` document: per-workload
+/// contention curves over one kernel, with the per-run throughputs the
+/// medians were taken from.
+fn shared_json(results: &MacroResults) -> Value {
+    let mut workloads = Vec::new();
+    for (wl, points) in &results.shared_curves {
+        let pts = points
+            .iter()
+            .map(|p| {
+                Value::Obj(vec![
+                    ("workers".into(), Value::Num(p.workers as f64)),
+                    ("runs_per_mode".into(), Value::Num(p.runs as f64)),
+                    (
+                        "legacy_ops_per_sec".into(),
+                        Value::Num(p.legacy.ops_per_sec),
+                    ),
+                    (
+                        "protego_ops_per_sec".into(),
+                        Value::Num(p.protego.ops_per_sec),
+                    ),
+                    ("overhead_pct".into(), Value::Num(p.overhead_pct())),
+                    ("legacy_run_rates".into(), rates_json(&p.legacy_rates)),
+                    ("protego_run_rates".into(), rates_json(&p.protego_rates)),
+                    ("legacy".into(), aggregate_json(&p.legacy)),
+                    ("protego".into(), aggregate_json(&p.protego)),
+                ])
+            })
+            .collect();
+        workloads.push(Value::Obj(vec![
+            ("name".into(), Value::Str(wl.name().into())),
+            ("points".into(), Value::Arr(pts)),
+            (
+                "protego_scaling_1_to_8".into(),
+                Value::Num(results.shared_scaling_1_to_8(*wl)),
+            ),
+        ]));
+    }
+    Value::Obj(vec![("workloads".into(), Value::Arr(workloads))])
 }
 
 #[cfg(test)]
@@ -771,6 +1265,57 @@ mod tests {
         assert!(a.injected > 0, "a 2% storm over the loop must fire");
         assert_eq!(a.panicked, 0);
         assert!(a.artifacts.is_empty());
+    }
+
+    #[test]
+    fn shared_fleet_runs_both_workloads_both_modes() {
+        for workload in [MacroWorkload::Web, MacroWorkload::Mail] {
+            for mode in [SystemMode::Legacy, SystemMode::Protego] {
+                let agg = run_shared_fleet(tiny_spec(mode, workload, 4));
+                assert_eq!(agg.panicked, 0, "{:?}/{:?}", workload, mode);
+                assert_eq!(agg.ops, 32);
+                assert_eq!(agg.failures, 0, "{:?}/{:?}", workload, mode);
+                assert!(agg.ops_per_sec > 0.0);
+                assert!(agg.artifacts.is_empty());
+                // The fleet-wide measured-loop delta saw every worker's
+                // fs and net traffic.
+                assert!(agg.loop_classes.get("fs").map_or(0, |c| c.0) > 0);
+                assert!(agg.loop_classes.get("net").map_or(0, |c| c.0) > 0);
+                // Per-worker thread-local span histograms merged.
+                assert!(agg.timing.hist(Pathway::Dispatch).count > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_fleet_counts_are_deterministic() {
+        let spec = tiny_spec(SystemMode::Protego, MacroWorkload::Mail, 3);
+        let a = run_shared_fleet(spec);
+        let b = run_shared_fleet(spec);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "fault-free shared-fleet counts must not depend on interleaving"
+        );
+    }
+
+    #[test]
+    fn shared_fleet_storm_is_tolerated() {
+        let agg = run_shared_fleet(FleetSpec {
+            workload: MacroWorkload::Web,
+            mode: SystemMode::Protego,
+            workers: 3,
+            iters: 20,
+            warmup: 1,
+            fault: Some(FaultSpec { seed: 11, rate: 25 }),
+        });
+        assert_eq!(agg.panicked, 0);
+        assert_eq!(agg.ops, 60);
+        assert!(
+            agg.injected > 0,
+            "a 4% storm over 60 concurrent ops must fire"
+        );
+        assert!(agg.artifacts.is_empty());
     }
 
     #[test]

@@ -516,7 +516,13 @@ mod tests {
         let (direct, dispatched, metered) = dispatch_overhead(&mut f, 2, 20);
         assert!(direct > 0.0 && dispatched > 0.0 && metered > 0.0);
         // The meter must have fed class counters into the registry.
-        assert!(f.sys.kernel.metrics.render().contains("syscall_class_fs"));
+        assert!(f
+            .sys
+            .kernel
+            .metrics
+            .snapshot()
+            .render()
+            .contains("syscall_class_fs"));
     }
 
     #[test]

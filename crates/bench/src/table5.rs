@@ -249,7 +249,7 @@ pub fn measure_hotpath(warmup: u32, iters: u32) -> Vec<HotpathRow> {
     // generation-valid dcache hit. The cwd argument is irrelevant for an
     // absolute path.
     {
-        let mut f = fixture(SystemMode::Protego);
+        let f = fixture(SystemMode::Protego);
         const DEEP: &str = "/srv/bench/a/b/c/d/e/f/g/h/i/j/leaf.conf";
         f.sys
             .kernel
@@ -353,8 +353,8 @@ pub fn collect_cache_metrics() -> Vec<CacheCounters> {
     // Legacy: AppArmor confines tcpdump, so repeated opens by that binary
     // exercise the binary→profile cache, the decision LRU and the dcache.
     {
-        let mut f = fixture(SystemMode::Legacy);
-        let k = &mut f.sys.kernel;
+        let f = fixture(SystemMode::Legacy);
+        let k = &f.sys.kernel;
         k.write_file(f.root, "/etc/hosts", b"127.0.0.1 localhost\n", Mode(0o644))
             .expect("hosts file");
         let shell = k.task_mut(f.root).expect("root task").binary.clone();
@@ -373,8 +373,8 @@ pub fn collect_cache_metrics() -> Vec<CacheCounters> {
     // Protego: every file_open consults the keyfile-rule cache, so plain
     // repeated reads exercise it together with the dcache.
     {
-        let mut f = fixture(SystemMode::Protego);
-        let k = &mut f.sys.kernel;
+        let f = fixture(SystemMode::Protego);
+        let k = &f.sys.kernel;
         k.write_file(f.root, "/etc/hosts", b"127.0.0.1 localhost\n", Mode(0o644))
             .expect("hosts file");
         for _ in 0..8 {

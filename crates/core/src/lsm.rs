@@ -29,10 +29,11 @@ use sim_kernel::lsm::{
     KmsOp, MountRequest, PendingSetuid, SecurityModule, SetidCtx, SetuidDecision, UmountRequest,
 };
 use sim_kernel::net::{Domain, ProtoMatch, Route, RouteTable, Rule, SockType, Verdict};
+use sim_kernel::sync::lock;
 use sim_kernel::trace::CacheStats;
 use sim_kernel::vfs::Access;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// The authentication recency window (sudo's 5 minutes), in logical
 /// seconds.
@@ -49,13 +50,13 @@ pub struct ProtegoLsm {
     /// by the kernel (via [`SecurityModule::take_matched_rule`]) to attach
     /// rule provenance to audit events. Hooks take `&self`, hence the
     /// interior mutability.
-    matched: RefCell<Option<String>>,
+    matched: Mutex<Option<String>>,
     /// path → index of the governing keyfile rule (None = no rule). The
     /// cache stores the *index* rather than the decision so the
     /// rule-provenance side effects still fire on every hook. Dropped on
     /// any policy write.
-    keyfile_cache: RefCell<HashMap<String, Option<usize>>>,
-    keyfile_cache_stats: RefCell<CacheStats>,
+    keyfile_cache: Mutex<HashMap<String, Option<usize>>>,
+    keyfile_cache_stats: Mutex<CacheStats>,
 }
 
 impl ProtegoLsm {
@@ -75,7 +76,7 @@ impl ProtegoLsm {
 
     /// Records the rule identifier the current hook matched.
     fn note_rule(&self, rule: String) {
-        *self.matched.borrow_mut() = Some(rule);
+        *lock(&self.matched) = Some(rule);
     }
 
     /// Read-only view of the active policy.
@@ -127,18 +128,18 @@ impl ProtegoLsm {
     fn keyfile_rule(&self, path: &str) -> Option<&KeyFileRule> {
         let _span = sim_kernel::trace::span(sim_kernel::trace::Pathway::PolicyCache);
         {
-            let cache = self.keyfile_cache.borrow();
+            let cache = lock(&self.keyfile_cache);
             if let Some(&idx) = cache.get(path) {
-                self.keyfile_cache_stats.borrow_mut().hits += 1;
+                lock(&self.keyfile_cache_stats).hits += 1;
                 return idx.map(|i| &self.policy.keyfiles[i]);
             }
         }
-        self.keyfile_cache_stats.borrow_mut().misses += 1;
+        lock(&self.keyfile_cache_stats).misses += 1;
         let idx = self.policy.keyfiles.iter().position(|k| k.path == path);
-        let mut cache = self.keyfile_cache.borrow_mut();
+        let mut cache = lock(&self.keyfile_cache);
         if cache.len() >= KEYFILE_CACHE_CAP {
             cache.clear();
-            self.keyfile_cache_stats.borrow_mut().invalidations += 1;
+            lock(&self.keyfile_cache_stats).invalidations += 1;
         }
         cache.insert(path.to_string(), idx);
         idx.map(|i| &self.policy.keyfiles[i])
@@ -146,16 +147,16 @@ impl ProtegoLsm {
 
     /// Drops the keyfile lookup cache (policy reload).
     fn flush_keyfile_cache(&self) {
-        let mut cache = self.keyfile_cache.borrow_mut();
+        let mut cache = lock(&self.keyfile_cache);
         if !cache.is_empty() {
-            self.keyfile_cache_stats.borrow_mut().invalidations += 1;
+            lock(&self.keyfile_cache_stats).invalidations += 1;
         }
         cache.clear();
     }
 
     /// Counters of the keyfile-rule lookup cache.
     pub fn keyfile_cache_stats(&self) -> CacheStats {
-        *self.keyfile_cache_stats.borrow()
+        *lock(&self.keyfile_cache_stats)
     }
 
     fn is_shadow_fragment(&self, path: &str) -> bool {
@@ -558,7 +559,7 @@ impl SecurityModule for ProtegoLsm {
     }
 
     fn take_matched_rule(&self) -> Option<String> {
-        self.matched.borrow_mut().take()
+        lock(&self.matched).take()
     }
 
     fn cache_stats(&self) -> Vec<(&'static str, CacheStats)> {

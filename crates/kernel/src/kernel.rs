@@ -1,6 +1,14 @@
 //! The kernel: global state, LSM and authentication plumbing, logical
 //! clock, and audit tracing. The system-call surface is implemented in the
 //! [`crate::syscall`] modules as further `impl Kernel` blocks.
+//!
+//! Every entry point takes `&self`: the kernel is designed to be wrapped
+//! in an [`SharedKernel`] handle and dispatched into from many worker
+//! threads at once. Mutable state lives behind fine-grained interior
+//! locks — the sharded VFS namespace, a sharded task table, [`Locked`]
+//! wrappers around the peripheral subsystems, atomics for the clock and
+//! pid counter, and per-worker shards for metrics and audit staging. See
+//! `DESIGN.md` §13 for the lock hierarchy.
 
 use crate::caps::Cap;
 use crate::cred::{Credentials, Uid};
@@ -10,11 +18,17 @@ use crate::dev::{
 use crate::error::{Errno, KResult};
 use crate::lsm::{AuthProvider, AuthScope, Decision, SecurityModule};
 use crate::net::{NetStack, Netfilter, RouteTable, SimNet};
-use crate::task::{Pid, Task};
+use crate::sync::{lock, read, write, Locked};
+use crate::task::{Pid, PipeId, Task};
 use crate::trace::DecisionKind;
-use crate::trace::{AuditEvent, AuditObject, AuditRing, AuditSink, Hook, Metrics, Provenance};
+use crate::trace::{
+    AuditEvent, AuditObject, AuditSink, Hook, Metrics, Provenance, ShardedMetrics, SharedAuditRing,
+};
 use crate::vfs::{Ino, InodeData, Mode, ProcHook, Vfs};
 use std::collections::{BTreeMap, VecDeque};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A pipe buffer.
 #[derive(Debug, Default, Clone)]
@@ -27,45 +41,289 @@ pub struct Pipe {
     pub writers: u32,
 }
 
+/// The pipe arena: a slot vector with a free list, so open/close cycles
+/// reuse slots instead of growing the kernel forever (the original
+/// `Vec<Pipe>` leaked one slot per `pipe(2)` call).
+///
+/// A slot is freed when its last read *and* write end are released; the
+/// [`PipeId`] is then eligible for reuse by a later `pipe(2)`.
+#[derive(Debug, Default)]
+pub struct PipeArena {
+    inner: Mutex<PipeSlots>,
+}
+
+#[derive(Debug, Default)]
+struct PipeSlots {
+    slots: Vec<Option<Pipe>>,
+    free: Vec<usize>,
+}
+
+impl PipeArena {
+    /// Allocates a fresh pipe (one reader, one writer), reusing a freed
+    /// slot when available.
+    pub fn alloc(&self) -> PipeId {
+        let mut inner = lock(&self.inner);
+        let pipe = Pipe {
+            buf: VecDeque::new(),
+            readers: 1,
+            writers: 1,
+        };
+        match inner.free.pop() {
+            Some(i) => {
+                inner.slots[i] = Some(pipe);
+                PipeId(i)
+            }
+            None => {
+                inner.slots.push(Some(pipe));
+                PipeId(inner.slots.len() - 1)
+            }
+        }
+    }
+
+    /// Runs `f` over the live pipe in slot `id`; `EBADF` if the slot is
+    /// dead or out of range.
+    pub fn with<R>(&self, id: PipeId, f: impl FnOnce(&mut Pipe) -> KResult<R>) -> KResult<R> {
+        let mut inner = lock(&self.inner);
+        let p = inner
+            .slots
+            .get_mut(id.0)
+            .and_then(|s| s.as_mut())
+            .ok_or(Errno::EBADF)?;
+        f(p)
+    }
+
+    /// Duplicates a read end (fork / dup).
+    pub fn dup_read(&self, id: PipeId) {
+        let _ = self.with(id, |p| {
+            p.readers += 1;
+            Ok(())
+        });
+    }
+
+    /// Duplicates a write end (fork / dup).
+    pub fn dup_write(&self, id: PipeId) {
+        let _ = self.with(id, |p| {
+            p.writers += 1;
+            Ok(())
+        });
+    }
+
+    /// Releases a read end; frees the slot when no ends remain.
+    pub fn release_read(&self, id: PipeId) {
+        self.release(id, true);
+    }
+
+    /// Releases a write end; frees the slot when no ends remain.
+    pub fn release_write(&self, id: PipeId) {
+        self.release(id, false);
+    }
+
+    fn release(&self, id: PipeId, reader: bool) {
+        let mut inner = lock(&self.inner);
+        let Some(slot) = inner.slots.get_mut(id.0) else {
+            return;
+        };
+        let Some(p) = slot.as_mut() else { return };
+        if reader {
+            p.readers = p.readers.saturating_sub(1);
+        } else {
+            p.writers = p.writers.saturating_sub(1);
+        }
+        if p.readers == 0 && p.writers == 0 {
+            *slot = None;
+            inner.free.push(id.0);
+        }
+    }
+
+    /// Number of live (referenced) pipes.
+    pub fn live_count(&self) -> usize {
+        lock(&self.inner).slots.iter().flatten().count()
+    }
+
+    /// Total slots ever allocated, live or free — the arena's footprint.
+    pub fn capacity(&self) -> usize {
+        lock(&self.inner).slots.len()
+    }
+}
+
 /// The authentication recency window, in logical seconds (sudo's classic
 /// 5 minutes, enforced by the Protego kernel per §4.3).
 pub const AUTH_WINDOW_SECS: u64 = 300;
 
+/// Number of task-table shards; pids map to shards round-robin, so a
+/// fork storm on one worker does not serialize lookups on another.
+const TSHARDS: usize = 64;
+
+fn tshard(pid: u32) -> usize {
+    (pid as usize) % TSHARDS
+}
+
+type TaskMap = BTreeMap<u32, Task>;
+
+/// A shared borrow of one task, holding its shard's read lock.
+///
+/// Dereferences to [`Task`]. Keep the scope tight: drop it before calling
+/// any kernel method that emits audit events or re-enters the task table
+/// (same-shard relock on `std`'s writer-preferring `RwLock` can deadlock).
+pub struct TaskRef<'a> {
+    guard: RwLockReadGuard<'a, TaskMap>,
+    pid: u32,
+}
+
+impl Deref for TaskRef<'_> {
+    type Target = Task;
+    fn deref(&self) -> &Task {
+        // Existence was checked at construction and the read guard pins
+        // the map, so the entry cannot have vanished.
+        self.guard
+            .get(&self.pid)
+            .expect("task vanished under guard")
+    }
+}
+
+impl std::fmt::Debug for TaskRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// An exclusive borrow of one task, holding its shard's write lock.
+///
+/// Dereferences to [`Task`]; same scoping discipline as [`TaskRef`].
+pub struct TaskMut<'a> {
+    guard: RwLockWriteGuard<'a, TaskMap>,
+    pid: u32,
+}
+
+impl Deref for TaskMut<'_> {
+    type Target = Task;
+    fn deref(&self) -> &Task {
+        self.guard
+            .get(&self.pid)
+            .expect("task vanished under guard")
+    }
+}
+
+impl std::fmt::Debug for TaskMut<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl DerefMut for TaskMut<'_> {
+    fn deref_mut(&mut self) -> &mut Task {
+        self.guard
+            .get_mut(&self.pid)
+            .expect("task vanished under guard")
+    }
+}
+
+/// A shared borrow of the active security module (read guard wrapper).
+pub struct LsmRef<'a>(RwLockReadGuard<'a, Box<dyn SecurityModule>>);
+
+impl Deref for LsmRef<'_> {
+    type Target = dyn SecurityModule;
+    fn deref(&self) -> &(dyn SecurityModule + 'static) {
+        self.0.as_ref()
+    }
+}
+
+/// An exclusive borrow of the active security module (write guard
+/// wrapper) — configuration writes only.
+pub struct LsmMut<'a>(RwLockWriteGuard<'a, Box<dyn SecurityModule>>);
+
+impl Deref for LsmMut<'_> {
+    type Target = dyn SecurityModule;
+    fn deref(&self) -> &(dyn SecurityModule + 'static) {
+        self.0.as_ref()
+    }
+}
+
+impl DerefMut for LsmMut<'_> {
+    fn deref_mut(&mut self) -> &mut (dyn SecurityModule + 'static) {
+        self.0.as_mut()
+    }
+}
+
 /// The simulated kernel.
 pub struct Kernel {
-    /// The virtual filesystem.
+    /// The virtual filesystem (internally sharded; all methods `&self`).
     pub vfs: Vfs,
     /// Socket arena and port table.
-    pub net: NetStack,
+    pub net: Locked<NetStack>,
     /// OUTPUT-chain packet filter.
-    pub netfilter: Netfilter,
+    pub netfilter: Locked<Netfilter>,
     /// Routing table.
-    pub routes: RouteTable,
-    /// The world beyond this machine.
+    pub routes: Locked<RouteTable>,
+    /// The world beyond this machine. Local IPs are fixed at topology
+    /// build; the host table is interior-locked so hosts can be added
+    /// after the kernel is shared, and the delivery path is `&self`.
     pub simnet: SimNet,
     /// Device registry.
-    pub devices: DeviceRegistry,
-    /// Pipe arena.
-    pub pipes: Vec<Pipe>,
-    /// Logical clock in seconds.
-    pub clock: u64,
-    /// Bounded audit trail of typed policy events. Denials are always
-    /// recorded; informational events require `trace`.
-    pub audit: AuditRing,
-    /// Kernel-wide decision counters and latency aggregates (always on).
-    pub metrics: Metrics,
-    /// Whether to record non-denial (informational) audit events.
-    pub trace: bool,
+    pub devices: Locked<DeviceRegistry>,
+    /// Pipe arena with free-list slot reuse.
+    pub pipes: PipeArena,
+    /// Bounded audit trail of typed policy events, with per-worker write
+    /// staging. Denials are always recorded; informational events
+    /// require `trace`.
+    pub audit: SharedAuditRing,
+    /// Kernel-wide decision counters and latency aggregates (always on),
+    /// accumulated per worker and merged on snapshot.
+    pub metrics: ShardedMetrics,
     /// Whether unprivileged user-namespace creation is allowed — the
     /// Linux >= 3.8 behaviour (§4.6); the paper's 3.6 baseline is false.
+    /// Set only at image-build time, before the kernel is shared.
     pub unprivileged_userns: bool,
-    tasks: BTreeMap<u32, Task>,
-    next_pid: u32,
-    lsm: Box<dyn SecurityModule>,
-    auth: Option<Box<dyn AuthProvider>>,
-    media_roots: BTreeMap<DevId, Ino>,
-    sinks: Vec<Box<dyn AuditSink>>,
-    pub(crate) interceptors: Vec<Box<dyn crate::syscall::Interceptor>>,
+    /// Logical clock in seconds.
+    clock: AtomicU64,
+    /// Whether to record non-denial (informational) audit events.
+    trace: AtomicBool,
+    tasks: Vec<RwLock<TaskMap>>,
+    next_pid: AtomicU32,
+    lsm: RwLock<Box<dyn SecurityModule>>,
+    auth: Mutex<Option<Box<dyn AuthProvider>>>,
+    media_roots: Mutex<BTreeMap<DevId, Ino>>,
+    sinks: Mutex<Vec<Box<dyn AuditSink>>>,
+    pub(crate) interceptors: Locked<Vec<Arc<dyn crate::syscall::Interceptor>>>,
+}
+
+/// A cloneable, thread-shareable handle onto one kernel.
+///
+/// This is the "one kernel, many workers" entry point: clone the handle
+/// into each worker thread and call [`Kernel::dispatch`] through it.
+/// Derefs to [`Kernel`], so every kernel method is available directly.
+#[derive(Clone)]
+pub struct SharedKernel(Arc<Kernel>);
+
+impl SharedKernel {
+    /// Wraps a fully built kernel for sharing.
+    pub fn new(kernel: Kernel) -> SharedKernel {
+        SharedKernel(Arc::new(kernel))
+    }
+
+    /// The underlying reference-counted kernel.
+    pub fn inner(&self) -> &Arc<Kernel> {
+        &self.0
+    }
+}
+
+impl From<Kernel> for SharedKernel {
+    fn from(kernel: Kernel) -> SharedKernel {
+        SharedKernel::new(kernel)
+    }
+}
+
+impl Deref for SharedKernel {
+    type Target = Kernel;
+    fn deref(&self) -> &Kernel {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for SharedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedKernel({:?})", self.0)
+    }
 }
 
 impl Kernel {
@@ -73,44 +331,67 @@ impl Kernel {
     pub fn new(simnet: SimNet) -> Kernel {
         Kernel {
             vfs: Vfs::new(),
-            net: NetStack::new(),
-            netfilter: Netfilter::new(),
-            routes: RouteTable::new(),
+            net: Locked::new(NetStack::new()),
+            netfilter: Locked::new(Netfilter::new()),
+            routes: Locked::new(RouteTable::new()),
             simnet,
-            devices: DeviceRegistry::new(),
-            pipes: Vec::new(),
-            clock: 1_000_000,
-            audit: AuditRing::default(),
-            metrics: Metrics::default(),
-            trace: false,
+            devices: Locked::new(DeviceRegistry::new()),
+            pipes: PipeArena::default(),
+            clock: AtomicU64::new(1_000_000),
+            audit: SharedAuditRing::default(),
+            metrics: ShardedMetrics::new(),
+            trace: AtomicBool::new(false),
             unprivileged_userns: false,
-            tasks: BTreeMap::new(),
-            next_pid: 1,
-            lsm: Box::new(crate::lsm::NullLsm),
-            auth: None,
-            media_roots: BTreeMap::new(),
-            sinks: Vec::new(),
-            interceptors: Vec::new(),
+            tasks: (0..TSHARDS).map(|_| RwLock::new(TaskMap::new())).collect(),
+            next_pid: AtomicU32::new(1),
+            lsm: RwLock::new(Box::new(crate::lsm::NullLsm)),
+            auth: Mutex::new(None),
+            media_roots: Mutex::new(BTreeMap::new()),
+            sinks: Mutex::new(Vec::new()),
+            interceptors: Locked::new(Vec::new()),
         }
+    }
+
+    /// The logical clock, in seconds.
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Advances the logical clock.
+    pub fn advance_clock(&self, secs: u64) {
+        self.clock.fetch_add(secs, Ordering::SeqCst);
+    }
+
+    /// Whether informational audit events are being recorded.
+    pub fn trace(&self) -> bool {
+        self.trace.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables recording of informational audit events.
+    pub fn set_trace(&self, on: bool) {
+        self.trace.store(on, Ordering::Relaxed);
     }
 
     /// Registers an interceptor on the dispatch chain. `before` hooks run
     /// in registration order, `after` hooks in reverse; see
     /// [`Kernel::dispatch`].
-    pub fn push_interceptor(&mut self, ic: Box<dyn crate::syscall::Interceptor>) {
-        self.interceptors.push(ic);
+    pub fn push_interceptor(&self, ic: Box<dyn crate::syscall::Interceptor>) {
+        self.interceptors.write().push(Arc::from(ic));
     }
 
     /// Removes all registered interceptors.
-    pub fn clear_interceptors(&mut self) {
-        self.interceptors.clear();
+    pub fn clear_interceptors(&self) {
+        self.interceptors.write().clear();
     }
 
     /// Registers the active security module: installs its `/proc/<name>/`
     /// configuration nodes and boot-time netfilter rules.
-    pub fn register_lsm(&mut self, lsm: Box<dyn SecurityModule>) -> KResult<()> {
-        for rule in lsm.boot_netfilter_rules() {
-            self.netfilter.append(rule);
+    pub fn register_lsm(&self, lsm: Box<dyn SecurityModule>) -> KResult<()> {
+        {
+            let mut nf = self.netfilter.write();
+            for rule in lsm.boot_netfilter_rules() {
+                nf.append(rule);
+            }
         }
         let name = lsm.name();
         for node in lsm.config_nodes() {
@@ -141,7 +422,7 @@ impl Kernel {
         )?;
         // Every registered module is wrapped so its hooks feed the
         // per-pathway latency histograms (trace::span) uniformly.
-        self.lsm = Box::new(crate::lsm::TimedLsm::new(lsm));
+        *write(&self.lsm) = Box::new(crate::lsm::TimedLsm::new(lsm));
         self.emit_event(
             0,
             "register_lsm",
@@ -154,17 +435,18 @@ impl Kernel {
 
     /// The active security module's name.
     pub fn lsm_name(&self) -> &'static str {
-        self.lsm.name()
+        read(&self.lsm).name()
     }
 
-    /// Borrows the active security module (hooks are `&self`).
-    pub fn lsm(&self) -> &dyn SecurityModule {
-        self.lsm.as_ref()
+    /// Borrows the active security module (hooks are `&self`). The
+    /// returned guard holds the LSM read lock; keep its scope tight.
+    pub fn lsm(&self) -> LsmRef<'_> {
+        LsmRef(read(&self.lsm))
     }
 
     /// Mutably borrows the security module (configuration writes only).
-    pub fn lsm_mut(&mut self) -> &mut dyn SecurityModule {
-        self.lsm.as_mut()
+    pub fn lsm_mut(&self) -> LsmMut<'_> {
+        LsmMut(write(&self.lsm))
     }
 
     /// A self-contained copy of the kernel's metrics with the live cache
@@ -173,7 +455,7 @@ impl Kernel {
     /// plain value that can cross threads and be [`Metrics::merge`]d
     /// into a fleet-wide aggregate.
     pub fn metrics_snapshot(&self) -> Metrics {
-        let mut m = self.metrics.clone();
+        let mut m = self.metrics.snapshot();
         m.record_cache("dcache", self.vfs.dcache_stats());
         for (name, stats) in self.lsm().cache_stats() {
             m.record_cache(name, stats);
@@ -182,14 +464,14 @@ impl Kernel {
     }
 
     /// Registers the trusted authentication agent.
-    pub fn register_auth(&mut self, auth: Box<dyn AuthProvider>) {
-        self.auth = Some(auth);
+    pub fn register_auth(&self, auth: Box<dyn AuthProvider>) {
+        *lock(&self.auth) = Some(auth);
     }
 
     /// Subscribes an audit sink; it observes every event emitted from now
     /// on, independent of the `trace` flag and of ring eviction.
-    pub fn subscribe_sink(&mut self, sink: Box<dyn AuditSink>) {
-        self.sinks.push(sink);
+    pub fn subscribe_sink(&self, sink: Box<dyn AuditSink>) {
+        lock(&self.sinks).push(sink);
     }
 
     /// Emits one typed audit event: snapshots the subject's credentials,
@@ -199,8 +481,11 @@ impl Kernel {
     /// Recording policy: `Deny` events are security-relevant and always
     /// stored; every other kind is stored only when `trace` is on.
     /// Metrics and sinks see all events unconditionally.
+    ///
+    /// Callers must not hold a task guard for `pid` across this call —
+    /// the credential snapshot re-reads the task table.
     pub fn emit_event(
-        &mut self,
+        &self,
         pid: u32,
         syscall: &'static str,
         object: AuditObject,
@@ -209,13 +494,12 @@ impl Kernel {
     ) {
         let _span = crate::trace::span(crate::trace::Pathway::AuditEmit);
         let (ruid, euid) = self
-            .tasks
-            .get(&pid)
+            .task(Pid(pid))
             .map(|t| (t.cred.ruid.0, t.cred.euid.0))
             .unwrap_or((0, 0));
         let ev = AuditEvent {
             seq: self.audit.assign_seq(),
-            clock: self.clock,
+            clock: self.clock(),
             pid,
             ruid,
             euid,
@@ -225,10 +509,10 @@ impl Kernel {
             message,
         };
         self.metrics.record(&ev);
-        for sink in &mut self.sinks {
+        for sink in lock(&self.sinks).iter_mut() {
             sink.on_event(&ev);
         }
-        if ev.is_denial() || self.trace {
+        if ev.is_denial() || self.trace() {
             self.audit.push(ev);
         }
     }
@@ -238,7 +522,7 @@ impl Kernel {
     /// hook whose outcome is being reported.
     #[allow(clippy::too_many_arguments)]
     pub fn emit_lsm_event(
-        &mut self,
+        &self,
         pid: Pid,
         syscall: &'static str,
         hook: Hook,
@@ -247,8 +531,10 @@ impl Kernel {
         object: AuditObject,
         message: String,
     ) {
-        let module = self.lsm.name();
-        let rule = self.lsm.take_matched_rule();
+        let (module, rule) = {
+            let lsm = self.lsm();
+            (lsm.name(), lsm.take_matched_rule())
+        };
         self.emit_event(
             pid.0,
             syscall,
@@ -261,7 +547,7 @@ impl Kernel {
     /// Emits an event attributed to stock kernel policy (no module rule).
     #[allow(clippy::too_many_arguments)]
     pub fn emit_kernel_event(
-        &mut self,
+        &self,
         pid: Pid,
         syscall: &'static str,
         hook: Hook,
@@ -272,7 +558,7 @@ impl Kernel {
     ) {
         // The stock path never involves a module rule; discard any stale
         // one so it cannot leak into a later LSM-attributed event.
-        let _ = self.lsm.take_matched_rule();
+        let _ = self.lsm().take_matched_rule();
         self.emit_event(
             pid.0,
             syscall,
@@ -282,68 +568,74 @@ impl Kernel {
         );
     }
 
-    /// Advances the logical clock.
-    pub fn advance_clock(&mut self, secs: u64) {
-        self.clock += secs;
-    }
-
     // ------------------------------------------------------------------
     // Tasks
     // ------------------------------------------------------------------
 
     /// Creates the first task (root's init/login shell).
-    pub fn spawn_init(&mut self) -> Pid {
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
+    pub fn spawn_init(&self) -> Pid {
+        let pid = self.alloc_pid();
         let root = self.vfs.root();
         let mut t = Task::new(pid, Pid(0), Credentials::root(), root, "/sbin/init");
         t.setenv("PATH", "/usr/sbin:/usr/bin:/sbin:/bin");
-        self.tasks.insert(pid.0, t);
+        self.insert_task(t);
         pid
     }
 
     /// Creates a task directly with the given credentials — used by image
     /// builders to set up login sessions without simulating getty.
-    pub fn spawn_session(&mut self, cred: Credentials, binary: &str) -> Pid {
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
+    pub fn spawn_session(&self, cred: Credentials, binary: &str) -> Pid {
+        let pid = self.alloc_pid();
         let root = self.vfs.root();
         let mut t = Task::new(pid, Pid(1), cred, root, binary);
         t.setenv("PATH", "/usr/sbin:/usr/bin:/sbin:/bin");
-        self.tasks.insert(pid.0, t);
+        self.insert_task(t);
         pid
     }
 
-    /// Immutable task lookup.
-    pub fn task(&self, pid: Pid) -> KResult<&Task> {
-        self.tasks.get(&pid.0).ok_or(Errno::ESRCH)
+    /// Immutable task lookup. The returned guard holds the pid's shard
+    /// read-locked; keep its scope tight (see [`TaskRef`]).
+    pub fn task(&self, pid: Pid) -> KResult<TaskRef<'_>> {
+        let guard = read(&self.tasks[tshard(pid.0)]);
+        if guard.contains_key(&pid.0) {
+            Ok(TaskRef { guard, pid: pid.0 })
+        } else {
+            Err(Errno::ESRCH)
+        }
     }
 
-    /// Mutable task lookup.
-    pub fn task_mut(&mut self, pid: Pid) -> KResult<&mut Task> {
-        self.tasks.get_mut(&pid.0).ok_or(Errno::ESRCH)
+    /// Mutable task lookup. The returned guard holds the pid's shard
+    /// write-locked; keep its scope tight (see [`TaskMut`]).
+    pub fn task_mut(&self, pid: Pid) -> KResult<TaskMut<'_>> {
+        let guard = write(&self.tasks[tshard(pid.0)]);
+        if guard.contains_key(&pid.0) {
+            Ok(TaskMut { guard, pid: pid.0 })
+        } else {
+            Err(Errno::ESRCH)
+        }
     }
 
     /// Allocates the next pid (used by fork).
-    pub(crate) fn alloc_pid(&mut self) -> Pid {
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
-        pid
+    pub(crate) fn alloc_pid(&self) -> Pid {
+        Pid(self.next_pid.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Inserts a task (used by fork).
-    pub(crate) fn insert_task(&mut self, task: Task) {
-        self.tasks.insert(task.pid.0, task);
+    /// Inserts a task (used by fork). The caller must not hold any task
+    /// guard — the new pid may land in an already-locked shard.
+    pub(crate) fn insert_task(&self, task: Task) {
+        write(&self.tasks[tshard(task.pid.0)]).insert(task.pid.0, task);
     }
 
     /// Removes a task's entry entirely (after wait).
-    pub fn reap(&mut self, pid: Pid) -> KResult<Task> {
-        self.tasks.remove(&pid.0).ok_or(Errno::ESRCH)
+    pub fn reap(&self, pid: Pid) -> KResult<Task> {
+        write(&self.tasks[tshard(pid.0)])
+            .remove(&pid.0)
+            .ok_or(Errno::ESRCH)
     }
 
     /// Number of live tasks.
     pub fn task_count(&self) -> usize {
-        self.tasks.len()
+        self.tasks.iter().map(|s| read(s).len()).sum()
     }
 
     // ------------------------------------------------------------------
@@ -354,16 +646,21 @@ impl Kernel {
     /// capability *and* the LSM must not veto it. (LSMs restrict
     /// capabilities here; they grant access through the object-specific
     /// hooks instead, which is the paper's design point.)
-    pub fn capable(&mut self, pid: Pid, cap: Cap) -> bool {
+    pub fn capable(&self, pid: Pid, cap: Cap) -> bool {
         // Borrow the task in place: the hook takes references, so the
-        // common grant/fall-through path performs no clones.
-        let (decision, has, euid) = match self.task(pid) {
-            Ok(t) => (
-                self.lsm.capable(&t.cred, &t.binary, cap),
+        // common grant/fall-through path performs no clones. Both guards
+        // (task shard read, LSM read) drop at the end of the block,
+        // before any event is emitted.
+        let (decision, has, euid) = {
+            let t = match self.task(pid) {
+                Ok(t) => t,
+                Err(_) => return false,
+            };
+            (
+                self.lsm().capable(&t.cred, &t.binary, cap),
                 t.cred.has_cap(cap),
                 t.cred.euid,
-            ),
-            Err(_) => return false,
+            )
         };
         match decision {
             Decision::UseDefault => has,
@@ -393,23 +690,23 @@ impl Kernel {
     /// Runs the trusted authentication agent for `scope` on behalf of
     /// `pid`. On success the kernel records the authentication time in the
     /// task (the paper's `task_struct` recency field).
-    pub fn run_auth(&mut self, pid: Pid, scope: AuthScope) -> bool {
-        let mut agent = match self.auth.take() {
-            Some(a) => a,
-            None => return false,
+    ///
+    /// The agent mutex is held for the whole exchange, serializing
+    /// concurrent authentication attempts (one terminal, one prompt).
+    pub fn run_auth(&self, pid: Pid, scope: AuthScope) -> bool {
+        let mut slot = lock(&self.auth);
+        let Some(agent) = slot.as_mut() else {
+            return false;
         };
         let mut input = match self.task_mut(pid) {
-            Ok(t) => std::mem::take(&mut t.terminal_input),
-            Err(_) => {
-                self.auth = Some(agent);
-                return false;
-            }
+            Ok(mut t) => std::mem::take(&mut t.terminal_input),
+            Err(_) => return false,
         };
         let ok = agent.authenticate(scope, &mut input, &self.vfs);
-        let now = self.clock;
+        let now = self.clock();
         let mut parent = None;
         let mut reprompt_gap = None;
-        if let Ok(t) = self.task_mut(pid) {
+        if let Ok(mut t) = self.task_mut(pid) {
             t.terminal_input = input;
             if ok {
                 reprompt_gap = t.last_auth.map(|prev| now.saturating_sub(prev));
@@ -428,12 +725,12 @@ impl Kernel {
         // proof propagates to the parent, so subsequent commands forked
         // from the same shell inherit it within the window.
         if let Some(ppid) = parent {
-            if let Ok(pt) = self.task_mut(ppid) {
+            if let Ok(mut pt) = self.task_mut(ppid) {
                 pt.last_auth = Some(now);
                 pt.last_auth_scope = Some(scope);
             }
         }
-        self.auth = Some(agent);
+        drop(slot);
         let msg = format!(
             "auth: {:?} for pid {} -> {}",
             scope,
@@ -452,9 +749,9 @@ impl Kernel {
     /// Marks a task as authenticated "out of band" — used by the trusted
     /// login path at session creation, which has just verified the user's
     /// password itself.
-    pub fn mark_authenticated(&mut self, pid: Pid) -> KResult<()> {
-        let now = self.clock;
-        let t = self.task_mut(pid)?;
+    pub fn mark_authenticated(&self, pid: Pid) -> KResult<()> {
+        let now = self.clock();
+        let mut t = self.task_mut(pid)?;
         let who = t.cred.ruid;
         t.last_auth = Some(now);
         t.last_auth_scope = Some(AuthScope::User(who));
@@ -469,16 +766,16 @@ impl Kernel {
     /// CD-ROM, USB flash, a dm-crypt mapping, a modem line, the video
     /// adapter, and `/dev/null`; creates the matching `/dev` nodes and the
     /// base `/proc` files.
-    pub fn install_standard_devices(&mut self) -> KResult<()> {
+    pub fn install_standard_devices(&self) -> KResult<()> {
         use crate::cred::Gid;
         self.vfs.mkdir_p("/dev/mapper")?;
         self.vfs.mkdir_p("/proc")?;
         self.vfs.mkdir_p("/sys/block")?;
 
-        let null = self.devices.register("/dev/null", DeviceKind::Null);
+        let null = self.devices.write().register("/dev/null", DeviceKind::Null);
         self.install_dev_node("/dev/null", null, Mode(0o666), false)?;
 
-        let cdrom = self.devices.register(
+        let cdrom = self.devices.write().register(
             "/dev/cdrom",
             DeviceKind::Block(BlockState {
                 fstype: "iso9660".into(),
@@ -488,7 +785,7 @@ impl Kernel {
         );
         self.install_dev_node("/dev/cdrom", cdrom, Mode(0o660), true)?;
 
-        let usb = self.devices.register(
+        let usb = self.devices.write().register(
             "/dev/sdb1",
             DeviceKind::Block(BlockState {
                 fstype: "vfat".into(),
@@ -498,7 +795,7 @@ impl Kernel {
         );
         self.install_dev_node("/dev/sdb1", usb, Mode(0o660), true)?;
 
-        let dm = self.devices.register(
+        let dm = self.devices.write().register(
             "/dev/mapper/cryptohome",
             DeviceKind::DmCrypt(DmCryptState {
                 name: "cryptohome".into(),
@@ -520,6 +817,7 @@ impl Kernel {
 
         let modem = self
             .devices
+            .write()
             .register("/dev/ttyS0", DeviceKind::Modem(ModemState::default()));
         // Paper §4.1.2: Protego relaxes /dev/ppp permissions, replacing a
         // capability check with device-file permissions. We install the
@@ -527,11 +825,13 @@ impl Kernel {
         self.install_dev_node("/dev/ttyS0", modem, Mode(0o666), false)?;
         let ppp = self
             .devices
+            .write()
             .register("/dev/ppp", DeviceKind::Modem(ModemState::default()));
         self.install_dev_node("/dev/ppp", ppp, Mode(0o666), false)?;
 
         let video = self
             .devices
+            .write()
             .register("/dev/dri/card0", DeviceKind::Video(KmsState::default()));
         self.install_dev_node("/dev/dri/card0", video, Mode(0o666), false)?;
 
@@ -562,7 +862,7 @@ impl Kernel {
         Ok(())
     }
 
-    fn install_dev_node(&mut self, path: &str, dev: DevId, mode: Mode, block: bool) -> KResult<()> {
+    fn install_dev_node(&self, path: &str, dev: DevId, mode: Mode, block: bool) -> KResult<()> {
         use crate::cred::Gid;
         let (dir_path, name) = path
             .rfind('/')
@@ -581,9 +881,13 @@ impl Kernel {
 
     /// Returns (creating on first use) the root directory of the media in
     /// block device `dev`, with small sample contents.
-    pub fn media_root(&mut self, dev: DevId) -> KResult<Ino> {
+    pub fn media_root(&self, dev: DevId) -> KResult<Ino> {
         use crate::cred::Gid;
-        if let Some(&ino) = self.media_roots.get(&dev) {
+        // Hold the map lock across creation so concurrent first mounts of
+        // the same medium agree on one root (the VFS locks are
+        // independent leaves, so nesting them under this mutex is safe).
+        let mut roots = lock(&self.media_roots);
+        if let Some(&ino) = roots.get(&dev) {
             return Ok(ino);
         }
         let root = self.vfs.root();
@@ -598,7 +902,7 @@ impl Kernel {
             .vfs
             .create_file(ino, "README", Mode(0o444), Uid::ROOT, Gid::ROOT, true)?;
         self.vfs.write_all(f, b"simulated removable media\n")?;
-        self.media_roots.insert(dev, ino);
+        roots.insert(dev, ino);
         Ok(ino)
     }
 
@@ -607,7 +911,8 @@ impl Kernel {
         let mut parts = attr.split('/');
         match (parts.next(), parts.next(), parts.next()) {
             (Some("dm"), Some(name), Some("device")) => {
-                for d in self.devices.iter() {
+                let devices = self.devices.read();
+                for d in devices.iter() {
                     if let DeviceKind::DmCrypt(dm) = &d.kind {
                         if dm.name == name {
                             // Discloses topology only — never key material.
@@ -630,9 +935,9 @@ impl Kernel {
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Kernel")
-            .field("lsm", &self.lsm.name())
-            .field("tasks", &self.tasks.len())
-            .field("clock", &self.clock)
+            .field("lsm", &self.lsm_name())
+            .field("tasks", &self.task_count())
+            .field("clock", &self.clock())
             .finish()
     }
 }
@@ -644,7 +949,7 @@ mod tests {
 
     #[test]
     fn boot_and_spawn() {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let init = k.spawn_init();
         assert_eq!(init, Pid(1));
         assert!(k.task(init).unwrap().cred.is_root());
@@ -656,7 +961,7 @@ mod tests {
 
     #[test]
     fn capable_without_lsm_is_credential_based() {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let root = k.spawn_init();
         let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
         assert!(k.capable(root, Cap::SysAdmin));
@@ -665,9 +970,9 @@ mod tests {
 
     #[test]
     fn standard_devices_install() {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         k.install_standard_devices().unwrap();
-        assert!(k.devices.find_by_path("/dev/cdrom").is_some());
+        assert!(k.devices.read().find_by_path("/dev/cdrom").is_some());
         assert!(k.vfs.resolve(k.vfs.root(), "/dev/cdrom").is_ok());
         assert!(k.vfs.resolve(k.vfs.root(), "/proc/mounts").is_ok());
         assert!(k
@@ -678,7 +983,7 @@ mod tests {
 
     #[test]
     fn sys_attr_discloses_topology_not_keys() {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         k.install_standard_devices().unwrap();
         let s = k.sys_attr_read("dm/cryptohome/device").unwrap();
         assert_eq!(s, "/dev/sda3\n");
@@ -692,9 +997,9 @@ mod tests {
 
     #[test]
     fn media_root_is_cached() {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         k.install_standard_devices().unwrap();
-        let dev = k.devices.id_by_path("/dev/cdrom").unwrap();
+        let dev = k.devices.read().id_by_path("/dev/cdrom").unwrap();
         let a = k.media_root(dev).unwrap();
         let b = k.media_root(dev).unwrap();
         assert_eq!(a, b);
@@ -702,25 +1007,25 @@ mod tests {
 
     #[test]
     fn mark_authenticated_sets_recency() {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let pid = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
-        assert!(!k.task(pid).unwrap().recently_authenticated(k.clock, 300));
+        assert!(!k.task(pid).unwrap().recently_authenticated(k.clock(), 300));
         k.mark_authenticated(pid).unwrap();
-        assert!(k.task(pid).unwrap().recently_authenticated(k.clock, 300));
+        assert!(k.task(pid).unwrap().recently_authenticated(k.clock(), 300));
         k.advance_clock(301);
-        assert!(!k.task(pid).unwrap().recently_authenticated(k.clock, 300));
+        assert!(!k.task(pid).unwrap().recently_authenticated(k.clock(), 300));
     }
 
     #[test]
     fn run_auth_without_agent_fails() {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let pid = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
         assert!(!k.run_auth(pid, AuthScope::User(Uid(1000))));
     }
 
     #[test]
     fn audit_respects_trace_flag_for_informational_events() {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         k.emit_event(
             0,
             "test",
@@ -729,7 +1034,7 @@ mod tests {
             "ignored".into(),
         );
         assert!(k.audit.is_empty());
-        k.trace = true;
+        k.set_trace(true);
         k.emit_event(
             0,
             "test",
@@ -739,7 +1044,7 @@ mod tests {
         );
         assert_eq!(k.audit.len(), 1);
         // Metrics saw both events even though only one was stored.
-        assert_eq!(k.metrics.events, 2);
+        assert_eq!(k.metrics.snapshot().events, 2);
         // Sequence numbers reveal the gated event.
         assert_eq!(k.audit.next_seq(), 2);
         assert_eq!(k.audit.last().unwrap().seq, 1);
@@ -749,8 +1054,8 @@ mod tests {
     fn denials_are_recorded_even_with_trace_off() {
         // Regression: the legacy string log dropped *everything* when
         // `trace` was off, including security denials.
-        let mut k = Kernel::new(SimNet::new());
-        assert!(!k.trace);
+        let k = Kernel::new(SimNet::new());
+        assert!(!k.trace());
         k.emit_event(
             0,
             "test",
@@ -760,14 +1065,17 @@ mod tests {
         );
         assert_eq!(k.audit.len(), 1);
         assert!(k.audit.last().unwrap().is_denial());
-        assert_eq!(k.metrics.hook(crate::trace::Hook::SbMount).deny, 1);
+        assert_eq!(
+            k.metrics.snapshot().hook(crate::trace::Hook::SbMount).deny,
+            1
+        );
     }
 
     #[test]
     fn syscall_denial_lands_in_ring_without_trace() {
         // End-to-end variant: an unprivileged mount attempt under stock
         // policy must leave a Deny event with provenance, trace off.
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         k.install_standard_devices().unwrap();
         k.spawn_init();
         k.vfs.mkdir_p("/mnt/cdrom").unwrap();
@@ -778,7 +1086,8 @@ mod tests {
         );
         let ev = k
             .audit
-            .iter()
+            .events()
+            .into_iter()
             .find(|e| e.is_denial() && e.provenance.hook == Hook::SbMount)
             .expect("mount denial recorded with trace off");
         assert_eq!(ev.pid, user.0);
@@ -789,10 +1098,8 @@ mod tests {
     #[test]
     fn sinks_observe_all_events() {
         use crate::trace::CollectingSink;
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let mut k = Kernel::new(SimNet::new());
-        let feed = Rc::new(RefCell::new(CollectingSink::default()));
+        let k = Kernel::new(SimNet::new());
+        let feed = Arc::new(Mutex::new(CollectingSink::default()));
         k.subscribe_sink(Box::new(feed.clone()));
         // Informational event with trace off: ring skips it, sink sees it.
         k.emit_event(
@@ -810,7 +1117,37 @@ mod tests {
             "denied".into(),
         );
         assert!(k.audit.len() == 1);
-        assert_eq!(feed.borrow().events.len(), 2);
-        assert!(feed.borrow().events[1].is_denial());
+        assert_eq!(lock(&feed).events.len(), 2);
+        assert!(lock(&feed).events[1].is_denial());
+    }
+
+    #[test]
+    fn pipe_arena_reuses_closed_slots() {
+        // Satellite: open/close cycles must not grow the arena.
+        let arena = PipeArena::default();
+        let first = arena.alloc();
+        arena.release_read(first);
+        arena.release_write(first);
+        assert_eq!(arena.live_count(), 0);
+        for _ in 0..100 {
+            let id = arena.alloc();
+            assert_eq!(id, first, "freed slot is reused");
+            arena.dup_read(id);
+            arena.release_read(id);
+            arena.release_read(id);
+            arena.release_write(id);
+        }
+        assert_eq!(arena.capacity(), 1, "arena footprint stays bounded");
+        assert_eq!(arena.live_count(), 0);
+    }
+
+    #[test]
+    fn shared_kernel_is_send_and_sync() {
+        // Satellite: the whole point of the refactor — a kernel handle
+        // that crosses threads. A compile-time assertion.
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<SharedKernel>();
+        fn assert_kernel_shareable<T: Send + Sync>() {}
+        assert_kernel_shareable::<Kernel>();
     }
 }

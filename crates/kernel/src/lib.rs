@@ -26,7 +26,7 @@
 //! use sim_kernel::kernel::Kernel;
 //! use sim_kernel::net::SimNet;
 //!
-//! let mut k = Kernel::new(SimNet::new());
+//! let k = Kernel::new(SimNet::new());
 //! k.install_standard_devices().unwrap();
 //! let root = k.spawn_init();
 //! k.vfs.mkdir_p("/mnt/cdrom").unwrap();
@@ -46,11 +46,12 @@ pub mod error;
 pub mod kernel;
 pub mod lsm;
 pub mod net;
+pub mod sync;
 pub mod syscall;
 pub mod task;
 pub mod trace;
 pub mod vfs;
 
 pub use error::{Errno, KResult};
-pub use kernel::Kernel;
+pub use kernel::{Kernel, SharedKernel};
 pub use task::Pid;

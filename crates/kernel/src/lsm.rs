@@ -284,7 +284,11 @@ pub enum KmsOp {
 /// Hooks take `&self`; module policy state is mutated only through
 /// [`SecurityModule::config_write`] (the `/proc` interface) — mirroring how
 /// Protego's LSM is configured by the monitoring daemon in Figure 1.
-pub trait SecurityModule {
+///
+/// `Send + Sync` because the kernel is shared across worker threads:
+/// hooks run concurrently, so a module keeps interior state behind locks
+/// (or [`crate::sync::PerThread`] for per-dispatch scratch).
+pub trait SecurityModule: Send + Sync {
     /// Module name (appears under `/proc/<name>/`).
     fn name(&self) -> &'static str;
 
@@ -546,7 +550,11 @@ impl SecurityModule for NullLsm {
 /// interacting with the task's terminal. Registered on the kernel at boot;
 /// the `userland` crate provides the real implementation refactored from
 /// `login` (the paper's 1200-line authentication utility).
-pub trait AuthProvider {
+///
+/// `Send` because the kernel owning it is shared across worker threads;
+/// the kernel serializes authentication under one mutex, so `&mut self`
+/// stays and `Sync` is not required.
+pub trait AuthProvider: Send {
     /// Attempts authentication for `scope` by consuming password attempts
     /// from `terminal_input` and checking them against the credential
     /// databases stored in the (trusted, read-only here) filesystem view.

@@ -8,6 +8,7 @@
 
 use super::packet::{IcmpKind, Ipv4, Packet, L4};
 use crate::cred::Uid;
+use crate::sync::Locked;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A host on the simulated network.
@@ -27,11 +28,23 @@ pub struct RemoteHost {
 }
 
 /// The simulated network beyond this machine.
-#[derive(Clone, Debug, Default)]
+///
+/// `hosts` is interior-locked so tests and tools can register remote
+/// hosts through a shared (`&self`) kernel handle after boot.
+#[derive(Debug, Default)]
 pub struct SimNet {
     /// Addresses assigned to local interfaces.
     pub local_ips: Vec<Ipv4>,
-    hosts: BTreeMap<Ipv4, RemoteHost>,
+    hosts: Locked<BTreeMap<Ipv4, RemoteHost>>,
+}
+
+impl Clone for SimNet {
+    fn clone(&self) -> SimNet {
+        SimNet {
+            local_ips: self.local_ips.clone(),
+            hosts: Locked::new(self.hosts.read().clone()),
+        }
+    }
 }
 
 impl SimNet {
@@ -39,18 +52,18 @@ impl SimNet {
     pub fn new() -> SimNet {
         SimNet {
             local_ips: vec![Ipv4::LOOPBACK],
-            hosts: BTreeMap::new(),
+            hosts: Locked::new(BTreeMap::new()),
         }
     }
 
     /// Registers (or replaces) a remote host.
-    pub fn add_host(&mut self, addr: Ipv4, host: RemoteHost) {
-        self.hosts.insert(addr, host);
+    pub fn add_host(&self, addr: Ipv4, host: RemoteHost) {
+        self.hosts.write().insert(addr, host);
     }
 
     /// Looks up a remote host.
-    pub fn host(&self, addr: Ipv4) -> Option<&RemoteHost> {
-        self.hosts.get(&addr)
+    pub fn host(&self, addr: Ipv4) -> Option<RemoteHost> {
+        self.hosts.read().get(&addr).cloned()
     }
 
     /// Returns whether `addr` belongs to this machine.
@@ -61,6 +74,7 @@ impl SimNet {
     /// Whether a remote TCP endpoint would accept a connection.
     pub fn tcp_accepts(&self, addr: Ipv4, port: u16) -> bool {
         self.hosts
+            .read()
             .get(&addr)
             .map(|h| h.tcp_open.contains(&port))
             .unwrap_or(false)
@@ -70,7 +84,8 @@ impl SimNet {
     /// addressed back to us. The replies' `sender_uid` is root: they come
     /// from the network, not a local task.
     pub fn deliver(&self, pkt: &Packet) -> Vec<Packet> {
-        let host = match self.hosts.get(&pkt.dst) {
+        let hosts = self.hosts.read();
+        let host = match hosts.get(&pkt.dst) {
             Some(h) => h,
             None => return Vec::new(),
         };

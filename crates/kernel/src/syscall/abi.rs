@@ -867,16 +867,20 @@ impl Kernel {
     /// never reached and an `interceptor`-provenance audit event records
     /// the injection). `after` hooks run in reverse order and always see
     /// the final response, injected or real.
-    pub fn dispatch(&mut self, pid: Pid, call: Syscall) -> SysRet {
+    pub fn dispatch(&self, pid: Pid, call: Syscall) -> SysRet {
         let _dispatch_span = trace::span(trace::Pathway::Dispatch);
-        let mut chain = std::mem::take(&mut self.interceptors);
+        // Clone the chain's shared handles under a brief read lock, so
+        // hooks run without holding any kernel lock (an interceptor may
+        // itself consult kernel state) and concurrent dispatches do not
+        // serialize on the chain.
+        let chain: Vec<_> = self.interceptors.read().clone();
         let mut injected = None;
         {
             let _before_span = trace::span(trace::Pathway::InterceptBefore);
-            for ic in chain.iter_mut() {
+            for ic in chain.iter() {
                 let mut ctx = SysCtx {
-                    clock: self.clock,
-                    metrics: &mut self.metrics,
+                    clock: self.clock(),
+                    metrics: &self.metrics,
                 };
                 if let Some(e) = ic.before(pid, &call, &mut ctx) {
                     injected = Some((e, ic.name()));
@@ -909,23 +913,19 @@ impl Kernel {
         };
         {
             let _after_span = trace::span(trace::Pathway::InterceptAfter);
-            for ic in chain.iter_mut().rev() {
+            for ic in chain.iter().rev() {
                 let mut ctx = SysCtx {
-                    clock: self.clock,
-                    metrics: &mut self.metrics,
+                    clock: self.clock(),
+                    metrics: &self.metrics,
                 };
                 ic.after(pid, &call, &ret, &mut ctx);
             }
         }
-        // A dispatched call cannot re-enter dispatch, but it may have
-        // registered new interceptors; keep both.
-        chain.append(&mut self.interceptors);
-        self.interceptors = chain;
         ret
     }
 
     /// The total request→entry-point mapping behind [`Kernel::dispatch`].
-    fn dispatch_inner(&mut self, pid: Pid, call: &Syscall) -> SysRet {
+    fn dispatch_inner(&self, pid: Pid, call: &Syscall) -> SysRet {
         match call {
             Syscall::Open { path, flags } => wrap(self.sys_open(pid, path, *flags), SysRet::Fd),
             Syscall::Close { fd } => wrap(self.sys_close(pid, *fd), |()| SysRet::Unit),

@@ -125,13 +125,12 @@ impl Kernel {
 
     /// Checks a DAC access on an inode, honouring the DAC-override
     /// capabilities through the (LSM-aware) `capable` path.
-    pub(crate) fn check_access(&mut self, pid: Pid, ino: Ino, want: Access) -> KResult<()> {
+    pub(crate) fn check_access(&self, pid: Pid, ino: Ino, want: Access) -> KResult<()> {
         let cred = self.task(pid)?.cred.clone();
-        let inode = self.vfs.inode(ino);
         let groups = cred.groups.clone();
         let egid = cred.egid;
         let allowed = crate::vfs::Vfs::dac_allows(
-            inode,
+            &self.vfs.inode(ino),
             cred.fsuid,
             |g| egid == g || groups.contains(&g),
             want,
@@ -146,10 +145,13 @@ impl Kernel {
             return Ok(());
         }
         // CAP_DAC_OVERRIDE covers everything except exec of a file with no
-        // exec bits at all.
-        let exec_plain_file = want.wants_exec()
-            && !self.vfs.inode(ino).data.is_dir()
-            && self.vfs.inode(ino).mode.bits() & 0o111 == 0;
+        // exec bits at all. One scoped guard: taking the same inode's
+        // shard lock twice in one expression invites a deadlock once
+        // writers contend.
+        let exec_plain_file = {
+            let inode = self.vfs.inode(ino);
+            want.wants_exec() && !inode.data.is_dir() && inode.mode.bits() & 0o111 == 0
+        };
         if !exec_plain_file && self.capable(pid, Cap::DacOverride) {
             return Ok(());
         }
@@ -158,7 +160,7 @@ impl Kernel {
 
     /// Resolves a path for task `pid`, checking search permission on every
     /// traversed directory.
-    pub(crate) fn walk(&mut self, pid: Pid, path: &str) -> KResult<Resolved> {
+    pub(crate) fn walk(&self, pid: Pid, path: &str) -> KResult<Resolved> {
         let cwd = self.task(pid)?.cwd;
         let r = self.vfs.resolve(cwd, path)?;
         for &dir in &r.dirs {
@@ -168,7 +170,7 @@ impl Kernel {
     }
 
     /// Like [`Kernel::walk`] but stops at a trailing symlink.
-    pub(crate) fn walk_nofollow(&mut self, pid: Pid, path: &str) -> KResult<Resolved> {
+    pub(crate) fn walk_nofollow(&self, pid: Pid, path: &str) -> KResult<Resolved> {
         let cwd = self.task(pid)?.cwd;
         let r = self.vfs.resolve_nofollow(cwd, path)?;
         for &dir in &r.dirs {
@@ -187,7 +189,7 @@ impl Kernel {
     /// access DAC would grant (AppArmor confinement), grant one DAC would
     /// refuse (Protego's binary-identity rules for ssh-keysign), demand
     /// re-authentication (Protego's shadow files), or force close-on-exec.
-    pub fn sys_open(&mut self, pid: Pid, path: &str, flags: OpenFlags) -> KResult<i32> {
+    pub fn sys_open(&self, pid: Pid, path: &str, flags: OpenFlags) -> KResult<i32> {
         let want = flags.access();
         let cwd = self.task(pid)?.cwd;
 
@@ -234,19 +236,27 @@ impl Kernel {
         let mut force_cloexec = false;
         let mut attempts = 0;
         loop {
-            let t = self.task(pid)?;
-            let ctx = FileOpenCtx {
-                cred: t.cred.clone(),
-                path: abs.clone(),
-                binary: t.binary.clone(),
-                access: want,
-                dac_allows: dac_ok,
-                file_owner,
-                last_auth: t.last_auth,
-                last_auth_scope: t.last_auth_scope,
-                now: self.clock,
+            // Scoped: the task guard must drop before the arms below
+            // emit events or re-run authentication (both re-enter the
+            // task table).
+            let ctx = {
+                let t = self.task(pid)?;
+                FileOpenCtx {
+                    cred: t.cred.clone(),
+                    path: abs.clone(),
+                    binary: t.binary.clone(),
+                    access: want,
+                    dac_allows: dac_ok,
+                    file_owner,
+                    last_auth: t.last_auth,
+                    last_auth_scope: t.last_auth_scope,
+                    now: self.clock(),
+                }
             };
-            match self.lsm().file_open(&ctx) {
+            // Bind the decision first so the LSM read guard (a match
+            // scrutinee would pin it) is released before the arms run.
+            let decision = self.lsm().file_open(&ctx);
+            match decision {
                 FileDecision::UseDefault => {
                     dac?;
                     break;
@@ -330,7 +340,7 @@ impl Kernel {
     }
 
     /// `lseek(2)` — repositions the file offset relative to `whence`.
-    pub fn sys_lseek(&mut self, pid: Pid, fd: i32, offset: i64, whence: Whence) -> KResult<usize> {
+    pub fn sys_lseek(&self, pid: Pid, fd: i32, offset: i64, whence: Whence) -> KResult<usize> {
         let (ino, cur) = match &self.task(pid)?.fd(fd)?.object {
             FdObject::File { ino, offset, .. } => (*ino, *offset),
             _ => return Err(Errno::EINVAL),
@@ -352,27 +362,23 @@ impl Kernel {
     }
 
     /// `close(2)`.
-    pub fn sys_close(&mut self, pid: Pid, fd: i32) -> KResult<()> {
+    pub fn sys_close(&self, pid: Pid, fd: i32) -> KResult<()> {
         let taken = self.task_mut(pid)?.fd_take(fd)?;
         self.release_fd_object(taken.object);
         Ok(())
     }
 
     /// Drops kernel-side state backing an fd object.
-    pub(crate) fn release_fd_object(&mut self, obj: FdObject) {
+    pub(crate) fn release_fd_object(&self, obj: FdObject) {
         match obj {
             FdObject::Socket(sid) => {
-                let _ = self.net.close(sid);
+                let _ = self.net.write().close(sid);
             }
             FdObject::PipeRead(pid_) => {
-                if let Some(p) = self.pipes.get_mut(pid_.0) {
-                    p.readers = p.readers.saturating_sub(1);
-                }
+                self.pipes.release_read(pid_);
             }
             FdObject::PipeWrite(pid_) => {
-                if let Some(p) = self.pipes.get_mut(pid_.0) {
-                    p.writers = p.writers.saturating_sub(1);
-                }
+                self.pipes.release_write(pid_);
             }
             FdObject::File { ino, .. } => {
                 self.vfs.dec_open(ino);
@@ -385,13 +391,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// `read(2)`.
-    pub fn sys_read(
-        &mut self,
-        pid: Pid,
-        fd: i32,
-        buf: &mut Vec<u8>,
-        count: usize,
-    ) -> KResult<usize> {
+    pub fn sys_read(&self, pid: Pid, fd: i32, buf: &mut Vec<u8>, count: usize) -> KResult<usize> {
         let fdo = self.task(pid)?.fd(fd)?.clone();
         match fdo.object {
             FdObject::File {
@@ -413,8 +413,7 @@ impl Kernel {
                 }
                 Ok(n)
             }
-            FdObject::PipeRead(id) => {
-                let p = self.pipes.get_mut(id.0).ok_or(Errno::EBADF)?;
+            FdObject::PipeRead(id) => self.pipes.with(id, |p| {
                 if p.buf.is_empty() {
                     return if p.writers == 0 {
                         Ok(0)
@@ -425,7 +424,7 @@ impl Kernel {
                 let n = count.min(p.buf.len());
                 buf.extend(p.buf.drain(..n));
                 Ok(n)
-            }
+            }),
             FdObject::PipeWrite(_) => Err(Errno::EBADF),
             FdObject::Socket(_) => Err(Errno::EINVAL), // use recv
         }
@@ -433,30 +432,34 @@ impl Kernel {
 
     /// Materializes the byte content of an inode for reading, dispatching
     /// dynamic `/proc` and `/sys` nodes.
-    fn render_node(&mut self, _pid: Pid, ino: Ino) -> KResult<Vec<u8>> {
-        match &self.vfs.inode(ino).data {
-            InodeData::Regular(d) => Ok(d.clone()),
-            InodeData::Directory(_) => Err(Errno::EISDIR),
-            InodeData::CharDev(_) | InodeData::BlockDev(_) => Ok(Vec::new()),
-            InodeData::Symlink(t) => Ok(t.clone().into_bytes()),
-            InodeData::Fifo => Err(Errno::EINVAL),
-            InodeData::Hook(h) => {
-                let h = h.clone();
-                match h {
-                    ProcHook::Mounts => Ok(self.vfs.render_proc_mounts().into_bytes()),
-                    ProcHook::Uptime => Ok(format!("{}.00 0.00\n", self.clock).into_bytes()),
-                    ProcHook::LsmConfig(name) => Ok(self.lsm().config_read(name)?.into_bytes()),
-                    ProcHook::Audit => Ok(self.audit.render().into_bytes()),
-                    ProcHook::Metrics => Ok(self.metrics_snapshot().render().into_bytes()),
-                    ProcHook::Histograms => Ok(crate::trace::span::render().into_bytes()),
-                    ProcHook::SysAttr(attr) => Ok(self.sys_attr_read(&attr)?.into_bytes()),
-                }
+    fn render_node(&self, _pid: Pid, ino: Ino) -> KResult<Vec<u8>> {
+        // Copy the hook out before rendering: several hook renderers
+        // re-enter VFS or LSM locks, which must not happen under this
+        // inode's shard guard.
+        let hook = {
+            let inode = self.vfs.inode(ino);
+            match &inode.data {
+                InodeData::Regular(d) => return Ok(d.clone()),
+                InodeData::Directory(_) => return Err(Errno::EISDIR),
+                InodeData::CharDev(_) | InodeData::BlockDev(_) => return Ok(Vec::new()),
+                InodeData::Symlink(t) => return Ok(t.clone().into_bytes()),
+                InodeData::Fifo => return Err(Errno::EINVAL),
+                InodeData::Hook(h) => h.clone(),
             }
+        };
+        match hook {
+            ProcHook::Mounts => Ok(self.vfs.render_proc_mounts().into_bytes()),
+            ProcHook::Uptime => Ok(format!("{}.00 0.00\n", self.clock()).into_bytes()),
+            ProcHook::LsmConfig(name) => Ok(self.lsm().config_read(name)?.into_bytes()),
+            ProcHook::Audit => Ok(self.audit.render().into_bytes()),
+            ProcHook::Metrics => Ok(self.metrics_snapshot().render().into_bytes()),
+            ProcHook::Histograms => Ok(crate::trace::span::render().into_bytes()),
+            ProcHook::SysAttr(attr) => Ok(self.sys_attr_read(&attr)?.into_bytes()),
         }
     }
 
     /// `write(2)`.
-    pub fn sys_write(&mut self, pid: Pid, fd: i32, data: &[u8]) -> KResult<usize> {
+    pub fn sys_write(&self, pid: Pid, fd: i32, data: &[u8]) -> KResult<usize> {
         let fdo = self.task(pid)?.fd(fd)?.clone();
         match fdo.object {
             FdObject::File {
@@ -469,13 +472,16 @@ impl Kernel {
                 if !writable {
                     return Err(Errno::EBADF);
                 }
-                match &self.vfs.inode(ino).data {
-                    InodeData::Hook(h) => {
-                        let h = h.clone();
-                        return self.write_hook_node(pid, h, data);
+                let hook = {
+                    let inode = self.vfs.inode(ino);
+                    match &inode.data {
+                        InodeData::Hook(h) => Some(h.clone()),
+                        InodeData::CharDev(_) => return Ok(data.len()), // /dev/null sink
+                        _ => None,
                     }
-                    InodeData::CharDev(_) => return Ok(data.len()), // /dev/null sink
-                    _ => {}
+                };
+                if let Some(h) = hook {
+                    return self.write_hook_node(pid, h, data);
                 }
                 if append {
                     self.vfs.append(ino, data)?;
@@ -495,14 +501,13 @@ impl Kernel {
                 }
                 Ok(data.len())
             }
-            FdObject::PipeWrite(id) => {
-                let p = self.pipes.get_mut(id.0).ok_or(Errno::EBADF)?;
+            FdObject::PipeWrite(id) => self.pipes.with(id, |p| {
                 if p.readers == 0 {
                     return Err(Errno::EPIPE);
                 }
                 p.buf.extend(data.iter().copied());
                 Ok(data.len())
-            }
+            }),
             FdObject::PipeRead(_) => Err(Errno::EBADF),
             FdObject::Socket(_) => Err(Errno::EINVAL), // use send
         }
@@ -511,7 +516,7 @@ impl Kernel {
     /// Handles a write to a dynamic node. LSM configuration files accept
     /// writes only from root — the trusted daemon/administrator path of
     /// Figure 1.
-    fn write_hook_node(&mut self, pid: Pid, hook: ProcHook, data: &[u8]) -> KResult<usize> {
+    fn write_hook_node(&self, pid: Pid, hook: ProcHook, data: &[u8]) -> KResult<usize> {
         match hook {
             ProcHook::LsmConfig(name) => {
                 let cred = self.task(pid)?.cred.clone();
@@ -553,7 +558,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Opens, reads fully, and closes.
-    pub fn read_file(&mut self, pid: Pid, path: &str) -> KResult<Vec<u8>> {
+    pub fn read_file(&self, pid: Pid, path: &str) -> KResult<Vec<u8>> {
         let fd = self.sys_open(pid, path, OpenFlags::read_only())?;
         let mut buf = Vec::new();
         loop {
@@ -570,19 +575,19 @@ impl Kernel {
     }
 
     /// Opens, reads fully as UTF-8, and closes.
-    pub fn read_to_string(&mut self, pid: Pid, path: &str) -> KResult<String> {
+    pub fn read_to_string(&self, pid: Pid, path: &str) -> KResult<String> {
         String::from_utf8(self.read_file(pid, path)?).map_err(|_| Errno::EINVAL)
     }
 
     /// Creates/truncates and writes a whole file.
-    pub fn write_file(&mut self, pid: Pid, path: &str, data: &[u8], mode: Mode) -> KResult<()> {
+    pub fn write_file(&self, pid: Pid, path: &str, data: &[u8], mode: Mode) -> KResult<()> {
         let fd = self.sys_open(pid, path, OpenFlags::create_trunc(mode))?;
         self.sys_write(pid, fd, data)?;
         self.sys_close(pid, fd)
     }
 
     /// Appends to an existing file.
-    pub fn append_file(&mut self, pid: Pid, path: &str, data: &[u8]) -> KResult<()> {
+    pub fn append_file(&self, pid: Pid, path: &str, data: &[u8]) -> KResult<()> {
         let fd = self.sys_open(pid, path, OpenFlags::append_only())?;
         self.sys_write(pid, fd, data)?;
         self.sys_close(pid, fd)
@@ -593,7 +598,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// `stat(2)`.
-    pub fn sys_stat(&mut self, pid: Pid, path: &str) -> KResult<Stat> {
+    pub fn sys_stat(&self, pid: Pid, path: &str) -> KResult<Stat> {
         let r = self.walk(pid, path)?;
         let i = self.vfs.inode(r.ino);
         Ok(Stat {
@@ -608,7 +613,7 @@ impl Kernel {
     }
 
     /// `lstat(2)` — like stat but does not follow a trailing symlink.
-    pub fn sys_lstat(&mut self, pid: Pid, path: &str) -> KResult<Stat> {
+    pub fn sys_lstat(&self, pid: Pid, path: &str) -> KResult<Stat> {
         let r = self.walk_nofollow(pid, path)?;
         let i = self.vfs.inode(r.ino);
         Ok(Stat {
@@ -623,7 +628,7 @@ impl Kernel {
     }
 
     /// `chmod(2)` — owner or CAP_FOWNER.
-    pub fn sys_chmod(&mut self, pid: Pid, path: &str, mode: Mode) -> KResult<()> {
+    pub fn sys_chmod(&self, pid: Pid, path: &str, mode: Mode) -> KResult<()> {
         let r = self.walk(pid, path)?;
         let cred = self.task(pid)?.cred.clone();
         let owner = self.vfs.inode(r.ino).uid;
@@ -643,7 +648,7 @@ impl Kernel {
     /// `chown(2)` — changing the owner requires CAP_CHOWN; changing the
     /// group requires ownership and membership, or CAP_CHOWN.
     pub fn sys_chown(
-        &mut self,
+        &self,
         pid: Pid,
         path: &str,
         uid: Option<Uid>,
@@ -666,15 +671,18 @@ impl Kernel {
         }
         // As on Linux, chown by an unprivileged principal clears setuid.
         let clearing = !self.capable(pid, Cap::Fsetid);
-        let inode = self.vfs.inode_mut(r.ino);
-        if let Some(u) = uid {
-            inode.uid = u;
-        }
-        if let Some(g) = gid {
-            inode.gid = g;
-        }
-        if clearing {
-            inode.mode = Mode(inode.mode.0 & !(Mode::SETUID | Mode::SETGID));
+        {
+            // Scoped: the guard must drop before `touch` relocks the shard.
+            let mut inode = self.vfs.inode_mut(r.ino);
+            if let Some(u) = uid {
+                inode.uid = u;
+            }
+            if let Some(g) = gid {
+                inode.gid = g;
+            }
+            if clearing {
+                inode.mode = Mode(inode.mode.0 & !(Mode::SETUID | Mode::SETGID));
+            }
         }
         self.vfs.touch(r.ino);
         self.vfs.bump_namespace_gen();
@@ -682,7 +690,7 @@ impl Kernel {
     }
 
     /// `mkdir(2)`.
-    pub fn sys_mkdir(&mut self, pid: Pid, path: &str, mode: Mode) -> KResult<()> {
+    pub fn sys_mkdir(&self, pid: Pid, path: &str, mode: Mode) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (parent, name) = self.vfs.resolve_parent(cwd, path)?;
         for &d in &parent.dirs {
@@ -696,7 +704,7 @@ impl Kernel {
     }
 
     /// `unlink(2)`.
-    pub fn sys_unlink(&mut self, pid: Pid, path: &str) -> KResult<()> {
+    pub fn sys_unlink(&self, pid: Pid, path: &str) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (parent, name) = self.vfs.resolve_parent(cwd, path)?;
         for &d in &parent.dirs {
@@ -707,7 +715,7 @@ impl Kernel {
     }
 
     /// `rmdir(2)`.
-    pub fn sys_rmdir(&mut self, pid: Pid, path: &str) -> KResult<()> {
+    pub fn sys_rmdir(&self, pid: Pid, path: &str) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (parent, name) = self.vfs.resolve_parent(cwd, path)?;
         for &d in &parent.dirs {
@@ -718,7 +726,7 @@ impl Kernel {
     }
 
     /// `rename(2)` — both parents need write+search permission.
-    pub fn sys_rename(&mut self, pid: Pid, from: &str, to: &str) -> KResult<()> {
+    pub fn sys_rename(&self, pid: Pid, from: &str, to: &str) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (from_parent, from_name) = self.vfs.resolve_parent(cwd, from)?;
         for &d in &from_parent.dirs {
@@ -735,7 +743,7 @@ impl Kernel {
     }
 
     /// `symlink(2)`.
-    pub fn sys_symlink(&mut self, pid: Pid, target: &str, linkpath: &str) -> KResult<()> {
+    pub fn sys_symlink(&self, pid: Pid, target: &str, linkpath: &str) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (parent, name) = self.vfs.resolve_parent(cwd, linkpath)?;
         self.check_access(pid, parent.ino, Access::WRITE.and(Access::EXEC))?;
@@ -746,7 +754,7 @@ impl Kernel {
     }
 
     /// `chdir(2)`.
-    pub fn sys_chdir(&mut self, pid: Pid, path: &str) -> KResult<()> {
+    pub fn sys_chdir(&self, pid: Pid, path: &str) -> KResult<()> {
         let r = self.walk(pid, path)?;
         if !self.vfs.inode(r.ino).data.is_dir() {
             return Err(Errno::ENOTDIR);
@@ -757,7 +765,7 @@ impl Kernel {
     }
 
     /// Lists a directory's entry names.
-    pub fn sys_readdir(&mut self, pid: Pid, path: &str) -> KResult<Vec<String>> {
+    pub fn sys_readdir(&self, pid: Pid, path: &str) -> KResult<Vec<String>> {
         let r = self.walk(pid, path)?;
         self.check_access(pid, r.ino, Access::READ)?;
         let inode = self.vfs.inode(r.ino);
@@ -766,14 +774,9 @@ impl Kernel {
     }
 
     /// `pipe(2)` — returns (read fd, write fd).
-    pub fn sys_pipe(&mut self, pid: Pid) -> KResult<(i32, i32)> {
-        let id = crate::task::PipeId(self.pipes.len());
-        self.pipes.push(crate::kernel::Pipe {
-            buf: Default::default(),
-            readers: 1,
-            writers: 1,
-        });
-        let t = self.task_mut(pid)?;
+    pub fn sys_pipe(&self, pid: Pid) -> KResult<(i32, i32)> {
+        let id = self.pipes.alloc();
+        let mut t = self.task_mut(pid)?;
         let r = t.fd_install(Fd {
             object: FdObject::PipeRead(id),
             cloexec: false,
@@ -793,7 +796,7 @@ mod tests {
     use crate::net::SimNet;
 
     fn boot() -> (Kernel, Pid, Pid) {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let root = k.spawn_init();
         k.vfs.mkdir_p("/etc").unwrap();
         k.vfs.mkdir_p("/tmp").unwrap();
@@ -818,25 +821,25 @@ mod tests {
 
     #[test]
     fn user_reads_world_readable() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         assert_eq!(k.read_file(u, "/etc/motd").unwrap(), b"hello\n");
     }
 
     #[test]
     fn user_cannot_read_shadow() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         assert_eq!(k.read_file(u, "/etc/shadow").unwrap_err(), Errno::EACCES);
     }
 
     #[test]
     fn root_reads_shadow_via_dac_override() {
-        let (mut k, r, _) = boot();
+        let (k, r, _) = boot();
         assert!(k.read_file(r, "/etc/shadow").is_ok());
     }
 
     #[test]
     fn user_cannot_write_etc() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         assert_eq!(
             k.write_file(u, "/etc/evil", b"x", Mode(0o644)).unwrap_err(),
             Errno::EACCES
@@ -849,7 +852,7 @@ mod tests {
 
     #[test]
     fn create_write_read_in_tmp() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         k.write_file(u, "/tmp/a.txt", b"data", Mode(0o600)).unwrap();
         assert_eq!(k.read_file(u, "/tmp/a.txt").unwrap(), b"data");
         let st = k.sys_stat(u, "/tmp/a.txt").unwrap();
@@ -860,7 +863,7 @@ mod tests {
 
     #[test]
     fn append_and_offsets() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         k.write_file(u, "/tmp/log", b"one\n", Mode(0o644)).unwrap();
         k.append_file(u, "/tmp/log", b"two\n").unwrap();
         assert_eq!(k.read_file(u, "/tmp/log").unwrap(), b"one\ntwo\n");
@@ -868,7 +871,7 @@ mod tests {
 
     #[test]
     fn excl_create() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         let mut f = OpenFlags::create_trunc(Mode(0o600));
         f.excl = true;
         let fd = k.sys_open(u, "/tmp/x", f).unwrap();
@@ -878,7 +881,7 @@ mod tests {
 
     #[test]
     fn read_requires_read_flag() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         k.write_file(u, "/tmp/y", b"secret", Mode(0o600)).unwrap();
         let fd = k.sys_open(u, "/tmp/y", OpenFlags::write_only()).unwrap();
         let mut buf = Vec::new();
@@ -887,7 +890,7 @@ mod tests {
 
     #[test]
     fn chmod_chown_rules() {
-        let (mut k, r, u) = boot();
+        let (k, r, u) = boot();
         k.write_file(u, "/tmp/own", b"", Mode(0o644)).unwrap();
         k.sys_chmod(u, "/tmp/own", Mode(0o600)).unwrap();
         // Non-owner cannot chmod.
@@ -908,7 +911,7 @@ mod tests {
 
     #[test]
     fn chown_clears_setuid_bit() {
-        let (mut k, r, _) = boot();
+        let (k, r, _) = boot();
         k.write_file(r, "/tmp/suid", b"", Mode(0o4755)).unwrap();
         k.sys_chmod(r, "/tmp/suid", Mode(0o4755)).unwrap();
         // Root holds CAP_FSETID so the bit survives root's chown...
@@ -918,7 +921,7 @@ mod tests {
 
     #[test]
     fn mkdir_unlink_rmdir() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         k.sys_mkdir(u, "/tmp/d", Mode(0o755)).unwrap();
         k.write_file(u, "/tmp/d/f", b"x", Mode(0o644)).unwrap();
         assert_eq!(k.sys_rmdir(u, "/tmp/d").unwrap_err(), Errno::ENOTEMPTY);
@@ -929,7 +932,7 @@ mod tests {
 
     #[test]
     fn search_permission_enforced() {
-        let (mut k, r, u) = boot();
+        let (k, r, u) = boot();
         k.vfs.mkdir_p("/secret").unwrap();
         let s = k.vfs.resolve(k.vfs.root(), "/secret").unwrap().ino;
         k.vfs.inode_mut(s).mode = Mode(0o700);
@@ -940,7 +943,7 @@ mod tests {
 
     #[test]
     fn chdir_and_relative_paths() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         k.sys_chdir(u, "/tmp").unwrap();
         k.write_file(u, "rel.txt", b"r", Mode(0o644)).unwrap();
         assert_eq!(k.read_file(u, "/tmp/rel.txt").unwrap(), b"r");
@@ -949,7 +952,7 @@ mod tests {
 
     #[test]
     fn readdir_lists_entries() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         k.write_file(u, "/tmp/a", b"", Mode(0o644)).unwrap();
         k.write_file(u, "/tmp/b", b"", Mode(0o644)).unwrap();
         let names = k.sys_readdir(u, "/tmp").unwrap();
@@ -958,7 +961,7 @@ mod tests {
 
     #[test]
     fn pipe_roundtrip() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         let (r, w) = k.sys_pipe(u).unwrap();
         k.sys_write(u, w, b"through the pipe").unwrap();
         let mut buf = Vec::new();
@@ -972,7 +975,7 @@ mod tests {
 
     #[test]
     fn write_to_closed_pipe_is_epipe() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         let (r, w) = k.sys_pipe(u).unwrap();
         k.sys_close(u, r).unwrap();
         assert_eq!(k.sys_write(u, w, b"x").unwrap_err(), Errno::EPIPE);
@@ -980,7 +983,7 @@ mod tests {
 
     #[test]
     fn proc_uptime_readable() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         k.install_standard_devices().unwrap();
         let s = k.read_to_string(u, "/proc/uptime").unwrap();
         assert!(s.contains(".00"));
@@ -988,7 +991,7 @@ mod tests {
 
     #[test]
     fn dev_null_swallows_writes() {
-        let (mut k, _, u) = boot();
+        let (k, _, u) = boot();
         k.install_standard_devices().unwrap();
         let fd = k.sys_open(u, "/dev/null", OpenFlags::write_only()).unwrap();
         assert_eq!(k.sys_write(u, fd, b"gone").unwrap(), 4);

@@ -17,7 +17,7 @@ use crate::trace::{AuditObject, DecisionKind, Hook};
 
 impl Kernel {
     /// `setuid(2)`.
-    pub fn sys_setuid(&mut self, pid: Pid, target: Uid) -> KResult<()> {
+    pub fn sys_setuid(&self, pid: Pid, target: Uid) -> KResult<()> {
         let mut attempts = 0;
         loop {
             // The hook context borrows the task's credentials and binary
@@ -30,7 +30,7 @@ impl Kernel {
                     binary: &t.binary,
                     last_auth: t.last_auth,
                     last_auth_scope: t.last_auth_scope,
-                    now: self.clock,
+                    now: self.clock(),
                 };
                 (self.lsm().task_setuid(&ctx, target), t.cred.ruid)
             };
@@ -47,7 +47,7 @@ impl Kernel {
                         AuditObject::UidTarget(target.0),
                         msg,
                     );
-                    let t = self.task_mut(pid)?;
+                    let mut t = self.task_mut(pid)?;
                     t.cred.ruid = target;
                     t.cred.euid = target;
                     t.cred.suid = target;
@@ -114,9 +114,9 @@ impl Kernel {
     }
 
     /// Stock `setuid(2)` semantics.
-    fn setuid_stock(&mut self, pid: Pid, target: Uid) -> KResult<()> {
+    fn setuid_stock(&self, pid: Pid, target: Uid) -> KResult<()> {
         if self.capable(pid, Cap::Setuid) {
-            let t = self.task_mut(pid)?;
+            let mut t = self.task_mut(pid)?;
             t.cred.ruid = target;
             t.cred.euid = target;
             t.cred.suid = target;
@@ -127,13 +127,21 @@ impl Kernel {
             }
             return Ok(());
         }
-        let t = self.task_mut(pid)?;
-        if target == t.cred.ruid || target == t.cred.suid {
-            t.cred.euid = target;
-            t.cred.fsuid = target;
+        // The write guard is scoped so it is gone before the audit
+        // emission (which re-reads the same task shard).
+        let (allowed, ruid) = {
+            let mut t = self.task_mut(pid)?;
+            if target == t.cred.ruid || target == t.cred.suid {
+                t.cred.euid = target;
+                t.cred.fsuid = target;
+                (true, t.cred.ruid)
+            } else {
+                (false, t.cred.ruid)
+            }
+        };
+        if allowed {
             Ok(())
         } else {
-            let ruid = t.cred.ruid;
             let msg = format!(
                 "setuid: stock denied {} -> {} (no CAP_SETUID)",
                 ruid, target
@@ -154,14 +162,14 @@ impl Kernel {
     /// `seteuid(2)` — stock semantics only (no LSM hook needed: it cannot
     /// reach an identity the task does not already hold without
     /// CAP_SETUID).
-    pub fn sys_seteuid(&mut self, pid: Pid, target: Uid) -> KResult<()> {
+    pub fn sys_seteuid(&self, pid: Pid, target: Uid) -> KResult<()> {
         if self.capable(pid, Cap::Setuid) {
-            let t = self.task_mut(pid)?;
+            let mut t = self.task_mut(pid)?;
             t.cred.euid = target;
             t.cred.fsuid = target;
             return Ok(());
         }
-        let t = self.task_mut(pid)?;
+        let mut t = self.task_mut(pid)?;
         if target == t.cred.ruid || target == t.cred.suid || target == t.cred.euid {
             t.cred.euid = target;
             t.cred.fsuid = target;
@@ -172,7 +180,7 @@ impl Kernel {
     }
 
     /// `setgid(2)`.
-    pub fn sys_setgid(&mut self, pid: Pid, target: Gid) -> KResult<()> {
+    pub fn sys_setgid(&self, pid: Pid, target: Gid) -> KResult<()> {
         let mut attempts = 0;
         loop {
             // Clone-free hook context, as in sys_setuid; the scalar rgid
@@ -184,7 +192,7 @@ impl Kernel {
                     binary: &t.binary,
                     last_auth: t.last_auth,
                     last_auth_scope: t.last_auth_scope,
-                    now: self.clock,
+                    now: self.clock(),
                 };
                 (self.lsm().task_setgid(&ctx, target), t.cred.rgid)
             };
@@ -201,7 +209,7 @@ impl Kernel {
                         AuditObject::GidTarget(target.0),
                         msg,
                     );
-                    let t = self.task_mut(pid)?;
+                    let mut t = self.task_mut(pid)?;
                     t.cred.rgid = target;
                     t.cred.egid = target;
                     t.cred.sgid = target;
@@ -250,20 +258,27 @@ impl Kernel {
     }
 
     /// Stock `setgid(2)` semantics.
-    fn setgid_stock(&mut self, pid: Pid, target: Gid) -> KResult<()> {
+    fn setgid_stock(&self, pid: Pid, target: Gid) -> KResult<()> {
         if self.capable(pid, Cap::Setgid) {
-            let t = self.task_mut(pid)?;
+            let mut t = self.task_mut(pid)?;
             t.cred.rgid = target;
             t.cred.egid = target;
             t.cred.sgid = target;
             return Ok(());
         }
-        let t = self.task_mut(pid)?;
-        if target == t.cred.rgid || target == t.cred.sgid {
-            t.cred.egid = target;
+        // Scoped as in setuid_stock: guard released before any emission.
+        let (allowed, rgid) = {
+            let mut t = self.task_mut(pid)?;
+            if target == t.cred.rgid || target == t.cred.sgid {
+                t.cred.egid = target;
+                (true, t.cred.rgid)
+            } else {
+                (false, t.cred.rgid)
+            }
+        };
+        if allowed {
             Ok(())
         } else {
-            let rgid = t.cred.rgid;
             let msg = format!(
                 "setgid: stock denied {} -> {} (no CAP_SETGID)",
                 rgid.0, target.0
@@ -282,7 +297,7 @@ impl Kernel {
     }
 
     /// `setgroups(2)` — requires CAP_SETGID.
-    pub fn sys_setgroups(&mut self, pid: Pid, groups: &[Gid]) -> KResult<()> {
+    pub fn sys_setgroups(&self, pid: Pid, groups: &[Gid]) -> KResult<()> {
         if !self.capable(pid, Cap::Setgid) {
             return Err(Errno::EPERM);
         }
@@ -313,7 +328,7 @@ mod tests {
     use crate::net::SimNet;
 
     fn boot() -> (Kernel, Pid, Pid) {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let root = k.spawn_init();
         let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
         (k, root, user)
@@ -321,37 +336,42 @@ mod tests {
 
     #[test]
     fn root_can_setuid_anywhere_and_drops_caps() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         k.sys_setuid(root, Uid(1000)).unwrap();
-        let c = &k.task(root).unwrap().cred;
-        assert_eq!(c.ruid, Uid(1000));
-        assert_eq!(c.euid, Uid(1000));
-        assert_eq!(c.suid, Uid(1000));
-        assert!(c.caps.is_empty());
+        {
+            // Scoped: the guard must drop before the next sys_setuid call
+            // re-locks the same task shard.
+            let t = k.task(root).unwrap();
+            let c = &t.cred;
+            assert_eq!(c.ruid, Uid(1000));
+            assert_eq!(c.euid, Uid(1000));
+            assert_eq!(c.suid, Uid(1000));
+            assert!(c.caps.is_empty());
+        }
         // Once dropped, cannot regain.
         assert_eq!(k.sys_setuid(root, Uid::ROOT).unwrap_err(), Errno::EPERM);
     }
 
     #[test]
     fn user_setuid_to_stranger_is_eperm() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         assert_eq!(k.sys_setuid(user, Uid(1001)).unwrap_err(), Errno::EPERM);
         assert_eq!(k.sys_setuid(user, Uid::ROOT).unwrap_err(), Errno::EPERM);
     }
 
     #[test]
     fn user_setuid_to_self_ok() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         k.sys_setuid(user, Uid(1000)).unwrap();
         assert_eq!(k.sys_geteuid(user).unwrap(), Uid(1000));
     }
 
     #[test]
     fn seteuid_among_held_ids() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         // Simulate a setuid-nonroot binary: euid 38, ruid 1000, suid 38.
         {
-            let t = k.task_mut(user).unwrap();
+            let mut t = k.task_mut(user).unwrap();
             t.cred.euid = Uid(38);
             t.cred.suid = Uid(38);
             t.cred.fsuid = Uid(38);
@@ -368,7 +388,7 @@ mod tests {
 
     #[test]
     fn setgid_stock_semantics() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         k.sys_setgid(root, Gid(1000)).unwrap();
         assert_eq!(k.task(root).unwrap().cred.egid, Gid(1000));
         assert_eq!(k.sys_setgid(user, Gid(24)).unwrap_err(), Errno::EPERM);
@@ -377,7 +397,7 @@ mod tests {
 
     #[test]
     fn setgroups_requires_cap() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         k.sys_setgroups(root, &[Gid(0), Gid(24)]).unwrap();
         assert_eq!(k.sys_setgroups(user, &[Gid(24)]).unwrap_err(), Errno::EPERM);
     }

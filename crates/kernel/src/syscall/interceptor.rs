@@ -9,28 +9,31 @@
 //! (see [`crate::trace::TraceRecorder`]).
 
 use crate::error::Errno;
+use crate::sync::{lock, PerThread};
 use crate::syscall::abi::{SysRet, Syscall, SyscallClass};
 use crate::task::Pid;
-use crate::trace::Metrics;
-use std::cell::RefCell;
+use crate::trace::ShardedMetrics;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Kernel state an interceptor may consult or update while the dispatcher
 /// holds the chain.
 pub struct SysCtx<'a> {
     /// The kernel's logical clock at hook time.
     pub clock: u64,
-    /// The kernel-wide metrics sink.
-    pub metrics: &'a mut Metrics,
+    /// The kernel-wide metrics sink (per-worker shards; see
+    /// [`ShardedMetrics`]).
+    pub metrics: &'a ShardedMetrics,
 }
 
 /// A hook pair around every dispatched syscall.
 ///
-/// Interceptors are owned by the kernel and taken out of it for the
-/// duration of a dispatch (so they cannot alias the kernel they observe);
-/// they interact with kernel state only through [`SysCtx`].
-pub trait Interceptor {
+/// The kernel stores interceptors as shared handles and many worker
+/// threads may dispatch concurrently, so hooks take `&self` and
+/// implementations keep mutable state behind a mutex (or [`PerThread`]
+/// for values scoped to one dispatch on one thread); they interact with
+/// kernel state only through [`SysCtx`].
+pub trait Interceptor: Send + Sync {
     /// Stable name, recorded in the audit `rule` field when this
     /// interceptor injects a fault.
     fn name(&self) -> &'static str;
@@ -38,12 +41,12 @@ pub trait Interceptor {
     /// Runs before the kernel entry point. Returning `Some(errno)`
     /// short-circuits the call: the entry point is never reached and the
     /// caller sees `SysRet::Err(errno)`.
-    fn before(&mut self, _pid: Pid, _call: &Syscall, _ctx: &mut SysCtx<'_>) -> Option<Errno> {
+    fn before(&self, _pid: Pid, _call: &Syscall, _ctx: &mut SysCtx<'_>) -> Option<Errno> {
         None
     }
 
     /// Runs after the response is known (real or injected).
-    fn after(&mut self, _pid: Pid, _call: &Syscall, _ret: &SysRet, _ctx: &mut SysCtx<'_>) {}
+    fn after(&self, _pid: Pid, _call: &Syscall, _ret: &SysRet, _ctx: &mut SysCtx<'_>) {}
 }
 
 /// A deterministic xorshift64 generator — the simulation must not pull in
@@ -155,11 +158,19 @@ pub struct FaultStats {
 /// before the random draw and exactly once.
 pub struct FaultInjector {
     config: FaultConfig,
+    /// PRNG, one-shot bookkeeping, and per-name dispatch counts; a single
+    /// mutex keeps (count, draw, fire) decisions atomic per call so the
+    /// fault stream stays a deterministic function of arrival order.
+    inner: Mutex<FaultState>,
+    stats: Arc<Mutex<FaultStats>>,
+}
+
+#[derive(Debug)]
+struct FaultState {
     rng: XorShift64,
     /// 1-based dispatch counts per syscall name, driving one-shots.
     counts: BTreeMap<&'static str, u64>,
     fired: Vec<bool>,
-    stats: Rc<RefCell<FaultStats>>,
 }
 
 impl FaultInjector {
@@ -169,21 +180,23 @@ impl FaultInjector {
         let fired = vec![false; config.one_shots.len()];
         FaultInjector {
             config,
-            rng,
-            counts: BTreeMap::new(),
-            fired,
-            stats: Rc::new(RefCell::new(FaultStats::default())),
+            inner: Mutex::new(FaultState {
+                rng,
+                counts: BTreeMap::new(),
+                fired,
+            }),
+            stats: Arc::new(Mutex::new(FaultStats::default())),
         }
     }
 
     /// A shared handle onto the injector's counters, usable after the
     /// injector has been boxed into the kernel.
-    pub fn stats(&self) -> Rc<RefCell<FaultStats>> {
-        Rc::clone(&self.stats)
+    pub fn stats(&self) -> Arc<Mutex<FaultStats>> {
+        Arc::clone(&self.stats)
     }
 
     fn record(&self, call: &Syscall, errno: Errno) {
-        let mut s = self.stats.borrow_mut();
+        let mut s = lock(&self.stats);
         s.injected += 1;
         *s.per_class.entry(call.class().name()).or_insert(0) += 1;
         *s.per_errno.entry(errno.name()).or_insert(0) += 1;
@@ -195,14 +208,16 @@ impl Interceptor for FaultInjector {
         "fault_injector"
     }
 
-    fn before(&mut self, _pid: Pid, call: &Syscall, _ctx: &mut SysCtx<'_>) -> Option<Errno> {
-        self.stats.borrow_mut().seen += 1;
-        let n = self.counts.entry(call.name()).or_insert(0);
+    fn before(&self, _pid: Pid, call: &Syscall, _ctx: &mut SysCtx<'_>) -> Option<Errno> {
+        lock(&self.stats).seen += 1;
+        let mut st = lock(&self.inner);
+        let n = st.counts.entry(call.name()).or_insert(0);
         *n += 1;
         let nth = *n;
         for (i, shot) in self.config.one_shots.iter().enumerate() {
-            if !self.fired[i] && shot.syscall == call.name() && shot.k == nth {
-                self.fired[i] = true;
+            if !st.fired[i] && shot.syscall == call.name() && shot.k == nth {
+                st.fired[i] = true;
+                drop(st);
                 self.record(call, shot.errno);
                 return Some(shot.errno);
             }
@@ -217,8 +232,9 @@ impl Interceptor for FaultInjector {
         if matches!(call, Syscall::Getuid | Syscall::Geteuid | Syscall::Getgid) {
             return None;
         }
-        if self.rng.next().is_multiple_of(self.config.rate) {
-            let pick = (self.rng.next() % self.config.palette.len() as u64) as usize;
+        if st.rng.next().is_multiple_of(self.config.rate) {
+            let pick = (st.rng.next() % self.config.palette.len() as u64) as usize;
+            drop(st);
             let errno = self.config.palette[pick];
             self.record(call, errno);
             return Some(errno);
@@ -228,13 +244,13 @@ impl Interceptor for FaultInjector {
 }
 
 /// The per-class latency/count meter (tentpole interceptor #3): folds
-/// every dispatched call into [`Metrics::observe_class`], surfacing
+/// every dispatched call into [`Metrics::observe_class`](crate::trace::Metrics::observe_class), surfacing
 /// `syscall_class_<class>` lines in `/proc/<lsm>/metrics`.
 #[derive(Debug, Default)]
 pub struct SyscallMeter {
-    /// Clock at `before` time. Dispatch never re-enters itself, so a
-    /// single pending slot suffices.
-    start: Option<u64>,
+    /// Clock at `before` time. Dispatch never re-enters itself on a
+    /// thread, so one pending slot per dispatching thread suffices.
+    start: PerThread<Option<u64>>,
 }
 
 impl SyscallMeter {
@@ -249,12 +265,12 @@ impl Interceptor for SyscallMeter {
         "syscall_meter"
     }
 
-    fn before(&mut self, _pid: Pid, _call: &Syscall, ctx: &mut SysCtx<'_>) -> Option<Errno> {
-        self.start = Some(ctx.clock);
+    fn before(&self, _pid: Pid, _call: &Syscall, ctx: &mut SysCtx<'_>) -> Option<Errno> {
+        self.start.replace(Some(ctx.clock));
         None
     }
 
-    fn after(&mut self, _pid: Pid, call: &Syscall, ret: &SysRet, ctx: &mut SysCtx<'_>) {
+    fn after(&self, _pid: Pid, call: &Syscall, ret: &SysRet, ctx: &mut SysCtx<'_>) {
         let start = self.start.take().unwrap_or(ctx.clock);
         let delta = ctx.clock.saturating_sub(start);
         ctx.metrics.observe_class(call.class(), delta, ret.is_err());

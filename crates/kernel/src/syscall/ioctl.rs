@@ -57,28 +57,36 @@ impl Kernel {
     }
 
     /// `ioctl(2)` on a device fd.
-    pub fn sys_ioctl(&mut self, pid: Pid, fd: i32, cmd: IoctlCmd) -> KResult<IoctlOut> {
+    pub fn sys_ioctl(&self, pid: Pid, fd: i32, cmd: IoctlCmd) -> KResult<IoctlOut> {
         let dev = self.fd_device(pid, fd)?;
-        let dev_path = self.devices.get(dev)?.path.clone();
-        let kind = self.devices.get(dev)?.kind.clone();
+        // Snapshot path + kind so the registry guard is not held across the
+        // LSM hooks and audit emissions below.
+        let (dev_path, kind) = {
+            let devices = self.devices.read();
+            let rec = devices.get(dev)?;
+            (rec.path.clone(), rec.kind.clone())
+        };
         match (cmd, kind) {
             (IoctlCmd::ModemClaim, DeviceKind::Modem(_)) => {
                 let pidn = pid.0;
-                if let DeviceKind::Modem(m) = &mut self.devices.get_mut(dev)?.kind {
+                let mut devices = self.devices.write();
+                if let DeviceKind::Modem(m) = &mut devices.get_mut(dev)?.kind {
                     claim_modem(m, pidn)?;
                 }
                 Ok(IoctlOut::None)
             }
             (IoctlCmd::ModemRelease, DeviceKind::Modem(_)) => {
                 let pidn = pid.0;
-                if let DeviceKind::Modem(m) = &mut self.devices.get_mut(dev)?.kind {
+                let mut devices = self.devices.write();
+                if let DeviceKind::Modem(m) = &mut devices.get_mut(dev)?.kind {
                     crate::dev::release_modem(m, pidn);
                 }
                 Ok(IoctlOut::None)
             }
             (IoctlCmd::Modem(opt), DeviceKind::Modem(state)) => {
                 let cred = self.task(pid)?.cred.clone();
-                match self.lsm().ioctl_modem(&cred, opt, &state) {
+                let decision = self.lsm().ioctl_modem(&cred, opt, &state);
+                match decision {
                     Decision::UseDefault => {
                         if !self.capable(pid, Cap::NetAdmin) {
                             let msg = format!(
@@ -128,7 +136,8 @@ impl Kernel {
                         return Err(e);
                     }
                 }
-                if let DeviceKind::Modem(m) = &mut self.devices.get_mut(dev)?.kind {
+                let mut devices = self.devices.write();
+                if let DeviceKind::Modem(m) = &mut devices.get_mut(dev)?.kind {
                     match opt {
                         ModemOpt::Baud(b) => m.baud = b,
                         ModemOpt::Compression(c) => m.compression = c,
@@ -142,7 +151,8 @@ impl Kernel {
             }
             (IoctlCmd::DmStatus, DeviceKind::DmCrypt(state)) => {
                 let cred = self.task(pid)?.cred.clone();
-                match self.lsm().ioctl_dmcrypt(&cred) {
+                let decision = self.lsm().ioctl_dmcrypt(&cred);
+                match decision {
                     Decision::UseDefault => {
                         if !self.capable(pid, Cap::SysAdmin) {
                             let msg = format!(
@@ -191,7 +201,8 @@ impl Kernel {
             }
             (IoctlCmd::Kms(op), DeviceKind::Video(state)) => {
                 let cred = self.task(pid)?.cred.clone();
-                match self.lsm().ioctl_kms(&cred, op) {
+                let decision = self.lsm().ioctl_kms(&cred, op);
+                match decision {
                     Decision::UseDefault => {
                         // Stock policy: with KMS the kernel manages mode
                         // setting and VT switching for any console owner;
@@ -240,7 +251,8 @@ impl Kernel {
                         return Err(e);
                     }
                 }
-                if let DeviceKind::Video(v) = &mut self.devices.get_mut(dev)?.kind {
+                let mut devices = self.devices.write();
+                if let DeviceKind::Video(v) = &mut devices.get_mut(dev)?.kind {
                     match op {
                         KmsOp::SetMode {
                             width,
@@ -271,13 +283,15 @@ impl Kernel {
             (IoctlCmd::Eject, DeviceKind::Block(_)) => {
                 // Ejecting is permitted to the device-node owner/group (the
                 // classic cdrom group) — our DAC check happened at open.
-                if let DeviceKind::Block(b) = &mut self.devices.get_mut(dev)?.kind {
+                let mut devices = self.devices.write();
+                if let DeviceKind::Block(b) = &mut devices.get_mut(dev)?.kind {
                     b.ejected = true;
                 }
                 Ok(IoctlOut::None)
             }
             (IoctlCmd::LoadMedia, DeviceKind::Block(_)) => {
-                if let DeviceKind::Block(b) = &mut self.devices.get_mut(dev)?.kind {
+                let mut devices = self.devices.write();
+                if let DeviceKind::Block(b) = &mut devices.get_mut(dev)?.kind {
                     b.ejected = false;
                 }
                 Ok(IoctlOut::None)
@@ -295,37 +309,37 @@ mod tests {
     use crate::syscall::OpenFlags;
 
     fn boot() -> (Kernel, Pid, Pid) {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let root = k.spawn_init();
         k.install_standard_devices().unwrap();
         let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/pppd");
         (k, root, user)
     }
 
-    fn open_dev(k: &mut Kernel, pid: Pid, path: &str) -> i32 {
+    fn open_dev(k: &Kernel, pid: Pid, path: &str) -> i32 {
         k.sys_open(pid, path, OpenFlags::read_write()).unwrap()
     }
 
     #[test]
     fn modem_config_requires_cap_on_stock() {
-        let (mut k, root, user) = boot();
-        let fd_u = open_dev(&mut k, user, "/dev/ttyS0");
+        let (k, root, user) = boot();
+        let fd_u = open_dev(&k, user, "/dev/ttyS0");
         assert_eq!(
             k.sys_ioctl(user, fd_u, IoctlCmd::Modem(ModemOpt::Baud(57600)))
                 .unwrap_err(),
             Errno::EPERM
         );
-        let fd_r = open_dev(&mut k, root, "/dev/ttyS0");
+        let fd_r = open_dev(&k, root, "/dev/ttyS0");
         k.sys_ioctl(root, fd_r, IoctlCmd::Modem(ModemOpt::Baud(57600)))
             .unwrap();
     }
 
     #[test]
     fn modem_claim_exclusive() {
-        let (mut k, root, user) = boot();
-        let fd_u = open_dev(&mut k, user, "/dev/ttyS0");
+        let (k, root, user) = boot();
+        let fd_u = open_dev(&k, user, "/dev/ttyS0");
         k.sys_ioctl(user, fd_u, IoctlCmd::ModemClaim).unwrap();
-        let fd_r = open_dev(&mut k, root, "/dev/ttyS0");
+        let fd_r = open_dev(&k, root, "/dev/ttyS0");
         assert_eq!(
             k.sys_ioctl(root, fd_r, IoctlCmd::ModemClaim).unwrap_err(),
             Errno::EBUSY
@@ -336,7 +350,7 @@ mod tests {
 
     #[test]
     fn dm_ioctl_discloses_keys_to_root_only() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         // The node is 0660 root:root — user can't even open it; loosen to
         // demonstrate that the *ioctl* check also protects it.
         let r = k
@@ -345,12 +359,12 @@ mod tests {
             .unwrap()
             .ino;
         k.vfs.inode_mut(r).mode = crate::vfs::Mode(0o666);
-        let fd_u = open_dev(&mut k, user, "/dev/mapper/cryptohome");
+        let fd_u = open_dev(&k, user, "/dev/mapper/cryptohome");
         assert_eq!(
             k.sys_ioctl(user, fd_u, IoctlCmd::DmStatus).unwrap_err(),
             Errno::EPERM
         );
-        let fd_r = open_dev(&mut k, root, "/dev/mapper/cryptohome");
+        let fd_r = open_dev(&k, root, "/dev/mapper/cryptohome");
         match k.sys_ioctl(root, fd_r, IoctlCmd::DmStatus).unwrap() {
             IoctlOut::Dm(s) => {
                 assert_eq!(s.physical_device, "/dev/sda3");
@@ -362,8 +376,8 @@ mod tests {
 
     #[test]
     fn kms_mode_set_unprivileged() {
-        let (mut k, _, user) = boot();
-        let fd = open_dev(&mut k, user, "/dev/dri/card0");
+        let (k, _, user) = boot();
+        let fd = open_dev(&k, user, "/dev/dri/card0");
         let out = k
             .sys_ioctl(
                 user,
@@ -380,8 +394,8 @@ mod tests {
 
     #[test]
     fn kms_vt_switch_saves_and_restores() {
-        let (mut k, _, user) = boot();
-        let fd = open_dev(&mut k, user, "/dev/dri/card0");
+        let (k, _, user) = boot();
+        let fd = open_dev(&k, user, "/dev/dri/card0");
         k.sys_ioctl(
             user,
             fd,
@@ -413,26 +427,29 @@ mod tests {
 
     #[test]
     fn raw_register_access_requires_privilege() {
-        let (mut k, root, user) = boot();
-        let fd_u = open_dev(&mut k, user, "/dev/dri/card0");
+        let (k, root, user) = boot();
+        let fd_u = open_dev(&k, user, "/dev/dri/card0");
         assert_eq!(
             k.sys_ioctl(user, fd_u, IoctlCmd::Kms(KmsOp::RawRegisterAccess))
                 .unwrap_err(),
             Errno::EPERM
         );
-        let fd_r = open_dev(&mut k, root, "/dev/dri/card0");
+        let fd_r = open_dev(&k, root, "/dev/dri/card0");
         k.sys_ioctl(root, fd_r, IoctlCmd::Kms(KmsOp::RawRegisterAccess))
             .unwrap();
     }
 
     #[test]
     fn pre_kms_card_needs_root_for_everything() {
-        let (mut k, _, user) = boot();
-        let dev = k.devices.id_by_path("/dev/dri/card0").unwrap();
-        if let DeviceKind::Video(v) = &mut k.devices.get_mut(dev).unwrap().kind {
-            v.kms_capable = false;
+        let (k, _, user) = boot();
+        let dev = k.devices.read().id_by_path("/dev/dri/card0").unwrap();
+        {
+            let mut devices = k.devices.write();
+            if let DeviceKind::Video(v) = &mut devices.get_mut(dev).unwrap().kind {
+                v.kms_capable = false;
+            }
         }
-        let fd = open_dev(&mut k, user, "/dev/dri/card0");
+        let fd = open_dev(&k, user, "/dev/dri/card0");
         assert_eq!(
             k.sys_ioctl(
                 user,
@@ -450,20 +467,23 @@ mod tests {
 
     #[test]
     fn eject_and_reload() {
-        let (mut k, root, _) = boot();
-        let fd = open_dev(&mut k, root, "/dev/cdrom");
+        let (k, root, _) = boot();
+        let fd = open_dev(&k, root, "/dev/cdrom");
         k.sys_ioctl(root, fd, IoctlCmd::Eject).unwrap();
-        let dev = k.devices.id_by_path("/dev/cdrom").unwrap();
-        match &k.devices.get(dev).unwrap().kind {
-            DeviceKind::Block(b) => assert!(b.ejected),
-            _ => unreachable!(),
+        let dev = k.devices.read().id_by_path("/dev/cdrom").unwrap();
+        {
+            let devices = k.devices.read();
+            match &devices.get(dev).unwrap().kind {
+                DeviceKind::Block(b) => assert!(b.ejected),
+                _ => unreachable!(),
+            }
         }
         k.sys_ioctl(root, fd, IoctlCmd::LoadMedia).unwrap();
     }
 
     #[test]
     fn ioctl_on_regular_file_is_enotty() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         k.vfs.mkdir_p("/tmp").unwrap();
         k.write_file(root, "/tmp/f", b"", crate::vfs::Mode(0o644))
             .unwrap();
@@ -476,8 +496,8 @@ mod tests {
 
     #[test]
     fn mismatched_cmd_device_is_enotty() {
-        let (mut k, root, _) = boot();
-        let fd = open_dev(&mut k, root, "/dev/ttyS0");
+        let (k, root, _) = boot();
+        let fd = open_dev(&k, root, "/dev/ttyS0");
         assert_eq!(
             k.sys_ioctl(root, fd, IoctlCmd::DmStatus).unwrap_err(),
             Errno::ENOTTY

@@ -17,7 +17,7 @@ use crate::vfs::{Access, InodeData, MountOptions};
 impl Kernel {
     /// `mount(2)`.
     pub fn sys_mount(
-        &mut self,
+        &self,
         pid: Pid,
         source: &str,
         target: &str,
@@ -49,7 +49,8 @@ impl Kernel {
             options: opts.clone(),
         };
         let object = AuditObject::Path(format!("{} -> {}", source, mountpoint));
-        match self.lsm().sb_mount(&cred, &req) {
+        let decision = self.lsm().sb_mount(&cred, &req);
+        match decision {
             Decision::UseDefault => {
                 if !self.capable(pid, Cap::SysAdmin) {
                     let msg = format!(
@@ -138,14 +139,17 @@ impl Kernel {
                     InodeData::BlockDev(d) => *d,
                     _ => return Err(Errno::ENOTBLK),
                 };
-                match &self.devices.get(dev_id)?.kind {
-                    DeviceKind::Block(b) => {
-                        if !b.media_present || b.ejected {
-                            return Err(Errno::ENXIO);
+                {
+                    let devices = self.devices.read();
+                    match &devices.get(dev_id)?.kind {
+                        DeviceKind::Block(b) => {
+                            if !b.media_present || b.ejected {
+                                return Err(Errno::ENXIO);
+                            }
                         }
+                        DeviceKind::DmCrypt(_) => {}
+                        _ => return Err(Errno::ENOTBLK),
                     }
-                    DeviceKind::DmCrypt(_) => {}
-                    _ => return Err(Errno::ENOTBLK),
                 }
                 self.media_root(dev_id)?
             }
@@ -158,7 +162,7 @@ impl Kernel {
     }
 
     /// `umount(2)`.
-    pub fn sys_umount(&mut self, pid: Pid, target: &str) -> KResult<()> {
+    pub fn sys_umount(&self, pid: Pid, target: &str) -> KResult<()> {
         // Resolve the *mountpoint* (without crossing into the mount): we
         // look up the path string in the mount table.
         let cwd = self.task(pid)?.cwd;
@@ -181,7 +185,8 @@ impl Kernel {
             mounted_by: m.mounted_by,
         };
         let object = AuditObject::Path(mountpoint.clone());
-        match self.lsm().sb_umount(&cred, &req) {
+        let decision = self.lsm().sb_umount(&cred, &req);
+        match decision {
             Decision::UseDefault => {
                 if !self.capable(pid, Cap::SysAdmin) {
                     let msg = format!("umount: {} denied (no CAP_SYS_ADMIN)", mountpoint);
@@ -246,7 +251,7 @@ mod tests {
     use crate::net::SimNet;
 
     fn boot() -> (Kernel, Pid, Pid) {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let root = k.spawn_init();
         k.install_standard_devices().unwrap();
         k.vfs.mkdir_p("/mnt/cdrom").unwrap();
@@ -257,7 +262,7 @@ mod tests {
 
     #[test]
     fn root_can_mount_and_umount() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         k.sys_mount(root, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro")
             .unwrap();
         assert!(k.read_file(root, "/mnt/cdrom/README").is_ok());
@@ -270,7 +275,7 @@ mod tests {
 
     #[test]
     fn user_mount_denied_on_stock_kernel() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         assert_eq!(
             k.sys_mount(user, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro")
                 .unwrap_err(),
@@ -280,7 +285,7 @@ mod tests {
 
     #[test]
     fn user_umount_denied_on_stock_kernel() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         k.sys_mount(root, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro")
             .unwrap();
         assert_eq!(k.sys_umount(user, "/mnt/cdrom").unwrap_err(), Errno::EPERM);
@@ -288,7 +293,7 @@ mod tests {
 
     #[test]
     fn mount_nonexistent_device() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         assert_eq!(
             k.sys_mount(root, "/dev/nope", "/mnt/cdrom", "iso9660", "ro")
                 .unwrap_err(),
@@ -298,7 +303,7 @@ mod tests {
 
     #[test]
     fn mount_on_file_is_enotdir() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         k.vfs
             .install_file(
                 "/mnt/file",
@@ -317,7 +322,7 @@ mod tests {
 
     #[test]
     fn mount_non_block_source_is_enotblk() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         assert_eq!(
             k.sys_mount(root, "/dev/null", "/mnt/cdrom", "iso9660", "ro")
                 .unwrap_err(),
@@ -327,13 +332,13 @@ mod tests {
 
     #[test]
     fn umount_of_unmounted_path_is_einval() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         assert_eq!(k.sys_umount(root, "/mnt/cdrom").unwrap_err(), Errno::EINVAL);
     }
 
     #[test]
     fn proc_mounts_reflects_mount_table() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         k.sys_mount(root, "/dev/sdb1", "/media/usb", "vfat", "rw")
             .unwrap();
         let s = k.read_to_string(root, "/proc/mounts").unwrap();
@@ -342,7 +347,7 @@ mod tests {
 
     #[test]
     fn pseudo_fs_mount() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         k.vfs.mkdir_p("/mnt/t").unwrap();
         k.sys_mount(root, "tmpfs", "/mnt/t", "tmpfs", "rw").unwrap();
         k.write_file(root, "/mnt/t/x", b"1", crate::vfs::Mode(0o644))
@@ -353,10 +358,13 @@ mod tests {
 
     #[test]
     fn ejected_media_is_enxio() {
-        let (mut k, root, _) = boot();
-        let dev = k.devices.id_by_path("/dev/cdrom").unwrap();
-        if let DeviceKind::Block(b) = &mut k.devices.get_mut(dev).unwrap().kind {
-            b.ejected = true;
+        let (k, root, _) = boot();
+        let dev = k.devices.read().id_by_path("/dev/cdrom").unwrap();
+        {
+            let mut devices = k.devices.write();
+            if let DeviceKind::Block(b) = &mut devices.get_mut(dev).unwrap().kind {
+                b.ejected = true;
+            }
         }
         assert_eq!(
             k.sys_mount(root, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro")

@@ -9,6 +9,11 @@
 //!   Protego allocates each low port to a (binary, uid) pair (§4.1.3).
 //! * routing ioctls — CAP_NET_ADMIN on stock Linux; Protego admits
 //!   non-conflicting additions by unprivileged users (§4.1.2).
+//!
+//! Locking discipline: the socket table (`self.net`), netfilter chain, and
+//! route table each sit behind their own [`crate::sync::Locked`] wrapper.
+//! Guards are scoped so none is held across an audit emission, an LSM hook,
+//! or a `simnet` delivery — see DESIGN.md §13 for the lock hierarchy.
 
 use crate::caps::Cap;
 use crate::error::{Errno, KResult};
@@ -59,7 +64,7 @@ impl Kernel {
 
     /// `socket(2)`.
     pub fn sys_socket(
-        &mut self,
+        &self,
         pid: Pid,
         domain: Domain,
         stype: SockType,
@@ -67,7 +72,8 @@ impl Kernel {
     ) -> KResult<i32> {
         let cred = self.task(pid)?.cred.clone();
         let needs_raw_cap = matches!(stype, SockType::Raw) || matches!(domain, Domain::Packet);
-        match self.lsm().socket_create(&cred, domain, stype, protocol) {
+        let decision = self.lsm().socket_create(&cred, domain, stype, protocol);
+        match decision {
             Decision::UseDefault => {
                 if needs_raw_cap && !self.capable(pid, Cap::NetRaw) {
                     let msg = format!(
@@ -120,6 +126,7 @@ impl Kernel {
         let binary = self.task(pid)?.binary.clone();
         let sid = self
             .net
+            .write()
             .alloc(domain, stype, protocol, pid.0, cred.euid, binary);
         self.task_mut(pid)?.fd_install(Fd {
             object: FdObject::Socket(sid),
@@ -128,9 +135,9 @@ impl Kernel {
     }
 
     /// `bind(2)`.
-    pub fn sys_bind(&mut self, pid: Pid, fd: i32, addr: Ipv4, port: u16) -> KResult<()> {
+    pub fn sys_bind(&self, pid: Pid, fd: i32, addr: Ipv4, port: u16) -> KResult<()> {
         let sid = self.fd_socket(pid, fd)?;
-        let stype = self.net.get(sid)?.stype;
+        let stype = self.net.read().get(sid)?.stype;
         if port != 0 && port < 1024 && !matches!(stype, SockType::Raw) {
             let cred = self.task(pid)?.cred.clone();
             let req = BindRequest {
@@ -139,7 +146,8 @@ impl Kernel {
                 tcp: matches!(stype, SockType::Stream),
             };
             let object = AuditObject::Port { port, tcp: req.tcp };
-            match self.lsm().socket_bind(&cred, &req) {
+            let decision = self.lsm().socket_bind(&cred, &req);
+            match decision {
                 Decision::UseDefault => {
                     if !self.capable(pid, Cap::NetBindService) {
                         let msg = format!(
@@ -191,13 +199,14 @@ impl Kernel {
                 }
             }
         }
-        self.net.bind(sid, addr, port)
+        self.net.write().bind(sid, addr, port)
     }
 
     /// `listen(2)`.
-    pub fn sys_listen(&mut self, pid: Pid, fd: i32) -> KResult<()> {
+    pub fn sys_listen(&self, pid: Pid, fd: i32) -> KResult<()> {
         let sid = self.fd_socket(pid, fd)?;
-        let s = self.net.get_mut(sid)?;
+        let mut net = self.net.write();
+        let s = net.get_mut(sid)?;
         if !matches!(s.stype, SockType::Stream) {
             return Err(Errno::EOPNOTSUPP);
         }
@@ -209,24 +218,26 @@ impl Kernel {
     }
 
     /// `connect(2)`.
-    pub fn sys_connect(&mut self, pid: Pid, fd: i32, addr: Ipv4, port: u16) -> KResult<()> {
+    pub fn sys_connect(&self, pid: Pid, fd: i32, addr: Ipv4, port: u16) -> KResult<()> {
         let sid = self.fd_socket(pid, fd)?;
-        let stype = self.net.get(sid)?.stype;
+        let stype = self.net.read().get(sid)?.stype;
         match stype {
             SockType::Dgram | SockType::Raw => {
-                self.net.get_mut(sid)?.connected = Some((addr, port));
+                self.net.write().get_mut(sid)?.connected = Some((addr, port));
                 Ok(())
             }
             SockType::Stream => {
                 if self.simnet.is_local(addr) {
-                    // Loopback connection to a local listener.
-                    let listener = self
-                        .net
+                    // Loopback connection to a local listener. The whole
+                    // handshake mutates only the socket table, so one write
+                    // guard covers it.
+                    let mut net = self.net.write();
+                    let listener = net
                         .port_owner(PortProto::Tcp, port)
                         .filter(|s| s.state == StreamState::Listening)
                         .map(|s| (s.id, s.owner_pid, s.owner_uid, s.owner_binary.clone()))
                         .ok_or(Errno::ECONNREFUSED)?;
-                    let conn = self.net.alloc(
+                    let conn = net.alloc(
                         Domain::Inet,
                         SockType::Stream,
                         0,
@@ -234,19 +245,20 @@ impl Kernel {
                         listener.2,
                         listener.3,
                     );
-                    self.net.get_mut(conn)?.bound = Some((addr, port));
-                    self.net.make_pair(sid, conn)?;
-                    self.net.get_mut(sid)?.connected = Some((addr, port));
-                    self.net.get_mut(listener.0)?.backlog.push_back(conn);
+                    net.get_mut(conn)?.bound = Some((addr, port));
+                    net.make_pair(sid, conn)?;
+                    net.get_mut(sid)?.connected = Some((addr, port));
+                    net.get_mut(listener.0)?.backlog.push_back(conn);
                     Ok(())
                 } else {
-                    if self.routes.lookup(addr).is_none() {
+                    if self.routes.read().lookup(addr).is_none() {
                         return Err(Errno::ENETUNREACH);
                     }
                     if !self.simnet.tcp_accepts(addr, port) {
                         return Err(Errno::ECONNREFUSED);
                     }
-                    let s = self.net.get_mut(sid)?;
+                    let mut net = self.net.write();
+                    let s = net.get_mut(sid)?;
                     s.connected = Some((addr, port));
                     s.state = StreamState::Connected;
                     Ok(())
@@ -256,13 +268,16 @@ impl Kernel {
     }
 
     /// `accept(2)` — returns a new fd for the next pending connection.
-    pub fn sys_accept(&mut self, pid: Pid, fd: i32) -> KResult<i32> {
+    pub fn sys_accept(&self, pid: Pid, fd: i32) -> KResult<i32> {
         let sid = self.fd_socket(pid, fd)?;
-        let s = self.net.get_mut(sid)?;
-        if s.state != StreamState::Listening {
-            return Err(Errno::EINVAL);
-        }
-        let conn = s.backlog.pop_front().ok_or(Errno::EAGAIN)?;
+        let conn = {
+            let mut net = self.net.write();
+            let s = net.get_mut(sid)?;
+            if s.state != StreamState::Listening {
+                return Err(Errno::EINVAL);
+            }
+            s.backlog.pop_front().ok_or(Errno::EAGAIN)?
+        };
         self.task_mut(pid)?.fd_install(Fd {
             object: FdObject::Socket(conn),
             cloexec: false,
@@ -270,22 +285,28 @@ impl Kernel {
     }
 
     /// `send(2)` on a connected socket.
-    pub fn sys_send(&mut self, pid: Pid, fd: i32, data: &[u8]) -> KResult<usize> {
+    pub fn sys_send(&self, pid: Pid, fd: i32, data: &[u8]) -> KResult<usize> {
         let sid = self.fd_socket(pid, fd)?;
-        let s = self.net.get(sid)?;
-        match s.stype {
+        let (stype, peer, connected, state) = {
+            let net = self.net.read();
+            let s = net.get(sid)?;
+            (s.stype, s.peer, s.connected, s.state)
+        };
+        match stype {
             SockType::Stream => {
-                if let Some(peer) = s.peer {
-                    let p = self.net.get_mut(peer)?;
+                if let Some(peer) = peer {
+                    let mut net = self.net.write();
+                    let p = net.get_mut(peer)?;
                     p.rx_bytes.extend(data.iter().copied());
                     Ok(data.len())
-                } else if let Some((addr, port)) = s.connected {
-                    if s.state != StreamState::Connected {
+                } else if let Some((addr, port)) = connected {
+                    if state != StreamState::Connected {
                         return Err(Errno::ENOTCONN);
                     }
                     // Remote echo service answers; other services consume.
                     if port == 7 {
-                        let me = self.net.get_mut(sid)?;
+                        let mut net = self.net.write();
+                        let me = net.get_mut(sid)?;
                         me.rx_bytes.extend(data.iter().copied());
                     }
                     let _ = addr;
@@ -295,7 +316,7 @@ impl Kernel {
                 }
             }
             SockType::Dgram => {
-                let (addr, port) = s.connected.ok_or(Errno::ENOTCONN)?;
+                let (addr, port) = connected.ok_or(Errno::ENOTCONN)?;
                 self.sys_sendto(pid, fd, addr, port, data)
             }
             SockType::Raw => Err(Errno::EINVAL),
@@ -303,9 +324,10 @@ impl Kernel {
     }
 
     /// `recv(2)` on a stream socket.
-    pub fn sys_recv(&mut self, pid: Pid, fd: i32, max: usize) -> KResult<Vec<u8>> {
+    pub fn sys_recv(&self, pid: Pid, fd: i32, max: usize) -> KResult<Vec<u8>> {
         let sid = self.fd_socket(pid, fd)?;
-        let s = self.net.get_mut(sid)?;
+        let mut net = self.net.write();
+        let s = net.get_mut(sid)?;
         match s.stype {
             SockType::Stream => {
                 if s.rx_bytes.is_empty() {
@@ -322,16 +344,17 @@ impl Kernel {
     }
 
     /// `recvfrom(2)` on a datagram/raw socket: returns the next packet.
-    pub fn sys_recv_packet(&mut self, pid: Pid, fd: i32) -> KResult<Packet> {
+    pub fn sys_recv_packet(&self, pid: Pid, fd: i32) -> KResult<Packet> {
         let sid = self.fd_socket(pid, fd)?;
-        let s = self.net.get_mut(sid)?;
+        let mut net = self.net.write();
+        let s = net.get_mut(sid)?;
         s.rx_packets.pop_front().ok_or(Errno::EAGAIN)
     }
 
     /// `sendto(2)` on a UDP socket: the kernel builds the headers, so the
     /// source port cannot be forged.
     pub fn sys_sendto(
-        &mut self,
+        &self,
         pid: Pid,
         fd: i32,
         addr: Ipv4,
@@ -339,14 +362,17 @@ impl Kernel {
         data: &[u8],
     ) -> KResult<usize> {
         let sid = self.fd_socket(pid, fd)?;
-        if self.net.get(sid)?.bound.is_none() {
-            self.net.bind(sid, Ipv4::ANY, 0)?;
+        if self.net.read().get(sid)?.bound.is_none() {
+            self.net.write().bind(sid, Ipv4::ANY, 0)?;
         }
-        let s = self.net.get(sid)?;
-        if !matches!(s.stype, SockType::Dgram) {
-            return Err(Errno::EOPNOTSUPP);
-        }
-        let src_port = s.bound.map(|b| b.1).unwrap_or(0);
+        let src_port = {
+            let net = self.net.read();
+            let s = net.get(sid)?;
+            if !matches!(s.stype, SockType::Dgram) {
+                return Err(Errno::EOPNOTSUPP);
+            }
+            s.bound.map(|b| b.1).unwrap_or(0)
+        };
         let cred_uid = self.task(pid)?.cred.euid;
         let pkt = Packet {
             src: self
@@ -371,11 +397,14 @@ impl Kernel {
 
     /// Raw transmission: the caller constructed all headers (§4.1.1). The
     /// packet is subject to the OUTPUT netfilter chain with spoof analysis.
-    pub fn sys_send_packet(&mut self, pid: Pid, fd: i32, mut pkt: Packet) -> KResult<()> {
+    pub fn sys_send_packet(&self, pid: Pid, fd: i32, mut pkt: Packet) -> KResult<()> {
         let sid = self.fd_socket(pid, fd)?;
-        let s = self.net.get(sid)?;
-        if !matches!(s.stype, SockType::Raw) && !matches!(s.domain, Domain::Packet) {
-            return Err(Errno::EOPNOTSUPP);
+        {
+            let net = self.net.read();
+            let s = net.get(sid)?;
+            if !matches!(s.stype, SockType::Raw) && !matches!(s.domain, Domain::Packet) {
+                return Err(Errno::EOPNOTSUPP);
+            }
         }
         pkt.from_raw_socket = true;
         pkt.sender_uid = self.task(pid)?.cred.euid;
@@ -384,12 +413,13 @@ impl Kernel {
 
     /// Common output path: netfilter, then routing, then delivery; replies
     /// are queued on the sending socket.
-    fn transmit(&mut self, pid: Pid, sid: SockId, pkt: Packet) -> KResult<()> {
+    fn transmit(&self, pid: Pid, sid: SockId, pkt: Packet) -> KResult<()> {
         // Spoof analysis: does the claimed source port belong to a socket
         // of a different user?
         let spoofed = match (&pkt.l4, pkt.from_raw_socket) {
             (L4::Tcp { src_port, .. }, true) | (L4::Udp { src_port, .. }, true) => self
                 .net
+                .read()
                 .port_owner(
                     if matches!(pkt.l4, L4::Tcp { .. }) {
                         PortProto::Tcp
@@ -402,7 +432,10 @@ impl Kernel {
                 .unwrap_or(false),
             _ => false,
         };
-        let eval = self.netfilter.evaluate(&PacketMeta {
+        // The write guard is scoped to this one statement: `evaluate`
+        // updates per-rule hit counters, and the guard must be gone before
+        // the audit emission below.
+        let eval = self.netfilter.write().evaluate(&PacketMeta {
             packet: &pkt,
             spoofed_src_port: spoofed,
         });
@@ -429,32 +462,34 @@ impl Kernel {
             self.deliver_local(pkt);
             return Ok(());
         }
-        if self.routes.lookup(pkt.dst).is_none() {
+        if self.routes.read().lookup(pkt.dst).is_none() {
             return Err(Errno::ENETUNREACH);
         }
         let replies = self.simnet.deliver(&pkt);
+        let mut net = self.net.write();
         for reply in replies {
             // Replies route back to the socket that sent the probe, unless
             // a bound UDP port matches more precisely.
             if let L4::Udp { dst_port, .. } = reply.l4 {
-                if let Some(owner) = self.net.port_owner(PortProto::Udp, dst_port) {
+                if let Some(owner) = net.port_owner(PortProto::Udp, dst_port) {
                     let oid = owner.id;
-                    self.net.get_mut(oid)?.rx_packets.push_back(reply);
+                    net.get_mut(oid)?.rx_packets.push_back(reply);
                     continue;
                 }
             }
-            self.net.get_mut(sid)?.rx_packets.push_back(reply);
+            net.get_mut(sid)?.rx_packets.push_back(reply);
         }
         Ok(())
     }
 
     /// Delivers a packet addressed to this machine.
-    fn deliver_local(&mut self, pkt: Packet) {
+    fn deliver_local(&self, pkt: Packet) {
         match &pkt.l4 {
             L4::Udp { dst_port, .. } => {
-                if let Some(owner) = self.net.port_owner(PortProto::Udp, *dst_port) {
+                let mut net = self.net.write();
+                if let Some(owner) = net.port_owner(PortProto::Udp, *dst_port) {
                     let oid = owner.id;
-                    if let Ok(s) = self.net.get_mut(oid) {
+                    if let Ok(s) = net.get_mut(oid) {
                         s.rx_packets.push_back(pkt);
                     }
                 }
@@ -471,11 +506,11 @@ impl Kernel {
                     sender_uid: crate::cred::Uid::ROOT,
                 };
                 // Deliver the reply to raw ICMP sockets of the original
-                // sender's uid.
+                // sender's uid. One write guard covers scan and delivery.
+                let mut net = self.net.write();
                 let targets: Vec<SockId> = (0..)
                     .map_while(|i| {
-                        self.net
-                            .get(SockId(i))
+                        net.get(SockId(i))
                             .ok()
                             .map(|s| (s.id, s.stype, s.owner_uid))
                     })
@@ -483,7 +518,7 @@ impl Kernel {
                     .map(|(id, _, _)| id)
                     .collect();
                 for t in targets {
-                    if let Ok(s) = self.net.get_mut(t) {
+                    if let Ok(s) = net.get_mut(t) {
                         s.rx_packets.push_back(reply.clone());
                     }
                 }
@@ -493,22 +528,24 @@ impl Kernel {
     }
 
     /// `socketpair(2)` (AF_UNIX, SOCK_STREAM).
-    pub fn sys_socketpair(&mut self, pid: Pid) -> KResult<(i32, i32)> {
+    pub fn sys_socketpair(&self, pid: Pid) -> KResult<(i32, i32)> {
         let cred = self.task(pid)?.cred.clone();
         let binary = self.task(pid)?.binary.clone();
-        let a = self.net.alloc(
-            Domain::Unix,
-            SockType::Stream,
-            0,
-            pid.0,
-            cred.euid,
-            binary.clone(),
-        );
-        let b = self
-            .net
-            .alloc(Domain::Unix, SockType::Stream, 0, pid.0, cred.euid, binary);
-        self.net.make_pair(a, b)?;
-        let t = self.task_mut(pid)?;
+        let (a, b) = {
+            let mut net = self.net.write();
+            let a = net.alloc(
+                Domain::Unix,
+                SockType::Stream,
+                0,
+                pid.0,
+                cred.euid,
+                binary.clone(),
+            );
+            let b = net.alloc(Domain::Unix, SockType::Stream, 0, pid.0, cred.euid, binary);
+            net.make_pair(a, b)?;
+            (a, b)
+        };
+        let mut t = self.task_mut(pid)?;
         let fa = t.fd_install(Fd {
             object: FdObject::Socket(a),
             cloexec: false,
@@ -522,19 +559,20 @@ impl Kernel {
 
     /// Netfilter administration (the iptables backend): appending,
     /// deleting, or flushing OUTPUT rules requires CAP_NET_ADMIN.
-    pub fn sys_netfilter(&mut self, pid: Pid, op: NetfilterOp) -> KResult<()> {
+    pub fn sys_netfilter(&self, pid: Pid, op: NetfilterOp) -> KResult<()> {
         if !self.capable(pid, Cap::NetAdmin) {
             return Err(Errno::EPERM);
         }
+        let mut nf = self.netfilter.write();
         match op {
-            NetfilterOp::Append(rule) => self.netfilter.append(rule),
-            NetfilterOp::InsertFront(rule) => self.netfilter.insert_front(rule),
+            NetfilterOp::Append(rule) => nf.append(rule),
+            NetfilterOp::InsertFront(rule) => nf.insert_front(rule),
             NetfilterOp::DeleteByName(name) => {
-                if self.netfilter.delete_by_name(&name) == 0 {
+                if nf.delete_by_name(&name) == 0 {
                     return Err(Errno::ENOENT);
                 }
             }
-            NetfilterOp::Flush => self.netfilter.flush(),
+            NetfilterOp::Flush => nf.flush(),
         }
         Ok(())
     }
@@ -545,6 +583,7 @@ impl Kernel {
         self.task(pid)?;
         Ok(self
             .netfilter
+            .read()
             .rules()
             .iter()
             .map(NetfilterRule::from)
@@ -552,7 +591,7 @@ impl Kernel {
     }
 
     /// Routing-table ioctls (`SIOCADDRT` / `SIOCDELRT`).
-    pub fn sys_ioctl_route(&mut self, pid: Pid, op: RouteOp) -> KResult<()> {
+    pub fn sys_ioctl_route(&self, pid: Pid, op: RouteOp) -> KResult<()> {
         match op {
             RouteOp::Add(mut route) => {
                 let cred = self.task(pid)?.cred.clone();
@@ -560,7 +599,13 @@ impl Kernel {
                     "{}/{} via {}",
                     route.dest, route.prefix, route.dev
                 ));
-                match self.lsm().ioctl_route_add(&cred, &route, &self.routes) {
+                // The hook inspects the current table for conflicts
+                // (§4.1.2); both guards drop before any emission below.
+                let decision = {
+                    let routes = self.routes.read();
+                    self.lsm().ioctl_route_add(&cred, &route, &routes)
+                };
+                match decision {
                     Decision::UseDefault => {
                         if !self.capable(pid, Cap::NetAdmin) {
                             let msg = format!(
@@ -615,17 +660,21 @@ impl Kernel {
                     }
                 }
                 route.created_by = self.task(pid)?.cred.ruid;
-                self.routes.add(route)
+                self.routes.write().add(route)
             }
             RouteOp::Del { dest, prefix } => {
                 let cred = self.task(pid)?.cred.clone();
-                let owner = self
-                    .routes
-                    .routes()
-                    .iter()
-                    .find(|r| r.dest.network(prefix) == dest.network(prefix) && r.prefix == prefix)
-                    .map(|r| r.created_by)
-                    .ok_or(Errno::ENOENT)?;
+                let owner = {
+                    let routes = self.routes.read();
+                    routes
+                        .routes()
+                        .iter()
+                        .find(|r| {
+                            r.dest.network(prefix) == dest.network(prefix) && r.prefix == prefix
+                        })
+                        .map(|r| r.created_by)
+                        .ok_or(Errno::ENOENT)?
+                };
                 if owner != cred.ruid && !self.capable(pid, Cap::NetAdmin) {
                     let msg = format!(
                         "route: del {}/{} denied for {} (not owner, no CAP_NET_ADMIN)",
@@ -642,7 +691,7 @@ impl Kernel {
                     );
                     return Err(Errno::EPERM);
                 }
-                self.routes.remove(dest, prefix)?;
+                self.routes.write().remove(dest, prefix)?;
                 Ok(())
             }
         }
@@ -656,11 +705,12 @@ mod tests {
     use crate::net::SimNet;
 
     fn boot() -> (Kernel, Pid, Pid) {
-        let mut k = Kernel::new(SimNet::standard_topology());
+        let k = Kernel::new(SimNet::standard_topology());
         let root = k.spawn_init();
         let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
         // Default route so remote sends work.
         k.routes
+            .write()
             .add(Route {
                 dest: Ipv4::ANY,
                 prefix: 0,
@@ -674,7 +724,7 @@ mod tests {
 
     #[test]
     fn user_udp_socket_ok_raw_denied() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         assert!(k.sys_socket(user, Domain::Inet, SockType::Dgram, 0).is_ok());
         assert_eq!(
             k.sys_socket(user, Domain::Inet, SockType::Raw, 1)
@@ -690,13 +740,13 @@ mod tests {
 
     #[test]
     fn root_raw_socket_ok() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         assert!(k.sys_socket(root, Domain::Inet, SockType::Raw, 1).is_ok());
     }
 
     #[test]
     fn low_port_bind_requires_cap() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         let fd_u = k
             .sys_socket(user, Domain::Inet, SockType::Stream, 0)
             .unwrap();
@@ -717,7 +767,7 @@ mod tests {
 
     #[test]
     fn loopback_stream_roundtrip() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let srv = k
             .sys_socket(user, Domain::Inet, SockType::Stream, 0)
             .unwrap();
@@ -737,7 +787,7 @@ mod tests {
 
     #[test]
     fn connect_refused_without_listener() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let cli = k
             .sys_socket(user, Domain::Inet, SockType::Stream, 0)
             .unwrap();
@@ -749,7 +799,7 @@ mod tests {
 
     #[test]
     fn remote_tcp_connect() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let cli = k
             .sys_socket(user, Domain::Inet, SockType::Stream, 0)
             .unwrap();
@@ -766,8 +816,8 @@ mod tests {
 
     #[test]
     fn no_route_is_enetunreach() {
-        let (mut k, _, user) = boot();
-        k.routes.remove(Ipv4::ANY, 0).unwrap();
+        let (k, _, user) = boot();
+        k.routes.write().remove(Ipv4::ANY, 0).unwrap();
         let cli = k
             .sys_socket(user, Domain::Inet, SockType::Stream, 0)
             .unwrap();
@@ -780,7 +830,7 @@ mod tests {
 
     #[test]
     fn root_ping_roundtrip_via_raw_socket() {
-        let (mut k, root, _) = boot();
+        let (k, root, _) = boot();
         let fd = k.sys_socket(root, Domain::Inet, SockType::Raw, 1).unwrap();
         let pkt = Packet::echo_request(
             Ipv4::new(10, 0, 0, 100),
@@ -796,7 +846,7 @@ mod tests {
 
     #[test]
     fn udp_sendto_and_remote_echo() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let fd = k
             .sys_socket(user, Domain::Inet, SockType::Dgram, 0)
             .unwrap();
@@ -809,7 +859,7 @@ mod tests {
 
     #[test]
     fn local_udp_delivery() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let rx = k
             .sys_socket(user, Domain::Inet, SockType::Dgram, 0)
             .unwrap();
@@ -825,7 +875,7 @@ mod tests {
 
     #[test]
     fn socketpair_roundtrip() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let (a, b) = k.sys_socketpair(user).unwrap();
         k.sys_send(user, a, b"ping").unwrap();
         assert_eq!(k.sys_recv(user, b, 16).unwrap(), b"ping");
@@ -835,7 +885,7 @@ mod tests {
 
     #[test]
     fn route_add_requires_cap_on_stock() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         let r = Route {
             dest: Ipv4::new(192, 168, 7, 0),
             prefix: 24,
@@ -849,12 +899,12 @@ mod tests {
             Errno::EPERM
         );
         k.sys_ioctl_route(root, RouteOp::Add(r)).unwrap();
-        assert_eq!(k.routes.len(), 2);
+        assert_eq!(k.routes.read().len(), 2);
     }
 
     #[test]
     fn route_del_owner_or_cap() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         assert_eq!(
             k.sys_ioctl_route(
                 user,
@@ -874,12 +924,12 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(k.routes.is_empty());
+        assert!(k.routes.read().is_empty());
     }
 
     #[test]
     fn recv_on_empty_socket_is_eagain() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let fd = k
             .sys_socket(user, Domain::Inet, SockType::Dgram, 0)
             .unwrap();
@@ -894,42 +944,42 @@ mod edge_tests {
     use crate::net::SimNet;
 
     fn boot() -> (Kernel, Pid) {
-        let mut k = Kernel::new(SimNet::standard_topology());
+        let k = Kernel::new(SimNet::standard_topology());
         let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/bin/sh");
         (k, user)
     }
 
     #[test]
     fn accept_on_non_listener_is_einval() {
-        let (mut k, u) = boot();
+        let (k, u) = boot();
         let fd = k.sys_socket(u, Domain::Inet, SockType::Stream, 0).unwrap();
         assert_eq!(k.sys_accept(u, fd).unwrap_err(), Errno::EINVAL);
     }
 
     #[test]
     fn listen_requires_bind() {
-        let (mut k, u) = boot();
+        let (k, u) = boot();
         let fd = k.sys_socket(u, Domain::Inet, SockType::Stream, 0).unwrap();
         assert_eq!(k.sys_listen(u, fd).unwrap_err(), Errno::EINVAL);
     }
 
     #[test]
     fn listen_on_dgram_is_eopnotsupp() {
-        let (mut k, u) = boot();
+        let (k, u) = boot();
         let fd = k.sys_socket(u, Domain::Inet, SockType::Dgram, 0).unwrap();
         assert_eq!(k.sys_listen(u, fd).unwrap_err(), Errno::EOPNOTSUPP);
     }
 
     #[test]
     fn send_on_unconnected_stream_is_enotconn() {
-        let (mut k, u) = boot();
+        let (k, u) = boot();
         let fd = k.sys_socket(u, Domain::Inet, SockType::Stream, 0).unwrap();
         assert_eq!(k.sys_send(u, fd, b"x").unwrap_err(), Errno::ENOTCONN);
     }
 
     #[test]
     fn recv_after_peer_close_is_eof() {
-        let (mut k, u) = boot();
+        let (k, u) = boot();
         let (a, b) = k.sys_socketpair(u).unwrap();
         k.sys_send(u, a, b"bye").unwrap();
         k.sys_close(u, a).unwrap();
@@ -941,7 +991,7 @@ mod edge_tests {
 
     #[test]
     fn socket_ops_on_file_fd_fail_cleanly() {
-        let (mut k, u) = boot();
+        let (k, u) = boot();
         k.vfs.mkdir_p("/tmp").unwrap();
         let t = k.vfs.resolve(k.vfs.root(), "/tmp").unwrap().ino;
         k.vfs.inode_mut(t).mode = crate::vfs::Mode(0o1777);
@@ -959,7 +1009,7 @@ mod edge_tests {
 
     #[test]
     fn udp_connect_then_send_uses_sendto_path() {
-        let (mut k, u) = boot();
+        let (k, u) = boot();
         let rx = k.sys_socket(u, Domain::Inet, SockType::Dgram, 0).unwrap();
         k.sys_bind(u, rx, Ipv4::ANY, 7100).unwrap();
         let tx = k.sys_socket(u, Domain::Inet, SockType::Dgram, 0).unwrap();

@@ -14,7 +14,7 @@ use crate::vfs::{Access, InodeData};
 
 impl Kernel {
     /// `fork(2)`.
-    pub fn sys_fork(&mut self, pid: Pid) -> KResult<Pid> {
+    pub fn sys_fork(&self, pid: Pid) -> KResult<Pid> {
         let parent = self.task(pid)?.clone();
         let child_pid = self.alloc_pid();
         let mut child = parent;
@@ -28,16 +28,8 @@ impl Kernel {
         let mut open_inos = Vec::new();
         for fd in child.fds.iter().flatten() {
             match fd.object {
-                FdObject::PipeRead(id) => {
-                    if let Some(p) = self.pipes.get_mut(id.0) {
-                        p.readers += 1;
-                    }
-                }
-                FdObject::PipeWrite(id) => {
-                    if let Some(p) = self.pipes.get_mut(id.0) {
-                        p.writers += 1;
-                    }
-                }
+                FdObject::PipeRead(id) => self.pipes.dup_read(id),
+                FdObject::PipeWrite(id) => self.pipes.dup_write(id),
                 FdObject::File { ino, .. } => open_inos.push(ino),
                 _ => {}
             }
@@ -50,14 +42,16 @@ impl Kernel {
     }
 
     /// `execve(2)`. Returns the resolved absolute path of the new image.
-    pub fn sys_execve(&mut self, pid: Pid, path: &str) -> KResult<String> {
+    pub fn sys_execve(&self, pid: Pid, path: &str) -> KResult<String> {
         let r = self.walk(pid, path)?;
-        let inode = self.vfs.inode(r.ino);
-        if inode.data.is_dir() {
-            return Err(Errno::EISDIR);
-        }
-        if !matches!(inode.data, InodeData::Regular(_)) {
-            return Err(Errno::EACCES);
+        {
+            let inode = self.vfs.inode(r.ino);
+            if inode.data.is_dir() {
+                return Err(Errno::EISDIR);
+            }
+            if !matches!(inode.data, InodeData::Regular(_)) {
+                return Err(Errno::EACCES);
+            }
         }
         self.check_access(pid, r.ino, Access::EXEC)?;
         let abs = self.vfs.path_of(r.ino);
@@ -75,29 +69,39 @@ impl Kernel {
             return Err(Errno::EACCES);
         }
 
-        let inode = self.vfs.inode(r.ino);
-        let (file_owner, file_group) = (inode.uid, inode.gid);
-        let setuid_bit = inode.mode.is_setuid() && !nosuid;
-        let setgid_bit = inode.mode.is_setgid() && !nosuid;
+        let (file_owner, file_group, setuid_bit, setgid_bit) = {
+            let inode = self.vfs.inode(r.ino);
+            (
+                inode.uid,
+                inode.gid,
+                inode.mode.is_setuid() && !nosuid,
+                inode.mode.is_setgid() && !nosuid,
+            )
+        };
 
         let pending = self.task_mut(pid)?.pending_setuid.take();
 
         let mut attempts = 0;
         let decision = loop {
-            let t = self.task(pid)?;
-            let ctx = ExecCtx {
-                cred: t.cred.clone(),
-                binary: abs.clone(),
-                file_owner,
-                file_group,
-                setuid_bit,
-                setgid_bit,
-                pending: pending.clone(),
-                last_auth: t.last_auth,
-                last_auth_scope: t.last_auth_scope,
-                now: self.clock,
+            // Scoped: the task guard must drop before the arms below
+            // emit events or re-run authentication.
+            let ctx = {
+                let t = self.task(pid)?;
+                ExecCtx {
+                    cred: t.cred.clone(),
+                    binary: abs.clone(),
+                    file_owner,
+                    file_group,
+                    setuid_bit,
+                    setgid_bit,
+                    pending: pending.clone(),
+                    last_auth: t.last_auth,
+                    last_auth_scope: t.last_auth_scope,
+                    now: self.clock(),
+                }
             };
-            match self.lsm().bprm_check(&ctx) {
+            let hook_decision = self.lsm().bprm_check(&ctx);
+            match hook_decision {
                 ExecDecision::NeedAuth(scope) => {
                     attempts += 1;
                     if attempts > 1 || !self.run_auth(pid, scope) {
@@ -120,7 +124,7 @@ impl Kernel {
 
         match decision {
             ExecDecision::UseDefault => {
-                let t = self.task_mut(pid)?;
+                let mut t = self.task_mut(pid)?;
                 if setuid_bit {
                     t.cred.apply_setuid_bit(file_owner);
                 }
@@ -130,14 +134,18 @@ impl Kernel {
             }
             ExecDecision::Transition { cred, env } => {
                 let new_euid = cred.euid;
-                let t = self.task_mut(pid)?;
-                t.cred = cred;
-                match env {
-                    EnvPolicy::KeepAll => {}
-                    EnvPolicy::ClearExcept(keep) => {
-                        t.env.retain(|(k, _)| {
-                            k == "PATH" || k == "TERM" || keep.iter().any(|x| x == k)
-                        });
+                {
+                    // Scoped: drop the task write guard before emitting
+                    // (the emit path re-reads the task table).
+                    let mut t = self.task_mut(pid)?;
+                    t.cred = cred;
+                    match env {
+                        EnvPolicy::KeepAll => {}
+                        EnvPolicy::ClearExcept(keep) => {
+                            t.env.retain(|(k, _)| {
+                                k == "PATH" || k == "TERM" || keep.iter().any(|x| x == k)
+                            });
+                        }
                     }
                 }
                 let msg = format!("exec: lsm transition {} -> euid {}", abs, new_euid);
@@ -168,12 +176,14 @@ impl Kernel {
         }
 
         // Close-on-exec descriptors.
-        let t = self.task_mut(pid)?;
         let mut to_close = Vec::new();
-        for (i, slot) in t.fds.iter_mut().enumerate() {
-            if slot.as_ref().map(|f| f.cloexec).unwrap_or(false) {
-                if let Some(fd) = slot.take() {
-                    to_close.push((i, fd));
+        {
+            let mut t = self.task_mut(pid)?;
+            for (i, slot) in t.fds.iter_mut().enumerate() {
+                if slot.as_ref().map(|f| f.cloexec).unwrap_or(false) {
+                    if let Some(fd) = slot.take() {
+                        to_close.push((i, fd));
+                    }
                 }
             }
         }
@@ -202,7 +212,7 @@ impl Kernel {
     /// anyone may create a *user* namespace, and a task inside one may
     /// unshare the other kinds — the change that deprivileged
     /// chromium-sandbox without any Protego mechanism.
-    pub fn sys_unshare(&mut self, pid: Pid, kind: crate::task::NsKind) -> KResult<()> {
+    pub fn sys_unshare(&self, pid: Pid, kind: crate::task::NsKind) -> KResult<()> {
         use crate::caps::Cap;
         use crate::task::NsKind;
         let privileged = self.capable(pid, Cap::SysAdmin);
@@ -216,7 +226,7 @@ impl Kernel {
         if !allowed {
             return Err(Errno::EPERM);
         }
-        let t = self.task_mut(pid)?;
+        let mut t = self.task_mut(pid)?;
         if !t.namespaces.contains(&kind) {
             t.namespaces.push(kind);
         }
@@ -224,9 +234,9 @@ impl Kernel {
     }
 
     /// `exit(2)`.
-    pub fn sys_exit(&mut self, pid: Pid, status: i32) -> KResult<()> {
+    pub fn sys_exit(&self, pid: Pid, status: i32) -> KResult<()> {
         let fds: Vec<_> = {
-            let t = self.task_mut(pid)?;
+            let mut t = self.task_mut(pid)?;
             t.exit_status = Some(status);
             t.fds.iter_mut().filter_map(|f| f.take()).collect()
         };
@@ -237,12 +247,16 @@ impl Kernel {
     }
 
     /// `waitpid(2)` — reaps an exited child and returns its status.
-    pub fn sys_wait(&mut self, pid: Pid, child: Pid) -> KResult<i32> {
-        let c = self.task(child)?;
-        if c.ppid != pid {
-            return Err(Errno::ESRCH);
-        }
-        let status = c.exit_status.ok_or(Errno::EAGAIN)?;
+    pub fn sys_wait(&self, pid: Pid, child: Pid) -> KResult<i32> {
+        // Scoped: the read guard must drop before `reap` write-locks the
+        // same shard.
+        let status = {
+            let c = self.task(child)?;
+            if c.ppid != pid {
+                return Err(Errno::ESRCH);
+            }
+            c.exit_status.ok_or(Errno::EAGAIN)?
+        };
         self.reap(child)?;
         Ok(status)
     }
@@ -257,7 +271,7 @@ mod tests {
     use crate::vfs::Mode;
 
     fn boot() -> (Kernel, Pid, Pid) {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         let root = k.spawn_init();
         k.vfs
             .install_file("/bin/sh", b"#!sim", Mode(0o755), Uid::ROOT, Gid::ROOT)
@@ -274,7 +288,7 @@ mod tests {
 
     #[test]
     fn fork_copies_credentials() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let child = k.sys_fork(user).unwrap();
         assert_ne!(child, user);
         assert_eq!(k.task(child).unwrap().cred, k.task(user).unwrap().cred);
@@ -283,7 +297,7 @@ mod tests {
 
     #[test]
     fn exec_plain_binary_keeps_cred() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let abs = k.sys_execve(user, "/bin/sh").unwrap();
         assert_eq!(abs, "/bin/sh");
         assert_eq!(k.task(user).unwrap().cred.euid, Uid(1000));
@@ -291,9 +305,10 @@ mod tests {
 
     #[test]
     fn exec_setuid_root_binary_raises_euid() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         k.sys_execve(user, "/bin/passwd").unwrap();
-        let c = &k.task(user).unwrap().cred;
+        let t = k.task(user).unwrap();
+        let c = &t.cred;
         assert_eq!(c.ruid, Uid(1000));
         assert_eq!(c.euid, Uid::ROOT);
         assert!(c.has_cap(crate::caps::Cap::SysAdmin));
@@ -301,7 +316,7 @@ mod tests {
 
     #[test]
     fn exec_requires_x_permission() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         assert_eq!(
             k.sys_execve(user, "/opt/private").unwrap_err(),
             Errno::EACCES
@@ -310,13 +325,13 @@ mod tests {
 
     #[test]
     fn exec_missing_is_enoent() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         assert_eq!(k.sys_execve(user, "/bin/nope").unwrap_err(), Errno::ENOENT);
     }
 
     #[test]
     fn nosuid_mount_suppresses_setuid_bit() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         k.install_standard_devices().unwrap();
         k.vfs.mkdir_p("/mnt/usb").unwrap();
         k.sys_mount(root, "/dev/sdb1", "/mnt/usb", "vfat", "nosuid")
@@ -331,7 +346,7 @@ mod tests {
 
     #[test]
     fn cloexec_fds_closed_on_exec() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         k.vfs.mkdir_p("/tmp").unwrap();
         let t = k.vfs.resolve(k.vfs.root(), "/tmp").unwrap().ino;
         k.vfs.inode_mut(t).mode = Mode(0o1777);
@@ -347,7 +362,7 @@ mod tests {
 
     #[test]
     fn exit_and_wait() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let child = k.sys_fork(user).unwrap();
         assert_eq!(k.sys_wait(user, child).unwrap_err(), Errno::EAGAIN);
         k.sys_exit(child, 7).unwrap();
@@ -357,7 +372,7 @@ mod tests {
 
     #[test]
     fn wait_on_non_child_is_esrch() {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         let child = k.sys_fork(user).unwrap();
         k.sys_exit(child, 0).unwrap();
         assert_eq!(k.sys_wait(root, child).unwrap_err(), Errno::ESRCH);
@@ -365,7 +380,7 @@ mod tests {
 
     #[test]
     fn fork_bumps_pipe_refcounts() {
-        let (mut k, _, user) = boot();
+        let (k, _, user) = boot();
         let (r, w) = k.sys_pipe(user).unwrap();
         let child = k.sys_fork(user).unwrap();
         // Parent closes both ends; child's copies keep the pipe alive.

@@ -28,6 +28,7 @@ pub mod hist;
 mod metrics;
 mod recorder;
 mod ring;
+mod shared;
 mod sink;
 pub mod span;
 
@@ -39,5 +40,6 @@ pub use metrics::{
 };
 pub use recorder::{Divergence, Trace, TraceEntry, TraceRecorder, TraceReplayer};
 pub use ring::{AuditRing, DEFAULT_RING_CAPACITY};
+pub use shared::{ShardedMetrics, SharedAuditRing, AUDIT_STAGE_BATCH};
 pub use sink::{AuditSink, CollectingSink};
 pub use span::{span, Pathway, SpanGuard, TimingSnapshot};

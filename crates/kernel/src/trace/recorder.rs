@@ -15,11 +15,11 @@
 //! format is diff-friendly, and equality over renderings is exactly the
 //! byte-identity the replay guarantee promises.
 
+use crate::sync::lock;
 use crate::syscall::abi::{SysRet, Syscall};
 use crate::syscall::interceptor::{Interceptor, SysCtx};
 use crate::task::Pid;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One dispatched call, as recorded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -117,7 +117,7 @@ impl Trace {
 
 /// Records every dispatched call into a shared [`Trace`].
 pub struct TraceRecorder {
-    trace: Rc<RefCell<Trace>>,
+    trace: Arc<Mutex<Trace>>,
 }
 
 impl TraceRecorder {
@@ -125,13 +125,13 @@ impl TraceRecorder {
     /// boxing it into the kernel.
     pub fn new() -> TraceRecorder {
         TraceRecorder {
-            trace: Rc::new(RefCell::new(Trace::default())),
+            trace: Arc::new(Mutex::new(Trace::default())),
         }
     }
 
     /// Shared handle onto the accumulating trace.
-    pub fn trace(&self) -> Rc<RefCell<Trace>> {
-        Rc::clone(&self.trace)
+    pub fn trace(&self) -> Arc<Mutex<Trace>> {
+        Arc::clone(&self.trace)
     }
 }
 
@@ -146,9 +146,8 @@ impl Interceptor for TraceRecorder {
         "trace_recorder"
     }
 
-    fn after(&mut self, pid: Pid, call: &Syscall, ret: &SysRet, _ctx: &mut SysCtx<'_>) {
-        self.trace
-            .borrow_mut()
+    fn after(&self, pid: Pid, call: &Syscall, ret: &SysRet, _ctx: &mut SysCtx<'_>) {
+        lock(&self.trace)
             .entries
             .push(TraceEntry::new(pid, call, ret));
     }
@@ -188,8 +187,11 @@ impl std::fmt::Display for Divergence {
 /// Verifies a live run against a recorded [`Trace`], call by call.
 pub struct TraceReplayer {
     expected: Trace,
-    cursor: usize,
-    divergences: Rc<RefCell<Vec<Divergence>>>,
+    /// Stream position; a replayed run is driven from one thread, but the
+    /// trait is `&self`, so the cursor lives behind the same mutex as the
+    /// divergence list to keep (position, mismatch) updates atomic.
+    state: Mutex<usize>,
+    divergences: Arc<Mutex<Vec<Divergence>>>,
 }
 
 impl TraceReplayer {
@@ -198,14 +200,14 @@ impl TraceReplayer {
     pub fn new(expected: Trace) -> TraceReplayer {
         TraceReplayer {
             expected,
-            cursor: 0,
-            divergences: Rc::new(RefCell::new(Vec::new())),
+            state: Mutex::new(0),
+            divergences: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
     /// Shared handle onto the accumulated mismatches.
-    pub fn divergences(&self) -> Rc<RefCell<Vec<Divergence>>> {
-        Rc::clone(&self.divergences)
+    pub fn divergences(&self) -> Arc<Mutex<Vec<Divergence>>> {
+        Arc::clone(&self.divergences)
     }
 }
 
@@ -214,17 +216,18 @@ impl Interceptor for TraceReplayer {
         "trace_replayer"
     }
 
-    fn after(&mut self, pid: Pid, call: &Syscall, ret: &SysRet, _ctx: &mut SysCtx<'_>) {
+    fn after(&self, pid: Pid, call: &Syscall, ret: &SysRet, _ctx: &mut SysCtx<'_>) {
         let actual = TraceEntry::new(pid, call, ret);
-        let expected = self.expected.entries.get(self.cursor).cloned();
+        let mut cursor = lock(&self.state);
+        let expected = self.expected.entries.get(*cursor).cloned();
         if expected.as_ref() != Some(&actual) {
-            self.divergences.borrow_mut().push(Divergence {
-                index: self.cursor,
+            lock(&self.divergences).push(Divergence {
+                index: *cursor,
                 expected,
                 actual,
             });
         }
-        self.cursor += 1;
+        *cursor += 1;
     }
 }
 

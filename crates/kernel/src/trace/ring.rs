@@ -93,6 +93,15 @@ impl AuditRing {
         self.buf.clear();
     }
 
+    /// Re-sorts stored events by sequence number. Batched writers (see
+    /// `SharedAuditRing`) flush per-worker staging buffers whose events
+    /// may interleave out of seq order across batches; sorting after each
+    /// flush restores the ring's oldest-first invariant, so eviction
+    /// still drops the lowest sequence numbers.
+    pub(crate) fn sort_by_seq(&mut self) {
+        self.buf.make_contiguous().sort_by_key(|e| e.seq);
+    }
+
     /// Renders the `/proc/<lsm>/audit` view: a summary header followed by
     /// one structured line per stored event.
     pub fn render(&self) -> String {

@@ -5,7 +5,12 @@
 use super::event::AuditEvent;
 
 /// An audit event subscriber registered with `Kernel::subscribe_sink`.
-pub trait AuditSink {
+///
+/// `Send` because the kernel is shared across worker threads: a sink
+/// handed to `subscribe_sink` may be invoked from any thread dispatching
+/// a syscall (the kernel serializes invocations, so `on_event` still
+/// takes `&mut self`).
+pub trait AuditSink: Send {
     /// Called synchronously for every emitted event.
     fn on_event(&mut self, event: &AuditEvent);
 }
@@ -25,9 +30,9 @@ impl AuditSink for CollectingSink {
 }
 
 /// Shared-handle forwarding, so a subscriber handed to the kernel can
-/// still be read from outside (the simulation is single-threaded).
-impl<S: AuditSink> AuditSink for std::rc::Rc<std::cell::RefCell<S>> {
+/// still be read from outside while the kernel owns the other handle.
+impl<S: AuditSink> AuditSink for std::sync::Arc<std::sync::Mutex<S>> {
     fn on_event(&mut self, event: &AuditEvent) {
-        self.borrow_mut().on_event(event);
+        crate::sync::lock(self).on_event(event);
     }
 }

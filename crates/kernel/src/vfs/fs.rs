@@ -5,35 +5,84 @@
 //! functions here resolve paths, manage directory trees, and maintain the
 //! mount table, mirroring the split between `fs/namei.c` and the
 //! `security_*` hook callers in Linux.
+//!
+//! # Concurrency
+//!
+//! Since the shared-kernel refactor every method takes `&self`: the inode
+//! arena is sharded across [`NSHARDS`] `RwLock`s (shard = ino mod
+//! [`NSHARDS`], so a directory and the files allocated under it land in
+//! different shards and independent subtrees don't contend), the dcache is
+//! hash-sharded `Mutex`es with a generation-stamped lazy flush, the mount
+//! table is a small `RwLock` snapshot-cloned per uncached walk, and the
+//! counters (`change_seq`, `namespace_gen`) are atomics.
+//!
+//! Lock discipline (see DESIGN.md §13):
+//! * at most one inode-shard guard is held at a time, except through
+//!   [`Vfs::with_pair`] which orders by shard index;
+//! * the allocator mutex is never held while taking a shard lock
+//!   (`alloc` reserves the ino, drops the mutex, then writes the shard;
+//!   reclaim pushes to the free list *while* holding the shard guard,
+//!   which is safe because no path acquires alloc → shard);
+//! * cross-directory `rename` serializes on a dedicated mutex — only
+//!   rename can move a directory, so the ancestor cycle-walk is sound
+//!   under that lock alone.
 
 use super::inode::{Access, Ino, Inode, InodeData, Mode, ProcHook};
 use crate::cred::{Gid, Uid};
 use crate::error::{Errno, KResult};
+use crate::sync;
 use crate::trace::CacheStats;
-use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Maximum symlink expansions during one path walk (Linux uses 40).
 const MAX_SYMLINK_DEPTH: usize = 16;
 
-/// Bound on cached resolutions; the dcache is flushed wholesale when it
-/// fills (a simulation stand-in for the kernel's LRU shrinker).
+/// Number of inode-arena shards. An inode lives in shard `ino % NSHARDS`,
+/// so consecutively allocated inodes (a directory and its children)
+/// scatter across shards and parallel walks of independent subtrees
+/// rarely touch the same lock.
+const NSHARDS: usize = 64;
+
+/// Number of dcache shards (hash of the lookup key picks one).
+const DSHARDS: usize = 16;
+
+/// Bound on cached resolutions; a dcache shard is flushed wholesale when
+/// it fills (a simulation stand-in for the kernel's LRU shrinker).
 const DCACHE_CAPACITY: usize = 4096;
 
-/// The generation-stamped dentry cache fronting [`Vfs::resolve`].
+const fn shard_of(ino: Ino) -> usize {
+    ino.0 % NSHARDS
+}
+
+const fn slot_of(ino: Ino) -> usize {
+    ino.0 / NSHARDS
+}
+
+/// One shard of the generation-stamped dentry cache fronting
+/// [`Vfs::resolve`].
 ///
 /// Entries are keyed by (starting directory, raw path string, follow-last
 /// flag) and are valid only for the namespace generation they were stored
 /// under: any mutation of the tree or mount table bumps
-/// [`Vfs::namespace_generation`], and the next lookup flushes the map. This
-/// mirrors how the real dcache leans on d_seq/mount generations rather than
-/// tracking per-entry dependencies.
+/// [`Vfs::namespace_generation`], and the next lookup in each shard
+/// flushes its map lazily. This mirrors how the real dcache leans on
+/// d_seq/mount generations rather than tracking per-entry dependencies.
 #[derive(Debug, Default)]
-struct Dcache {
+struct DcacheShard {
     map: HashMap<(Ino, bool), HashMap<String, Resolved>>,
     entries: usize,
     gen: u64,
     stats: CacheStats,
+}
+
+/// Inode id allocator: free-list of reclaimed slots plus the
+/// next-never-used id.
+#[derive(Debug)]
+struct AllocState {
+    free: Vec<Ino>,
+    next: usize,
 }
 
 /// Parsed mount options.
@@ -121,24 +170,102 @@ pub struct Resolved {
     pub dirs: Vec<Ino>,
 }
 
+/// Shared (read) access to a single inode; derefs to [`Inode`].
+///
+/// Holds the inode's shard read-locked — drop it before acquiring any
+/// other inode guard (the arena discipline is one guard at a time).
+pub struct InodeRef<'a> {
+    shard: RwLockReadGuard<'a, Vec<Inode>>,
+    slot: usize,
+}
+
+impl std::ops::Deref for InodeRef<'_> {
+    type Target = Inode;
+    fn deref(&self) -> &Inode {
+        &self.shard[self.slot]
+    }
+}
+
+/// Exclusive (write) access to a single inode; derefs to [`Inode`].
+///
+/// Same single-guard discipline as [`InodeRef`]. Callers that change
+/// content or metadata must call [`Vfs::touch`] (after dropping the
+/// guard) so watchers observe the change.
+pub struct InodeMut<'a> {
+    shard: RwLockWriteGuard<'a, Vec<Inode>>,
+    slot: usize,
+}
+
+impl std::ops::Deref for InodeMut<'_> {
+    type Target = Inode;
+    fn deref(&self) -> &Inode {
+        &self.shard[self.slot]
+    }
+}
+
+impl std::ops::DerefMut for InodeMut<'_> {
+    fn deref_mut(&mut self) -> &mut Inode {
+        &mut self.shard[self.slot]
+    }
+}
+
 /// The virtual filesystem state.
 #[derive(Debug)]
 pub struct Vfs {
-    inodes: Vec<Inode>,
-    free_inos: Vec<Ino>,
+    /// Inode arena, sharded by `ino % NSHARDS`.
+    shards: Vec<RwLock<Vec<Inode>>>,
+    alloc: Mutex<AllocState>,
     root: Ino,
-    mounts: Vec<Mount>,
-    next_mount_id: u64,
+    mounts: RwLock<Vec<Mount>>,
+    next_mount_id: AtomicU64,
     /// Global change sequence, bumped on every mutation; cheap poll target
-    /// for the monitoring daemon.
-    pub change_seq: u64,
+    /// for the monitoring daemon. Read via [`Vfs::change_seq`].
+    change_seq: AtomicU64,
     /// Namespace generation: bumped only on mutations that can change what
     /// a path resolves to (link/unlink/rename/mount/umount/chmod/chown),
     /// *not* on content writes — unlike `change_seq`, so file I/O does not
     /// thrash the dcache.
-    namespace_gen: u64,
-    dcache: RefCell<Dcache>,
-    dcache_enabled: Cell<bool>,
+    namespace_gen: AtomicU64,
+    dcache: Vec<Mutex<DcacheShard>>,
+    dcache_enabled: AtomicBool,
+    /// Serializes renames. Only rename re-parents a directory, so holding
+    /// this lock makes the into-own-subtree ancestor walk race-free
+    /// without locking the whole namespace.
+    rename_lock: Mutex<()>,
+}
+
+fn placeholder_inode(ino: Ino) -> Inode {
+    Inode {
+        ino,
+        parent: Ino(0),
+        mode: Mode(0),
+        uid: Uid::ROOT,
+        gid: Gid::ROOT,
+        data: InodeData::Regular(Vec::new()),
+        version: 0,
+        nlink: 0,
+        opens: 0,
+    }
+}
+
+fn mount_rooted_at_in(mounts: &[Mount], ino: Ino) -> Option<&Mount> {
+    mounts.iter().rev().find(|m| m.root == ino)
+}
+
+fn mount_covering_in(mounts: &[Mount], ino: Ino) -> Option<&Mount> {
+    mounts.iter().rev().find(|m| m.covered == ino)
+}
+
+fn follow_mounts_in(mounts: &[Mount], mut ino: Ino) -> Ino {
+    // The guard bounds pathological self-covering stacks, which
+    // `add_mount` rejects but which defensive code should not spin on.
+    for _ in 0..mounts.len() + 1 {
+        match mount_covering_in(mounts, ino) {
+            Some(m) if m.root != ino => ino = m.root,
+            _ => break,
+        }
+    }
+    ino
 }
 
 impl Vfs {
@@ -155,16 +282,30 @@ impl Vfs {
             nlink: 2,
             opens: 0,
         };
+        let mut shards: Vec<RwLock<Vec<Inode>>> = Vec::with_capacity(NSHARDS);
+        for s in 0..NSHARDS {
+            shards.push(RwLock::new(if s == 0 {
+                vec![root_inode.clone()]
+            } else {
+                Vec::new()
+            }));
+        }
         Vfs {
-            inodes: vec![root_inode],
-            free_inos: Vec::new(),
+            shards,
+            alloc: Mutex::new(AllocState {
+                free: Vec::new(),
+                next: 1,
+            }),
             root: Ino(0),
-            mounts: Vec::new(),
-            next_mount_id: 1,
-            change_seq: 0,
-            namespace_gen: 0,
-            dcache: RefCell::new(Dcache::default()),
-            dcache_enabled: Cell::new(true),
+            mounts: RwLock::new(Vec::new()),
+            next_mount_id: AtomicU64::new(1),
+            change_seq: AtomicU64::new(0),
+            namespace_gen: AtomicU64::new(0),
+            dcache: (0..DSHARDS)
+                .map(|_| Mutex::new(DcacheShard::default()))
+                .collect(),
+            dcache_enabled: AtomicBool::new(true),
+            rename_lock: Mutex::new(()),
         }
     }
 
@@ -173,43 +314,66 @@ impl Vfs {
         self.root
     }
 
-    /// Immutable inode access.
-    pub fn inode(&self, ino: Ino) -> &Inode {
-        &self.inodes[ino.0]
+    /// Shared inode access. The returned guard read-locks the inode's
+    /// shard; hold at most one inode guard at a time.
+    pub fn inode(&self, ino: Ino) -> InodeRef<'_> {
+        InodeRef {
+            shard: sync::read(&self.shards[shard_of(ino)]),
+            slot: slot_of(ino),
+        }
     }
 
-    /// Mutable inode access. Callers that change content or metadata must
-    /// call [`Vfs::touch`] so watchers observe the change.
-    pub fn inode_mut(&mut self, ino: Ino) -> &mut Inode {
-        &mut self.inodes[ino.0]
+    /// Exclusive inode access. Callers that change content or metadata
+    /// must call [`Vfs::touch`] so watchers observe the change.
+    pub fn inode_mut(&self, ino: Ino) -> InodeMut<'_> {
+        InodeMut {
+            shard: sync::write(&self.shards[shard_of(ino)]),
+            slot: slot_of(ino),
+        }
+    }
+
+    /// Advances the change sequence, returning the new value.
+    fn next_seq(&self) -> u64 {
+        self.change_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current global change sequence (bumped on every mutation).
+    pub fn change_seq(&self) -> u64 {
+        self.change_seq.load(Ordering::Relaxed)
     }
 
     /// Records a modification of `ino` for change watchers.
-    pub fn touch(&mut self, ino: Ino) {
-        self.change_seq += 1;
-        let seq = self.change_seq;
-        self.inodes[ino.0].version = seq;
+    pub fn touch(&self, ino: Ino) {
+        let seq = self.next_seq();
+        self.inode_mut(ino).version = seq;
     }
 
     /// Allocates an inode, reusing a reclaimed slot when one is free.
-    pub fn alloc(&mut self, parent: Ino, mode: Mode, uid: Uid, gid: Gid, data: InodeData) -> Ino {
+    pub fn alloc(&self, parent: Ino, mode: Mode, uid: Uid, gid: Gid, data: InodeData) -> Ino {
         let nlink = if data.is_dir() { 2 } else { 1 };
-        if let Some(ino) = self.free_inos.pop() {
-            self.inodes[ino.0] = Inode {
-                ino,
-                parent,
-                mode,
-                uid,
-                gid,
-                data,
-                version: 0,
-                nlink,
-                opens: 0,
-            };
-            return ino;
+        // Reserve the id first, then drop the allocator mutex before
+        // touching the shard (alloc → shard is the forbidden order's
+        // mirror image; see the module docs).
+        let ino = {
+            let mut a = sync::lock(&self.alloc);
+            match a.free.pop() {
+                Some(i) => i,
+                None => {
+                    let i = Ino(a.next);
+                    a.next += 1;
+                    i
+                }
+            }
+        };
+        let (s, slot) = (shard_of(ino), slot_of(ino));
+        let mut g = sync::write(&self.shards[s]);
+        // Two threads can reserve fresh ids in the same shard and arrive
+        // out of order, so grow with placeholders up to our slot.
+        while g.len() < slot {
+            let pad = Ino(g.len() * NSHARDS + s);
+            g.push(placeholder_inode(pad));
         }
-        let ino = Ino(self.inodes.len());
-        self.inodes.push(Inode {
+        let inode = Inode {
             ino,
             parent,
             mode,
@@ -219,45 +383,92 @@ impl Vfs {
             version: 0,
             nlink,
             opens: 0,
-        });
+        };
+        if g.len() == slot {
+            g.push(inode);
+        } else {
+            g[slot] = inode;
+        }
         ino
     }
 
-    /// Number of inode slots in the arena (live + reclaimed).
+    /// Returns a freshly allocated but never-linked inode to the free
+    /// list (a racing `dir_add` lost; nothing references it).
+    fn dealloc_unlinked(&self, ino: Ino) {
+        let mut g = self.inode_mut(ino);
+        g.data = InodeData::Regular(Vec::new());
+        g.nlink = 0;
+        g.opens = 0;
+        // Push while still holding the shard guard so no one can observe
+        // a half-reset slot; shard → alloc is the sanctioned order.
+        sync::lock(&self.alloc).free.push(ino);
+    }
+
+    /// Number of inode slots ever allocated (live + reclaimed).
     pub fn inode_count(&self) -> usize {
-        self.inodes.len()
+        sync::lock(&self.alloc).next
     }
 
     /// Inode slots currently sitting on the free list.
-    pub fn reclaimed_slots(&self) -> &[Ino] {
-        &self.free_inos
+    pub fn reclaimed_slots(&self) -> Vec<Ino> {
+        sync::lock(&self.alloc).free.clone()
     }
 
     /// Records that a file description opened `ino`.
-    pub fn inc_open(&mut self, ino: Ino) {
-        self.inodes[ino.0].opens += 1;
+    pub fn inc_open(&self, ino: Ino) {
+        self.inode_mut(ino).opens += 1;
     }
 
     /// Records a close; reclaims the inode if it is also unlinked.
-    pub fn dec_open(&mut self, ino: Ino) {
-        let i = &mut self.inodes[ino.0];
-        i.opens = i.opens.saturating_sub(1);
+    pub fn dec_open(&self, ino: Ino) {
+        let mut g = self.inode_mut(ino);
+        g.opens = g.opens.saturating_sub(1);
+        drop(g);
         self.maybe_reclaim(ino);
     }
 
     /// Reclaims an inode with no links and no opens. The root, mount
     /// roots, and hook nodes always keep a link, so only orphaned
     /// regular files/symlinks are recycled.
-    fn maybe_reclaim(&mut self, ino: Ino) {
-        let i = &self.inodes[ino.0];
-        if ino != self.root
-            && i.nlink == 0
-            && i.opens == 0
-            && !matches!(i.data, InodeData::Directory(_))
-        {
-            // Drop contents eagerly and remember the slot.
-            self.inodes[ino.0].data = InodeData::Regular(Vec::new());
-            self.free_inos.push(ino);
+    fn maybe_reclaim(&self, ino: Ino) {
+        if ino == self.root {
+            return;
+        }
+        let mut g = self.inode_mut(ino);
+        if g.nlink == 0 && g.opens == 0 && !matches!(g.data, InodeData::Directory(_)) {
+            // Drop contents eagerly and remember the slot. The free-list
+            // push happens under the shard guard (shard → alloc order) so
+            // concurrent callers cannot double-free the slot.
+            g.data = InodeData::Regular(Vec::new());
+            sync::lock(&self.alloc).free.push(ino);
+        }
+    }
+
+    /// Runs `f` with exclusive access to two *distinct* inodes at once —
+    /// the only sanctioned way to hold two inode guards. Locks shards in
+    /// ascending index order (or splits one shard's slice) so concurrent
+    /// pairs cannot deadlock.
+    fn with_pair<R>(&self, a: Ino, b: Ino, f: impl FnOnce(&mut Inode, &mut Inode) -> R) -> R {
+        assert_ne!(a, b, "with_pair requires distinct inodes");
+        let (sa, sb) = (shard_of(a), shard_of(b));
+        if sa == sb {
+            let mut g = sync::write(&self.shards[sa]);
+            let (ia, ib) = (slot_of(a), slot_of(b));
+            if ia < ib {
+                let (left, right) = g.split_at_mut(ib);
+                f(&mut left[ia], &mut right[0])
+            } else {
+                let (left, right) = g.split_at_mut(ia);
+                f(&mut right[0], &mut left[ib])
+            }
+        } else if sa < sb {
+            let mut ga = sync::write(&self.shards[sa]);
+            let mut gb = sync::write(&self.shards[sb]);
+            f(&mut ga[slot_of(a)], &mut gb[slot_of(b)])
+        } else {
+            let mut gb = sync::write(&self.shards[sb]);
+            let mut ga = sync::write(&self.shards[sa]);
+            f(&mut ga[slot_of(a)], &mut gb[slot_of(b)])
         }
     }
 
@@ -286,50 +497,73 @@ impl Vfs {
     /// The current namespace generation. Any two `resolve` calls bracketing
     /// an unchanged generation see the same namespace.
     pub fn namespace_generation(&self) -> u64 {
-        self.namespace_gen
+        self.namespace_gen.load(Ordering::SeqCst)
     }
 
     /// Invalidates the dcache by advancing the namespace generation.
     /// Called from every mutation that can change a path's meaning.
-    pub fn bump_namespace_gen(&mut self) {
-        self.namespace_gen += 1;
+    pub fn bump_namespace_gen(&self) {
+        self.namespace_gen.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Enables or disables the dcache (used by benches to measure the cold
     /// path). Disabling does not flush; re-enabled entries are still
     /// generation-checked.
     pub fn set_dcache_enabled(&self, on: bool) {
-        self.dcache_enabled.set(on);
+        self.dcache_enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Current dcache hit/miss/invalidation counters.
+    /// Current dcache hit/miss/invalidation counters (summed over shards).
     pub fn dcache_stats(&self) -> CacheStats {
-        self.dcache.borrow().stats
+        let mut total = CacheStats::default();
+        for shard in &self.dcache {
+            total.merge(&sync::lock(shard).stats);
+        }
+        total
+    }
+
+    fn dcache_shard_index(start: Ino, follow_last: bool, path: &str) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        start.0.hash(&mut h);
+        follow_last.hash(&mut h);
+        path.hash(&mut h);
+        (h.finish() as usize) % DSHARDS
+    }
+
+    /// Snapshot of the mount table for one walk. Cloning an empty `Vec`
+    /// does not allocate, so the common no-mounts case stays cheap.
+    fn mounts_snapshot(&self) -> Vec<Mount> {
+        sync::read(&self.mounts).clone()
     }
 
     /// Cache-fronted resolution. Looks up (start dir, path, follow-last) in
-    /// the dcache after lazily flushing a stale generation; falls back to
-    /// [`Vfs::resolve_inner`] and stores the result.
+    /// the dcache shard after lazily flushing a stale generation; falls
+    /// back to [`Vfs::resolve_inner`] and stores the result if the
+    /// namespace did not move underneath the walk.
     fn resolve_cached(&self, cwd: Ino, path: &str, follow_last: bool) -> KResult<Resolved> {
         let _resolve_span = crate::trace::span(crate::trace::Pathway::VfsResolve);
-        if !self.dcache_enabled.get() {
-            return self.resolve_inner(cwd, path, follow_last, 0);
+        if !self.dcache_enabled.load(Ordering::Relaxed) {
+            let mounts = self.mounts_snapshot();
+            return self.resolve_inner(cwd, path, follow_last, 0, &mounts);
         }
         let start = if path.starts_with('/') {
             self.root
         } else {
             cwd
         };
+        let shard_idx = Vfs::dcache_shard_index(start, follow_last, path);
+        let gen_now = self.namespace_generation();
         {
             let _probe_span = crate::trace::span(crate::trace::Pathway::DcacheProbe);
-            let mut dc = self.dcache.borrow_mut();
-            if dc.gen != self.namespace_gen {
+            let mut dc = sync::lock(&self.dcache[shard_idx]);
+            if dc.gen != gen_now {
                 if dc.entries > 0 {
                     dc.stats.invalidations += 1;
                 }
                 dc.map.clear();
                 dc.entries = 0;
-                dc.gen = self.namespace_gen;
+                dc.gen = gen_now;
             }
             // Nested map so the probe takes `&str` — no key allocation.
             if let Some(hit) = dc
@@ -343,10 +577,15 @@ impl Vfs {
             }
             dc.stats.misses += 1;
         }
-        let resolved = self.resolve_inner(cwd, path, follow_last, 0)?;
-        let mut dc = self.dcache.borrow_mut();
-        if dc.gen == self.namespace_gen {
-            if dc.entries >= DCACHE_CAPACITY {
+        let mounts = self.mounts_snapshot();
+        let resolved = self.resolve_inner(cwd, path, follow_last, 0, &mounts)?;
+        let mut dc = sync::lock(&self.dcache[shard_idx]);
+        // Insert only if the namespace generation is unchanged since the
+        // probe: a walk that raced a mutation may have observed either
+        // state, and the generation is monotonic, so a stale entry can
+        // never be served (the next probe's gen check flushes it).
+        if dc.gen == gen_now && self.namespace_generation() == gen_now {
+            if dc.entries >= DCACHE_CAPACITY / DSHARDS {
                 dc.map.clear();
                 dc.entries = 0;
                 dc.stats.invalidations += 1;
@@ -361,26 +600,18 @@ impl Vfs {
     }
 
     /// Returns the topmost mount covering directory `ino`, if any.
-    pub fn mount_covering(&self, ino: Ino) -> Option<&Mount> {
-        self.mounts.iter().rev().find(|m| m.covered == ino)
+    pub fn mount_covering(&self, ino: Ino) -> Option<Mount> {
+        mount_covering_in(&sync::read(&self.mounts), ino).cloned()
     }
 
     /// Returns the mount whose root is `ino`, if any.
-    pub fn mount_rooted_at(&self, ino: Ino) -> Option<&Mount> {
-        self.mounts.iter().rev().find(|m| m.root == ino)
+    pub fn mount_rooted_at(&self, ino: Ino) -> Option<Mount> {
+        mount_rooted_at_in(&sync::read(&self.mounts), ino).cloned()
     }
 
     /// Follows mounts stacked on a directory.
-    fn follow_mounts(&self, mut ino: Ino) -> Ino {
-        // The guard bounds pathological self-covering stacks, which
-        // `add_mount` rejects but which defensive code should not spin on.
-        for _ in 0..self.mounts.len() + 1 {
-            match self.mount_covering(ino) {
-                Some(m) if m.root != ino => ino = m.root,
-                _ => break,
-            }
-        }
-        ino
+    fn follow_mounts(&self, ino: Ino) -> Ino {
+        follow_mounts_in(&self.mounts_snapshot(), ino)
     }
 
     /// Resolves `path` (absolute, or relative to `cwd`) to an inode,
@@ -400,6 +631,7 @@ impl Vfs {
         path: &str,
         follow_last: bool,
         depth: usize,
+        mounts: &[Mount],
     ) -> KResult<Resolved> {
         if depth > MAX_SYMLINK_DEPTH {
             return Err(Errno::ELOOP);
@@ -408,7 +640,7 @@ impl Vfs {
             return Err(Errno::ENAMETOOLONG);
         }
         let mut cur = if path.starts_with('/') {
-            self.follow_mounts(self.root)
+            follow_mounts_in(mounts, self.root)
         } else {
             cwd
         };
@@ -419,42 +651,53 @@ impl Vfs {
         }
         while let Some(comp) = comps.next() {
             let is_last = comps.peek().is_none();
-            let node = self.inode(cur);
-            let entries = match node.dir_entries() {
-                Some(e) => e,
-                None => return Err(Errno::ENOTDIR),
+            // One shard guard at a time: copy the entry and parent out,
+            // then drop the guard before touching any other inode.
+            let (entry, parent) = {
+                let node = self.inode(cur);
+                let entries = match node.dir_entries() {
+                    Some(e) => e,
+                    None => return Err(Errno::ENOTDIR),
+                };
+                (entries.get(comp).copied(), node.parent)
             };
             dirs.push(cur);
             let next = if comp == ".." {
                 // At a mount root, `..` escapes to the covered directory's
                 // parent.
-                if let Some(m) = self.mount_rooted_at(cur) {
+                if let Some(m) = mount_rooted_at_in(mounts, cur) {
                     self.inode(m.covered).parent
                 } else {
-                    node.parent
+                    parent
                 }
             } else {
-                match entries.get(comp) {
-                    Some(&ino) => ino,
+                match entry {
+                    Some(ino) => ino,
                     None => return Err(Errno::ENOENT),
                 }
             };
-            // Symlink expansion.
-            if let InodeData::Symlink(target) = &self.inode(next).data {
+            // Symlink expansion. (An inode's kind never changes while it
+            // is live, so reading it in a fresh scope is race-free.)
+            let sym_target = {
+                match &self.inode(next).data {
+                    InodeData::Symlink(t) => Some(t.clone()),
+                    _ => None,
+                }
+            };
+            if let Some(target) = sym_target {
                 if is_last && !follow_last {
                     return Ok(Resolved { ino: next, dirs });
                 }
-                let target = target.clone();
-                let sub = self.resolve_inner(cur, &target, true, depth + 1)?;
+                let sub = self.resolve_inner(cur, &target, true, depth + 1, mounts)?;
                 dirs.extend(sub.dirs.iter().copied());
                 let mut landed = sub.ino;
                 if !is_last {
-                    landed = self.follow_mounts(landed);
+                    landed = follow_mounts_in(mounts, landed);
                     cur = landed;
                     continue;
                 }
                 let landed = if self.inode(landed).data.is_dir() {
-                    self.follow_mounts(landed)
+                    follow_mounts_in(mounts, landed)
                 } else {
                     landed
                 };
@@ -462,7 +705,7 @@ impl Vfs {
             }
             // Mount traversal.
             let next = if self.inode(next).data.is_dir() {
-                self.follow_mounts(next)
+                follow_mounts_in(mounts, next)
             } else {
                 next
             };
@@ -506,6 +749,7 @@ impl Vfs {
     /// roots are translated through their covered directory. Primarily for
     /// diagnostics, `/proc/mounts`, and binary identity in LSM policies.
     pub fn path_of(&self, ino: Ino) -> String {
+        let mounts = self.mounts_snapshot();
         let mut cur = ino;
         let mut parts: Vec<String> = Vec::new();
         let mut guard = 0;
@@ -514,7 +758,7 @@ impl Vfs {
             if guard > 4096 {
                 return "<cycle>".into();
             }
-            if let Some(m) = self.mount_rooted_at(cur) {
+            if let Some(m) = mount_rooted_at_in(&mounts, cur) {
                 cur = m.covered;
                 continue;
             }
@@ -522,11 +766,12 @@ impl Vfs {
                 break;
             }
             let parent = self.inode(cur).parent;
-            let name = self
-                .inode(parent)
-                .dir_entries()
-                .and_then(|e| e.iter().find(|(_, &i)| i == cur).map(|(n, _)| n.clone()))
-                .unwrap_or_else(|| format!("<ino{}>", cur.0));
+            let name = {
+                let p = self.inode(parent);
+                p.dir_entries()
+                    .and_then(|e| e.iter().find(|(_, &i)| i == cur).map(|(n, _)| n.clone()))
+                    .unwrap_or_else(|| format!("<ino{}>", cur.0))
+            };
             parts.push(name);
             cur = parent;
         }
@@ -542,16 +787,31 @@ impl Vfs {
     // Directory operations (mechanism; callers check permissions)
     // ------------------------------------------------------------------
 
+    /// Looks up a single name in a directory (no symlink/mount logic).
+    pub fn dir_lookup(&self, dir: Ino, name: &str) -> KResult<Option<Ino>> {
+        let d = self.inode(dir);
+        let entries = d.dir_entries().ok_or(Errno::ENOTDIR)?;
+        Ok(entries.get(name).copied())
+    }
+
+    /// Lists a directory's entry names in sorted order.
+    pub fn dir_names(&self, dir: Ino) -> KResult<Vec<String>> {
+        let d = self.inode(dir);
+        let entries = d.dir_entries().ok_or(Errno::ENOTDIR)?;
+        Ok(entries.keys().cloned().collect())
+    }
+
     /// Checks that `dir_add(dir, name, _)` would succeed, without
     /// mutating anything. Callers that allocate an inode before linking
-    /// it in (`create_file`, `mkdir`, `symlink`) run this first so a
-    /// failed `dir_add` can never strand a freshly allocated inode
-    /// outside the tree.
+    /// it in (`create_file`, `mkdir`, `symlink`) run this first so the
+    /// common error paths never allocate; a concurrent loser of the
+    /// precheck→add race deallocates instead (see `dealloc_unlinked`).
     fn dir_add_precheck(&self, dir: Ino, name: &str) -> KResult<()> {
         if name.is_empty() || name.contains('/') {
             return Err(Errno::EINVAL);
         }
-        let entries = self.inodes[dir.0].dir_entries().ok_or(Errno::ENOTDIR)?;
+        let d = self.inode(dir);
+        let entries = d.dir_entries().ok_or(Errno::ENOTDIR)?;
         if entries.contains_key(name) {
             return Err(Errno::EEXIST);
         }
@@ -559,17 +819,30 @@ impl Vfs {
     }
 
     /// Adds a directory entry, failing if the name exists.
-    pub fn dir_add(&mut self, dir: Ino, name: &str, child: Ino) -> KResult<()> {
-        self.dir_add_precheck(dir, name)?;
-        let entries = match &mut self.inodes[dir.0].data {
-            InodeData::Directory(e) => e,
-            _ => return Err(Errno::ENOTDIR),
-        };
-        entries.insert(name.to_string(), child);
-        if self.inodes[child.0].data.is_dir() {
-            self.inodes[dir.0].nlink += 1;
+    pub fn dir_add(&self, dir: Ino, name: &str, child: Ino) -> KResult<()> {
+        if name.is_empty() || name.contains('/') {
+            return Err(Errno::EINVAL);
         }
-        self.touch(dir);
+        // Kind is immutable for a live inode, so this pre-guard read
+        // cannot go stale before the write below.
+        let child_is_dir = child != dir && self.inode(child).data.is_dir();
+        {
+            let mut d = self.inode_mut(dir);
+            let seq = self.next_seq();
+            let node = &mut *d;
+            let entries = match &mut node.data {
+                InodeData::Directory(e) => e,
+                _ => return Err(Errno::ENOTDIR),
+            };
+            if entries.contains_key(name) {
+                return Err(Errno::EEXIST);
+            }
+            entries.insert(name.to_string(), child);
+            if child_is_dir {
+                node.nlink += 1;
+            }
+            node.version = seq;
+        }
         self.bump_namespace_gen();
         Ok(())
     }
@@ -577,32 +850,46 @@ impl Vfs {
     /// Removes a directory entry, returning the unlinked inode number.
     ///
     /// Removing a *directory* entry requires the directory to be empty —
-    /// this is checked here, not just in [`Vfs::rmdir`], because this is a
-    /// `pub` API and dropping a populated subtree to `nlink = 0` would
-    /// orphan every inode under it.
-    pub fn dir_remove(&mut self, dir: Ino, name: &str) -> KResult<Ino> {
-        {
-            let entries = self.inodes[dir.0].dir_entries().ok_or(Errno::ENOTDIR)?;
-            let &child = entries.get(name).ok_or(Errno::ENOENT)?;
-            if let Some(sub) = self.inodes[child.0].dir_entries() {
+    /// this is checked here (atomically with the removal, both inodes
+    /// locked), not just in [`Vfs::rmdir`], because this is a `pub` API
+    /// and dropping a populated subtree to `nlink = 0` would orphan every
+    /// inode under it.
+    pub fn dir_remove(&self, dir: Ino, name: &str) -> KResult<Ino> {
+        let child = {
+            let d = self.inode(dir);
+            let entries = d.dir_entries().ok_or(Errno::ENOTDIR)?;
+            *entries.get(name).ok_or(Errno::ENOENT)?
+        };
+        if child == dir {
+            // A self-entry means the directory is non-empty by definition.
+            return Err(Errno::ENOTEMPTY);
+        }
+        self.with_pair(dir, child, |d, c| {
+            let entries = match &mut d.data {
+                InodeData::Directory(e) => e,
+                _ => return Err(Errno::ENOTDIR),
+            };
+            // Re-check under the pair lock: the entry may have raced away.
+            match entries.get(name) {
+                Some(&i) if i == child => {}
+                _ => return Err(Errno::ENOENT),
+            }
+            if let Some(sub) = c.dir_entries() {
                 if !sub.is_empty() {
                     return Err(Errno::ENOTEMPTY);
                 }
             }
-        }
-        let entries = match &mut self.inodes[dir.0].data {
-            InodeData::Directory(e) => e,
-            _ => return Err(Errno::ENOTDIR),
-        };
-        let child = entries.remove(name).ok_or(Errno::ENOENT)?;
-        if self.inodes[child.0].data.is_dir() {
-            self.inodes[dir.0].nlink -= 1;
-            // The emptiness check above guarantees nothing is orphaned.
-            self.inodes[child.0].nlink = 0;
-        } else {
-            self.inodes[child.0].nlink = self.inodes[child.0].nlink.saturating_sub(1);
-        }
-        self.touch(dir);
+            entries.remove(name);
+            if c.data.is_dir() {
+                d.nlink -= 1;
+                // The emptiness check above guarantees nothing is orphaned.
+                c.nlink = 0;
+            } else {
+                c.nlink = c.nlink.saturating_sub(1);
+            }
+            d.version = self.next_seq();
+            Ok(())
+        })?;
         self.bump_namespace_gen();
         self.maybe_reclaim(child);
         Ok(child)
@@ -610,7 +897,7 @@ impl Vfs {
 
     /// Creates a regular file; `exclusive` makes an existing name an error.
     pub fn create_file(
-        &mut self,
+        &self,
         dir: Ino,
         name: &str,
         mode: Mode,
@@ -620,41 +907,43 @@ impl Vfs {
     ) -> KResult<Ino> {
         match self.dir_add_precheck(dir, name) {
             Ok(()) => {}
-            Err(Errno::EEXIST) => {
-                if exclusive {
-                    return Err(Errno::EEXIST);
-                }
-                let &existing = self.inodes[dir.0]
-                    .dir_entries()
-                    .ok_or(Errno::ENOTDIR)?
-                    .get(name)
-                    .ok_or(Errno::ENOENT)?;
-                return Ok(existing);
+            Err(Errno::EEXIST) if !exclusive => {
+                return self.dir_lookup(dir, name)?.ok_or(Errno::ENOENT);
             }
             Err(e) => return Err(e),
         }
         let ino = self.alloc(dir, mode, uid, gid, InodeData::Regular(Vec::new()));
-        self.dir_add(dir, name, ino)?;
-        Ok(ino)
+        match self.dir_add(dir, name, ino) {
+            Ok(()) => Ok(ino),
+            Err(e) => {
+                self.dealloc_unlinked(ino);
+                if e == Errno::EEXIST && !exclusive {
+                    // Lost a create race; surface the winner.
+                    self.dir_lookup(dir, name)?.ok_or(Errno::ENOENT)
+                } else {
+                    Err(e)
+                }
+            }
+        }
     }
 
     /// Creates a directory.
-    pub fn mkdir(&mut self, dir: Ino, name: &str, mode: Mode, uid: Uid, gid: Gid) -> KResult<Ino> {
+    pub fn mkdir(&self, dir: Ino, name: &str, mode: Mode, uid: Uid, gid: Gid) -> KResult<Ino> {
         self.dir_add_precheck(dir, name)?;
         let ino = self.alloc(dir, mode, uid, gid, InodeData::Directory(BTreeMap::new()));
-        self.dir_add(dir, name, ino)?;
-        Ok(ino)
+        match self.dir_add(dir, name, ino) {
+            Ok(()) => Ok(ino),
+            Err(e) => {
+                // Directories are never reclaimed, but this one was never
+                // linked, so returning the slot is safe.
+                self.dealloc_unlinked(ino);
+                Err(e)
+            }
+        }
     }
 
     /// Creates a symlink.
-    pub fn symlink(
-        &mut self,
-        dir: Ino,
-        name: &str,
-        target: &str,
-        uid: Uid,
-        gid: Gid,
-    ) -> KResult<Ino> {
+    pub fn symlink(&self, dir: Ino, name: &str, target: &str, uid: Uid, gid: Gid) -> KResult<Ino> {
         self.dir_add_precheck(dir, name)?;
         let ino = self.alloc(
             dir,
@@ -663,15 +952,19 @@ impl Vfs {
             gid,
             InodeData::Symlink(target.to_string()),
         );
-        self.dir_add(dir, name, ino)?;
-        Ok(ino)
+        match self.dir_add(dir, name, ino) {
+            Ok(()) => Ok(ino),
+            Err(e) => {
+                self.dealloc_unlinked(ino);
+                Err(e)
+            }
+        }
     }
 
     /// Removes a non-directory entry.
-    pub fn unlink(&mut self, dir: Ino, name: &str) -> KResult<()> {
-        let entries = self.inodes[dir.0].dir_entries().ok_or(Errno::ENOTDIR)?;
-        let &child = entries.get(name).ok_or(Errno::ENOENT)?;
-        if self.inodes[child.0].data.is_dir() {
+    pub fn unlink(&self, dir: Ino, name: &str) -> KResult<()> {
+        let child = self.dir_lookup(dir, name)?.ok_or(Errno::ENOENT)?;
+        if self.inode(child).data.is_dir() {
             return Err(Errno::EISDIR);
         }
         self.dir_remove(dir, name)?;
@@ -679,10 +972,9 @@ impl Vfs {
     }
 
     /// Removes an empty directory.
-    pub fn rmdir(&mut self, dir: Ino, name: &str) -> KResult<()> {
-        let entries = self.inodes[dir.0].dir_entries().ok_or(Errno::ENOTDIR)?;
-        let &child = entries.get(name).ok_or(Errno::ENOENT)?;
-        match self.inodes[child.0].dir_entries() {
+    pub fn rmdir(&self, dir: Ino, name: &str) -> KResult<()> {
+        let child = self.dir_lookup(dir, name)?.ok_or(Errno::ENOENT)?;
+        match self.inode(child).dir_entries() {
             Some(e) if !e.is_empty() => return Err(Errno::ENOTEMPTY),
             Some(_) => {}
             None => return Err(Errno::ENOTDIR),
@@ -696,19 +988,21 @@ impl Vfs {
 
     /// Renames an entry, overwriting a non-directory target if present —
     /// the atomic-replace primitive database rewriters rely on.
+    ///
+    /// All renames serialize on the dedicated rename mutex; since nothing else
+    /// re-parents a directory, the cycle check below cannot race another
+    /// mutation into creating a detached loop.
     pub fn rename(
-        &mut self,
+        &self,
         from_dir: Ino,
         from_name: &str,
         to_dir: Ino,
         to_name: &str,
     ) -> KResult<()> {
-        let src = *self.inodes[from_dir.0]
-            .dir_entries()
-            .ok_or(Errno::ENOTDIR)?
-            .get(from_name)
-            .ok_or(Errno::ENOENT)?;
-        if self.inodes[src.0].data.is_dir() {
+        let _serial = sync::lock(&self.rename_lock);
+        let src = self.dir_lookup(from_dir, from_name)?.ok_or(Errno::ENOENT)?;
+        let src_is_dir = self.inode(src).data.is_dir();
+        if src_is_dir {
             // Moving a directory under itself (or into itself) would
             // detach the subtree into an unreachable cycle: walk the
             // destination's parent chain and refuse if `src` shows up
@@ -726,52 +1020,96 @@ impl Vfs {
                 cur = self.inode(cur).parent;
             }
         }
-        if let Some(entries) = self.inodes[to_dir.0].dir_entries() {
-            if let Some(&existing) = entries.get(to_name) {
-                if existing == src {
-                    return Ok(());
-                }
-                if self.inodes[existing.0].data.is_dir() {
-                    return Err(Errno::EISDIR);
-                }
-                self.dir_remove(to_dir, to_name)?;
+        if let Some(existing) = self.dir_lookup(to_dir, to_name)? {
+            if existing == src {
+                return Ok(());
             }
-        } else {
-            return Err(Errno::ENOTDIR);
+            if self.inode(existing).data.is_dir() {
+                return Err(Errno::EISDIR);
+            }
+            self.dir_remove(to_dir, to_name)?;
         }
         // Move the entry without touching the inode's link count.
-        let entries = match &mut self.inodes[from_dir.0].data {
-            InodeData::Directory(e) => e,
-            _ => return Err(Errno::ENOTDIR),
-        };
-        entries.remove(from_name);
-        if self.inodes[src.0].data.is_dir() {
-            self.inodes[from_dir.0].nlink -= 1;
-        }
-        self.touch(from_dir);
-        match &mut self.inodes[to_dir.0].data {
-            InodeData::Directory(e) => {
-                e.insert(to_name.to_string(), src);
+        if from_dir == to_dir {
+            let mut d = self.inode_mut(from_dir);
+            let seq = self.next_seq();
+            let entries = match &mut d.data {
+                InodeData::Directory(e) => e,
+                _ => return Err(Errno::ENOTDIR),
+            };
+            match entries.get(from_name) {
+                Some(&i) if i == src => {}
+                _ => return Err(Errno::ENOENT),
             }
-            _ => return Err(Errno::ENOTDIR),
+            entries.remove(from_name);
+            entries.insert(to_name.to_string(), src);
+            d.version = seq;
+        } else {
+            self.with_pair(from_dir, to_dir, |f, t| {
+                if !matches!(t.data, InodeData::Directory(_)) {
+                    return Err(Errno::ENOTDIR);
+                }
+                let from_entries = match &mut f.data {
+                    InodeData::Directory(e) => e,
+                    _ => return Err(Errno::ENOTDIR),
+                };
+                match from_entries.get(from_name) {
+                    Some(&i) if i == src => {}
+                    _ => return Err(Errno::ENOENT),
+                }
+                from_entries.remove(from_name);
+                if src_is_dir {
+                    f.nlink -= 1;
+                }
+                f.version = self.next_seq();
+                if let InodeData::Directory(to_entries) = &mut t.data {
+                    to_entries.insert(to_name.to_string(), src);
+                }
+                if src_is_dir {
+                    t.nlink += 1;
+                }
+                t.version = self.next_seq();
+                Ok(())
+            })?;
         }
-        if self.inodes[src.0].data.is_dir() {
-            self.inodes[to_dir.0].nlink += 1;
+        {
+            let mut s = self.inode_mut(src);
+            let seq = self.next_seq();
+            s.parent = to_dir;
+            s.version = seq;
         }
-        self.inodes[src.0].parent = to_dir;
-        self.touch(to_dir);
-        self.touch(src);
         self.bump_namespace_gen();
         Ok(())
     }
 
     /// Creates a hard link to an existing inode.
-    pub fn link(&mut self, dir: Ino, name: &str, target: Ino) -> KResult<()> {
-        if self.inodes[target.0].data.is_dir() {
+    pub fn link(&self, dir: Ino, name: &str, target: Ino) -> KResult<()> {
+        if self.inode(target).data.is_dir() {
             return Err(Errno::EPERM);
         }
-        self.dir_add(dir, name, target)?;
-        self.inodes[target.0].nlink += 1;
+        if name.is_empty() || name.contains('/') {
+            return Err(Errno::EINVAL);
+        }
+        if dir == target {
+            // `target` is a non-directory, so it cannot be the directory.
+            return Err(Errno::ENOTDIR);
+        }
+        // Entry insertion and nlink bump must be atomic, or a concurrent
+        // unlink of the old name could reclaim a still-referenced inode.
+        self.with_pair(dir, target, |d, t| {
+            let entries = match &mut d.data {
+                InodeData::Directory(e) => e,
+                _ => return Err(Errno::ENOTDIR),
+            };
+            if entries.contains_key(name) {
+                return Err(Errno::EEXIST);
+            }
+            entries.insert(name.to_string(), target);
+            t.nlink += 1;
+            d.version = self.next_seq();
+            Ok(())
+        })?;
+        self.bump_namespace_gen();
         Ok(())
     }
 
@@ -780,36 +1118,53 @@ impl Vfs {
     // ------------------------------------------------------------------
 
     /// Reads the full contents of a regular file.
-    pub fn read_all(&self, ino: Ino) -> KResult<&[u8]> {
-        match &self.inode(ino).data {
-            InodeData::Regular(d) => Ok(d),
+    pub fn read_all(&self, ino: Ino) -> KResult<Vec<u8>> {
+        self.with_file(ino, |d| d.to_vec())
+    }
+
+    /// Runs `f` over a regular file's contents without copying them out.
+    /// The inode's shard stays read-locked for the duration of `f`.
+    pub fn with_file<R>(&self, ino: Ino, f: impl FnOnce(&[u8]) -> R) -> KResult<R> {
+        let g = self.inode(ino);
+        match &g.data {
+            InodeData::Regular(d) => Ok(f(d)),
             InodeData::Directory(_) => Err(Errno::EISDIR),
             _ => Err(Errno::EINVAL),
         }
     }
 
     /// Replaces the contents of a regular file.
-    pub fn write_all(&mut self, ino: Ino, data: &[u8]) -> KResult<()> {
-        match &mut self.inodes[ino.0].data {
-            InodeData::Regular(d) => {
-                d.clear();
-                d.extend_from_slice(data);
+    pub fn write_all(&self, ino: Ino, data: &[u8]) -> KResult<()> {
+        {
+            let mut g = self.inode_mut(ino);
+            let seq = self.next_seq();
+            let node = &mut *g;
+            match &mut node.data {
+                InodeData::Regular(d) => {
+                    d.clear();
+                    d.extend_from_slice(data);
+                }
+                InodeData::Directory(_) => return Err(Errno::EISDIR),
+                _ => return Err(Errno::EINVAL),
             }
-            InodeData::Directory(_) => return Err(Errno::EISDIR),
-            _ => return Err(Errno::EINVAL),
+            node.version = seq;
         }
-        self.touch(ino);
         Ok(())
     }
 
     /// Appends to a regular file.
-    pub fn append(&mut self, ino: Ino, data: &[u8]) -> KResult<()> {
-        match &mut self.inodes[ino.0].data {
-            InodeData::Regular(d) => d.extend_from_slice(data),
-            InodeData::Directory(_) => return Err(Errno::EISDIR),
-            _ => return Err(Errno::EINVAL),
+    pub fn append(&self, ino: Ino, data: &[u8]) -> KResult<()> {
+        {
+            let mut g = self.inode_mut(ino);
+            let seq = self.next_seq();
+            let node = &mut *g;
+            match &mut node.data {
+                InodeData::Regular(d) => d.extend_from_slice(data),
+                InodeData::Directory(_) => return Err(Errno::EISDIR),
+                _ => return Err(Errno::EINVAL),
+            }
+            node.version = seq;
         }
-        self.touch(ino);
         Ok(())
     }
 
@@ -820,7 +1175,7 @@ impl Vfs {
     /// Installs a mount over directory `covered`.
     #[allow(clippy::too_many_arguments)]
     pub fn add_mount(
-        &mut self,
+        &self,
         source: &str,
         mountpoint: &str,
         fstype: &str,
@@ -829,15 +1184,17 @@ impl Vfs {
         covered: Ino,
         mounted_by: Uid,
     ) -> KResult<u64> {
+        // Inode checks before the mount lock (inode shard ↔ mount table
+        // lock order is resolve's: mounts are snapshotted, never held
+        // across shard access).
         if !self.inode(covered).data.is_dir() || !self.inode(root).data.is_dir() {
             return Err(Errno::ENOTDIR);
         }
         if root == covered {
             return Err(Errno::EBUSY);
         }
-        let id = self.next_mount_id;
-        self.next_mount_id += 1;
-        self.mounts.push(Mount {
+        let id = self.next_mount_id.fetch_add(1, Ordering::Relaxed);
+        sync::write(&self.mounts).push(Mount {
             id,
             source: source.to_string(),
             mountpoint: mountpoint.to_string(),
@@ -847,15 +1204,15 @@ impl Vfs {
             covered,
             mounted_by,
         });
-        self.change_seq += 1;
+        self.next_seq();
         self.bump_namespace_gen();
         Ok(id)
     }
 
     /// Removes the topmost mount at `mountpoint`, returning it.
-    pub fn remove_mount(&mut self, mountpoint: &str) -> KResult<Mount> {
-        let idx = self
-            .mounts
+    pub fn remove_mount(&self, mountpoint: &str) -> KResult<Mount> {
+        let mut mounts = sync::write(&self.mounts);
+        let idx = mounts
             .iter()
             .rposition(|m| m.mountpoint == mountpoint)
             .ok_or(Errno::EINVAL)?;
@@ -865,35 +1222,37 @@ impl Vfs {
         } else {
             format!("{}/", mountpoint)
         };
-        let has_children = self
-            .mounts
+        let has_children = mounts
             .iter()
             .any(|m| m.mountpoint != mountpoint && m.mountpoint.starts_with(&prefix));
         if has_children {
             return Err(Errno::EBUSY);
         }
-        self.change_seq += 1;
+        let removed = mounts.remove(idx);
+        drop(mounts);
+        self.next_seq();
         self.bump_namespace_gen();
-        Ok(self.mounts.remove(idx))
+        Ok(removed)
     }
 
-    /// The current mount table.
-    pub fn mounts(&self) -> &[Mount] {
-        &self.mounts
+    /// A snapshot of the current mount table.
+    pub fn mounts(&self) -> Vec<Mount> {
+        self.mounts_snapshot()
     }
 
     /// Finds a mount by its mountpoint path.
-    pub fn find_mount(&self, mountpoint: &str) -> Option<&Mount> {
-        self.mounts
+    pub fn find_mount(&self, mountpoint: &str) -> Option<Mount> {
+        sync::read(&self.mounts)
             .iter()
             .rev()
             .find(|m| m.mountpoint == mountpoint)
+            .cloned()
     }
 
     /// Renders the mount table in `/proc/mounts` format.
     pub fn render_proc_mounts(&self) -> String {
         let mut out = String::new();
-        for m in &self.mounts {
+        for m in sync::read(&self.mounts).iter() {
             out.push_str(&format!(
                 "{} {} {} {} 0 0\n",
                 m.source,
@@ -911,22 +1270,25 @@ impl Vfs {
 
     /// Creates every missing directory along `path` (root-owned, 0755) and
     /// returns the final directory inode.
-    pub fn mkdir_p(&mut self, path: &str) -> KResult<Ino> {
+    pub fn mkdir_p(&self, path: &str) -> KResult<Ino> {
         let mut cur = self.root;
         for comp in Vfs::component_iter(path) {
             if comp == ".." {
                 cur = self.inode(cur).parent;
                 continue;
             }
-            let existing = self
-                .inode(cur)
-                .dir_entries()
-                .ok_or(Errno::ENOTDIR)?
-                .get(comp)
-                .copied();
+            let existing = self.dir_lookup(cur, comp)?;
             cur = match existing {
                 Some(i) => self.follow_mounts(i),
-                None => self.mkdir(cur, comp, Mode(0o755), Uid::ROOT, Gid::ROOT)?,
+                None => match self.mkdir(cur, comp, Mode(0o755), Uid::ROOT, Gid::ROOT) {
+                    Ok(i) => i,
+                    Err(Errno::EEXIST) => {
+                        // Raced another mkdir_p; take the winner's inode.
+                        let won = self.dir_lookup(cur, comp)?.ok_or(Errno::ENOENT)?;
+                        self.follow_mounts(won)
+                    }
+                    Err(e) => return Err(e),
+                },
             };
         }
         Ok(cur)
@@ -935,7 +1297,7 @@ impl Vfs {
     /// Creates (or truncates) a file at an absolute path with explicit
     /// ownership and mode, creating parent directories as needed.
     pub fn install_file(
-        &mut self,
+        &self,
         path: &str,
         contents: &[u8],
         mode: Mode,
@@ -952,16 +1314,19 @@ impl Vfs {
         }
         let dir = self.mkdir_p(dir_path)?;
         let ino = self.create_file(dir, name, mode, uid, gid, false)?;
-        self.inodes[ino.0].mode = mode;
-        self.inodes[ino.0].uid = uid;
-        self.inodes[ino.0].gid = gid;
+        {
+            let mut g = self.inode_mut(ino);
+            g.mode = mode;
+            g.uid = uid;
+            g.gid = gid;
+        }
         self.write_all(ino, contents)?;
         Ok(ino)
     }
 
     /// Installs a dynamic kernel-backed node at an absolute path.
     pub fn install_hook(
-        &mut self,
+        &self,
         path: &str,
         hook: ProcHook,
         mode: Mode,
@@ -975,8 +1340,13 @@ impl Vfs {
         };
         let dir = self.mkdir_p(dir_path)?;
         let ino = self.alloc(dir, mode, uid, gid, InodeData::Hook(hook));
-        self.dir_add(dir, name, ino)?;
-        Ok(ino)
+        match self.dir_add(dir, name, ino) {
+            Ok(()) => Ok(ino),
+            Err(e) => {
+                self.dealloc_unlinked(ino);
+                Err(e)
+            }
+        }
     }
 
     /// DAC permission check: does `cred`-like identity (uid, groups) get
@@ -1010,7 +1380,7 @@ mod tests {
     use super::*;
 
     fn fixture() -> Vfs {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         v.mkdir_p("/etc").unwrap();
         v.install_file(
             "/etc/fstab",
@@ -1067,7 +1437,7 @@ mod tests {
 
     #[test]
     fn symlink_follow_and_nofollow() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         v.symlink(etc, "fstab.link", "/etc/fstab", Uid::ROOT, Gid::ROOT)
             .unwrap();
@@ -1079,7 +1449,7 @@ mod tests {
 
     #[test]
     fn symlink_loop_is_eloop() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         v.symlink(etc, "a", "/etc/b", Uid::ROOT, Gid::ROOT).unwrap();
         v.symlink(etc, "b", "/etc/a", Uid::ROOT, Gid::ROOT).unwrap();
@@ -1088,7 +1458,7 @@ mod tests {
 
     #[test]
     fn relative_symlink() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         v.symlink(etc, "rel", "fstab", Uid::ROOT, Gid::ROOT)
             .unwrap();
@@ -1098,7 +1468,7 @@ mod tests {
 
     #[test]
     fn mount_and_traverse() {
-        let mut v = fixture();
+        let v = fixture();
         let mnt = v.mkdir_p("/mnt/cdrom").unwrap();
         let media_root = v.alloc(
             Ino(0),
@@ -1135,7 +1505,7 @@ mod tests {
 
     #[test]
     fn umount_restores_view() {
-        let mut v = fixture();
+        let v = fixture();
         let mnt = v.mkdir_p("/mnt/usb").unwrap();
         v.create_file(mnt, "under.txt", Mode(0o644), Uid::ROOT, Gid::ROOT, true)
             .unwrap();
@@ -1166,7 +1536,7 @@ mod tests {
 
     #[test]
     fn umount_with_child_mount_is_busy() {
-        let mut v = fixture();
+        let v = fixture();
         let a = v.mkdir_p("/a").unwrap();
         let media = v.alloc(
             Ino(0),
@@ -1202,7 +1572,7 @@ mod tests {
 
     #[test]
     fn stacked_mounts_lifo() {
-        let mut v = fixture();
+        let v = fixture();
         let mnt = v.mkdir_p("/mnt/x").unwrap();
         let m1 = v.alloc(
             Ino(0),
@@ -1258,7 +1628,7 @@ mod tests {
 
     #[test]
     fn unlink_and_rmdir() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         v.unlink(etc, "fstab").unwrap();
         assert_eq!(
@@ -1273,13 +1643,13 @@ mod tests {
 
     #[test]
     fn unlink_directory_is_eisdir() {
-        let mut v = fixture();
+        let v = fixture();
         assert_eq!(v.unlink(v.root(), "etc").unwrap_err(), Errno::EISDIR);
     }
 
     #[test]
     fn hard_link_shares_inode() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
         v.link(etc, "fstab2", f).unwrap();
@@ -1292,7 +1662,7 @@ mod tests {
 
     #[test]
     fn rename_moves_and_overwrites() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         let tmp = v.mkdir_p("/tmp").unwrap();
         let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
@@ -1317,7 +1687,7 @@ mod tests {
 
     #[test]
     fn rename_into_own_subtree_is_einval() {
-        let mut v = fixture();
+        let v = fixture();
         let a = v.mkdir_p("/a").unwrap();
         let b = v.mkdir_p("/a/b").unwrap();
         let c = v.mkdir_p("/a/b/c").unwrap();
@@ -1340,7 +1710,7 @@ mod tests {
 
     #[test]
     fn rename_same_inode_is_noop() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
         // Rename onto itself (same entry).
@@ -1357,7 +1727,7 @@ mod tests {
 
     #[test]
     fn rename_overwrite_open_target_defers_reclaim() {
-        let mut v = fixture();
+        let v = fixture();
         let tmp = v.mkdir_p("/tmp").unwrap();
         let old = v
             .create_file(tmp, "spool", Mode(0o600), Uid::ROOT, Gid::ROOT, true)
@@ -1390,7 +1760,7 @@ mod tests {
 
     #[test]
     fn rename_errno_paths() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
         let home = v.resolve(v.root(), "/home").unwrap().ino;
@@ -1410,7 +1780,7 @@ mod tests {
 
     #[test]
     fn dir_remove_refuses_nonempty_directory() {
-        let mut v = fixture();
+        let v = fixture();
         let home = v.resolve(v.root(), "/home").unwrap().ino;
         let alice = v.resolve(v.root(), "/home/alice").unwrap().ino;
         // /home/alice is populated via /home — direct dir_remove must
@@ -1434,7 +1804,7 @@ mod tests {
 
     #[test]
     fn rename_directory_updates_nlink() {
-        let mut v = fixture();
+        let v = fixture();
         let home = v.resolve(v.root(), "/home").unwrap().ino;
         let tmp = v.mkdir_p("/tmp").unwrap();
         let home_links = v.inode(home).nlink;
@@ -1447,13 +1817,13 @@ mod tests {
 
     #[test]
     fn touch_bumps_version_and_seq() {
-        let mut v = fixture();
+        let v = fixture();
         let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
         let v0 = v.inode(f).version;
-        let s0 = v.change_seq;
+        let s0 = v.change_seq();
         v.append(f, b"more\n").unwrap();
         assert!(v.inode(f).version > v0);
-        assert!(v.change_seq > s0);
+        assert!(v.change_seq() > s0);
     }
 
     #[test]
@@ -1461,12 +1831,17 @@ mod tests {
         let v = fixture();
         let f = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
         let inode = v.inode(f); // 0644 root:root
-        assert!(Vfs::dac_allows(inode, Uid::ROOT, |_| false, Access::WRITE));
-        assert!(Vfs::dac_allows(inode, Uid(1000), |_| false, Access::READ));
-        assert!(!Vfs::dac_allows(inode, Uid(1000), |_| false, Access::WRITE));
+        assert!(Vfs::dac_allows(&inode, Uid::ROOT, |_| false, Access::WRITE));
+        assert!(Vfs::dac_allows(&inode, Uid(1000), |_| false, Access::READ));
+        assert!(!Vfs::dac_allows(
+            &inode,
+            Uid(1000),
+            |_| false,
+            Access::WRITE
+        ));
         // Group bits picked when the caller is in the owning group.
         assert!(!Vfs::dac_allows(
-            inode,
+            &inode,
             Uid(1000),
             |g| g == Gid::ROOT,
             Access::WRITE
@@ -1495,7 +1870,7 @@ mod tests {
 
     #[test]
     fn dcache_distinguishes_follow_modes() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         v.symlink(etc, "lnk", "/etc/fstab", Uid::ROOT, Gid::ROOT)
             .unwrap();
@@ -1512,7 +1887,7 @@ mod tests {
 
     #[test]
     fn namespace_mutations_bump_generation() {
-        let mut v = fixture();
+        let v = fixture();
         let g0 = v.namespace_generation();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         v.create_file(etc, "new", Mode(0o644), Uid::ROOT, Gid::ROOT, true)
@@ -1530,7 +1905,7 @@ mod tests {
 
     #[test]
     fn dcache_stale_hit_impossible_after_rename() {
-        let mut v = fixture();
+        let v = fixture();
         let etc = v.resolve(v.root(), "/etc").unwrap().ino;
         let old = v.resolve(v.root(), "/etc/fstab").unwrap().ino;
         // Warm the cache, then swap a different file into the same name.
@@ -1555,7 +1930,7 @@ mod tests {
 
     #[test]
     fn proc_mounts_rendering() {
-        let mut v = fixture();
+        let v = fixture();
         let mnt = v.mkdir_p("/mnt/c").unwrap();
         let m = v.alloc(
             Ino(0),
@@ -1576,5 +1951,107 @@ mod tests {
         .unwrap();
         let s = v.render_proc_mounts();
         assert_eq!(s, "/dev/cdrom /mnt/c iso9660 ro,nosuid 0 0\n");
+    }
+
+    // ------------------------------------------------------------------
+    // Concurrency
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn concurrent_creates_in_disjoint_dirs() {
+        use std::sync::Arc;
+        let v = Arc::new(Vfs::new());
+        let mut dirs = Vec::new();
+        for w in 0..8 {
+            dirs.push(v.mkdir_p(&format!("/w{}", w)).unwrap());
+        }
+        let handles: Vec<_> = dirs
+            .into_iter()
+            .enumerate()
+            .map(|(w, dir)| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let name = format!("f{}", i);
+                        let ino = v
+                            .create_file(
+                                dir,
+                                &name,
+                                Mode(0o644),
+                                Uid(1000 + w as u32),
+                                Gid::ROOT,
+                                true,
+                            )
+                            .unwrap();
+                        v.write_all(ino, format!("{}:{}", w, i).as_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for w in 0..8 {
+            for i in 0..50 {
+                let r = v.resolve(v.root(), &format!("/w{}/f{}", w, i)).unwrap();
+                assert_eq!(
+                    v.read_all(r.ino).unwrap(),
+                    format!("{}:{}", w, i).as_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_same_name_create_single_winner() {
+        use std::sync::Arc;
+        let v = Arc::new(Vfs::new());
+        let dir = v.mkdir_p("/race").unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || {
+                    v.create_file(dir, "winner", Mode(0o644), Uid::ROOT, Gid::ROOT, false)
+                })
+            })
+            .collect();
+        let inos: Vec<Ino> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        // Every non-exclusive creator must converge on the same inode.
+        assert!(inos.windows(2).all(|w| w[0] == w[1]));
+        // Losers' speculative allocations were returned to the free list:
+        // nothing outside the entry + reclaimed slots was leaked.
+        let live = v.resolve(v.root(), "/race/winner").unwrap().ino;
+        assert_eq!(live, inos[0]);
+    }
+
+    #[test]
+    fn concurrent_link_unlink_keeps_nlink_consistent() {
+        use std::sync::Arc;
+        let v = Arc::new(Vfs::new());
+        let dir = v.mkdir_p("/links").unwrap();
+        let f = v
+            .create_file(dir, "base", Mode(0o644), Uid::ROOT, Gid::ROOT, true)
+            .unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let name = format!("l{}_{}", w, i);
+                        v.link(dir, &name, f).unwrap();
+                        v.unlink(dir, &name).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All temporary links came and went; only "base" remains.
+        assert_eq!(v.inode(f).nlink, 1);
+        assert_eq!(v.resolve(v.root(), "/links/base").unwrap().ino, f);
     }
 }

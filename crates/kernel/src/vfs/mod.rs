@@ -3,5 +3,5 @@
 mod fs;
 mod inode;
 
-pub use fs::{Mount, MountOptions, Resolved, Vfs};
+pub use fs::{InodeMut, InodeRef, Mount, MountOptions, Resolved, Vfs};
 pub use inode::{Access, Ino, Inode, InodeData, Mode, ProcHook};

@@ -19,7 +19,7 @@ use sim_kernel::trace::TraceRecorder;
 use sim_kernel::vfs::Mode;
 
 fn boot() -> (Kernel, Pid, Pid) {
-    let mut k = Kernel::new(SimNet::new());
+    let k = Kernel::new(SimNet::new());
     let root = k.spawn_init();
     k.vfs.mkdir_p("/tmp").unwrap();
     k.vfs.mkdir_p("/mnt/cdrom").unwrap();
@@ -55,8 +55,8 @@ macro_rules! same_val {
 /// kernels end with identical audit streams.
 #[test]
 fn dispatch_is_equivalent_to_direct_for_every_variant() {
-    let (mut kd, rootd, userd) = boot();
-    let (mut kv, rootv, userv) = boot();
+    let (kd, rootd, userd) = boot();
+    let (kv, rootv, userv) = boot();
     assert_eq!(rootd, rootv);
     assert_eq!(userd, userv);
     let (root, user) = (rootd, userd);
@@ -487,8 +487,8 @@ fn dispatch_is_equivalent_to_direct_for_every_variant() {
     );
 
     // The two kernels must have produced identical audit streams.
-    let direct: Vec<String> = kd.audit.iter().map(|e| e.render()).collect();
-    let via: Vec<String> = kv.audit.iter().map(|e| e.render()).collect();
+    let direct: Vec<String> = kd.audit.events().iter().map(|e| e.render()).collect();
+    let via: Vec<String> = kv.audit.events().iter().map(|e| e.render()).collect();
     assert_eq!(
         direct, via,
         "audit streams diverge between direct and dispatched runs"
@@ -501,7 +501,7 @@ fn dispatch_is_equivalent_to_direct_for_every_variant() {
 #[test]
 fn fault_injection_is_deterministic_under_a_fixed_seed() {
     let run = |seed: u64| -> Vec<bool> {
-        let (mut k, _root, user) = boot();
+        let (k, _root, user) = boot();
         let inj = FaultInjector::new(FaultConfig::storm(seed, 10));
         let stats = inj.stats();
         k.push_interceptor(Box::new(inj));
@@ -516,7 +516,7 @@ fn fault_injection_is_deterministic_under_a_fixed_seed() {
                 .is_err()
             })
             .collect();
-        let s = stats.borrow();
+        let s = stats.lock().unwrap();
         assert_eq!(s.seen, 400);
         assert!(s.injected > 0, "a 1-in-10 storm over 400 calls must fire");
         assert_eq!(s.injected, pattern.iter().filter(|&&b| b).count() as u64);
@@ -533,7 +533,7 @@ fn fault_injection_is_deterministic_under_a_fixed_seed() {
 /// the interceptor, and never touches the credential getters.
 #[test]
 fn injected_faults_are_audited_and_getters_are_exempt() {
-    let (mut k, _root, user) = boot();
+    let (k, _root, user) = boot();
     // rate 1 = inject on every eligible call.
     k.push_interceptor(Box::new(FaultInjector::new(FaultConfig::storm(7, 1))));
     let ret = k.dispatch(
@@ -600,7 +600,7 @@ fn one_shot_fails_exactly_the_kth_mount() {
 /// which renders them as `syscall_class_*` lines.
 #[test]
 fn meter_renders_per_class_metrics_lines() {
-    let (mut k, root, user) = boot();
+    let (k, root, user) = boot();
     k.push_interceptor(Box::new(SyscallMeter::new()));
     let _ = k.dispatch(
         user,
@@ -624,7 +624,7 @@ fn meter_renders_per_class_metrics_lines() {
             path: "/nope".into(),
         },
     );
-    let rendered = k.metrics.render();
+    let rendered = k.metrics.snapshot().render();
     assert!(
         rendered.contains("syscall_class_fs calls=2 errors=1"),
         "fs class line missing or wrong: {}",
@@ -686,8 +686,8 @@ fn recorded_trace_replays_byte_identically() {
     let trace1 = rec.trace();
     k1.push_interceptor(Box::new(rec));
     drive(&mut k1, u1);
-    let rendered = trace1.borrow().render();
-    assert!(!trace1.borrow().is_empty());
+    let rendered = trace1.lock().unwrap().render();
+    assert!(!trace1.lock().unwrap().is_empty());
 
     // Re-run from scratch: identical bytes.
     let (mut k2, _r2, u2) = boot();
@@ -695,9 +695,9 @@ fn recorded_trace_replays_byte_identically() {
     let trace2 = rec2.trace();
     k2.push_interceptor(Box::new(rec2));
     drive(&mut k2, u2);
-    assert_eq!(rendered, trace2.borrow().render());
+    assert_eq!(rendered, trace2.lock().unwrap().render());
 
     // And the serialized form round-trips.
     let parsed = sim_kernel::trace::Trace::parse(&rendered).unwrap();
-    assert_eq!(parsed.first_divergence(&trace2.borrow()), None);
+    assert_eq!(parsed.first_divergence(&trace2.lock().unwrap()), None);
 }

@@ -12,7 +12,7 @@ use sim_kernel::vfs::Mode;
 use sim_kernel::Pid;
 
 fn boot() -> (Kernel, Pid) {
-    let mut k = Kernel::new(SimNet::new());
+    let k = Kernel::new(SimNet::new());
     k.install_standard_devices().unwrap();
     k.register_lsm(Box::new(NullLsm)).unwrap();
     let root = k.spawn_init();
@@ -27,7 +27,7 @@ fn boot() -> (Kernel, Pid) {
 
 #[test]
 fn repeated_reads_hit_the_dcache() {
-    let (mut k, root) = boot();
+    let (k, root) = boot();
     k.read_to_string(root, "/data/a.txt").unwrap();
     let before = k.vfs.dcache_stats();
     k.read_to_string(root, "/data/a.txt").unwrap();
@@ -37,7 +37,7 @@ fn repeated_reads_hit_the_dcache() {
 
 #[test]
 fn rename_bumps_generation_and_redirects() {
-    let (mut k, root) = boot();
+    let (k, root) = boot();
     assert_eq!(k.read_to_string(root, "/data/a.txt").unwrap(), "alpha");
     let g0 = k.vfs.namespace_generation();
     // Atomic replace: b.txt takes over the name a.txt.
@@ -49,7 +49,7 @@ fn rename_bumps_generation_and_redirects() {
 
 #[test]
 fn unlink_bumps_generation_and_uncaches() {
-    let (mut k, root) = boot();
+    let (k, root) = boot();
     k.read_to_string(root, "/data/a.txt").unwrap();
     let g0 = k.vfs.namespace_generation();
     k.sys_unlink(root, "/data/a.txt").unwrap();
@@ -63,7 +63,7 @@ fn unlink_bumps_generation_and_uncaches() {
 
 #[test]
 fn mount_and_umount_bump_generation() {
-    let (mut k, root) = boot();
+    let (k, root) = boot();
     k.vfs.mkdir_p("/mnt/usb").unwrap();
     k.vfs
         .install_file(
@@ -99,7 +99,7 @@ fn mount_and_umount_bump_generation() {
 
 #[test]
 fn chmod_bumps_generation() {
-    let (mut k, root) = boot();
+    let (k, root) = boot();
     k.read_to_string(root, "/data/a.txt").unwrap();
     let g0 = k.vfs.namespace_generation();
     k.sys_chmod(root, "/data/a.txt", Mode(0o600)).unwrap();
@@ -108,7 +108,7 @@ fn chmod_bumps_generation() {
 
 #[test]
 fn invalidation_counter_advances_on_flush() {
-    let (mut k, root) = boot();
+    let (k, root) = boot();
     k.read_to_string(root, "/data/a.txt").unwrap();
     k.sys_unlink(root, "/data/b.txt").unwrap();
     let before = k.vfs.dcache_stats().invalidations;
@@ -119,7 +119,7 @@ fn invalidation_counter_advances_on_flush() {
 
 #[test]
 fn proc_metrics_reports_dcache_counters() {
-    let (mut k, root) = boot();
+    let (k, root) = boot();
     k.read_to_string(root, "/data/a.txt").unwrap();
     k.read_to_string(root, "/data/a.txt").unwrap();
     let text = k.read_to_string(root, "/proc/null/metrics").unwrap();

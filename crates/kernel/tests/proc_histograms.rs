@@ -13,7 +13,7 @@ use sim_kernel::trace::span;
 use sim_kernel::vfs::Mode;
 
 fn boot() -> (Kernel, Pid, Pid) {
-    let mut k = Kernel::new(SimNet::new());
+    let k = Kernel::new(SimNet::new());
     let root = k.spawn_init();
     k.vfs.mkdir_p("/tmp").unwrap();
     let t = k.vfs.resolve(k.vfs.root(), "/tmp").unwrap().ino;

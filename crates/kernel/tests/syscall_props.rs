@@ -10,7 +10,7 @@ use sim_kernel::task::Pid;
 use sim_kernel::vfs::Mode;
 
 fn boot() -> (Kernel, Pid, Pid) {
-    let mut k = Kernel::new(SimNet::new());
+    let k = Kernel::new(SimNet::new());
     let root = k.spawn_init();
     k.vfs.mkdir_p("/tmp").unwrap();
     let t = k.vfs.resolve(k.vfs.root(), "/tmp").unwrap().ino;
@@ -54,7 +54,7 @@ proptest! {
     /// user.
     #[test]
     fn random_syscall_sequences_are_safe(ops in prop::collection::vec(op_strategy(), 0..40)) {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         let mut forks: Vec<Pid> = Vec::new();
         for op in ops {
             match op {
@@ -96,7 +96,7 @@ proptest! {
     /// DAC truth table: the owner/group/other bits decide exactly.
     #[test]
     fn dac_truth_table(bits in 0u32..0o777, as_owner in any::<bool>()) {
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         let owner = if as_owner { Uid(1000) } else { Uid::ROOT };
         k.vfs.install_file("/tmp/probe", b"x", Mode(bits), owner, Gid(4242)).unwrap();
         let _ = root;
@@ -111,7 +111,7 @@ proptest! {
     /// chmod by the owner always round-trips the mode bits.
     #[test]
     fn chmod_roundtrip(bits in 0u32..0o7777) {
-        let (mut k, _root, user) = boot();
+        let (k, _root, user) = boot();
         k.write_file(user, "/tmp/own", b"", Mode(0o600)).unwrap();
         k.sys_chmod(user, "/tmp/own", Mode(bits)).unwrap();
         prop_assert_eq!(k.sys_stat(user, "/tmp/own").unwrap().mode, Mode(bits));
@@ -120,7 +120,7 @@ proptest! {
     /// fork/exit/wait always balances the task table.
     #[test]
     fn task_table_balances(n in 0usize..10) {
-        let (mut k, _root, user) = boot();
+        let (k, _root, user) = boot();
         let before = k.task_count();
         let kids: Vec<Pid> = (0..n).filter_map(|_| k.sys_fork(user).ok()).collect();
         prop_assert_eq!(k.task_count(), before + kids.len());
@@ -135,7 +135,7 @@ proptest! {
     #[test]
     fn ephemeral_ports_unique(n in 1usize..30) {
         use sim_kernel::net::{Domain, Ipv4, SockType};
-        let (mut k, _root, user) = boot();
+        let (k, _root, user) = boot();
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..n {
             let fd = k.sys_socket(user, Domain::Inet, SockType::Dgram, 0).unwrap();
@@ -145,7 +145,7 @@ proptest! {
                 sim_kernel::task::FdObject::Socket(s) => s,
                 _ => unreachable!(),
             };
-            let port = k.net.get(sid).unwrap().bound.unwrap().1;
+            let port = k.net.read().get(sid).unwrap().bound.unwrap().1;
             prop_assert!(port >= 32768);
             prop_assert!(seen.insert(port), "duplicate ephemeral port");
         }
@@ -158,8 +158,8 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 0..40),
     ) {
         use sim_kernel::syscall::Syscall;
-        let (mut kd, _rootd, user) = boot();
-        let (mut kv, _rootv, userv) = boot();
+        let (kd, _rootd, user) = boot();
+        let (kv, _rootv, userv) = boot();
         prop_assert_eq!(user, userv);
         for op in ops {
             let (d, v) = match op {
@@ -233,8 +233,8 @@ proptest! {
             };
             prop_assert_eq!(d, v);
         }
-        let direct: Vec<String> = kd.audit.iter().map(|e| e.render()).collect();
-        let via: Vec<String> = kv.audit.iter().map(|e| e.render()).collect();
+        let direct: Vec<String> = kd.audit.events().iter().map(|e| e.render()).collect();
+        let via: Vec<String> = kv.audit.events().iter().map(|e| e.render()).collect();
         prop_assert_eq!(direct, via);
     }
 
@@ -247,7 +247,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         use sim_kernel::syscall::{FaultConfig, FaultInjector, Syscall};
-        let (mut k, root, user) = boot();
+        let (k, root, user) = boot();
         k.push_interceptor(Box::new(FaultInjector::new(FaultConfig::storm(seed, 3))));
         for op in ops {
             match op {
@@ -302,7 +302,7 @@ proptest! {
 
 #[test]
 fn open_unlinked_file_survives_until_close() {
-    let (mut k, _root, user) = boot();
+    let (k, _root, user) = boot();
     k.write_file(user, "/tmp/ghost", b"still here", Mode(0o600))
         .unwrap();
     let fd = k
@@ -320,7 +320,7 @@ fn open_unlinked_file_survives_until_close() {
 
 #[test]
 fn reclaimed_slot_reuse_does_not_leak_content() {
-    let (mut k, _root, user) = boot();
+    let (k, _root, user) = boot();
     k.write_file(user, "/tmp/secret", b"TOPSECRET", Mode(0o600))
         .unwrap();
     k.sys_unlink(user, "/tmp/secret").unwrap();
@@ -332,7 +332,7 @@ fn reclaimed_slot_reuse_does_not_leak_content() {
 
 #[test]
 fn fork_shares_open_description_refcount() {
-    let (mut k, _root, user) = boot();
+    let (k, _root, user) = boot();
     k.write_file(user, "/tmp/shared", b"x", Mode(0o600))
         .unwrap();
     let fd = k

@@ -47,7 +47,7 @@ fn dir_pool(v: &Vfs) -> Vec<Ino> {
 }
 
 fn seed_tree() -> Vfs {
-    let mut v = Vfs::new();
+    let v = Vfs::new();
     v.mkdir_p("/d0/d1").unwrap();
     v.mkdir_p("/d1/d2").unwrap();
     v.mkdir_p("/d2").unwrap();
@@ -62,11 +62,14 @@ fn assert_live_inodes_root_reachable(v: &Vfs) {
     reachable.insert(v.root());
     let mut queue = vec![v.root()];
     while let Some(cur) = queue.pop() {
-        let entries = match v.inode(cur).dir_entries() {
-            Some(e) => e,
-            None => continue,
+        let entries: Vec<Ino> = {
+            let node = v.inode(cur);
+            match node.dir_entries() {
+                Some(e) => e.values().copied().collect(),
+                None => continue,
+            }
         };
-        for &child in entries.values() {
+        for child in entries {
             if !reachable.insert(child) {
                 // Hard links give files multiple parents; a directory
                 // reached twice means a cycle or double-parent — corrupt.
@@ -110,7 +113,7 @@ proptest! {
     fn namespace_stays_rooted_under_random_mutations(
         ops in prop::collection::vec(ns_op(), 0..60),
     ) {
-        let mut v = seed_tree();
+        let v = seed_tree();
         for op in ops {
             let pool = dir_pool(&v);
             let dir_at = |i: u8| pool[i as usize % pool.len()];
@@ -158,7 +161,7 @@ proptest! {
     /// the tree must stay fully navigable.
     #[test]
     fn ancestor_moves_always_rejected(depth in 1usize..8) {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         let mut path = String::new();
         for i in 0..depth {
             path.push_str(&format!("/s{}", i));
@@ -183,7 +186,7 @@ proptest! {
 /// `/a` into an unreachable self-cycle and `path_of` reported `<cycle>`.
 #[test]
 fn rename_cycle_regression_shape() {
-    let mut v = Vfs::new();
+    let v = Vfs::new();
     v.mkdir_p("/a/b/c").unwrap();
     let c = v.resolve(v.root(), "/a/b/c").unwrap().ino;
     assert_eq!(
@@ -199,7 +202,7 @@ fn rename_cycle_regression_shape() {
 /// non-directory parent.
 #[test]
 fn dir_remove_on_file_parent_is_enotdir() {
-    let mut v = Vfs::new();
+    let v = Vfs::new();
     v.install_file("/f", b"x", Mode(0o644), Uid::ROOT, Gid::ROOT)
         .unwrap();
     let f = v.resolve(v.root(), "/f").unwrap().ino;

@@ -126,7 +126,7 @@ mod tests {
     use sim_kernel::vfs::Mode;
 
     fn vfs_with_dbs() -> Vfs {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         v.install_file(
             "/etc/passwd",
             b"root:x:0:0:r:/root:/bin/sh\nalice:x:1000:1000:A:/h:/bin/sh\n",
@@ -203,7 +203,7 @@ mod tests {
 
     #[test]
     fn fragments_take_precedence() {
-        let mut v = vfs_with_dbs();
+        let v = vfs_with_dbs();
         // A newer password in the Protego fragment.
         let frag = ShadowEntry::with_password("alice", "newpw");
         v.install_file(
@@ -221,7 +221,7 @@ mod tests {
 
     #[test]
     fn locked_account_rejected() {
-        let mut v = vfs_with_dbs();
+        let v = vfs_with_dbs();
         v.install_file(
             "/etc/shadows/alice",
             b"alice:!:19000:0:99999:7:::\n",

@@ -285,7 +285,7 @@ pub fn eject_main(p: &mut Proc<'_>) -> i32 {
 }
 
 /// Ensures `/etc/mtab` exists with sane permissions (image builder helper).
-pub fn init_mtab(kernel: &mut sim_kernel::Kernel) -> sim_kernel::KResult<()> {
+pub fn init_mtab(kernel: &sim_kernel::Kernel) -> sim_kernel::KResult<()> {
     kernel
         .vfs
         .install_file(

@@ -140,7 +140,7 @@ fn verify_password(p: &mut Proc<'_>, name: &str) -> bool {
 /// Strips dangerous environment variables, keeping only a safe base plus
 /// the explicitly kept names — legacy sudo's userspace sanitization.
 fn sanitize_env(p: &mut Proc<'_>, keep: &[String]) {
-    if let Ok(t) = p.sys.kernel.task_mut(p.pid) {
+    if let Ok(mut t) = p.sys.kernel.task_mut(p.pid) {
         t.env
             .retain(|(k, _)| k == "PATH" || k == "TERM" || keep.iter().any(|x| x == k));
     }
@@ -244,7 +244,7 @@ pub fn sudo_main(p: &mut Proc<'_>) -> i32 {
                 .map(|(n, _)| n.clone())
                 .unwrap_or_default();
             let ticket = format!("/var/lib/sudo/{}", name);
-            let now = p.sys.kernel.clock;
+            let now = p.sys.kernel.clock();
             let fresh = p
                 .read_to_string(&ticket)
                 .ok()
@@ -445,19 +445,23 @@ pub fn lpr_main(p: &mut Proc<'_>) -> i32 {
 /// `id` — prints real/effective ids and groups.
 pub fn id_main(p: &mut Proc<'_>) -> i32 {
     p.cov("start");
-    let t = match p.sys.kernel.task(p.pid) {
-        Ok(t) => t,
-        Err(e) => return e.as_errno_i32(),
+    // Copy the line out before printing: the task guard must not be held
+    // across p.println, which borrows the process (and kernel) mutably.
+    let line = {
+        let t = match p.sys.kernel.task(p.pid) {
+            Ok(t) => t,
+            Err(e) => return e.as_errno_i32(),
+        };
+        let groups: Vec<String> = t.cred.groups.iter().map(|g| g.0.to_string()).collect();
+        format!(
+            "uid={} euid={} gid={} egid={} groups={}",
+            t.cred.ruid.0,
+            t.cred.euid.0,
+            t.cred.rgid.0,
+            t.cred.egid.0,
+            groups.join(",")
+        )
     };
-    let groups: Vec<String> = t.cred.groups.iter().map(|g| g.0.to_string()).collect();
-    let line = format!(
-        "uid={} euid={} gid={} egid={} groups={}",
-        t.cred.ruid.0,
-        t.cred.euid.0,
-        t.cred.rgid.0,
-        t.cred.egid.0,
-        groups.join(",")
-    );
     p.println(&line);
     0
 }

@@ -161,11 +161,12 @@ pub fn boot(mode: SystemMode) -> System {
     build_tree(&mut sys);
     build_accounts(&mut sys);
     install_binaries(&mut sys);
-    crate::bins::mount::init_mtab(&mut sys.kernel).expect("mtab");
+    crate::bins::mount::init_mtab(&sys.kernel).expect("mtab");
 
     // Boot-time network configuration (root's job on both systems).
     sys.kernel
         .routes
+        .write()
         .add(Route {
             dest: Ipv4::ANY,
             prefix: 0,
@@ -197,15 +198,15 @@ pub fn boot(mode: SystemMode) -> System {
         // The monitoring daemon mirrors every legacy config file and
         // subscribes to the kernel's structured audit stream.
         let mut daemon = MonitorDaemon::new(init);
-        daemon.sync_all(&mut sys.kernel).expect("initial sync");
-        daemon.subscribe(&mut sys.kernel);
+        daemon.sync_all(&sys.kernel).expect("initial sync");
+        daemon.subscribe(&sys.kernel);
         sys.monitord = Some(daemon);
     }
     sys
 }
 
 fn build_tree(sys: &mut System) {
-    let v = &mut sys.kernel.vfs;
+    let v = &sys.kernel.vfs;
     for d in [
         "/bin",
         "/sbin",
@@ -334,7 +335,7 @@ fn build_tree(sys: &mut System) {
 
 fn build_accounts(sys: &mut System) {
     let mode = sys.mode;
-    let v = &mut sys.kernel.vfs;
+    let v = &sys.kernel.vfs;
 
     let mut passwd: Vec<PasswdEntry> = Vec::new();
     let mut shadow: Vec<ShadowEntry> = Vec::new();
@@ -627,6 +628,7 @@ mod tests {
         let names: Vec<_> = sys
             .kernel
             .netfilter
+            .read()
             .rules()
             .iter()
             .map(|r| r.name.clone())
@@ -638,7 +640,7 @@ mod tests {
     #[test]
     fn legacy_netfilter_is_empty() {
         let sys = boot(SystemMode::Legacy);
-        assert!(sys.kernel.netfilter.rules().is_empty());
+        assert!(sys.kernel.netfilter.read().rules().is_empty());
     }
 
     #[test]

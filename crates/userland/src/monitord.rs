@@ -22,12 +22,12 @@ use protego_core::policy::{self, GroupRule, SudoRule};
 use protego_core::sudoers::{parse_sudoers, MapResolver};
 use sim_kernel::error::KResult;
 use sim_kernel::kernel::Kernel;
+use sim_kernel::sync::lock;
 use sim_kernel::task::Pid;
 use sim_kernel::trace::{AuditEvent, AuditSink};
 use sim_kernel::vfs::Mode;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// How many rendered denial lines the daemon's feed retains.
 const FEED_CAPACITY: usize = 256;
@@ -46,11 +46,11 @@ pub struct AuditFeed {
 /// The audit-sink handle the daemon registers with the kernel. Clones
 /// share the feed, so the daemon keeps reading what the kernel writes.
 #[derive(Debug, Clone)]
-pub struct MonitorSink(Rc<RefCell<AuditFeed>>);
+pub struct MonitorSink(Arc<Mutex<AuditFeed>>);
 
 impl AuditSink for MonitorSink {
     fn on_event(&mut self, ev: &AuditEvent) {
-        let mut feed = self.0.borrow_mut();
+        let mut feed = lock(&self.0);
         feed.events_seen += 1;
         if ev.is_denial() {
             feed.denials_seen += 1;
@@ -73,7 +73,7 @@ pub struct MonitorDaemon {
     /// Parse problems encountered (logged, not fatal — the previous
     /// kernel policy stays in force, as the paper's daemon does).
     pub errors: Vec<String>,
-    feed: Rc<RefCell<AuditFeed>>,
+    feed: Arc<Mutex<AuditFeed>>,
 }
 
 impl MonitorDaemon {
@@ -84,34 +84,34 @@ impl MonitorDaemon {
             seen: BTreeMap::new(),
             syncs: 0,
             errors: Vec::new(),
-            feed: Rc::new(RefCell::new(AuditFeed::default())),
+            feed: Arc::new(Mutex::new(AuditFeed::default())),
         }
     }
 
     /// Subscribes the daemon to the kernel's structured audit stream; the
     /// kernel pushes every event into the shared feed from then on.
-    pub fn subscribe(&self, k: &mut Kernel) {
-        k.subscribe_sink(Box::new(MonitorSink(Rc::clone(&self.feed))));
+    pub fn subscribe(&self, k: &Kernel) {
+        k.subscribe_sink(Box::new(MonitorSink(Arc::clone(&self.feed))));
     }
 
     /// Total audit events observed through the subscription.
     pub fn audit_events_seen(&self) -> u64 {
-        self.feed.borrow().events_seen
+        lock(&self.feed).events_seen
     }
 
     /// Denial events observed through the subscription.
     pub fn audit_denials_seen(&self) -> u64 {
-        self.feed.borrow().denials_seen
+        lock(&self.feed).denials_seen
     }
 
     /// Rendered lines of the most recent denials (bounded buffer).
     pub fn recent_denials(&self) -> Vec<String> {
-        self.feed.borrow().recent_denials.clone()
+        lock(&self.feed).recent_denials.clone()
     }
 
     /// The daemon's typed syscall context — all of its file IO goes
     /// through dispatch, like any other userland component.
-    fn os<'k>(&self, k: &'k mut Kernel) -> Process<'k> {
+    fn os<'k>(&self, k: &'k Kernel) -> Process<'k> {
         Process::new(k, self.pid)
     }
 
@@ -138,7 +138,7 @@ impl MonitorDaemon {
         }
     }
 
-    fn dir_signature(&self, k: &mut Kernel, dir: &str) -> Option<u64> {
+    fn dir_signature(&self, k: &Kernel, dir: &str) -> Option<u64> {
         // Combined signature of the directory and every file in it.
         let names = self.os(k).readdir(dir).ok()?;
         let mut sig = self.version(k, dir).unwrap_or(0);
@@ -150,7 +150,7 @@ impl MonitorDaemon {
         Some(sig)
     }
 
-    fn dir_changed(&mut self, k: &mut Kernel, dir: &str) -> bool {
+    fn dir_changed(&mut self, k: &Kernel, dir: &str) -> bool {
         let sig = self.dir_signature(k, dir);
         let key = format!("dir:{}", dir);
         let prev = self.seen.get(&key).copied();
@@ -168,7 +168,7 @@ impl MonitorDaemon {
     }
 
     /// Performs a full synchronization pass (used at boot).
-    pub fn sync_all(&mut self, k: &mut Kernel) -> KResult<()> {
+    pub fn sync_all(&mut self, k: &Kernel) -> KResult<()> {
         // Prime the watch state.
         for p in [
             "/etc/fstab",
@@ -198,7 +198,7 @@ impl MonitorDaemon {
 
     /// One poll cycle: re-syncs whatever changed; returns whether any
     /// policy was pushed.
-    pub fn poll(&mut self, k: &mut Kernel) -> KResult<bool> {
+    pub fn poll(&mut self, k: &Kernel) -> KResult<bool> {
         let mut any = false;
         if self.changed(k, "/etc/fstab") {
             self.sync_mounts(k)?;
@@ -233,7 +233,7 @@ impl MonitorDaemon {
         Ok(any)
     }
 
-    fn push(&mut self, k: &mut Kernel, node: &str, content: &str) -> KResult<()> {
+    fn push(&mut self, k: &Kernel, node: &str, content: &str) -> KResult<()> {
         self.os(k).write_file(
             &format!("/proc/protego/{}", node),
             content.as_bytes(),
@@ -243,7 +243,7 @@ impl MonitorDaemon {
         Ok(())
     }
 
-    fn sync_mounts(&mut self, k: &mut Kernel) -> KResult<()> {
+    fn sync_mounts(&mut self, k: &Kernel) -> KResult<()> {
         let text = self.os(k).read_to_string("/etc/fstab").unwrap_or_default();
         let (entries, bad) = parse_fstab(&text);
         for b in bad {
@@ -253,7 +253,7 @@ impl MonitorDaemon {
         self.push(k, "mounts", &policy::render_mounts(&rules))
     }
 
-    fn resolver(&self, k: &mut Kernel) -> MapResolver {
+    fn resolver(&self, k: &Kernel) -> MapResolver {
         let mut r = MapResolver::default();
         if let Ok(passwd) = self.os(k).read_to_string("/etc/passwd") {
             for e in parse_db(&passwd, PasswdEntry::parse) {
@@ -268,7 +268,7 @@ impl MonitorDaemon {
         r
     }
 
-    fn sync_sudoers(&mut self, k: &mut Kernel) -> KResult<()> {
+    fn sync_sudoers(&mut self, k: &Kernel) -> KResult<()> {
         let mut text = self
             .os(k)
             .read_to_string("/etc/sudoers")
@@ -292,7 +292,7 @@ impl MonitorDaemon {
         self.push(k, "sudoers", &policy::render_sudo(&rules))
     }
 
-    fn sync_bind(&mut self, k: &mut Kernel) -> KResult<()> {
+    fn sync_bind(&mut self, k: &Kernel) -> KResult<()> {
         let text = self.os(k).read_to_string("/etc/bind").unwrap_or_default();
         // /etc/bind already uses the kernel grammar; validate before push.
         match policy::parse_binds(&text) {
@@ -304,7 +304,7 @@ impl MonitorDaemon {
         }
     }
 
-    fn sync_groups(&mut self, k: &mut Kernel) -> KResult<()> {
+    fn sync_groups(&mut self, k: &Kernel) -> KResult<()> {
         let mut rules: Vec<GroupRule> = Vec::new();
         let groups = self.os(k).read_to_string("/etc/group").unwrap_or_default();
         let gshadow = self
@@ -326,7 +326,7 @@ impl MonitorDaemon {
         self.push(k, "groups", &policy::render_groups(&rules))
     }
 
-    fn sync_ppp(&mut self, k: &mut Kernel) -> KResult<()> {
+    fn sync_ppp(&mut self, k: &Kernel) -> KResult<()> {
         let text = self
             .os(k)
             .read_to_string("/etc/ppp/options")
@@ -345,7 +345,7 @@ impl MonitorDaemon {
     /// Rebuilds the legacy shared credential files from the per-account
     /// fragments, preserving entries that have no fragment (system
     /// accounts created before fragmentation).
-    pub fn reverse_sync_credentials(&mut self, k: &mut Kernel) -> KResult<()> {
+    pub fn reverse_sync_credentials(&mut self, k: &Kernel) -> KResult<()> {
         self.mirror_fragments(k, "/etc/passwds", "/etc/passwd", Mode(0o644), |line| {
             PasswdEntry::parse(line).map(|e| (e.name.clone(), e.render()))
         })?;
@@ -360,7 +360,7 @@ impl MonitorDaemon {
 
     fn mirror_fragments(
         &mut self,
-        k: &mut Kernel,
+        k: &Kernel,
         frag_dir: &str,
         legacy: &str,
         mode: Mode,
@@ -407,7 +407,7 @@ mod tests {
     use sim_kernel::net::SimNet;
 
     fn boot() -> (Kernel, Pid) {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         k.install_standard_devices().unwrap();
         k.register_lsm(Box::new(ProtegoLsm::new())).unwrap();
         let root = k.spawn_init();
@@ -453,9 +453,9 @@ mod tests {
 
     #[test]
     fn boot_sync_pushes_policies() {
-        let (mut k, root) = boot();
+        let (k, root) = boot();
         let mut d = MonitorDaemon::new(root);
-        d.sync_all(&mut k).unwrap();
+        d.sync_all(&k).unwrap();
         let mounts = k.read_to_string(root, "/proc/protego/mounts").unwrap();
         assert!(mounts.contains("/dev/cdrom /mnt/cdrom iso9660 user ro"));
         assert!(mounts.contains("/dev/sdb1 /media/usb vfat users"));
@@ -467,10 +467,10 @@ mod tests {
 
     #[test]
     fn poll_detects_fstab_change() {
-        let (mut k, root) = boot();
+        let (k, root) = boot();
         let mut d = MonitorDaemon::new(root);
-        d.sync_all(&mut k).unwrap();
-        assert!(!d.poll(&mut k).unwrap());
+        d.sync_all(&k).unwrap();
+        assert!(!d.poll(&k).unwrap());
         // Admin adds a new user-mountable entry.
         k.append_file(
             root,
@@ -478,16 +478,16 @@ mod tests {
             b"/dev/cdrom /mnt/backup iso9660 ro,users,noauto 0 0\n",
         )
         .unwrap();
-        assert!(d.poll(&mut k).unwrap());
+        assert!(d.poll(&k).unwrap());
         let mounts = k.read_to_string(root, "/proc/protego/mounts").unwrap();
         assert!(mounts.contains("/mnt/backup"));
     }
 
     #[test]
     fn sudoers_d_included() {
-        let (mut k, root) = boot();
+        let (k, root) = boot();
         let mut d = MonitorDaemon::new(root);
-        d.sync_all(&mut k).unwrap();
+        d.sync_all(&k).unwrap();
         k.write_file(
             root,
             "/etc/sudoers.d/printing",
@@ -495,18 +495,18 @@ mod tests {
             Mode(0o440),
         )
         .unwrap();
-        assert!(d.poll(&mut k).unwrap());
+        assert!(d.poll(&k).unwrap());
         let sudo = k.read_to_string(root, "/proc/protego/sudoers").unwrap();
         assert!(sudo.contains("cmd=/usr/bin/lpr auth=none"));
     }
 
     #[test]
     fn bad_sudoers_line_logged_not_fatal() {
-        let (mut k, root) = boot();
+        let (k, root) = boot();
         k.append_file(root, "/etc/sudoers", b"mallory ALL=(ALL) ALL\n")
             .unwrap();
         let mut d = MonitorDaemon::new(root);
-        d.sync_all(&mut k).unwrap();
+        d.sync_all(&k).unwrap();
         assert!(d.errors.iter().any(|e| e.contains("mallory")));
         // The admin rule still made it in.
         let sudo = k.read_to_string(root, "/proc/protego/sudoers").unwrap();
@@ -515,7 +515,7 @@ mod tests {
 
     #[test]
     fn reverse_sync_rebuilds_legacy_shadow() {
-        let (mut k, root) = boot();
+        let (k, root) = boot();
         let mut d = MonitorDaemon::new(root);
         // Fragmented layout with one user file.
         let frag = crate::db::ShadowEntry::with_password("alice", "alicepw");
@@ -541,7 +541,7 @@ mod tests {
                 Gid::ROOT,
             )
             .unwrap();
-        d.sync_all(&mut k).unwrap();
+        d.sync_all(&k).unwrap();
         let legacy = k.read_to_string(root, "/etc/shadow").unwrap();
         assert!(legacy.contains("root:"));
         assert!(legacy.contains("alice:"));
@@ -554,17 +554,17 @@ mod tests {
             Mode(0o600),
         )
         .unwrap();
-        assert!(d.poll(&mut k).unwrap());
+        assert!(d.poll(&k).unwrap());
         let legacy = k.read_to_string(root, "/etc/shadow").unwrap();
         assert!(legacy.contains(&newfrag.hash));
     }
 
     #[test]
     fn subscribed_daemon_sees_denials() {
-        let (mut k, root) = boot();
+        let (k, root) = boot();
         let mut d = MonitorDaemon::new(root);
-        d.sync_all(&mut k).unwrap();
-        d.subscribe(&mut k);
+        d.sync_all(&k).unwrap();
+        d.subscribe(&k);
         assert_eq!(d.audit_denials_seen(), 0);
         // An unprivileged mount off the whitelist is denied by the stock
         // fallback — the daemon's feed must carry the event.
@@ -586,7 +586,7 @@ mod tests {
 
     #[test]
     fn groups_sync_marks_protected() {
-        let (mut k, root) = boot();
+        let (k, root) = boot();
         let gsh = crate::db::GshadowEntry {
             name: "staff".into(),
             hash: sim_kernel::lsm::sim_crypt("st", "staffpw"),
@@ -601,7 +601,7 @@ mod tests {
             )
             .unwrap();
         let mut d = MonitorDaemon::new(root);
-        d.sync_all(&mut k).unwrap();
+        d.sync_all(&k).unwrap();
         let groups = k.read_to_string(root, "/proc/protego/groups").unwrap();
         assert!(groups.contains("101 password"));
         assert!(groups.contains("27 open"));

@@ -25,13 +25,13 @@ use sim_kernel::vfs::Mode;
 /// A pid-bound handle issuing typed syscalls through the dispatch
 /// boundary.
 pub struct Process<'k> {
-    kernel: &'k mut Kernel,
+    kernel: &'k Kernel,
     pid: Pid,
 }
 
 impl<'k> Process<'k> {
     /// Binds `pid` to `kernel`.
-    pub fn new(kernel: &'k mut Kernel, pid: Pid) -> Process<'k> {
+    pub fn new(kernel: &'k Kernel, pid: Pid) -> Process<'k> {
         Process { kernel, pid }
     }
 

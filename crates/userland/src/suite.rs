@@ -197,10 +197,9 @@ pub fn run_functional_suite(sys: &mut System) -> Vec<StepOutcome> {
 
     // Reload the media for later steps.
     {
-        let dev = sys.kernel.devices.id_by_path("/dev/cdrom").unwrap();
-        if let sim_kernel::dev::DeviceKind::Block(b) =
-            &mut sys.kernel.devices.get_mut(dev).unwrap().kind
-        {
+        let dev = sys.kernel.devices.read().id_by_path("/dev/cdrom").unwrap();
+        let mut devices = sys.kernel.devices.write();
+        if let sim_kernel::dev::DeviceKind::Block(b) = &mut devices.get_mut(dev).unwrap().kind {
             b.ejected = false;
         }
     }

@@ -14,7 +14,7 @@ use crate::coverage::Coverage;
 use crate::process::Process;
 use sim_kernel::cred::{Credentials, Gid, Uid};
 use sim_kernel::error::{Errno, KResult};
-use sim_kernel::kernel::Kernel;
+use sim_kernel::kernel::{Kernel, SharedKernel};
 use sim_kernel::syscall::OpenFlags;
 use sim_kernel::task::Pid;
 use sim_kernel::vfs::Mode;
@@ -79,9 +79,13 @@ impl RunResult {
 }
 
 /// A booted system: kernel + program registry + instrumentation.
+///
+/// The kernel is held through a [`SharedKernel`] handle, so a fleet of
+/// worker threads can drive **one** kernel concurrently: build the image
+/// once, then hand each worker its own [`System::worker_view`].
 pub struct System {
-    /// The simulated kernel.
-    pub kernel: Kernel,
+    /// The simulated kernel (a cloneable, thread-shareable handle).
+    pub kernel: SharedKernel,
     /// Legacy or Protego.
     pub mode: SystemMode,
     /// Coverage instrumentation (Table 7).
@@ -98,6 +102,11 @@ pub struct System {
 impl System {
     /// Wraps a kernel; binaries are registered afterwards.
     pub fn new(kernel: Kernel, mode: SystemMode) -> System {
+        System::from_shared(SharedKernel::new(kernel), mode)
+    }
+
+    /// Wraps an already-shared kernel handle.
+    pub fn from_shared(kernel: SharedKernel, mode: SystemMode) -> System {
         System {
             kernel,
             mode,
@@ -110,6 +119,24 @@ impl System {
         }
     }
 
+    /// A worker's view onto the *same* kernel: shares the kernel handle,
+    /// the program registry, and the init task, but carries its own
+    /// coverage/attack instrumentation and no monitoring daemon. Views
+    /// are what fleet workers drive concurrently — userland bookkeeping
+    /// stays per-worker while every syscall lands in the shared kernel.
+    pub fn worker_view(&self) -> System {
+        System {
+            kernel: self.kernel.clone(),
+            mode: self.mode,
+            coverage: Coverage::new(),
+            attack_log: Vec::new(),
+            monitord: None,
+            registry: self.registry.clone(),
+            exploit: None,
+            init: self.init,
+        }
+    }
+
     /// Runs one monitoring-daemon poll cycle (Protego's policy
     /// synchronization); returns whether any policy was pushed.
     pub fn sync_policies(&mut self) -> KResult<bool> {
@@ -117,7 +144,7 @@ impl System {
             Some(d) => d,
             None => return Ok(false),
         };
-        let r = d.poll(&mut self.kernel);
+        let r = d.poll(&self.kernel);
         self.monitord = Some(d);
         r
     }
@@ -125,7 +152,7 @@ impl System {
     /// A [`Process`] syscall context bound to `pid` — the typed-dispatch
     /// route into the kernel.
     pub fn process(&mut self, pid: Pid) -> Process<'_> {
-        Process::new(&mut self.kernel, pid)
+        Process::new(&self.kernel, pid)
     }
 
     /// The init (pid 1, root) task, creating it on first use.
@@ -404,7 +431,7 @@ impl<'a> Proc<'a> {
             .kernel
             .task_mut(self.pid)
             .ok()
-            .and_then(|t| t.terminal_input.pop_front())
+            .and_then(|mut t| t.terminal_input.pop_front())
     }
 
     /// Environment lookup.
@@ -440,7 +467,7 @@ mod tests {
     }
 
     fn minimal_system() -> System {
-        let mut k = Kernel::new(SimNet::new());
+        let k = Kernel::new(SimNet::new());
         k.install_standard_devices().unwrap();
         let mut sys = System::new(k, SystemMode::Legacy);
         let init = sys.init_pid();

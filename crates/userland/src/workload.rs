@@ -31,6 +31,8 @@ pub struct Service {
     pub pid: Pid,
     /// The listening fd announced at startup.
     pub listen_fd: i32,
+    /// The TCP port clients connect to.
+    pub port: u16,
 }
 
 /// Spawns a mode-appropriate session for a service user: a root login on
@@ -43,21 +45,106 @@ fn service_launch_session(sys: &mut System, uid: Uid, gid: Gid) -> KResult<Pid> 
     }
 }
 
-fn start_service(sys: &mut System, binary: &str, uid: Uid, gid: Gid) -> KResult<Service> {
+fn start_service(
+    sys: &mut System,
+    binary: &str,
+    uid: Uid,
+    gid: Gid,
+    port: u16,
+) -> KResult<Service> {
     let session = service_launch_session(sys, uid, gid)?;
     let (pid, startup) = sys.spawn_service(session, binary, &["--daemon"])?;
     let listen_fd = mail::parse_listen_fd(&startup).ok_or(Errno::EIO)?;
-    Ok(Service { pid, listen_fd })
+    Ok(Service {
+        pid,
+        listen_fd,
+        port,
+    })
 }
 
 /// Starts the image's MTA (`exim4` on port 25).
 pub fn start_mail_service(sys: &mut System) -> KResult<Service> {
-    start_service(sys, "/usr/sbin/exim4", Uid(mail::MAIL_UID), Gid(8))
+    start_service(sys, "/usr/sbin/exim4", Uid(mail::MAIL_UID), Gid(8), 25)
 }
 
 /// Starts the image's web server (`httpd` on port 80).
 pub fn start_web_service(sys: &mut System) -> KResult<Service> {
-    start_service(sys, "/usr/sbin/httpd", Uid(mail::WWW_UID), Gid(33))
+    start_service(sys, "/usr/sbin/httpd", Uid(mail::WWW_UID), Gid(33), 80)
+}
+
+/// The web port shared-fleet worker `w` serves on. Ports are disjoint
+/// per worker so concurrent workers on one kernel never steal each
+/// other's connections out of a shared listen backlog; they sit above
+/// 1024 so the Protego bind policy treats them as unrestricted.
+pub fn shared_web_port(worker: usize) -> u16 {
+    8080 + worker as u16
+}
+
+/// The SMTP port shared-fleet worker `w` serves on.
+pub fn shared_mail_port(worker: usize) -> u16 {
+    2525 + worker as u16
+}
+
+/// The spool name shared-fleet worker `w` delivers to: per-worker
+/// recipients keep the atomic-replace `rename` commits of concurrent
+/// workers on disjoint spool files.
+pub fn worker_rcpt(worker: usize) -> String {
+    format!("worker{}", worker)
+}
+
+/// Starts one worker's service instance on a *shared* kernel: instead of
+/// exec-ing the daemon binary (which hard-binds the privileged port),
+/// the service session binds the worker's own high port directly. Legacy
+/// images keep the paper's privilege shape — the daemon session starts
+/// as root, binds, and drops euid while retaining saved uid 0 (so
+/// delivery still pays the seteuid round trip); Protego sessions run as
+/// the service user throughout.
+fn start_shared_service(
+    sys: &mut System,
+    binary: &str,
+    uid: Uid,
+    gid: Gid,
+    port: u16,
+) -> KResult<Service> {
+    let pid = match sys.mode {
+        SystemMode::Legacy => sys.login("root", "rootpw")?,
+        SystemMode::Protego => sys.service_session(uid, gid, binary),
+    };
+    let fd = sys.process(pid).socket(Domain::Inet, SockType::Stream, 0)?;
+    sys.process(pid).bind(fd, Ipv4::ANY, port)?;
+    sys.process(pid).listen(fd)?;
+    if sys.mode == SystemMode::Legacy {
+        // The classic daemon etiquette: drop the effective uid after the
+        // bind, keeping saved uid 0 for per-delivery raises (§4.4).
+        sys.process(pid).seteuid(uid)?;
+    }
+    Ok(Service {
+        pid,
+        listen_fd: fd,
+        port,
+    })
+}
+
+/// Starts shared-fleet worker `w`'s web server on its own port.
+pub fn start_shared_web_service(sys: &mut System, worker: usize) -> KResult<Service> {
+    start_shared_service(
+        sys,
+        "/usr/sbin/httpd",
+        Uid(mail::WWW_UID),
+        Gid(33),
+        shared_web_port(worker),
+    )
+}
+
+/// Starts shared-fleet worker `w`'s MTA on its own port.
+pub fn start_shared_mail_service(sys: &mut System, worker: usize) -> KResult<Service> {
+    start_shared_service(
+        sys,
+        "/usr/sbin/exim4",
+        Uid(mail::MAIL_UID),
+        Gid(8),
+        shared_mail_port(worker),
+    )
 }
 
 /// Logs in the workload's client user.
@@ -72,7 +159,7 @@ pub fn web_request(sys: &mut System, client: Pid, srv: Service) -> KResult<()> {
         .process(client)
         .socket(Domain::Inet, SockType::Stream, 0)?;
     let run = (|| {
-        sys.process(client).connect(cli, Ipv4::LOOPBACK, 80)?;
+        sys.process(client).connect(cli, Ipv4::LOOPBACK, srv.port)?;
         sys.process(client).send(cli, b"GET / HTTP/1.0\r\n\r\n")?;
         mail::httpd_serve_one(sys, srv.pid, srv.listen_fd)?;
         let resp = sys.process(client).recv(cli, 65536)?;
@@ -100,7 +187,7 @@ pub fn mail_delivery(
         .process(client)
         .socket(Domain::Inet, SockType::Stream, 0)?;
     let run = (|| {
-        sys.process(client).connect(cli, Ipv4::LOOPBACK, 25)?;
+        sys.process(client).connect(cli, Ipv4::LOOPBACK, srv.port)?;
         let msg = format!("MAIL TO:<{}>\n{}", rcpt, body);
         sys.process(client).send(cli, msg.as_bytes())?;
         serve_one_atomic(sys, srv.pid, srv.listen_fd)?;
@@ -202,6 +289,24 @@ pub fn drain_spools(sys: &mut System, srv: Service) {
     for rcpt in ["alice", "bob"] {
         let _ = sys.process(srv.pid).unlink(&format!("/var/mail/{}", rcpt));
     }
+    if legacy_raise {
+        let _ = sys.process(srv.pid).seteuid(Uid(mail::MAIL_UID));
+    }
+}
+
+/// Drains one named spool — the shared fleet's per-worker consumer,
+/// paying the same legacy euid raise as [`drain_spools`].
+pub fn drain_spool(sys: &mut System, srv: Service, rcpt: &str) {
+    let legacy_raise = sys.mode == SystemMode::Legacy
+        && sys
+            .kernel
+            .task(srv.pid)
+            .map(|t| t.cred.suid.is_root() && !t.cred.euid.is_root())
+            .unwrap_or(false);
+    if legacy_raise {
+        let _ = sys.process(srv.pid).seteuid(Uid::ROOT);
+    }
+    let _ = sys.process(srv.pid).unlink(&format!("/var/mail/{}", rcpt));
     if legacy_raise {
         let _ = sys.process(srv.pid).seteuid(Uid(mail::MAIL_UID));
     }

@@ -23,7 +23,7 @@ fn main() {
     );
 
     let alice = linux.login("alice", "alicepw").unwrap();
-    linux.kernel.trace = true;
+    linux.kernel.set_trace(true);
 
     let r = linux
         .run(alice, "/bin/mount", &["/mnt/cdrom"], &[])
@@ -64,7 +64,7 @@ fn main() {
     }
 
     let alice = protego.login("alice", "alicepw").unwrap();
-    protego.kernel.trace = true;
+    protego.kernel.set_trace(true);
 
     let r = protego
         .run(alice, "/bin/mount", &["/mnt/cdrom"], &[])
@@ -94,7 +94,7 @@ fn main() {
     print!("{}", r.stdout);
 
     println!("\nkernel audit trail (Protego):");
-    for line in &protego.kernel.audit {
+    for line in protego.kernel.audit.events() {
         println!("  {}", line);
     }
 

@@ -14,7 +14,7 @@ use protego::kernel::vfs::Mode;
 /// mount (unlike the default image, which models the realistic
 /// unconfined baseline).
 fn kernel_with_confined_mount() -> Kernel {
-    let mut k = Kernel::new(SimNet::new());
+    let k = Kernel::new(SimNet::new());
     k.install_standard_devices().unwrap();
     k.register_lsm(Box::new(AppArmorLsm::with_ubuntu_defaults()))
         .unwrap();

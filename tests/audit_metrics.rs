@@ -6,16 +6,16 @@
 use protego::kernel::cred::{Credentials, Gid, Uid};
 use protego::kernel::net::{Domain, Ipv4, SockType};
 use protego::kernel::syscall::OpenFlags;
-use protego::kernel::trace::{AuditRing, Hook};
+use protego::kernel::trace::Hook;
 use protego::kernel::Errno;
 use protego::userland::{boot, SystemMode};
 
 #[test]
 fn per_hook_counters_track_mount_setuid_and_bind() {
-    let mut sys = boot(SystemMode::Protego);
-    let k = &mut sys.kernel;
+    let sys = boot(SystemMode::Protego);
+    let k = &sys.kernel;
     let user = k.spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/home/alice/tool");
-    let before = k.metrics.clone();
+    let before = k.metrics.snapshot();
 
     // 1. Whitelisted user mount — the module grants it.
     k.sys_mount(user, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro")
@@ -32,19 +32,19 @@ fn per_hook_counters_track_mount_setuid_and_bind() {
     );
 
     let delta = |h: Hook| {
-        let now = k.metrics.hook(h);
+        let now = k.metrics.snapshot().hook(h);
         let was = before.hook(h);
         (now.allow - was.allow, now.deny - was.deny)
     };
     assert_eq!(delta(Hook::SbMount), (1, 0), "mount grant counted");
     assert_eq!(delta(Hook::TaskSetuid), (0, 1), "setuid denial counted");
     assert_eq!(delta(Hook::SocketBind), (0, 1), "bind denial counted");
-    assert!(k.metrics.events > before.events);
-    assert!(k.metrics.per_syscall["bind"].deny >= 1);
+    assert!(k.metrics.snapshot().events > before.events);
+    assert!(k.metrics.snapshot().per_syscall["bind"].deny >= 1);
     // The setuid attempt denies with EPERM; the failed su-style auth
     // prompt and the bind refusal both deny with EACCES.
     let errno_delta = |name: &str| {
-        k.metrics.errnos.get(name).copied().unwrap_or(0)
+        k.metrics.snapshot().errnos.get(name).copied().unwrap_or(0)
             - before.errnos.get(name).copied().unwrap_or(0)
     };
     assert_eq!(errno_delta("EPERM"), 1);
@@ -53,9 +53,9 @@ fn per_hook_counters_track_mount_setuid_and_bind() {
     // The bind denial carries the rule that owns the port.
     let ev = k
         .audit
-        .iter()
-        .filter(|e| e.provenance.hook == Hook::SocketBind)
-        .last()
+        .events()
+        .into_iter()
+        .rfind(|e| e.provenance.hook == Hook::SocketBind)
         .expect("bind denial stored");
     assert!(ev.is_denial());
     assert_eq!(
@@ -113,8 +113,8 @@ fn proc_audit_and_metrics_read_paths() {
 
 #[test]
 fn denials_are_recorded_even_with_trace_off() {
-    let mut sys = boot(SystemMode::Protego);
-    assert!(!sys.kernel.trace, "tracing defaults to off");
+    let sys = boot(SystemMode::Protego);
+    assert!(!sys.kernel.trace(), "tracing defaults to off");
     let user = sys
         .kernel
         .spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/home/alice/tool");
@@ -127,6 +127,7 @@ fn denials_are_recorded_even_with_trace_off() {
         .kernel
         .audit
         .since(seq0)
+        .into_iter()
         .filter(|e| e.is_denial())
         .collect();
     assert!(!denials.is_empty(), "denial stored despite trace=false");
@@ -139,16 +140,16 @@ fn denials_are_recorded_even_with_trace_off() {
     sys.kernel
         .sys_mount(user, "/dev/cdrom", "/mnt/cdrom", "iso9660", "ro")
         .unwrap();
-    assert_eq!(sys.kernel.audit.since(seq1).count(), 0);
-    sys.kernel.trace = true;
+    assert_eq!(sys.kernel.audit.since(seq1).len(), 0);
+    sys.kernel.set_trace(true);
     sys.kernel.sys_umount(user, "/mnt/cdrom").unwrap();
-    assert!(sys.kernel.audit.since(seq1).count() > 0);
+    assert!(!sys.kernel.audit.since(seq1).is_empty());
 }
 
 #[test]
 fn ring_overflow_is_counted_and_visible_in_proc() {
     let mut sys = boot(SystemMode::Protego);
-    sys.kernel.audit = AuditRing::new(4);
+    sys.kernel.audit.set_capacity(4);
     let user = sys
         .kernel
         .spawn_session(Credentials::user(Uid(1000), Gid(1000)), "/home/alice/tool");
@@ -156,7 +157,7 @@ fn ring_overflow_is_counted_and_visible_in_proc() {
         let _ = sys.kernel.sys_setuid(user, Uid::ROOT);
     }
     assert_eq!(sys.kernel.audit.len(), 4);
-    let dropped = sys.kernel.audit.dropped;
+    let dropped = sys.kernel.audit.dropped();
     assert!(dropped >= 6, "older denials evicted, not lost silently");
     let init = sys.init_pid();
     let view = sys

@@ -86,12 +86,13 @@ fn compromised_mount_can_reshape_tree_on_legacy_only() {
 #[test]
 fn audit_trail_names_the_granting_rule() {
     let mut sys = boot(SystemMode::Protego);
-    sys.kernel.trace = true;
+    sys.kernel.set_trace(true);
     let alice = sys.login("alice", "alicepw").unwrap();
     sys.run(alice, "/bin/mount", &["/mnt/cdrom"], &[]).unwrap();
     assert!(sys
         .kernel
         .audit
-        .iter()
+        .events()
+        .into_iter()
         .any(|l| l.contains("mount: lsm granted /dev/cdrom -> /mnt/cdrom")));
 }

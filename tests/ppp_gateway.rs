@@ -90,7 +90,7 @@ fn unprivileged_pppd_makes_a_network_reachable() {
 fn conflicting_ppp_route_degrades_to_tty_only() {
     let mut sys = boot(SystemMode::Protego);
     let alice = sys.login("alice", "alicepw").unwrap();
-    let before = sys.kernel.routes.len();
+    let before = sys.kernel.routes.read().len();
     // 10.0.0.0/8 overlaps the boot-time default/LAN routing.
     let r = sys
         .run(alice, "/usr/sbin/pppd", &["10.0.0.0", "8"], &[])
@@ -98,7 +98,7 @@ fn conflicting_ppp_route_degrades_to_tty_only() {
     assert!(r.ok(), "{}", r.stdout);
     assert!(r.stdout.contains("no route"), "{}", r.stdout);
     // No routing state changed (Table 4: protect unrelated applications).
-    assert_eq!(sys.kernel.routes.len(), before);
+    assert_eq!(sys.kernel.routes.read().len(), before);
 }
 
 #[test]

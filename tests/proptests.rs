@@ -30,7 +30,7 @@ proptest! {
     /// `path_of` inverts resolution.
     #[test]
     fn vfs_install_resolve_roundtrip(parts in path_strategy()) {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         let path = format!("/{}", parts.join("/"));
         let ino = v.install_file(&path, b"data", Mode(0o644), Uid::ROOT, Gid::ROOT).unwrap();
         let r = v.resolve(v.root(), &path).unwrap();
@@ -42,7 +42,7 @@ proptest! {
     /// Resolution traverses exactly the ancestor directories, in order.
     #[test]
     fn vfs_resolution_dirs_are_ancestors(parts in path_strategy()) {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         let path = format!("/{}", parts.join("/"));
         v.install_file(&path, b"", Mode(0o644), Uid::ROOT, Gid::ROOT).unwrap();
         let r = v.resolve(v.root(), &path).unwrap();
@@ -60,7 +60,7 @@ proptest! {
     /// Unlink + reclamation never breaks an unrelated file.
     #[test]
     fn vfs_reclaim_does_not_alias(names in prop::collection::vec(name_strategy(), 2..8)) {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         let dir = v.mkdir_p("/work").unwrap();
         let mut unique = names.clone();
         unique.sort();
@@ -320,7 +320,7 @@ proptest! {
 
     #[test]
     fn mount_table_never_self_covers(ops in prop::collection::vec((0u8..2, 0usize..3), 1..12)) {
-        let mut v = Vfs::new();
+        let v = Vfs::new();
         let points: Vec<_> = (0..3).map(|i| {
             let p = format!("/mnt/p{}", i);
             v.mkdir_p(&p).unwrap()

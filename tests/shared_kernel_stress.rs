@@ -1,0 +1,199 @@
+//! Shared-kernel concurrency stress: 8 worker threads hammer *one*
+//! kernel through [`System::worker_view`] handles with a mixed fs/id/net
+//! workload under a seeded 1% errno storm. The run must complete with
+//! zero panics and zero privileged artifacts, and the VFS namespace
+//! property invariants — resolution terminates, live inodes are
+//! root-reachable at their own paths — must hold after the churn.
+
+use protego::kernel::net::{Domain, Ipv4, SockType};
+use protego::kernel::syscall::{FaultConfig, FaultInjector};
+use protego::kernel::vfs::Mode;
+use protego::userland::workload::privileged_artifacts;
+use protego::userland::{boot, System, SystemMode};
+
+const WORKERS: usize = 8;
+const ITERS: u64 = 400;
+
+/// One worker's churn: per-iteration it mixes file create/rename/unlink
+/// (both in a private directory and in the contended `/tmp`), identity
+/// syscalls, and a loopback TCP round trip against its own listener.
+/// Every result is ignored — under the storm any call may fail — but
+/// nothing here may panic.
+fn worker_churn(mut sys: System, session: protego::kernel::Pid, worker: usize) {
+    let dir = format!("/tmp/stress{}", worker);
+    let _ = sys.process(session).mkdir(&dir, Mode(0o755));
+    let listen_port = 21000 + worker as u16;
+    let listener = sys
+        .process(session)
+        .socket(Domain::Inet, SockType::Stream, 0)
+        .ok()
+        .filter(|&fd| {
+            sys.process(session)
+                .bind(fd, Ipv4::ANY, listen_port)
+                .is_ok()
+                && sys.process(session).listen(fd).is_ok()
+        });
+
+    for i in 0..ITERS {
+        // fs: stage-and-rename in the private dir, plus shared-/tmp churn
+        // under distinct names (contending the same VFS shard locks
+        // without logical collisions).
+        let tmp = format!("{}/.m{}.tmp", dir, i % 7);
+        let dst = format!("{}/m{}", dir, i % 7);
+        let _ = sys.process(session).write_file(
+            &tmp,
+            format!("w{} i{}", worker, i).as_bytes(),
+            Mode(0o644),
+        );
+        let _ = sys.process(session).rename(&tmp, &dst);
+        let _ = sys.process(session).read_to_string(&dst);
+        let shared = format!("/tmp/shared_w{}_s{}", worker, i % 5);
+        match i % 3 {
+            0 => {
+                let _ = sys
+                    .process(session)
+                    .write_file(&shared, b"churn", Mode(0o600));
+            }
+            1 => {
+                let _ = sys.process(session).stat(&shared);
+            }
+            _ => {
+                let _ = sys.process(session).unlink(&shared);
+            }
+        }
+        if i % 11 == 0 {
+            let sub = format!("{}/d{}", dir, i % 4);
+            let _ = sys.process(session).mkdir(&sub, Mode(0o755));
+            let _ = sys.process(session).rmdir(&sub);
+        }
+
+        // id: read-back credential syscalls through the per-task locks.
+        let _ = sys.process(session).getuid();
+        let _ = sys.process(session).geteuid();
+        let _ = sys.process(session).getgid();
+
+        // net: one loopback round trip against this worker's listener.
+        if let Some(lfd) = listener {
+            if let Ok(cli) = sys
+                .process(session)
+                .socket(Domain::Inet, SockType::Stream, 0)
+            {
+                if sys
+                    .process(session)
+                    .connect(cli, Ipv4::LOOPBACK, listen_port)
+                    .is_ok()
+                {
+                    let _ = sys.process(session).send(cli, b"ping");
+                    if let Ok(conn) = sys.process(session).accept(lfd) {
+                        let _ = sys.process(session).recv(conn, 64);
+                        let _ = sys.process(session).close(conn);
+                    }
+                }
+                let _ = sys.process(session).close(cli);
+            }
+            // The storm can strand a connection in the backlog; reap so
+            // the next iteration starts clean.
+            while let Ok(stale) = sys.process(session).accept(lfd) {
+                let _ = sys.process(session).close(stale);
+            }
+        }
+    }
+}
+
+/// The namespace property invariants from the VFS proptests, checked on
+/// a post-churn kernel: a directory walk from the root terminates within
+/// the live-inode budget (no namespace cycles), and every reachable
+/// inode resolves back to itself at its own `path_of` (live inodes are
+/// root-reachable). Mount-covered nodes are exempt from the ino equality
+/// (resolution legitimately lands in the mounted filesystem) but must
+/// still resolve.
+fn assert_vfs_namespace_invariants(sys: &System) {
+    let vfs = &sys.kernel.vfs;
+    let root = vfs.root();
+    let budget = vfs.inode_count() + 1;
+    let mut queue = vec![root];
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(root);
+    let mut visited = 0usize;
+    while let Some(dir) = queue.pop() {
+        visited += 1;
+        assert!(
+            visited <= budget,
+            "directory walk visited {} nodes with only {} live inodes: namespace cycle",
+            visited,
+            budget - 1
+        );
+        let names = match vfs.dir_names(dir) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        for name in names {
+            let child = match vfs.dir_lookup(dir, &name) {
+                Ok(Some(c)) => c,
+                _ => continue,
+            };
+            let path = vfs.path_of(child);
+            let resolved = vfs.resolve_nofollow(root, &path).unwrap_or_else(|e| {
+                panic!("live inode {:?} unresolvable at {:?}: {}", child, path, e)
+            });
+            let mounted =
+                vfs.mount_covering(child).is_some() || vfs.mount_rooted_at(child).is_some();
+            if !mounted {
+                assert_eq!(
+                    resolved.ino, child,
+                    "path {:?} resolves to a different inode than the tree walk",
+                    path
+                );
+            }
+            let is_dir = vfs.inode(child).data.is_dir();
+            if is_dir && seen.insert(child) {
+                queue.push(child);
+            }
+        }
+    }
+}
+
+#[test]
+fn eight_workers_storm_one_kernel_without_damage() {
+    let mut base = boot(SystemMode::Protego);
+
+    // Sessions are created storm-free so every worker starts from a
+    // clean login; the storm then covers all concurrent churn.
+    let sessions: Vec<_> = (0..WORKERS)
+        .map(|_| base.login("alice", "alicepw").expect("login"))
+        .collect();
+    let inj = FaultInjector::new(FaultConfig::storm(0xD1CE, 100));
+    let stats = inj.stats();
+    base.kernel.push_interceptor(Box::new(inj));
+
+    let handles: Vec<_> = sessions
+        .into_iter()
+        .enumerate()
+        .map(|(worker, session)| {
+            let view = base.worker_view();
+            std::thread::spawn(move || worker_churn(view, session, worker))
+        })
+        .collect();
+    let mut panicked = 0;
+    for h in handles {
+        if h.join().is_err() {
+            panicked += 1;
+        }
+    }
+    assert_eq!(panicked, 0, "no worker may panic under the storm");
+
+    let s = stats.lock().unwrap();
+    assert!(s.seen > 0, "the churn must route through dispatch");
+    assert!(
+        s.injected > 0,
+        "a 1% storm over {} concurrent workers must fire",
+        WORKERS
+    );
+    drop(s);
+
+    assert!(
+        privileged_artifacts(&mut base).is_empty(),
+        "concurrent churn under faults must not mint privileged artifacts"
+    );
+    assert_vfs_namespace_invariants(&base);
+}

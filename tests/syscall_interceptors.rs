@@ -45,7 +45,7 @@ fn errno_storm_over_functional_battery_is_safe_and_deterministic() {
         let stats = inj.stats();
         sys.kernel.push_interceptor(Box::new(inj));
         let outcomes = run_functional_suite(&mut sys);
-        let s = stats.borrow();
+        let s = stats.lock().unwrap();
         assert!(s.seen > 0, "the battery must route through dispatch");
         assert!(
             s.injected > 0,
@@ -81,11 +81,11 @@ fn functional_battery_trace_replays_deterministically() {
     let trace = rec.trace();
     sys.kernel.push_interceptor(Box::new(rec));
     let outcomes1 = run_functional_suite(&mut sys);
-    let serialized = trace.borrow().render();
+    let serialized = trace.lock().unwrap().render();
     assert!(
-        trace.borrow().len() > 100,
+        trace.lock().unwrap().len() > 100,
         "the battery should dispatch plenty of syscalls, got {}",
-        trace.borrow().len()
+        trace.lock().unwrap().len()
     );
 
     // Pass 2: replay a fresh boot against the recorded stream.
@@ -103,7 +103,7 @@ fn functional_battery_trace_replays_deterministically() {
         outcomes1, outcomes2,
         "step outcomes must replay identically"
     );
-    let divs = divergences.borrow();
+    let divs = divergences.lock().unwrap();
     assert!(
         divs.is_empty(),
         "replay diverged at {} point(s); first: {}",
@@ -112,7 +112,7 @@ fn functional_battery_trace_replays_deterministically() {
     );
     assert_eq!(
         serialized,
-        trace2.borrow().render(),
+        trace2.lock().unwrap().render(),
         "re-recorded stream must be byte-identical"
     );
 }
