@@ -16,13 +16,25 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test --workspace --release -q
 
+echo "== zero-alloc gate: steady-state fast path allocates nothing =="
+# Counting-allocator proof that a warm resolve/open/read/close/getuid
+# cycle under the full Protego LSM performs zero heap allocations
+# (interner + dcache + path arenas end to end).
+cargo test -q -p protego-core --features alloc-count --test fastpath_alloc
+
 echo "== smoke bench: BENCH_table5.json regenerates and validates =="
-# Low-iteration run of the Table 5 micro/macro/hot-path rows; fails if the
-# document is missing, malformed, the hot-path speedups regress below 2x,
-# or the caches report zero hits.
+# Low-iteration run of the Table 5 micro/macro/hot-path rows with the
+# paired interleaved median-of-K micro protocol; fails if the document
+# is missing, malformed, the hot-path speedups regress below 2x, or the
+# caches report zero hits. The committed full document must carry the
+# bench_table5/v2 schema (paired micro samples embedded) and pass the
+# per-row <=10% micro overhead budget that bench-verify enforces on
+# full runs.
 cargo run --release -p bench --bin tables -- bench-json --quick --out target/BENCH_table5.smoke.json
 cargo run --release -p bench --bin tables -- bench-verify target/BENCH_table5.smoke.json
 test -s BENCH_table5.json || { echo "error: committed BENCH_table5.json missing" >&2; exit 1; }
+grep -q '"schema": *"bench_table5/v2"' BENCH_table5.json \
+    || { echo "error: committed BENCH_table5.json is not schema bench_table5/v2" >&2; exit 1; }
 cargo run --release -p bench --bin tables -- bench-verify BENCH_table5.json
 
 echo "== smoke fleet: macro fleets aggregate deterministically =="

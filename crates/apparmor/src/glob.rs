@@ -14,8 +14,7 @@
 //!   construction, with literal / prefix fast paths and reusable DP
 //!   scratch buffers so steady-state matching performs no allocation.
 
-use sim_kernel::sync::lock;
-use std::sync::Mutex;
+use sim_kernel::vfs::{Name, PathArena};
 
 /// Returns whether `path` matches the AppArmor-style `pattern`.
 pub fn glob_match(pattern: &str, path: &str) -> bool {
@@ -138,47 +137,53 @@ fn tokenize(pat: &[u8]) -> Vec<Tok> {
 /// exponential blow-up of naive backtracking on adversarial patterns.
 fn match_bytes(pat: &[u8], s: &[u8]) -> bool {
     let toks = tokenize(pat);
-    let mut next = vec![false; s.len() + 1];
-    let mut cur = vec![false; s.len() + 1];
+    let mut next = vec![0u8; s.len() + 1];
+    let mut cur = vec![0u8; s.len() + 1];
     dp_match(&toks, s, &mut cur, &mut next)
 }
 
 /// Core DP over pre-tokenized `toks` against `s`, using caller-provided
-/// table rows (cleared and resized here). Extracted so [`CompiledGlob`]
-/// can reuse scratch buffers across calls.
-fn dp_match(toks: &[Tok], s: &[u8], cur: &mut Vec<bool>, next: &mut Vec<bool>) -> bool {
+/// table rows (each exactly `s.len() + 1` bytes; contents are rewritten
+/// here). Extracted so [`CompiledGlob`] can run it over arena-pooled
+/// scratch instead of allocating per call.
+fn dp_match<'a>(toks: &[Tok], s: &[u8], mut cur: &'a mut [u8], mut next: &'a mut [u8]) -> bool {
     let (np, ns) = (toks.len(), s.len());
+    debug_assert!(cur.len() == ns + 1 && next.len() == ns + 1);
     // dp[j] = does toks[i..] match s[j..]? Iterate i from the end.
-    next.clear();
-    next.resize(ns + 1, false);
-    cur.clear();
-    cur.resize(ns + 1, false);
-    next[ns] = true;
+    for b in next.iter_mut() {
+        *b = 0;
+    }
+    next[ns] = 1;
     for i in (0..np).rev() {
         // Compute cur from next.
-        cur[ns] = matches!(toks[i], Tok::Star | Tok::DoubleStar) && next[ns];
+        cur[ns] = (matches!(toks[i], Tok::Star | Tok::DoubleStar) && next[ns] != 0) as u8;
         for j in (0..ns).rev() {
             cur[j] = match toks[i] {
-                Tok::Byte(c) => s[j] == c && next[j + 1],
-                Tok::One => s[j] != b'/' && next[j + 1],
+                Tok::Byte(c) => (s[j] == c && next[j + 1] != 0) as u8,
+                Tok::One => (s[j] != b'/' && next[j + 1] != 0) as u8,
                 // `*`: consume nothing (move to next token) or one
                 // non-'/' byte (stay on this token).
-                Tok::Star => next[j] || (s[j] != b'/' && cur[j + 1]),
+                Tok::Star => (next[j] != 0 || (s[j] != b'/' && cur[j + 1] != 0)) as u8,
                 // `**`: consume nothing or any one byte.
-                Tok::DoubleStar => next[j] || cur[j + 1],
+                Tok::DoubleStar => (next[j] != 0 || cur[j + 1] != 0) as u8,
             };
         }
-        std::mem::swap(cur, next);
+        std::mem::swap(&mut cur, &mut next);
     }
-    next[0]
+    next[0] != 0
 }
 
 /// One alternation-free branch of a compiled pattern, specialized by
 /// shape so the common profile rules skip the DP entirely.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Branch {
-    /// No metacharacters: plain byte equality.
-    Literal(Vec<u8>),
+    /// No metacharacters: the leaf is interned at compile time and the
+    /// branch keeps the interner-backed `&'static str`, so a match is
+    /// one length check plus a short memcmp — no hash or stripe lock on
+    /// the candidate path. (Probing the interner for the candidate
+    /// instead costs a full-path hash per call, which measures slower
+    /// than comparing a ≤32-byte leaf directly.)
+    Literal(&'static str),
     /// `<literal>**`: a pure prefix test (`/dev/**`, `/home/**`).
     PrefixAll(Vec<u8>),
     /// General case: a stripped literal prefix plus the remaining tokens,
@@ -207,7 +212,7 @@ impl Branch {
             .collect();
         let rest = &toks[split..];
         if rest.is_empty() {
-            Branch::Literal(prefix)
+            Branch::Literal(Name::intern(leaf).as_str())
         } else if rest.len() == 1 && rest[0] == Tok::DoubleStar {
             Branch::PrefixAll(prefix)
         } else {
@@ -218,17 +223,18 @@ impl Branch {
         }
     }
 
-    fn matches(&self, s: &[u8], scratch: &Mutex<(Vec<bool>, Vec<bool>)>) -> bool {
+    fn matches(&self, s: &[u8], arena: &PathArena) -> bool {
         match self {
-            Branch::Literal(lit) => s == &lit[..],
+            Branch::Literal(lit) => s == lit.as_bytes(),
             Branch::PrefixAll(lit) => s.starts_with(lit),
             Branch::Toks { prefix, toks } => {
                 if !s.starts_with(prefix) {
                     return false;
                 }
-                let mut sc = lock(scratch);
-                let sc = &mut *sc;
-                dp_match(toks, &s[prefix.len()..], &mut sc.0, &mut sc.1)
+                let rest = &s[prefix.len()..];
+                let mut cur = arena.bytes(rest.len() + 1);
+                let mut next = arena.bytes(rest.len() + 1);
+                dp_match(toks, rest, &mut cur, &mut next)
             }
         }
     }
@@ -236,27 +242,32 @@ impl Branch {
 
 /// A pattern compiled once at profile-load time.
 ///
-/// Construction pays for tokenization and full alternation expansion;
-/// [`CompiledGlob::matches`] then runs allocation-free in the steady
-/// state (the DP scratch rows are retained between calls and only grow).
-/// Semantics are identical to [`glob_match`] — enforced by property tests.
+/// Construction pays for tokenization, full alternation expansion, and
+/// interning of literal leaves; [`CompiledGlob::matches`] then runs
+/// allocation-free in the steady state (literal branches memcmp their
+/// interner-backed text, and the DP rows come from the thread-local
+/// path arena's recycled pool). Semantics are identical to
+/// [`glob_match`] — enforced by property tests.
 pub struct CompiledGlob {
     pattern: String,
     branches: Vec<Branch>,
-    scratch: Mutex<(Vec<bool>, Vec<bool>)>,
+    /// Any [`Branch::Toks`] present? Gates the arena scope: literal and
+    /// prefix branches need no DP scratch.
+    has_toks: bool,
 }
 
 impl CompiledGlob {
     /// Compiles `pattern`.
     pub fn new(pattern: &str) -> CompiledGlob {
-        let branches = expand_all(pattern)
+        let branches: Vec<Branch> = expand_all(pattern)
             .iter()
             .map(|leaf| Branch::compile(leaf))
             .collect();
+        let has_toks = branches.iter().any(|b| matches!(b, Branch::Toks { .. }));
         CompiledGlob {
             pattern: pattern.to_string(),
             branches,
-            scratch: Mutex::new((Vec::new(), Vec::new())),
+            has_toks,
         }
     }
 
@@ -269,7 +280,30 @@ impl CompiledGlob {
     /// `glob_match(self.pattern(), path)`.
     pub fn matches(&self, path: &str) -> bool {
         let s = path.as_bytes();
-        self.branches.iter().any(|b| b.matches(s, &self.scratch))
+        // Literal and prefix branches resolve with a plain compare; the
+        // arena scope only opens when a wildcard branch actually needs
+        // DP scratch rows.
+        for b in &self.branches {
+            match b {
+                Branch::Literal(lit) => {
+                    if s == lit.as_bytes() {
+                        return true;
+                    }
+                }
+                Branch::PrefixAll(lit) => {
+                    if s.starts_with(lit) {
+                        return true;
+                    }
+                }
+                Branch::Toks { .. } => {}
+            }
+        }
+        self.has_toks
+            && PathArena::scope(|arena| {
+                self.branches
+                    .iter()
+                    .any(|b| matches!(b, Branch::Toks { .. }) && b.matches(s, arena))
+            })
     }
 }
 

@@ -181,12 +181,12 @@ impl SecurityModule for AppArmorLsm {
     }
 
     fn file_open(&self, ctx: &FileOpenCtx) -> FileDecision {
-        match self.profile_for(&ctx.binary) {
+        match self.profile_for(ctx.binary) {
             Some(p) => {
                 let allowed = if self.caching.load(Ordering::Relaxed) {
-                    p.check_path(&ctx.path, ctx.access)
+                    p.check_path(ctx.path, ctx.access)
                 } else {
-                    p.check_path_interpreted(&ctx.path, ctx.access)
+                    p.check_path_interpreted(ctx.path, ctx.access)
                 };
                 if allowed {
                     FileDecision::UseDefault
@@ -381,10 +381,11 @@ mod tests {
     #[test]
     fn caching_toggle_preserves_decisions() {
         let a = AppArmorLsm::with_ubuntu_defaults();
-        let ctx = |path: &str| FileOpenCtx {
-            cred: Credentials::root(),
-            path: path.to_string(),
-            binary: "/bin/mount".to_string(),
+        let root = Credentials::root();
+        let ctx = |path: &'static str| FileOpenCtx {
+            cred: &root,
+            path,
+            binary: "/bin/mount",
             access: Access::READ,
             dac_allows: true,
             file_owner: sim_kernel::cred::Uid::ROOT,

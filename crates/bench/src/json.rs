@@ -316,8 +316,17 @@ impl Parser<'_> {
     }
 }
 
-/// The schema tag every generated results file carries.
+/// The schema tag of legacy best-of-two Table 5 results files.
 pub const TABLE5_SCHEMA: &str = "bench_table5/v1";
+
+/// The schema tag of Table 5 documents whose micro rows were measured
+/// with the paired interleaved median-of-K protocol: the document carries
+/// `runs_per_mode` and every micro row carries its per-run samples.
+pub const TABLE5_SCHEMA_V2: &str = "bench_table5/v2";
+
+/// The per-row overhead budget enforced on every micro row of a full
+/// (non-quick) `bench_table5/v2` document, in percent.
+pub const MICRO_BUDGET_PCT: f64 = 10.0;
 
 fn require_num(row: &Value, field: &str, ctx: &str) -> Result<f64, String> {
     row.get(field)
@@ -366,17 +375,30 @@ fn cache_hits(doc: &Value, name: &str) -> Result<f64, String> {
 /// criteria: schema tag, non-empty numeric micro *and* macro rows, the two
 /// required hot-path rows at ≥2x speedup, and nonzero dcache plus
 /// profile-cache hit counters.
+///
+/// `bench_table5/v2` documents must additionally carry `runs_per_mode`
+/// (>= 3) and per-run sample arrays of exactly that length on every micro
+/// row, with the reported median inside the sample range; full (non-quick)
+/// v2 documents must keep every micro row within [`MICRO_BUDGET_PCT`].
 pub fn validate_table5(text: &str) -> Result<(), String> {
     let doc = parse(text).map_err(|e| format!("not valid JSON: {}", e))?;
     let schema = doc
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\" string")?;
-    if schema != TABLE5_SCHEMA {
-        return Err(format!("schema {:?}, expected {:?}", schema, TABLE5_SCHEMA));
+    if schema != TABLE5_SCHEMA && schema != TABLE5_SCHEMA_V2 {
+        return Err(format!(
+            "schema {:?}, expected {:?} or {:?}",
+            schema, TABLE5_SCHEMA, TABLE5_SCHEMA_V2
+        ));
     }
     require_rows(&doc, "micro")?;
     require_rows(&doc, "macro")?;
+    if schema == TABLE5_SCHEMA_V2 {
+        validate_table5_micro_v2(&doc)?;
+    } else if doc.get("runs_per_mode").is_some() {
+        return Err("v1 document carries \"runs_per_mode\" (should be tagged v2)".into());
+    }
 
     let hotpath = doc
         .get("hotpath")
@@ -408,6 +430,80 @@ pub fn validate_table5(text: &str) -> Result<(), String> {
         .sum::<f64>();
     if profile_hits <= 0.0 {
         return Err("profile caches reported zero hits".into());
+    }
+    Ok(())
+}
+
+/// Validates the v2-only parts of a Table 5 document: the paired
+/// median-of-K evidence on every micro row, and (for full runs) the
+/// per-row micro overhead budget.
+fn validate_table5_micro_v2(doc: &Value) -> Result<(), String> {
+    let runs = require_num(doc, "runs_per_mode", "document")?;
+    if runs < 3.0 {
+        return Err(format!(
+            "runs_per_mode {} below the minimum 3 for a median to discard outliers",
+            runs
+        ));
+    }
+    let quick = matches!(doc.get("quick"), Some(Value::Bool(true)));
+    let rows = doc
+        .get("micro")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"micro\" array")?;
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("micro row without a string name")?;
+        let ctx = format!("micro row {:?}", name);
+        for (field, median_field) in [
+            ("linux_runs_ns", "linux_ns"),
+            ("protego_runs_ns", "protego_ns"),
+        ] {
+            let arr = row.get(field).and_then(Value::as_arr).ok_or_else(|| {
+                format!(
+                    "{}: missing {:?} (v2 rows carry per-run samples)",
+                    ctx, field
+                )
+            })?;
+            if arr.len() != runs as usize {
+                return Err(format!(
+                    "{}: {} has {} samples, document says runs_per_mode={}",
+                    ctx,
+                    field,
+                    arr.len(),
+                    runs
+                ));
+            }
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for v in arr {
+                let n = v
+                    .as_f64()
+                    .filter(|n| n.is_finite() && *n > 0.0)
+                    .ok_or_else(|| {
+                        format!("{}: {} sample is not a finite positive number", ctx, field)
+                    })?;
+                lo = lo.min(n);
+                hi = hi.max(n);
+            }
+            let median = require_num(row, median_field, &ctx)?;
+            if median < lo || median > hi {
+                return Err(format!(
+                    "{}: {} {} outside its own sample range [{}, {}]",
+                    ctx, median_field, median, lo, hi
+                ));
+            }
+        }
+        if !quick {
+            let overhead = require_num(row, "overhead_pct", &ctx)?;
+            if overhead > MICRO_BUDGET_PCT {
+                return Err(format!(
+                    "{}: overhead {:.2}% exceeds the {:.0}% micro budget",
+                    ctx, overhead, MICRO_BUDGET_PCT
+                ));
+            }
+        }
     }
     Ok(())
 }

@@ -31,7 +31,7 @@ use sim_kernel::lsm::{
 use sim_kernel::net::{Domain, ProtoMatch, Route, RouteTable, Rule, SockType, Verdict};
 use sim_kernel::sync::lock;
 use sim_kernel::trace::CacheStats;
-use sim_kernel::vfs::Access;
+use sim_kernel::vfs::{Access, Name};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -51,11 +51,12 @@ pub struct ProtegoLsm {
     /// rule provenance to audit events. Hooks take `&self`, hence the
     /// interior mutability.
     matched: Mutex<Option<String>>,
-    /// path → index of the governing keyfile rule (None = no rule). The
-    /// cache stores the *index* rather than the decision so the
-    /// rule-provenance side effects still fire on every hook. Dropped on
-    /// any policy write.
-    keyfile_cache: Mutex<HashMap<String, Option<usize>>>,
+    /// Interned path → index of the governing keyfile rule (None = no
+    /// rule). Keyed on [`Name`] so the steady-state probe hashes a u32
+    /// and touches no heap; the cache stores the *index* rather than the
+    /// decision so the rule-provenance side effects still fire on every
+    /// hook. Dropped on any policy write.
+    keyfile_cache: Mutex<HashMap<Name, Option<usize>>>,
     keyfile_cache_stats: Mutex<CacheStats>,
 }
 
@@ -127,9 +128,12 @@ impl ProtegoLsm {
 
     fn keyfile_rule(&self, path: &str) -> Option<&KeyFileRule> {
         let _span = sim_kernel::trace::span(sim_kernel::trace::Pathway::PolicyCache);
-        {
+        // Any path the kernel hands a hook has already been interned by
+        // the VFS walk, so a `lookup` miss means the path was never seen
+        // and cannot be cached (probe without polluting the interner).
+        if let Some(key) = Name::lookup(path) {
             let cache = lock(&self.keyfile_cache);
-            if let Some(&idx) = cache.get(path) {
+            if let Some(&idx) = cache.get(&key) {
                 lock(&self.keyfile_cache_stats).hits += 1;
                 return idx.map(|i| &self.policy.keyfiles[i]);
             }
@@ -141,7 +145,7 @@ impl ProtegoLsm {
             cache.clear();
             lock(&self.keyfile_cache_stats).invalidations += 1;
         }
-        cache.insert(path.to_string(), idx);
+        cache.insert(Name::intern(path), idx);
         idx.map(|i| &self.policy.keyfiles[i])
     }
 
@@ -485,7 +489,7 @@ impl SecurityModule for ProtegoLsm {
         // Binary-identity grants: only the named binary may open the key
         // file, regardless of uid ("instead of, or in addition to, user
         // IDs" — Table 4).
-        if let Some(rule) = self.keyfile_rule(&ctx.path) {
+        if let Some(rule) = self.keyfile_rule(ctx.path) {
             self.note_rule(format!("keyfiles:{} -> {}", rule.path, rule.binary));
             return if ctx.binary == rule.binary && !ctx.access.wants_write() {
                 FileDecision::AllowCloexec
@@ -495,7 +499,7 @@ impl SecurityModule for ProtegoLsm {
         }
         // Per-user shadow fragments: reading your own requires a fresh
         // authentication, and the handle may not be inherited (§4.4).
-        if self.is_shadow_fragment(&ctx.path) && ctx.access.wants_read() {
+        if self.is_shadow_fragment(ctx.path) && ctx.access.wants_read() {
             self.note_rule(format!("creddb:{}", ctx.path));
             if ctx.cred.euid.is_root() {
                 // The trusted authentication agent and root tools.
@@ -1023,30 +1027,32 @@ mod tests {
             binary: "/usr/lib/ssh-keysign".into(),
         });
         let lsm = lsm_with(p);
-        let mk = |binary: &str, cred: Credentials, access: Access| FileOpenCtx {
-            cred,
-            path: "/etc/ssh/ssh_host_key".into(),
-            binary: binary.into(),
-            access,
-            dac_allows: false,
-            file_owner: Uid::ROOT,
-            last_auth: None,
-            last_auth_scope: None,
-            now: 0,
-        };
+        fn mk<'a>(binary: &'a str, cred: &'a Credentials, access: Access) -> FileOpenCtx<'a> {
+            FileOpenCtx {
+                cred,
+                path: "/etc/ssh/ssh_host_key",
+                binary,
+                access,
+                dac_allows: false,
+                file_owner: Uid::ROOT,
+                last_auth: None,
+                last_auth_scope: None,
+                now: 0,
+            }
+        }
         // The named binary reads the key even as an unprivileged user.
         assert_eq!(
-            lsm.file_open(&mk("/usr/lib/ssh-keysign", user_cred(), Access::READ)),
+            lsm.file_open(&mk("/usr/lib/ssh-keysign", &user_cred(), Access::READ)),
             FileDecision::AllowCloexec
         );
         // Any other binary is refused, even running as root.
         assert_eq!(
-            lsm.file_open(&mk("/bin/cat", Credentials::root(), Access::READ)),
+            lsm.file_open(&mk("/bin/cat", &Credentials::root(), Access::READ)),
             FileDecision::Deny(Errno::EACCES)
         );
         // Writes are never granted through the keyfile rule.
         assert_eq!(
-            lsm.file_open(&mk("/usr/lib/ssh-keysign", user_cred(), Access::WRITE)),
+            lsm.file_open(&mk("/usr/lib/ssh-keysign", &user_cred(), Access::WRITE)),
             FileDecision::Deny(Errno::EACCES)
         );
     }
@@ -1056,10 +1062,11 @@ mod tests {
         let mut p = PolicySet::default();
         p.creddb.shadow_prefixes.push("/etc/shadows/".into());
         let lsm = lsm_with(p);
+        let user = user_cred();
         let mk = |authed: Option<AuthScope>, now: u64| FileOpenCtx {
-            cred: user_cred(),
-            path: "/etc/shadows/alice".into(),
-            binary: "/usr/bin/passwd".into(),
+            cred: &user,
+            path: "/etc/shadows/alice",
+            binary: "/usr/bin/passwd",
             access: Access::READ,
             dac_allows: true,
             file_owner: Uid(1000),
@@ -1090,10 +1097,11 @@ mod tests {
         let mut p = PolicySet::default();
         p.creddb.shadow_prefixes.push("/etc/shadows/".into());
         let lsm = lsm_with(p);
+        let user = user_cred();
         let c = FileOpenCtx {
-            cred: user_cred(),
-            path: "/etc/shadows/bob".into(),
-            binary: "/usr/bin/passwd".into(),
+            cred: &user,
+            path: "/etc/shadows/bob",
+            binary: "/usr/bin/passwd",
             access: Access::READ,
             dac_allows: false,
             file_owner: Uid(1001),
@@ -1112,10 +1120,11 @@ mod tests {
             binary: "/usr/lib/ssh-keysign".into(),
         });
         let mut lsm = lsm_with(p);
+        let user = user_cred();
         let mk = || FileOpenCtx {
-            cred: user_cred(),
-            path: "/etc/ssh/ssh_host_key".into(),
-            binary: "/usr/lib/ssh-keysign".into(),
+            cred: &user,
+            path: "/etc/ssh/ssh_host_key",
+            binary: "/usr/lib/ssh-keysign",
             access: Access::READ,
             dac_allows: false,
             file_owner: Uid::ROOT,

@@ -450,13 +450,14 @@ impl Kernel {
     }
 
     /// A self-contained copy of the kernel's metrics with the live cache
-    /// counters (VFS dcache + the security module's policy caches)
-    /// folded in — the same view `/proc/<lsm>/metrics` renders, but as a
+    /// counters (VFS dcache, the name interner, and the security
+    /// module's policy caches) folded in — the same view `/proc/<lsm>/metrics` renders, but as a
     /// plain value that can cross threads and be [`Metrics::merge`]d
     /// into a fleet-wide aggregate.
     pub fn metrics_snapshot(&self) -> Metrics {
         let mut m = self.metrics.snapshot();
         m.record_cache("dcache", self.vfs.dcache_stats());
+        m.record_cache("intern", crate::vfs::intern::stats());
         for (name, stats) in self.lsm().cache_stats() {
             m.record_cache(name, stats);
         }

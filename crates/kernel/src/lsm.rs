@@ -222,16 +222,20 @@ impl ExecCtx {
     }
 }
 
-/// Context for the file-open hook.
-#[derive(Clone, Debug)]
-pub struct FileOpenCtx {
+/// Context for the file-open hook. Borrows the caller's credentials and
+/// paths straight from the task table (like [`SetidCtx`]), so building
+/// one on the open fast path clones nothing — `Credentials` owns a
+/// supplementary-groups `Vec`, which made the old owned form allocate on
+/// every open.
+#[derive(Clone, Copy, Debug)]
+pub struct FileOpenCtx<'a> {
     /// Caller credentials.
-    pub cred: Credentials,
+    pub cred: &'a Credentials,
     /// Absolute path being opened.
-    pub path: String,
+    pub path: &'a str,
     /// Binary performing the open (for binary-identity policies such as
     /// ssh-keysign's host-key access).
-    pub binary: String,
+    pub binary: &'a str,
     /// Requested access.
     pub access: Access,
     /// Whether stock DAC would allow the access.
@@ -246,7 +250,7 @@ pub struct FileOpenCtx {
     pub now: u64,
 }
 
-impl FileOpenCtx {
+impl FileOpenCtx<'_> {
     /// Whether the task proved `scope` within `window` seconds.
     pub fn authed_for(&self, scope: AuthScope, window: u64) -> bool {
         self.last_auth_scope == Some(scope)

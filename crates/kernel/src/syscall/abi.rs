@@ -26,11 +26,12 @@ use crate::error::{Errno, KResult};
 use crate::kernel::Kernel;
 use crate::net::{Domain, Ipv4, Packet, SockType};
 use crate::syscall::interceptor::SysCtx;
-use crate::syscall::{IoctlCmd, IoctlOut, NetfilterOp, OpenFlags, RouteOp, Stat};
+use crate::syscall::{Interceptor, IoctlCmd, IoctlOut, NetfilterOp, OpenFlags, RouteOp, Stat};
 use crate::task::{NsKind, Pid};
 use crate::trace;
 use crate::trace::{AuditObject, DecisionKind, Hook, Provenance};
 use crate::vfs::Mode;
+use std::sync::Arc;
 
 /// The class a syscall belongs to — the granularity at which the fault
 /// injector targets errno storms and the meter aggregates counters.
@@ -869,15 +870,35 @@ impl Kernel {
     /// the final response, injected or real.
     pub fn dispatch(&self, pid: Pid, call: Syscall) -> SysRet {
         let _dispatch_span = trace::span(trace::Pathway::Dispatch);
-        // Clone the chain's shared handles under a brief read lock, so
+        // Snapshot the chain's shared handles under a brief read lock, so
         // hooks run without holding any kernel lock (an interceptor may
         // itself consult kernel state) and concurrent dispatches do not
-        // serialize on the chain.
-        let chain: Vec<_> = self.interceptors.read().clone();
+        // serialize on the chain. Short chains (the overwhelmingly common
+        // case) snapshot into a stack array so dispatch entry touches no
+        // heap; longer chains spill to a clone.
+        const IC_INLINE: usize = 4;
+        let mut inline: [Option<Arc<dyn Interceptor>>; IC_INLINE] = [None, None, None, None];
+        let mut spill: Vec<Arc<dyn Interceptor>> = Vec::new();
+        {
+            let guard = self.interceptors.read();
+            if guard.len() <= IC_INLINE {
+                for (slot, ic) in inline.iter_mut().zip(guard.iter()) {
+                    *slot = Some(ic.clone());
+                }
+            } else {
+                spill = guard.clone();
+            }
+        }
+        let chain = || {
+            inline
+                .iter()
+                .filter_map(|s| s.as_deref())
+                .chain(spill.iter().map(|a| &**a))
+        };
         let mut injected = None;
         {
             let _before_span = trace::span(trace::Pathway::InterceptBefore);
-            for ic in chain.iter() {
+            for ic in chain() {
                 let mut ctx = SysCtx {
                     clock: self.clock(),
                     metrics: &self.metrics,
@@ -908,12 +929,15 @@ impl Kernel {
             }
             None => {
                 let _body_span = trace::span(trace::Pathway::for_class(call.class()));
-                self.dispatch_inner(pid, &call)
+                // Bracket the entry point in an arena scope so any pooled
+                // path buffers borrowed below are trimmed back to bounds
+                // when the dispatch exits (§14 reset discipline).
+                crate::vfs::PathArena::scope(|_| self.dispatch_inner(pid, &call))
             }
         };
         {
             let _after_span = trace::span(trace::Pathway::InterceptAfter);
-            for ic in chain.iter().rev() {
+            for ic in chain().rev() {
                 let mut ctx = SysCtx {
                     clock: self.clock(),
                     metrics: &self.metrics,

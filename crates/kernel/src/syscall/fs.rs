@@ -9,7 +9,7 @@ use crate::lsm::{FileDecision, FileOpenCtx};
 use crate::syscall::abi::Whence;
 use crate::task::{Fd, FdObject, Pid};
 use crate::trace::{AuditObject, DecisionKind, Hook};
-use crate::vfs::{Access, Ino, InodeData, Mode, ProcHook, Resolved};
+use crate::vfs::{Access, Ino, InodeData, Mode, Name, PathArena, ProcHook, Resolved};
 
 /// Flags for [`Kernel::sys_open`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,14 +125,31 @@ impl Kernel {
 
     /// Checks a DAC access on an inode, honouring the DAC-override
     /// capabilities through the (LSM-aware) `capable` path.
+    ///
+    /// Called once per traversed directory on every walk, so the
+    /// credential snapshot stays on the stack: the scalars are copied
+    /// out and supplementary groups land in an inline array (tasks with
+    /// more than [`GROUPS_INLINE`] groups spill, which is cold).
     pub(crate) fn check_access(&self, pid: Pid, ino: Ino, want: Access) -> KResult<()> {
-        let cred = self.task(pid)?.cred.clone();
-        let groups = cred.groups.clone();
-        let egid = cred.egid;
+        /// Supplementary groups kept on the stack per check.
+        const GROUPS_INLINE: usize = 8;
+        let mut inline = [Gid(0); GROUPS_INLINE];
+        let (fsuid, egid, ngroups, spill) = {
+            let t = self.task(pid)?;
+            let c = &t.cred;
+            let n = c.groups.len().min(GROUPS_INLINE);
+            inline[..n].copy_from_slice(&c.groups[..n]);
+            let spill: Vec<Gid> = if c.groups.len() > GROUPS_INLINE {
+                c.groups[GROUPS_INLINE..].to_vec()
+            } else {
+                Vec::new()
+            };
+            (c.fsuid, c.egid, n, spill)
+        };
         let allowed = crate::vfs::Vfs::dac_allows(
             &self.vfs.inode(ino),
-            cred.fsuid,
-            |g| egid == g || groups.contains(&g),
+            fsuid,
+            |g| egid == g || inline[..ngroups].contains(&g) || spill.contains(&g),
             want,
         );
         if allowed {
@@ -163,7 +180,7 @@ impl Kernel {
     pub(crate) fn walk(&self, pid: Pid, path: &str) -> KResult<Resolved> {
         let cwd = self.task(pid)?.cwd;
         let r = self.vfs.resolve(cwd, path)?;
-        for &dir in &r.dirs {
+        for dir in r.dirs.iter() {
             self.check_access(pid, dir, Access::EXEC)?;
         }
         Ok(r)
@@ -173,7 +190,7 @@ impl Kernel {
     pub(crate) fn walk_nofollow(&self, pid: Pid, path: &str) -> KResult<Resolved> {
         let cwd = self.task(pid)?.cwd;
         let r = self.vfs.resolve_nofollow(cwd, path)?;
-        for &dir in &r.dirs {
+        for dir in r.dirs.iter() {
             self.check_access(pid, dir, Access::EXEC)?;
         }
         Ok(r)
@@ -209,7 +226,7 @@ impl Kernel {
             Some(r) => r.ino,
             None => {
                 let (parent, name) = self.vfs.resolve_parent(cwd, path)?;
-                for &d in &parent.dirs {
+                for d in parent.dirs.iter() {
                     self.check_access(pid, d, Access::EXEC)?;
                 }
                 self.check_access(pid, parent.ino, Access::WRITE.and(Access::EXEC))?;
@@ -230,95 +247,104 @@ impl Kernel {
         let dac = self.check_access(pid, ino, want);
         let dac_ok = dac.is_ok();
 
-        // LSM file-open hook, with one authentication retry.
-        let abs = self.vfs.path_of(ino);
+        // LSM file-open hook, with one authentication retry. The
+        // absolute path is reconstructed into the per-thread arena and
+        // the hook context borrows it together with the task's
+        // credentials, so the steady-state approve path (UseDefault with
+        // DAC ok) allocates nothing.
         let file_owner = self.vfs.inode(ino).uid;
         let mut force_cloexec = false;
-        let mut attempts = 0;
-        loop {
-            // Scoped: the task guard must drop before the arms below
-            // emit events or re-run authentication (both re-enter the
-            // task table).
-            let ctx = {
-                let t = self.task(pid)?;
-                FileOpenCtx {
-                    cred: t.cred.clone(),
-                    path: abs.clone(),
-                    binary: t.binary.clone(),
-                    access: want,
-                    dac_allows: dac_ok,
-                    file_owner,
-                    last_auth: t.last_auth,
-                    last_auth_scope: t.last_auth_scope,
-                    now: self.clock(),
-                }
-            };
-            // Bind the decision first so the LSM read guard (a match
-            // scrutinee would pin it) is released before the arms run.
-            let decision = self.lsm().file_open(&ctx);
-            match decision {
-                FileDecision::UseDefault => {
-                    dac?;
-                    break;
-                }
-                FileDecision::Allow => {
-                    let msg = format!("open: lsm granted {}", abs);
-                    self.emit_lsm_event(
-                        pid,
-                        "open",
-                        Hook::FileOpen,
-                        DecisionKind::Allow,
-                        None,
-                        AuditObject::Path(abs.clone()),
-                        msg,
-                    );
-                    break;
-                }
-                FileDecision::AllowCloexec => {
-                    force_cloexec = true;
-                    let msg = format!("open: lsm granted {} (cloexec forced)", abs);
-                    self.emit_lsm_event(
-                        pid,
-                        "open",
-                        Hook::FileOpen,
-                        DecisionKind::Allow,
-                        None,
-                        AuditObject::Path(abs.clone()),
-                        msg,
-                    );
-                    break;
-                }
-                FileDecision::Deny(e) => {
-                    let msg = format!("open: lsm denied {} ({})", abs, e.name());
-                    self.emit_lsm_event(
-                        pid,
-                        "open",
-                        Hook::FileOpen,
-                        DecisionKind::Deny,
-                        Some(e),
-                        AuditObject::Path(abs.clone()),
-                        msg,
-                    );
-                    return Err(e);
-                }
-                FileDecision::NeedAuth(scope) => {
-                    attempts += 1;
-                    if attempts > 1 || !self.run_auth(pid, scope) {
-                        let msg = format!("open: auth failed for {}", abs);
+        let abs_name = PathArena::scope(|arena| -> KResult<Name> {
+            let abs = self.vfs.path_of_in(arena, ino);
+            let mut attempts = 0;
+            loop {
+                // Scoped: the task guard must drop before the arms below
+                // emit events or re-run authentication (both re-enter
+                // the task table). The hook itself runs with the guard
+                // held — modules only read the borrowed context (same
+                // discipline as the setuid/setgid hooks).
+                let decision = {
+                    let t = self.task(pid)?;
+                    let ctx = FileOpenCtx {
+                        cred: &t.cred,
+                        path: &abs,
+                        binary: &t.binary,
+                        access: want,
+                        dac_allows: dac_ok,
+                        file_owner,
+                        last_auth: t.last_auth,
+                        last_auth_scope: t.last_auth_scope,
+                        now: self.clock(),
+                    };
+                    self.lsm().file_open(&ctx)
+                };
+                match decision {
+                    FileDecision::UseDefault => {
+                        dac?;
+                        break;
+                    }
+                    FileDecision::Allow => {
+                        let msg = format!("open: lsm granted {}", abs);
+                        self.emit_lsm_event(
+                            pid,
+                            "open",
+                            Hook::FileOpen,
+                            DecisionKind::Allow,
+                            None,
+                            AuditObject::Path(abs.to_string()),
+                            msg,
+                        );
+                        break;
+                    }
+                    FileDecision::AllowCloexec => {
+                        force_cloexec = true;
+                        let msg = format!("open: lsm granted {} (cloexec forced)", abs);
+                        self.emit_lsm_event(
+                            pid,
+                            "open",
+                            Hook::FileOpen,
+                            DecisionKind::Allow,
+                            None,
+                            AuditObject::Path(abs.to_string()),
+                            msg,
+                        );
+                        break;
+                    }
+                    FileDecision::Deny(e) => {
+                        let msg = format!("open: lsm denied {} ({})", abs, e.name());
                         self.emit_lsm_event(
                             pid,
                             "open",
                             Hook::FileOpen,
                             DecisionKind::Deny,
-                            Some(Errno::EACCES),
-                            AuditObject::Path(abs.clone()),
+                            Some(e),
+                            AuditObject::Path(abs.to_string()),
                             msg,
                         );
-                        return Err(Errno::EACCES);
+                        return Err(e);
+                    }
+                    FileDecision::NeedAuth(scope) => {
+                        attempts += 1;
+                        if attempts > 1 || !self.run_auth(pid, scope) {
+                            let msg = format!("open: auth failed for {}", abs);
+                            self.emit_lsm_event(
+                                pid,
+                                "open",
+                                Hook::FileOpen,
+                                DecisionKind::Deny,
+                                Some(Errno::EACCES),
+                                AuditObject::Path(abs.to_string()),
+                                msg,
+                            );
+                            return Err(Errno::EACCES);
+                        }
                     }
                 }
             }
-        }
+            // The fd table records the path as an interned symbol so the
+            // descriptor stays `Copy`-cheap to clone on every read/write.
+            Ok(Name::intern(&abs))
+        })?;
 
         if flags.truncate && matches!(self.vfs.inode(ino).data, InodeData::Regular(_)) {
             self.vfs.write_all(ino, b"")?;
@@ -331,7 +357,7 @@ impl Kernel {
                 readable: flags.read,
                 writable: flags.write || flags.append || flags.truncate,
                 append: flags.append,
-                path: abs,
+                path: abs_name,
             },
             cloexec: flags.cloexec || force_cloexec,
         };
@@ -403,11 +429,31 @@ impl Kernel {
                 if !readable {
                     return Err(Errno::EBADF);
                 }
-                let content = self.render_node(pid, ino)?;
-                let end = (offset + count).min(content.len());
-                let slice = &content[offset.min(content.len())..end];
-                buf.extend_from_slice(slice);
-                let n = slice.len();
+                // Regular files copy straight out of the inode guard —
+                // no intermediate content clone. Dynamic nodes (and the
+                // EISDIR/EINVAL cases) fall through to `render_node`.
+                let fast = {
+                    let inode = self.vfs.inode(ino);
+                    match &inode.data {
+                        InodeData::Regular(d) => {
+                            let end = (offset + count).min(d.len());
+                            let slice = &d[offset.min(d.len())..end];
+                            buf.extend_from_slice(slice);
+                            Some(slice.len())
+                        }
+                        _ => None,
+                    }
+                };
+                let n = match fast {
+                    Some(n) => n,
+                    None => {
+                        let content = self.render_node(pid, ino)?;
+                        let end = (offset + count).min(content.len());
+                        let slice = &content[offset.min(content.len())..end];
+                        buf.extend_from_slice(slice);
+                        slice.len()
+                    }
+                };
                 if let FdObject::File { offset, .. } = &mut self.task_mut(pid)?.fd_mut(fd)?.object {
                     *offset += n;
                 }
@@ -693,7 +739,7 @@ impl Kernel {
     pub fn sys_mkdir(&self, pid: Pid, path: &str, mode: Mode) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (parent, name) = self.vfs.resolve_parent(cwd, path)?;
-        for &d in &parent.dirs {
+        for d in parent.dirs.iter() {
             self.check_access(pid, d, Access::EXEC)?;
         }
         self.check_access(pid, parent.ino, Access::WRITE.and(Access::EXEC))?;
@@ -707,7 +753,7 @@ impl Kernel {
     pub fn sys_unlink(&self, pid: Pid, path: &str) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (parent, name) = self.vfs.resolve_parent(cwd, path)?;
-        for &d in &parent.dirs {
+        for d in parent.dirs.iter() {
             self.check_access(pid, d, Access::EXEC)?;
         }
         self.check_access(pid, parent.ino, Access::WRITE.and(Access::EXEC))?;
@@ -718,7 +764,7 @@ impl Kernel {
     pub fn sys_rmdir(&self, pid: Pid, path: &str) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (parent, name) = self.vfs.resolve_parent(cwd, path)?;
-        for &d in &parent.dirs {
+        for d in parent.dirs.iter() {
             self.check_access(pid, d, Access::EXEC)?;
         }
         self.check_access(pid, parent.ino, Access::WRITE.and(Access::EXEC))?;
@@ -729,12 +775,12 @@ impl Kernel {
     pub fn sys_rename(&self, pid: Pid, from: &str, to: &str) -> KResult<()> {
         let cwd = self.task(pid)?.cwd;
         let (from_parent, from_name) = self.vfs.resolve_parent(cwd, from)?;
-        for &d in &from_parent.dirs {
+        for d in from_parent.dirs.iter() {
             self.check_access(pid, d, Access::EXEC)?;
         }
         self.check_access(pid, from_parent.ino, Access::WRITE.and(Access::EXEC))?;
         let (to_parent, to_name) = self.vfs.resolve_parent(cwd, to)?;
-        for &d in &to_parent.dirs {
+        for d in to_parent.dirs.iter() {
             self.check_access(pid, d, Access::EXEC)?;
         }
         self.check_access(pid, to_parent.ino, Access::WRITE.and(Access::EXEC))?;
@@ -770,7 +816,9 @@ impl Kernel {
         self.check_access(pid, r.ino, Access::READ)?;
         let inode = self.vfs.inode(r.ino);
         let entries = inode.dir_entries().ok_or(Errno::ENOTDIR)?;
-        Ok(entries.keys().cloned().collect())
+        let mut names: Vec<String> = entries.keys().map(|n| n.as_str().to_string()).collect();
+        names.sort();
+        Ok(names)
     }
 
     /// `pipe(2)` — returns (read fd, write fd).

@@ -167,7 +167,7 @@ impl Kernel {
         // look up the path string in the mount table.
         let cwd = self.task(pid)?.cwd;
         let r = self.vfs.resolve(cwd, target)?;
-        for &d in &r.dirs {
+        for d in r.dirs.iter() {
             self.check_access(pid, d, Access::EXEC)?;
         }
         let mountpoint = self.vfs.path_of(r.ino);

@@ -4,7 +4,7 @@ use crate::cred::Credentials;
 use crate::error::{Errno, KResult};
 use crate::lsm::{AuthScope, PendingSetuid};
 use crate::net::SockId;
-use crate::vfs::Ino;
+use crate::vfs::{Ino, Name};
 use std::collections::VecDeque;
 
 /// A process identity.
@@ -30,8 +30,10 @@ pub enum FdObject {
         writable: bool,
         /// Append mode.
         append: bool,
-        /// Resolved path at open time (for diagnostics and policy audit).
-        path: String,
+        /// Resolved path at open time, interned (for diagnostics and
+        /// policy audit); keeps every field `Copy` so cloning the fd on
+        /// each read/write touches no heap.
+        path: Name,
     },
     /// A socket.
     Socket(SockId),

@@ -85,10 +85,12 @@ pub enum Pathway {
     LsmNetfilter,
     /// Policy decision caches (keyfile / binary-profile lookup caches).
     PolicyCache,
+    /// Name-interner insert path (`Name::intern` on a miss or first use).
+    Intern,
 }
 
 /// Number of pathways (the registry array length).
-pub const PATHWAY_COUNT: usize = 25;
+pub const PATHWAY_COUNT: usize = 26;
 
 impl Pathway {
     /// Every pathway, in discriminant order.
@@ -118,6 +120,7 @@ impl Pathway {
         Pathway::LsmConfig,
         Pathway::LsmNetfilter,
         Pathway::PolicyCache,
+        Pathway::Intern,
     ];
 
     /// Stable snake_case name used in `/proc/kernel/histograms` and the
@@ -149,6 +152,7 @@ impl Pathway {
             Pathway::LsmConfig => "lsm_config",
             Pathway::LsmNetfilter => "lsm_netfilter",
             Pathway::PolicyCache => "policy_cache",
+            Pathway::Intern => "intern",
         }
     }
 

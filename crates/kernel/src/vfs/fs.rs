@@ -27,7 +27,9 @@
 //!   rename can move a directory, so the ancestor cycle-walk is sound
 //!   under that lock alone.
 
+use super::arena::PathArena;
 use super::inode::{Access, Ino, Inode, InodeData, Mode, ProcHook};
+use super::intern::Name;
 use crate::cred::{Gid, Uid};
 use crate::error::{Errno, KResult};
 use crate::sync;
@@ -71,7 +73,7 @@ const fn slot_of(ino: Ino) -> usize {
 /// d_seq/mount generations rather than tracking per-entry dependencies.
 #[derive(Debug, Default)]
 struct DcacheShard {
-    map: HashMap<(Ino, bool), HashMap<String, Resolved>>,
+    map: HashMap<(Ino, bool), HashMap<Name, Resolved>>,
     entries: usize,
     gen: u64,
     stats: CacheStats,
@@ -160,6 +162,64 @@ pub struct Mount {
     pub mounted_by: Uid,
 }
 
+/// Directories traversed during one resolution, inline up to
+/// `DIR_INLINE` deep so the common walk — and cloning a dcache hit —
+/// never touches the heap. Deeper walks spill to a `Vec`.
+#[derive(Clone, Debug)]
+pub struct DirChain {
+    inline: [Ino; DIR_INLINE],
+    len: usize,
+    spill: Vec<Ino>,
+}
+
+/// Inline capacity of a [`DirChain`]; covers any realistic path depth.
+const DIR_INLINE: usize = 12;
+
+impl DirChain {
+    /// An empty chain (no allocation).
+    pub fn new() -> DirChain {
+        DirChain {
+            inline: [Ino(0); DIR_INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends a directory to the chain.
+    pub fn push(&mut self, ino: Ino) {
+        if self.len < DIR_INLINE {
+            self.inline[self.len] = ino;
+        } else {
+            self.spill.push(ino);
+        }
+        self.len += 1;
+    }
+
+    /// Number of directories recorded.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the directories in traversal order.
+    pub fn iter(&self) -> impl Iterator<Item = Ino> + '_ {
+        self.inline[..self.len.min(DIR_INLINE)]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+}
+
+impl Default for DirChain {
+    fn default() -> Self {
+        DirChain::new()
+    }
+}
+
 /// Outcome of a full path resolution.
 #[derive(Clone, Debug)]
 pub struct Resolved {
@@ -167,7 +227,7 @@ pub struct Resolved {
     pub ino: Ino,
     /// Every directory inode traversed (for search-permission checks),
     /// excluding the final inode.
-    pub dirs: Vec<Ino>,
+    pub dirs: DirChain,
 }
 
 /// Shared (read) access to a single inode; derefs to [`Inode`].
@@ -484,12 +544,6 @@ impl Vfs {
         path.split('/').filter(|c| !c.is_empty() && *c != ".")
     }
 
-    /// Splits a path into normalized components (allocating form of
-    /// [`Vfs::component_iter`], kept for callers that need random access).
-    pub fn components(path: &str) -> Vec<&str> {
-        Vfs::component_iter(path).collect()
-    }
-
     // ------------------------------------------------------------------
     // Dentry cache
     // ------------------------------------------------------------------
@@ -565,12 +619,16 @@ impl Vfs {
                 dc.entries = 0;
                 dc.gen = gen_now;
             }
-            // Nested map so the probe takes `&str` — no key allocation.
-            if let Some(hit) = dc
-                .map
-                .get(&(start, follow_last))
-                .and_then(|paths| paths.get(path))
-            {
+            // The probe interns nothing: a path that was never interned
+            // cannot have been inserted, so `Name::lookup` returning
+            // `None` is itself the miss verdict. A hit clones a
+            // `Resolved` whose `DirChain` is inline for realistic
+            // depths, so the hit path stays allocation-free.
+            if let Some(hit) = Name::lookup(path).and_then(|key| {
+                dc.map
+                    .get(&(start, follow_last))
+                    .and_then(|paths| paths.get(&key))
+            }) {
                 let hit = hit.clone();
                 dc.stats.hits += 1;
                 return Ok(hit);
@@ -579,6 +637,7 @@ impl Vfs {
         }
         let mounts = self.mounts_snapshot();
         let resolved = self.resolve_inner(cwd, path, follow_last, 0, &mounts)?;
+        let key = Name::intern(path);
         let mut dc = sync::lock(&self.dcache[shard_idx]);
         // Insert only if the namespace generation is unchanged since the
         // probe: a walk that raced a mutation may have observed either
@@ -593,7 +652,7 @@ impl Vfs {
             dc.map
                 .entry((start, follow_last))
                 .or_default()
-                .insert(path.to_string(), resolved.clone());
+                .insert(key, resolved.clone());
             dc.entries += 1;
         }
         Ok(resolved)
@@ -644,7 +703,7 @@ impl Vfs {
         } else {
             cwd
         };
-        let mut dirs: Vec<Ino> = Vec::new();
+        let mut dirs = DirChain::new();
         let mut comps = Vfs::component_iter(path).peekable();
         if comps.peek().is_none() {
             return Ok(Resolved { ino: cur, dirs });
@@ -653,13 +712,17 @@ impl Vfs {
             let is_last = comps.peek().is_none();
             // One shard guard at a time: copy the entry and parent out,
             // then drop the guard before touching any other inode.
+            // Entries are keyed by interned symbol; a `Name::lookup`
+            // miss means the name was never interned anywhere, hence
+            // certainly absent from this directory.
             let (entry, parent) = {
                 let node = self.inode(cur);
                 let entries = match node.dir_entries() {
                     Some(e) => e,
                     None => return Err(Errno::ENOTDIR),
                 };
-                (entries.get(comp).copied(), node.parent)
+                let entry = Name::lookup(comp).and_then(|n| entries.get(&n)).copied();
+                (entry, node.parent)
             };
             dirs.push(cur);
             let next = if comp == ".." {
@@ -689,7 +752,9 @@ impl Vfs {
                     return Ok(Resolved { ino: next, dirs });
                 }
                 let sub = self.resolve_inner(cur, &target, true, depth + 1, mounts)?;
-                dirs.extend(sub.dirs.iter().copied());
+                for d in sub.dirs.iter() {
+                    dirs.push(d);
+                }
                 let mut landed = sub.ino;
                 if !is_last {
                     landed = follow_mounts_in(mounts, landed);
@@ -746,17 +811,31 @@ impl Vfs {
     }
 
     /// Computes the absolute path of an inode by walking parents. Mount
-    /// roots are translated through their covered directory. Primarily for
-    /// diagnostics, `/proc/mounts`, and binary identity in LSM policies.
+    /// roots are translated through their covered directory. Allocating
+    /// form of [`Vfs::path_of_in`] for diagnostics and `/proc/mounts`.
     pub fn path_of(&self, ino: Ino) -> String {
+        PathArena::scope(|arena| self.path_of_in(arena, ino).to_string())
+    }
+
+    /// Computes the absolute path of an inode into an arena buffer,
+    /// allocating no heap memory for realistic depths in steady state:
+    /// entry names come back as interned `&'static str`s, the collected
+    /// parent chain lives in an inline array, and the joined path reuses
+    /// recycled arena capacity. This is the form the open fast path uses
+    /// to hand the LSM an absolute path.
+    pub fn path_of_in<'a>(&self, arena: &'a PathArena, ino: Ino) -> super::arena::ArenaString<'a> {
+        /// Parent-chain parts kept inline; deeper trees spill (cold).
+        const PARTS_INLINE: usize = 64;
         let mounts = self.mounts_snapshot();
         let mut cur = ino;
-        let mut parts: Vec<String> = Vec::new();
+        let mut inline: [&str; PARTS_INLINE] = [""; PARTS_INLINE];
+        let mut n = 0usize;
+        let mut spill: Vec<&str> = Vec::new();
         let mut guard = 0;
         loop {
             guard += 1;
             if guard > 4096 {
-                return "<cycle>".into();
+                return arena.alloc_str("<cycle>");
             }
             if let Some(m) = mount_rooted_at_in(&mounts, cur) {
                 cur = m.covered;
@@ -766,20 +845,36 @@ impl Vfs {
                 break;
             }
             let parent = self.inode(cur).parent;
-            let name = {
+            let name: &str = {
                 let p = self.inode(parent);
-                p.dir_entries()
-                    .and_then(|e| e.iter().find(|(_, &i)| i == cur).map(|(n, _)| n.clone()))
-                    .unwrap_or_else(|| format!("<ino{}>", cur.0))
+                match p
+                    .dir_entries()
+                    .and_then(|e| e.iter().find(|(_, &i)| i == cur).map(|(n, _)| *n))
+                {
+                    Some(found) => found.as_str(),
+                    // Orphan diagnostic (cold): intern so the text gets
+                    // the 'static lifetime the parts array needs.
+                    None => Name::intern(&format!("<ino{}>", cur.0)).as_str(),
+                }
             };
-            parts.push(name);
+            if n < PARTS_INLINE {
+                inline[n] = name;
+            } else {
+                spill.push(name);
+            }
+            n += 1;
             cur = parent;
         }
-        if parts.is_empty() {
-            "/".into()
+        // Parts were collected leaf-to-root; present them root-to-leaf.
+        if spill.is_empty() {
+            inline[..n].reverse();
+            arena.join_path(&inline[..n])
         } else {
+            let mut parts: Vec<&str> = Vec::with_capacity(n);
+            parts.extend(inline[..PARTS_INLINE].iter().copied());
+            parts.extend(spill.iter().copied());
             parts.reverse();
-            format!("/{}", parts.join("/"))
+            arena.join_path(&parts)
         }
     }
 
@@ -791,14 +886,18 @@ impl Vfs {
     pub fn dir_lookup(&self, dir: Ino, name: &str) -> KResult<Option<Ino>> {
         let d = self.inode(dir);
         let entries = d.dir_entries().ok_or(Errno::ENOTDIR)?;
-        Ok(entries.get(name).copied())
+        Ok(Name::lookup(name).and_then(|n| entries.get(&n)).copied())
     }
 
-    /// Lists a directory's entry names in sorted order.
+    /// Lists a directory's entry names in sorted order. (The entry map
+    /// iterates in symbol order, so the resolved strings are re-sorted
+    /// to preserve the lexicographic `readdir` contract.)
     pub fn dir_names(&self, dir: Ino) -> KResult<Vec<String>> {
         let d = self.inode(dir);
         let entries = d.dir_entries().ok_or(Errno::ENOTDIR)?;
-        Ok(entries.keys().cloned().collect())
+        let mut names: Vec<String> = entries.keys().map(|n| n.as_str().to_string()).collect();
+        names.sort();
+        Ok(names)
     }
 
     /// Checks that `dir_add(dir, name, _)` would succeed, without
@@ -812,8 +911,10 @@ impl Vfs {
         }
         let d = self.inode(dir);
         let entries = d.dir_entries().ok_or(Errno::ENOTDIR)?;
-        if entries.contains_key(name) {
-            return Err(Errno::EEXIST);
+        if let Some(n) = Name::lookup(name) {
+            if entries.contains_key(&n) {
+                return Err(Errno::EEXIST);
+            }
         }
         Ok(())
     }
@@ -824,7 +925,10 @@ impl Vfs {
             return Err(Errno::EINVAL);
         }
         // Kind is immutable for a live inode, so this pre-guard read
-        // cannot go stale before the write below.
+        // cannot go stale before the write below. Intern outside the
+        // shard guard: interner locks are leaves, but there is no reason
+        // to nest them under an inode lock.
+        let key = Name::intern(name);
         let child_is_dir = child != dir && self.inode(child).data.is_dir();
         {
             let mut d = self.inode_mut(dir);
@@ -834,10 +938,10 @@ impl Vfs {
                 InodeData::Directory(e) => e,
                 _ => return Err(Errno::ENOTDIR),
             };
-            if entries.contains_key(name) {
+            if entries.contains_key(&key) {
                 return Err(Errno::EEXIST);
             }
-            entries.insert(name.to_string(), child);
+            entries.insert(key, child);
             if child_is_dir {
                 node.nlink += 1;
             }
@@ -855,10 +959,13 @@ impl Vfs {
     /// and dropping a populated subtree to `nlink = 0` would orphan every
     /// inode under it.
     pub fn dir_remove(&self, dir: Ino, name: &str) -> KResult<Ino> {
-        let child = {
+        let (key, child) = {
             let d = self.inode(dir);
             let entries = d.dir_entries().ok_or(Errno::ENOTDIR)?;
-            *entries.get(name).ok_or(Errno::ENOENT)?
+            // A lookup miss is authoritative: a name that was never
+            // interned cannot be a key in any directory.
+            let key = Name::lookup(name).ok_or(Errno::ENOENT)?;
+            (key, *entries.get(&key).ok_or(Errno::ENOENT)?)
         };
         if child == dir {
             // A self-entry means the directory is non-empty by definition.
@@ -870,7 +977,7 @@ impl Vfs {
                 _ => return Err(Errno::ENOTDIR),
             };
             // Re-check under the pair lock: the entry may have raced away.
-            match entries.get(name) {
+            match entries.get(&key) {
                 Some(&i) if i == child => {}
                 _ => return Err(Errno::ENOENT),
             }
@@ -879,7 +986,7 @@ impl Vfs {
                     return Err(Errno::ENOTEMPTY);
                 }
             }
-            entries.remove(name);
+            entries.remove(&key);
             if c.data.is_dir() {
                 d.nlink -= 1;
                 // The emptiness check above guarantees nothing is orphaned.
@@ -1029,7 +1136,11 @@ impl Vfs {
             }
             self.dir_remove(to_dir, to_name)?;
         }
-        // Move the entry without touching the inode's link count.
+        // Move the entry without touching the inode's link count. The
+        // source key must already be interned (the entry exists); the
+        // destination name is interned fresh.
+        let from_key = Name::lookup(from_name).ok_or(Errno::ENOENT)?;
+        let to_key = Name::intern(to_name);
         if from_dir == to_dir {
             let mut d = self.inode_mut(from_dir);
             let seq = self.next_seq();
@@ -1037,12 +1148,12 @@ impl Vfs {
                 InodeData::Directory(e) => e,
                 _ => return Err(Errno::ENOTDIR),
             };
-            match entries.get(from_name) {
+            match entries.get(&from_key) {
                 Some(&i) if i == src => {}
                 _ => return Err(Errno::ENOENT),
             }
-            entries.remove(from_name);
-            entries.insert(to_name.to_string(), src);
+            entries.remove(&from_key);
+            entries.insert(to_key, src);
             d.version = seq;
         } else {
             self.with_pair(from_dir, to_dir, |f, t| {
@@ -1053,17 +1164,17 @@ impl Vfs {
                     InodeData::Directory(e) => e,
                     _ => return Err(Errno::ENOTDIR),
                 };
-                match from_entries.get(from_name) {
+                match from_entries.get(&from_key) {
                     Some(&i) if i == src => {}
                     _ => return Err(Errno::ENOENT),
                 }
-                from_entries.remove(from_name);
+                from_entries.remove(&from_key);
                 if src_is_dir {
                     f.nlink -= 1;
                 }
                 f.version = self.next_seq();
                 if let InodeData::Directory(to_entries) = &mut t.data {
-                    to_entries.insert(to_name.to_string(), src);
+                    to_entries.insert(to_key, src);
                 }
                 if src_is_dir {
                     t.nlink += 1;
@@ -1096,15 +1207,16 @@ impl Vfs {
         }
         // Entry insertion and nlink bump must be atomic, or a concurrent
         // unlink of the old name could reclaim a still-referenced inode.
+        let key = Name::intern(name);
         self.with_pair(dir, target, |d, t| {
             let entries = match &mut d.data {
                 InodeData::Directory(e) => e,
                 _ => return Err(Errno::ENOTDIR),
             };
-            if entries.contains_key(name) {
+            if entries.contains_key(&key) {
                 return Err(Errno::EEXIST);
             }
-            entries.insert(name.to_string(), target);
+            entries.insert(key, target);
             t.nlink += 1;
             d.version = self.next_seq();
             Ok(())

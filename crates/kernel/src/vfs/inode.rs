@@ -2,6 +2,7 @@
 
 use crate::cred::{Gid, Uid};
 use crate::dev::DevId;
+use crate::vfs::intern::Name;
 use std::collections::BTreeMap;
 
 /// An inode number: an index into the VFS inode arena.
@@ -135,8 +136,11 @@ pub enum ProcHook {
 pub enum InodeData {
     /// A regular file with in-memory contents.
     Regular(Vec<u8>),
-    /// A directory mapping names to child inode numbers.
-    Directory(BTreeMap<String, Ino>),
+    /// A directory mapping interned names to child inode numbers. Keyed
+    /// by [`Name`] symbol, so lookups are integer compares; note the map
+    /// iterates in *symbol* order, not lexicographic — `readdir`-style
+    /// callers sort the resolved strings.
+    Directory(BTreeMap<Name, Ino>),
     /// A symbolic link to a path.
     Symlink(String),
     /// A character device.
@@ -192,7 +196,7 @@ impl Inode {
     }
 
     /// Returns the directory entries, or `None` if not a directory.
-    pub fn dir_entries(&self) -> Option<&BTreeMap<String, Ino>> {
+    pub fn dir_entries(&self) -> Option<&BTreeMap<Name, Ino>> {
         match &self.data {
             InodeData::Directory(m) => Some(m),
             _ => None,

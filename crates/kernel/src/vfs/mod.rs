@@ -1,7 +1,11 @@
 //! Virtual filesystem: inodes, path resolution, mounts, and dynamic nodes.
 
+pub mod arena;
 mod fs;
 mod inode;
+pub mod intern;
 
-pub use fs::{InodeMut, InodeRef, Mount, MountOptions, Resolved, Vfs};
+pub use arena::{ArenaBytes, ArenaString, PathArena};
+pub use fs::{DirChain, InodeMut, InodeRef, Mount, MountOptions, Resolved, Vfs};
 pub use inode::{Access, Ino, Inode, InodeData, Mode, ProcHook};
+pub use intern::Name;

@@ -118,6 +118,24 @@ fn invalidation_counter_advances_on_flush() {
 }
 
 #[test]
+fn proc_metrics_reports_intern_counters() {
+    let (k, root) = boot();
+    // First resolve interns the components; repeats hit the interner.
+    k.read_to_string(root, "/data/a.txt").unwrap();
+    k.read_to_string(root, "/data/a.txt").unwrap();
+    let text = k.read_to_string(root, "/proc/null/metrics").unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("cache_intern "))
+        .expect("metrics must carry a cache_intern line");
+    assert!(
+        !line.contains("hits=0 "),
+        "intern hits must be nonzero after repeated resolves: {}",
+        line
+    );
+}
+
+#[test]
 fn proc_metrics_reports_dcache_counters() {
     let (k, root) = boot();
     k.read_to_string(root, "/data/a.txt").unwrap();

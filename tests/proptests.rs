@@ -47,7 +47,7 @@ proptest! {
         v.install_file(&path, b"", Mode(0o644), Uid::ROOT, Gid::ROOT).unwrap();
         let r = v.resolve(v.root(), &path).unwrap();
         prop_assert_eq!(r.dirs.len(), parts.len());
-        for (i, &d) in r.dirs.iter().enumerate() {
+        for (i, d) in r.dirs.iter().enumerate() {
             let prefix = if i == 0 {
                 "/".to_string()
             } else {
