@@ -66,6 +66,17 @@ echo "== smoke profile: pathway attribution covers dispatched time =="
 cargo run --release -p bench --bin tables -- profile --smoke --out target/BENCH_profile.smoke.json
 cargo run --release -p bench --bin tables -- bench-verify target/BENCH_profile.smoke.json
 
+echo "== smoke seccomp: committed profiles are fresh and enforce cleanly =="
+# Re-derives the per-binary allowlists from the battery + workloads
+# (derivation is deterministic: fixed op counts) and fails if the
+# committed SECCOMP_PROFILES.json differs byte-for-byte; --smoke then
+# re-runs the Protego functional battery under enforcement and fails on
+# any step-outcome change or violation. bench-verify re-checks the
+# committed document against the seccomp_profiles/v1 schema and the
+# <50% average-reachability ceiling.
+cargo run --release -p bench --bin tables -- seccomp-derive --smoke --check
+cargo run --release -p bench --bin tables -- bench-verify SECCOMP_PROFILES.json
+
 echo "== span-timing feature compiles out cleanly =="
 # The no-default-features build turns every span into a zero-sized no-op;
 # keep that configuration compiling so the flag stays usable.

@@ -7,9 +7,11 @@
 //! tables profile [--smoke] [--out PATH]      # overhead attribution -> BENCH_profile.json
 //! tables bench-verify PATH                   # validate a results file (schema-dispatched)
 //! tables replay-smoke                        # record + replay determinism check
+//! tables seccomp-derive [--smoke] [--check] [--out PATH]  # derive per-binary allowlists -> SECCOMP_PROFILES.json
+//! tables seccomp-report [PATH]               # KASR-style attack-surface report from a profiles file
 //! ```
 
-use bench::{json, macro_fleet, profile, table5};
+use bench::{json, macro_fleet, profile, seccomp_derive, table5};
 use setuid_study::render;
 use setuid_study::summary::{table1, MeasuredInputs};
 use userland::suite::{run_divergence_suite, run_functional_suite, run_service_suite};
@@ -42,6 +44,14 @@ fn main() {
     }
     if which == "replay-smoke" {
         run_replay_smoke();
+        return;
+    }
+    if which == "seccomp-derive" {
+        run_seccomp_derive(&args);
+        return;
+    }
+    if which == "seccomp-report" {
+        run_seccomp_report(&args);
         return;
     }
 
@@ -107,12 +117,20 @@ fn print_table5(quick: bool) {
     let mut f = bench::fixture(SystemMode::Protego);
     let (direct, dispatched, metered) = bench::micro::dispatch_overhead(&mut f, warm, iters);
     println!(
-        "  syscall ABI dispatch: direct {:.0} ns, dispatched {:.0} ns ({:+.2}%), +meter {:.0} ns ({:+.2}%)\n",
+        "  syscall ABI dispatch: direct {:.0} ns, dispatched {:.0} ns ({:+.2}%), +meter {:.0} ns ({:+.2}%)",
         direct,
         dispatched,
         bench::overhead_pct(direct, dispatched),
         metered,
         bench::overhead_pct(direct, metered),
+    );
+    let seccomp = table5::measure_dispatch_seccomp(warm, iters);
+    println!(
+        "  seccomp hot path: dispatch off {:.0} ns, enforcing profile {:.0} ns ({:+.2}%, budget <{:.0}%)\n",
+        seccomp.base_ns,
+        seccomp.seccomp_ns,
+        seccomp.overhead_pct,
+        json::DISPATCH_SECCOMP_BUDGET_PCT,
     );
 }
 
@@ -120,12 +138,10 @@ fn print_table5(quick: bool) {
 /// functional battery, replay a fresh boot against the recorded trace,
 /// and fail loudly on any divergence.
 fn run_replay_smoke() {
-    use sim_kernel::trace::{Trace, TraceRecorder, TraceReplayer};
+    use sim_kernel::trace::{Trace, TraceReplayer};
 
     let mut sys = boot(SystemMode::Protego);
-    let rec = TraceRecorder::new();
-    let trace = rec.trace();
-    sys.kernel.push_interceptor(Box::new(rec));
+    let (_rec_slot, trace) = sys.attach_recorder();
     let outcomes = run_functional_suite(&mut sys);
     let serialized = trace.lock().unwrap().render();
     let recorded = trace.lock().unwrap().len();
@@ -457,6 +473,101 @@ fn run_profile_cmd(args: &[String]) {
     println!("wrote {}", out);
 }
 
+/// Derives the per-binary syscall allowlists from a full battery +
+/// workload run on both images, proves the batteries still pass with the
+/// profiles enforced, and writes (or, with `--check`, diffs against) the
+/// committed `SECCOMP_PROFILES.json`.
+fn run_seccomp_derive(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "SECCOMP_PROFILES.json".to_string());
+    eprintln!(
+        "deriving syscall allowlists (batteries + web/mail/compile workloads, both images)..."
+    );
+    let specs = seccomp_derive::derive_profiles();
+    let mut text = seccomp_derive::profiles_json(&specs);
+    text.push('\n');
+    if let Err(e) = json::validate_seccomp_profiles(&text) {
+        eprintln!("error: derived document fails validation: {}", e);
+        std::process::exit(1);
+    }
+    eprintln!(
+        "verifying enforcement ({} mode): batteries must reproduce baseline outcomes with zero violations...",
+        if smoke { "smoke" } else { "full" }
+    );
+    match seccomp_derive::enforcement_check(&specs, smoke) {
+        Ok(summary) => eprintln!(
+            "enforcement OK: {} battery steps identical across {} image(s), 0 violations",
+            summary.steps, summary.modes
+        ),
+        Err(e) => {
+            eprintln!("error: enforcement check failed: {}", e);
+            std::process::exit(1);
+        }
+    }
+    if check {
+        let committed = match std::fs::read_to_string(&out) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "error: cannot read {}: {} (run `tables seccomp-derive` to create it)",
+                    out, e
+                );
+                std::process::exit(1);
+            }
+        };
+        if committed != text {
+            eprintln!(
+                "error: {} is stale: a fresh derivation disagrees; re-run `tables seccomp-derive`",
+                out
+            );
+            std::process::exit(1);
+        }
+        println!("{}: up to date ({} profiles)", out, specs.len());
+    } else {
+        if let Err(e) = std::fs::write(&out, &text) {
+            eprintln!("error: cannot write {}: {}", out, e);
+            std::process::exit(1);
+        }
+        println!("wrote {} ({} profiles)", out, specs.len());
+    }
+    print!("{}", seccomp_derive::render_report(&specs));
+}
+
+/// Prints the KASR-style attack-surface report from a committed (or
+/// freshly written) `seccomp_profiles/v1` document.
+fn run_seccomp_report(args: &[String]) {
+    let path = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .cloned()
+        .unwrap_or_else(|| "SECCOMP_PROFILES.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "error: cannot read {}: {} (run `tables seccomp-derive` first)",
+                path, e
+            );
+            std::process::exit(1);
+        }
+    };
+    let specs = match seccomp_derive::parse_profiles(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {} is invalid: {}", path, e);
+            std::process::exit(1);
+        }
+    };
+    print!("{}", seccomp_derive::render_report(&specs));
+}
+
 fn run_bench_verify(args: &[String]) {
     let path = args
         .iter()
@@ -484,6 +595,8 @@ fn run_bench_verify(args: &[String]) {
         json::validate_macro(&text)
     } else if schema == json::PROFILE_SCHEMA {
         json::validate_profile(&text)
+    } else if schema == json::SECCOMP_SCHEMA {
+        json::validate_seccomp_profiles(&text)
     } else {
         json::validate_table5(&text)
     };

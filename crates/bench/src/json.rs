@@ -328,6 +328,12 @@ pub const TABLE5_SCHEMA_V2: &str = "bench_table5/v2";
 /// (non-quick) `bench_table5/v2` document, in percent.
 pub const MICRO_BUDGET_PCT: f64 = 10.0;
 
+/// The overhead budget for the `dispatch_seccomp` section of a full
+/// (non-quick) `bench_table5/v2` document, in percent: an enforcing
+/// seccomp profile's flat array lookup must stay within 1% of the bare
+/// dispatch row.
+pub const DISPATCH_SECCOMP_BUDGET_PCT: f64 = 1.0;
+
 fn require_num(row: &Value, field: &str, ctx: &str) -> Result<f64, String> {
     row.get(field)
         .and_then(Value::as_f64)
@@ -380,6 +386,9 @@ fn cache_hits(doc: &Value, name: &str) -> Result<f64, String> {
 /// (>= 3) and per-run sample arrays of exactly that length on every micro
 /// row, with the reported median inside the sample range; full (non-quick)
 /// v2 documents must keep every micro row within [`MICRO_BUDGET_PCT`].
+/// v2 documents must also carry the `dispatch_seccomp` section with the
+/// same per-run evidence, bounded by [`DISPATCH_SECCOMP_BUDGET_PCT`] on
+/// full runs.
 pub fn validate_table5(text: &str) -> Result<(), String> {
     let doc = parse(text).map_err(|e| format!("not valid JSON: {}", e))?;
     let schema = doc
@@ -434,9 +443,54 @@ pub fn validate_table5(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks one per-run sample array of a v2 row: exactly `runs` finite
+/// positive samples, with the reported median inside the sample range.
+fn require_run_samples(
+    row: &Value,
+    field: &str,
+    median_field: &str,
+    runs: f64,
+    ctx: &str,
+) -> Result<(), String> {
+    let arr = row.get(field).and_then(Value::as_arr).ok_or_else(|| {
+        format!(
+            "{}: missing {:?} (v2 rows carry per-run samples)",
+            ctx, field
+        )
+    })?;
+    if arr.len() != runs as usize {
+        return Err(format!(
+            "{}: {} has {} samples, document says runs_per_mode={}",
+            ctx,
+            field,
+            arr.len(),
+            runs
+        ));
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in arr {
+        let n = v
+            .as_f64()
+            .filter(|n| n.is_finite() && *n > 0.0)
+            .ok_or_else(|| format!("{}: {} sample is not a finite positive number", ctx, field))?;
+        lo = lo.min(n);
+        hi = hi.max(n);
+    }
+    let median = require_num(row, median_field, ctx)?;
+    if median < lo || median > hi {
+        return Err(format!(
+            "{}: {} {} outside its own sample range [{}, {}]",
+            ctx, median_field, median, lo, hi
+        ));
+    }
+    Ok(())
+}
+
 /// Validates the v2-only parts of a Table 5 document: the paired
-/// median-of-K evidence on every micro row, and (for full runs) the
-/// per-row micro overhead budget.
+/// median-of-K evidence on every micro row and on the `dispatch_seccomp`
+/// section, and (for full runs) the per-row micro overhead budget plus
+/// the seccomp hot-path budget.
 fn validate_table5_micro_v2(doc: &Value) -> Result<(), String> {
     let runs = require_num(doc, "runs_per_mode", "document")?;
     if runs < 3.0 {
@@ -456,45 +510,8 @@ fn validate_table5_micro_v2(doc: &Value) -> Result<(), String> {
             .and_then(Value::as_str)
             .ok_or("micro row without a string name")?;
         let ctx = format!("micro row {:?}", name);
-        for (field, median_field) in [
-            ("linux_runs_ns", "linux_ns"),
-            ("protego_runs_ns", "protego_ns"),
-        ] {
-            let arr = row.get(field).and_then(Value::as_arr).ok_or_else(|| {
-                format!(
-                    "{}: missing {:?} (v2 rows carry per-run samples)",
-                    ctx, field
-                )
-            })?;
-            if arr.len() != runs as usize {
-                return Err(format!(
-                    "{}: {} has {} samples, document says runs_per_mode={}",
-                    ctx,
-                    field,
-                    arr.len(),
-                    runs
-                ));
-            }
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for v in arr {
-                let n = v
-                    .as_f64()
-                    .filter(|n| n.is_finite() && *n > 0.0)
-                    .ok_or_else(|| {
-                        format!("{}: {} sample is not a finite positive number", ctx, field)
-                    })?;
-                lo = lo.min(n);
-                hi = hi.max(n);
-            }
-            let median = require_num(row, median_field, &ctx)?;
-            if median < lo || median > hi {
-                return Err(format!(
-                    "{}: {} {} outside its own sample range [{}, {}]",
-                    ctx, median_field, median, lo, hi
-                ));
-            }
-        }
+        require_run_samples(row, "linux_runs_ns", "linux_ns", runs, &ctx)?;
+        require_run_samples(row, "protego_runs_ns", "protego_ns", runs, &ctx)?;
         if !quick {
             let overhead = require_num(row, "overhead_pct", &ctx)?;
             if overhead > MICRO_BUDGET_PCT {
@@ -503,6 +520,22 @@ fn validate_table5_micro_v2(doc: &Value) -> Result<(), String> {
                     ctx, overhead, MICRO_BUDGET_PCT
                 ));
             }
+        }
+    }
+
+    let row = doc
+        .get("dispatch_seccomp")
+        .ok_or("v2 document missing \"dispatch_seccomp\" object")?;
+    let ctx = "dispatch_seccomp";
+    require_run_samples(row, "base_runs_ns", "base_ns", runs, ctx)?;
+    require_run_samples(row, "seccomp_runs_ns", "seccomp_ns", runs, ctx)?;
+    if !quick {
+        let overhead = require_num(row, "overhead_pct", ctx)?;
+        if overhead > DISPATCH_SECCOMP_BUDGET_PCT {
+            return Err(format!(
+                "{}: overhead {:.2}% exceeds the {:.0}% seccomp hot-path budget",
+                ctx, overhead, DISPATCH_SECCOMP_BUDGET_PCT
+            ));
         }
     }
     Ok(())
@@ -758,6 +791,117 @@ pub fn validate_profile(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The schema tag of committed `SECCOMP_PROFILES.json` documents.
+pub const SECCOMP_SCHEMA: &str = "seccomp_profiles/v1";
+
+/// The acceptance ceiling on the average per-binary ABI reachability a
+/// `seccomp_profiles/v1` document may report, in percent.
+pub const SECCOMP_AVG_REACHABLE_PCT: f64 = 50.0;
+
+/// Validates a `seccomp_profiles/v1` document (`SECCOMP_PROFILES.json`):
+/// schema tag, `abi_count` matching the typed ABI, a non-empty `binaries`
+/// array whose entries carry a unique binary path, a duplicate-free
+/// allowlist of real ABI syscall names with consistent `count`/`pct`
+/// fields, and an `average_pct` that both matches the per-binary numbers
+/// and stays under [`SECCOMP_AVG_REACHABLE_PCT`] — the measured
+/// attack-surface-reduction acceptance gate.
+pub fn validate_seccomp_profiles(text: &str) -> Result<(), String> {
+    use sim_kernel::syscall::Syscall;
+
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {}", e))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" string")?;
+    if schema != SECCOMP_SCHEMA {
+        return Err(format!(
+            "schema {:?}, expected {:?}",
+            schema, SECCOMP_SCHEMA
+        ));
+    }
+    let abi = require_num(&doc, "abi_count", "document")?;
+    if abi != Syscall::COUNT as f64 {
+        return Err(format!(
+            "abi_count {} does not match the {}-variant typed ABI",
+            abi,
+            Syscall::COUNT
+        ));
+    }
+    let binaries = doc
+        .get("binaries")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"binaries\" array")?;
+    if binaries.is_empty() {
+        return Err("\"binaries\" array is empty (nothing was profiled)".into());
+    }
+    let mut seen_binaries = std::collections::BTreeSet::new();
+    let mut pct_sum = 0.0;
+    for b in binaries {
+        let binary = b
+            .get("binary")
+            .and_then(Value::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or("binaries entry without a non-empty \"binary\" string")?;
+        let ctx = format!("profile {:?}", binary);
+        if !seen_binaries.insert(binary.to_string()) {
+            return Err(format!("{}: duplicate binary entry", ctx));
+        }
+        b.get("default")
+            .and_then(Value::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("{}: missing \"default\" action string", ctx))?;
+        let calls = b
+            .get("syscalls")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("{}: missing \"syscalls\" array", ctx))?;
+        let mut seen_calls = std::collections::BTreeSet::new();
+        for c in calls {
+            let name = c
+                .as_str()
+                .ok_or_else(|| format!("{}: non-string syscall entry", ctx))?;
+            if Syscall::name_index(name).is_none() {
+                return Err(format!("{}: unknown syscall name {:?}", ctx, name));
+            }
+            if !seen_calls.insert(name) {
+                return Err(format!("{}: duplicate syscall {:?}", ctx, name));
+            }
+        }
+        let count = require_num(b, "count", &ctx)?;
+        if count != calls.len() as f64 {
+            return Err(format!(
+                "{}: count {} disagrees with {} listed syscalls",
+                ctx,
+                count,
+                calls.len()
+            ));
+        }
+        let pct = require_num(b, "pct", &ctx)?;
+        let expected = count / abi * 100.0;
+        if (pct - expected).abs() > 0.05 {
+            return Err(format!(
+                "{}: pct {:.3} inconsistent with count {} of {} ({:.3})",
+                ctx, pct, count, abi, expected
+            ));
+        }
+        pct_sum += pct;
+    }
+    let average = require_num(&doc, "average_pct", "document")?;
+    let expected = pct_sum / binaries.len() as f64;
+    if (average - expected).abs() > 0.05 {
+        return Err(format!(
+            "average_pct {:.3} inconsistent with the per-binary percentages ({:.3})",
+            average, expected
+        ));
+    }
+    if average >= SECCOMP_AVG_REACHABLE_PCT {
+        return Err(format!(
+            "average_pct {:.1} is not under the {:.0}% attack-surface ceiling",
+            average, SECCOMP_AVG_REACHABLE_PCT
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -932,5 +1076,113 @@ mod tests {
                 "\"protego_scaling_1_to_max\":1.0",
             );
         validate_macro(&smoke).unwrap();
+    }
+
+    fn valid_v2_doc() -> String {
+        valid_doc()
+            .replace("bench_table5/v1", "bench_table5/v2")
+            .replace(
+                "\"quick\": true,",
+                "\"quick\": false,\n          \"runs_per_mode\": 3,",
+            )
+            .replace(
+                "\"linux_ns\":90.0,\"protego_ns\":91.0,",
+                "\"linux_ns\":90.0,\"protego_ns\":91.0,\"linux_runs_ns\":[89.0,90.0,92.0],\"protego_runs_ns\":[90.5,91.0,93.0],",
+            )
+            .replace(
+                "\"cache_metrics\": {",
+                "\"dispatch_seccomp\": {\"base_ns\":200.0,\"seccomp_ns\":201.0,\"overhead_pct\":0.5,\n            \"base_runs_ns\":[199.0,200.0,202.0],\"seccomp_runs_ns\":[200.0,201.0,203.0]},\n          \"cache_metrics\": {",
+            )
+    }
+
+    #[test]
+    fn v2_validator_accepts_and_gates_the_seccomp_dispatch_row() {
+        validate_table5(&valid_v2_doc()).unwrap();
+        let missing = valid_v2_doc().replace("\"dispatch_seccomp\"", "\"dispatch_secomp\"");
+        assert!(validate_table5(&missing)
+            .unwrap_err()
+            .contains("dispatch_seccomp"));
+        let hot = valid_v2_doc().replace("\"overhead_pct\":0.5", "\"overhead_pct\":1.7");
+        assert!(validate_table5(&hot)
+            .unwrap_err()
+            .contains("seccomp hot-path budget"));
+        // Quick documents carry the evidence but skip the budget.
+        let quick = valid_v2_doc()
+            .replace("\"quick\": false", "\"quick\": true")
+            .replace("\"overhead_pct\":0.5", "\"overhead_pct\":1.7");
+        validate_table5(&quick).unwrap();
+        let skewed = valid_v2_doc().replace("\"seccomp_ns\":201.0", "\"seccomp_ns\":250.0");
+        assert!(validate_table5(&skewed)
+            .unwrap_err()
+            .contains("sample range"));
+    }
+
+    fn valid_seccomp_doc() -> String {
+        r#"{
+          "schema": "seccomp_profiles/v1",
+          "abi_count": 46,
+          "binaries": [
+            {"binary":"/bin/ping","default":"deny(EPERM)",
+             "syscalls":["socket","sendto","close","getuid"],"count":4,"pct":8.695652173913043},
+            {"binary":"/bin/sh","default":"deny(EPERM)",
+             "syscalls":["open","read","write","close","fork"],"count":5,"pct":10.869565217391305}
+          ],
+          "average_pct": 9.782608695652174
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn seccomp_validator_accepts_a_good_document() {
+        validate_seccomp_profiles(&valid_seccomp_doc()).unwrap();
+    }
+
+    #[test]
+    fn seccomp_validator_enforces_names_consistency_and_ceiling() {
+        let bad_name = valid_seccomp_doc().replace("\"sendto\"", "\"frobnicate\"");
+        assert!(validate_seccomp_profiles(&bad_name)
+            .unwrap_err()
+            .contains("frobnicate"));
+        let dup_call = valid_seccomp_doc().replace("\"sendto\"", "\"socket\"");
+        assert!(validate_seccomp_profiles(&dup_call)
+            .unwrap_err()
+            .contains("duplicate syscall"));
+        let dup_bin = valid_seccomp_doc().replace("/bin/sh", "/bin/ping");
+        assert!(validate_seccomp_profiles(&dup_bin)
+            .unwrap_err()
+            .contains("duplicate binary"));
+        let wrong_count = valid_seccomp_doc().replace("\"count\":4", "\"count\":6");
+        assert!(validate_seccomp_profiles(&wrong_count)
+            .unwrap_err()
+            .contains("disagrees"));
+        let wrong_abi = valid_seccomp_doc().replace("\"abi_count\": 46", "\"abi_count\": 64");
+        assert!(validate_seccomp_profiles(&wrong_abi)
+            .unwrap_err()
+            .contains("typed ABI"));
+        let wrong_avg =
+            valid_seccomp_doc().replace("\"average_pct\": 9.78", "\"average_pct\": 19.78");
+        assert!(validate_seccomp_profiles(&wrong_avg)
+            .unwrap_err()
+            .contains("inconsistent"));
+        // A consistent document whose single profile reaches 30/46 of the
+        // ABI averages 65% — over the 50% attack-surface ceiling.
+        use sim_kernel::syscall::Syscall;
+        let names: Vec<String> = Syscall::NAMES
+            .iter()
+            .take(30)
+            .map(|n| format!("\"{}\"", n))
+            .collect();
+        let pct = 30.0 / Syscall::COUNT as f64 * 100.0;
+        let wide_open = format!(
+            "{{\"schema\":\"seccomp_profiles/v1\",\"abi_count\":{},\"binaries\":[{{\"binary\":\"/bin/wide\",\"default\":\"deny(EPERM)\",\"syscalls\":[{}],\"count\":30,\"pct\":{}}}],\"average_pct\":{}}}",
+            Syscall::COUNT,
+            names.join(","),
+            pct,
+            pct
+        );
+        assert!(validate_seccomp_profiles(&wide_open)
+            .unwrap_err()
+            .contains("ceiling"));
+        assert!(validate_seccomp_profiles("not json").is_err());
     }
 }

@@ -18,6 +18,7 @@ pub mod json;
 pub mod macro_fleet;
 pub mod micro;
 pub mod profile;
+pub mod seccomp_derive;
 pub mod table5;
 pub mod workloads;
 

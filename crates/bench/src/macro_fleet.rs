@@ -45,14 +45,15 @@
 //! ## Soak mode
 //!
 //! [`run_fleet`] with a [`FaultSpec`] composes the existing seeded
-//! [`FaultInjector`] (1-in-`rate` errno storm) over every worker's
+//! [`FaultInjector`](sim_kernel::syscall::FaultInjector) (1-in-`rate`
+//! errno storm) over every worker's
 //! steady-state loop and proves the fleet completes with **zero
 //! panics** (every worker joins cleanly) and **zero privileged
 //! artifacts** (per-worker [`userland::workload::privileged_artifacts`]
 //! audit).
 
 use crate::json::Value;
-use sim_kernel::syscall::{FaultConfig, FaultInjector, SyscallClass, SyscallMeter};
+use sim_kernel::syscall::{FaultConfig, SyscallClass};
 use sim_kernel::trace::{span, Metrics, Pathway, TimingSnapshot};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -235,7 +236,7 @@ fn run_one_op(
 /// drives the closed loop, and reports. Never shares kernel state.
 fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
     let mut sys = boot(spec.mode);
-    sys.kernel.push_interceptor(Box::new(SyscallMeter::new()));
+    sys.attach_meter();
     let srv = match spec.workload {
         MacroWorkload::Web => workload::start_web_service(&mut sys),
         MacroWorkload::Mail => workload::start_mail_service(&mut sys),
@@ -253,12 +254,10 @@ fn worker_body(spec: FleetSpec, worker: usize) -> WorkerReport {
     // The storm covers the steady-state loop: startup ran clean so every
     // worker measures the same loop, fault stream seeded per worker.
     let fault_stats = spec.fault.map(|f| {
-        let inj = FaultInjector::new(FaultConfig::storm(
+        let (_slot, stats) = sys.attach_fault_injector(FaultConfig::storm(
             f.seed.wrapping_add(worker as u64),
             f.rate,
         ));
-        let stats = inj.stats();
-        sys.kernel.push_interceptor(Box::new(inj));
         stats
     });
 
@@ -488,7 +487,7 @@ fn shared_worker_measure(
 /// per-seed count equality.
 pub fn run_shared_fleet(spec: FleetSpec) -> FleetAggregate {
     let mut base = boot(spec.mode);
-    base.kernel.push_interceptor(Box::new(SyscallMeter::new()));
+    base.attach_meter();
     let ready = Arc::new(Barrier::new(spec.workers + 1));
     let go = Arc::new(Barrier::new(spec.workers + 1));
     let done = Arc::new(Barrier::new(spec.workers + 1));
@@ -518,9 +517,7 @@ pub fn run_shared_fleet(spec: FleetSpec) -> FleetAggregate {
     // Every warmup has finished and no measured loop has started: this
     // delta base covers exactly the union of the measured loops.
     let fault_stats = spec.fault.map(|f| {
-        let inj = FaultInjector::new(FaultConfig::storm(f.seed, f.rate));
-        let stats = inj.stats();
-        base.kernel.push_interceptor(Box::new(inj));
+        let (_slot, stats) = base.attach_fault_injector(FaultConfig::storm(f.seed, f.rate));
         stats
     });
     let before = base.kernel.metrics_snapshot();

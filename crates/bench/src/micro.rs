@@ -453,7 +453,7 @@ pub fn all_micro_ops() -> Vec<MicroOp> {
 /// [`sim_kernel::syscall::SyscallMeter`] attached. Returns
 /// `(direct_ns, dispatched_ns, metered_ns)`.
 pub fn dispatch_overhead(f: &mut Fixture, warmup: u32, iters: u32) -> (f64, f64, f64) {
-    use sim_kernel::syscall::{Syscall, SyscallMeter};
+    use sim_kernel::syscall::Syscall;
 
     let direct = {
         let sys = &mut f.sys;
@@ -474,7 +474,7 @@ pub fn dispatch_overhead(f: &mut Fixture, warmup: u32, iters: u32) -> (f64, f64,
             );
         })
     };
-    f.sys.kernel.push_interceptor(Box::new(SyscallMeter::new()));
+    let meter_slot = f.sys.attach_meter();
     let metered = {
         let sys = &mut f.sys;
         let user = f.user;
@@ -487,7 +487,7 @@ pub fn dispatch_overhead(f: &mut Fixture, warmup: u32, iters: u32) -> (f64, f64,
             );
         })
     };
-    f.sys.kernel.clear_interceptors();
+    f.sys.kernel.remove_interceptor(meter_slot);
     (direct, dispatched, metered)
 }
 

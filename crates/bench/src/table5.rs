@@ -352,6 +352,94 @@ pub fn measure_hotpath(warmup: u32, iters: u32) -> Vec<HotpathRow> {
     rows
 }
 
+/// The seccomp hot-path evidence row: the same `stat` dispatch on the
+/// same booted image, measured with the registered
+/// [`SeccompInterceptor`](sim_kernel::seccomp::SeccompInterceptor) in
+/// mode `off` (the no-seccomp baseline: one mode load, then pass-through)
+/// versus mode `enforce` under a profile that allows the call — so the
+/// measured delta is exactly the per-dispatch cost of the profile
+/// selection memo plus the packed allow-mask test.
+#[derive(Clone, Debug)]
+pub struct DispatchSeccompRow {
+    /// Dispatch with seccomp off: the median round.
+    pub base_ns: f64,
+    /// Dispatch under an enforcing profile: the median round.
+    pub seccomp_ns: f64,
+    /// Overhead percent (from the medians).
+    pub overhead_pct: f64,
+    /// Every seccomp-off round (ns/op), in run order.
+    pub base_runs_ns: Vec<f64>,
+    /// Every enforced round (ns/op), in run order.
+    pub seccomp_runs_ns: Vec<f64>,
+}
+
+/// Extra iteration factor for [`measure_dispatch_seccomp`] over the
+/// shared micro sizes: the budgeted signal is ~1% of a single-dispatch
+/// row, so this row needs far more samples per round than the 5–10%
+/// micro rows to resolve it; the op is one syscall, so the rounds stay
+/// cheap even at 40×.
+const SECCOMP_ITER_SCALE: u32 = 40;
+
+/// Measures the seccomp dispatch row with the same paired interleaved
+/// median-of-[`MICRO_RUNS`] protocol as the micro rows — but A/B on a
+/// *single* Protego image, flipping the seccomp mode between `off` and
+/// `enforce` each round. Using one image (same heap, same caches, same
+/// interceptor chain) removes fixture-layout bias that would swamp the
+/// sub-1% signal; the mode flip is one atomic store. The acceptance
+/// budget ([`json::DISPATCH_SECCOMP_BUDGET_PCT`]) is <1% on full runs.
+pub fn measure_dispatch_seccomp(warmup: u32, iters: u32) -> DispatchSeccompRow {
+    use sim_kernel::seccomp::{ProfileSpec, SeccompMode};
+    use sim_kernel::syscall::Syscall;
+
+    let warmup = warmup.saturating_mul(SECCOMP_ITER_SCALE);
+    let iters = iters.saturating_mul(SECCOMP_ITER_SCALE);
+    let mut f = fixture(SystemMode::Protego);
+    let binary = f
+        .sys
+        .kernel
+        .task_identity(f.user)
+        .binary
+        .as_str()
+        .to_string();
+    f.sys
+        .kernel
+        .seccomp
+        .load_profiles(&[ProfileSpec::allowing(&binary, &["stat"])])
+        .expect("bench profile compiles");
+    f.sys.attach_seccomp();
+
+    let stat = || Syscall::Stat {
+        path: "/etc/motd".into(),
+    };
+    let mut run_round = |mode: SeccompMode| {
+        let sys = &mut f.sys;
+        let user = f.user;
+        sys.kernel.seccomp.set_mode(mode);
+        quick_time_ns(warmup, iters, || {
+            let _ = sys.kernel.dispatch(user, stat());
+        })
+    };
+    // One unmeasured round per mode (interning, dcache, selection-memo
+    // fill), then the paired interleaved measured rounds.
+    run_round(SeccompMode::Off);
+    run_round(SeccompMode::Enforce);
+    let mut base_runs = Vec::with_capacity(MICRO_RUNS);
+    let mut seccomp_runs = Vec::with_capacity(MICRO_RUNS);
+    for _ in 0..MICRO_RUNS {
+        base_runs.push(run_round(SeccompMode::Off));
+        seccomp_runs.push(run_round(SeccompMode::Enforce));
+    }
+    let base_ns = median_of(&base_runs);
+    let seccomp_ns = median_of(&seccomp_runs);
+    DispatchSeccompRow {
+        base_ns,
+        seccomp_ns,
+        overhead_pct: overhead_pct(base_ns, seccomp_ns),
+        base_runs_ns: base_runs,
+        seccomp_runs_ns: seccomp_runs,
+    }
+}
+
 /// One named cache's counters as parsed from a `/proc/<lsm>/metrics`
 /// view (`cache_<name> hits=.. misses=.. invalidations=..`).
 #[derive(Clone, Debug, Default)]
@@ -477,7 +565,9 @@ pub fn table5_json(
     let micro = measure_micro(warmup, iters);
     let macro_rows = measure_macro(postal_msgs, compile_units, ab_requests);
     let hotpath = measure_hotpath(warmup, iters);
+    let seccomp = measure_dispatch_seccomp(warmup, iters);
     let caches = collect_cache_metrics();
+    let runs_arr = |xs: &[f64]| Value::Arr(xs.iter().map(|&n| Value::Num(n)).collect());
 
     let doc = Value::Obj(vec![
         ("schema".into(), Value::Str(json::TABLE5_SCHEMA_V2.into())),
@@ -506,6 +596,16 @@ pub fn table5_json(
                     })
                     .collect(),
             ),
+        ),
+        (
+            "dispatch_seccomp".into(),
+            Value::Obj(vec![
+                ("base_ns".into(), Value::Num(seccomp.base_ns)),
+                ("seccomp_ns".into(), Value::Num(seccomp.seccomp_ns)),
+                ("overhead_pct".into(), Value::Num(seccomp.overhead_pct)),
+                ("base_runs_ns".into(), runs_arr(&seccomp.base_runs_ns)),
+                ("seccomp_runs_ns".into(), runs_arr(&seccomp.seccomp_runs_ns)),
+            ]),
         ),
         (
             "cache_metrics".into(),
@@ -580,6 +680,15 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_seccomp_row_measures_both_variants() {
+        let row = measure_dispatch_seccomp(2, 20);
+        assert!(row.base_ns > 0.0 && row.seccomp_ns > 0.0, "{:?}", row);
+        assert_eq!(row.base_runs_ns.len(), MICRO_RUNS);
+        assert_eq!(row.seccomp_runs_ns.len(), MICRO_RUNS);
+        assert!(row.overhead_pct.is_finite());
+    }
+
+    #[test]
     fn json_document_is_well_formed() {
         let text = table5_json(true, 2, 5, 5, 3, 10);
         let doc = json::parse(&text).expect("emitted JSON parses");
@@ -599,5 +708,11 @@ mod tests {
         assert_eq!(doc.get("hotpath").unwrap().as_arr().unwrap().len(), 3);
         let dcache = doc.get("cache_metrics").unwrap().get("dcache").unwrap();
         assert!(dcache.get("hits").unwrap().as_f64().unwrap() > 0.0);
+        let seccomp = doc.get("dispatch_seccomp").unwrap();
+        assert_eq!(
+            seccomp.get("base_runs_ns").unwrap().as_arr().unwrap().len(),
+            MICRO_RUNS
+        );
+        assert!(seccomp.get("seccomp_ns").unwrap().as_f64().unwrap() > 0.0);
     }
 }

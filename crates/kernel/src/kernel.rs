@@ -19,7 +19,7 @@ use crate::error::{Errno, KResult};
 use crate::lsm::{AuthProvider, AuthScope, Decision, SecurityModule};
 use crate::net::{NetStack, Netfilter, RouteTable, SimNet};
 use crate::sync::{lock, read, write, Locked};
-use crate::task::{Pid, PipeId, Task};
+use crate::task::{Pid, PipeId, Task, TaskIdentity};
 use crate::trace::DecisionKind;
 use crate::trace::{
     AuditEvent, AuditObject, AuditSink, Hook, Metrics, Provenance, ShardedMetrics, SharedAuditRing,
@@ -284,7 +284,62 @@ pub struct Kernel {
     auth: Mutex<Option<Box<dyn AuthProvider>>>,
     media_roots: Mutex<BTreeMap<DevId, Ino>>,
     sinks: Mutex<Vec<Box<dyn AuditSink>>>,
-    pub(crate) interceptors: Locked<Vec<Arc<dyn crate::syscall::Interceptor>>>,
+    pub(crate) interceptors: Locked<InterceptorChain>,
+    /// Per-binary syscall-allowlist state (profiles, mode, violations),
+    /// shared with any [`crate::seccomp::SeccompInterceptor`] on the
+    /// dispatch chain and surfaced under `/proc/seccomp/`.
+    pub seccomp: crate::seccomp::Seccomp,
+}
+
+/// A stable handle onto one registered interceptor, returned by
+/// [`Kernel::register_interceptor`]. The handle stays valid across
+/// enable/disable/replace; it dies only with [`Kernel::remove_interceptor`]
+/// or [`Kernel::clear_interceptors`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InterceptorSlot(u64);
+
+struct ChainEntry {
+    id: u64,
+    enabled: bool,
+    ic: Arc<dyn crate::syscall::Interceptor>,
+}
+
+/// The registered dispatch chain: entries keep their registration order
+/// (which fixes `before`/`after` hook ordering) while individual slots
+/// can be flipped off or swapped in place without rebuilding the chain —
+/// disabling a slot keeps its position, so re-enabling restores exactly
+/// the old ordering.
+#[derive(Default)]
+pub(crate) struct InterceptorChain {
+    entries: Vec<ChainEntry>,
+    next_id: u64,
+}
+
+impl InterceptorChain {
+    fn register(&mut self, ic: Arc<dyn crate::syscall::Interceptor>) -> InterceptorSlot {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.entries.push(ChainEntry {
+            id,
+            enabled: true,
+            ic,
+        });
+        InterceptorSlot(id)
+    }
+
+    fn entry_mut(&mut self, slot: InterceptorSlot) -> Option<&mut ChainEntry> {
+        self.entries.iter_mut().find(|e| e.id == slot.0)
+    }
+
+    /// Enabled interceptors in registration order (what dispatch runs).
+    pub(crate) fn enabled(&self) -> impl Iterator<Item = &Arc<dyn crate::syscall::Interceptor>> {
+        self.entries.iter().filter(|e| e.enabled).map(|e| &e.ic)
+    }
+
+    /// How many interceptors are currently enabled.
+    pub(crate) fn enabled_len(&self) -> usize {
+        self.entries.iter().filter(|e| e.enabled).count()
+    }
 }
 
 /// A cloneable, thread-shareable handle onto one kernel.
@@ -348,7 +403,8 @@ impl Kernel {
             auth: Mutex::new(None),
             media_roots: Mutex::new(BTreeMap::new()),
             sinks: Mutex::new(Vec::new()),
-            interceptors: Locked::new(Vec::new()),
+            interceptors: Locked::new(InterceptorChain::default()),
+            seccomp: crate::seccomp::Seccomp::new(),
         }
     }
 
@@ -372,16 +428,78 @@ impl Kernel {
         self.trace.store(on, Ordering::Relaxed);
     }
 
-    /// Registers an interceptor on the dispatch chain. `before` hooks run
-    /// in registration order, `after` hooks in reverse; see
-    /// [`Kernel::dispatch`].
-    pub fn push_interceptor(&self, ic: Box<dyn crate::syscall::Interceptor>) {
-        self.interceptors.write().push(Arc::from(ic));
+    /// Registers an interceptor on the dispatch chain and returns its
+    /// [`InterceptorSlot`] handle. `before` hooks run in registration
+    /// order, `after` hooks in reverse (see [`Kernel::dispatch`]); the
+    /// slot can later be disabled, re-enabled, or have its interceptor
+    /// replaced in place — the chain is never rebuilt, so relative
+    /// ordering of the other interceptors is undisturbed.
+    pub fn register_interceptor(
+        &self,
+        ic: Box<dyn crate::syscall::Interceptor>,
+    ) -> InterceptorSlot {
+        self.interceptors.write().register(Arc::from(ic))
     }
 
-    /// Removes all registered interceptors.
+    /// Registers an interceptor, discarding the slot handle — for chains
+    /// that are only ever torn down wholesale via
+    /// [`Kernel::clear_interceptors`].
+    pub fn push_interceptor(&self, ic: Box<dyn crate::syscall::Interceptor>) {
+        let _ = self.register_interceptor(ic);
+    }
+
+    /// Enables or disables the interceptor in `slot` without removing it
+    /// (a disabled slot keeps its chain position). Returns `false` if the
+    /// slot no longer exists.
+    pub fn set_interceptor_enabled(&self, slot: InterceptorSlot, enabled: bool) -> bool {
+        match self.interceptors.write().entry_mut(slot) {
+            Some(e) => {
+                e.enabled = enabled;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the interceptor in `slot`, keeping its chain position and
+    /// enabled state. Returns `false` if the slot no longer exists (the
+    /// new interceptor is dropped).
+    pub fn replace_interceptor(
+        &self,
+        slot: InterceptorSlot,
+        ic: Box<dyn crate::syscall::Interceptor>,
+    ) -> bool {
+        match self.interceptors.write().entry_mut(slot) {
+            Some(e) => {
+                e.ic = Arc::from(ic);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unregisters the interceptor in `slot`. Returns `false` if the slot
+    /// no longer exists.
+    pub fn remove_interceptor(&self, slot: InterceptorSlot) -> bool {
+        let mut guard = self.interceptors.write();
+        let before = guard.entries.len();
+        guard.entries.retain(|e| e.id != slot.0);
+        guard.entries.len() != before
+    }
+
+    /// Removes all registered interceptors (every slot handle dies).
     pub fn clear_interceptors(&self) {
-        self.interceptors.write().clear();
+        self.interceptors.write().entries.clear();
+    }
+
+    /// Snapshots the identity of `pid`'s task — one task-shard read; see
+    /// [`TaskIdentity`]. Returns [`TaskIdentity::unknown`] when the pid
+    /// has no live task.
+    pub fn task_identity(&self, pid: Pid) -> TaskIdentity {
+        match self.task(pid) {
+            Ok(t) => TaskIdentity::of(&t),
+            Err(_) => TaskIdentity::unknown(pid),
+        }
     }
 
     /// Registers the active security module: installs its `/proc/<name>/`
@@ -627,8 +745,10 @@ impl Kernel {
         write(&self.tasks[tshard(task.pid.0)]).insert(task.pid.0, task);
     }
 
-    /// Removes a task's entry entirely (after wait).
+    /// Removes a task's entry entirely (after wait), dropping any cached
+    /// seccomp profile selection for the pid.
     pub fn reap(&self, pid: Pid) -> KResult<Task> {
+        self.seccomp.forget_pid(pid);
         write(&self.tasks[tshard(pid.0)])
             .remove(&pid.0)
             .ok_or(Errno::ESRCH)
@@ -856,6 +976,31 @@ impl Kernel {
         self.vfs.install_hook(
             "/proc/kernel/histograms",
             ProcHook::Histograms,
+            Mode(0o600),
+            Uid::ROOT,
+            Gid::ROOT,
+        )?;
+        // The seccomp control plane (§15): profile load/inspect, mode
+        // switch, and the violation log. Root-only (0600) like the LSM
+        // config nodes — a confined binary must not be able to read or
+        // rewrite its own allowlist.
+        self.vfs.install_hook(
+            "/proc/seccomp/profiles",
+            ProcHook::SeccompProfiles,
+            Mode(0o600),
+            Uid::ROOT,
+            Gid::ROOT,
+        )?;
+        self.vfs.install_hook(
+            "/proc/seccomp/status",
+            ProcHook::SeccompStatus,
+            Mode(0o600),
+            Uid::ROOT,
+            Gid::ROOT,
+        )?;
+        self.vfs.install_hook(
+            "/proc/seccomp/violations",
+            ProcHook::SeccompViolations,
             Mode(0o600),
             Uid::ROOT,
             Gid::ROOT,

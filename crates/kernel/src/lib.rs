@@ -46,6 +46,7 @@ pub mod error;
 pub mod kernel;
 pub mod lsm;
 pub mod net;
+pub mod seccomp;
 pub mod sync;
 pub mod syscall;
 pub mod task;

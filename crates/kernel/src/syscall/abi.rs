@@ -25,7 +25,7 @@ use crate::cred::{Gid, Uid};
 use crate::error::{Errno, KResult};
 use crate::kernel::Kernel;
 use crate::net::{Domain, Ipv4, Packet, SockType};
-use crate::syscall::interceptor::SysCtx;
+use crate::syscall::interceptor::{SysCtx, Verdict};
 use crate::syscall::{Interceptor, IoctlCmd, IoctlOut, NetfilterOp, OpenFlags, RouteOp, Stat};
 use crate::task::{NsKind, Pid};
 use crate::trace;
@@ -610,6 +610,62 @@ impl Syscall {
         Some(idx)
     }
 
+    /// Fixed table index of this call — the position of its name in
+    /// [`Syscall::NAMES`], computed by a direct variant match so per-call
+    /// table lookups (seccomp action arrays, per-syscall counters) cost a
+    /// jump, not a string comparison. Invariant `Syscall::NAMES[c.index()]
+    /// == c.name()` is locked by a test.
+    pub fn index(&self) -> usize {
+        match self {
+            Syscall::Open { .. } => 0,
+            Syscall::Close { .. } => 1,
+            Syscall::Read { .. } => 2,
+            Syscall::Write { .. } => 3,
+            Syscall::Lseek { .. } => 4,
+            Syscall::Stat { .. } => 5,
+            Syscall::Lstat { .. } => 6,
+            Syscall::Chmod { .. } => 7,
+            Syscall::Chown { .. } => 8,
+            Syscall::Mkdir { .. } => 9,
+            Syscall::Unlink { .. } => 10,
+            Syscall::Rmdir { .. } => 11,
+            Syscall::Rename { .. } => 12,
+            Syscall::Symlink { .. } => 13,
+            Syscall::Chdir { .. } => 14,
+            Syscall::Readdir { .. } => 15,
+            Syscall::Pipe => 16,
+            Syscall::Setuid { .. } => 17,
+            Syscall::Seteuid { .. } => 18,
+            Syscall::Setgid { .. } => 19,
+            Syscall::Setgroups { .. } => 20,
+            Syscall::Getuid => 21,
+            Syscall::Geteuid => 22,
+            Syscall::Getgid => 23,
+            Syscall::Ioctl { .. } => 24,
+            Syscall::Mount { .. } => 25,
+            Syscall::Umount { .. } => 26,
+            Syscall::Socket { .. } => 27,
+            Syscall::Bind { .. } => 28,
+            Syscall::Listen { .. } => 29,
+            Syscall::Connect { .. } => 30,
+            Syscall::Accept { .. } => 31,
+            Syscall::Send { .. } => 32,
+            Syscall::Recv { .. } => 33,
+            Syscall::RecvPacket { .. } => 34,
+            Syscall::Sendto { .. } => 35,
+            Syscall::SendPacket { .. } => 36,
+            Syscall::Socketpair => 37,
+            Syscall::Netfilter { .. } => 38,
+            Syscall::NetfilterList => 39,
+            Syscall::IoctlRoute { .. } => 40,
+            Syscall::Fork => 41,
+            Syscall::Execve { .. } => 42,
+            Syscall::Unshare { .. } => 43,
+            Syscall::Exit { .. } => 44,
+            Syscall::Wait { .. } => 45,
+        }
+    }
+
     /// The class this call belongs to.
     pub fn class(&self) -> SyscallClass {
         match self {
@@ -873,7 +929,8 @@ impl Kernel {
         // Snapshot the chain's shared handles under a brief read lock, so
         // hooks run without holding any kernel lock (an interceptor may
         // itself consult kernel state) and concurrent dispatches do not
-        // serialize on the chain. Short chains (the overwhelmingly common
+        // serialize on the chain. Only enabled slots are snapshotted, in
+        // registration order. Short chains (the overwhelmingly common
         // case) snapshot into a stack array so dispatch entry touches no
         // heap; longer chains spill to a clone.
         const IC_INLINE: usize = 4;
@@ -881,12 +938,12 @@ impl Kernel {
         let mut spill: Vec<Arc<dyn Interceptor>> = Vec::new();
         {
             let guard = self.interceptors.read();
-            if guard.len() <= IC_INLINE {
-                for (slot, ic) in inline.iter_mut().zip(guard.iter()) {
+            if guard.enabled_len() <= IC_INLINE {
+                for (slot, ic) in inline.iter_mut().zip(guard.enabled()) {
                     *slot = Some(ic.clone());
                 }
             } else {
-                spill = guard.clone();
+                spill = guard.enabled().cloned().collect();
             }
         }
         let chain = || {
@@ -895,19 +952,45 @@ impl Kernel {
                 .filter_map(|s| s.as_deref())
                 .chain(spill.iter().map(|a| &**a))
         };
+        // One identity snapshot per dispatch — a single task-shard read —
+        // shared (it is `Copy`) by every hook of this dispatch.
+        let task = self.task_identity(pid);
         let mut injected = None;
+        // Complain-mode notes filed by hooks via `Verdict::Note`; empty on
+        // the fast path (`Vec::new` does not allocate until first push).
+        let mut notes: Vec<(&'static str, Errno, String)> = Vec::new();
         {
             let _before_span = trace::span(trace::Pathway::InterceptBefore);
             for ic in chain() {
                 let mut ctx = SysCtx {
                     clock: self.clock(),
                     metrics: &self.metrics,
+                    task,
                 };
-                if let Some(e) = ic.before(pid, &call, &mut ctx) {
-                    injected = Some((e, ic.name()));
-                    break;
+                match ic.before(pid, &call, &mut ctx) {
+                    Verdict::Continue => {}
+                    Verdict::Deny(e) => {
+                        injected = Some((e, ic.name()));
+                        break;
+                    }
+                    Verdict::Note { errno, note } => notes.push((ic.name(), errno, note)),
                 }
             }
+        }
+        for (who, errno, note) in notes {
+            self.emit_event(
+                pid.0,
+                call.name(),
+                AuditObject::None,
+                Provenance {
+                    module: who,
+                    hook: Hook::Interceptor,
+                    rule: Some(format!("{}:{}:{}", who, call.name(), call.class().name())),
+                    decision: DecisionKind::Info,
+                    errno: Some(errno),
+                },
+                note,
+            );
         }
         let ret = match injected {
             Some((e, who)) => {
@@ -919,7 +1002,10 @@ impl Kernel {
                     Provenance {
                         module: "interceptor",
                         hook: Hook::Interceptor,
-                        rule: Some(who.to_string()),
+                        // `rule` carries interceptor, syscall, and class, so
+                        // Table-6-style provenance assertions can key on what
+                        // was denied, not just who denied it.
+                        rule: Some(format!("{}:{}:{}", who, call.name(), call.class().name())),
                         decision: DecisionKind::Deny,
                         errno: Some(e),
                     },
@@ -941,6 +1027,7 @@ impl Kernel {
                 let mut ctx = SysCtx {
                     clock: self.clock(),
                     metrics: &self.metrics,
+                    task,
                 };
                 ic.after(pid, &call, &ret, &mut ctx);
             }

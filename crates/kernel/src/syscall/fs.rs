@@ -501,6 +501,9 @@ impl Kernel {
             ProcHook::Metrics => Ok(self.metrics_snapshot().render().into_bytes()),
             ProcHook::Histograms => Ok(crate::trace::span::render().into_bytes()),
             ProcHook::SysAttr(attr) => Ok(self.sys_attr_read(&attr)?.into_bytes()),
+            ProcHook::SeccompProfiles => Ok(self.seccomp.render_profiles().into_bytes()),
+            ProcHook::SeccompStatus => Ok(self.seccomp.render_status().into_bytes()),
+            ProcHook::SeccompViolations => Ok(self.seccomp.render_violations().into_bytes()),
         }
     }
 
@@ -593,8 +596,70 @@ impl Kernel {
                 );
                 Ok(data.len())
             }
+            ProcHook::SeccompProfiles | ProcHook::SeccompStatus | ProcHook::SeccompViolations => {
+                self.write_seccomp_node(pid, hook, data)
+            }
             _ => Err(Errno::EACCES),
         }
+    }
+
+    /// Writes to the `/proc/seccomp/*` control plane. The nodes are 0600
+    /// root-owned (non-root opens already fail `EACCES` at DAC); this
+    /// re-checks euid like the LSM config path so an fd leaked across a
+    /// credential drop still refuses, with an audited `EPERM`.
+    fn write_seccomp_node(&self, pid: Pid, hook: ProcHook, data: &[u8]) -> KResult<usize> {
+        let node = match hook {
+            ProcHook::SeccompProfiles => "seccomp/profiles",
+            ProcHook::SeccompStatus => "seccomp/status",
+            _ => "seccomp/violations",
+        };
+        if !self.task(pid)?.cred.euid.is_root() {
+            let msg = format!("seccomp: non-root write to '{}' refused", node);
+            self.emit_kernel_event(
+                pid,
+                "write",
+                Hook::LsmConfig,
+                DecisionKind::Deny,
+                Some(Errno::EPERM),
+                AuditObject::Config(node.to_string()),
+                msg,
+            );
+            return Err(Errno::EPERM);
+        }
+        let content = String::from_utf8(data.to_vec()).map_err(|_| Errno::EINVAL)?;
+        let msg = match hook {
+            ProcHook::SeccompProfiles => {
+                let specs = crate::seccomp::Seccomp::parse_profiles_text(&content)
+                    .map_err(|_| Errno::EINVAL)?;
+                let n = self
+                    .seccomp
+                    .load_profiles(&specs)
+                    .map_err(|_| Errno::EINVAL)?;
+                format!("seccomp: loaded {} profiles", n)
+            }
+            ProcHook::SeccompStatus => {
+                let mode = crate::seccomp::SeccompMode::parse(&content).ok_or(Errno::EINVAL)?;
+                self.seccomp.set_mode(mode);
+                format!("seccomp: mode -> {}", mode.name())
+            }
+            _ => {
+                if content.trim() != "clear" {
+                    return Err(Errno::EINVAL);
+                }
+                self.seccomp.clear_violations();
+                "seccomp: violation log cleared".to_string()
+            }
+        };
+        self.emit_kernel_event(
+            pid,
+            "write",
+            Hook::LsmConfig,
+            DecisionKind::Info,
+            None,
+            AuditObject::Config(node.to_string()),
+            msg,
+        );
+        Ok(data.len())
     }
 
     // ------------------------------------------------------------------

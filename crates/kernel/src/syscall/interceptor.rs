@@ -1,29 +1,73 @@
-//! Dispatch-chain interceptors: fault injection and per-class metering.
+//! Dispatch-chain interceptors: fault injection, per-class metering,
+//! trace capture/replay, and seccomp enforcement.
 //!
-//! An [`Interceptor`] registered with [`crate::kernel::Kernel::push_interceptor`]
-//! sees every call that flows through [`crate::kernel::Kernel::dispatch`].
-//! `before` hooks run in registration order and may short-circuit the call
-//! with an errno; `after` hooks run in reverse order and observe the final
-//! `(pid, Syscall, SysRet)` triple — injected faults included — which is
-//! what the trace recorder and replayer consume
-//! (see [`crate::trace::TraceRecorder`]).
+//! An [`Interceptor`] registered with
+//! [`crate::kernel::Kernel::register_interceptor`] (which returns an
+//! [`InterceptorSlot`](crate::kernel::InterceptorSlot) handle for later
+//! enable/disable/replace) sees every call that flows through
+//! [`crate::kernel::Kernel::dispatch`]. `before` hooks run in
+//! registration order and return a [`Verdict`]; `after` hooks run in
+//! reverse order and observe the final `(pid, Syscall, SysRet)` triple —
+//! injected faults included — which is what the trace recorder and
+//! replayer consume (see [`crate::trace::TraceRecorder`]).
 
 use crate::error::Errno;
 use crate::sync::{lock, PerThread};
 use crate::syscall::abi::{SysRet, Syscall, SyscallClass};
-use crate::task::Pid;
+use crate::task::{Pid, TaskIdentity};
 use crate::trace::ShardedMetrics;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-/// Kernel state an interceptor may consult or update while the dispatcher
-/// holds the chain.
+/// The dispatch context: kernel state an interceptor may consult or
+/// update while the dispatcher holds the chain.
+///
+/// This is the *extensible* surface between the dispatcher and its
+/// interceptors: hooks receive `&mut SysCtx` rather than positional
+/// arguments precisely so new fields can be added here without another
+/// breaking change to every [`Interceptor`] implementor. Current fields:
+///
+/// - [`clock`](SysCtx::clock) — the logical clock at hook time;
+/// - [`metrics`](SysCtx::metrics) — the kernel-wide metrics sink;
+/// - [`task`](SysCtx::task) — a [`TaskIdentity`] snapshot of the calling
+///   task (uid/euid/binary), taken **once per dispatch** with a single
+///   task-shard read and shared by every hook of that dispatch, so
+///   identity-aware interceptors (seccomp) pay no per-hook lookup.
 pub struct SysCtx<'a> {
     /// The kernel's logical clock at hook time.
     pub clock: u64,
     /// The kernel-wide metrics sink (per-worker shards; see
     /// [`ShardedMetrics`]).
     pub metrics: &'a ShardedMetrics,
+    /// Identity of the dispatching task, snapshotted at dispatch entry.
+    /// For pids without a live task this is [`TaskIdentity::unknown`]
+    /// (the entry point itself will fail with `ESRCH`).
+    pub task: TaskIdentity,
+}
+
+/// What a `before` hook decided about a dispatched call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Let the call proceed; later hooks and the entry point run.
+    Continue,
+    /// Short-circuit the call with `errno`: the entry point is never
+    /// reached, the caller sees `SysRet::Err(errno)`, and the dispatcher
+    /// emits a `Deny` audit event whose `rule` records the interceptor,
+    /// the syscall name, and its class.
+    Deny(Errno),
+    /// Let the call proceed but have the dispatcher emit an
+    /// informational audit event on the interceptor's behalf — the
+    /// complain-mode primitive: `errno` is what a denying configuration
+    /// *would* have returned, `note` the human-readable explanation.
+    /// (Informational events reach the ring only while
+    /// [`Kernel::trace`](crate::kernel::Kernel::trace) is on, like every
+    /// other `Info` event.)
+    Note {
+        /// The errno an enforcing configuration would have injected.
+        errno: Errno,
+        /// Human-readable explanation, becomes the audit message.
+        note: String,
+    },
 }
 
 /// A hook pair around every dispatched syscall.
@@ -32,17 +76,20 @@ pub struct SysCtx<'a> {
 /// threads may dispatch concurrently, so hooks take `&self` and
 /// implementations keep mutable state behind a mutex (or [`PerThread`]
 /// for values scoped to one dispatch on one thread); they interact with
-/// kernel state only through [`SysCtx`].
+/// kernel state only through [`SysCtx`] — never by re-entering
+/// [`Kernel::dispatch`](crate::kernel::Kernel::dispatch), which does not
+/// nest on a thread.
 pub trait Interceptor: Send + Sync {
     /// Stable name, recorded in the audit `rule` field when this
-    /// interceptor injects a fault.
+    /// interceptor injects a fault or files a complain-mode note.
     fn name(&self) -> &'static str;
 
-    /// Runs before the kernel entry point. Returning `Some(errno)`
-    /// short-circuits the call: the entry point is never reached and the
-    /// caller sees `SysRet::Err(errno)`.
-    fn before(&self, _pid: Pid, _call: &Syscall, _ctx: &mut SysCtx<'_>) -> Option<Errno> {
-        None
+    /// Runs before the kernel entry point; the first hook to return
+    /// [`Verdict::Deny`] short-circuits the call. [`Verdict::Note`] lets
+    /// the call proceed while the dispatcher records an informational
+    /// audit event attributed to this interceptor.
+    fn before(&self, _pid: Pid, _call: &Syscall, _ctx: &mut SysCtx<'_>) -> Verdict {
+        Verdict::Continue
     }
 
     /// Runs after the response is known (real or injected).
@@ -208,7 +255,7 @@ impl Interceptor for FaultInjector {
         "fault_injector"
     }
 
-    fn before(&self, _pid: Pid, call: &Syscall, _ctx: &mut SysCtx<'_>) -> Option<Errno> {
+    fn before(&self, _pid: Pid, call: &Syscall, _ctx: &mut SysCtx<'_>) -> Verdict {
         lock(&self.stats).seen += 1;
         let mut st = lock(&self.inner);
         let n = st.counts.entry(call.name()).or_insert(0);
@@ -219,27 +266,27 @@ impl Interceptor for FaultInjector {
                 st.fired[i] = true;
                 drop(st);
                 self.record(call, shot.errno);
-                return Some(shot.errno);
+                return Verdict::Deny(shot.errno);
             }
         }
         if self.config.rate == 0
             || self.config.palette.is_empty()
             || !self.config.classes.contains(&call.class())
         {
-            return None;
+            return Verdict::Continue;
         }
         // Getters are infallible reads; injecting there models nothing.
         if matches!(call, Syscall::Getuid | Syscall::Geteuid | Syscall::Getgid) {
-            return None;
+            return Verdict::Continue;
         }
         if st.rng.next().is_multiple_of(self.config.rate) {
             let pick = (st.rng.next() % self.config.palette.len() as u64) as usize;
             drop(st);
             let errno = self.config.palette[pick];
             self.record(call, errno);
-            return Some(errno);
+            return Verdict::Deny(errno);
         }
-        None
+        Verdict::Continue
     }
 }
 
@@ -265,9 +312,9 @@ impl Interceptor for SyscallMeter {
         "syscall_meter"
     }
 
-    fn before(&self, _pid: Pid, _call: &Syscall, ctx: &mut SysCtx<'_>) -> Option<Errno> {
+    fn before(&self, _pid: Pid, _call: &Syscall, ctx: &mut SysCtx<'_>) -> Verdict {
         self.start.replace(Some(ctx.clock));
-        None
+        Verdict::Continue
     }
 
     fn after(&self, _pid: Pid, call: &Syscall, ret: &SysRet, ctx: &mut SysCtx<'_>) {

@@ -11,6 +11,60 @@ use std::collections::VecDeque;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Pid(pub u32);
 
+/// A cheap, `Copy` snapshot of the calling task's identity — everything an
+/// interceptor may need to attribute a dispatched call without touching the
+/// task table itself. [`crate::kernel::Kernel::dispatch`] takes exactly one
+/// snapshot per dispatched call (a single task-shard read) and hands the
+/// same value to every hook via
+/// [`SysCtx`](crate::syscall::SysCtx); the binary path is carried as an
+/// interned [`Name`] so copying the snapshot moves four words and no heap.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TaskIdentity {
+    /// The dispatching process.
+    pub pid: Pid,
+    /// Real uid at dispatch time.
+    pub uid: crate::cred::Uid,
+    /// Effective uid at dispatch time.
+    pub euid: crate::cred::Uid,
+    /// Interned absolute path of the binary image the task is executing
+    /// (re-resolved across `execve`, so a profile keyed on it follows the
+    /// image, not the pid). [`TaskIdentity::UNKNOWN_BINARY`] when the pid
+    /// has no live task.
+    pub binary: Name,
+    /// Whether the pid mapped to a live task when the snapshot was taken.
+    /// Dead or never-born pids still dispatch (the entry point returns
+    /// `ESRCH`), so interceptors must not assume liveness.
+    pub alive: bool,
+}
+
+impl TaskIdentity {
+    /// Binary-path placeholder used when the pid has no live task.
+    pub const UNKNOWN_BINARY: &'static str = "[unknown]";
+
+    /// The snapshot for a pid with no live task: overflow uids, the
+    /// [`TaskIdentity::UNKNOWN_BINARY`] placeholder, `alive == false`.
+    pub fn unknown(pid: Pid) -> TaskIdentity {
+        TaskIdentity {
+            pid,
+            uid: crate::cred::Uid(u32::MAX),
+            euid: crate::cred::Uid(u32::MAX),
+            binary: Name::intern(TaskIdentity::UNKNOWN_BINARY),
+            alive: false,
+        }
+    }
+
+    /// Snapshots a live task.
+    pub fn of(task: &Task) -> TaskIdentity {
+        TaskIdentity {
+            pid: task.pid,
+            uid: task.cred.ruid,
+            euid: task.cred.euid,
+            binary: Name::intern(&task.binary),
+            alive: true,
+        }
+    }
+}
+
 /// A pipe identity (index into the kernel pipe arena).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PipeId(pub usize);

@@ -129,6 +129,15 @@ pub enum ProcHook {
     /// `/sys/...` attribute owned by a device, read-only; the string names
     /// the attribute (e.g. `dm/0/deps` for dm-crypt device topology).
     SysAttr(String),
+    /// `/proc/seccomp/profiles` — loaded per-binary allowlists; root may
+    /// write a full profile document to replace the table.
+    SeccompProfiles,
+    /// `/proc/seccomp/status` — mode and counters; root may write
+    /// `off`/`complain`/`enforce` to switch modes.
+    SeccompStatus,
+    /// `/proc/seccomp/violations` — the out-of-profile call log; root may
+    /// write `clear` to empty it.
+    SeccompViolations,
 }
 
 /// What an inode contains.

@@ -137,6 +137,60 @@ impl System {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Typed interceptor registration (the InterceptorSlot surface):
+    // helpers that box the standard interceptors onto the dispatch chain
+    // and hand back both the slot handle (enable/disable/replace) and the
+    // interceptor's shared observer handle where it has one.
+    // ------------------------------------------------------------------
+
+    /// Installs a [`FaultInjector`](sim_kernel::syscall::FaultInjector)
+    /// built from `config`, returning its chain slot and the shared
+    /// stats handle.
+    pub fn attach_fault_injector(
+        &mut self,
+        config: sim_kernel::syscall::FaultConfig,
+    ) -> (
+        sim_kernel::kernel::InterceptorSlot,
+        std::sync::Arc<std::sync::Mutex<sim_kernel::syscall::FaultStats>>,
+    ) {
+        let injector = sim_kernel::syscall::FaultInjector::new(config);
+        let stats = injector.stats();
+        let slot = self.kernel.register_interceptor(Box::new(injector));
+        (slot, stats)
+    }
+
+    /// Installs a [`TraceRecorder`](sim_kernel::trace::TraceRecorder),
+    /// returning its chain slot and the shared trace handle.
+    pub fn attach_recorder(
+        &mut self,
+    ) -> (
+        sim_kernel::kernel::InterceptorSlot,
+        std::sync::Arc<std::sync::Mutex<sim_kernel::trace::Trace>>,
+    ) {
+        let recorder = sim_kernel::trace::TraceRecorder::new();
+        let trace = recorder.trace();
+        let slot = self.kernel.register_interceptor(Box::new(recorder));
+        (slot, trace)
+    }
+
+    /// Installs a [`SyscallMeter`](sim_kernel::syscall::SyscallMeter),
+    /// returning its chain slot.
+    pub fn attach_meter(&mut self) -> sim_kernel::kernel::InterceptorSlot {
+        self.kernel
+            .register_interceptor(Box::new(sim_kernel::syscall::SyscallMeter::new()))
+    }
+
+    /// Installs a [`SeccompInterceptor`](sim_kernel::seccomp::SeccompInterceptor)
+    /// wired to this kernel's [`Seccomp`](sim_kernel::seccomp::Seccomp)
+    /// control block, returning its chain slot. Profiles and mode are
+    /// managed through `kernel.seccomp` (or `/proc/seccomp/*`); the
+    /// interceptor is inert while the mode is `off`.
+    pub fn attach_seccomp(&mut self) -> sim_kernel::kernel::InterceptorSlot {
+        let ic = sim_kernel::seccomp::SeccompInterceptor::new(self.kernel.seccomp.clone());
+        self.kernel.register_interceptor(Box::new(ic))
+    }
+
     /// Runs one monitoring-daemon poll cycle (Protego's policy
     /// synchronization); returns whether any policy was pushed.
     pub fn sync_policies(&mut self) -> KResult<bool> {

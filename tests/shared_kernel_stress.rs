@@ -6,7 +6,7 @@
 //! root-reachable at their own paths — must hold after the churn.
 
 use protego::kernel::net::{Domain, Ipv4, SockType};
-use protego::kernel::syscall::{FaultConfig, FaultInjector};
+use protego::kernel::syscall::FaultConfig;
 use protego::kernel::vfs::Mode;
 use protego::userland::workload::privileged_artifacts;
 use protego::userland::{boot, System, SystemMode};
@@ -162,9 +162,7 @@ fn eight_workers_storm_one_kernel_without_damage() {
     let sessions: Vec<_> = (0..WORKERS)
         .map(|_| base.login("alice", "alicepw").expect("login"))
         .collect();
-    let inj = FaultInjector::new(FaultConfig::storm(0xD1CE, 100));
-    let stats = inj.stats();
-    base.kernel.push_interceptor(Box::new(inj));
+    let (_slot, stats) = base.attach_fault_injector(FaultConfig::storm(0xD1CE, 100));
 
     let handles: Vec<_> = sessions
         .into_iter()

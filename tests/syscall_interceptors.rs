@@ -3,8 +3,8 @@
 //! side effect, and a recorded syscall trace replays byte-identically on
 //! a fresh boot.
 
-use protego::kernel::syscall::{FaultConfig, FaultInjector};
-use protego::kernel::trace::{Trace, TraceRecorder, TraceReplayer};
+use protego::kernel::syscall::FaultConfig;
+use protego::kernel::trace::{Trace, TraceReplayer};
 use protego::userland::suite::run_functional_suite;
 use protego::userland::{boot, System, SystemMode};
 
@@ -41,9 +41,7 @@ fn assert_no_privileged_effects(sys: &mut System) {
 fn errno_storm_over_functional_battery_is_safe_and_deterministic() {
     let storm_run = |seed: u64| {
         let mut sys = boot(SystemMode::Protego);
-        let inj = FaultInjector::new(FaultConfig::storm(seed, 100));
-        let stats = inj.stats();
-        sys.kernel.push_interceptor(Box::new(inj));
+        let (_slot, stats) = sys.attach_fault_injector(FaultConfig::storm(seed, 100));
         let outcomes = run_functional_suite(&mut sys);
         let s = stats.lock().unwrap();
         assert!(s.seen > 0, "the battery must route through dispatch");
@@ -77,9 +75,7 @@ fn errno_storm_over_functional_battery_is_safe_and_deterministic() {
 fn functional_battery_trace_replays_deterministically() {
     // Pass 1: record.
     let mut sys = boot(SystemMode::Protego);
-    let rec = TraceRecorder::new();
-    let trace = rec.trace();
-    sys.kernel.push_interceptor(Box::new(rec));
+    let (_rec_slot, trace) = sys.attach_recorder();
     let outcomes1 = run_functional_suite(&mut sys);
     let serialized = trace.lock().unwrap().render();
     assert!(
@@ -92,11 +88,9 @@ fn functional_battery_trace_replays_deterministically() {
     let expected = Trace::parse(&serialized).expect("recorded trace must parse");
     let replayer = TraceReplayer::new(expected);
     let divergences = replayer.divergences();
-    let rec2 = TraceRecorder::new();
-    let trace2 = rec2.trace();
     let mut sys2 = boot(SystemMode::Protego);
-    sys2.kernel.push_interceptor(Box::new(replayer));
-    sys2.kernel.push_interceptor(Box::new(rec2));
+    sys2.kernel.register_interceptor(Box::new(replayer));
+    let (_rec2_slot, trace2) = sys2.attach_recorder();
     let outcomes2 = run_functional_suite(&mut sys2);
 
     assert_eq!(
