@@ -87,6 +87,18 @@ echo "== smoke replay: recorded syscall trace replays deterministically =="
 # replays a fresh boot against it; fails on any divergence.
 cargo run --release -p bench --bin tables -- replay-smoke
 
+echo "== smoke fuzz: adversarial differential scenarios =="
+# Fixed-seed tier of the scenario fuzzer (5 families x 32 seeds): every
+# scenario runs under legacy and Protego with the equivalence /
+# determinism / security oracles armed, and the campaign self-checks
+# that generation is a pure function of the seed. The double run then
+# proves the whole pipeline — generation, execution, reporting — is
+# byte-identical per seed.
+cargo run --release -p bench --bin tables -- fuzz --smoke | tee target/fuzz.smoke.1.txt
+cargo run --release -p bench --bin tables -- fuzz --smoke > target/fuzz.smoke.2.txt
+cmp target/fuzz.smoke.1.txt target/fuzz.smoke.2.txt \
+    || { echo "error: fuzz smoke output is not deterministic across runs" >&2; exit 1; }
+
 echo "== docs: sim-kernel + bench rustdoc is warning-clean =="
 RUSTDOCFLAGS="-D warnings" cargo doc -p sim-kernel -p bench --no-deps --quiet
 

@@ -9,6 +9,7 @@
 //! tables replay-smoke                        # record + replay determinism check
 //! tables seccomp-derive [--smoke] [--check] [--out PATH]  # derive per-binary allowlists -> SECCOMP_PROFILES.json
 //! tables seccomp-report [PATH]               # KASR-style attack-surface report from a profiles file
+//! tables fuzz [--seed N] [--mins M] [--smoke]  # adversarial differential fuzzing (legacy vs Protego)
 //! ```
 
 use bench::{json, macro_fleet, profile, seccomp_derive, table5};
@@ -52,6 +53,10 @@ fn main() {
     }
     if which == "seccomp-report" {
         run_seccomp_report(&args);
+        return;
+    }
+    if which == "fuzz" {
+        run_fuzz(&args);
         return;
     }
 
@@ -646,4 +651,78 @@ fn print_ablations(quick: bool) {
         );
     }
     println!();
+}
+
+/// Adversarial differential fuzzing: generate seeded scenarios across
+/// the five families, run each under legacy and Protego, and fail with
+/// a shrunk reproducer on the first oracle violation. `--smoke` runs a
+/// small fixed-seed tier (the ci gate) including the byte-identical
+/// double-generation determinism check.
+fn run_fuzz(args: &[String]) {
+    let seed = match args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(s) => {
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse::<u64>(),
+            };
+            match parsed {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("error: --seed {} is not a u64 (decimal or 0x-hex)", s);
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => 0xF0CC,
+    };
+    let mins = args
+        .iter()
+        .position(|a| a == "--mins")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let opts = bench::fuzz::FuzzOptions { seed, mins, smoke };
+    eprintln!(
+        "fuzzing: seed {:#x}, {} (families: {})",
+        seed,
+        if smoke {
+            "smoke tier (fixed seeds)".to_string()
+        } else {
+            format!("{} min budget", mins)
+        },
+        bench::fuzz::Family::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let result = bench::fuzz::run_campaign(opts);
+    println!(
+        "fuzz: {} scenarios, {} ops, generation deterministic: {}",
+        result.scenarios, result.ops, result.generation_deterministic
+    );
+    if !result.generation_deterministic {
+        eprintln!("error: double-generation produced different bytes for the same seed");
+        std::process::exit(1);
+    }
+    if let Some((original, failure, minimized)) = result.failure {
+        eprintln!("\nFAILURE in scenario `{}`:", original.name);
+        eprintln!("{}", failure);
+        eprintln!(
+            "\nminimized to {} ops (from {}):\n{}",
+            minimized.ops.len(),
+            original.ops.len(),
+            minimized.render()
+        );
+        eprintln!("regression snippet for tests/fuzz_regressions.rs:\n");
+        eprintln!("{}", bench::fuzz::regression_snippet(&minimized, &failure));
+        std::process::exit(1);
+    }
+    println!("fuzz: no oracle violations");
 }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod fuzz;
 pub mod json;
 pub mod macro_fleet;
 pub mod micro;

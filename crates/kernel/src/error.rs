@@ -186,6 +186,54 @@ impl Errno {
         }
     }
 
+    /// Every variant, in declaration order — the iteration base for
+    /// name-driven lookup.
+    pub const ALL: [Errno; 37] = [
+        Errno::EPERM,
+        Errno::ENOENT,
+        Errno::ESRCH,
+        Errno::EINTR,
+        Errno::EIO,
+        Errno::ENXIO,
+        Errno::EBADF,
+        Errno::EAGAIN,
+        Errno::ENOMEM,
+        Errno::EACCES,
+        Errno::EFAULT,
+        Errno::EBUSY,
+        Errno::EEXIST,
+        Errno::ENODEV,
+        Errno::ENOTDIR,
+        Errno::EISDIR,
+        Errno::EINVAL,
+        Errno::EMFILE,
+        Errno::ENOTTY,
+        Errno::EFBIG,
+        Errno::ENOSPC,
+        Errno::EROFS,
+        Errno::EMLINK,
+        Errno::EPIPE,
+        Errno::ENOTEMPTY,
+        Errno::ELOOP,
+        Errno::ENAMETOOLONG,
+        Errno::ENOSYS,
+        Errno::EADDRINUSE,
+        Errno::EADDRNOTAVAIL,
+        Errno::ENETUNREACH,
+        Errno::ECONNREFUSED,
+        Errno::ECONNRESET,
+        Errno::ENOTCONN,
+        Errno::EOPNOTSUPP,
+        Errno::ENOTBLK,
+        Errno::EAUTH,
+    ];
+
+    /// Inverse of [`Errno::name`]: resolves a symbolic name back to the
+    /// variant, for deserializing scenario and corpus files.
+    pub fn from_name(name: &str) -> Option<Errno> {
+        Errno::ALL.iter().copied().find(|e| e.name() == name)
+    }
+
     /// Human-readable message corresponding to `strerror(3)`.
     pub fn message(self) -> &'static str {
         match self {

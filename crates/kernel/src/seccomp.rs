@@ -25,7 +25,7 @@
 //! * **enforce** — out-of-profile calls are denied with the profile's
 //!   deny action; [`Action::Kill`] is modelled as `EPERM` plus a
 //!   kill-flagged violation (the simulation has no signal delivery, see
-//!   DESIGN.md §16).
+//!   DESIGN.md §17).
 //!
 //! Profile selection is per-pid: the first dispatch after `fork`/`execve`
 //! resolves the task's binary to a profile and caches the choice; the

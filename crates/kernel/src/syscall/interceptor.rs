@@ -195,6 +195,13 @@ pub struct FaultStats {
     pub per_class: BTreeMap<&'static str, u64>,
     /// Injections keyed by errno name.
     pub per_errno: BTreeMap<&'static str, u64>,
+    /// Per-one-shot consumption flags, indexed like
+    /// [`FaultConfig::one_shots`]. These live in the *shared* stats — not
+    /// in injector-private state — so a consumed one-shot stays consumed
+    /// even when the injector object is rebuilt and re-registered (the
+    /// exec re-selection pattern): pass the old handle to
+    /// [`FaultInjector::resuming`] and the replacement cannot re-fire it.
+    pub one_shots_fired: Vec<bool>,
 }
 
 /// The seeded fault injector (tentpole interceptor #1).
@@ -217,22 +224,39 @@ struct FaultState {
     rng: XorShift64,
     /// 1-based dispatch counts per syscall name, driving one-shots.
     counts: BTreeMap<&'static str, u64>,
-    fired: Vec<bool>,
 }
 
 impl FaultInjector {
-    /// Builds an injector from `config`.
+    /// Builds an injector from `config` with fresh stats.
     pub fn new(config: FaultConfig) -> FaultInjector {
+        FaultInjector::resuming(config, Arc::new(Mutex::new(FaultStats::default())))
+    }
+
+    /// Builds an injector from `config` that *resumes* an earlier
+    /// injector's [`FaultStats`]: counters keep accumulating, and —
+    /// critically — one-shots the predecessor already consumed stay
+    /// consumed. Use this when exec re-selection (or any interceptor
+    /// replace/rebuild cycle) swaps the injector object mid-run:
+    /// rebuilding with fresh stats would silently re-arm every one-shot,
+    /// so "fail the 2nd mount" could fire again after umount/remount
+    /// churn crosses the replacement boundary.
+    ///
+    /// Occurrence *counting* is injector-local by design (a fresh
+    /// injector counts "the k-th mount" from its own registration), but
+    /// consumption is a property of the fault plan, so it rides with the
+    /// shared stats handle.
+    pub fn resuming(config: FaultConfig, stats: Arc<Mutex<FaultStats>>) -> FaultInjector {
         let rng = XorShift64::new(config.seed);
-        let fired = vec![false; config.one_shots.len()];
+        lock(&stats)
+            .one_shots_fired
+            .resize(config.one_shots.len(), false);
         FaultInjector {
             config,
             inner: Mutex::new(FaultState {
                 rng,
                 counts: BTreeMap::new(),
-                fired,
             }),
-            stats: Arc::new(Mutex::new(FaultStats::default())),
+            stats,
         }
     }
 
@@ -242,8 +266,7 @@ impl FaultInjector {
         Arc::clone(&self.stats)
     }
 
-    fn record(&self, call: &Syscall, errno: Errno) {
-        let mut s = lock(&self.stats);
+    fn record(s: &mut FaultStats, call: &Syscall, errno: Errno) {
         s.injected += 1;
         *s.per_class.entry(call.class().name()).or_insert(0) += 1;
         *s.per_errno.entry(errno.name()).or_insert(0) += 1;
@@ -256,16 +279,19 @@ impl Interceptor for FaultInjector {
     }
 
     fn before(&self, _pid: Pid, call: &Syscall, _ctx: &mut SysCtx<'_>) -> Verdict {
-        lock(&self.stats).seen += 1;
+        // Lock order: stats before inner, everywhere — the consumption
+        // flags live in stats (see `FaultStats::one_shots_fired`) while
+        // the PRNG and occurrence counts live in injector-private state.
+        let mut s = lock(&self.stats);
+        s.seen += 1;
         let mut st = lock(&self.inner);
         let n = st.counts.entry(call.name()).or_insert(0);
         *n += 1;
         let nth = *n;
         for (i, shot) in self.config.one_shots.iter().enumerate() {
-            if !st.fired[i] && shot.syscall == call.name() && shot.k == nth {
-                st.fired[i] = true;
-                drop(st);
-                self.record(call, shot.errno);
+            if !s.one_shots_fired[i] && shot.syscall == call.name() && shot.k == nth {
+                s.one_shots_fired[i] = true;
+                FaultInjector::record(&mut s, call, shot.errno);
                 return Verdict::Deny(shot.errno);
             }
         }
@@ -281,9 +307,8 @@ impl Interceptor for FaultInjector {
         }
         if st.rng.next().is_multiple_of(self.config.rate) {
             let pick = (st.rng.next() % self.config.palette.len() as u64) as usize;
-            drop(st);
             let errno = self.config.palette[pick];
-            self.record(call, errno);
+            FaultInjector::record(&mut s, call, errno);
             return Verdict::Deny(errno);
         }
         Verdict::Continue

@@ -38,7 +38,7 @@ pub use metrics::{
     CacheStats, ClassStats, ClassTable, DecisionCounters, HookCounters, LatencyStats, Metrics,
     SyscallCounters,
 };
-pub use recorder::{Divergence, Trace, TraceEntry, TraceRecorder, TraceReplayer};
+pub use recorder::{Divergence, Trace, TraceEntry, TraceError, TraceRecorder, TraceReplayer};
 pub use ring::{AuditRing, DEFAULT_RING_CAPACITY};
 pub use shared::{ShardedMetrics, SharedAuditRing, AUDIT_STAGE_BATCH};
 pub use sink::{AuditSink, CollectingSink};

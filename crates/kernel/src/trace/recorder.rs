@@ -57,6 +57,51 @@ impl TraceEntry {
     }
 }
 
+/// Why a serialized trace failed to parse.
+///
+/// Both variants carry the 1-based line number and the offending line so
+/// a differential harness can say exactly where a corpus file went bad
+/// instead of silently comparing a mis-aligned prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line did not split into `pid <tab> call <tab> ret` with a
+    /// numeric pid.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line, verbatim.
+        content: String,
+    },
+    /// The text does not end in a newline, so the final line may have
+    /// been cut mid-entry. [`Trace::render`] always terminates every
+    /// entry with `\n`; a partial tail — even one that happens to split
+    /// into three fields — would otherwise enter the diff as a bogus
+    /// entry and mis-align [`Trace::first_divergence`].
+    TruncatedFinalLine {
+        /// 1-based line number of the partial tail.
+        line: usize,
+        /// The partial tail, verbatim.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Malformed { line, content } => {
+                write!(f, "trace line {}: malformed: {:?}", line, content)
+            }
+            TraceError::TruncatedFinalLine { line, content } => write!(
+                f,
+                "trace line {}: truncated final line (no terminating newline): {:?}",
+                line, content
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// A recorded syscall stream.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
@@ -85,8 +130,19 @@ impl Trace {
         out
     }
 
-    /// Parses [`Trace::render`] output; malformed lines are an error.
-    pub fn parse(text: &str) -> Result<Trace, String> {
+    /// Parses [`Trace::render`] output; malformed and truncated lines are
+    /// a typed [`TraceError`], never a silently shortened trace.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        // Render terminates every entry with '\n'; a missing final
+        // newline means the last entry was cut mid-write. Reject it
+        // before field-splitting, because a truncated ret field can
+        // still split into three fields and would otherwise slip into
+        // the diff as a plausible-looking bogus entry.
+        if !text.is_empty() && !text.ends_with('\n') {
+            let line = text.lines().count();
+            let content = text.lines().next_back().unwrap_or("").to_string();
+            return Err(TraceError::TruncatedFinalLine { line, content });
+        }
         let mut entries = Vec::new();
         for (i, line) in text.lines().enumerate() {
             if line.is_empty() {
@@ -94,7 +150,12 @@ impl Trace {
             }
             match TraceEntry::parse(line) {
                 Some(e) => entries.push(e),
-                None => return Err(format!("trace line {}: malformed: {:?}", i + 1, line)),
+                None => {
+                    return Err(TraceError::Malformed {
+                        line: i + 1,
+                        content: line.to_string(),
+                    })
+                }
             }
         }
         Ok(Trace { entries })
@@ -112,6 +173,27 @@ impl Trace {
             return Some(self.entries.len().min(other.entries.len()));
         }
         None
+    }
+
+    /// Human-readable report of the first divergence between `self` and
+    /// `other`, with up to `context` preceding (agreeing) entries for
+    /// orientation. `None` when the traces are identical. Lines are
+    /// prefixed `  ` (shared context), `-` (self's side) and `+`
+    /// (other's side); a missing side renders as `<end of trace>`.
+    pub fn divergence_report(&self, other: &Trace, context: usize) -> Option<String> {
+        let i = self.first_divergence(other)?;
+        let mut out = String::new();
+        out.push_str(&format!("first divergence at entry {}:\n", i));
+        for j in i.saturating_sub(context)..i {
+            out.push_str(&format!("   {}\n", self.entries[j].render()));
+        }
+        let side = |e: Option<&TraceEntry>| match e {
+            Some(e) => e.render(),
+            None => "<end of trace>".to_string(),
+        };
+        out.push_str(&format!("-  {}\n", side(self.entries.get(i))));
+        out.push_str(&format!("+  {}\n", side(other.entries.get(i))));
+        Some(out)
     }
 }
 
@@ -255,9 +337,77 @@ mod tests {
     }
 
     #[test]
-    fn malformed_line_is_an_error() {
-        assert!(Trace::parse("not-a-pid\tx\ty").is_err());
-        assert!(Trace::parse("3\tmissing-ret").is_err());
+    fn malformed_line_is_a_typed_error() {
+        assert_eq!(
+            Trace::parse("not-a-pid\tx\ty\n"),
+            Err(TraceError::Malformed {
+                line: 1,
+                content: "not-a-pid\tx\ty".to_string(),
+            })
+        );
+        assert_eq!(
+            Trace::parse("3\tOpen\tFd(3)\n3\tmissing-ret\n"),
+            Err(TraceError::Malformed {
+                line: 2,
+                content: "3\tmissing-ret".to_string(),
+            })
+        );
+    }
+
+    #[test]
+    fn partial_final_line_is_rejected_not_misaligned() {
+        let full = Trace {
+            entries: vec![
+                entry(3, "Open { path: \"/etc/passwd\" }", "Fd(3)"),
+                entry(3, "Close { fd: 3 }", "Unit"),
+            ],
+        }
+        .render();
+        // Chop the trailing newline: the tail still splits into three
+        // fields, so a naive parser would accept a bogus final entry.
+        let chopped = full.trim_end_matches('\n');
+        assert_eq!(
+            Trace::parse(chopped),
+            Err(TraceError::TruncatedFinalLine {
+                line: 2,
+                content: "3\tClose { fd: 3 }\tUnit".to_string(),
+            })
+        );
+        // Chop mid-field too: same typed rejection, not a short trace.
+        let cut = &full[..full.len() - 3];
+        match Trace::parse(cut) {
+            Err(TraceError::TruncatedFinalLine { line: 2, .. }) => {}
+            other => panic!("mid-field cut must be a truncation error, got {:?}", other),
+        }
+        // A single partial line with no newline at all.
+        match Trace::parse("7\tGetuid") {
+            Err(TraceError::TruncatedFinalLine { line: 1, .. }) => {}
+            other => panic!("partial first line must be truncation, got {:?}", other),
+        }
+        // The intact rendering still round-trips.
+        assert_eq!(Trace::parse(&full).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn divergence_report_shows_context_and_both_sides() {
+        let a = Trace {
+            entries: vec![
+                entry(1, "Getuid", "Uid(0)"),
+                entry(1, "Pipe", "FdPair(3, 4)"),
+            ],
+        };
+        assert_eq!(a.divergence_report(&a.clone(), 2), None);
+        let mut b = a.clone();
+        b.entries[1].ret = "FdPair(5, 6)".to_string();
+        let report = a.divergence_report(&b, 2).unwrap();
+        assert!(report.contains("entry 1"), "{}", report);
+        assert!(report.contains("   1\tGetuid\tUid(0)"), "{}", report);
+        assert!(report.contains("-  1\tPipe\tFdPair(3, 4)"), "{}", report);
+        assert!(report.contains("+  1\tPipe\tFdPair(5, 6)"), "{}", report);
+        let mut longer = a.clone();
+        longer.entries.push(entry(1, "Close { fd: 3 }", "Unit"));
+        let report = a.divergence_report(&longer, 0).unwrap();
+        assert!(report.contains("-  <end of trace>"), "{}", report);
     }
 
     #[test]

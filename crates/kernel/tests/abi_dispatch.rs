@@ -596,6 +596,77 @@ fn one_shot_fails_exactly_the_kth_mount() {
     assert_eq!(umount(&mut k), Ok(()));
 }
 
+/// A consumed one-shot must stay consumed across an injector
+/// replace/rebuild cycle (the exec re-selection pattern): umount/remount
+/// churn after the swap may not re-fire "fail the 2nd mount". The
+/// consumption flag rides in the shared [`FaultStats`], which
+/// [`FaultInjector::resuming`] carries into the replacement.
+#[test]
+fn consumed_one_shot_cannot_rearm_across_reselection() {
+    let (k, root, _user) = boot();
+    let config = FaultConfig::default().with_one_shot("mount", 2, Errno::EIO);
+    let injector = FaultInjector::resuming(
+        config.clone(),
+        std::sync::Arc::new(std::sync::Mutex::new(Default::default())),
+    );
+    let stats = injector.stats();
+    let slot = k.register_interceptor(Box::new(injector));
+
+    let mount = |k: &Kernel| {
+        k.dispatch(
+            root,
+            Syscall::Mount {
+                source: "/dev/cdrom".into(),
+                target: "/mnt/cdrom".into(),
+                fstype: "iso9660".into(),
+                options: "ro".into(),
+            },
+        )
+        .unit()
+    };
+    let umount = |k: &Kernel| {
+        k.dispatch(
+            root,
+            Syscall::Umount {
+                target: "/mnt/cdrom".into(),
+            },
+        )
+        .unit()
+    };
+
+    // Mount/umount churn up to the one-shot: the 2nd mount takes it.
+    assert_eq!(mount(&k), Ok(()));
+    assert_eq!(umount(&k), Ok(()));
+    assert_eq!(
+        mount(&k),
+        Err(Errno::EIO),
+        "second mount takes the one-shot"
+    );
+    assert_eq!(stats.lock().unwrap().one_shots_fired, vec![true]);
+
+    // Disable/enable churn on the slot must not reset consumption.
+    assert!(k.set_interceptor_enabled(slot, false));
+    assert_eq!(mount(&k), Ok(()));
+    assert_eq!(umount(&k), Ok(()));
+    assert!(k.set_interceptor_enabled(slot, true));
+
+    // Exec re-selection: the injector object is rebuilt from the same
+    // config and swapped into the slot. Resuming the stats handle keeps
+    // the one-shot consumed even though the replacement's occurrence
+    // counter restarts (its own 2nd mount would otherwise match k=2).
+    assert!(k.replace_interceptor(
+        slot,
+        Box::new(FaultInjector::resuming(config, stats.clone()))
+    ));
+    for _ in 0..4 {
+        assert_eq!(mount(&k), Ok(()), "consumed one-shot must not re-fire");
+        assert_eq!(umount(&k), Ok(()));
+    }
+    let s = stats.lock().unwrap();
+    assert_eq!(s.injected, 1, "exactly one injection across both lives");
+    assert_eq!(s.one_shots_fired, vec![true]);
+}
+
 /// The meter feeds per-class counters into the kernel metrics registry,
 /// which renders them as `syscall_class_*` lines.
 #[test]

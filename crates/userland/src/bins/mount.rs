@@ -172,26 +172,28 @@ pub fn umount_main(p: &mut Proc<'_>) -> i32 {
             return fail(p, "umount", "must be setuid root", Errno::EPERM);
         }
         if !p.ruid().is_root() {
-            // The legacy binary re-derives policy from fstab and mtab.
-            let entries = read_fstab(p);
-            let fstab_ok = entries
-                .iter()
-                .any(|e| e.mountpoint == target && e.user_mountable());
-            let users_ok = entries
-                .iter()
-                .any(|e| e.mountpoint == target && e.has_option("users"));
-            let mounted_by_me = p
-                .sys
-                .kernel
-                .vfs
-                .find_mount(&target)
-                .map(|m| m.mounted_by == p.ruid())
-                .unwrap_or(false);
-            if !(fstab_ok && (users_ok || mounted_by_me)) {
-                p.cov("legacy_user_check_fail");
-                return fail(p, "umount", "only root can do that", Errno::EPERM);
+            // Real umount(8) consults the mount table before its own
+            // policy gate: a target that is not mounted at all reports
+            // the syscall's EINVAL — exactly what the non-setuid
+            // Protego binary reports — not "only root can do that".
+            // (Checking policy first was a fuzzer-surfaced divergence.)
+            let mount = p.sys.kernel.vfs.find_mount(&target);
+            if let Some(m) = mount {
+                // The legacy binary re-derives policy from fstab and mtab.
+                let entries = read_fstab(p);
+                let fstab_ok = entries
+                    .iter()
+                    .any(|e| e.mountpoint == target && e.user_mountable());
+                let users_ok = entries
+                    .iter()
+                    .any(|e| e.mountpoint == target && e.has_option("users"));
+                let mounted_by_me = m.mounted_by == p.ruid();
+                if !(fstab_ok && (users_ok || mounted_by_me)) {
+                    p.cov("legacy_user_check_fail");
+                    return fail(p, "umount", "only root can do that", Errno::EPERM);
+                }
+                p.cov("legacy_user_check_pass");
             }
-            p.cov("legacy_user_check_pass");
         }
     }
     match p.os().umount(&target) {

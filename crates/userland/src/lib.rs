@@ -28,6 +28,7 @@ pub mod db;
 pub mod image;
 pub mod monitord;
 pub mod process;
+pub mod scenario;
 pub mod suite;
 pub mod system;
 pub mod workload;

@@ -360,6 +360,79 @@ pub fn privileged_artifacts(sys: &mut System) -> Vec<String> {
     found
 }
 
+/// The VFS namespace property invariants from the proptests, as a
+/// non-panicking detector: a directory walk from the root must terminate
+/// within the live-inode budget (no namespace cycles), and every
+/// reachable inode must resolve back to itself at its own `path_of`
+/// (live inodes stay root-reachable). Mount-covered nodes are exempt
+/// from the ino equality — resolution legitimately lands in the mounted
+/// filesystem — but must still resolve. Returns human-readable
+/// descriptions of every violation, empty when the namespace is sound;
+/// the stress tests assert emptiness and the fuzz oracle treats any
+/// entry as a security failure.
+pub fn vfs_namespace_violations(sys: &System) -> Vec<String> {
+    let vfs = &sys.kernel.vfs;
+    let root = vfs.root();
+    let budget = vfs.inode_count() + 1;
+    let mut found = Vec::new();
+    let mut queue = vec![root];
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(root);
+    let mut visited = 0usize;
+    while let Some(dir) = queue.pop() {
+        visited += 1;
+        if visited > budget {
+            found.push(format!(
+                "directory walk visited {} nodes with only {} live inodes: namespace cycle",
+                visited,
+                budget - 1
+            ));
+            return found;
+        }
+        // A mount covering this directory shadows its underlying
+        // children (mounting over a non-empty directory legitimately
+        // hides its contents until umount) — the shadowed subtree is
+        // unreachable by design, not a namespace violation.
+        if vfs.mount_covering(dir).is_some() {
+            continue;
+        }
+        let names = match vfs.dir_names(dir) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        for name in names {
+            let child = match vfs.dir_lookup(dir, &name) {
+                Ok(Some(c)) => c,
+                _ => continue,
+            };
+            let path = vfs.path_of(child);
+            let resolved = match vfs.resolve_nofollow(root, &path) {
+                Ok(r) => r,
+                Err(e) => {
+                    found.push(format!(
+                        "live inode {:?} unresolvable at {:?}: {}",
+                        child, path, e
+                    ));
+                    continue;
+                }
+            };
+            let mounted =
+                vfs.mount_covering(child).is_some() || vfs.mount_rooted_at(child).is_some();
+            if !mounted && resolved.ino != child {
+                found.push(format!(
+                    "path {:?} resolves to a different inode than the tree walk",
+                    path
+                ));
+            }
+            let is_dir = vfs.inode(child).data.is_dir();
+            if is_dir && seen.insert(child) {
+                queue.push(child);
+            }
+        }
+    }
+    found
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

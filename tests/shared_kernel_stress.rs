@@ -8,7 +8,7 @@
 use protego::kernel::net::{Domain, Ipv4, SockType};
 use protego::kernel::syscall::FaultConfig;
 use protego::kernel::vfs::Mode;
-use protego::userland::workload::privileged_artifacts;
+use protego::userland::workload::{privileged_artifacts, vfs_namespace_violations};
 use protego::userland::{boot, System, SystemMode};
 
 const WORKERS: usize = 8;
@@ -100,59 +100,6 @@ fn worker_churn(mut sys: System, session: protego::kernel::Pid, worker: usize) {
     }
 }
 
-/// The namespace property invariants from the VFS proptests, checked on
-/// a post-churn kernel: a directory walk from the root terminates within
-/// the live-inode budget (no namespace cycles), and every reachable
-/// inode resolves back to itself at its own `path_of` (live inodes are
-/// root-reachable). Mount-covered nodes are exempt from the ino equality
-/// (resolution legitimately lands in the mounted filesystem) but must
-/// still resolve.
-fn assert_vfs_namespace_invariants(sys: &System) {
-    let vfs = &sys.kernel.vfs;
-    let root = vfs.root();
-    let budget = vfs.inode_count() + 1;
-    let mut queue = vec![root];
-    let mut seen = std::collections::BTreeSet::new();
-    seen.insert(root);
-    let mut visited = 0usize;
-    while let Some(dir) = queue.pop() {
-        visited += 1;
-        assert!(
-            visited <= budget,
-            "directory walk visited {} nodes with only {} live inodes: namespace cycle",
-            visited,
-            budget - 1
-        );
-        let names = match vfs.dir_names(dir) {
-            Ok(n) => n,
-            Err(_) => continue,
-        };
-        for name in names {
-            let child = match vfs.dir_lookup(dir, &name) {
-                Ok(Some(c)) => c,
-                _ => continue,
-            };
-            let path = vfs.path_of(child);
-            let resolved = vfs.resolve_nofollow(root, &path).unwrap_or_else(|e| {
-                panic!("live inode {:?} unresolvable at {:?}: {}", child, path, e)
-            });
-            let mounted =
-                vfs.mount_covering(child).is_some() || vfs.mount_rooted_at(child).is_some();
-            if !mounted {
-                assert_eq!(
-                    resolved.ino, child,
-                    "path {:?} resolves to a different inode than the tree walk",
-                    path
-                );
-            }
-            let is_dir = vfs.inode(child).data.is_dir();
-            if is_dir && seen.insert(child) {
-                queue.push(child);
-            }
-        }
-    }
-}
-
 #[test]
 fn eight_workers_storm_one_kernel_without_damage() {
     let mut base = boot(SystemMode::Protego);
@@ -193,5 +140,10 @@ fn eight_workers_storm_one_kernel_without_damage() {
         privileged_artifacts(&mut base).is_empty(),
         "concurrent churn under faults must not mint privileged artifacts"
     );
-    assert_vfs_namespace_invariants(&base);
+    let violations = vfs_namespace_violations(&base);
+    assert!(
+        violations.is_empty(),
+        "namespace invariants violated after churn: {:?}",
+        violations
+    );
 }
